@@ -1,0 +1,98 @@
+//! Error type for the attack harness.
+
+use std::fmt;
+
+use fedaqp_core::CoreError;
+use fedaqp_dp::DpError;
+use fedaqp_model::ModelError;
+
+/// Errors raised by the attack harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// Propagated data-model error.
+    Model(ModelError),
+    /// Propagated federation error.
+    Core(CoreError),
+    /// Propagated DP error (composition arithmetic).
+    Dp(DpError),
+    /// SA and QI dimensions must be distinct.
+    SaInQi(usize),
+    /// The attack needs at least one quasi-identifier dimension.
+    NoQuasiIdentifiers,
+    /// Answer count did not match the query plan.
+    PlanMismatch {
+        /// Queries planned.
+        expected: usize,
+        /// Answers supplied.
+        got: usize,
+    },
+    /// Evaluation needs at least one row.
+    NoEvaluationRows,
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Model(e) => write!(f, "model error: {e}"),
+            AttackError::Core(e) => write!(f, "federation error: {e}"),
+            AttackError::Dp(e) => write!(f, "dp error: {e}"),
+            AttackError::SaInQi(d) => {
+                write!(f, "dimension {d} used as both SA and quasi-identifier")
+            }
+            AttackError::NoQuasiIdentifiers => {
+                write!(f, "attack needs at least one quasi-identifier dimension")
+            }
+            AttackError::PlanMismatch { expected, got } => {
+                write!(f, "plan expects {expected} answers, got {got}")
+            }
+            AttackError::NoEvaluationRows => write!(f, "no rows to evaluate the attack on"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Model(e) => Some(e),
+            AttackError::Core(e) => Some(e),
+            AttackError::Dp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for AttackError {
+    fn from(e: ModelError) -> Self {
+        AttackError::Model(e)
+    }
+}
+
+impl From<CoreError> for AttackError {
+    fn from(e: CoreError) -> Self {
+        AttackError::Core(e)
+    }
+}
+
+impl From<DpError> for AttackError {
+    fn from(e: DpError) -> Self {
+        AttackError::Dp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(AttackError::SaInQi(3).to_string().contains('3'));
+        assert!(AttackError::PlanMismatch {
+            expected: 10,
+            got: 9
+        }
+        .to_string()
+        .contains("10"));
+        let e: AttackError = ModelError::NoRanges.into();
+        assert!(e.to_string().contains("model error"));
+    }
+}

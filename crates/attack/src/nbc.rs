@@ -1,0 +1,260 @@
+//! Discrete Naive Bayes classifier trained from (noisy) count answers.
+//!
+//! Prediction rule (§6.6):
+//!
+//! ```text
+//! ŷ = argmax_y  P(y) · ∏_i P(v_i | y) / P(v_i)
+//! ```
+//!
+//! with `P(y) = c(y)/N`, `P(v|y) = c(y,v)/c(y)`, and `P(v) = Σ_y c(y,v)/N`
+//! — all assembled from the attack plan's counts. Scores are computed in
+//! log space with Laplace-style smoothing so that noisy (possibly
+//! negative) DP answers never produce NaNs.
+
+use std::collections::HashMap;
+
+use fedaqp_model::{Domain, Row, Schema, Value};
+
+use crate::plan::{AttackPlan, PlannedCount};
+use crate::{AttackError, Result};
+
+/// Pseudocount keeping probabilities strictly positive under noise.
+const SMOOTHING: f64 = 0.5;
+
+/// A trained classifier.
+#[derive(Debug, Clone)]
+pub struct NbcModel {
+    sa_dim: usize,
+    sa_domain: Domain,
+    qi_dims: Vec<(usize, Domain)>,
+    /// `log P(y)` indexed by `y − sa_min`.
+    log_prior: Vec<f64>,
+    /// Per QI dim: `log (P(v|y)/P(v))` indexed `[y − sa_min][v − qi_min]`.
+    log_likelihood_ratio: Vec<Vec<Vec<f64>>>,
+}
+
+impl NbcModel {
+    /// Trains the classifier from the plan's answers (same order as
+    /// `plan.queries`). Answers may be noisy and even negative.
+    pub fn train(schema: &Schema, plan: &AttackPlan, answers: &[f64]) -> Result<Self> {
+        if answers.len() != plan.queries.len() {
+            return Err(AttackError::PlanMismatch {
+                expected: plan.queries.len(),
+                got: answers.len(),
+            });
+        }
+        let sa_domain = schema.domain(plan.sa_dim)?;
+        let k = sa_domain.size() as usize;
+        let mut total = 0.0f64;
+        let mut class = vec![0.0f64; k];
+        // joint[qi][y][v]
+        let mut joint: HashMap<usize, Vec<Vec<f64>>> = HashMap::new();
+        let mut qi_dims = Vec::with_capacity(plan.qi_dims.len());
+        for &qi in &plan.qi_dims {
+            let dom = schema.domain(qi)?;
+            qi_dims.push((qi, dom));
+            joint.insert(qi, vec![vec![0.0; dom.size() as usize]; k]);
+        }
+        for ((what, _), &ans) in plan.queries.iter().zip(answers) {
+            let ans = ans.max(0.0); // noisy answers clamp at zero mass
+            match *what {
+                PlannedCount::Total => total = ans,
+                PlannedCount::Class { y } => {
+                    class[(y - sa_domain.min()) as usize] = ans;
+                }
+                PlannedCount::Joint { y, qi_dim, v } => {
+                    let dom = schema.domain(qi_dim)?;
+                    joint.get_mut(&qi_dim).expect("planned qi dim")
+                        [(y - sa_domain.min()) as usize][(v - dom.min()) as usize] = ans;
+                }
+            }
+        }
+        let total = total.max(1.0);
+
+        // log P(y) with smoothing.
+        let denom = total + SMOOTHING * k as f64;
+        let log_prior: Vec<f64> = class
+            .iter()
+            .map(|&c| ((c + SMOOTHING) / denom).ln())
+            .collect();
+
+        // log (P(v|y)/P(v)).
+        let mut log_likelihood_ratio = Vec::with_capacity(qi_dims.len());
+        for &(qi, dom) in &qi_dims {
+            let m = dom.size() as usize;
+            let j = &joint[&qi];
+            // Marginal c(v) = Σ_y c(y,v) — derived, no extra queries.
+            let marginal: Vec<f64> = (0..m).map(|v| (0..k).map(|y| j[y][v]).sum()).collect();
+            let mut per_dim = vec![vec![0.0f64; m]; k];
+            for (y, row) in per_dim.iter_mut().enumerate() {
+                let cy = class[y].max(0.0);
+                for (v, cell) in row.iter_mut().enumerate() {
+                    let p_v_given_y = (j[y][v] + SMOOTHING) / (cy + SMOOTHING * m as f64);
+                    let p_v = (marginal[v] + SMOOTHING * k as f64)
+                        / (total + SMOOTHING * k as f64 * m as f64);
+                    *cell = (p_v_given_y / p_v).ln();
+                }
+            }
+            log_likelihood_ratio.push(per_dim);
+        }
+        Ok(Self {
+            sa_dim: plan.sa_dim,
+            sa_domain,
+            qi_dims,
+            log_prior,
+            log_likelihood_ratio,
+        })
+    }
+
+    /// Predicts the sensitive value from a full row (QI values are read
+    /// from the row's dimensions).
+    pub fn predict(&self, values: &[Value]) -> Value {
+        let k = self.sa_domain.size() as usize;
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for y in 0..k {
+            let mut score = self.log_prior[y];
+            for (i, &(qi, dom)) in self.qi_dims.iter().enumerate() {
+                let v = values[qi];
+                if dom.contains(v) {
+                    score += self.log_likelihood_ratio[i][y][(v - dom.min()) as usize];
+                }
+            }
+            if score > best_score {
+                best_score = score;
+                best = y;
+            }
+        }
+        self.sa_domain.min() + best as Value
+    }
+
+    /// Measure-weighted prediction accuracy over tensor cells: the §6.6
+    /// metric `accuracy = correct predictions / total predictions`, where
+    /// each cell counts `measure` raw rows.
+    pub fn accuracy(&self, cells: &[Row]) -> Result<f64> {
+        if cells.is_empty() {
+            return Err(AttackError::NoEvaluationRows);
+        }
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        for cell in cells {
+            let predicted = self.predict(cell.values());
+            total += cell.measure();
+            if predicted == cell.value(self.sa_dim) {
+                correct += cell.measure();
+            }
+        }
+        Ok(correct as f64 / total as f64)
+    }
+
+    /// Number of classes `‖d_SA‖`.
+    pub fn n_classes(&self) -> u64 {
+        self.sa_domain.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_plan;
+    use fedaqp_model::{Aggregate, Dimension, RangeQuery};
+
+    /// 3 classes, 1 QI dim of 6 values: SA = v/2 deterministically.
+    fn correlated_world() -> (Schema, Vec<Row>) {
+        let schema = Schema::new(vec![
+            Dimension::new("sa", Domain::new(0, 2).unwrap()),
+            Dimension::new("qi", Domain::new(0, 5).unwrap()),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for v in 0..6i64 {
+            for _ in 0..50 {
+                rows.push(Row::raw(vec![v / 2, v]));
+            }
+        }
+        (schema, rows)
+    }
+
+    fn exact_answers(plan: &AttackPlan, rows: &[Row]) -> Vec<f64> {
+        plan.queries
+            .iter()
+            .map(|(_, q): &(_, RangeQuery)| {
+                rows.iter()
+                    .filter(|r| q.matches(r))
+                    .map(|r| r.measure())
+                    .sum::<u64>() as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_deterministic_correlation_from_exact_counts() {
+        let (schema, rows) = correlated_world();
+        let plan = build_plan(&schema, 0, &[1], Aggregate::Count).unwrap();
+        let answers = exact_answers(&plan, &rows);
+        let model = NbcModel::train(&schema, &plan, &answers).unwrap();
+        // With exact counts the deterministic mapping is fully recovered.
+        let acc = model.accuracy(&rows).unwrap();
+        assert!(acc > 0.99, "accuracy {acc}");
+        assert_eq!(model.n_classes(), 3);
+    }
+
+    #[test]
+    fn garbage_answers_give_chance_level_accuracy() {
+        let (schema, rows) = correlated_world();
+        let plan = build_plan(&schema, 0, &[1], Aggregate::Count).unwrap();
+        // Pure-noise answers: alternate huge positive/negative garbage.
+        let answers: Vec<f64> = (0..plan.queries.len())
+            .map(|i| if i % 2 == 0 { 1e6 } else { -1e6 })
+            .collect();
+        let model = NbcModel::train(&schema, &plan, &answers).unwrap();
+        let acc = model.accuracy(&rows).unwrap();
+        // Noise answers can't beat the deterministic oracle; in this world
+        // chance is 1/3 and systematic garbage stays near or below it.
+        assert!(acc < 0.67, "accuracy {acc} suspiciously high for garbage");
+    }
+
+    #[test]
+    fn train_rejects_wrong_answer_count() {
+        let (schema, _) = correlated_world();
+        let plan = build_plan(&schema, 0, &[1], Aggregate::Count).unwrap();
+        let err = NbcModel::train(&schema, &plan, &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, AttackError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn accuracy_requires_rows() {
+        let (schema, rows) = correlated_world();
+        let plan = build_plan(&schema, 0, &[1], Aggregate::Count).unwrap();
+        let answers = exact_answers(&plan, &rows);
+        let model = NbcModel::train(&schema, &plan, &answers).unwrap();
+        assert!(matches!(
+            model.accuracy(&[]),
+            Err(AttackError::NoEvaluationRows)
+        ));
+    }
+
+    #[test]
+    fn negative_noisy_answers_are_survivable() {
+        let (schema, rows) = correlated_world();
+        let plan = build_plan(&schema, 0, &[1], Aggregate::Count).unwrap();
+        let answers: Vec<f64> = vec![-5.0; plan.queries.len()];
+        let model = NbcModel::train(&schema, &plan, &answers).unwrap();
+        // All scores finite, prediction well-defined.
+        let acc = model.accuracy(&rows).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn measure_weighting_counts_raw_rows() {
+        let (schema, _) = correlated_world();
+        let plan = build_plan(&schema, 0, &[1], Aggregate::Count).unwrap();
+        // Cells with measures: one correct-prediction cell with weight 99,
+        // one wrong with weight 1 — accuracy must be 0.99 not 0.5.
+        let rows = vec![Row::cell(vec![0, 0], 99), Row::cell(vec![2, 1], 1)];
+        let answers = exact_answers(&plan, &rows);
+        let model = NbcModel::train(&schema, &plan, &answers).unwrap();
+        let acc = model.accuracy(&rows).unwrap();
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+}

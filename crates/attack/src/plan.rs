@@ -1,0 +1,182 @@
+//! The attacker's query plan (§6.6).
+//!
+//! To train the NBC the attacker issues point-range queries computing the
+//! database size, the class counts `c(y)` for every `y ∈ |d_SA|`, and the
+//! joint counts `c(y, v)` for every quasi-identifier dimension `d` and
+//! value `v ∈ |d|`:
+//!
+//! ```text
+//! nQueries = 1 + ‖d_SA‖ + ‖d_SA‖ · Σ_{d ∈ D_QI} ‖d‖
+//! ```
+//!
+//! (`P(v|y)/P(v)` are then derived from these counts without further
+//! queries.)
+
+use fedaqp_model::{Aggregate, Range, RangeQuery, Schema, Value};
+
+use crate::{AttackError, Result};
+
+/// What one planned query measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedCount {
+    /// Total database size `N`.
+    Total,
+    /// Class count `c(y)` for `SA = y`.
+    Class {
+        /// The sensitive value `y`.
+        y: Value,
+    },
+    /// Joint count `c(y, v)` for `SA = y ∧ d_qi = v`.
+    Joint {
+        /// The sensitive value `y`.
+        y: Value,
+        /// Quasi-identifier dimension index.
+        qi_dim: usize,
+        /// Quasi-identifier value `v`.
+        v: Value,
+    },
+}
+
+/// The full ordered plan.
+#[derive(Debug, Clone)]
+pub struct AttackPlan {
+    /// Sensitive-attribute dimension.
+    pub sa_dim: usize,
+    /// Quasi-identifier dimensions.
+    pub qi_dims: Vec<usize>,
+    /// `(what it measures, the query to issue)`, in issue order.
+    pub queries: Vec<(PlannedCount, RangeQuery)>,
+}
+
+impl AttackPlan {
+    /// `nQueries` of §6.6.
+    pub fn n_queries(&self) -> u64 {
+        self.queries.len() as u64
+    }
+}
+
+/// Builds the plan for `schema`, sensitive dimension `sa_dim`, and
+/// quasi-identifier dimensions `qi_dims`, with the given aggregate (the
+/// paper evaluates both COUNT and SUM variants).
+pub fn build_plan(
+    schema: &Schema,
+    sa_dim: usize,
+    qi_dims: &[usize],
+    aggregate: Aggregate,
+) -> Result<AttackPlan> {
+    if qi_dims.is_empty() {
+        return Err(AttackError::NoQuasiIdentifiers);
+    }
+    if qi_dims.contains(&sa_dim) {
+        return Err(AttackError::SaInQi(sa_dim));
+    }
+    let sa_domain = schema.domain(sa_dim)?;
+    let mut queries = Vec::new();
+
+    // 1. Database size: the SA range spans its whole domain, so every row
+    //    matches (each row has *some* SA value).
+    queries.push((
+        PlannedCount::Total,
+        RangeQuery::new(
+            aggregate,
+            vec![Range::new(sa_dim, sa_domain.min(), sa_domain.max())?],
+        )?,
+    ));
+
+    // 2. Class counts: SELECT agg WHERE y <= SA <= y.
+    for y in sa_domain.iter() {
+        queries.push((
+            PlannedCount::Class { y },
+            RangeQuery::new(aggregate, vec![Range::new(sa_dim, y, y)?])?,
+        ));
+    }
+
+    // 3. Joint counts: SELECT agg WHERE SA = y AND d = v.
+    for &qi in qi_dims {
+        let dom = schema.domain(qi)?;
+        for y in sa_domain.iter() {
+            for v in dom.iter() {
+                queries.push((
+                    PlannedCount::Joint { y, qi_dim: qi, v },
+                    RangeQuery::new(
+                        aggregate,
+                        vec![Range::new(sa_dim, y, y)?, Range::new(qi, v, v)?],
+                    )?,
+                ));
+            }
+        }
+    }
+    Ok(AttackPlan {
+        sa_dim,
+        qi_dims: qi_dims.to_vec(),
+        queries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedaqp_model::{Dimension, Domain};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::new("sa", Domain::new(0, 9).unwrap()), // ‖d_SA‖ = 10
+            Dimension::new("q1", Domain::new(0, 4).unwrap()), // ‖q1‖ = 5
+            Dimension::new("q2", Domain::new(0, 2).unwrap()), // ‖q2‖ = 3
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn n_queries_matches_formula() {
+        let plan = build_plan(&schema(), 0, &[1, 2], Aggregate::Count).unwrap();
+        // 1 + 10 + 10·(5 + 3) = 91.
+        assert_eq!(plan.n_queries(), 91);
+    }
+
+    #[test]
+    fn rejects_overlapping_dims_and_empty_qi() {
+        assert!(matches!(
+            build_plan(&schema(), 0, &[0, 1], Aggregate::Count),
+            Err(AttackError::SaInQi(0))
+        ));
+        assert!(matches!(
+            build_plan(&schema(), 0, &[], Aggregate::Count),
+            Err(AttackError::NoQuasiIdentifiers)
+        ));
+    }
+
+    #[test]
+    fn plan_queries_are_point_ranges() {
+        let plan = build_plan(&schema(), 0, &[1], Aggregate::Sum).unwrap();
+        for (what, q) in &plan.queries {
+            match what {
+                PlannedCount::Total => {
+                    assert_eq!(q.ranges().len(), 1);
+                    assert_eq!(q.ranges()[0].width(), 10);
+                }
+                PlannedCount::Class { y } => {
+                    assert_eq!(q.ranges().len(), 1);
+                    assert_eq!(q.ranges()[0].lo, *y);
+                    assert_eq!(q.ranges()[0].hi, *y);
+                }
+                PlannedCount::Joint { y, qi_dim, v } => {
+                    assert_eq!(q.ranges().len(), 2);
+                    let sa_range = q.ranges().iter().find(|r| r.dim == 0).unwrap();
+                    let qi_range = q.ranges().iter().find(|r| r.dim == *qi_dim).unwrap();
+                    assert_eq!((sa_range.lo, sa_range.hi), (*y, *y));
+                    assert_eq!((qi_range.lo, qi_range.hi), (*v, *v));
+                }
+            }
+            assert_eq!(q.aggregate(), Aggregate::Sum);
+        }
+    }
+
+    #[test]
+    fn plan_order_is_total_classes_joints() {
+        let plan = build_plan(&schema(), 0, &[1, 2], Aggregate::Count).unwrap();
+        assert!(matches!(plan.queries[0].0, PlannedCount::Total));
+        assert!(matches!(plan.queries[1].0, PlannedCount::Class { .. }));
+        assert!(matches!(plan.queries[11].0, PlannedCount::Joint { .. }));
+    }
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the cluster store and Algorithm 1
+//! metadata: the scan-vs-metadata asymmetry is what makes the whole AQP
+//! speed-up possible.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedaqp_model::{Aggregate, Dimension, Domain, Range, RangeQuery, Row, Schema};
+use fedaqp_storage::codec::{decode_provider_meta, encode_provider_meta};
+use fedaqp_storage::{ClusterStore, PartitionStrategy, ProviderMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Dimension::new("a", Domain::new(0, 999).expect("domain")),
+        Dimension::new("b", Domain::new(0, 99).expect("domain")),
+        Dimension::new("c", Domain::new(0, 49).expect("domain")),
+    ])
+    .expect("schema")
+}
+
+fn store(n_rows: usize, capacity: usize) -> ClusterStore {
+    let mut rng = StdRng::seed_from_u64(7);
+    let rows: Vec<Row> = (0..n_rows)
+        .map(|_| {
+            Row::cell(
+                vec![
+                    rng.gen_range(0..1000i64),
+                    rng.gen_range(0..100i64),
+                    rng.gen_range(0..50i64),
+                ],
+                1 + rng.gen_range(0..4u64),
+            )
+        })
+        .collect();
+    ClusterStore::build(schema(), rows, capacity, PartitionStrategy::SortedBy(0)).expect("store")
+}
+
+fn demo_query() -> RangeQuery {
+    RangeQuery::new(
+        Aggregate::Sum,
+        vec![
+            Range::new(0, 200, 700).expect("range"),
+            Range::new(1, 10, 60).expect("range"),
+        ],
+    )
+    .expect("query")
+}
+
+fn bench_metadata_build(c: &mut Criterion) {
+    let s = store(50_000, 500);
+    c.bench_function("storage/meta_build_100_clusters", |b| {
+        b.iter(|| black_box(ProviderMeta::build(&s, 500)))
+    });
+}
+
+fn bench_covering_and_proportions(c: &mut Criterion) {
+    let s = store(50_000, 500);
+    let meta = ProviderMeta::build(&s, 500);
+    let q = demo_query();
+    c.bench_function("storage/covering", |b| {
+        b.iter(|| black_box(meta.covering(&q)))
+    });
+    let covering = meta.covering(&q);
+    c.bench_function("storage/proportions", |b| {
+        b.iter(|| black_box(meta.proportions(&q, &covering)))
+    });
+}
+
+fn bench_scan_vs_meta(c: &mut Criterion) {
+    // The asymmetry at the heart of §5.2: computing exact R scans the
+    // cluster; metadata answers the same question with binary searches.
+    let s = store(50_000, 500);
+    let meta = ProviderMeta::build(&s, 500);
+    let q = demo_query();
+    let cluster = &s.clusters()[s.n_clusters() / 2];
+    let cluster_meta = &meta.clusters()[s.n_clusters() / 2];
+    let mut group = c.benchmark_group("storage/r_per_cluster");
+    group.bench_function("exact_scan", |b| {
+        b.iter(|| black_box(cluster.matching_rows(q.ranges())))
+    });
+    group.bench_function("metadata_lookup", |b| {
+        b.iter(|| black_box(cluster_meta.r_query(&q, 500)))
+    });
+    group.finish();
+}
+
+fn bench_full_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/full_scan");
+    for rows in [10_000usize, 50_000] {
+        let s = store(rows, 500);
+        let q = demo_query();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(s.evaluate_full(&q)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let s = store(50_000, 500);
+    let meta = ProviderMeta::build(&s, 500);
+    c.bench_function("storage/codec_encode", |b| {
+        b.iter(|| black_box(encode_provider_meta(&meta)))
+    });
+    let blob = encode_provider_meta(&meta);
+    c.bench_function("storage/codec_decode", |b| {
+        b.iter(|| black_box(decode_provider_meta(&blob).expect("decode")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_metadata_build,
+    bench_covering_and_proportions,
+    bench_scan_vs_meta,
+    bench_full_scan,
+    bench_codec,
+);
+criterion_main!(benches);

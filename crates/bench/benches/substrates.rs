@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks for the DP, SMC, and sampling substrates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedaqp_dp::{ExponentialMechanism, LaplaceMechanism, SmoothSensitivity};
+use fedaqp_sampling::em::{delta_p, em_sample};
+use fedaqp_sampling::hansen_hurwitz::{hh_estimate, HansenHurwitz};
+use fedaqp_sampling::pps_probabilities;
+use fedaqp_smc::{encode_fixed, reconstruct, share_value, CostModel, Fp, SmcRuntime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = LaplaceMechanism::new(1.0, 0.8).expect("mechanism");
+    c.bench_function("dp/laplace_release", |b| {
+        b.iter(|| black_box(m.release(&mut rng, black_box(1234.5))))
+    });
+}
+
+fn bench_exponential(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("dp/exponential_select");
+    for n in [16usize, 256, 4096] {
+        let scores: Vec<f64> = (0..n).map(|i| (i % 97) as f64 / 97.0).collect();
+        let m = ExponentialMechanism::new(&scores, 1.0 / 110.0, 0.1).expect("mechanism");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(m.select(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_smooth_sensitivity(c: &mut Criterion) {
+    let s = SmoothSensitivity::new(0.8, 1e-3).expect("smooth");
+    c.bench_function("dp/smooth_bound_linear", |b| {
+        b.iter(|| black_box(s.smooth_bound_linear(black_box(37.5))))
+    });
+    c.bench_function("dp/smooth_bound_scan", |b| {
+        b.iter(|| black_box(s.smooth_bound(|k| k as f64 * 37.5)))
+    });
+}
+
+fn bench_field(c: &mut Criterion) {
+    let a = Fp::new(0x1234_5678_9ABC);
+    let x = Fp::new(0xFEDC_BA98_7654);
+    c.bench_function("smc/field_mul", |b| {
+        b.iter(|| black_box(black_box(a) * black_box(x)))
+    });
+    c.bench_function("smc/field_inverse", |b| b.iter(|| black_box(a.inverse())));
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let secret = encode_fixed(123_456.789).expect("encode");
+    c.bench_function("smc/share_4_parties", |b| {
+        b.iter(|| black_box(share_value(&mut rng, secret, 4).expect("share")))
+    });
+    let shares = share_value(&mut rng, secret, 4).expect("share");
+    c.bench_function("smc/reconstruct_4_parties", |b| {
+        b.iter(|| black_box(reconstruct(black_box(&shares))))
+    });
+}
+
+fn bench_secure_aggregates(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let values = [10.5, -3.25, 88.0, 41.75];
+    c.bench_function("smc/secure_sum_4", |b| {
+        b.iter(|| {
+            let mut rt = SmcRuntime::new(4, CostModel::zero()).expect("runtime");
+            black_box(rt.secure_sum(&mut rng, &values).expect("sum"))
+        })
+    });
+    c.bench_function("smc/secure_max_4", |b| {
+        b.iter(|| {
+            let mut rt = SmcRuntime::new(4, CostModel::zero()).expect("runtime");
+            black_box(rt.secure_max(&mut rng, &values).expect("max"))
+        })
+    });
+}
+
+fn bench_pps_and_em(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("sampling");
+    for n in [64usize, 1024] {
+        let props: Vec<f64> = (0..n).map(|i| ((i * 31) % 101) as f64 / 101.0).collect();
+        group.bench_with_input(BenchmarkId::new("pps_probabilities", n), &n, |b, _| {
+            b.iter(|| black_box(pps_probabilities(&props).expect("pps")))
+        });
+        group.bench_with_input(BenchmarkId::new("em_sample_s16", n), &n, |b, _| {
+            b.iter(|| black_box(em_sample(&mut rng, &props, 16, 0.1, delta_p(10)).expect("sample")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hansen_hurwitz(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let draws: Vec<HansenHurwitz> = (0..64)
+        .map(|_| HansenHurwitz {
+            value: rng.gen_range(0.0..1e6),
+            probability: rng.gen_range(1e-3..1.0),
+        })
+        .collect();
+    c.bench_function("sampling/hh_estimate_64", |b| {
+        b.iter(|| black_box(hh_estimate(black_box(&draws)).expect("estimate")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_laplace,
+    bench_exponential,
+    bench_smooth_sensitivity,
+    bench_field,
+    bench_sharing,
+    bench_secure_aggregates,
+    bench_pps_and_em,
+    bench_hansen_hurwitz,
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Fig. 1 — "Runtime cost of data sharing in SMC".
+//!
+//! The paper's motivation experiment: twelve random range queries on the
+//! Adult federation, answered two ways under SMC — (i) providers secret-
+//! share every row and evaluate jointly; (ii) providers evaluate locally
+//! and secure-share only their scalar results. The paper reports a ~0.04 s
+//! constant cost for result sharing and a mean ≈ 440× gap.
+
+use std::time::{Duration, Instant};
+
+use fedaqp_model::Aggregate;
+use fedaqp_smc::{CostModel, SmcRuntime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{fmt_duration, fmt_f, mean, Table};
+use crate::setup::{build_testbed, filtered_workload, DatasetKind, ExperimentContext};
+
+/// Share-generation cost per row: one field random + one subtraction per
+/// attribute and per receiving party. Fig. 1 measures the *sharing* cost
+/// only ("we measured the time required to share the rows/results in
+/// SMC"), not a full oblivious query evaluation, so no comparison-circuit
+/// gates are charged here.
+fn share_gen_gates_per_row(arity: usize, n_parties: usize) -> u64 {
+    2 * (arity as u64 + 1) * (n_parties as u64 - 1)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    eprintln!("[fig1] building Adult federation…");
+    let testbed = build_testbed(DatasetKind::Adult, ctx, |_| {});
+    let fed = &testbed.federation;
+    let n_queries = 12usize.min(ctx.queries.max(4));
+    let queries = filtered_workload(&testbed, 2, Aggregate::Count, n_queries, ctx.seed ^ 0xF1);
+
+    let bytes_per_row = (fed.schema().arity() as u64 + 1) * 8;
+    let rows_per_party: Vec<u64> = fed
+        .providers()
+        .iter()
+        .map(|p| p.store().total_rows() as u64)
+        .collect();
+
+    let mut table = Table::new(
+        "Fig. 1 — runtime cost of data sharing in SMC (Adult, 4 providers)",
+        &["query", "sharing_rows_s", "sharing_results_s", "speedup_x"],
+    );
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x1F1);
+    let mut speedups = Vec::new();
+    // Fig. 1 ran on commodity SMC (MPyC over a 1 Gbps LAN); use the LAN
+    // model rather than the Grid5000 10 Gbps profile of the main results.
+    let network = CostModel::lan();
+    for (i, q) in queries.iter().enumerate() {
+        let mut rt = SmcRuntime::new(4, network).expect("smc runtime");
+        let row_cost = rt.row_sharing_cost(
+            &rows_per_party,
+            bytes_per_row,
+            share_gen_gates_per_row(fed.schema().arity(), 4),
+        );
+        rt.reset();
+        // Result sharing: local plain evaluation (real time, providers in
+        // parallel — take the slowest) + the secure sum of 4 scalars.
+        let t = Instant::now();
+        let locals: Vec<f64> = fed
+            .providers()
+            .iter()
+            .map(|p| p.exact_answer(q) as f64)
+            .collect();
+        let local_eval: Duration = t.elapsed() / fed.providers().len() as u32;
+        let (_, share_cost) = rt
+            .result_sharing_cost(&mut rng, &locals)
+            .expect("result sharing");
+        let result_cost = local_eval + share_cost;
+        let speedup = row_cost.as_secs_f64() / result_cost.as_secs_f64();
+        speedups.push(speedup);
+        table.push_row(vec![
+            format!("Q{}", i + 1),
+            fmt_f(row_cost.as_secs_f64(), 4),
+            fmt_f(result_cost.as_secs_f64(), 4),
+            fmt_f(speedup, 1),
+        ]);
+    }
+    let mut summary = Table::new("Fig. 1 summary", &["metric", "value"]);
+    summary.push_row(vec![
+        "mean speed-up (rows vs results)".into(),
+        fmt_f(mean(&speedups), 1),
+    ]);
+    summary.push_row(vec![
+        "rows per provider".into(),
+        format!("{}", rows_per_party[0]),
+    ]);
+    summary.push_row(vec![
+        "bytes per shared row".into(),
+        format!("{bytes_per_row}"),
+    ]);
+    summary.push_row(vec![
+        "network".into(),
+        format!("{} latency, 1 Gbps", fmt_duration(network.latency)),
+    ]);
+    vec![table, summary]
+}

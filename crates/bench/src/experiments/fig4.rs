@@ -1,0 +1,61 @@
+//! Fig. 4 — "Dimension-based analysis".
+//!
+//! Relative error of SUM and COUNT workloads `(m = 100, n ∈ [2,7])` on
+//! Adult and `(m = 100, n ∈ [2,5])` on Amazon, at the figure-default
+//! sampling rates (20% Adult, 5% Amazon). The paper's shape: error grows
+//! with dimensionality (the independence approximation of `R` degrades),
+//! Amazon (larger) stays well below Adult, 2-dimensional workloads land
+//! near 0%.
+
+use fedaqp_model::Aggregate;
+
+use crate::report::{fmt_f, fmt_pct, Table};
+use crate::setup::{
+    build_testbed, filtered_workload, run_workload, DatasetKind, ExperimentContext,
+};
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let mut table = Table::new(
+        "Fig. 4 — relative error vs number of query dimensions",
+        &[
+            "dataset",
+            "aggregate",
+            "dims",
+            "mean_rel_error",
+            "mean_speedup",
+        ],
+    );
+    for kind in [DatasetKind::Adult, DatasetKind::Amazon] {
+        eprintln!("[fig4] building {} federation…", kind.name());
+        let mut testbed = build_testbed(kind, ctx, |_| {});
+        let sr = kind.default_sampling_rate();
+        for aggregate in [Aggregate::Sum, Aggregate::Count] {
+            for dims in kind.dims_range() {
+                let queries = filtered_workload(
+                    &testbed,
+                    dims,
+                    aggregate,
+                    ctx.queries,
+                    ctx.seed ^ (dims as u64) << 8,
+                );
+                let stats = run_workload(&mut testbed, &queries, sr);
+                eprintln!(
+                    "[fig4] {} {} n={dims}: err {} speedup {:.2}",
+                    kind.name(),
+                    aggregate.sql(),
+                    fmt_pct(stats.mean_rel_error),
+                    stats.mean_speedup
+                );
+                table.push_row(vec![
+                    kind.name().into(),
+                    aggregate.sql().into(),
+                    dims.to_string(),
+                    fmt_pct(stats.mean_rel_error),
+                    fmt_f(stats.mean_speedup, 2),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}

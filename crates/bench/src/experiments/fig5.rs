@@ -1,0 +1,58 @@
+//! Fig. 5 — "Sampling rate-based analysis".
+//!
+//! Relative error and speed-up of `(m = 100, n = 4)` SUM/COUNT workloads
+//! as the sampling rate sweeps 5–20% on both datasets. The paper's shape:
+//! error falls and speed-up falls as `sr` grows (the accuracy/speed
+//! trade-off), with Amazon enjoying visibly larger speed-ups than Adult.
+
+use fedaqp_model::Aggregate;
+
+use crate::report::{fmt_f, fmt_pct, Table};
+use crate::setup::{
+    build_testbed, filtered_workload, run_workload, DatasetKind, ExperimentContext,
+};
+
+/// Sampling rates the paper sweeps.
+pub const RATES: [f64; 4] = [0.05, 0.10, 0.15, 0.20];
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let mut table = Table::new(
+        "Fig. 5 — relative error and speed-up vs sampling rate (n = 4)",
+        &[
+            "dataset",
+            "aggregate",
+            "sampling_rate",
+            "mean_rel_error",
+            "mean_speedup",
+        ],
+    );
+    for kind in [DatasetKind::Adult, DatasetKind::Amazon] {
+        eprintln!("[fig5] building {} federation…", kind.name());
+        let mut testbed = build_testbed(kind, ctx, |_| {});
+        let dims = 4.min(*kind.dims_range().end());
+        for aggregate in [Aggregate::Sum, Aggregate::Count] {
+            let queries =
+                filtered_workload(&testbed, dims, aggregate, ctx.queries, ctx.seed ^ 0xF5);
+            for sr in RATES {
+                let stats = run_workload(&mut testbed, &queries, sr);
+                eprintln!(
+                    "[fig5] {} {} sr={:.0}%: err {} speedup {:.2}",
+                    kind.name(),
+                    aggregate.sql(),
+                    sr * 100.0,
+                    fmt_pct(stats.mean_rel_error),
+                    stats.mean_speedup
+                );
+                table.push_row(vec![
+                    kind.name().into(),
+                    aggregate.sql().into(),
+                    format!("{:.0}%", sr * 100.0),
+                    fmt_pct(stats.mean_rel_error),
+                    fmt_f(stats.mean_speedup, 2),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}

@@ -1,0 +1,67 @@
+//! Fig. 6 — "Epsilon-based analysis".
+//!
+//! Relative error of `(m = 100, n = 4)` workloads as the per-query budget
+//! ε sweeps 0.1–1.3, at sampling rates 10% (Adult) and 5% (Amazon). The
+//! paper's shape: the classic DP utility curve (error collapses as ε
+//! grows), SUM beating COUNT in relative terms (larger answers absorb
+//! noise), and the larger dataset (Amazon) beating the smaller.
+
+use fedaqp_model::Aggregate;
+
+use crate::report::{fmt_f, fmt_pct, sparkline, Table};
+use crate::setup::{
+    build_testbed, filtered_workload, run_workload_with_epsilon, DatasetKind, ExperimentContext,
+};
+
+/// ε values the paper sweeps.
+pub const EPSILONS: [f64; 7] = [0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3];
+
+/// Fig. 6's sampling rates: 10% Adult, 5% Amazon (§6.4).
+pub fn sampling_rate(kind: DatasetKind) -> f64 {
+    match kind {
+        DatasetKind::Adult => 0.10,
+        DatasetKind::Amazon => 0.05,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let mut table = Table::new(
+        "Fig. 6 — relative error vs epsilon (n = 4)",
+        &["dataset", "aggregate", "epsilon", "mean_rel_error"],
+    );
+    for kind in [DatasetKind::Adult, DatasetKind::Amazon] {
+        eprintln!("[fig6] building {} federation…", kind.name());
+        let mut testbed = build_testbed(kind, ctx, |_| {});
+        let dims = 4.min(*kind.dims_range().end());
+        let sr = sampling_rate(kind);
+        for aggregate in [Aggregate::Sum, Aggregate::Count] {
+            let queries =
+                filtered_workload(&testbed, dims, aggregate, ctx.queries, ctx.seed ^ 0xF6);
+            let mut series = Vec::with_capacity(EPSILONS.len());
+            for eps in EPSILONS {
+                let stats = run_workload_with_epsilon(&mut testbed, &queries, sr, eps);
+                eprintln!(
+                    "[fig6] {} {} eps={eps}: err {}",
+                    kind.name(),
+                    aggregate.sql(),
+                    fmt_pct(stats.mean_rel_error)
+                );
+                series.push(stats.mean_rel_error);
+                table.push_row(vec![
+                    kind.name().into(),
+                    aggregate.sql().into(),
+                    fmt_f(eps, 1),
+                    fmt_pct(stats.mean_rel_error),
+                ]);
+            }
+            eprintln!(
+                "[fig6] {} {} error shape over eps: {}",
+                kind.name(),
+                aggregate.sql(),
+                sparkline(&series)
+            );
+        }
+    }
+    vec![table]
+}

@@ -1,0 +1,73 @@
+//! Fig. 7 — "Impact of dimension and ε on speed-up" (Amazon).
+//!
+//! Two sweeps over the Amazon federation: speed-up vs query
+//! dimensionality (paper: drops from ≈8× to ≈6× as n goes 2→5, because
+//! higher-dimensional queries look up more metadata) and speed-up vs ε
+//! (paper: flat — the privacy budget does not affect runtime).
+
+use fedaqp_model::Aggregate;
+
+use crate::experiments::fig6::EPSILONS;
+use crate::report::{fmt_f, Table};
+use crate::setup::{
+    build_testbed, filtered_workload, run_workload, run_workload_with_epsilon, DatasetKind,
+    ExperimentContext,
+};
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    eprintln!("[fig7] building amazon federation…");
+    let kind = DatasetKind::Amazon;
+    let mut testbed = build_testbed(kind, ctx, |_| {});
+    let sr = kind.default_sampling_rate();
+
+    let mut dims_table = Table::new(
+        "Fig. 7 (top) — speed-up vs number of dimensions (amazon)",
+        &["aggregate", "dims", "mean_speedup", "scanned_fraction"],
+    );
+    for aggregate in [Aggregate::Sum, Aggregate::Count] {
+        for dims in kind.dims_range() {
+            let queries = filtered_workload(
+                &testbed,
+                dims,
+                aggregate,
+                ctx.queries,
+                ctx.seed ^ 0x70 ^ (dims as u64),
+            );
+            let stats = run_workload(&mut testbed, &queries, sr);
+            eprintln!(
+                "[fig7] {} n={dims}: speedup {:.2}",
+                aggregate.sql(),
+                stats.mean_speedup
+            );
+            dims_table.push_row(vec![
+                aggregate.sql().into(),
+                dims.to_string(),
+                fmt_f(stats.mean_speedup, 2),
+                fmt_f(stats.mean_scanned_fraction, 3),
+            ]);
+        }
+    }
+
+    let mut eps_table = Table::new(
+        "Fig. 7 (bottom) — speed-up vs epsilon (amazon, n = 4)",
+        &["aggregate", "epsilon", "mean_speedup"],
+    );
+    for aggregate in [Aggregate::Sum, Aggregate::Count] {
+        let queries = filtered_workload(&testbed, 4, aggregate, ctx.queries, ctx.seed ^ 0x71);
+        for eps in EPSILONS {
+            let stats = run_workload_with_epsilon(&mut testbed, &queries, sr, eps);
+            eprintln!(
+                "[fig7] {} eps={eps}: speedup {:.2}",
+                aggregate.sql(),
+                stats.mean_speedup
+            );
+            eps_table.push_row(vec![
+                aggregate.sql().into(),
+                fmt_f(eps, 1),
+                fmt_f(stats.mean_speedup, 2),
+            ]);
+        }
+    }
+    vec![dims_table, eps_table]
+}

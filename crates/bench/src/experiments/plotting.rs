@@ -1,0 +1,163 @@
+//! `repro plot` — renders the figure CSVs under the results directory into
+//! SVG charts (post-processing; run the figure experiments first).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::plot::{line_chart, parse_num, parse_pct, save_svg, ChartConfig, Series};
+use crate::report::Table;
+use crate::setup::ExperimentContext;
+
+/// Reads a CSV produced by [`Table::save_csv`] back into rows.
+fn read_csv(path: &Path) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let content = std::fs::read_to_string(path).ok()?;
+    let mut lines = content.lines();
+    let headers: Vec<String> = lines.next()?.split(',').map(str::to_owned).collect();
+    let rows: Vec<Vec<String>> = lines
+        .map(|l| l.split(',').map(str::to_owned).collect())
+        .collect();
+    Some((headers, rows))
+}
+
+/// Groups rows into `(series key, x, y)` triples and renders one chart.
+fn chart_from_rows(
+    rows: &[Vec<String>],
+    key_cols: &[usize],
+    x_col: usize,
+    y_col: usize,
+    cfg: &ChartConfig,
+) -> String {
+    let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for row in rows {
+        let key = key_cols
+            .iter()
+            .filter_map(|&c| row.get(c).cloned())
+            .collect::<Vec<_>>()
+            .join(" / ");
+        let (Some(x), Some(y)) = (
+            row.get(x_col).and_then(|c| parse_num(c)),
+            row.get(y_col).and_then(|c| parse_pct(c)),
+        ) else {
+            continue;
+        };
+        series.entry(key).or_default().push((x, y));
+    }
+    let series: Vec<Series> = series
+        .into_iter()
+        .map(|(label, points)| Series { label, points })
+        .collect();
+    line_chart(cfg, &series)
+}
+
+/// Renders every figure CSV found in `ctx.out_dir` into an SVG.
+pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let dir = &ctx.out_dir;
+    let mut report = Table::new("repro plot — rendered charts", &["figure", "output"]);
+    let targets: [(&str, &[usize], usize, usize, ChartConfig); 4] = [
+        (
+            "fig4",
+            &[0, 1],
+            2,
+            3,
+            ChartConfig {
+                title: "Fig. 4 — relative error vs dimensions".into(),
+                x_label: "query dimensions".into(),
+                y_label: "mean relative error %".into(),
+                log_y: false,
+            },
+        ),
+        (
+            "fig5",
+            &[0, 1],
+            2,
+            3,
+            ChartConfig {
+                title: "Fig. 5 — relative error vs sampling rate".into(),
+                x_label: "sampling rate %".into(),
+                y_label: "mean relative error %".into(),
+                log_y: false,
+            },
+        ),
+        (
+            "fig6",
+            &[0, 1],
+            2,
+            3,
+            ChartConfig {
+                title: "Fig. 6 — relative error vs epsilon".into(),
+                x_label: "epsilon".into(),
+                y_label: "mean relative error %".into(),
+                log_y: true,
+            },
+        ),
+        (
+            "fig7_0",
+            &[0],
+            1,
+            2,
+            ChartConfig {
+                title: "Fig. 7 — speed-up vs dimensions (amazon)".into(),
+                x_label: "query dimensions".into(),
+                y_label: "speed-up ×".into(),
+                log_y: false,
+            },
+        ),
+    ];
+    for (stem, key_cols, x_col, y_col, cfg) in targets {
+        let csv = dir.join(format!("{stem}.csv"));
+        match read_csv(&csv) {
+            Some((_, rows)) => {
+                let svg = chart_from_rows(&rows, key_cols, x_col, y_col, &cfg);
+                match save_svg(dir, stem, &svg) {
+                    Ok(path) => report.push_row(vec![stem.into(), path.display().to_string()]),
+                    Err(e) => report.push_row(vec![stem.into(), format!("write failed: {e}")]),
+                }
+            }
+            None => {
+                report.push_row(vec![
+                    stem.into(),
+                    format!(
+                        "{} missing — run `repro {}` first",
+                        csv.display(),
+                        stem.split('_').next().unwrap_or(stem)
+                    ),
+                ]);
+            }
+        }
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_from_rows_groups_series() {
+        let rows = vec![
+            vec!["adult".into(), "SUM".into(), "2".into(), "10.0%".into()],
+            vec!["adult".into(), "SUM".into(), "3".into(), "20.0%".into()],
+            vec!["amazon".into(), "SUM".into(), "2".into(), "5.0%".into()],
+        ];
+        let cfg = ChartConfig {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_y: false,
+        };
+        let svg = chart_from_rows(&rows, &[0, 1], 2, 3, &cfg);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("adult / SUM"));
+    }
+
+    #[test]
+    fn missing_csvs_reported_not_fatal() {
+        let ctx = ExperimentContext {
+            out_dir: std::env::temp_dir().join("fedaqp_plot_missing"),
+            ..ExperimentContext::quick()
+        };
+        let tables = run(&ctx);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].rows.iter().all(|r| r[1].contains("missing")));
+    }
+}

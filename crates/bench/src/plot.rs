@@ -1,0 +1,299 @@
+//! Minimal self-contained SVG line charts for the reproduced figures.
+//!
+//! No plotting dependency is available offline, and the figures the paper
+//! reports are simple line families (error/speed-up vs a swept parameter),
+//! so a small hand-rolled SVG writer covers the need. `repro plot` turns
+//! the CSVs under `results/` into `.svg` files a browser can open.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One line of a chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in draw order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log-scale the Y axis (for DP utility curves spanning decades).
+    pub log_y: bool,
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 460.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 56.0;
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+fn nice_num(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 1000.0 {
+        format!("{x:.0}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Renders a line chart to an SVG string.
+pub fn line_chart(cfg: &ChartConfig, series: &[Series]) -> String {
+    let transform_y = |y: f64| if cfg.log_y { y.max(1e-12).log10() } else { y };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            let ty = transform_y(y);
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(ty);
+            y_max = y_max.max(ty);
+        }
+    }
+    if !x_min.is_finite() {
+        x_min = 0.0;
+        x_max = 1.0;
+        y_min = 0.0;
+        y_max = 1.0;
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| {
+        let t = transform_y(y);
+        MARGIN_T + plot_h - (t - y_min) / (y_max - y_min) * plot_h
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" font-size="16" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        xml_escape(&cfg.title)
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h,
+        MARGIN_L + plot_w,
+        MARGIN_T + plot_h
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h
+    );
+    // Ticks + grid (5 each).
+    for i in 0..=5 {
+        let fx = x_min + (x_max - x_min) * i as f64 / 5.0;
+        let px = sx(fx);
+        let _ = write!(
+            svg,
+            r#"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="black"/><text x="{px}" y="{}" font-size="11" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 5.0,
+            MARGIN_T + plot_h + 20.0,
+            nice_num(fx)
+        );
+        let fy = y_min + (y_max - y_min) * i as f64 / 5.0;
+        let display = if cfg.log_y { 10f64.powf(fy) } else { fy };
+        let py = MARGIN_T + plot_h - (fy - y_min) / (y_max - y_min) * plot_h;
+        let _ = write!(
+            svg,
+            r##"<line x1="{}" y1="{py}" x2="{MARGIN_L}" y2="{py}" stroke="black"/><line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#e0e0e0"/><text x="{}" y="{}" font-size="11" text-anchor="end">{}</text>"##,
+            MARGIN_L - 5.0,
+            MARGIN_L + plot_w,
+            MARGIN_L - 9.0,
+            py + 4.0,
+            nice_num(display)
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 12.0,
+        xml_escape(&cfg.x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml_escape(&format!(
+            "{}{}",
+            cfg.y_label,
+            if cfg.log_y { " (log)" } else { "" }
+        ))
+    );
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+            .collect();
+        let _ = write!(
+            svg,
+            r#"<polyline fill="none" stroke="{color}" stroke-width="2" points="{}"/>"#,
+            path.join(" ")
+        );
+        for &(x, y) in &s.points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 16.0 * i as f64;
+        let lx = MARGIN_L + plot_w + 12.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}" font-size="11">{}</text>"#,
+            lx + 18.0,
+            lx + 24.0,
+            ly + 4.0,
+            xml_escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Writes an SVG under `dir/name.svg`.
+pub fn save_svg(dir: &Path, name: &str, svg: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.svg"));
+    std::fs::write(&path, svg)?;
+    Ok(path)
+}
+
+/// Parses a percentage cell like `12.34%` (or a bare number) to f64.
+pub fn parse_pct(cell: &str) -> Option<f64> {
+    cell.trim().trim_end_matches('%').parse().ok()
+}
+
+/// Parses a rate cell like `15%` or `0.15` into a number.
+pub fn parse_num(cell: &str) -> Option<f64> {
+    parse_pct(cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "adult".into(),
+                points: vec![(1.0, 10.0), (2.0, 5.0), (3.0, 2.0)],
+            },
+            Series {
+                label: "amazon".into(),
+                points: vec![(1.0, 4.0), (2.0, 2.0), (3.0, 1.0)],
+            },
+        ]
+    }
+
+    fn cfg(log_y: bool) -> ChartConfig {
+        ChartConfig {
+            title: "demo <chart>".into(),
+            x_label: "epsilon".into(),
+            y_label: "error %".into(),
+            log_y,
+        }
+    }
+
+    #[test]
+    fn svg_structure_is_complete() {
+        let svg = line_chart(&cfg(false), &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("adult"));
+        assert!(svg.contains("amazon"));
+        // Title is escaped.
+        assert!(svg.contains("demo &lt;chart&gt;"));
+    }
+
+    #[test]
+    fn log_scale_marks_axis() {
+        let svg = line_chart(&cfg(true), &demo_series());
+        assert!(svg.contains("(log)"));
+    }
+
+    #[test]
+    fn empty_series_render_without_panic() {
+        let svg = line_chart(&cfg(false), &[]);
+        assert!(svg.contains("</svg>"));
+        let svg = line_chart(
+            &cfg(false),
+            &[Series {
+                label: "flat".into(),
+                points: vec![(1.0, 3.0), (2.0, 3.0)],
+            }],
+        );
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn parse_helpers() {
+        assert_eq!(parse_pct("12.5%"), Some(12.5));
+        assert_eq!(parse_pct(" 3 "), Some(3.0));
+        assert_eq!(parse_pct("abc"), None);
+        assert_eq!(parse_num("15%"), Some(15.0));
+    }
+
+    #[test]
+    fn save_svg_writes_file() {
+        let dir = std::env::temp_dir().join("fedaqp_plot_test");
+        let path = save_svg(&dir, "demo", &line_chart(&cfg(false), &demo_series())).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,10 @@
+//! Library half of the `fedaqp` CLI: manifest handling, dataset
+//! generation, store I/O, and federation reconstruction. The binary in
+//! `main.rs` is a thin dispatcher over these functions so everything is
+//! unit-testable.
+
+pub mod manifest;
+pub mod ops;
+
+pub use manifest::Manifest;
+pub use ops::{generate, inspect, query, GenerateArgs, QueryArgs};

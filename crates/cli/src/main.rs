@@ -1,0 +1,153 @@
+//! `fedaqp` — the command-line interface.
+//!
+//! ```text
+//! fedaqp generate --dataset adult --rows 100000 --providers 4 --out data/
+//! fedaqp inspect  data/provider0.fqst
+//! fedaqp query    --data data/ --rate 0.1 --epsilon 1.0 --baseline \
+//!                 "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60"
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fedaqp_cli::{generate, inspect, query, GenerateArgs, QueryArgs};
+
+const USAGE: &str = "\
+fedaqp — private approximate queries over horizontal data federations
+
+usage:
+  fedaqp generate --dataset adult|amazon [--rows N] [--providers K]
+                  [--capacity S] [--seed X] --out DIR
+  fedaqp inspect  STORE.fqst
+  fedaqp query    --data DIR [--rate R] [--epsilon E] [--delta D]
+                  [--smc] [--baseline] \"SELECT ... FROM T WHERE ...\"
+";
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("flag {flag} needs a value"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, String> {
+    let mut out = GenerateArgs {
+        dataset: String::new(),
+        rows: 100_000,
+        providers: 4,
+        capacity: 0,
+        seed: 42,
+        out: PathBuf::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => out.dataset = take_value(args, &mut i, "--dataset")?,
+            "--rows" => {
+                out.rows = take_value(args, &mut i, "--rows")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--providers" => {
+                out.providers = take_value(args, &mut i, "--providers")?
+                    .parse()
+                    .map_err(|e| format!("--providers: {e}"))?
+            }
+            "--capacity" => {
+                out.capacity = take_value(args, &mut i, "--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?
+            }
+            "--seed" => {
+                out.seed = take_value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => out.out = PathBuf::from(take_value(args, &mut i, "--out")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if out.dataset.is_empty() {
+        return Err("--dataset is required".into());
+    }
+    if out.out.as_os_str().is_empty() {
+        return Err("--out is required".into());
+    }
+    generate(&out)
+}
+
+fn cmd_query(args: &[String]) -> Result<String, String> {
+    let mut q = QueryArgs {
+        data: PathBuf::new(),
+        sql: String::new(),
+        rate: 0.10,
+        epsilon: 1.0,
+        delta: 1e-3,
+        smc: false,
+        baseline: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => q.data = PathBuf::from(take_value(args, &mut i, "--data")?),
+            "--rate" => {
+                q.rate = take_value(args, &mut i, "--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--epsilon" => {
+                q.epsilon = take_value(args, &mut i, "--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
+            }
+            "--delta" => {
+                q.delta = take_value(args, &mut i, "--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?
+            }
+            "--smc" => q.smc = true,
+            "--baseline" => q.baseline = true,
+            sql if !sql.starts_with("--") => q.sql = sql.to_owned(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if q.data.as_os_str().is_empty() {
+        return Err("--data is required".into());
+    }
+    if q.sql.is_empty() {
+        return Err("a SQL query argument is required".into());
+    }
+    query(&q)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("inspect") => match args.get(1) {
+            Some(path) => inspect(std::path::Path::new(path)),
+            None => Err("inspect needs a store path".into()),
+        },
+        Some("query") => cmd_query(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            if !out.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The data-directory manifest: a tiny `key=value` file describing a
+//! generated federation so `fedaqp query` can rebuild it faithfully.
+
+use std::fmt;
+use std::path::Path;
+
+/// Manifest of a generated data directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Dataset family (`adult` or `amazon`).
+    pub dataset: String,
+    /// Number of providers (= provider store files).
+    pub providers: usize,
+    /// Cluster capacity `S` the stores were built with.
+    pub capacity: usize,
+    /// Generator seed (provenance).
+    pub seed: u64,
+    /// Raw rows generated (provenance).
+    pub rows: u64,
+}
+
+impl Manifest {
+    /// File name inside a data directory.
+    pub const FILE: &'static str = "manifest.txt";
+
+    /// Serializes to the `key=value` format.
+    pub fn render(&self) -> String {
+        format!(
+            "dataset={}\nproviders={}\ncapacity={}\nseed={}\nrows={}\n",
+            self.dataset, self.providers, self.capacity, self.seed, self.rows
+        )
+    }
+
+    /// Parses from the `key=value` format.
+    pub fn parse(content: &str) -> Result<Self, String> {
+        let mut dataset = None;
+        let mut providers = None;
+        let mut capacity = None;
+        let mut seed = None;
+        let mut rows = None;
+        for (lineno, line) in content.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("manifest line {} is not key=value", lineno + 1))?;
+            match key.trim() {
+                "dataset" => dataset = Some(value.trim().to_owned()),
+                "providers" => {
+                    providers = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("providers: {e}"))?,
+                    )
+                }
+                "capacity" => {
+                    capacity = Some(value.trim().parse().map_err(|e| format!("capacity: {e}"))?)
+                }
+                "seed" => seed = Some(value.trim().parse().map_err(|e| format!("seed: {e}"))?),
+                "rows" => rows = Some(value.trim().parse().map_err(|e| format!("rows: {e}"))?),
+                other => return Err(format!("unknown manifest key `{other}`")),
+            }
+        }
+        Ok(Self {
+            dataset: dataset.ok_or("manifest missing `dataset`")?,
+            providers: providers.ok_or("manifest missing `providers`")?,
+            capacity: capacity.ok_or("manifest missing `capacity`")?,
+            seed: seed.ok_or("manifest missing `seed`")?,
+            rows: rows.ok_or("manifest missing `rows`")?,
+        })
+    }
+
+    /// Loads from `dir/manifest.txt`.
+    pub fn load(dir: &Path) -> Result<Self, String> {
+        let path = dir.join(Self::FILE);
+        let content =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&content)
+    }
+
+    /// Writes to `dir/manifest.txt`.
+    pub fn save(&self, dir: &Path) -> Result<(), String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        std::fs::write(dir.join(Self::FILE), self.render())
+            .map_err(|e| format!("manifest write: {e}"))
+    }
+
+    /// The store file name for provider `i`.
+    pub fn store_file(i: usize) -> String {
+        format!("provider{i}.fqst")
+    }
+}
+
+impl fmt::Display for Manifest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} dataset, {} providers, S = {}, seed {}, {} raw rows",
+            self.dataset, self.providers, self.capacity, self.seed, self.rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Manifest {
+        Manifest {
+            dataset: "adult".into(),
+            providers: 4,
+            capacity: 500,
+            seed: 42,
+            rows: 100_000,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = demo();
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let text = "# generated\n\ndataset=amazon\nproviders=2\ncapacity=64\nseed=1\nrows=10\n";
+        let m = Manifest::parse(text).unwrap();
+        assert_eq!(m.dataset, "amazon");
+        assert_eq!(m.providers, 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Manifest::parse("no equals sign").is_err());
+        assert!(Manifest::parse("dataset=adult\n").is_err()); // missing keys
+        assert!(Manifest::parse("bogus=1\n").is_err());
+        assert!(Manifest::parse("dataset=a\nproviders=x\ncapacity=1\nseed=1\nrows=1\n").is_err());
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("fedaqp_manifest_test");
+        let m = demo();
+        m.save(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_file_names() {
+        assert_eq!(Manifest::store_file(0), "provider0.fqst");
+        assert_eq!(Manifest::store_file(3), "provider3.fqst");
+    }
+}

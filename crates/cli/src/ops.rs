@@ -1,0 +1,332 @@
+//! The CLI operations: generate / inspect / query.
+
+use std::path::{Path, PathBuf};
+
+use fedaqp_core::{Federation, FederationConfig, ReleaseMode};
+use fedaqp_data::{
+    partition_rows, AdultConfig, AdultSynth, AmazonConfig, AmazonSynth, PartitionMode,
+};
+use fedaqp_model::parse_sql;
+use fedaqp_storage::{decode_store, encode_store, ClusterStore, PartitionStrategy, ProviderMeta};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::manifest::Manifest;
+
+/// Arguments of `fedaqp generate`.
+#[derive(Debug, Clone)]
+pub struct GenerateArgs {
+    /// `adult` or `amazon`.
+    pub dataset: String,
+    /// Raw rows to generate.
+    pub rows: u64,
+    /// Number of providers.
+    pub providers: usize,
+    /// Cluster capacity `S` (0 = 1% of a provider's partition).
+    pub capacity: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Output directory.
+    pub out: PathBuf,
+}
+
+/// `fedaqp generate`: synthesize a dataset, partition it, build each
+/// provider's clustered store, and persist everything plus a manifest.
+pub fn generate(args: &GenerateArgs) -> Result<String, String> {
+    let dataset = match args.dataset.as_str() {
+        "adult" => AdultSynth::generate(AdultConfig {
+            n_rows: args.rows,
+            seed: args.seed,
+        })
+        .map_err(|e| e.to_string())?,
+        "amazon" => AmazonSynth::generate(AmazonConfig {
+            n_rows: args.rows,
+            seed: args.seed,
+        })
+        .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown dataset `{other}` (use adult|amazon)")),
+    };
+    if args.providers == 0 {
+        return Err("need at least one provider".into());
+    }
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xC11);
+    let partitions = partition_rows(
+        &mut rng,
+        dataset.cells,
+        args.providers,
+        &PartitionMode::Equal,
+    )
+    .map_err(|e| e.to_string())?;
+    let capacity = if args.capacity == 0 {
+        (partitions[0].len() / 100).max(32)
+    } else {
+        args.capacity
+    };
+    std::fs::create_dir_all(&args.out).map_err(|e| e.to_string())?;
+    let mut total_bytes = 0usize;
+    for (i, rows) in partitions.into_iter().enumerate() {
+        let store = ClusterStore::build(
+            dataset.schema.clone(),
+            rows,
+            capacity,
+            PartitionStrategy::SortedBy(0),
+        )
+        .map_err(|e| e.to_string())?;
+        let blob = encode_store(&store);
+        total_bytes += blob.len();
+        std::fs::write(args.out.join(Manifest::store_file(i)), &blob).map_err(|e| e.to_string())?;
+    }
+    let manifest = Manifest {
+        dataset: args.dataset.clone(),
+        providers: args.providers,
+        capacity,
+        seed: args.seed,
+        rows: dataset.raw_rows,
+    };
+    manifest.save(&args.out)?;
+    Ok(format!(
+        "wrote {} provider stores ({} bytes total) to {} — {}",
+        manifest.providers,
+        total_bytes,
+        args.out.display(),
+        manifest
+    ))
+}
+
+/// `fedaqp inspect`: print statistics of one persisted store.
+pub fn inspect(path: &Path) -> Result<String, String> {
+    let blob = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let store = decode_store(&blob).map_err(|e| e.to_string())?;
+    let meta = ProviderMeta::build(&store, store.capacity());
+    let meta_bytes = fedaqp_storage::encode_provider_meta(&meta).len();
+    let mut out = String::new();
+    out.push_str(&format!("store       : {}\n", path.display()));
+    out.push_str(&format!(
+        "schema      : {} dimensions ({})\n",
+        store.schema().arity(),
+        store
+            .schema()
+            .dimensions()
+            .iter()
+            .map(|d| d.name().to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "clusters    : {} (S = {})\n",
+        store.n_clusters(),
+        store.capacity()
+    ));
+    out.push_str(&format!(
+        "cells       : {} ({} raw rows)\n",
+        store.total_rows(),
+        store.total_measure()
+    ));
+    out.push_str(&format!(
+        "bytes       : {} data, {} metadata ({:.1}%)\n",
+        blob.len(),
+        meta_bytes,
+        100.0 * meta_bytes as f64 / blob.len().max(1) as f64
+    ));
+    Ok(out)
+}
+
+/// Arguments of `fedaqp query`.
+#[derive(Debug, Clone)]
+pub struct QueryArgs {
+    /// Data directory produced by `fedaqp generate`.
+    pub data: PathBuf,
+    /// The SQL text.
+    pub sql: String,
+    /// Sampling rate.
+    pub rate: f64,
+    /// Per-query ε.
+    pub epsilon: f64,
+    /// Per-query δ.
+    pub delta: f64,
+    /// Use the SMC release mode.
+    pub smc: bool,
+    /// Also run the plain baseline and report the speed-up.
+    pub baseline: bool,
+}
+
+/// `fedaqp query`: rebuild the federation from a data directory and answer
+/// one private SQL query.
+pub fn query(args: &QueryArgs) -> Result<String, String> {
+    let manifest = Manifest::load(&args.data)?;
+    let mut partitions = Vec::with_capacity(manifest.providers);
+    let mut schema = None;
+    for i in 0..manifest.providers {
+        let path = args.data.join(Manifest::store_file(i));
+        let blob = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let store = decode_store(&blob).map_err(|e| e.to_string())?;
+        schema.get_or_insert_with(|| store.schema().clone());
+        let rows: Vec<fedaqp_model::Row> = store.clusters().iter().flat_map(|c| c.rows()).collect();
+        partitions.push(rows);
+    }
+    let schema = schema.ok_or("data directory holds no providers")?;
+    let mut config = FederationConfig::paper_default(manifest.capacity);
+    config.n_providers = manifest.providers;
+    config.epsilon = args.epsilon;
+    config.delta = args.delta;
+    config.seed = manifest.seed;
+    if args.smc {
+        config.release_mode = ReleaseMode::Smc;
+    }
+    let parsed = parse_sql(&schema, &args.sql).map_err(|e| e.to_string())?;
+    let mut federation =
+        Federation::build(config, schema, partitions).map_err(|e| e.to_string())?;
+    let answer = federation
+        .run(&parsed, args.rate)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "query       : {}\n",
+        parsed.display_sql(federation.schema())
+    ));
+    out.push_str(&format!("private     : {:.1}\n", answer.value));
+    out.push_str(&format!(
+        "exact       : {} (relative error {:.2}%)\n",
+        answer.exact,
+        100.0 * answer.relative_error
+    ));
+    out.push_str(&format!(
+        "privacy     : (ε = {}, δ = {:e}) via {}\n",
+        answer.cost.eps,
+        answer.cost.delta,
+        if args.smc { "SMC release" } else { "local DP" }
+    ));
+    out.push_str(&format!(
+        "work        : scanned {} of {} covering clusters\n",
+        answer.clusters_scanned, answer.covering_total
+    ));
+    if args.baseline {
+        let plain = federation.run_plain(&parsed).map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "latency     : private {:?} vs plain {:?} (speed-up {:.2}x)\n",
+            answer.timings.total(),
+            plain.duration,
+            plain.duration.as_secs_f64() / answer.timings.total().as_secs_f64().max(1e-12)
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fedaqp_cli_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn generate_args(out: PathBuf) -> GenerateArgs {
+        GenerateArgs {
+            dataset: "adult".into(),
+            rows: 8_000,
+            providers: 3,
+            capacity: 0,
+            seed: 5,
+            out,
+        }
+    }
+
+    #[test]
+    fn generate_then_inspect_then_query() {
+        let dir = tmp_dir("e2e");
+        let msg = generate(&generate_args(dir.clone())).unwrap();
+        assert!(msg.contains("3 provider stores"));
+        // Manifest and stores exist.
+        let manifest = Manifest::load(&dir).unwrap();
+        assert_eq!(manifest.providers, 3);
+        for i in 0..3 {
+            assert!(dir.join(Manifest::store_file(i)).exists());
+        }
+        // Inspect one store.
+        let report = inspect(&dir.join(Manifest::store_file(0))).unwrap();
+        assert!(report.contains("clusters"));
+        assert!(report.contains("age"));
+        // Query through the rebuilt federation.
+        let out = query(&QueryArgs {
+            data: dir.clone(),
+            sql: "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60".into(),
+            rate: 0.2,
+            epsilon: 50.0,
+            delta: 1e-3,
+            smc: false,
+            baseline: true,
+        })
+        .unwrap();
+        assert!(out.contains("private"));
+        assert!(out.contains("speed-up"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let mut args = generate_args(tmp_dir("bad"));
+        args.dataset = "tpch".into();
+        assert!(generate(&args).unwrap_err().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn query_fails_cleanly_without_data() {
+        let err = query(&QueryArgs {
+            data: tmp_dir("missing"),
+            sql: "SELECT COUNT(*) FROM T WHERE 1 <= age <= 2".into(),
+            rate: 0.1,
+            epsilon: 1.0,
+            delta: 1e-3,
+            smc: false,
+            baseline: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("manifest"));
+    }
+
+    #[test]
+    fn query_reports_sql_errors() {
+        let dir = tmp_dir("sqlerr");
+        generate(&GenerateArgs {
+            rows: 2_000,
+            ..generate_args(dir.clone())
+        })
+        .unwrap();
+        let err = query(&QueryArgs {
+            data: dir.clone(),
+            sql: "SELECT COUNT(*) FROM T WHERE 1 <= bogus <= 2".into(),
+            rate: 0.1,
+            epsilon: 1.0,
+            delta: 1e-3,
+            smc: false,
+            baseline: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("bogus"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smc_mode_round_trips() {
+        let dir = tmp_dir("smc");
+        generate(&GenerateArgs {
+            rows: 4_000,
+            ..generate_args(dir.clone())
+        })
+        .unwrap();
+        let out = query(&QueryArgs {
+            data: dir.clone(),
+            sql: "SELECT SUM(Measure) FROM T WHERE 20 <= age <= 70".into(),
+            rate: 0.2,
+            epsilon: 50.0,
+            delta: 1e-3,
+            smc: true,
+            baseline: false,
+        })
+        .unwrap();
+        assert!(out.contains("SMC release"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

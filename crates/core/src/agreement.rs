@@ -1,0 +1,163 @@
+//! Cluster-size agreement (§7): before the system goes online, providers
+//! must agree on a common `S` for proportion normalization.
+//!
+//! "Each data provider S_i can share their true S_i with the others, and
+//! they will use then the maximum S_i (which will guarantee that all the
+//! R's computed are ≤ 1). The value of S_i itself is not sensitive … but
+//! if this is deemed sensitive in a particular case, then data providers
+//! can simply share a randomly chosen S′_i such that
+//! S_i ≤ S′_i ≤ S^m_i" (e.g. `S^m_i = 2·S_i`).
+
+use rand::Rng;
+
+use crate::{CoreError, Result};
+
+/// How a provider publishes its cluster size for the agreement round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeDisclosure {
+    /// Publish the true `S_i` (the paper's default: "usually a constant in
+    /// a database system", not sensitive).
+    Exact,
+    /// Publish a uniformly random `S′_i ∈ [S_i, factor·S_i]` — the §7
+    /// hedge for deployments that do consider `S_i` sensitive. `factor`
+    /// must be ≥ 1 (the paper suggests 2).
+    Randomized {
+        /// Upper-bound multiplier `S^m_i = factor · S_i`.
+        factor: u32,
+    },
+}
+
+/// One provider's input to the agreement round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeAnnouncement {
+    /// Provider id (diagnostics only).
+    pub provider: usize,
+    /// The published (possibly randomized) size.
+    pub published_s: usize,
+}
+
+/// Publishes a provider's size according to its disclosure policy.
+pub fn announce_size<R: Rng + ?Sized>(
+    rng: &mut R,
+    provider: usize,
+    true_s: usize,
+    policy: SizeDisclosure,
+) -> Result<SizeAnnouncement> {
+    if true_s == 0 {
+        return Err(CoreError::BadConfig("cluster size must be positive"));
+    }
+    let published_s = match policy {
+        SizeDisclosure::Exact => true_s,
+        SizeDisclosure::Randomized { factor } => {
+            if factor < 1 {
+                return Err(CoreError::BadConfig("randomization factor must be >= 1"));
+            }
+            let hi = true_s.saturating_mul(factor as usize).max(true_s);
+            rng.gen_range(true_s..=hi)
+        }
+    };
+    Ok(SizeAnnouncement {
+        provider,
+        published_s,
+    })
+}
+
+/// The agreement rule: everyone adopts the **maximum** published size, which
+/// guarantees every computed proportion `R ≤ 1` (§7).
+pub fn agree_on_s(announcements: &[SizeAnnouncement]) -> Result<usize> {
+    announcements
+        .iter()
+        .map(|a| a.published_s)
+        .max()
+        .ok_or(CoreError::NoProviders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_policy_publishes_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = announce_size(&mut rng, 0, 500, SizeDisclosure::Exact).unwrap();
+        assert_eq!(a.published_s, 500);
+    }
+
+    #[test]
+    fn randomized_policy_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let a =
+                announce_size(&mut rng, 1, 300, SizeDisclosure::Randomized { factor: 2 }).unwrap();
+            assert!(
+                a.published_s >= 300 && a.published_s <= 600,
+                "{}",
+                a.published_s
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_never_understates() {
+        // The invariant that keeps R ≤ 1: published ≥ true.
+        let mut rng = StdRng::seed_from_u64(3);
+        for true_s in [1usize, 7, 1000] {
+            for _ in 0..50 {
+                let a = announce_size(
+                    &mut rng,
+                    0,
+                    true_s,
+                    SizeDisclosure::Randomized { factor: 3 },
+                )
+                .unwrap();
+                assert!(a.published_s >= true_s);
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_takes_maximum() {
+        let anns = vec![
+            SizeAnnouncement {
+                provider: 0,
+                published_s: 128,
+            },
+            SizeAnnouncement {
+                provider: 1,
+                published_s: 512,
+            },
+            SizeAnnouncement {
+                provider: 2,
+                published_s: 256,
+            },
+        ];
+        assert_eq!(agree_on_s(&anns).unwrap(), 512);
+        assert!(matches!(agree_on_s(&[]), Err(CoreError::NoProviders)));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(announce_size(&mut rng, 0, 0, SizeDisclosure::Exact).is_err());
+        assert!(announce_size(&mut rng, 0, 10, SizeDisclosure::Randomized { factor: 0 }).is_err());
+    }
+
+    #[test]
+    fn end_to_end_agreement_round() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sizes = [100usize, 250, 80, 300];
+        let anns: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                announce_size(&mut rng, i, s, SizeDisclosure::Randomized { factor: 2 }).unwrap()
+            })
+            .collect();
+        let agreed = agree_on_s(&anns).unwrap();
+        // Agreed S must cover every provider's true size.
+        assert!(agreed >= *sizes.iter().max().unwrap());
+        assert!(agreed <= 2 * sizes.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for the federation core.
+
+use std::fmt;
+
+use fedaqp_dp::DpError;
+use fedaqp_model::ModelError;
+use fedaqp_sampling::SamplingError;
+use fedaqp_smc::SmcError;
+use fedaqp_storage::StorageError;
+
+/// Errors raised by the federated protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Propagated data-model error.
+    Model(ModelError),
+    /// Propagated storage error.
+    Storage(StorageError),
+    /// Propagated DP error.
+    Dp(DpError),
+    /// Propagated sampling error.
+    Sampling(SamplingError),
+    /// Propagated SMC error.
+    Smc(SmcError),
+    /// The federation needs at least one provider.
+    NoProviders,
+    /// Partition count did not match the configured provider count.
+    PartitionMismatch {
+        /// Partitions supplied.
+        partitions: usize,
+        /// Providers configured.
+        providers: usize,
+    },
+    /// The sampling rate must lie in `(0, 1)` (§5, Eq. 4).
+    InvalidSamplingRate(f64),
+    /// Configuration field out of range.
+    BadConfig(&'static str),
+    /// Summary count mismatch between protocol phases.
+    ProtocolViolation(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Dp(e) => write!(f, "dp error: {e}"),
+            CoreError::Sampling(e) => write!(f, "sampling error: {e}"),
+            CoreError::Smc(e) => write!(f, "smc error: {e}"),
+            CoreError::NoProviders => write!(f, "federation needs at least one provider"),
+            CoreError::PartitionMismatch {
+                partitions,
+                providers,
+            } => write!(
+                f,
+                "{partitions} partitions supplied for {providers} providers"
+            ),
+            CoreError::InvalidSamplingRate(sr) => {
+                write!(f, "sampling rate {sr} outside (0, 1)")
+            }
+            CoreError::BadConfig(what) => write!(f, "bad configuration: {what}"),
+            CoreError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            CoreError::Dp(e) => Some(e),
+            CoreError::Sampling(e) => Some(e),
+            CoreError::Smc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<DpError> for CoreError {
+    fn from(e: DpError) -> Self {
+        CoreError::Dp(e)
+    }
+}
+
+impl From<SamplingError> for CoreError {
+    fn from(e: SamplingError) -> Self {
+        CoreError::Sampling(e)
+    }
+}
+
+impl From<SmcError> for CoreError {
+    fn from(e: SmcError) -> Self {
+        CoreError::Smc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error as _;
+        let e: CoreError = ModelError::NoRanges.into();
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        assert!(CoreError::InvalidSamplingRate(1.5)
+            .to_string()
+            .contains("1.5"));
+        assert!(CoreError::NoProviders.source().is_none());
+    }
+}

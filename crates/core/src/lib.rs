@@ -1,0 +1,62 @@
+//! The `fedaqp` federated private-AQP protocol — the paper's primary
+//! contribution (§5).
+//!
+//! A [`federation::Federation`] wires `n` [`provider::DataProvider`]s and an
+//! [`aggregator`] into the query lifecycle of Fig. 3:
+//!
+//! 1. The aggregator broadcasts the query; each provider identifies its
+//!    covering clusters `C^Q` and their approximate proportions `R̂` from
+//!    offline metadata (no data touched).
+//! 2. Each provider releases a DP summary `(Ñ^Q, Avg(R̂)~)` under budget
+//!    `ε_O` (Eq. 5, Thm. 5.1).
+//! 3. The aggregator solves the allocation program (Eq. 6) and returns a
+//!    per-provider sample size `s_i`.
+//! 4. Providers with `N^Q < N_min` answer exactly ("regularly"); the
+//!    threshold test runs *after* allocation so non-participation leaks
+//!    nothing (§5.3.1).
+//! 5. Otherwise each provider samples `s_i` clusters with the Exponential
+//!    mechanism under `ε_S` (Alg. 2, Thm. 5.2).
+//! 6. Each provider estimates the query with the Hansen–Hurwitz estimator,
+//!    computes the smooth sensitivity of the estimate (Thms. 5.3–5.4,
+//!    App. B), and releases under `ε_E` (Alg. 3).
+//! 7. In [`config::ReleaseMode::Smc`] the providers instead secret-share
+//!    `(estimate, S_LS)`; the aggregator sums obliviously, takes the max
+//!    sensitivity, and adds a *single* Laplace noise (§6.5).
+//!
+//! Per-query privacy: `(ε_O + ε_S + ε_E, δ)` by sequential composition
+//! within a provider and parallel composition across providers (§5.4).
+
+pub mod aggregator;
+pub mod agreement;
+pub mod allocation;
+pub mod config;
+pub mod derived;
+pub mod error;
+pub mod extremes;
+pub mod federation;
+pub mod groupby;
+pub mod online;
+pub mod protocol;
+pub mod provider;
+pub mod sensitivity;
+pub mod session;
+
+pub use aggregator::Aggregator;
+pub use agreement::{agree_on_s, announce_size, SizeDisclosure};
+pub use allocation::{allocate_greedy, AllocationInput};
+pub use config::{
+    AllocationPolicy, FederationConfig, ProportionSource, ReleaseMode, SamplingPolicy,
+    SensitivityRegime,
+};
+pub use derived::{run_derived, DerivedAnswer, DerivedStatistic};
+pub use error::CoreError;
+pub use extremes::{private_extreme, Extreme, ExtremeAnswer};
+pub use federation::{Federation, PlainAnswer, QueryAnswer};
+pub use groupby::{run_group_by, Group, GroupByAnswer};
+pub use online::{combine_snapshots, run_online, OnlineAnswer, OnlineSnapshot};
+pub use protocol::{LocalOutcome, PhaseTimings, ProviderSummary};
+pub use provider::DataProvider;
+pub use session::{AnalystSession, SessionPlan};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,84 @@
+//! Protocol message and accounting types.
+
+use std::time::Duration;
+
+/// The DP summary a provider releases for the allocation phase (Eq. 5):
+/// `(Ñ^Q, Avg(R̂)~)` perturbed under `ε_O`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProviderSummary {
+    /// Provider id.
+    pub provider: usize,
+    /// `Ñ^Q` — Laplace-perturbed covering-cluster count.
+    pub noisy_n_q: f64,
+    /// `Avg(R̂)~` — Laplace-perturbed average proportion.
+    pub noisy_avg_r: f64,
+}
+
+/// A provider's local result for one query (protocol steps 4–6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalOutcome {
+    /// Provider id.
+    pub provider: usize,
+    /// The DP-perturbed value, present in [`crate::ReleaseMode::LocalDp`]
+    /// mode (each provider noises its own estimate).
+    pub released: Option<f64>,
+    /// The raw (pre-noise) estimate. In SMC mode this value exists only as
+    /// secret shares outside the simulation boundary; it is carried here
+    /// for the oblivious sum and for test oracles.
+    pub estimate: f64,
+    /// The smooth sensitivity accompanying the estimate (Alg. 3 line 6).
+    pub smooth_ls: f64,
+    /// Whether the provider approximated (`N^Q ≥ N_min`) or answered
+    /// exactly.
+    pub approximated: bool,
+    /// Clusters actually scanned to produce the answer (cost proxy).
+    pub clusters_scanned: usize,
+    /// Size of the provider's covering set `N^Q`.
+    pub n_covering: usize,
+}
+
+/// Wall-clock/simulated time spent in each protocol phase of one query.
+///
+/// Compute phases are measured in real time; the network components are
+/// simulated via the configured [`fedaqp_smc::CostModel`]. The paper's
+/// speed-up metric divides the plain-execution total by this total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Step 1–2: metadata lookup and summary release (max across parallel
+    /// providers).
+    pub summary: Duration,
+    /// Step 3: allocation optimization at the aggregator.
+    pub allocation: Duration,
+    /// Steps 4–6: sampling, scanning, estimation, sensitivity (max across
+    /// parallel providers).
+    pub execution: Duration,
+    /// Step 6/7: release path (local noise or SMC aggregation).
+    pub release: Duration,
+    /// Simulated network time across all protocol rounds.
+    pub network: Duration,
+}
+
+impl PhaseTimings {
+    /// Total query latency.
+    pub fn total(&self) -> Duration {
+        self.summary + self.allocation + self.execution + self.release + self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let t = PhaseTimings {
+            summary: Duration::from_millis(1),
+            allocation: Duration::from_millis(2),
+            execution: Duration::from_millis(3),
+            release: Duration::from_millis(4),
+            network: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(15));
+        assert_eq!(PhaseTimings::default().total(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,505 @@
+//! A data provider: local cluster store + metadata + the per-query local
+//! protocol (steps 1–6 of Fig. 3).
+
+use fedaqp_dp::{laplace_noise, QueryBudget, SmoothSensitivity};
+use fedaqp_model::{Aggregate, RangeQuery, Row, Schema};
+use fedaqp_sampling::em::{delta_p, em_sample};
+use fedaqp_sampling::hansen_hurwitz::{hh_estimate, HansenHurwitz};
+use fedaqp_storage::codec::meta_space_report;
+use fedaqp_storage::{ClusterId, ClusterStore, MetaSpaceReport, ProviderMeta};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{FederationConfig, ProportionSource, SamplingPolicy, SensitivityRegime};
+use crate::protocol::{LocalOutcome, ProviderSummary};
+use crate::sensitivity::{
+    delta_avg_r, delta_r_for, smooth_estimator_sensitivity, ClusterSensitivityInput,
+    SensitivityContext,
+};
+use crate::{CoreError, Result};
+
+/// The covering set and proportions a provider computes once per query
+/// (protocol step 1) and reuses across phases.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// `C^Q` — ids of covering clusters (Eq. 2).
+    pub covering: Vec<ClusterId>,
+    /// `R̂` — approximated proportions, aligned with `covering`.
+    pub proportions: Vec<f64>,
+    /// `Σ R̂` (used by the summary and by Thm. 5.4).
+    pub sum_r: f64,
+}
+
+impl PreparedQuery {
+    /// `N^Q` — the covering-set size.
+    #[inline]
+    pub fn n_q(&self) -> usize {
+        self.covering.len()
+    }
+
+    /// `Avg(R̂)` — the exact (pre-noise) summary average.
+    pub fn avg_r(&self) -> f64 {
+        if self.covering.is_empty() {
+            0.0
+        } else {
+            self.sum_r / self.covering.len() as f64
+        }
+    }
+}
+
+/// One data provider of the federation.
+#[derive(Debug)]
+pub struct DataProvider {
+    id: usize,
+    store: ClusterStore,
+    meta: ProviderMeta,
+    n_min: usize,
+    regime: SensitivityRegime,
+    sum_measure_cap: u64,
+    sampling_policy: SamplingPolicy,
+    proportion_source: ProportionSource,
+    rng: StdRng,
+}
+
+impl DataProvider {
+    /// Builds a provider: partitions `rows` into clusters (offline phase)
+    /// and constructs the Algorithm 1 metadata.
+    pub fn build(
+        id: usize,
+        schema: Schema,
+        rows: Vec<Row>,
+        config: &FederationConfig,
+    ) -> Result<Self> {
+        let store = ClusterStore::build(
+            schema,
+            rows,
+            config.cluster_capacity,
+            config.partition_strategy,
+        )?;
+        let meta = {
+            let full = ProviderMeta::build(&store, config.agreed_s);
+            match config.metadata_buckets {
+                Some(buckets) => full.coarsened(buckets),
+                None => full,
+            }
+        };
+        Ok(Self {
+            id,
+            store,
+            meta,
+            n_min: config.n_min.max(1),
+            regime: config.sensitivity_regime,
+            sum_measure_cap: config.sum_measure_cap.max(1),
+            sampling_policy: config.sampling_policy,
+            proportion_source: config.proportion_source,
+            rng: StdRng::seed_from_u64(
+                config.seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        })
+    }
+
+    /// Provider id.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The local cluster store.
+    #[inline]
+    pub fn store(&self) -> &ClusterStore {
+        &self.store
+    }
+
+    /// The local metadata.
+    #[inline]
+    pub fn meta(&self) -> &ProviderMeta {
+        &self.meta
+    }
+
+    /// The provider's approximation threshold `N_min`.
+    #[inline]
+    pub fn n_min(&self) -> usize {
+        self.n_min
+    }
+
+    /// Encoded metadata footprint (for the §6.1 space report).
+    pub fn meta_space(&self) -> MetaSpaceReport {
+        meta_space_report(&self.meta)
+    }
+
+    /// Protocol step 1: identify `C^Q` and compute `R̂`.
+    ///
+    /// With [`ProportionSource::Metadata`] (the paper) proportions come from
+    /// the Algorithm 1 tail structures without touching data; the
+    /// [`ProportionSource::ExactScan`] ablation instead scans every covering
+    /// cluster — as expensive as answering the query, which is exactly the
+    /// overhead §5.2 argues the metadata avoids.
+    pub fn prepare(&self, query: &RangeQuery) -> PreparedQuery {
+        let covering = self.meta.covering(query);
+        let proportions = match self.proportion_source {
+            ProportionSource::Metadata => self.meta.proportions(query, &covering),
+            ProportionSource::ExactScan => covering
+                .iter()
+                .map(|&id| {
+                    let cluster = self.store.cluster(id).expect("covering id valid");
+                    cluster.matching_rows(query.ranges()) as f64 / self.meta.agreed_s() as f64
+                })
+                .collect(),
+        };
+        let sum_r = proportions.iter().sum();
+        PreparedQuery {
+            covering,
+            proportions,
+            sum_r,
+        }
+    }
+
+    /// Protocol step 2: release the DP summary `(Ñ^Q, Avg(R̂)~)` under
+    /// `ε_O` (Eq. 5); each component gets `ε_O/2`.
+    pub fn summary(
+        &mut self,
+        query: &RangeQuery,
+        prep: &PreparedQuery,
+        eps_o: f64,
+    ) -> Result<ProviderSummary> {
+        if !(eps_o.is_finite() && eps_o > 0.0) {
+            return Err(CoreError::BadConfig("summary budget must be positive"));
+        }
+        let dr = delta_r_for(
+            self.regime,
+            self.meta.agreed_s(),
+            self.store.schema().arity(),
+            query.dimensionality(),
+        );
+        let d_avg = delta_avg_r(dr, self.n_min);
+        let half = eps_o / 2.0;
+        let noisy_avg_r = prep.avg_r() + laplace_noise(&mut self.rng, d_avg / half);
+        let noisy_n_q = prep.n_q() as f64 + laplace_noise(&mut self.rng, 1.0 / half);
+        Ok(ProviderSummary {
+            provider: self.id,
+            noisy_n_q,
+            noisy_avg_r,
+        })
+    }
+
+    /// Protocol steps 4–6: answer the query locally.
+    ///
+    /// * `N^Q < N_min` → exact path: scan the covering clusters and release
+    ///   with plain Laplace noise (sensitivity 1 for COUNT, the configured
+    ///   measure cap for SUM) under the unspent `ε_S + ε_E`.
+    /// * Otherwise → approximate path: EM-sample `allocation` clusters
+    ///   (Alg. 2, `ε_S`), Hansen–Hurwitz estimate (Eq. 3), smooth
+    ///   sensitivity (Alg. 3), and—in local-DP mode—release with
+    ///   `Lap(2·S_LS/ε_E)`.
+    ///
+    /// `release_local` selects whether the provider perturbs its own value
+    /// (local-DP mode) or leaves `released = None` for the SMC path.
+    pub fn execute(
+        &mut self,
+        query: &RangeQuery,
+        prep: &PreparedQuery,
+        allocation: u64,
+        budget: &QueryBudget,
+        release_local: bool,
+    ) -> Result<LocalOutcome> {
+        let n_q = prep.n_q();
+        if n_q < self.n_min {
+            return self.execute_exact(query, prep, budget, release_local);
+        }
+        let s = (allocation.max(1) as usize).min(n_q);
+        // Uniform ablation: every covering cluster scores equally, turning
+        // the EM draw into DP-uniform cluster sampling.
+        let uniform_weights;
+        let weights: &[f64] = match self.sampling_policy {
+            SamplingPolicy::Pps => &prep.proportions,
+            SamplingPolicy::Uniform => {
+                uniform_weights = vec![1.0; n_q];
+                &uniform_weights
+            }
+        };
+        let dp_score = delta_p(self.n_min);
+        let sample = em_sample(&mut self.rng, weights, s, budget.eps_s, dp_score)?;
+        // Scan each *distinct* drawn cluster once; repeats reuse the value.
+        let mut value_cache: Vec<Option<u64>> = vec![None; n_q];
+        let mut scanned = 0usize;
+        let dr = delta_r_for(
+            self.regime,
+            self.meta.agreed_s(),
+            self.store.schema().arity(),
+            query.dimensionality(),
+        );
+        // Floor the PPS divisor at the sampler's *actual* minimum draw
+        // probability: no cluster entered the sample with lower probability,
+        // so dividing by less would inflate both the estimate and the
+        // scenario-4 sensitivity without statistical meaning (the paper
+        // divides by raw `p_i`, which is 0 for clusters whose metadata
+        // proportion vanishes — see DESIGN.md).
+        let p_floor = sample.min_draw_probability();
+        let ctx = SensitivityContext::new(prep.sum_r, dr, self.meta.agreed_s(), p_floor);
+        let mut draws = Vec::with_capacity(s);
+        let mut sens_inputs = Vec::with_capacity(s);
+        for &pos in &sample.chosen {
+            let q_c = match value_cache[pos] {
+                Some(v) => v,
+                None => {
+                    let v = self.store.cluster(prep.covering[pos])?.evaluate(query);
+                    value_cache[pos] = Some(v);
+                    scanned += 1;
+                    v
+                }
+            };
+            let p = ctx.p_eff(sample.pps[pos]);
+            draws.push(HansenHurwitz {
+                value: q_c as f64,
+                probability: p,
+            });
+            sens_inputs.push(ClusterSensitivityInput {
+                q_c: q_c as f64,
+                r: prep.proportions[pos],
+                p: sample.pps[pos],
+            });
+        }
+        let estimate = hh_estimate(&draws)?;
+        let smooth = SmoothSensitivity::new(budget.eps_e, budget.delta)?;
+        let smooth_ls = smooth_estimator_sensitivity(&smooth, &sens_inputs, &ctx);
+        let released = if release_local {
+            Some(smooth.release(&mut self.rng, estimate, smooth_ls))
+        } else {
+            None
+        };
+        Ok(LocalOutcome {
+            provider: self.id,
+            released,
+            estimate,
+            smooth_ls,
+            approximated: true,
+            clusters_scanned: scanned,
+            n_covering: n_q,
+        })
+    }
+
+    /// The exact ("regular") path of protocol step 4.
+    fn execute_exact(
+        &mut self,
+        query: &RangeQuery,
+        prep: &PreparedQuery,
+        budget: &QueryBudget,
+        release_local: bool,
+    ) -> Result<LocalOutcome> {
+        let value = self.store.evaluate_clusters(query, &prep.covering)? as f64;
+        let sensitivity = match query.aggregate() {
+            Aggregate::Count => 1.0,
+            Aggregate::Sum => self.sum_measure_cap as f64,
+        };
+        // The EM budget is unspent on this path; fold it into the release
+        // so the per-query total stays ε_O + ε_S + ε_E.
+        let eps_release = budget.eps_s + budget.eps_e;
+        let released = if release_local {
+            Some(value + laplace_noise(&mut self.rng, sensitivity / eps_release))
+        } else {
+            None
+        };
+        Ok(LocalOutcome {
+            provider: self.id,
+            released,
+            estimate: value,
+            smooth_ls: sensitivity,
+            approximated: false,
+            clusters_scanned: prep.covering.len(),
+            n_covering: prep.covering.len(),
+        })
+    }
+
+    /// Exact full-partition answer (test oracle / plain baseline).
+    pub fn exact_answer(&self, query: &RangeQuery) -> u64 {
+        self.store.evaluate_full(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedaqp_dp::HyperParams;
+    use fedaqp_model::{Dimension, Domain, Range};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::new("x", Domain::new(0, 999).unwrap()),
+            Dimension::new("y", Domain::new(0, 99).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::cell(
+                    vec![(i % 1000) as i64, ((i * 13) % 100) as i64],
+                    1 + (i % 4) as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn provider(n_rows: usize, capacity: usize, n_min: usize, seed: u64) -> DataProvider {
+        let mut cfg = FederationConfig::paper_default(capacity);
+        cfg.n_min = n_min;
+        cfg.seed = seed;
+        cfg.sum_measure_cap = 4;
+        cfg.partition_strategy = fedaqp_storage::PartitionStrategy::SortedBy(0);
+        cfg.sensitivity_regime = SensitivityRegime::QueryDims;
+        DataProvider::build(0, schema(), rows(n_rows), &cfg).unwrap()
+    }
+
+    fn query(lo: i64, hi: i64, agg: Aggregate) -> RangeQuery {
+        RangeQuery::new(agg, vec![Range::new(0, lo, hi).unwrap()]).unwrap()
+    }
+
+    fn budget() -> QueryBudget {
+        QueryBudget::split(1.0, 1e-3, HyperParams::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn prepare_matches_metadata() {
+        let p = provider(2000, 100, 5, 1);
+        let q = query(100, 400, Aggregate::Count);
+        let prep = p.prepare(&q);
+        assert_eq!(prep.covering, p.meta().covering(&q));
+        assert_eq!(prep.n_q(), prep.covering.len());
+        assert!((prep.sum_r - prep.proportions.iter().sum::<f64>()).abs() < 1e-12);
+        assert!(prep.avg_r() >= 0.0);
+    }
+
+    #[test]
+    fn summary_concentrates_with_big_budget() {
+        let mut p = provider(2000, 100, 5, 2);
+        let q = query(100, 400, Aggregate::Count);
+        let prep = p.prepare(&q);
+        let mut n_sum = 0.0;
+        let mut a_sum = 0.0;
+        let trials = 400;
+        for _ in 0..trials {
+            let s = p.summary(&q, &prep, 50.0).unwrap();
+            n_sum += s.noisy_n_q;
+            a_sum += s.noisy_avg_r;
+        }
+        assert!((n_sum / trials as f64 - prep.n_q() as f64).abs() < 0.5);
+        assert!((a_sum / trials as f64 - prep.avg_r()).abs() < 0.05);
+    }
+
+    #[test]
+    fn summary_rejects_zero_budget() {
+        let mut p = provider(100, 50, 5, 3);
+        let q = query(0, 999, Aggregate::Count);
+        let prep = p.prepare(&q);
+        assert!(p.summary(&q, &prep, 0.0).is_err());
+    }
+
+    #[test]
+    fn small_queries_take_exact_path() {
+        // N_min larger than any covering set ⇒ exact path always.
+        let mut p = provider(500, 100, 100, 4);
+        let q = query(0, 999, Aggregate::Sum);
+        let prep = p.prepare(&q);
+        let exact = p.exact_answer(&q) as f64;
+        let out = p.execute(&q, &prep, 3, &budget(), true).unwrap();
+        assert!(!out.approximated);
+        assert_eq!(out.estimate, exact);
+        assert_eq!(out.clusters_scanned, prep.n_q());
+        // Released value carries Laplace noise but centres on the truth.
+        let mut acc = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            acc += p
+                .execute(&q, &prep, 3, &budget(), true)
+                .unwrap()
+                .released
+                .unwrap();
+        }
+        assert!((acc / trials as f64 - exact).abs() < 0.15 * exact.max(10.0));
+    }
+
+    #[test]
+    fn approximate_path_samples_and_estimates() {
+        let mut p = provider(5000, 100, 5, 5);
+        let q = query(100, 800, Aggregate::Sum);
+        let prep = p.prepare(&q);
+        assert!(prep.n_q() >= 5, "test needs a large covering set");
+        let out = p.execute(&q, &prep, 10, &budget(), true).unwrap();
+        assert!(out.approximated);
+        assert!(out.clusters_scanned <= 10);
+        assert!(out.clusters_scanned >= 1);
+        assert!(out.smooth_ls > 0.0);
+        assert!(out.released.is_some());
+        assert!(out.estimate.is_finite());
+        assert_eq!(out.n_covering, prep.n_q());
+    }
+
+    #[test]
+    fn estimator_is_unbiased_over_seeds() {
+        // Average the raw estimate over many runs: it should approach the
+        // exact covering-set answer (HH unbiasedness through the whole
+        // provider pipeline, EM bias notwithstanding at loose ε).
+        let q = query(100, 800, Aggregate::Sum);
+        let mut acc = 0.0;
+        let trials = 300;
+        let exact = {
+            let p = provider(5000, 100, 5, 0);
+            let prep = p.prepare(&q);
+            prep.covering
+                .iter()
+                .map(|&id| p.store().cluster(id).unwrap().evaluate(&q))
+                .sum::<u64>() as f64
+        };
+        for seed in 0..trials {
+            let mut p = provider(5000, 100, 5, seed);
+            let prep = p.prepare(&q);
+            // Large allocation + loose sampling budget: EM ≈ PPS.
+            let loose = QueryBudget::split(50.0, 1e-3, HyperParams::paper_default()).unwrap();
+            let out = p.execute(&q, &prep, 20, &loose, false).unwrap();
+            acc += out.estimate;
+        }
+        let mean = acc / trials as f64;
+        assert!(
+            (mean - exact).abs() < 0.25 * exact,
+            "mean estimate {mean} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn smc_mode_returns_no_released_value() {
+        let mut p = provider(3000, 100, 5, 6);
+        let q = query(0, 999, Aggregate::Count);
+        let prep = p.prepare(&q);
+        let out = p.execute(&q, &prep, 5, &budget(), false).unwrap();
+        assert!(out.released.is_none());
+        assert!(out.estimate.is_finite());
+    }
+
+    #[test]
+    fn empty_covering_set_is_handled() {
+        let mut p = provider(500, 100, 5, 7);
+        // Query outside any stored value range on dim 1.
+        let q = RangeQuery::new(
+            Aggregate::Count,
+            vec![
+                Range::new(0, 0, 999).unwrap(),
+                Range::new(1, 10_000, 20_000).unwrap(),
+            ],
+        )
+        .unwrap();
+        let prep = p.prepare(&q);
+        // Pruning may or may not drop everything depending on layout; if it
+        // did, the execute path must still answer.
+        let out = p.execute(&q, &prep, 2, &budget(), true).unwrap();
+        assert!(out.estimate.is_finite());
+    }
+
+    #[test]
+    fn meta_space_reports_bytes() {
+        let p = provider(1000, 100, 5, 8);
+        let r = p.meta_space();
+        assert!(r.total_bytes > 0);
+        assert_eq!(r.n_clusters, p.store().n_clusters());
+    }
+}

@@ -1,0 +1,231 @@
+//! Adult-like synthetic dataset.
+//!
+//! Schema-faithful stand-in for the UCI Adult census table used in §6.1
+//! (48k rows, 15 dimensions, synthetically scaled to 4×10⁶ rows). The
+//! count tensor aggregates six non-queryable dimensions away; the nine
+//! remaining range-queryable dimensions and their marginal shapes follow
+//! the real dataset:
+//!
+//! | # | dimension        | domain  | marginal shape                  |
+//! |---|------------------|---------|---------------------------------|
+//! | 0 | age              | 17–90   | unimodal, peak ≈ 36             |
+//! | 1 | workclass        | 0–7     | multinomial, "Private" dominant |
+//! | 2 | education_num    | 1–16    | peaked at 9–10 and 13           |
+//! | 3 | marital_status   | 0–6     | multinomial                     |
+//! | 4 | occupation       | 0–13    | mildly skewed multinomial       |
+//! | 5 | relationship     | 0–5     | multinomial                     |
+//! | 6 | capital_gain_k   | 0–49    | ≈ 92% zero, heavy tail          |
+//! | 7 | hours_per_week   | 1–99    | sharp mode at 40                |
+//! | 8 | capital_loss_c   | 0–24    | ≈ 95% zero, heavy tail          |
+//!
+//! The six aggregated dimensions (fnlwgt, education label, race, sex,
+//! native country, income) never enter the tensor key, so the generator
+//! produces nine-dimensional raw rows directly and lets
+//! [`CountTensor::aggregate`] collapse duplicates into `Measure` — exactly
+//! what generating 15 dimensions and aggregating 6 away would yield.
+
+use fedaqp_model::{CountTensor, Dimension, Domain, Row, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::{WeightedDiscrete, Zipf};
+use crate::{DataError, Dataset, Result};
+
+/// Configuration of the Adult-like generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdultConfig {
+    /// Raw rows to generate (the paper scales Adult to 4×10⁶; the default
+    /// is laptop-scale).
+    pub n_rows: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for AdultConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 400_000,
+            seed: 0xADu64,
+        }
+    }
+}
+
+/// The Adult-like generator.
+pub struct AdultSynth;
+
+impl AdultSynth {
+    /// The public schema of the Adult count tensor (nine queryable
+    /// dimensions).
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::new("age", Domain::new(17, 90).expect("static domain")),
+            Dimension::new("workclass", Domain::new(0, 7).expect("static domain")),
+            Dimension::new("education_num", Domain::new(1, 16).expect("static domain")),
+            Dimension::new("marital_status", Domain::new(0, 6).expect("static domain")),
+            Dimension::new("occupation", Domain::new(0, 13).expect("static domain")),
+            Dimension::new("relationship", Domain::new(0, 5).expect("static domain")),
+            Dimension::new("capital_gain_k", Domain::new(0, 49).expect("static domain")),
+            Dimension::new("hours_per_week", Domain::new(1, 99).expect("static domain")),
+            Dimension::new("capital_loss_c", Domain::new(0, 24).expect("static domain")),
+        ])
+        .expect("static schema is valid")
+    }
+
+    /// Generates the dataset.
+    pub fn generate(cfg: AdultConfig) -> Result<Dataset> {
+        if cfg.n_rows == 0 {
+            return Err(DataError::BadConfig("Adult generator needs n_rows > 0"));
+        }
+        let schema = Self::schema();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Age: discretized Gaussian bump centred at 36 with a widened right
+        // shoulder, matching the census age pyramid.
+        let age_weights: Vec<f64> = (17..=90)
+            .map(|a| {
+                let x = a as f64;
+                let sigma = if x < 36.0 { 11.0 } else { 16.0 };
+                (-((x - 36.0) * (x - 36.0)) / (2.0 * sigma * sigma)).exp()
+            })
+            .collect();
+        let age = WeightedDiscrete::new(&age_weights)?;
+
+        let workclass = WeightedDiscrete::new(&[69.7, 7.9, 6.4, 3.5, 3.2, 2.5, 1.4, 5.4])?;
+        let education = WeightedDiscrete::new(&[
+            0.5, 0.7, 1.0, 2.0, 1.5, 2.7, 3.6, 1.3, 32.3, 22.3, 4.3, 3.3, 16.4, 5.3, 1.8, 1.0,
+        ])?;
+        let marital = WeightedDiscrete::new(&[45.8, 32.8, 13.6, 3.1, 3.0, 1.3, 0.4])?;
+        let occupation = WeightedDiscrete::new(&[
+            12.6, 12.5, 12.2, 11.3, 10.1, 6.8, 6.1, 5.0, 4.7, 3.1, 3.0, 2.9, 0.5, 9.2,
+        ])?;
+        let relationship = WeightedDiscrete::new(&[40.5, 25.5, 15.6, 10.6, 4.8, 3.0])?;
+        // Capital gain/loss: overwhelmingly zero, Zipf tail over buckets.
+        let gain_tail = Zipf::new(49, 1.1)?;
+        let loss_tail = Zipf::new(24, 1.2)?;
+        // Hours: sharp spike at 40 plus two shoulders.
+        let hours_weights: Vec<f64> = (1..=99)
+            .map(|h| {
+                let x = h as f64;
+                let spike = (-((x - 40.0) * (x - 40.0)) / 6.0).exp() * 30.0;
+                let body = (-((x - 41.0) * (x - 41.0)) / (2.0 * 12.0 * 12.0)).exp();
+                spike + body + 0.01
+            })
+            .collect();
+        let hours = WeightedDiscrete::new(&hours_weights)?;
+
+        let mut raw = Vec::with_capacity(cfg.n_rows as usize);
+        for _ in 0..cfg.n_rows {
+            let gain = if rng.gen::<f64>() < 0.917 {
+                0
+            } else {
+                1 + gain_tail.sample(&mut rng) as i64
+            };
+            let loss = if rng.gen::<f64>() < 0.953 {
+                0
+            } else {
+                1 + loss_tail.sample(&mut rng) as i64
+            };
+            raw.push(Row::raw(vec![
+                17 + age.sample(&mut rng) as i64,
+                workclass.sample(&mut rng) as i64,
+                1 + education.sample(&mut rng) as i64,
+                marital.sample(&mut rng) as i64,
+                occupation.sample(&mut rng) as i64,
+                relationship.sample(&mut rng) as i64,
+                gain.min(49),
+                1 + hours.sample(&mut rng) as i64,
+                loss.min(24),
+            ]));
+        }
+        let keep: Vec<usize> = (0..schema.arity()).collect();
+        let tensor = CountTensor::aggregate(&schema, &raw, &keep)?;
+        let raw_rows = tensor.raw_rows();
+        Ok(Dataset {
+            schema: tensor.schema().clone(),
+            cells: tensor.into_cells(),
+            raw_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_rows() {
+        assert!(AdultSynth::generate(AdultConfig { n_rows: 0, seed: 1 }).is_err());
+    }
+
+    #[test]
+    fn schema_has_nine_queryable_dims() {
+        let s = AdultSynth::schema();
+        assert_eq!(s.arity(), 9);
+        assert_eq!(s.index_of("age").unwrap(), 0);
+        assert_eq!(s.index_of("hours_per_week").unwrap(), 7);
+    }
+
+    #[test]
+    fn generates_requested_mass() {
+        let ds = AdultSynth::generate(AdultConfig {
+            n_rows: 20_000,
+            seed: 7,
+        })
+        .unwrap();
+        assert_eq!(ds.raw_rows, 20_000);
+        let total: u64 = ds.cells.iter().map(|c| c.measure()).sum();
+        assert_eq!(total, 20_000);
+        // Aggregation must have collapsed duplicates (peaked marginals).
+        assert!(ds.cells.len() < 20_000, "no duplicate collapse happened");
+        for c in &ds.cells {
+            ds.schema.check_row(c).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = AdultSynth::generate(AdultConfig {
+            n_rows: 5_000,
+            seed: 3,
+        })
+        .unwrap();
+        let b = AdultSynth::generate(AdultConfig {
+            n_rows: 5_000,
+            seed: 3,
+        })
+        .unwrap();
+        assert_eq!(a.cells, b.cells);
+        let c = AdultSynth::generate(AdultConfig {
+            n_rows: 5_000,
+            seed: 4,
+        })
+        .unwrap();
+        assert_ne!(a.cells, c.cells);
+    }
+
+    #[test]
+    fn marginals_have_expected_shape() {
+        let ds = AdultSynth::generate(AdultConfig {
+            n_rows: 50_000,
+            seed: 11,
+        })
+        .unwrap();
+        let mass = |dim: usize, pred: &dyn Fn(i64) -> bool| -> f64 {
+            let hit: u64 = ds
+                .cells
+                .iter()
+                .filter(|c| pred(c.value(dim)))
+                .map(|c| c.measure())
+                .sum();
+            hit as f64 / ds.raw_rows as f64
+        };
+        // Most capital gains are zero.
+        assert!(mass(6, &|v| v == 0) > 0.85);
+        // Hours cluster near 40.
+        assert!(mass(7, &|v| (35..=45).contains(&v)) > 0.5);
+        // Ages 25–50 dominate.
+        assert!(mass(0, &|v| (25..=50).contains(&v)) > 0.5);
+        // "Private" workclass (code 0) dominant.
+        assert!(mass(1, &|v| v == 0) > 0.5);
+    }
+}

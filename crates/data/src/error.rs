@@ -1,0 +1,52 @@
+//! Error type for the data crate.
+
+use std::fmt;
+
+use fedaqp_model::ModelError;
+
+/// Errors raised by dataset generation and workload construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Propagated data-model error.
+    Model(ModelError),
+    /// A generator or workload configuration was invalid.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Model(e) => write!(f, "model error: {e}"),
+            DataError::BadConfig(what) => write!(f, "bad configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Model(e) => Some(e),
+            DataError::BadConfig(_) => None,
+        }
+    }
+}
+
+impl From<ModelError> for DataError {
+    fn from(e: ModelError) -> Self {
+        DataError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DataError::BadConfig("zero rows")
+            .to_string()
+            .contains("zero rows"));
+        let e: DataError = ModelError::NoRanges.into();
+        assert!(e.to_string().contains("model error"));
+    }
+}

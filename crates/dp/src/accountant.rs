@@ -1,0 +1,169 @@
+//! Total privacy-budget accounting for interactive query answering (§5.4).
+
+use crate::composition::PrivacyCost;
+use crate::{check_delta, check_epsilon, DpError, Result};
+
+/// Tracks an analyst's total budget `(ξ, ψ)` across queries.
+///
+/// "The analyst can continue sending queries until their total budget is
+/// consumed" (§3, DP Properties): each answered query charges its
+/// `(ε, δ)` via sequential composition; once a charge would overrun either
+/// component, the accountant rejects the query *before* any data is
+/// touched.
+#[derive(Debug, Clone)]
+pub struct BudgetAccountant {
+    total: PrivacyCost,
+    spent: PrivacyCost,
+    queries: u64,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant with total budget `(xi, psi)`.
+    pub fn new(xi: f64, psi: f64) -> Result<Self> {
+        check_epsilon(xi)?;
+        check_delta(psi)?;
+        Ok(Self {
+            total: PrivacyCost {
+                eps: xi,
+                delta: psi,
+            },
+            spent: PrivacyCost::ZERO,
+            queries: 0,
+        })
+    }
+
+    /// The total budget.
+    #[inline]
+    pub fn total(&self) -> PrivacyCost {
+        self.total
+    }
+
+    /// The budget consumed so far.
+    #[inline]
+    pub fn spent(&self) -> PrivacyCost {
+        self.spent
+    }
+
+    /// The budget still available.
+    pub fn remaining(&self) -> PrivacyCost {
+        PrivacyCost {
+            eps: (self.total.eps - self.spent.eps).max(0.0),
+            delta: (self.total.delta - self.spent.delta).max(0.0),
+        }
+    }
+
+    /// Number of successfully charged queries.
+    #[inline]
+    pub fn queries_answered(&self) -> u64 {
+        self.queries
+    }
+
+    /// Whether a charge of `cost` would fit the remaining budget.
+    ///
+    /// A small relative tolerance absorbs floating-point dust from repeated
+    /// ξ/n charges summing to one ulp above ξ.
+    pub fn can_afford(&self, cost: PrivacyCost) -> bool {
+        const TOL: f64 = 1e-9;
+        let rem = self.remaining();
+        cost.eps <= rem.eps * (1.0 + TOL) + TOL * self.total.eps
+            && cost.delta <= rem.delta * (1.0 + TOL) + TOL * self.total.delta.max(f64::MIN_POSITIVE)
+    }
+
+    /// Charges `cost`, failing (and charging nothing) if it does not fit.
+    pub fn charge(&mut self, cost: PrivacyCost) -> Result<()> {
+        if !self.can_afford(cost) {
+            let rem = self.remaining();
+            return Err(DpError::BudgetExhausted {
+                requested_eps: cost.eps,
+                remaining_eps: rem.eps,
+                requested_delta: cost.delta,
+                remaining_delta: rem.delta,
+            });
+        }
+        self.spent = self.spent.and_then(cost);
+        self.queries += 1;
+        Ok(())
+    }
+
+    /// Whether the ε budget is (effectively) fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining().eps <= self.total.eps * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_exhausted() {
+        let mut acc = BudgetAccountant::new(1.0, 1e-3).unwrap();
+        let per = PrivacyCost {
+            eps: 0.4,
+            delta: 1e-4,
+        };
+        assert!(acc.charge(per).is_ok());
+        assert!(acc.charge(per).is_ok());
+        // Third charge would need 0.4 with only 0.2 left.
+        let err = acc.charge(per).unwrap_err();
+        assert!(matches!(err, DpError::BudgetExhausted { .. }));
+        assert_eq!(acc.queries_answered(), 2);
+        assert!((acc.remaining().eps - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_charge_spends_nothing() {
+        let mut acc = BudgetAccountant::new(0.5, 0.0).unwrap();
+        let big = PrivacyCost {
+            eps: 1.0,
+            delta: 0.0,
+        };
+        assert!(acc.charge(big).is_err());
+        assert_eq!(acc.spent(), PrivacyCost::ZERO);
+        assert_eq!(acc.queries_answered(), 0);
+    }
+
+    #[test]
+    fn delta_budget_enforced_independently() {
+        let mut acc = BudgetAccountant::new(10.0, 1e-6).unwrap();
+        let cost = PrivacyCost {
+            eps: 0.1,
+            delta: 1e-6,
+        };
+        assert!(acc.charge(cost).is_ok());
+        // Plenty of ε left but δ is gone.
+        assert!(acc.charge(cost).is_err());
+    }
+
+    #[test]
+    fn tolerance_absorbs_float_dust() {
+        // ξ/n charged n times must not fail on the last query.
+        let n = 1000u64;
+        let mut acc = BudgetAccountant::new(1.0, 1e-3).unwrap();
+        let per = PrivacyCost {
+            eps: 1.0 / n as f64,
+            delta: 1e-3 / n as f64,
+        };
+        for i in 0..n {
+            assert!(acc.charge(per).is_ok(), "query {i} rejected");
+        }
+        assert!(acc.is_exhausted());
+    }
+
+    #[test]
+    fn zero_delta_budget_allows_pure_dp_only() {
+        let mut acc = BudgetAccountant::new(1.0, 0.0).unwrap();
+        assert!(acc
+            .charge(PrivacyCost {
+                eps: 0.1,
+                delta: 0.0
+            })
+            .is_ok());
+        assert!(acc
+            .charge(PrivacyCost {
+                eps: 0.1,
+                delta: 1e-9
+            })
+            .is_err());
+    }
+}

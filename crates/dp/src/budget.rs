@@ -1,0 +1,173 @@
+//! Per-query budget splitting across protocol phases (§5.4).
+
+use crate::composition::PrivacyCost;
+use crate::{check_delta, check_epsilon, DpError, Result};
+
+/// The hyper-parameters `(hp1, hp2, hp3)` distributing a query's ε across
+/// the three protocol phases: allocation (`ε_O`), sampling (`ε_S`), and
+/// estimation (`ε_E`). Each must lie in `(0, 1)` and they must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperParams {
+    hp1: f64,
+    hp2: f64,
+    hp3: f64,
+}
+
+impl HyperParams {
+    /// Creates validated hyper-parameters.
+    pub fn new(hp1: f64, hp2: f64, hp3: f64) -> Result<Self> {
+        let ok = |x: f64| x.is_finite() && x > 0.0 && x < 1.0;
+        if !(ok(hp1) && ok(hp2) && ok(hp3)) || ((hp1 + hp2 + hp3) - 1.0).abs() > 1e-9 {
+            return Err(DpError::InvalidHyperParams { hp1, hp2, hp3 });
+        }
+        Ok(Self { hp1, hp2, hp3 })
+    }
+
+    /// The paper's evaluation setting: `ε_O = 0.1ε`, `ε_S = 0.1ε`,
+    /// `ε_E = 0.8ε` (§6.1).
+    pub fn paper_default() -> Self {
+        Self {
+            hp1: 0.1,
+            hp2: 0.1,
+            hp3: 0.8,
+        }
+    }
+
+    /// Allocation share.
+    #[inline]
+    pub fn hp1(&self) -> f64 {
+        self.hp1
+    }
+
+    /// Sampling share.
+    #[inline]
+    pub fn hp2(&self) -> f64 {
+        self.hp2
+    }
+
+    /// Estimation share.
+    #[inline]
+    pub fn hp3(&self) -> f64 {
+        self.hp3
+    }
+}
+
+impl Default for HyperParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The per-phase budget for one query: `ε = ε_O + ε_S + ε_E` with failure
+/// probability δ attached to the smooth-sensitivity release.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryBudget {
+    /// Allocation-phase budget (Laplace on `N^Q` and `Avg(R̂)`, Eq. 5).
+    pub eps_o: f64,
+    /// Sampling-phase budget (Exponential mechanism, Alg. 2).
+    pub eps_s: f64,
+    /// Estimation-phase budget (smooth-sensitivity Laplace, Alg. 3).
+    pub eps_e: f64,
+    /// Failure probability of the smooth-sensitivity release.
+    pub delta: f64,
+}
+
+impl QueryBudget {
+    /// Splits a total `(epsilon, delta)` according to `hp`.
+    pub fn split(epsilon: f64, delta: f64, hp: HyperParams) -> Result<Self> {
+        check_epsilon(epsilon)?;
+        check_delta(delta)?;
+        Ok(Self {
+            eps_o: hp.hp1() * epsilon,
+            eps_s: hp.hp2() * epsilon,
+            eps_e: hp.hp3() * epsilon,
+            delta,
+        })
+    }
+
+    /// Splits with the paper's default hyper-parameters.
+    pub fn paper_split(epsilon: f64, delta: f64) -> Result<Self> {
+        Self::split(epsilon, delta, HyperParams::paper_default())
+    }
+
+    /// Total ε of the query.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.eps_o + self.eps_s + self.eps_e
+    }
+
+    /// The query's full `(ε, δ)` cost charged to the analyst's accountant
+    /// (sequential composition over the three phases, §5.4).
+    pub fn cost(&self) -> PrivacyCost {
+        PrivacyCost {
+            eps: self.epsilon(),
+            delta: self.delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_sums_to_one() {
+        let hp = HyperParams::paper_default();
+        assert!((hp.hp1() + hp.hp2() + hp.hp3() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_simplex() {
+        assert!(HyperParams::new(0.5, 0.5, 0.5).is_err());
+        assert!(HyperParams::new(0.0, 0.5, 0.5).is_err());
+        assert!(HyperParams::new(1.0, 0.0, 0.0).is_err());
+        assert!(HyperParams::new(0.2, 0.3, 0.5).is_ok());
+    }
+
+    #[test]
+    fn split_preserves_total() {
+        let b = QueryBudget::paper_split(1.0, 1e-3).unwrap();
+        assert!((b.epsilon() - 1.0).abs() < 1e-12);
+        assert!((b.eps_o - 0.1).abs() < 1e-12);
+        assert!((b.eps_s - 0.1).abs() < 1e-12);
+        assert!((b.eps_e - 0.8).abs() < 1e-12);
+        assert_eq!(b.delta, 1e-3);
+    }
+
+    #[test]
+    fn cost_reports_sequential_total() {
+        let b = QueryBudget::paper_split(0.5, 1e-4).unwrap();
+        let c = b.cost();
+        assert!((c.eps - 0.5).abs() < 1e-12);
+        assert_eq!(c.delta, 1e-4);
+    }
+
+    #[test]
+    fn split_rejects_bad_epsilon() {
+        assert!(QueryBudget::paper_split(0.0, 1e-3).is_err());
+        assert!(QueryBudget::paper_split(-1.0, 1e-3).is_err());
+        assert!(QueryBudget::paper_split(1.0, 1.0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any valid split recomposes to the original ε.
+        #[test]
+        fn split_recomposes(
+            eps in 1e-3f64..10.0,
+            a in 0.05f64..0.9,
+            b in 0.05f64..0.9,
+        ) {
+            // Normalize (a, b, 1) to the simplex interior.
+            let total = a + b + 1.0;
+            let hp = HyperParams::new(a / total, b / total, 1.0 / total).unwrap();
+            let q = QueryBudget::split(eps, 1e-4, hp).unwrap();
+            prop_assert!((q.epsilon() - eps).abs() < 1e-9 * eps);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! DP composition rules (Thms. 3.1, 3.2; §6.6).
+
+use crate::{check_delta, check_epsilon, DpError, Result};
+
+/// An `(ε, δ)` privacy cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyCost {
+    /// The ε component.
+    pub eps: f64,
+    /// The δ component.
+    pub delta: f64,
+}
+
+impl PrivacyCost {
+    /// Creates a validated cost.
+    pub fn new(eps: f64, delta: f64) -> Result<Self> {
+        check_epsilon(eps)?;
+        check_delta(delta)?;
+        Ok(Self { eps, delta })
+    }
+
+    /// The zero cost (identity of sequential composition).
+    pub const ZERO: PrivacyCost = PrivacyCost {
+        eps: 0.0,
+        delta: 0.0,
+    };
+
+    /// Sequential composition with another cost.
+    #[inline]
+    pub fn and_then(self, other: PrivacyCost) -> PrivacyCost {
+        PrivacyCost {
+            eps: self.eps + other.eps,
+            delta: self.delta + other.delta,
+        }
+    }
+}
+
+/// Sequential composition (Thm. 3.1): mechanisms applied to the *same* data
+/// compose additively: `(Σεᵢ, Σδᵢ)`.
+pub fn sequential(costs: &[PrivacyCost]) -> PrivacyCost {
+    costs
+        .iter()
+        .fold(PrivacyCost::ZERO, |acc, &c| acc.and_then(c))
+}
+
+/// Parallel composition (Thm. 3.2): mechanisms applied to *disjoint* data
+/// cost `(maxᵢ εᵢ, maxᵢ δᵢ)`.
+///
+/// This is what makes the federated protocol affordable: the providers hold
+/// disjoint horizontal partitions, so a query costs one provider's budget,
+/// not the sum over providers (§5.4).
+pub fn parallel(costs: &[PrivacyCost]) -> PrivacyCost {
+    PrivacyCost {
+        eps: costs.iter().map(|c| c.eps).fold(0.0, f64::max),
+        delta: costs.iter().map(|c| c.delta).fold(0.0, f64::max),
+    }
+}
+
+/// Per-query budget under plain sequential composition of `n` queries
+/// against a total `(ξ, ψ)`: `ε = ξ/n`, `δ = ψ/n` (§6.6).
+pub fn sequential_per_query(xi: f64, psi: f64, n: u64) -> Result<PrivacyCost> {
+    check_epsilon(xi)?;
+    check_delta(psi)?;
+    if n == 0 {
+        return Err(DpError::ZeroQueries);
+    }
+    Ok(PrivacyCost {
+        eps: xi / n as f64,
+        delta: psi / n as f64,
+    })
+}
+
+/// Per-query budget under **advanced composition** (§6.6):
+///
+/// ```text
+/// ε = ξ / (2·√(2·n·ln(1/δ))),   δ = ψ / n
+/// ```
+///
+/// This allows each of the attacker's `n` queries a larger ε than the
+/// `ξ/n` of sequential composition (the paper notes
+/// `ξ/(2√(2n·log(1/δ))) > ξ/n` for large `n`), which is why Table 1
+/// evaluates the attack under both regimes.
+pub fn advanced_per_query(xi: f64, psi: f64, n: u64) -> Result<PrivacyCost> {
+    check_epsilon(xi)?;
+    check_delta(psi)?;
+    if n == 0 {
+        return Err(DpError::ZeroQueries);
+    }
+    let delta = psi / n as f64;
+    if delta <= 0.0 {
+        return Err(DpError::InvalidDelta(delta));
+    }
+    let eps = xi / (2.0 * (2.0 * n as f64 * (1.0 / delta).ln()).sqrt());
+    Ok(PrivacyCost { eps, delta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_validation() {
+        assert!(PrivacyCost::new(1.0, 0.0).is_ok());
+        assert!(PrivacyCost::new(0.0, 0.0).is_err());
+        assert!(PrivacyCost::new(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn sequential_adds() {
+        let a = PrivacyCost {
+            eps: 0.3,
+            delta: 1e-4,
+        };
+        let b = PrivacyCost {
+            eps: 0.7,
+            delta: 2e-4,
+        };
+        let c = sequential(&[a, b]);
+        assert!((c.eps - 1.0).abs() < 1e-12);
+        assert!((c.delta - 3e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parallel_takes_max() {
+        let a = PrivacyCost {
+            eps: 0.3,
+            delta: 5e-4,
+        };
+        let b = PrivacyCost {
+            eps: 0.7,
+            delta: 2e-4,
+        };
+        let c = parallel(&[a, b]);
+        assert_eq!(c.eps, 0.7);
+        assert_eq!(c.delta, 5e-4);
+    }
+
+    #[test]
+    fn empty_compositions() {
+        assert_eq!(sequential(&[]), PrivacyCost::ZERO);
+        assert_eq!(parallel(&[]), PrivacyCost::ZERO);
+    }
+
+    #[test]
+    fn sequential_per_query_divides() {
+        let c = sequential_per_query(10.0, 1e-6, 100).unwrap();
+        assert!((c.eps - 0.1).abs() < 1e-12);
+        assert!((c.delta - 1e-8).abs() < 1e-20);
+        assert!(matches!(
+            sequential_per_query(10.0, 1e-6, 0),
+            Err(DpError::ZeroQueries)
+        ));
+    }
+
+    #[test]
+    fn advanced_beats_sequential_for_many_queries() {
+        // §6.6: advanced composition gives each query a bigger ε once n is
+        // large, i.e. better per-query utility for the attacker.
+        let xi = 100.0;
+        let psi = 1e-6;
+        for n in [1_000u64, 10_000, 100_000] {
+            let seq = sequential_per_query(xi, psi, n).unwrap();
+            let adv = advanced_per_query(xi, psi, n).unwrap();
+            assert!(
+                adv.eps > seq.eps,
+                "n={n}: advanced {} should exceed sequential {}",
+                adv.eps,
+                seq.eps
+            );
+        }
+    }
+
+    #[test]
+    fn advanced_formula_matches_paper() {
+        let xi = 1.0;
+        let psi = 1e-6;
+        let n = 500u64;
+        let c = advanced_per_query(xi, psi, n).unwrap();
+        let delta = psi / n as f64;
+        let expected = xi / (2.0 * (2.0 * n as f64 * (1.0 / delta).ln()).sqrt());
+        assert!((c.eps - expected).abs() < 1e-15);
+        assert_eq!(c.delta, delta);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Sequential composition is associative and order-independent.
+        #[test]
+        fn sequential_commutative(
+            costs in proptest::collection::vec((1e-6f64..2.0, 0.0f64..1e-3), 1..16)
+        ) {
+            let costs: Vec<PrivacyCost> = costs
+                .into_iter()
+                .map(|(eps, delta)| PrivacyCost { eps, delta })
+                .collect();
+            let mut rev = costs.clone();
+            rev.reverse();
+            let a = sequential(&costs);
+            let b = sequential(&rev);
+            prop_assert!((a.eps - b.eps).abs() < 1e-9);
+            prop_assert!((a.delta - b.delta).abs() < 1e-12);
+        }
+
+        /// Parallel composition never exceeds sequential composition.
+        #[test]
+        fn parallel_leq_sequential(
+            costs in proptest::collection::vec((1e-6f64..2.0, 0.0f64..1e-3), 1..16)
+        ) {
+            let costs: Vec<PrivacyCost> = costs
+                .into_iter()
+                .map(|(eps, delta)| PrivacyCost { eps, delta })
+                .collect();
+            let p = parallel(&costs);
+            let s = sequential(&costs);
+            prop_assert!(p.eps <= s.eps + 1e-12);
+            prop_assert!(p.delta <= s.delta + 1e-15);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for the DP substrate.
+
+use std::fmt;
+
+/// Errors raised by DP mechanisms and accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// `ε` must be finite and strictly positive.
+    InvalidEpsilon(f64),
+    /// `δ` must lie in `[0, 1)`.
+    InvalidDelta(f64),
+    /// Sensitivities must be finite and non-negative.
+    InvalidSensitivity(f64),
+    /// The exponential mechanism was given an empty candidate set.
+    EmptyCandidates,
+    /// The exponential mechanism was given non-finite scores.
+    InvalidScore {
+        /// Candidate index carrying the bad score.
+        index: usize,
+        /// The offending score.
+        score: f64,
+    },
+    /// A charge would exceed the analyst's remaining `(ξ, ψ)` budget.
+    BudgetExhausted {
+        /// ε requested by the query.
+        requested_eps: f64,
+        /// ε still available.
+        remaining_eps: f64,
+        /// δ requested by the query.
+        requested_delta: f64,
+        /// δ still available.
+        remaining_delta: f64,
+    },
+    /// Hyper-parameters must be in `(0,1)` and sum to 1 (§5.4).
+    InvalidHyperParams {
+        /// hp1 (allocation share).
+        hp1: f64,
+        /// hp2 (sampling share).
+        hp2: f64,
+        /// hp3 (estimation share).
+        hp3: f64,
+    },
+    /// Smooth sensitivity requires `δ > 0` (pure DP has no smooth bound).
+    SmoothNeedsPositiveDelta,
+    /// Composition over zero queries is undefined.
+    ZeroQueries,
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidEpsilon(e) => write!(f, "invalid epsilon {e}: must be finite and > 0"),
+            DpError::InvalidDelta(d) => write!(f, "invalid delta {d}: must be in [0, 1)"),
+            DpError::InvalidSensitivity(s) => {
+                write!(f, "invalid sensitivity {s}: must be finite and >= 0")
+            }
+            DpError::EmptyCandidates => {
+                write!(
+                    f,
+                    "exponential mechanism requires a non-empty candidate set"
+                )
+            }
+            DpError::InvalidScore { index, score } => {
+                write!(f, "candidate {index} has non-finite score {score}")
+            }
+            DpError::BudgetExhausted {
+                requested_eps,
+                remaining_eps,
+                requested_delta,
+                remaining_delta,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested (ε={requested_eps}, δ={requested_delta}) \
+                 but only (ε={remaining_eps}, δ={remaining_delta}) remains"
+            ),
+            DpError::InvalidHyperParams { hp1, hp2, hp3 } => write!(
+                f,
+                "hyper-parameters ({hp1}, {hp2}, {hp3}) must each be in (0,1) and sum to 1"
+            ),
+            DpError::SmoothNeedsPositiveDelta => {
+                write!(f, "smooth sensitivity requires delta > 0")
+            }
+            DpError::ZeroQueries => write!(f, "composition over zero queries is undefined"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_parameters() {
+        assert!(DpError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(DpError::InvalidDelta(2.0).to_string().contains('2'));
+        let e = DpError::BudgetExhausted {
+            requested_eps: 1.0,
+            remaining_eps: 0.5,
+            requested_delta: 0.0,
+            remaining_delta: 0.0,
+        };
+        assert!(e.to_string().contains("0.5"));
+    }
+}

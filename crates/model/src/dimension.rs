@@ -1,0 +1,46 @@
+//! Named dimensions (attributes).
+
+use crate::domain::Domain;
+
+/// One attribute `d ∈ D` of a table: a name plus its discrete ordered
+/// [`Domain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    name: String,
+    domain: Domain,
+}
+
+impl Dimension {
+    /// Creates a dimension.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+        }
+    }
+
+    /// The attribute's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's domain.
+    #[inline]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let d = Dimension::new("age", Domain::new(17, 90).unwrap());
+        assert_eq!(d.name(), "age");
+        assert_eq!(d.domain().min(), 17);
+        assert_eq!(d.domain().max(), 90);
+    }
+}

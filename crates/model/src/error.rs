@@ -1,0 +1,140 @@
+//! Error type for the data-model crate.
+
+use std::fmt;
+
+/// Errors produced while building schemas, rows, or queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A dimension name was not found in the schema.
+    UnknownDimension(String),
+    /// A dimension index was out of bounds for the schema.
+    DimensionIndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of dimensions in the schema.
+        len: usize,
+    },
+    /// The same dimension was declared twice in a schema.
+    DuplicateDimension(String),
+    /// A row carried the wrong number of values for its schema.
+    ArityMismatch {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of dimensions expected.
+        expected: usize,
+    },
+    /// A value fell outside its declared domain.
+    ValueOutOfDomain {
+        /// Dimension index.
+        dim: usize,
+        /// Offending value.
+        value: i64,
+        /// Domain lower bound.
+        lo: i64,
+        /// Domain upper bound.
+        hi: i64,
+    },
+    /// A range predicate had `lo > hi`.
+    EmptyRange {
+        /// Dimension index.
+        dim: usize,
+        /// Lower bound supplied.
+        lo: i64,
+        /// Upper bound supplied.
+        hi: i64,
+    },
+    /// The same dimension appeared twice in a query's predicate list.
+    DuplicateRange(usize),
+    /// A query was built with no range predicates at all.
+    NoRanges,
+    /// A domain was declared with `min > max`.
+    InvalidDomain {
+        /// Declared minimum.
+        min: i64,
+        /// Declared maximum.
+        max: i64,
+    },
+    /// Count-tensor construction was asked to aggregate over zero dimensions.
+    EmptyAggregation,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownDimension(name) => {
+                write!(f, "unknown dimension `{name}`")
+            }
+            ModelError::DimensionIndexOutOfBounds { index, len } => {
+                write!(
+                    f,
+                    "dimension index {index} out of bounds (schema has {len})"
+                )
+            }
+            ModelError::DuplicateDimension(name) => {
+                write!(f, "dimension `{name}` declared more than once")
+            }
+            ModelError::ArityMismatch { got, expected } => {
+                write!(
+                    f,
+                    "row has {got} values but schema has {expected} dimensions"
+                )
+            }
+            ModelError::ValueOutOfDomain { dim, value, lo, hi } => {
+                write!(
+                    f,
+                    "value {value} outside domain [{lo}, {hi}] of dimension {dim}"
+                )
+            }
+            ModelError::EmptyRange { dim, lo, hi } => {
+                write!(f, "empty range [{lo}, {hi}] on dimension {dim}")
+            }
+            ModelError::DuplicateRange(dim) => {
+                write!(f, "dimension {dim} constrained twice in the same query")
+            }
+            ModelError::NoRanges => write!(f, "range query must constrain at least one dimension"),
+            ModelError::InvalidDomain { min, max } => {
+                write!(f, "invalid domain: min {min} > max {max}")
+            }
+            ModelError::EmptyAggregation => {
+                write!(f, "count tensor must aggregate over at least one dimension")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::UnknownDimension("age".into());
+        assert!(e.to_string().contains("age"));
+        let e = ModelError::ArityMismatch {
+            got: 3,
+            expected: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e = ModelError::ValueOutOfDomain {
+            dim: 1,
+            value: 7,
+            lo: 0,
+            hi: 5,
+        };
+        assert!(e.to_string().contains('7'));
+        let e = ModelError::EmptyRange {
+            dim: 0,
+            lo: 9,
+            hi: 2,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::NoRanges);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Data model and query model for `fedaqp`.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace, mirroring Section 3 ("Preliminaries") of *Private Approximate
+//! Query over Horizontal Data Federation* (EDBT 2025):
+//!
+//! * [`Domain`] — a discrete, totally ordered attribute domain.
+//! * [`Dimension`] / [`Schema`] — named dimensions `D = {d_1, …, d_n}`; the
+//!   schema is the only piece of information that is public in the
+//!   federation.
+//! * [`Row`] — one cell of a *count tensor*: a value per dimension plus a
+//!   `Measure` attribute storing the number of aggregated raw rows (Fig. 2
+//!   of the paper). A raw tabular row is simply a cell with `measure == 1`.
+//! * [`CountTensor`] — aggregation of a raw table into a count tensor over a
+//!   subset of dimensions.
+//! * [`RangeQuery`] — `SELECT COUNT(*) | SUM(Measure) FROM T WHERE range…`,
+//!   a set of closed intervals over a subset of dimensions.
+//! * [`executor`] — exact, plain-text evaluation used both as the
+//!   correctness oracle in tests and as the non-private baseline that the
+//!   paper's speed-up numbers are measured against.
+//!
+//! Everything downstream (cluster storage, metadata, sampling, the federated
+//! protocol) manipulates these types.
+
+pub mod dimension;
+pub mod domain;
+pub mod error;
+pub mod executor;
+pub mod query;
+pub mod row;
+pub mod schema;
+pub mod sql;
+pub mod tensor;
+pub mod value;
+
+pub use dimension::Dimension;
+pub use domain::Domain;
+pub use error::ModelError;
+pub use executor::{scan_aggregate, scan_aggregate_rows, PlainExecutor};
+pub use query::{Aggregate, QueryBuilder, Range, RangeQuery};
+pub use row::Row;
+pub use schema::Schema;
+pub use sql::{parse_sql, SqlError};
+pub use tensor::CountTensor;
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

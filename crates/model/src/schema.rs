@@ -1,0 +1,165 @@
+//! Table schemas.
+
+use crate::dimension::Dimension;
+use crate::domain::Domain;
+use crate::error::ModelError;
+use crate::row::Row;
+use crate::Result;
+
+/// The public schema of the federated table.
+///
+/// Every data provider holds a horizontal partition with this exact schema
+/// (§3 "Data providers"); it is the *only* information about the table that
+/// the paper treats as non-sensitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    dims: Vec<Dimension>,
+}
+
+impl Schema {
+    /// Builds a schema from a list of dimensions, rejecting duplicates.
+    pub fn new(dims: Vec<Dimension>) -> Result<Self> {
+        for (i, d) in dims.iter().enumerate() {
+            if dims[..i].iter().any(|other| other.name() == d.name()) {
+                return Err(ModelError::DuplicateDimension(d.name().to_owned()));
+            }
+        }
+        Ok(Self { dims })
+    }
+
+    /// Number of dimensions `n = |D|`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// All dimensions in declaration order.
+    #[inline]
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// The dimension at `index`.
+    pub fn dimension(&self, index: usize) -> Result<&Dimension> {
+        self.dims
+            .get(index)
+            .ok_or(ModelError::DimensionIndexOutOfBounds {
+                index,
+                len: self.dims.len(),
+            })
+    }
+
+    /// Looks a dimension up by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.dims
+            .iter()
+            .position(|d| d.name() == name)
+            .ok_or_else(|| ModelError::UnknownDimension(name.to_owned()))
+    }
+
+    /// Domain of the dimension at `index`.
+    pub fn domain(&self, index: usize) -> Result<Domain> {
+        Ok(self.dimension(index)?.domain())
+    }
+
+    /// Validates that a row's values fit this schema (arity and domains).
+    pub fn check_row(&self, row: &Row) -> Result<()> {
+        if row.values().len() != self.dims.len() {
+            return Err(ModelError::ArityMismatch {
+                got: row.values().len(),
+                expected: self.dims.len(),
+            });
+        }
+        for (dim, (&v, d)) in row.values().iter().zip(&self.dims).enumerate() {
+            if !d.domain().contains(v) {
+                return Err(ModelError::ValueOutOfDomain {
+                    dim,
+                    value: v,
+                    lo: d.domain().min(),
+                    hi: d.domain().max(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Projects the schema onto a subset of dimensions (used when a raw
+    /// table is aggregated into a count tensor over `D^a ⊂ D`).
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut dims = Vec::with_capacity(indices.len());
+        for &i in indices {
+            dims.push(self.dimension(i)?.clone());
+        }
+        Schema::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            Dimension::new("age", Domain::new(17, 90).unwrap()),
+            Dimension::new("hours", Domain::new(1, 99).unwrap()),
+            Dimension::new("edu", Domain::new(1, 16).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::new(vec![
+            Dimension::new("age", Domain::new(0, 1).unwrap()),
+            Dimension::new("age", Domain::new(0, 1).unwrap()),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateDimension("age".into()));
+    }
+
+    #[test]
+    fn index_of_finds_dimensions() {
+        let s = demo_schema();
+        assert_eq!(s.index_of("hours").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(ModelError::UnknownDimension(_))
+        ));
+    }
+
+    #[test]
+    fn check_row_validates_arity_and_domain() {
+        let s = demo_schema();
+        assert!(s.check_row(&Row::raw(vec![20, 40, 9])).is_ok());
+        assert!(matches!(
+            s.check_row(&Row::raw(vec![20, 40])),
+            Err(ModelError::ArityMismatch {
+                got: 2,
+                expected: 3
+            })
+        ));
+        assert!(matches!(
+            s.check_row(&Row::raw(vec![5, 40, 9])),
+            Err(ModelError::ValueOutOfDomain {
+                dim: 0,
+                value: 5,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn project_keeps_order() {
+        let s = demo_schema();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.dimensions()[0].name(), "edu");
+        assert_eq!(p.dimensions()[1].name(), "age");
+    }
+
+    #[test]
+    fn project_rejects_bad_index() {
+        let s = demo_schema();
+        assert!(s.project(&[0, 9]).is_err());
+    }
+}

@@ -1,0 +1,523 @@
+//! A SQL-subset parser for the paper's query class.
+//!
+//! The paper writes queries as
+//! `SELECT COUNT(*) FROM Table WHERE 20 <= Age <= 40` (§4). This module
+//! parses exactly that class — one aggregate, one table, a conjunction of
+//! per-dimension range predicates — into a [`RangeQuery`] resolved against
+//! a [`Schema`]:
+//!
+//! ```
+//! use fedaqp_model::{parse_sql, Dimension, Domain, Schema};
+//!
+//! let schema = Schema::new(vec![
+//!     Dimension::new("age", Domain::new(17, 90).unwrap()),
+//!     Dimension::new("hours", Domain::new(1, 99).unwrap()),
+//! ]).unwrap();
+//! let q = parse_sql(&schema, "SELECT COUNT(*) FROM T WHERE 20 <= age <= 40 AND hours >= 35").unwrap();
+//! assert_eq!(q.dimensionality(), 2);
+//! ```
+//!
+//! Supported predicate forms (combined with `AND`):
+//!
+//! * `lo <= dim <= hi` (the paper's form) and the reversed `hi >= dim >= lo`
+//! * `dim BETWEEN lo AND hi`
+//! * `dim >= lo`, `dim > lo`, `dim <= hi`, `dim < hi` (open side clamps to
+//!   the domain bound), `dim = v`
+//!
+//! Aggregates: `COUNT(*)` and `SUM(Measure)` (case-insensitive; the SUM
+//! argument is accepted as any identifier since `Measure` is the only
+//! summable column in the data model).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::query::{Aggregate, Range, RangeQuery};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A SQL parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(i64),
+    Le,     // <=
+    Ge,     // >=
+    Lt,     // <
+    Gt,     // >
+    Eq,     // =
+    Star,   // *
+    LParen, // (
+    RParen, // )
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' | ',' | ';' => i += 1,
+            '(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            '*' => {
+                tokens.push((Token::Star, i));
+                i += 1;
+            }
+            '=' => {
+                tokens.push((Token::Eq, i));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((Token::Le, i));
+                    i += 2;
+                } else {
+                    tokens.push((Token::Lt, i));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((Token::Ge, i));
+                    i += 2;
+                } else {
+                    tokens.push((Token::Gt, i));
+                    i += 1;
+                }
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: i64 = text.parse().map_err(|_| SqlError {
+                    message: format!("invalid number `{text}`"),
+                    position: start,
+                })?;
+                tokens.push((Token::Number(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push((Token::Ident(input[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(SqlError {
+                    message: format!("unexpected character `{other}`"),
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    schema: &'a Schema,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SqlError> {
+        Err(SqlError {
+            message: message.into(),
+            position: self.here(),
+        })
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.bump() {
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected `{kw}`"))
+            }
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn parse_aggregate(&mut self) -> Result<Aggregate, SqlError> {
+        let word = match self.bump() {
+            Some(Token::Ident(w)) => w,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return self.err("expected COUNT or SUM");
+            }
+        };
+        let agg = if word.eq_ignore_ascii_case("count") {
+            Aggregate::Count
+        } else if word.eq_ignore_ascii_case("sum") {
+            Aggregate::Sum
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            return self.err(format!("unknown aggregate `{word}`"));
+        };
+        if self.bump() != Some(Token::LParen) {
+            self.pos = self.pos.saturating_sub(1);
+            return self.err("expected `(` after aggregate");
+        }
+        match (agg, self.bump()) {
+            (Aggregate::Count, Some(Token::Star)) => {}
+            (Aggregate::Sum, Some(Token::Ident(_))) => {}
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return self.err("expected `*` in COUNT(*) or a column in SUM(...)");
+            }
+        }
+        if self.bump() != Some(Token::RParen) {
+            self.pos = self.pos.saturating_sub(1);
+            return self.err("expected `)` after aggregate argument");
+        }
+        Ok(agg)
+    }
+
+    /// Parses one predicate, merging its bounds into `bounds`.
+    fn parse_predicate(
+        &mut self,
+        bounds: &mut HashMap<usize, (Option<Value>, Option<Value>)>,
+    ) -> Result<(), SqlError> {
+        match self.peek().cloned() {
+            // `lo <= dim <= hi` or `lo < dim` etc.
+            Some(Token::Number(lo)) => {
+                self.bump();
+                let (strict_low, _) = self.comparison_op()?;
+                let dim = self.dimension()?;
+                let low_bound = if strict_low { lo + 1 } else { lo };
+                merge(bounds, dim, Some(low_bound), None, self.here())?;
+                // Optional chained upper comparison: `… <= hi`.
+                if matches!(self.peek(), Some(Token::Le) | Some(Token::Lt)) {
+                    let strict_hi = matches!(self.peek(), Some(Token::Lt));
+                    self.bump();
+                    let hi = self.number()?;
+                    let high_bound = if strict_hi { hi - 1 } else { hi };
+                    merge(bounds, dim, None, Some(high_bound), self.here())?;
+                }
+                Ok(())
+            }
+            Some(Token::Ident(_)) => {
+                let dim = self.dimension()?;
+                if self.keyword_is("between") {
+                    self.bump();
+                    let lo = self.number()?;
+                    self.expect_keyword("and")?;
+                    let hi = self.number()?;
+                    merge(bounds, dim, Some(lo), Some(hi), self.here())?;
+                    return Ok(());
+                }
+                match self.bump() {
+                    Some(Token::Ge) => {
+                        let lo = self.number()?;
+                        merge(bounds, dim, Some(lo), None, self.here())
+                    }
+                    Some(Token::Gt) => {
+                        let lo = self.number()?;
+                        merge(bounds, dim, Some(lo + 1), None, self.here())
+                    }
+                    Some(Token::Le) => {
+                        let hi = self.number()?;
+                        merge(bounds, dim, None, Some(hi), self.here())
+                    }
+                    Some(Token::Lt) => {
+                        let hi = self.number()?;
+                        merge(bounds, dim, None, Some(hi - 1), self.here())
+                    }
+                    Some(Token::Eq) => {
+                        let v = self.number()?;
+                        merge(bounds, dim, Some(v), Some(v), self.here())
+                    }
+                    _ => {
+                        self.pos = self.pos.saturating_sub(1);
+                        self.err("expected a comparison operator")
+                    }
+                }
+            }
+            _ => self.err("expected a predicate"),
+        }
+    }
+
+    /// `(strict, is_le)` for a low-side comparison (`<=` or `<`).
+    fn comparison_op(&mut self) -> Result<(bool, ()), SqlError> {
+        match self.bump() {
+            Some(Token::Le) => Ok((false, ())),
+            Some(Token::Lt) => Ok((true, ())),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("expected `<=` or `<` after a number")
+            }
+        }
+    }
+
+    fn dimension(&mut self) -> Result<usize, SqlError> {
+        let here = self.here();
+        match self.bump() {
+            Some(Token::Ident(name)) => self.schema.index_of(&name).map_err(|_| SqlError {
+                message: format!("unknown dimension `{name}`"),
+                position: here,
+            }),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("expected a dimension name")
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<i64, SqlError> {
+        match self.bump() {
+            Some(Token::Number(n)) => Ok(n),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("expected a number")
+            }
+        }
+    }
+}
+
+fn merge(
+    bounds: &mut HashMap<usize, (Option<Value>, Option<Value>)>,
+    dim: usize,
+    lo: Option<Value>,
+    hi: Option<Value>,
+    position: usize,
+) -> Result<(), SqlError> {
+    let entry = bounds.entry(dim).or_insert((None, None));
+    if let Some(lo) = lo {
+        if entry.0.is_some() {
+            return Err(SqlError {
+                message: "dimension has two lower bounds".into(),
+                position,
+            });
+        }
+        entry.0 = Some(lo);
+    }
+    if let Some(hi) = hi {
+        if entry.1.is_some() {
+            return Err(SqlError {
+                message: "dimension has two upper bounds".into(),
+                position,
+            });
+        }
+        entry.1 = Some(hi);
+    }
+    Ok(())
+}
+
+/// Parses a SQL string into a [`RangeQuery`] against `schema`.
+pub fn parse_sql(schema: &Schema, input: &str) -> Result<RangeQuery, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        schema,
+        input_len: input.len(),
+    };
+    p.expect_keyword("select")?;
+    let agg = p.parse_aggregate()?;
+    p.expect_keyword("from")?;
+    // Table name: any identifier (the federation has exactly one table).
+    match p.bump() {
+        Some(Token::Ident(_)) => {}
+        _ => {
+            p.pos = p.pos.saturating_sub(1);
+            return p.err("expected a table name after FROM");
+        }
+    }
+    p.expect_keyword("where")?;
+    let mut bounds: HashMap<usize, (Option<Value>, Option<Value>)> = HashMap::new();
+    p.parse_predicate(&mut bounds)?;
+    while p.keyword_is("and") {
+        p.bump();
+        p.parse_predicate(&mut bounds)?;
+    }
+    if p.peek().is_some() {
+        return p.err("trailing input after the WHERE clause");
+    }
+    let mut ranges = Vec::with_capacity(bounds.len());
+    for (dim, (lo, hi)) in bounds {
+        let dom = schema.domain(dim).expect("dimension was resolved");
+        let lo = lo.unwrap_or(dom.min());
+        let hi = hi.unwrap_or(dom.max());
+        let range = Range::new(dim, lo, hi).map_err(|e| SqlError {
+            message: format!("invalid range on dimension {dim}: {e}"),
+            position: input.len(),
+        })?;
+        ranges.push(range);
+    }
+    RangeQuery::new(agg, ranges).map_err(|e| SqlError {
+        message: e.to_string(),
+        position: input.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::domain::Domain;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::new("age", Domain::new(17, 90).unwrap()),
+            Dimension::new("hours", Domain::new(1, 99).unwrap()),
+            Dimension::new("edu", Domain::new(1, 16).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_the_papers_example() {
+        let s = schema();
+        let q = parse_sql(&s, "SELECT COUNT(*) FROM Table WHERE 20 <= age <= 40").unwrap();
+        assert_eq!(q.aggregate(), Aggregate::Count);
+        assert_eq!(q.ranges(), &[Range::new(0, 20, 40).unwrap()]);
+    }
+
+    #[test]
+    fn parses_sum_and_multi_predicates() {
+        let s = schema();
+        let q = parse_sql(
+            &s,
+            "select sum(measure) from t where 20 <= age <= 40 and hours between 35 and 60",
+        )
+        .unwrap();
+        assert_eq!(q.aggregate(), Aggregate::Sum);
+        assert_eq!(q.dimensionality(), 2);
+        let hours = q.ranges().iter().find(|r| r.dim == 1).unwrap();
+        assert_eq!((hours.lo, hours.hi), (35, 60));
+    }
+
+    #[test]
+    fn open_sides_clamp_to_domain() {
+        let s = schema();
+        let q = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE age >= 30").unwrap();
+        assert_eq!(q.ranges(), &[Range::new(0, 30, 90).unwrap()]);
+        let q = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE hours <= 40").unwrap();
+        assert_eq!(q.ranges(), &[Range::new(1, 1, 40).unwrap()]);
+    }
+
+    #[test]
+    fn strict_comparisons_tighten_bounds() {
+        let s = schema();
+        let q = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE age > 30 AND age < 40").unwrap();
+        assert_eq!(q.ranges(), &[Range::new(0, 31, 39).unwrap()]);
+        let q = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE 20 < age < 40").unwrap();
+        assert_eq!(q.ranges(), &[Range::new(0, 21, 39).unwrap()]);
+    }
+
+    #[test]
+    fn equality_is_a_point_range() {
+        let s = schema();
+        let q = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE edu = 9").unwrap();
+        assert_eq!(q.ranges(), &[Range::new(2, 9, 9).unwrap()]);
+    }
+
+    #[test]
+    fn split_bounds_merge() {
+        let s = schema();
+        let q = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE age >= 25 AND age <= 55").unwrap();
+        assert_eq!(q.ranges(), &[Range::new(0, 25, 55).unwrap()]);
+    }
+
+    #[test]
+    fn errors_carry_positions_and_messages() {
+        let s = schema();
+        let err = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE 20 <= nope <= 40").unwrap_err();
+        assert!(err.message.contains("nope"));
+        assert!(err.position > 0);
+
+        let err = parse_sql(&s, "SELECT MAX(*) FROM T WHERE age >= 2").unwrap_err();
+        assert!(err.message.contains("MAX"));
+
+        let err = parse_sql(&s, "SELECT COUNT(*) FROM T").unwrap_err();
+        assert!(err.message.contains("WHERE") || err.message.contains("where"));
+
+        let err = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE age >= 1 garbage").unwrap_err();
+        assert!(err.message.contains("trailing"));
+
+        // Double lower bound.
+        let err = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE age >= 1 AND age >= 2").unwrap_err();
+        assert!(err.message.contains("two lower bounds"));
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        let s = schema();
+        let err = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE 40 <= age <= 20").unwrap_err();
+        assert!(err.message.contains("invalid range") || err.message.contains("empty"));
+    }
+
+    #[test]
+    fn round_trips_display_sql() {
+        // The parser accepts the output of display_sql, closing the loop.
+        let s = schema();
+        let q = parse_sql(
+            &s,
+            "SELECT SUM(Measure) FROM T WHERE 20 <= age <= 40 AND 2 <= edu <= 9",
+        )
+        .unwrap();
+        let rendered = q.display_sql(&s);
+        let q2 = parse_sql(&s, &rendered).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn tokenizer_rejects_junk() {
+        let s = schema();
+        let err = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE age ?= 3").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+}

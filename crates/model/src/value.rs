@@ -1,0 +1,41 @@
+//! Scalar values stored in dimension cells.
+
+/// A value drawn from a discrete, totally ordered domain.
+///
+/// The paper assumes every dimension "is associated with a domain containing
+/// discrete and totally ordered values" (§3). Categorical attributes are
+/// dictionary-encoded upstream (e.g. by the dataset generators in
+/// `fedaqp-data`), so a signed 64-bit integer covers every attribute the
+/// evaluation uses.
+pub type Value = i64;
+
+/// The measure attribute of a count-tensor cell: how many raw rows were
+/// aggregated into the cell (Fig. 2 of the paper). Raw rows use `1`.
+pub type Measure = u64;
+
+/// Returns the successor of `v`, saturating at `i64::MAX`.
+///
+/// Metadata lookups convert the closed interval `[lo, hi]` into the
+/// difference of two tail proportions `R_{d≥}(lo) − R_{d≥}(succ(hi))`;
+/// saturation keeps `hi == i64::MAX` well-defined (the second term is then
+/// the empty tail).
+#[inline]
+pub fn succ(v: Value) -> Value {
+    v.saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succ_increments() {
+        assert_eq!(succ(0), 1);
+        assert_eq!(succ(-5), -4);
+    }
+
+    #[test]
+    fn succ_saturates() {
+        assert_eq!(succ(i64::MAX), i64::MAX);
+    }
+}

@@ -1,0 +1,204 @@
+//! `EM_sampling` — differentially private cluster selection (Algorithm 2).
+
+use fedaqp_dp::ExponentialMechanism;
+use rand::Rng;
+
+use crate::pps::pps_probabilities;
+use crate::{Result, SamplingError};
+
+/// Output of [`em_sample`]: the selected cluster positions plus the raw PPS
+/// probabilities.
+///
+/// Algorithm 2 returns both `C_S^Q` *and* `P`: the Hansen–Hurwitz estimator
+/// divides by the PPS probability `p_i` (Eq. 3), not by the perturbed
+/// exponential-mechanism probability — the EM's own randomness is the
+/// privacy price, and the estimator treats the selection as if it were a
+/// PPS draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmSample {
+    /// Indices into the covering set, one per selection (with replacement).
+    pub chosen: Vec<usize>,
+    /// PPS probabilities `p_j = R_j / Σ R_i` for the whole covering set.
+    pub pps: Vec<f64>,
+    /// The Exponential mechanism's exact per-draw selection probabilities
+    /// (softmax of `ε_s·p_j/(2Δp)`). The estimator uses their minimum as a
+    /// floor for the PPS divisor: no cluster was ever drawn with lower
+    /// probability than this, so dividing by less would over-inflate both
+    /// the Hansen–Hurwitz contribution and the scenario-4 sensitivity.
+    pub em_probabilities: Vec<f64>,
+}
+
+impl EmSample {
+    /// The smallest probability with which any cluster could be drawn.
+    pub fn min_draw_probability(&self) -> f64 {
+        self.em_probabilities
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Algorithm 2: selects `s` clusters from the covering set with per-cluster
+/// scores equal to their PPS probabilities, spending `eps_s_total` in total
+/// (`ε_s = ε_S / s` per selection) against score sensitivity `delta_p`
+/// (Thm. 5.2: `Δp = 1/(N_min·(N_min+1))`).
+///
+/// Selections are drawn **with replacement**, matching the Hansen–Hurwitz
+/// estimator downstream.
+pub fn em_sample<R: Rng + ?Sized>(
+    rng: &mut R,
+    proportions: &[f64],
+    s: usize,
+    eps_s_total: f64,
+    delta_p: f64,
+) -> Result<EmSample> {
+    if s == 0 {
+        return Err(SamplingError::ZeroSampleSize);
+    }
+    let pps = pps_probabilities(proportions)?;
+    let eps_per_selection = eps_s_total / s as f64;
+    let mechanism = ExponentialMechanism::new(&pps, delta_p, eps_per_selection)?;
+    let chosen = mechanism.select_many(rng, s);
+    let em_probabilities = mechanism.probabilities();
+    Ok(EmSample {
+        chosen,
+        pps,
+        em_probabilities,
+    })
+}
+
+/// The score sensitivity `Δp` of Thm. 5.2 for a provider threshold
+/// `N_min`: `Δp = 1 / (N_min · (N_min + 1))`.
+///
+/// Derived from Eq. 7 by replacing the query-dependent `N^Q` with its
+/// smallest admissible value (queries with `N^Q < N_min` are answered
+/// exactly, never sampled).
+pub fn delta_p(n_min: usize) -> f64 {
+    let n = n_min.max(1) as f64;
+    1.0 / (n * (n + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delta_p_formula() {
+        assert!((delta_p(10) - 1.0 / 110.0).abs() < 1e-15);
+        assert!((delta_p(1) - 0.5).abs() < 1e-15);
+        // Guard against zero.
+        assert!(delta_p(0).is_finite());
+    }
+
+    #[test]
+    fn returns_requested_sample_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = em_sample(&mut rng, &[0.1, 0.2, 0.7], 5, 0.1, delta_p(10)).unwrap();
+        assert_eq!(out.chosen.len(), 5);
+        assert!(out.chosen.iter().all(|&i| i < 3));
+        assert_eq!(out.pps.len(), 3);
+        assert!((out.pps.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_sample_and_empty_population() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            em_sample(&mut rng, &[0.5], 0, 0.1, 0.01),
+            Err(SamplingError::ZeroSampleSize)
+        ));
+        assert!(matches!(
+            em_sample(&mut rng, &[], 1, 0.1, 0.01),
+            Err(SamplingError::EmptyPopulation)
+        ));
+    }
+
+    #[test]
+    fn biased_toward_heavy_clusters() {
+        // With a loose privacy budget, the EM distribution should visibly
+        // favour the cluster holding most of the query mass.
+        let mut rng = StdRng::seed_from_u64(7);
+        let props = [0.01, 0.01, 0.9];
+        let mut counts = [0u64; 3];
+        for _ in 0..2_000 {
+            let out = em_sample(&mut rng, &props, 1, 5.0, delta_p(2)).unwrap();
+            counts[out.chosen[0]] += 1;
+        }
+        assert!(
+            counts[2] > counts[0] && counts[2] > counts[1],
+            "counts {counts:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_budget_approaches_uniform() {
+        // ε_s → 0 flattens the EM distribution regardless of scores.
+        let mut rng = StdRng::seed_from_u64(7);
+        let props = [0.01, 0.01, 0.9];
+        let mut counts = [0u64; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            let out = em_sample(&mut rng, &props, 1, 1e-9, delta_p(10)).unwrap();
+            counts[out.chosen[0]] += 1;
+        }
+        for c in counts {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 1.0 / 3.0).abs() < 0.02, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn budget_split_across_selections() {
+        // s selections at ε_S/s each: more selections ⇒ flatter per-draw
+        // distribution. Verify the per-draw bias shrinks as s grows.
+        let props = [0.05, 0.95];
+        let n = 20_000;
+        let freq_heavy = |s: usize, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut heavy = 0u64;
+            let mut total = 0u64;
+            for _ in 0..n / s {
+                let out = em_sample(&mut rng, &props, s, 2.0, delta_p(2)).unwrap();
+                heavy += out.chosen.iter().filter(|&&i| i == 1).count() as u64;
+                total += s as u64;
+            }
+            heavy as f64 / total as f64
+        };
+        let f1 = freq_heavy(1, 3);
+        let f8 = freq_heavy(8, 4);
+        assert!(f1 > f8, "bias with s=1 ({f1}) should exceed s=8 ({f8})");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = em_sample(&mut StdRng::seed_from_u64(5), &[0.2, 0.8], 10, 0.5, 0.01).unwrap();
+        let b = em_sample(&mut StdRng::seed_from_u64(5), &[0.2, 0.8], 10, 0.5, 0.01).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Sampling never yields out-of-range indices and always honours `s`.
+        #[test]
+        fn indices_in_range(
+            props in proptest::collection::vec(0.0f64..1.0, 1..64),
+            s in 1usize..32,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = em_sample(&mut rng, &props, s, 0.1, delta_p(10)).unwrap();
+            prop_assert_eq!(out.chosen.len(), s);
+            prop_assert!(out.chosen.iter().all(|&i| i < props.len()));
+        }
+    }
+}

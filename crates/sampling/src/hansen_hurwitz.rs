@@ -1,0 +1,245 @@
+//! The Hansen–Hurwitz estimator (Eq. 3 of the paper; Lohr, *Sampling:
+//! Design and Analysis*, §6.2).
+//!
+//! For a with-replacement unequal-probability sample of `n` clusters with
+//! draw probabilities `p_i` and per-cluster totals `Q(C_i)`:
+//!
+//! ```text
+//! Ê = (1/n) Σ_{i=1..n} Q(C_i) / p_i
+//! ```
+//!
+//! is unbiased for the population total `Σ_j Q(C_j)` whenever every cluster
+//! with `Q(C_j) > 0` has `p_j > 0`.
+
+use crate::{Result, SamplingError};
+
+/// One drawn cluster: its query value and its draw probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HansenHurwitz {
+    /// `Q(C_i)` — the exact aggregate over the sampled cluster.
+    pub value: f64,
+    /// `p_i` — the PPS draw probability of the cluster.
+    pub probability: f64,
+}
+
+/// Point estimate `Ê` over the drawn clusters.
+pub fn hh_estimate(draws: &[HansenHurwitz]) -> Result<f64> {
+    if draws.is_empty() {
+        return Err(SamplingError::EmptyPopulation);
+    }
+    let mut acc = 0.0f64;
+    for (index, d) in draws.iter().enumerate() {
+        if !(d.probability.is_finite() && d.probability > 0.0) {
+            return Err(SamplingError::InvalidProbability {
+                index,
+                probability: d.probability,
+            });
+        }
+        acc += d.value / d.probability;
+    }
+    Ok(acc / draws.len() as f64)
+}
+
+/// The classical unbiased variance estimator of the Hansen–Hurwitz total:
+///
+/// ```text
+/// V̂(Ê) = 1/(n(n−1)) Σ (Q(C_i)/p_i − Ê)²
+/// ```
+///
+/// Returns 0 for a single draw (variance is then inestimable; callers treat
+/// the CI as unknown).
+pub fn hh_variance(draws: &[HansenHurwitz]) -> Result<f64> {
+    let estimate = hh_estimate(draws)?;
+    let n = draws.len();
+    if n < 2 {
+        return Ok(0.0);
+    }
+    let ss: f64 = draws
+        .iter()
+        .map(|d| {
+            let t = d.value / d.probability - estimate;
+            t * t
+        })
+        .sum();
+    Ok(ss / (n as f64 * (n as f64 - 1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_when_probabilities_proportional() {
+        // If p_i is exactly proportional to Q(C_i), every draw estimates the
+        // total with zero variance.
+        let totals = [10.0, 30.0, 60.0];
+        let sum: f64 = totals.iter().sum();
+        let draws: Vec<HansenHurwitz> = totals
+            .iter()
+            .map(|&v| HansenHurwitz {
+                value: v,
+                probability: v / sum,
+            })
+            .collect();
+        for d in &draws {
+            assert!((hh_estimate(&[*d]).unwrap() - sum).abs() < 1e-9);
+        }
+        assert!(hh_variance(&draws).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(matches!(
+            hh_estimate(&[]),
+            Err(SamplingError::EmptyPopulation)
+        ));
+        assert!(matches!(
+            hh_estimate(&[HansenHurwitz {
+                value: 1.0,
+                probability: 0.0
+            }]),
+            Err(SamplingError::InvalidProbability { index: 0, .. })
+        ));
+        assert!(hh_estimate(&[HansenHurwitz {
+            value: 1.0,
+            probability: f64::NAN
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn unbiased_under_pps_draws() {
+        // Monte-Carlo: average of many estimates converges to the total.
+        let totals = [5.0, 10.0, 20.0, 40.0, 25.0];
+        let population_total: f64 = totals.iter().sum();
+        // Deliberately *not* proportional probabilities.
+        let probs = [0.3, 0.1, 0.2, 0.15, 0.25];
+        let mut rng = StdRng::seed_from_u64(9);
+        let n_trials = 40_000;
+        let mut acc = 0.0;
+        for _ in 0..n_trials {
+            // Draw 3 clusters with replacement according to probs.
+            let mut draws = Vec::with_capacity(3);
+            for _ in 0..3 {
+                let u: f64 = rng.gen();
+                let mut cum = 0.0;
+                let mut idx = probs.len() - 1;
+                for (i, &p) in probs.iter().enumerate() {
+                    cum += p;
+                    if u < cum {
+                        idx = i;
+                        break;
+                    }
+                }
+                draws.push(HansenHurwitz {
+                    value: totals[idx],
+                    probability: probs[idx],
+                });
+            }
+            acc += hh_estimate(&draws).unwrap();
+        }
+        let mean = acc / n_trials as f64;
+        assert!(
+            (mean - population_total).abs() < 0.01 * population_total,
+            "mean {mean} vs total {population_total}"
+        );
+    }
+
+    #[test]
+    fn variance_shrinks_with_sample_size() {
+        let totals = [5.0, 10.0, 20.0, 40.0];
+        let probs = [0.25, 0.25, 0.25, 0.25];
+        let mut rng = StdRng::seed_from_u64(4);
+        let emp_var = |n: usize, rng: &mut StdRng| {
+            let trials = 4_000;
+            let mut ests = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let draws: Vec<HansenHurwitz> = (0..n)
+                    .map(|_| {
+                        let idx = rng.gen_range(0..4);
+                        HansenHurwitz {
+                            value: totals[idx],
+                            probability: probs[idx],
+                        }
+                    })
+                    .collect();
+                ests.push(hh_estimate(&draws).unwrap());
+            }
+            let m = ests.iter().sum::<f64>() / trials as f64;
+            ests.iter().map(|e| (e - m) * (e - m)).sum::<f64>() / trials as f64
+        };
+        let v2 = emp_var(2, &mut rng);
+        let v16 = emp_var(16, &mut rng);
+        assert!(v16 < v2, "v16 {v16} should be below v2 {v2}");
+    }
+
+    #[test]
+    fn variance_estimator_tracks_empirical_variance() {
+        let totals = [5.0, 50.0];
+        let probs = [0.5, 0.5];
+        let mut rng = StdRng::seed_from_u64(21);
+        let trials = 20_000;
+        let n = 8;
+        let mut est_vars = 0.0;
+        let mut ests = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let draws: Vec<HansenHurwitz> = (0..n)
+                .map(|_| {
+                    let idx = rng.gen_range(0..2);
+                    HansenHurwitz {
+                        value: totals[idx],
+                        probability: probs[idx],
+                    }
+                })
+                .collect();
+            ests.push(hh_estimate(&draws).unwrap());
+            est_vars += hh_variance(&draws).unwrap();
+        }
+        let mean_est_var = est_vars / trials as f64;
+        let m = ests.iter().sum::<f64>() / trials as f64;
+        let emp_var = ests.iter().map(|e| (e - m) * (e - m)).sum::<f64>() / trials as f64;
+        assert!(
+            (mean_est_var - emp_var).abs() < 0.1 * emp_var,
+            "estimated {mean_est_var} vs empirical {emp_var}"
+        );
+    }
+
+    #[test]
+    fn single_draw_variance_is_zero() {
+        let d = [HansenHurwitz {
+            value: 3.0,
+            probability: 0.5,
+        }];
+        assert_eq!(hh_variance(&d).unwrap(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The estimate is finite and scale-equivariant: scaling all values
+        /// by c scales the estimate by c.
+        #[test]
+        fn scale_equivariance(
+            draws in proptest::collection::vec((0.0f64..1e6, 1e-6f64..1.0), 1..64),
+            c in 0.1f64..100.0,
+        ) {
+            let base: Vec<HansenHurwitz> = draws
+                .iter()
+                .map(|&(v, p)| HansenHurwitz { value: v, probability: p })
+                .collect();
+            let scaled: Vec<HansenHurwitz> = draws
+                .iter()
+                .map(|&(v, p)| HansenHurwitz { value: v * c, probability: p })
+                .collect();
+            let e0 = hh_estimate(&base).unwrap();
+            let e1 = hh_estimate(&scaled).unwrap();
+            prop_assert!((e1 - c * e0).abs() <= 1e-9 * e1.abs().max(1.0));
+        }
+    }
+}

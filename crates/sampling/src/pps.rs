@@ -1,0 +1,90 @@
+//! Probability-proportional-to-size sampling weights (Eq. 1).
+
+use crate::{Result, SamplingError};
+
+/// Converts per-cluster proportions `R̂ = {R_1, …, R_{N^Q}}` into sampling
+/// probabilities `p_j = R_j / Σ R_i` (Eq. 1).
+///
+/// When every proportion is zero (a query whose covering clusters carry no
+/// estimated mass — possible because pruning uses min/max boxes while `R`
+/// uses exact tails), the distribution degrades to uniform so that sampling
+/// and estimation remain well-defined; the estimator then sees genuinely
+/// uniform inclusion probabilities.
+pub fn pps_probabilities(proportions: &[f64]) -> Result<Vec<f64>> {
+    if proportions.is_empty() {
+        return Err(SamplingError::EmptyPopulation);
+    }
+    let mut total = 0.0f64;
+    for (index, &w) in proportions.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(SamplingError::InvalidWeight { index, weight: w });
+        }
+        total += w;
+    }
+    let n = proportions.len() as f64;
+    if total <= 0.0 {
+        return Ok(vec![1.0 / n; proportions.len()]);
+    }
+    Ok(proportions.iter().map(|&w| w / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_weights() {
+        let p = pps_probabilities(&[1.0, 3.0]).unwrap();
+        assert!((p[0] - 0.25).abs() < 1e-12);
+        assert!((p[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mass_degrades_to_uniform() {
+        let p = pps_probabilities(&[0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(p.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            pps_probabilities(&[]),
+            Err(SamplingError::EmptyPopulation)
+        ));
+        assert!(matches!(
+            pps_probabilities(&[0.5, -0.1]),
+            Err(SamplingError::InvalidWeight { index: 1, .. })
+        ));
+        assert!(pps_probabilities(&[f64::NAN]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Output is always a probability distribution.
+        #[test]
+        fn is_distribution(ws in proptest::collection::vec(0.0f64..1e6, 1..256)) {
+            let p = pps_probabilities(&ws).unwrap();
+            prop_assert_eq!(p.len(), ws.len());
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+
+        /// Probabilities preserve the ordering of the weights.
+        #[test]
+        fn order_preserving(ws in proptest::collection::vec(0.0f64..1e3, 2..64)) {
+            let p = pps_probabilities(&ws).unwrap();
+            for i in 0..ws.len() {
+                for j in 0..ws.len() {
+                    if ws[i] > ws[j] {
+                        prop_assert!(p[i] >= p[j]);
+                    }
+                }
+            }
+        }
+    }
+}

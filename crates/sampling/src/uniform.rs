@@ -1,0 +1,160 @@
+//! Non-private sampling baselines (§2, §4; ablation experiments).
+
+use rand::Rng;
+
+use crate::{Result, SamplingError};
+
+/// Uniform cluster sampling **with replacement**: `s` independent uniform
+/// draws from `0..n`. The equal-probability counterpart of PPS sampling —
+/// "unequal probability cluster sampling is more effective at providing
+/// better estimates" (§4) is exactly what the PPS-vs-uniform ablation
+/// quantifies against this baseline.
+pub fn uniform_sample_with_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    s: usize,
+) -> Result<Vec<usize>> {
+    if n == 0 {
+        return Err(SamplingError::EmptyPopulation);
+    }
+    if s == 0 {
+        return Err(SamplingError::ZeroSampleSize);
+    }
+    Ok((0..s).map(|_| rng.gen_range(0..n)).collect())
+}
+
+/// Bernoulli (row-level) sampling: each of the `n` items is kept
+/// independently with probability `rate`. Returns the kept indices.
+///
+/// This is the §2 "row-level random sampling" baseline whose full-scan
+/// overhead motivates cluster sampling (Haas & König's observation that
+/// Bernoulli sampling still scans the whole table — the returned index set
+/// requires a pass over all `n` items by construction).
+pub fn bernoulli_sample<R: Rng + ?Sized>(rng: &mut R, n: usize, rate: f64) -> Result<Vec<usize>> {
+    if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+        return Err(SamplingError::InvalidRate(rate));
+    }
+    let mut kept = Vec::with_capacity((n as f64 * rate) as usize + 1);
+    for i in 0..n {
+        if rng.gen::<f64>() < rate {
+            kept.push(i);
+        }
+    }
+    Ok(kept)
+}
+
+/// Reservoir sampling (Vitter's Algorithm R): a uniform without-replacement
+/// sample of `k` items from a stream of unknown length. Returns the chosen
+/// indices in stream order of replacement.
+pub fn reservoir_sample<R: Rng + ?Sized, I: Iterator>(
+    rng: &mut R,
+    stream: I,
+    k: usize,
+) -> Result<Vec<I::Item>> {
+    if k == 0 {
+        return Err(SamplingError::ZeroSampleSize);
+    }
+    let mut reservoir: Vec<I::Item> = Vec::with_capacity(k);
+    for (i, item) in stream.enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    if reservoir.is_empty() {
+        return Err(SamplingError::EmptyPopulation);
+    }
+    Ok(reservoir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_draws_cover_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = uniform_sample_with_replacement(&mut rng, 10, 1000).unwrap();
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|&i| i < 10));
+        // Every index should appear with ~100 draws.
+        for target in 0..10 {
+            let c = s.iter().filter(|&&i| i == target).count();
+            assert!(c > 50 && c < 160, "index {target} drawn {c} times");
+        }
+    }
+
+    #[test]
+    fn uniform_rejects_degenerate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            uniform_sample_with_replacement(&mut rng, 0, 5),
+            Err(SamplingError::EmptyPopulation)
+        ));
+        assert!(matches!(
+            uniform_sample_with_replacement(&mut rng, 5, 0),
+            Err(SamplingError::ZeroSampleSize)
+        ));
+    }
+
+    #[test]
+    fn bernoulli_rate_controls_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kept = bernoulli_sample(&mut rng, 100_000, 0.2).unwrap();
+        let frac = kept.len() as f64 / 100_000.0;
+        assert!((frac - 0.2).abs() < 0.01, "kept {frac}");
+        // Indices ascending and unique by construction.
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn bernoulli_edge_rates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(bernoulli_sample(&mut rng, 100, 0.0).unwrap().is_empty());
+        assert_eq!(bernoulli_sample(&mut rng, 100, 1.0).unwrap().len(), 100);
+        assert!(bernoulli_sample(&mut rng, 100, 1.5).is_err());
+        assert!(bernoulli_sample(&mut rng, 100, -0.1).is_err());
+    }
+
+    #[test]
+    fn reservoir_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20usize;
+        let k = 5usize;
+        let trials = 40_000;
+        let mut counts = vec![0u64; n];
+        for _ in 0..trials {
+            for &x in &reservoir_sample(&mut rng, 0..n, k).unwrap() {
+                counts[x] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 0.06 * expected,
+                "item {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_short_stream_returns_all() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = reservoir_sample(&mut rng, 0..3, 10).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(matches!(
+            reservoir_sample(&mut rng, std::iter::empty::<u32>(), 2),
+            Err(SamplingError::EmptyPopulation)
+        ));
+        assert!(matches!(
+            reservoir_sample(&mut rng, 0..3, 0),
+            Err(SamplingError::ZeroSampleSize)
+        ));
+    }
+}

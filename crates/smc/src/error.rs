@@ -1,0 +1,63 @@
+//! Error type for the SMC simulation.
+
+use std::fmt;
+
+/// Errors raised by the SMC substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SmcError {
+    /// Fixed-point encoding overflow: the real value does not fit the field
+    /// with the configured fractional bits.
+    FixedPointOverflow(f64),
+    /// Fixed-point encoding of a non-finite value.
+    NonFinite(f64),
+    /// Sharing requires at least two parties.
+    TooFewParties(usize),
+    /// Share vectors of mismatched party counts were combined.
+    PartyMismatch {
+        /// Left operand's party count.
+        left: usize,
+        /// Right operand's party count.
+        right: usize,
+    },
+    /// A protocol was invoked with no inputs.
+    NoInputs,
+    /// Division by a non-invertible field element.
+    NotInvertible,
+}
+
+impl fmt::Display for SmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmcError::FixedPointOverflow(x) => {
+                write!(f, "value {x} overflows the fixed-point field encoding")
+            }
+            SmcError::NonFinite(x) => write!(f, "cannot encode non-finite value {x}"),
+            SmcError::TooFewParties(n) => {
+                write!(f, "secret sharing needs at least 2 parties, got {n}")
+            }
+            SmcError::PartyMismatch { left, right } => {
+                write!(f, "combined shares for {left} vs {right} parties")
+            }
+            SmcError::NoInputs => write!(f, "protocol invoked with no inputs"),
+            SmcError::NotInvertible => write!(f, "field element has no inverse"),
+        }
+    }
+}
+
+impl std::error::Error for SmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SmcError::TooFewParties(1).to_string().contains('1'));
+        assert!(SmcError::FixedPointOverflow(1e30)
+            .to_string()
+            .contains("overflows"));
+        assert!(SmcError::PartyMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -1,0 +1,153 @@
+//! Network and computation cost model for the SMC simulation.
+//!
+//! The paper's Fig. 1 measures wall-clock time for sharing rows vs sharing
+//! results between four Grid5000 servers. Our federation is in-process, so
+//! SMC time is *simulated*: every message, byte, and MPC gate advances a
+//! [`SimClock`] according to a [`CostModel`]. The defaults approximate the
+//! paper's testbed (1 Gbps LAN links, sub-millisecond latency, Beaver-triple
+//! style gate evaluation); the harness exposes them as parameters so the
+//! Fig. 1 shape can be explored under different networks.
+
+use std::time::Duration;
+
+/// Link and computation cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// One-way message latency per protocol round.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Cost of evaluating one MPC gate (comparison/multiplication step),
+    /// including amortized triple consumption.
+    pub ns_per_gate: u64,
+    /// Wire size of one field share.
+    pub bytes_per_share: u64,
+}
+
+impl CostModel {
+    /// Grid5000-like LAN: 1 Gbps, 0.5 ms one-way latency, 500 ns/gate.
+    pub fn lan() -> Self {
+        Self {
+            latency: Duration::from_micros(500),
+            bandwidth_bytes_per_sec: 125_000_000.0, // 1 Gbps
+            ns_per_gate: 500,
+            bytes_per_share: 8,
+        }
+    }
+
+    /// Wide-area network: 100 Mbps, 25 ms one-way latency.
+    pub fn wan() -> Self {
+        Self {
+            latency: Duration::from_millis(25),
+            bandwidth_bytes_per_sec: 12_500_000.0, // 100 Mbps
+            ns_per_gate: 500,
+            bytes_per_share: 8,
+        }
+    }
+
+    /// A free network (zero cost) — isolates pure-computation effects in
+    /// tests and ablations.
+    pub fn zero() -> Self {
+        Self {
+            latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            ns_per_gate: 0,
+            bytes_per_share: 8,
+        }
+    }
+
+    /// Time for one protocol round moving `bytes` over the bottleneck link.
+    pub fn round_time(&self, bytes: u64) -> Duration {
+        let wire = if self.bandwidth_bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        self.latency + wire
+    }
+
+    /// Time to evaluate `gates` MPC gates.
+    pub fn gate_time(&self, gates: u64) -> Duration {
+        Duration::from_nanos(self.ns_per_gate.saturating_mul(gates))
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+/// A simulated wall clock accumulating protocol time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock {
+    elapsed: Duration,
+}
+
+impl SimClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock.
+    pub fn advance(&mut self, d: Duration) {
+        self.elapsed += d;
+    }
+
+    /// Total simulated time.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Resets to zero (between measured queries).
+    pub fn reset(&mut self) {
+        self.elapsed = Duration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_time_combines_latency_and_wire() {
+        let m = CostModel {
+            latency: Duration::from_millis(1),
+            bandwidth_bytes_per_sec: 1000.0,
+            ns_per_gate: 0,
+            bytes_per_share: 8,
+        };
+        let t = m.round_time(2000);
+        assert!((t.as_secs_f64() - 2.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = CostModel::zero();
+        assert_eq!(m.round_time(1 << 30), Duration::ZERO);
+        assert_eq!(m.gate_time(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn gate_time_scales() {
+        let m = CostModel::lan();
+        assert_eq!(m.gate_time(2), Duration::from_nanos(1000));
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        let bytes = 1_000_000;
+        assert!(CostModel::wan().round_time(bytes) > CostModel::lan().round_time(bytes));
+    }
+
+    #[test]
+    fn clock_accumulates_and_resets() {
+        let mut c = SimClock::new();
+        c.advance(Duration::from_millis(5));
+        c.advance(Duration::from_millis(7));
+        assert_eq!(c.elapsed(), Duration::from_millis(12));
+        c.reset();
+        assert_eq!(c.elapsed(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,235 @@
+//! Shamir threshold secret sharing over `GF(2^61 − 1)`.
+//!
+//! The paper's proof-of-concept used MPyC, which is Shamir-based: a secret
+//! is the constant term of a random degree-`t−1` polynomial and any `t`
+//! of the `n` evaluation points reconstruct it by Lagrange interpolation.
+//! The additive scheme in [`crate::share`] is what the federation's
+//! release path uses (simpler, same honest-but-curious model); this module
+//! provides the threshold scheme for deployments that need robustness to
+//! dropped-out providers (`t < n` reconstruction).
+
+use rand::Rng;
+
+use crate::field::Fp;
+use crate::{Result, SmcError};
+
+/// One Shamir share: the evaluation point `x` (party index, never 0) and
+/// the polynomial value `y = f(x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShamirShare {
+    /// Evaluation point (1-based party index).
+    pub x: u64,
+    /// Share value `f(x)`.
+    pub y: Fp,
+}
+
+/// Splits `secret` into `n` shares with reconstruction threshold `t`
+/// (`1 ≤ t ≤ n`): any `t` shares reconstruct, any `t − 1` reveal nothing.
+pub fn shamir_share<R: Rng + ?Sized>(
+    rng: &mut R,
+    secret: Fp,
+    t: usize,
+    n: usize,
+) -> Result<Vec<ShamirShare>> {
+    if n < 2 {
+        return Err(SmcError::TooFewParties(n));
+    }
+    if t < 1 || t > n {
+        return Err(SmcError::PartyMismatch { left: t, right: n });
+    }
+    // f(x) = secret + a_1 x + … + a_{t−1} x^{t−1}, a_i uniform.
+    let coeffs: Vec<Fp> = std::iter::once(secret)
+        .chain((1..t).map(|_| Fp::random(rng)))
+        .collect();
+    Ok((1..=n as u64)
+        .map(|x| {
+            // Horner evaluation at x.
+            let xf = Fp::new(x);
+            let mut y = Fp::ZERO;
+            for &c in coeffs.iter().rev() {
+                y = y * xf + c;
+            }
+            ShamirShare { x, y }
+        })
+        .collect())
+}
+
+/// Reconstructs the secret from at least `t` shares with **distinct**
+/// evaluation points, by Lagrange interpolation at 0.
+pub fn shamir_reconstruct(shares: &[ShamirShare]) -> Result<Fp> {
+    if shares.is_empty() {
+        return Err(SmcError::NoInputs);
+    }
+    for (i, a) in shares.iter().enumerate() {
+        if a.x == 0 {
+            return Err(SmcError::NotInvertible);
+        }
+        if shares[..i].iter().any(|b| b.x == a.x) {
+            return Err(SmcError::PartyMismatch {
+                left: a.x as usize,
+                right: a.x as usize,
+            });
+        }
+    }
+    // secret = Σ_i y_i · ∏_{j≠i} x_j / (x_j − x_i)
+    let mut secret = Fp::ZERO;
+    for (i, si) in shares.iter().enumerate() {
+        let mut num = Fp::ONE;
+        let mut den = Fp::ONE;
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num *= Fp::new(sj.x);
+            den *= Fp::new(sj.x) - Fp::new(si.x);
+        }
+        secret += si.y * num * den.inverse()?;
+    }
+    Ok(secret)
+}
+
+/// Share-wise addition of two sharings over the same evaluation points:
+/// `[x] + [y] = [x + y]` (degree unchanged).
+pub fn shamir_add(a: &[ShamirShare], b: &[ShamirShare]) -> Result<Vec<ShamirShare>> {
+    if a.len() != b.len() {
+        return Err(SmcError::PartyMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    a.iter()
+        .zip(b)
+        .map(|(sa, sb)| {
+            if sa.x != sb.x {
+                return Err(SmcError::PartyMismatch {
+                    left: sa.x as usize,
+                    right: sb.x as usize,
+                });
+            }
+            Ok(ShamirShare {
+                x: sa.x,
+                y: sa.y + sb.y,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_set_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let secret = Fp::new(123_456_789);
+        let shares = shamir_share(&mut rng, secret, 3, 5).unwrap();
+        assert_eq!(shares.len(), 5);
+        assert_eq!(shamir_reconstruct(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn any_threshold_subset_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let secret = Fp::new(987_654);
+        let shares = shamir_share(&mut rng, secret, 3, 5).unwrap();
+        // All C(5,3) subsets.
+        for i in 0..5 {
+            for j in i + 1..5 {
+                for k in j + 1..5 {
+                    let subset = [shares[i], shares[j], shares[k]];
+                    assert_eq!(shamir_reconstruct(&subset).unwrap(), secret);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn below_threshold_misreconstructs() {
+        // With t = 3, two shares interpolate a line — overwhelmingly not
+        // through the secret.
+        let mut rng = StdRng::seed_from_u64(3);
+        let secret = Fp::new(42);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let shares = shamir_share(&mut rng, secret, 3, 5).unwrap();
+            if shamir_reconstruct(&shares[..2]).unwrap() == secret {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 1, "threshold violated: {hits}/50 partial hits");
+    }
+
+    #[test]
+    fn validates_parameters_and_duplicates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(shamir_share(&mut rng, Fp::ONE, 0, 5).is_err());
+        assert!(shamir_share(&mut rng, Fp::ONE, 6, 5).is_err());
+        assert!(shamir_share(&mut rng, Fp::ONE, 2, 1).is_err());
+        assert!(shamir_reconstruct(&[]).is_err());
+        let s = ShamirShare { x: 1, y: Fp::ONE };
+        assert!(shamir_reconstruct(&[s, s]).is_err());
+        assert!(shamir_reconstruct(&[ShamirShare { x: 0, y: Fp::ONE }]).is_err());
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Fp::new(1000);
+        let b = Fp::new(337);
+        let sa = shamir_share(&mut rng, a, 3, 4).unwrap();
+        let sb = shamir_share(&mut rng, b, 3, 4).unwrap();
+        let sum = shamir_add(&sa, &sb).unwrap();
+        assert_eq!(shamir_reconstruct(&sum[..3]).unwrap(), a + b);
+    }
+
+    #[test]
+    fn t_equals_one_is_replication() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let secret = Fp::new(7);
+        let shares = shamir_share(&mut rng, secret, 1, 3).unwrap();
+        for s in &shares {
+            assert_eq!(s.y, secret);
+        }
+        assert_eq!(shamir_reconstruct(&shares[..1]).unwrap(), secret);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Round-trips for arbitrary secrets, thresholds, party counts.
+        #[test]
+        fn round_trip(
+            secret in any::<u64>(),
+            n in 2usize..10,
+            t_off in 0usize..8,
+            seed in any::<u64>(),
+        ) {
+            let t = 1 + t_off % n;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = Fp::new(secret);
+            let shares = shamir_share(&mut rng, s, t, n).unwrap();
+            prop_assert_eq!(shamir_reconstruct(&shares[..t]).unwrap(), s);
+            prop_assert_eq!(shamir_reconstruct(&shares).unwrap(), s);
+        }
+
+        /// Homomorphic sums reconstruct for arbitrary pairs.
+        #[test]
+        fn homomorphic_sum(a in any::<u64>(), b in any::<u64>(), seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fa = Fp::new(a);
+            let fb = Fp::new(b);
+            let sa = shamir_share(&mut rng, fa, 2, 4).unwrap();
+            let sb = shamir_share(&mut rng, fb, 2, 4).unwrap();
+            let sum = shamir_add(&sa, &sb).unwrap();
+            prop_assert_eq!(shamir_reconstruct(&sum[1..3]).unwrap(), fa + fb);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Bounded storage clusters.
+
+use fedaqp_model::{Range, RangeQuery, Row};
+
+use crate::{Result, StorageError};
+
+/// Identifier of a cluster within one provider's store.
+pub type ClusterId = u32;
+
+/// A storage cluster: up to `S` count-tensor cells in column-major layout.
+///
+/// Columns are stored contiguously so a range predicate on one dimension
+/// walks one cache-friendly array; the per-cluster scan is the cost unit of
+/// the whole system (sampling s clusters ⇒ scanning `s · S` cells instead of
+/// `N^Q · S`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    id: ClusterId,
+    len: usize,
+    /// `cols[d][i]` = value of row `i` on dimension `d`.
+    cols: Vec<Vec<i64>>,
+    measures: Vec<u64>,
+}
+
+impl Cluster {
+    /// Builds a cluster from rows, enforcing the capacity bound.
+    pub fn from_rows(id: ClusterId, arity: usize, rows: &[Row], capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(StorageError::ZeroCapacity);
+        }
+        if rows.len() > capacity {
+            return Err(StorageError::CapacityExceeded {
+                rows: rows.len(),
+                capacity,
+            });
+        }
+        let mut cols = vec![Vec::with_capacity(rows.len()); arity];
+        let mut measures = Vec::with_capacity(rows.len());
+        for row in rows {
+            debug_assert_eq!(row.values().len(), arity);
+            for (d, &v) in row.values().iter().enumerate() {
+                cols[d].push(v);
+            }
+            measures.push(row.measure());
+        }
+        Ok(Self {
+            id,
+            len: rows.len(),
+            cols,
+            measures,
+        })
+    }
+
+    /// The cluster's id.
+    #[inline]
+    pub fn id(&self) -> ClusterId {
+        self.id
+    }
+
+    /// Number of stored cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cluster is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column for dimension `d`.
+    #[inline]
+    pub fn column(&self, d: usize) -> &[i64] {
+        &self.cols[d]
+    }
+
+    /// Measures column.
+    #[inline]
+    pub fn measures(&self) -> &[u64] {
+        &self.measures
+    }
+
+    /// Sum of measures (raw rows aggregated into this cluster).
+    pub fn total_measure(&self) -> u64 {
+        self.measures.iter().sum()
+    }
+
+    /// Evaluates a range query over this cluster — the `Q(C_i)` of Eq. 3.
+    ///
+    /// Row survivorship is computed predicate-by-predicate over columnar
+    /// data; the measure column is only consulted for survivors.
+    pub fn evaluate(&self, query: &RangeQuery) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        // Tight loop over the first predicate's column, then refine.
+        let ranges = query.ranges();
+        debug_assert!(!ranges.is_empty());
+        let mut acc = 0u64;
+        'rows: for i in 0..self.len {
+            for r in ranges {
+                let v = self.cols[r.dim][i];
+                if v < r.lo || v > r.hi {
+                    continue 'rows;
+                }
+            }
+            acc += match query.aggregate() {
+                fedaqp_model::Aggregate::Count => 1,
+                fedaqp_model::Aggregate::Sum => self.measures[i],
+            };
+        }
+        acc
+    }
+
+    /// Exact number of cells matching the query's ranges (the exact `R·S`
+    /// numerator, used by the exact-R ablation).
+    pub fn matching_rows(&self, ranges: &[Range]) -> usize {
+        let mut n = 0usize;
+        'rows: for i in 0..self.len {
+            for r in ranges {
+                let v = self.cols[r.dim][i];
+                if v < r.lo || v > r.hi {
+                    continue 'rows;
+                }
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Reconstructs row `i` (used when rows must be serialized, e.g. the
+    /// SMC row-sharing simulation of Fig. 1).
+    pub fn row(&self, i: usize) -> Row {
+        let values: Vec<i64> = self.cols.iter().map(|c| c[i]).collect();
+        Row::cell(values, self.measures[i])
+    }
+
+    /// Iterates all rows (materializing each).
+    pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
+        (0..self.len).map(move |i| self.row(i))
+    }
+
+    /// Approximate in-memory footprint in bytes (columnar payload only).
+    pub fn payload_bytes(&self) -> usize {
+        self.len * (self.arity() * std::mem::size_of::<i64>() + std::mem::size_of::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedaqp_model::{Aggregate, Range, RangeQuery, Row};
+
+    fn cluster() -> Cluster {
+        let rows = vec![
+            Row::cell(vec![10, 100], 2),
+            Row::cell(vec![20, 200], 3),
+            Row::cell(vec![30, 300], 5),
+        ];
+        Cluster::from_rows(7, 2, &rows, 10).unwrap()
+    }
+
+    #[test]
+    fn from_rows_builds_columns() {
+        let c = cluster();
+        assert_eq!(c.id(), 7);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.arity(), 2);
+        assert_eq!(c.column(0), &[10, 20, 30]);
+        assert_eq!(c.column(1), &[100, 200, 300]);
+        assert_eq!(c.measures(), &[2, 3, 5]);
+        assert_eq!(c.total_measure(), 10);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let rows: Vec<Row> = (0..5).map(|i| Row::raw(vec![i])).collect();
+        assert!(matches!(
+            Cluster::from_rows(0, 1, &rows, 4),
+            Err(StorageError::CapacityExceeded {
+                rows: 5,
+                capacity: 4
+            })
+        ));
+        assert!(matches!(
+            Cluster::from_rows(0, 1, &rows, 0),
+            Err(StorageError::ZeroCapacity)
+        ));
+    }
+
+    #[test]
+    fn evaluate_matches_row_scan() {
+        let c = cluster();
+        let q = RangeQuery::new(
+            Aggregate::Sum,
+            vec![
+                Range::new(0, 10, 20).unwrap(),
+                Range::new(1, 150, 300).unwrap(),
+            ],
+        )
+        .unwrap();
+        // Only row (20, 200, m=3) matches both predicates.
+        assert_eq!(c.evaluate(&q), 3);
+        let qc = RangeQuery::new(Aggregate::Count, vec![Range::new(0, 0, 99).unwrap()]).unwrap();
+        assert_eq!(c.evaluate(&qc), 3);
+    }
+
+    #[test]
+    fn matching_rows_counts_cells() {
+        let c = cluster();
+        assert_eq!(c.matching_rows(&[Range::new(0, 15, 35).unwrap()]), 2);
+        assert_eq!(c.matching_rows(&[Range::new(1, 0, 50).unwrap()]), 0);
+    }
+
+    #[test]
+    fn row_round_trips() {
+        let c = cluster();
+        assert_eq!(c.row(1), Row::cell(vec![20, 200], 3));
+        let all: Vec<Row> = c.rows().collect();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn empty_cluster_evaluates_to_zero() {
+        let c = Cluster::from_rows(0, 2, &[], 10).unwrap();
+        let q = RangeQuery::new(Aggregate::Count, vec![Range::new(0, 0, 9).unwrap()]).unwrap();
+        assert_eq!(c.evaluate(&q), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn payload_bytes_scale_with_rows() {
+        let c = cluster();
+        assert_eq!(c.payload_bytes(), 3 * (2 * 8 + 8));
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the storage crate.
+
+use std::fmt;
+
+use fedaqp_model::ModelError;
+
+/// Errors raised by cluster construction, metadata building, or the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Propagated data-model error (schema/row validation).
+    Model(ModelError),
+    /// Cluster capacity must be positive.
+    ZeroCapacity,
+    /// A cluster was built with more rows than the agreed capacity.
+    CapacityExceeded {
+        /// Rows offered.
+        rows: usize,
+        /// Agreed capacity `S`.
+        capacity: usize,
+    },
+    /// A cluster id referenced a non-existent cluster.
+    UnknownCluster(u32),
+    /// The binary metadata blob was malformed.
+    Corrupt(&'static str),
+    /// The binary metadata blob had an unsupported version.
+    UnsupportedVersion(u16),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Model(e) => write!(f, "model error: {e}"),
+            StorageError::ZeroCapacity => write!(f, "cluster capacity S must be positive"),
+            StorageError::CapacityExceeded { rows, capacity } => {
+                write!(
+                    f,
+                    "cluster holds {rows} rows, exceeding capacity {capacity}"
+                )
+            }
+            StorageError::UnknownCluster(id) => write!(f, "unknown cluster id {id}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt metadata blob: {what}"),
+            StorageError::UnsupportedVersion(v) => {
+                write!(f, "unsupported metadata format version {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for StorageError {
+    fn from(e: ModelError) -> Self {
+        StorageError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(StorageError::ZeroCapacity.to_string().contains("positive"));
+        assert!(StorageError::CapacityExceeded {
+            rows: 10,
+            capacity: 5
+        }
+        .to_string()
+        .contains("10"));
+        let e: StorageError = ModelError::NoRanges.into();
+        assert!(e.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn source_chains_model_errors() {
+        use std::error::Error as _;
+        let e: StorageError = ModelError::NoRanges.into();
+        assert!(e.source().is_some());
+        assert!(StorageError::ZeroCapacity.source().is_none());
+    }
+}

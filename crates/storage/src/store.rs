@@ -1,0 +1,275 @@
+//! A provider's local table stored as a set of clusters.
+
+use fedaqp_model::{RangeQuery, Row, Schema};
+
+use crate::cluster::{Cluster, ClusterId};
+use crate::{Result, StorageError};
+
+/// How rows are laid out into clusters.
+///
+/// The layout determines how skewed the per-cluster value distributions are,
+/// which is exactly what distribution-aware sampling exploits: "the
+/// assumption of a uniform distribution of rows among all clusters is rarely
+/// valid in real databases" (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Keep input order and chunk. With generator output this approximates
+    /// insertion order (mild locality).
+    Sequential,
+    /// Sort by one dimension, then chunk — models a clustered index /
+    /// naturally ordered pages; produces strong per-cluster locality and is
+    /// the evaluation default.
+    SortedBy(usize),
+    /// Sort lexicographically by all dimensions, then chunk — the layout a
+    /// count tensor materialized in dimension order would have.
+    SortedLex,
+    /// Round-robin rows across clusters — the adversarial, *uniform* layout
+    /// where cluster sampling has nothing to exploit (ablation baseline).
+    RoundRobin,
+}
+
+/// The cluster-resident table of one data provider.
+#[derive(Debug, Clone)]
+pub struct ClusterStore {
+    schema: Schema,
+    capacity: usize,
+    clusters: Vec<Cluster>,
+}
+
+impl ClusterStore {
+    /// Partitions `rows` into clusters of at most `capacity` cells using
+    /// `strategy`.
+    pub fn build(
+        schema: Schema,
+        mut rows: Vec<Row>,
+        capacity: usize,
+        strategy: PartitionStrategy,
+    ) -> Result<Self> {
+        if capacity == 0 {
+            return Err(StorageError::ZeroCapacity);
+        }
+        for r in &rows {
+            schema.check_row(r)?;
+        }
+        match strategy {
+            PartitionStrategy::Sequential => {}
+            PartitionStrategy::SortedBy(d) => {
+                if d >= schema.arity() {
+                    return Err(fedaqp_model::ModelError::DimensionIndexOutOfBounds {
+                        index: d,
+                        len: schema.arity(),
+                    }
+                    .into());
+                }
+                rows.sort_by_key(|r| r.value(d));
+            }
+            PartitionStrategy::SortedLex => {
+                rows.sort_by(|a, b| a.values().cmp(b.values()));
+            }
+            PartitionStrategy::RoundRobin => {
+                let n_clusters = rows.len().div_ceil(capacity).max(1);
+                // Stable round-robin: row i goes to cluster i % n_clusters.
+                let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); n_clusters];
+                for (i, r) in rows.drain(..).enumerate() {
+                    buckets[i % n_clusters].push(r);
+                }
+                rows = buckets.into_iter().flatten().collect();
+            }
+        }
+        let arity = schema.arity();
+        let mut clusters = Vec::with_capacity(rows.len().div_ceil(capacity));
+        for (i, chunk) in rows.chunks(capacity.max(1)).enumerate() {
+            clusters.push(Cluster::from_rows(i as ClusterId, arity, chunk, capacity)?);
+        }
+        Ok(Self {
+            schema,
+            capacity,
+            clusters,
+        })
+    }
+
+    /// Rebuilds a store from pre-validated parts (the store codec).
+    pub(crate) fn from_parts(
+        schema: Schema,
+        capacity: usize,
+        clusters: Vec<Cluster>,
+    ) -> Result<Self> {
+        if capacity == 0 {
+            return Err(StorageError::ZeroCapacity);
+        }
+        Ok(Self {
+            schema,
+            capacity,
+            clusters,
+        })
+    }
+
+    /// The table schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The agreed per-cluster capacity `S`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// All clusters.
+    #[inline]
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Number of clusters `N`.
+    #[inline]
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster by id.
+    pub fn cluster(&self, id: ClusterId) -> Result<&Cluster> {
+        self.clusters
+            .get(id as usize)
+            .ok_or(StorageError::UnknownCluster(id))
+    }
+
+    /// Total stored cells.
+    pub fn total_rows(&self) -> usize {
+        self.clusters.iter().map(|c| c.len()).sum()
+    }
+
+    /// Total raw rows (Σ measure).
+    pub fn total_measure(&self) -> u64 {
+        self.clusters.iter().map(|c| c.total_measure()).sum()
+    }
+
+    /// Exact full-scan evaluation — the provider's "normal computation"
+    /// baseline of the speed-up metric (§6.1).
+    pub fn evaluate_full(&self, query: &RangeQuery) -> u64 {
+        self.clusters.iter().map(|c| c.evaluate(query)).sum()
+    }
+
+    /// Evaluates the query over a subset of clusters (the sampled set).
+    pub fn evaluate_clusters(&self, query: &RangeQuery, ids: &[ClusterId]) -> Result<u64> {
+        let mut acc = 0u64;
+        for &id in ids {
+            acc += self.cluster(id)?.evaluate(query);
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedaqp_model::{Aggregate, Dimension, Domain, Range, RangeQuery};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::new("a", Domain::new(0, 99).unwrap()),
+            Dimension::new("b", Domain::new(0, 99).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::cell(
+                    vec![(i % 100) as i64, ((i * 7) % 100) as i64],
+                    1 + (i % 3) as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_chunks_by_capacity() {
+        let s = ClusterStore::build(schema(), rows(25), 10, PartitionStrategy::Sequential).unwrap();
+        assert_eq!(s.n_clusters(), 3);
+        assert_eq!(s.clusters()[0].len(), 10);
+        assert_eq!(s.clusters()[2].len(), 5);
+        assert_eq!(s.total_rows(), 25);
+    }
+
+    #[test]
+    fn sorted_by_gives_value_locality() {
+        let s =
+            ClusterStore::build(schema(), rows(100), 10, PartitionStrategy::SortedBy(0)).unwrap();
+        // Each cluster's dim-0 values form a contiguous sorted band.
+        let mut prev_max = i64::MIN;
+        for c in s.clusters() {
+            let lo = *c.column(0).iter().min().unwrap();
+            let hi = *c.column(0).iter().max().unwrap();
+            assert!(lo >= prev_max);
+            prev_max = hi;
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_values() {
+        let s =
+            ClusterStore::build(schema(), rows(100), 10, PartitionStrategy::RoundRobin).unwrap();
+        assert_eq!(s.n_clusters(), 10);
+        // Every cluster should see both low and high dim-0 values.
+        for c in s.clusters() {
+            let lo = *c.column(0).iter().min().unwrap();
+            let hi = *c.column(0).iter().max().unwrap();
+            assert!(hi - lo > 50, "cluster too localized for round-robin");
+        }
+    }
+
+    #[test]
+    fn full_scan_is_partition_invariant() {
+        let q = RangeQuery::new(
+            Aggregate::Sum,
+            vec![
+                Range::new(0, 20, 60).unwrap(),
+                Range::new(1, 0, 50).unwrap(),
+            ],
+        )
+        .unwrap();
+        let exact = {
+            let rs = rows(200);
+            rs.iter()
+                .filter(|r| q.matches(r))
+                .map(|r| r.measure())
+                .sum::<u64>()
+        };
+        for strat in [
+            PartitionStrategy::Sequential,
+            PartitionStrategy::SortedBy(1),
+            PartitionStrategy::SortedLex,
+            PartitionStrategy::RoundRobin,
+        ] {
+            let s = ClusterStore::build(schema(), rows(200), 16, strat).unwrap();
+            assert_eq!(s.evaluate_full(&q), exact, "strategy {strat:?}");
+        }
+    }
+
+    #[test]
+    fn evaluate_clusters_subsets() {
+        let s = ClusterStore::build(schema(), rows(30), 10, PartitionStrategy::Sequential).unwrap();
+        let q = RangeQuery::new(Aggregate::Count, vec![Range::new(0, 0, 99).unwrap()]).unwrap();
+        let all: u64 = s.evaluate_full(&q);
+        let parts =
+            s.evaluate_clusters(&q, &[0]).unwrap() + s.evaluate_clusters(&q, &[1, 2]).unwrap();
+        assert_eq!(all, parts);
+        assert!(s.evaluate_clusters(&q, &[99]).is_err());
+    }
+
+    #[test]
+    fn build_rejects_bad_rows_and_dims() {
+        let bad = vec![Row::raw(vec![200, 0])];
+        assert!(ClusterStore::build(schema(), bad, 10, PartitionStrategy::Sequential).is_err());
+        assert!(
+            ClusterStore::build(schema(), rows(5), 10, PartitionStrategy::SortedBy(9)).is_err()
+        );
+        assert!(matches!(
+            ClusterStore::build(schema(), rows(5), 0, PartitionStrategy::Sequential),
+            Err(StorageError::ZeroCapacity)
+        ));
+    }
+}

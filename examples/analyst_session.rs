@@ -1,0 +1,95 @@
+//! Analyst session walk-through: the §5.4 interactive model with a total
+//! budget, derived aggregations (AVG — §7), private MIN/MAX (extension),
+//! and persisting a provider's store between sessions.
+//!
+//! ```sh
+//! cargo run --release --example analyst_session
+//! ```
+
+use fedaqp::core::{
+    private_extreme, AnalystSession, DerivedStatistic, Extreme, Federation, FederationConfig,
+    SessionPlan,
+};
+use fedaqp::data::{partition_rows, AmazonConfig, AmazonSynth, PartitionMode};
+use fedaqp::model::{Aggregate, QueryBuilder};
+use fedaqp::storage::{decode_store, encode_store};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = AmazonSynth::generate(AmazonConfig {
+        n_rows: 400_000,
+        seed: 3,
+    })?;
+    let mut rng = StdRng::seed_from_u64(8);
+    let partitions = partition_rows(&mut rng, dataset.cells, 4, &PartitionMode::Equal)?;
+    let config = FederationConfig::paper_default(500);
+    let mut federation = Federation::build(config, dataset.schema.clone(), partitions)?;
+
+    // --- Extension queries run directly on the federation ---
+    let max_votes = private_extreme(&mut federation, 2, Extreme::Max, 1.0)?;
+    println!(
+        "private MAX(helpful_votes) : {} (exact {:?}, ε = {})",
+        max_votes.value, max_votes.exact, max_votes.epsilon
+    );
+
+    // --- Persist one provider's clustered table (offline artifact) ---
+    let blob = encode_store(federation.providers()[0].store());
+    let restored = decode_store(&blob)?;
+    println!(
+        "provider 0 store persisted : {} bytes for {} cells in {} clusters (round-trip ok: {})",
+        blob.len(),
+        restored.total_rows(),
+        restored.n_clusters(),
+        restored.total_measure() == federation.providers()[0].store().total_measure(),
+    );
+
+    // --- An interactive session: ξ = 6 at ε = 1 per query ---
+    let mut session = AnalystSession::open(federation, 6.0, 1e-2, SessionPlan::PayAsYouGo)?;
+    println!(
+        "\nsession opened: per-query ε = {}, budget ξ = {}",
+        session.per_query_cost().eps,
+        session.remaining().eps
+    );
+
+    let five_star = QueryBuilder::new(session.federation().schema(), Aggregate::Sum)
+        .range("rating", 5, 5)?
+        .build()?;
+    let ans = session.query(&five_star, 0.1)?;
+    println!(
+        "5★ review volume           : {:.0} (exact {}, err {:.2}%) — ξ left {:.1}",
+        ans.value,
+        ans.exact,
+        100.0 * ans.relative_error,
+        session.remaining().eps
+    );
+
+    let recent = QueryBuilder::new(session.federation().schema(), Aggregate::Count)
+        .range("week", 150, 199)?
+        .build()?;
+    let avg = session.query_derived(&recent, DerivedStatistic::Average, 0.1)?;
+    println!(
+        "AVG reviews per cell (recent weeks): {:.2} (exact {:.2}) — charged 2ε, ξ left {:.1}",
+        avg.value,
+        avg.exact,
+        session.remaining().eps
+    );
+
+    while session.can_query() {
+        session.query(&five_star, 0.1)?;
+        println!(
+            "extra query answered        — ξ left {:.1}",
+            session.remaining().eps
+        );
+    }
+    match session.query(&five_star, 0.1) {
+        Err(e) => println!("next query rejected         : {e}"),
+        Ok(_) => unreachable!("budget must be exhausted"),
+    }
+    let (_fed, spent) = session.close();
+    println!(
+        "session closed, spent (ε = {}, δ = {:.0e})",
+        spent.eps, spent.delta
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Learning-based attack demo (§6.6): a Naive-Bayes attacker tries to
+//! infer a sensitive attribute through the private query interface, under
+//! a realistic total budget and under an absurdly large one.
+//!
+//! ```sh
+//! cargo run --release --example privacy_attack
+//! ```
+
+use fedaqp::attack::{run_attack, AttackConfig, CompositionRegime};
+use fedaqp::core::{Federation, FederationConfig};
+use fedaqp::model::{Aggregate, Dimension, Domain, Row, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small federated world where the sensitive attribute (a diagnosis
+    // code, 20 classes) is strongly predictable from two quasi-identifiers
+    // — the worst case for privacy, best case for the attacker.
+    let schema = Schema::new(vec![
+        Dimension::new("diagnosis", Domain::new(0, 19)?),
+        Dimension::new("age_bucket", Domain::new(0, 19)?),
+        Dimension::new("region", Domain::new(0, 7)?),
+    ])?;
+    let mut rng = StdRng::seed_from_u64(5);
+    let rows: Vec<Row> = (0..40_000)
+        .map(|_| {
+            let age = rng.gen_range(0..20i64);
+            // Diagnosis follows the age bucket 85% of the time.
+            let diagnosis = if rng.gen::<f64>() < 0.85 {
+                age
+            } else {
+                rng.gen_range(0..20i64)
+            };
+            Row::raw(vec![diagnosis, age, rng.gen_range(0..8i64)])
+        })
+        .collect();
+    let partitions: Vec<Vec<Row>> = (0..4)
+        .map(|p| {
+            rows.iter()
+                .enumerate()
+                .filter(|(i, _)| i % 4 == p)
+                .map(|(_, r)| r.clone())
+                .collect()
+        })
+        .collect();
+    let mut config = FederationConfig::paper_default(256);
+    config.n_min = 2;
+    let mut federation = Federation::build(config, schema, partitions)?;
+
+    println!("ground truth: diagnosis == age_bucket for 85% of individuals");
+    println!("chance level: 1/20 = 5%\n");
+
+    for (label, regime, xi) in [
+        (
+            "sequential composition, ξ = 1   ",
+            CompositionRegime::Sequential,
+            1.0,
+        ),
+        (
+            "advanced composition,  ξ = 100 ",
+            CompositionRegime::Advanced,
+            100.0,
+        ),
+        (
+            "coalition,             ξ = 100 ",
+            CompositionRegime::Coalition,
+            100.0,
+        ),
+        (
+            "no effective budget (sanity)   ",
+            CompositionRegime::Coalition,
+            1e6,
+        ),
+    ] {
+        let cfg = AttackConfig {
+            sa_dim: 0,
+            qi_dims: vec![1, 2],
+            xi,
+            psi: 1e-6,
+            regime,
+            aggregate: Aggregate::Count,
+            sampling_rate: 0.2,
+        };
+        let outcome = run_attack(&mut federation, &rows, &cfg)?;
+        println!(
+            "{label}: accuracy {:>6.2}%  ({} queries at ε = {:.5} each)",
+            100.0 * outcome.accuracy,
+            outcome.n_queries,
+            outcome.per_query.eps,
+        );
+    }
+    println!(
+        "\nWith bounded budgets the classifier stays near chance even though \
+         the correlation is almost deterministic; only the unbounded sanity \
+         run recovers it — the system's DP accounting is what protects the data."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! SMC substrate walk-through: additive secret sharing, secure aggregation,
+//! and the row-sharing vs result-sharing cost gap that motivates the whole
+//! paper (Fig. 1).
+//!
+//! ```sh
+//! cargo run --release --example smc_vs_dp
+//! ```
+
+use fedaqp::smc::{decode_fixed, encode_fixed, reconstruct, share_value, CostModel, SmcRuntime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // --- 1. Secret sharing: a hospital's local count, split four ways ---
+    let secret_count = 1_234.5f64;
+    let encoded = encode_fixed(secret_count)?;
+    let shares = share_value(&mut rng, encoded, 4)?;
+    println!("secret        : {secret_count}");
+    println!(
+        "shares        : {:?}",
+        shares.iter().map(|s| s.value()).collect::<Vec<_>>()
+    );
+    println!("any 3 shares  : reveal nothing (uniformly random field elements)");
+    println!("reconstructed : {}\n", decode_fixed(reconstruct(&shares)));
+
+    // --- 2. Secure aggregation: what protocol step 7 actually computes ---
+    let mut rt = SmcRuntime::new(4, CostModel::lan())?;
+    let local_estimates = [310.25, 295.5, 402.0, 188.75];
+    let local_sensitivities = [12.0, 9.5, 15.25, 11.0];
+    let sum = rt.secure_sum(&mut rng, &local_estimates)?;
+    let max = rt.secure_max(&mut rng, &local_sensitivities)?;
+    println!("oblivious sum of estimates    : {sum}");
+    println!("oblivious max of sensitivities: {max}");
+    println!("simulated SMC time            : {:?}", rt.elapsed());
+    println!("traffic                       : {:?}\n", rt.traffic());
+
+    // --- 3. The Fig. 1 gap: sharing rows vs sharing results ---
+    println!("row-sharing vs result-sharing (4 providers, 56-byte rows):");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "rows/party", "share rows", "share results", "ratio"
+    );
+    for rows_per_party in [10_000u64, 100_000, 1_000_000] {
+        let mut rt = SmcRuntime::new(4, CostModel::lan())?;
+        let row_cost = rt.row_sharing_cost(&[rows_per_party; 4], 56, 18);
+        rt.reset();
+        let (_, result_cost) = rt.result_sharing_cost(&mut rng, &local_estimates)?;
+        println!(
+            "{rows_per_party:>12} {:>13.3}s {:>13.4}s {:>8.0}x",
+            row_cost.as_secs_f64(),
+            result_cost.as_secs_f64(),
+            row_cost.as_secs_f64() / result_cost.as_secs_f64()
+        );
+    }
+    println!(
+        "\nResult-sharing cost is constant while row-sharing grows with the \
+         table — the asymmetry (Fig. 1) that makes collaboration via DP \
+         summaries + local evaluation the only scalable design."
+    );
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Integration tests for the §6.6 attack harness against a live
+//! federation: budgeted attacks stay near chance, the harness itself is
+//! sound (it succeeds when protection is absent).
+
+use fedaqp::attack::{run_attack, AttackConfig, CompositionRegime};
+use fedaqp::core::{Federation, FederationConfig};
+use fedaqp::model::{Aggregate, Dimension, Domain, Row, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A world where SA (12 classes) equals one QI dimension 80% of the time.
+fn world(seed: u64) -> (Federation, Vec<Row>) {
+    let schema = Schema::new(vec![
+        Dimension::new("sa", Domain::new(0, 11).expect("domain")),
+        Dimension::new("qi1", Domain::new(0, 11).expect("domain")),
+        Dimension::new("qi2", Domain::new(0, 3).expect("domain")),
+    ])
+    .expect("schema");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Row> = (0..6_000)
+        .map(|_| {
+            let qi1 = rng.gen_range(0..12i64);
+            let sa = if rng.gen::<f64>() < 0.8 {
+                qi1
+            } else {
+                rng.gen_range(0..12i64)
+            };
+            Row::raw(vec![sa, qi1, rng.gen_range(0..4i64)])
+        })
+        .collect();
+    let partitions: Vec<Vec<Row>> = (0..4)
+        .map(|p| {
+            rows.iter()
+                .enumerate()
+                .filter(|(i, _)| i % 4 == p)
+                .map(|(_, r)| r.clone())
+                .collect()
+        })
+        .collect();
+    let mut cfg = FederationConfig::paper_default(48);
+    cfg.seed = seed;
+    cfg.n_min = 2;
+    cfg.cost_model = fedaqp::smc::CostModel::zero();
+    let fed = Federation::build(cfg, schema, partitions).expect("federation");
+    (fed, rows)
+}
+
+fn config(regime: CompositionRegime, xi: f64) -> AttackConfig {
+    AttackConfig {
+        sa_dim: 0,
+        qi_dims: vec![1, 2],
+        xi,
+        psi: 1e-6,
+        regime,
+        aggregate: Aggregate::Count,
+        sampling_rate: 0.25,
+    }
+}
+
+#[test]
+fn sequential_budget_keeps_attack_near_chance() {
+    let (mut fed, rows) = world(1);
+    let out =
+        run_attack(&mut fed, &rows, &config(CompositionRegime::Sequential, 1.0)).expect("attack");
+    // Chance = 1/12 ≈ 8.3%; the 80% correlation must stay unreachable.
+    assert!(
+        out.accuracy < 0.30,
+        "sequential attack accuracy {} too high",
+        out.accuracy
+    );
+    assert_eq!(out.n_queries, 1 + 12 + 12 * (12 + 4));
+}
+
+#[test]
+fn advanced_composition_gives_more_utility_but_still_protected() {
+    let (mut fed, rows) = world(2);
+    let seq = run_attack(
+        &mut fed,
+        &rows,
+        &config(CompositionRegime::Sequential, 20.0),
+    )
+    .expect("attack");
+    let adv =
+        run_attack(&mut fed, &rows, &config(CompositionRegime::Advanced, 20.0)).expect("attack");
+    assert!(adv.per_query.eps > seq.per_query.eps);
+    assert!(adv.accuracy < 0.45, "advanced accuracy {}", adv.accuracy);
+}
+
+#[test]
+fn harness_detects_unprotected_correlation() {
+    // Sanity: absurd budget ⇒ effectively no DP ⇒ the 80% correlation must
+    // be recovered. This validates the attack harness itself.
+    let (mut fed, rows) = world(3);
+    let out =
+        run_attack(&mut fed, &rows, &config(CompositionRegime::Coalition, 1e6)).expect("attack");
+    assert!(
+        out.accuracy > 0.55,
+        "unbounded attack should succeed, got {}",
+        out.accuracy
+    );
+}
+
+#[test]
+fn attack_consumes_the_private_interface_only() {
+    // The attack must work purely through run_with_budget: verify by
+    // checking the reported per-query ε matches the regime arithmetic.
+    let (mut fed, rows) = world(4);
+    let out = run_attack(
+        &mut fed,
+        &rows,
+        &config(CompositionRegime::Sequential, 10.0),
+    )
+    .expect("attack");
+    let expected = 10.0 / out.n_queries as f64;
+    assert!((out.per_query.eps - expected).abs() < 1e-12);
+    assert_eq!(out.classes, 12);
+}

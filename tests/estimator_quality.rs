@@ -1,0 +1,155 @@
+//! Statistical quality of the full estimation pipeline: unbiasedness,
+//! sampling-rate response, and dataset-scale response (the mechanisms
+//! behind Figs. 4–6).
+
+use fedaqp::core::{Federation, FederationConfig};
+use fedaqp::data::{partition_rows, AdultConfig, AdultSynth, PartitionMode};
+use fedaqp::model::{Aggregate, QueryBuilder, RangeQuery, Row};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn federation(n_rows: u64, seed: u64, epsilon: f64) -> (Federation, Vec<Row>) {
+    let dataset = AdultSynth::generate(AdultConfig { n_rows, seed }).expect("dataset");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE57);
+    let partitions = partition_rows(&mut rng, dataset.cells.clone(), 4, &PartitionMode::Equal)
+        .expect("partitioning");
+    let capacity = (dataset.cells.len() / 4 / 50).max(32);
+    let mut cfg = FederationConfig::paper_default(capacity);
+    cfg.seed = seed;
+    cfg.epsilon = epsilon;
+    cfg.cost_model = fedaqp::smc::CostModel::zero();
+    let fed = Federation::build(cfg, dataset.schema.clone(), partitions).expect("federation");
+    (fed, dataset.cells)
+}
+
+fn broad_query(fed: &Federation) -> RangeQuery {
+    QueryBuilder::new(fed.schema(), Aggregate::Count)
+        .range("age", 22, 70)
+        .expect("range")
+        .range("hours_per_week", 20, 80)
+        .expect("range")
+        .build()
+        .expect("query")
+}
+
+/// Averaging raw estimates over many runs approaches the exact answer —
+/// the pipeline-level unbiasedness that Hansen–Hurwitz promises.
+#[test]
+fn raw_estimates_center_on_truth() {
+    let trials = 60;
+    let mut acc = 0.0;
+    let mut exact = 0u64;
+    for t in 0..trials {
+        let (mut fed, _) = federation(10_000, 500 + t, 5.0);
+        let q = broad_query(&fed);
+        let ans = fed.run(&q, 0.2).expect("run");
+        acc += ans.raw_estimate;
+        exact = ans.exact;
+    }
+    let mean = acc / trials as f64;
+    assert!(
+        (mean - exact as f64).abs() < 0.12 * exact as f64,
+        "mean estimate {mean} vs exact {exact}"
+    );
+}
+
+/// Larger sampling rates reduce the estimation (pre-noise) error — the
+/// Fig. 5 accuracy trend isolated from DP noise.
+///
+/// Uses a mid-selectivity query (broad queries saturate the estimator:
+/// every cluster's `Q(C)/p` is already ≈ the total, so the sampling rate
+/// barely matters) and compares RMS errors with slack, since both sides
+/// are Monte-Carlo estimates.
+#[test]
+fn estimation_error_falls_with_sampling_rate() {
+    let rms_est_error = |sr: f64| {
+        let trials = 60;
+        let mut acc = 0.0;
+        for t in 0..trials {
+            let (mut fed, _) = federation(10_000, 900 + t, 5.0);
+            let q = QueryBuilder::new(fed.schema(), Aggregate::Count)
+                .range("education_num", 9, 12)
+                .expect("range")
+                .range("occupation", 2, 7)
+                .expect("range")
+                .build()
+                .expect("query");
+            let ans = fed.run(&q, sr).expect("run");
+            let rel = (ans.raw_estimate - ans.exact as f64) / ans.exact.max(1) as f64;
+            acc += rel * rel;
+        }
+        (acc / trials as f64).sqrt()
+    };
+    let low = rms_est_error(0.04);
+    let high = rms_est_error(0.5);
+    assert!(
+        high < low * 1.05,
+        "estimation error should fall (or at worst stagnate) with sampling rate: \
+         sr=4% -> {low}, sr=50% -> {high}"
+    );
+}
+
+/// Bigger tables give smaller *relative* errors at fixed ε — the paper's
+/// central scale observation (§6.4): "as the database size increases, the
+/// accuracy of our solution will improve".
+#[test]
+fn relative_error_falls_with_scale() {
+    let mean_error = |n_rows: u64| {
+        let trials = 25;
+        let mut acc = 0.0;
+        for t in 0..trials {
+            let (mut fed, _) = federation(n_rows, 1_300 + t, 1.0);
+            let q = broad_query(&fed);
+            let ans = fed.run(&q, 0.2).expect("run");
+            acc += ans.relative_error;
+        }
+        acc / trials as f64
+    };
+    let small = mean_error(4_000);
+    let large = mean_error(40_000);
+    assert!(
+        large < small,
+        "relative error should fall with scale: 4k rows -> {small}, 40k rows -> {large}"
+    );
+}
+
+/// More query dimensions degrade the metadata approximation of R and hence
+/// the estimate — the Fig. 4 dimensionality trend (noise excluded).
+#[test]
+fn estimation_error_grows_with_dimensions() {
+    let mean_est_error = |dims: usize| {
+        let trials = 40;
+        let mut acc = 0.0;
+        for t in 0..trials {
+            let (mut fed, _) = federation(12_000, 2_000 + t, 5.0);
+            let schema = fed.schema().clone();
+            let mut builder = QueryBuilder::new(&schema, Aggregate::Count)
+                .range("age", 22, 75)
+                .expect("range");
+            if dims >= 2 {
+                builder = builder.range("hours_per_week", 15, 85).expect("range");
+            }
+            if dims >= 3 {
+                builder = builder.range("education_num", 3, 14).expect("range");
+            }
+            if dims >= 4 {
+                builder = builder.range("occupation", 1, 12).expect("range");
+            }
+            if dims >= 5 {
+                builder = builder.range("marital_status", 0, 4).expect("range");
+            }
+            let q = builder.build().expect("query");
+            let ans = fed.run(&q, 0.2).expect("run");
+            if ans.exact > 0 {
+                acc += (ans.raw_estimate - ans.exact as f64).abs() / ans.exact as f64;
+            }
+        }
+        acc / trials as f64
+    };
+    let narrow = mean_est_error(1);
+    let wide = mean_est_error(5);
+    assert!(
+        wide > narrow,
+        "estimation error should grow with dims: 1 dim -> {narrow}, 5 dims -> {wide}"
+    );
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the extension surface: sessions, derived
+//! aggregates, group-by, online aggregation, private extremes, and store
+//! persistence — everything a downstream adopter layers on top of the
+//! §5 protocol.
+
+use fedaqp::core::{
+    combine_snapshots, private_extreme, run_derived, run_group_by, run_online, AnalystSession,
+    DerivedStatistic, Extreme, Federation, FederationConfig, SessionPlan,
+};
+use fedaqp::data::{partition_rows, AdultConfig, AdultSynth, PartitionMode};
+use fedaqp::model::{Aggregate, QueryBuilder, RangeQuery};
+use fedaqp::storage::{decode_store, encode_store};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn federation(seed: u64, epsilon: f64) -> Federation {
+    let dataset = AdultSynth::generate(AdultConfig {
+        n_rows: 15_000,
+        seed,
+    })
+    .expect("dataset");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE);
+    let partitions =
+        partition_rows(&mut rng, dataset.cells, 4, &PartitionMode::Equal).expect("partitioning");
+    let mut cfg = FederationConfig::paper_default(64);
+    cfg.seed = seed;
+    cfg.epsilon = epsilon;
+    cfg.cost_model = fedaqp::smc::CostModel::zero();
+    Federation::build(cfg, dataset.schema, partitions).expect("federation")
+}
+
+fn age_query(fed: &Federation) -> RangeQuery {
+    QueryBuilder::new(fed.schema(), Aggregate::Count)
+        .range("age", 25, 60)
+        .expect("range")
+        .build()
+        .expect("query")
+}
+
+#[test]
+fn session_lifecycle_with_mixed_query_types() {
+    let fed = federation(1, 1.0);
+    let mut session =
+        AnalystSession::open(fed, 10.0, 1e-2, SessionPlan::PayAsYouGo).expect("session");
+    let q = age_query(session.federation());
+    let plain = session.query(&q, 0.2).expect("plain query");
+    assert!(plain.value.is_finite());
+    let avg = session
+        .query_derived(&q, DerivedStatistic::Average, 0.2)
+        .expect("derived query");
+    assert!(avg.value.is_finite());
+    // 1 (plain) + 2 (average) ε spent.
+    assert!((session.remaining().eps - 7.0).abs() < 1e-9);
+}
+
+#[test]
+fn group_by_over_workclass_preserves_total_mass() {
+    let mut fed = federation(2, 1.0);
+    let base = QueryBuilder::new(fed.schema(), Aggregate::Count)
+        .range("age", 17, 90)
+        .expect("range")
+        .build()
+        .expect("query");
+    let wc = fed.schema().index_of("workclass").expect("dimension");
+    let ans = run_group_by(&mut fed, &base, wc, 0.3, 200.0, 1e-3, 0.0).expect("group by");
+    assert_eq!(ans.groups.len(), 8);
+    // Group exact counts partition the table (COUNT counts tensor cells,
+    // and every cell has exactly one workclass value).
+    let exact_total: u64 = ans.groups.iter().map(|g| g.exact).sum();
+    assert_eq!(exact_total, fed.exact(&base));
+    // Noisy totals land near the truth under the loose budget.
+    let noisy_total: f64 = ans.groups.iter().map(|g| g.value).sum();
+    assert!(
+        (noisy_total - exact_total as f64).abs() < 0.2 * exact_total as f64,
+        "noisy total {noisy_total} vs exact {exact_total}"
+    );
+}
+
+#[test]
+fn online_rounds_refine_and_combine() {
+    let mut fed = federation(3, 1.0);
+    let q = age_query(&fed);
+    let ans = run_online(&mut fed, &q, 0.4, 60.0, 1e-3, 5).expect("online");
+    assert_eq!(ans.snapshots.len(), 5);
+    // Later rounds scan at least as many clusters as the first.
+    assert!(
+        ans.snapshots.last().expect("rounds").clusters_scanned >= ans.snapshots[0].clusters_scanned
+    );
+    let combined = combine_snapshots(&ans);
+    let err = (combined - ans.exact as f64).abs() / ans.exact.max(1) as f64;
+    assert!(err < 0.5, "combined error {err}");
+}
+
+#[test]
+fn extremes_on_real_schema() {
+    let mut fed = federation(4, 1.0);
+    let hours = fed.schema().index_of("hours_per_week").expect("dimension");
+    let max = private_extreme(&mut fed, hours, Extreme::Max, 100.0).expect("max");
+    let min = private_extreme(&mut fed, hours, Extreme::Min, 100.0).expect("min");
+    // Domain is [1, 99]; with real data both extremes are occupied densely,
+    // so selections must stay in-domain and ordered.
+    assert!((1..=99).contains(&max.value));
+    assert!((1..=99).contains(&min.value));
+    assert!(min.value < max.value);
+}
+
+#[test]
+fn derived_average_within_measure_bounds() {
+    let mut fed = federation(5, 1.0);
+    let q = age_query(&fed);
+    let avg =
+        run_derived(&mut fed, &q, DerivedStatistic::Average, 0.3, 100.0, 1e-3).expect("derived");
+    // Cell measures are ≥ 1; averages must be sane.
+    assert!(avg.exact >= 1.0);
+    assert!(avg.value > 0.0 && avg.value < 100.0);
+}
+
+#[test]
+fn provider_stores_persist_and_answer_identically() {
+    let fed = federation(6, 1.0);
+    let q = age_query(&fed);
+    for p in fed.providers() {
+        let blob = encode_store(p.store());
+        let restored = decode_store(&blob).expect("decode");
+        assert_eq!(restored.evaluate_full(&q), p.store().evaluate_full(&q));
+        assert_eq!(restored.n_clusters(), p.store().n_clusters());
+    }
+}
+
+#[test]
+fn advanced_session_supports_many_cheap_queries() {
+    let fed = federation(7, 1.0);
+    let mut session = AnalystSession::open(
+        fed,
+        20.0,
+        1e-3,
+        SessionPlan::AdvancedComposition {
+            planned_queries: 200,
+        },
+    )
+    .expect("session");
+    let q = age_query(session.federation());
+    for _ in 0..25 {
+        session.query(&q, 0.2).expect("query");
+    }
+    assert_eq!(session.queries_answered(), 25);
+    assert!(session.can_query());
+}

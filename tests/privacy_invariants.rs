@@ -1,0 +1,164 @@
+//! Statistical privacy/mechanism invariants across the whole stack.
+
+use fedaqp::core::{Federation, FederationConfig};
+use fedaqp::data::{partition_rows, AmazonConfig, AmazonSynth, PartitionMode};
+use fedaqp::dp::QueryBudget;
+use fedaqp::model::{Aggregate, QueryBuilder, RangeQuery, Row};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn federation(seed: u64, epsilon: f64) -> (Federation, Vec<Row>) {
+    let dataset = AmazonSynth::generate(AmazonConfig {
+        n_rows: 15_000,
+        seed,
+    })
+    .expect("dataset");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00);
+    let partitions = partition_rows(&mut rng, dataset.cells.clone(), 4, &PartitionMode::Equal)
+        .expect("partitioning");
+    let mut cfg = FederationConfig::paper_default(64);
+    cfg.seed = seed;
+    cfg.epsilon = epsilon;
+    cfg.cost_model = fedaqp::smc::CostModel::zero();
+    let fed = Federation::build(cfg, dataset.schema.clone(), partitions).expect("federation");
+    (fed, dataset.cells)
+}
+
+fn demo_query(fed: &Federation) -> RangeQuery {
+    QueryBuilder::new(fed.schema(), Aggregate::Sum)
+        .range("rating", 2, 5)
+        .expect("range")
+        .range("week", 20, 180)
+        .expect("range")
+        .build()
+        .expect("query")
+}
+
+/// The released value must differ from the raw estimate (noise is actually
+/// injected) yet centre on it across repetitions.
+#[test]
+fn release_noise_is_centered() {
+    let (mut fed, _) = federation(1, 2.0);
+    let q = demo_query(&fed);
+    let trials = 120;
+    let mut noise_sum = 0.0;
+    let mut any_nonzero = false;
+    for _ in 0..trials {
+        let ans = fed.run(&q, 0.2).expect("run");
+        let noise = ans.value - ans.raw_estimate;
+        noise_sum += noise;
+        if noise.abs() > 1e-9 {
+            any_nonzero = true;
+        }
+    }
+    assert!(any_nonzero, "no noise was ever injected");
+    let mean_noise = noise_sum / trials as f64;
+    // Mean noise ≈ 0; the scale depends on smooth sensitivity, so compare
+    // against the observed spread rather than a fixed constant.
+    let mut sq = 0.0;
+    for _ in 0..trials {
+        let ans = fed.run(&q, 0.2).expect("run");
+        let noise = ans.value - ans.raw_estimate;
+        sq += noise * noise;
+    }
+    let std = (sq / trials as f64).sqrt();
+    assert!(
+        mean_noise.abs() < 0.5 * std + 1.0,
+        "mean noise {mean_noise} vs std {std}"
+    );
+}
+
+/// Noise magnitude scales like 1/ε: quartering ε must visibly widen the
+/// noise distribution.
+#[test]
+fn noise_scales_inversely_with_epsilon() {
+    let spread = |epsilon: f64| {
+        let (mut fed, _) = federation(2, epsilon);
+        let q = demo_query(&fed);
+        let trials = 80;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let ans = fed.run(&q, 0.2).expect("run");
+            acc += (ans.value - ans.raw_estimate).abs();
+        }
+        acc / trials as f64
+    };
+    let tight = spread(4.0);
+    let loose = spread(0.5);
+    assert!(
+        loose > 2.0 * tight,
+        "spread at eps=0.5 ({loose}) should dwarf eps=4 ({tight})"
+    );
+}
+
+/// The allocation-phase summaries are perturbed: two federations over the
+/// *same* data with different seeds produce different allocations at least
+/// sometimes, and the allocation respects the global budget.
+#[test]
+fn summaries_are_noisy_but_allocations_feasible() {
+    // One federation, repeated identical queries: the provider RNGs advance
+    // between queries, so the Laplace-perturbed summaries — and hence the
+    // allocations — must vary across runs while staying feasible.
+    let (mut fed, _) = federation(3, 1.0);
+    let q = demo_query(&fed);
+    let mut distinct = false;
+    let mut reference: Option<Vec<u64>> = None;
+    for _ in 0..8 {
+        let ans = fed.run(&q, 0.2).expect("run");
+        let total: u64 = ans.allocations.iter().sum();
+        assert!(total >= 4, "every provider gets at least one cluster");
+        match &reference {
+            None => reference = Some(ans.allocations.clone()),
+            Some(r) => {
+                if *r != ans.allocations {
+                    distinct = true;
+                }
+            }
+        }
+    }
+    assert!(
+        distinct,
+        "allocations identical across noisy runs — summary noise missing?"
+    );
+}
+
+/// Per-query privacy cost equals ε_O + ε_S + ε_E regardless of path.
+#[test]
+fn query_cost_is_phase_sum() {
+    let budget = QueryBudget::paper_split(1.4, 1e-3).expect("budget");
+    assert!((budget.eps_o + budget.eps_s + budget.eps_e - 1.4).abs() < 1e-12);
+    let (mut fed, _) = federation(4, 1.4);
+    let q = demo_query(&fed);
+    let ans = fed.run_with_budget(&q, 0.2, &budget).expect("run");
+    assert!((ans.cost.eps - 1.4).abs() < 1e-12);
+    assert_eq!(ans.cost.delta, 1e-3);
+}
+
+/// Smooth sensitivities are strictly positive on the approximate path and
+/// grow no faster than the per-provider covering-set size allows.
+#[test]
+fn smooth_sensitivities_are_sane() {
+    let (mut fed, _) = federation(5, 1.0);
+    let q = demo_query(&fed);
+    let ans = fed.run(&q, 0.2).expect("run");
+    assert_eq!(ans.smooth_ls.len(), 4);
+    for &s in &ans.smooth_ls {
+        assert!(s.is_finite() && s > 0.0, "smooth sensitivity {s}");
+    }
+}
+
+/// Queries outside the schema or with invalid rates are rejected without
+/// consuming anything.
+#[test]
+fn invalid_queries_rejected_cleanly() {
+    let (mut fed, _) = federation(6, 1.0);
+    let bad_dim = fedaqp::model::RangeQuery::new(
+        Aggregate::Count,
+        vec![fedaqp::model::Range::new(99, 0, 1).expect("range")],
+    )
+    .expect("query");
+    assert!(fed.run(&bad_dim, 0.2).is_err());
+    let q = demo_query(&fed);
+    assert!(fed.run(&q, -0.5).is_err());
+    assert!(fed.run(&q, 2.0).is_err());
+}
