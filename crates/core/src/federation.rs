@@ -206,12 +206,12 @@ impl Federation {
         if concurrent {
             let t = Instant::now();
             let results: Vec<Result<(crate::provider::PreparedQuery, _)>> =
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let handles: Vec<_> = self
                         .providers
                         .iter_mut()
                         .map(|p| {
-                            scope.spawn(move |_| {
+                            scope.spawn(move || {
                                 let prep = p.prepare(query);
                                 let summary = p.summary(query, &prep, eps_o)?;
                                 Ok((prep, summary))
@@ -222,8 +222,7 @@ impl Federation {
                         .into_iter()
                         .map(|h| h.join().expect("provider thread panicked"))
                         .collect()
-                })
-                .expect("provider scope panicked");
+                });
             summary_time = t.elapsed();
             for r in results {
                 let (prep, summary) = r?;
@@ -257,21 +256,20 @@ impl Federation {
         let mut outcomes: Vec<LocalOutcome> = Vec::with_capacity(self.providers.len());
         if concurrent {
             let t = Instant::now();
-            let results: Vec<Result<LocalOutcome>> = crossbeam::thread::scope(|scope| {
+            let results: Vec<Result<LocalOutcome>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .providers
                     .iter_mut()
                     .zip(prepared.iter().zip(&allocations))
                     .map(|(p, (prep, &alloc))| {
-                        scope.spawn(move |_| p.execute(query, prep, alloc, budget, release_local))
+                        scope.spawn(move || p.execute(query, prep, alloc, budget, release_local))
                     })
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("provider thread panicked"))
                     .collect()
-            })
-            .expect("provider scope panicked");
+            });
             execution_time = t.elapsed();
             for r in results {
                 outcomes.push(r?);
