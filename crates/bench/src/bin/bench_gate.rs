@@ -1,0 +1,180 @@
+//! `bench_gate` — the CI perf-regression gate over `BENCH_engine.json`.
+//!
+//! ```text
+//! bench_gate <current.json> <baseline.json> [--max-regression 0.25]
+//!            [--min-speedup 2.0]
+//! ```
+//!
+//! Fails (exit 1) when either
+//! * the concurrent engine's queries/sec dropped more than
+//!   `--max-regression` (default 25%) below the committed baseline, or
+//! * the engine no longer beats the serial runtime by at least
+//!   `--min-speedup` (default 2×) at the headline grid point.
+//!
+//! The comparison deliberately leans on the *speed-up ratio* (machine
+//! independent) and treats absolute qps with a generous regression band,
+//! since CI runners vary in raw speed.
+
+use std::process::ExitCode;
+
+/// Extracts the number following `"key":` from a flat JSON document. Only
+/// headline keys are parsed, and they are chosen to be unique substrings,
+/// so a full JSON parser is not needed (and the build stays offline).
+fn json_number(text: &str, key: &str) -> Result<f64, String> {
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .ok_or_else(|| format!("key `{key}` not found"))?;
+    let rest = text[at + needle.len()..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("key `{key}`: {e}"))
+}
+
+fn load(path: &str) -> Result<(f64, f64), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok((
+        json_number(&text, "engine_qps")?,
+        json_number(&text, "speedup")?,
+    ))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut positional = Vec::new();
+    let mut max_regression = 0.25_f64;
+    let mut min_speedup = 2.0_f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                i += 1;
+                max_regression = args
+                    .get(i)
+                    .ok_or("--max-regression needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?;
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = args
+                    .get(i)
+                    .ok_or("--min-speedup needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--min-speedup: {e}"))?;
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [current_path, baseline_path] = positional.as_slice() else {
+        return Err("usage: bench_gate <current.json> <baseline.json> \
+                    [--max-regression R] [--min-speedup S]"
+            .into());
+    };
+    let (current_qps, current_speedup) = load(current_path)?;
+    let (baseline_qps, baseline_speedup) = load(baseline_path)?;
+    let qps_floor = (1.0 - max_regression) * baseline_qps;
+    let mut report = format!(
+        "bench gate: engine_qps {current_qps:.1} (baseline {baseline_qps:.1}, floor {qps_floor:.1}), \
+         speedup {current_speedup:.2}x (baseline {baseline_speedup:.2}x, floor {min_speedup:.2}x)\n"
+    );
+    let mut failed = false;
+    if current_qps < qps_floor {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: queries/sec regressed more than {:.0}% below the baseline\n",
+            100.0 * max_regression
+        ));
+    }
+    if current_speedup < min_speedup {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: concurrent engine no longer ≥{min_speedup:.1}x the serial runtime\n"
+        ));
+    }
+    if failed {
+        Err(report)
+    } else {
+        report.push_str("PASS\n");
+        Ok(report)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprint!("{report}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "schema": "fedaqp-bench-engine/v1",
+  "queries": 24,
+  "serial_qps": 100.5,
+  "engine_qps": 402.25,
+  "speedup": 4.002,
+  "grid": [
+    {"providers": 4, "mode": "engine", "analysts": 8, "qps": 402.25, "p50_ms": 1.2, "p95_ms": 3.4}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_headline_numbers() {
+        assert_eq!(json_number(DOC, "engine_qps").unwrap(), 402.25);
+        assert_eq!(json_number(DOC, "speedup").unwrap(), 4.002);
+        assert_eq!(json_number(DOC, "queries").unwrap(), 24.0);
+        assert!(json_number(DOC, "missing").is_err());
+    }
+
+    #[test]
+    fn gate_passes_and_fails() {
+        let dir = std::env::temp_dir().join("fedaqp_bench_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&current, DOC).unwrap();
+        std::fs::write(&baseline, DOC).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [current.to_str().unwrap(), baseline.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .chain(extra.iter().map(|s| s.to_string()))
+                .collect()
+        };
+        // Identical current/baseline passes.
+        assert!(run(&args(&[])).is_ok());
+        // A baseline 10x above the current qps fails the regression band.
+        let fast = DOC.replace("\"engine_qps\": 402.25", "\"engine_qps\": 4022.5");
+        std::fs::write(&baseline, fast).unwrap();
+        assert!(run(&args(&[])).unwrap_err().contains("regressed"));
+        // ... unless the band is loosened to 95%.
+        assert!(run(&args(&["--max-regression", "0.95"])).is_ok());
+        // Speed-up floor above the current ratio fails.
+        std::fs::write(&baseline, DOC).unwrap();
+        let slow = DOC.replace("\"speedup\": 4.002", "\"speedup\": 1.5");
+        std::fs::write(&current, slow).unwrap();
+        assert!(run(&args(&[])).unwrap_err().contains("serial runtime"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_usage_is_reported() {
+        assert!(run(&["one".into()]).unwrap_err().contains("usage"));
+    }
+}

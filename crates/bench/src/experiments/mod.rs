@@ -10,6 +10,7 @@ pub mod fig8;
 pub mod metadata;
 pub mod plotting;
 pub mod table1;
+pub mod throughput;
 
 use crate::report::Table;
 use crate::setup::ExperimentContext;
@@ -70,6 +71,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "ablation",
             "§4/§7 — design-choice ablations",
             ablation::run as ExperimentFn,
+        ),
+        (
+            "throughput",
+            "engine throughput — qps/latency vs #analysts x #providers (CI gate)",
+            throughput::run as ExperimentFn,
         ),
         (
             "plot",

@@ -1,0 +1,214 @@
+//! Engine throughput experiment: queries/sec and tail latency of the
+//! concurrent engine vs. the serial federation runtime, swept over
+//! #concurrent analysts × #providers.
+//!
+//! The federation's deployment model is cross-organization (hospitals,
+//! banks — §1), so each query pays several WAN round trips. Both paths
+//! here *actually wait out* their simulated network time
+//! ([`fedaqp_smc::CostModel::wan`], slept on the analyst thread): the
+//! serial runtime stalls end-to-end on every query's transit, while the
+//! engine overlaps the transit of in-flight queries with other queries'
+//! compute — the architectural property this benchmark exists to track.
+//! Sleeping (rather than post-hoc accounting) also makes the numbers
+//! latency- rather than CPU-dominated, so the CI gate is stable across
+//! runner speeds and core counts.
+//!
+//! This is the perf-trajectory benchmark CI gates on: besides the result
+//! table/CSV it emits machine-readable `BENCH_engine.json` (schema
+//! documented in the README) which the `bench_gate` binary compares
+//! against the committed `BENCH_baseline.json`.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use fedaqp_model::Aggregate;
+use fedaqp_smc::CostModel;
+
+use crate::report::{fmt_f, percentile, Table};
+use crate::setup::{build_testbed, filtered_workload, DatasetKind, ExperimentContext};
+
+/// Concurrent-analyst counts swept per provider count.
+const ANALYSTS: [usize; 4] = [1, 2, 4, 8];
+/// Provider counts swept (the paper's evaluation federation is 4).
+const PROVIDERS: [usize; 2] = [2, 4];
+/// The grid point the JSON headline (and the CI gate) reads.
+const HEADLINE: (usize, usize) = (4, 8);
+
+/// One measured trial.
+#[derive(Debug, Clone, Copy)]
+struct Trial {
+    wall_ms: f64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
+fn summarize(wall_s: f64, latencies_ms: &[f64]) -> Trial {
+    Trial {
+        wall_ms: wall_s * 1e3,
+        qps: latencies_ms.len() as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(latencies_ms, 50.0),
+        p95_ms: percentile(latencies_ms, 95.0),
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn grid_entry(providers: usize, mode: &str, analysts: usize, t: &Trial) -> String {
+    format!(
+        "    {{\"providers\": {providers}, \"mode\": \"{mode}\", \"analysts\": {analysts}, \
+         \"qps\": {:.3}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}}}",
+        t.qps, t.p50_ms, t.p95_ms
+    )
+}
+
+/// Runs the sweep and writes `BENCH_engine.json` next to the CSVs.
+pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let mut table = Table::new(
+        "engine throughput — queries/sec vs #analysts x #providers (Adult)",
+        &[
+            "providers",
+            "mode",
+            "analysts",
+            "queries",
+            "wall_ms",
+            "qps",
+            "p50_ms",
+            "p95_ms",
+            "speedup_vs_serial",
+        ],
+    );
+    // Enough queries that every analyst thread gets work.
+    let n_queries = ctx.queries.max(ANALYSTS[ANALYSTS.len() - 1]);
+    let sampling_rate = DatasetKind::Adult.default_sampling_rate();
+    let mut grid_json: Vec<String> = Vec::new();
+    let mut headline: Option<(Trial, Trial)> = None;
+
+    for &n_providers in &PROVIDERS {
+        let mut testbed = build_testbed(DatasetKind::Adult, ctx, |cfg| {
+            cfg.n_providers = n_providers;
+            cfg.cost_model = CostModel::wan();
+        });
+        let queries =
+            filtered_workload(&testbed, 2, Aggregate::Count, n_queries, ctx.seed ^ 0x7177);
+        let budget = testbed
+            .federation
+            .config()
+            .query_budget()
+            .expect("default budget");
+
+        // Serial baseline: the pre-engine runtime, one query at a time,
+        // providers executed in-loop on the submitting thread. The
+        // protocol-only path keeps the comparison fair: the engine never
+        // computes the exact-answer oracle, so the baseline must not be
+        // charged that scan either.
+        let mut latencies = Vec::with_capacity(queries.len());
+        let t0 = Instant::now();
+        for q in &queries {
+            let t = Instant::now();
+            let ans = testbed
+                .federation
+                .run_protocol_only(q, sampling_rate, &budget)
+                .expect("serial run");
+            // The serial runtime answers one query at a time: it stalls on
+            // the query's whole simulated WAN transit before the next one.
+            std::thread::sleep(ans.timings.network);
+            latencies.push(ms(t.elapsed()));
+        }
+        let serial = summarize(t0.elapsed().as_secs_f64(), &latencies);
+        table.push_row(vec![
+            n_providers.to_string(),
+            "serial".into(),
+            "1".into(),
+            queries.len().to_string(),
+            fmt_f(serial.wall_ms, 1),
+            fmt_f(serial.qps, 1),
+            fmt_f(serial.p50_ms, 3),
+            fmt_f(serial.p95_ms, 3),
+            "1.00".into(),
+        ]);
+        grid_json.push(grid_entry(n_providers, "serial", 1, &serial));
+
+        // Engine trials: one persistent pool for the whole analyst sweep.
+        testbed.federation.with_engine(|engine| {
+            for &analysts in &ANALYSTS {
+                let latencies = Mutex::new(Vec::with_capacity(queries.len()));
+                let t0 = Instant::now();
+                std::thread::scope(|scope| {
+                    for analyst in 0..analysts {
+                        let engine = engine.clone();
+                        let queries = &queries;
+                        let latencies = &latencies;
+                        scope.spawn(move || {
+                            for q in queries.iter().skip(analyst).step_by(analysts) {
+                                let t = Instant::now();
+                                let ans = engine
+                                    .submit_with_budget(q, sampling_rate, &budget)
+                                    .and_then(fedaqp_core::PendingAnswer::wait)
+                                    .expect("engine run");
+                                // Each analyst waits out its own query's
+                                // transit; other analysts' queries keep the
+                                // pool busy meanwhile — the engine hides
+                                // WAN latency, the serial loop cannot.
+                                std::thread::sleep(ans.timings.network);
+                                latencies
+                                    .lock()
+                                    .expect("latency lock")
+                                    .push(ms(t.elapsed()));
+                            }
+                        });
+                    }
+                });
+                let lat = latencies.into_inner().expect("latency lock");
+                let trial = summarize(t0.elapsed().as_secs_f64(), &lat);
+                table.push_row(vec![
+                    n_providers.to_string(),
+                    "engine".into(),
+                    analysts.to_string(),
+                    queries.len().to_string(),
+                    fmt_f(trial.wall_ms, 1),
+                    fmt_f(trial.qps, 1),
+                    fmt_f(trial.p50_ms, 3),
+                    fmt_f(trial.p95_ms, 3),
+                    fmt_f(trial.qps / serial.qps.max(1e-9), 2),
+                ]);
+                grid_json.push(grid_entry(n_providers, "engine", analysts, &trial));
+                if (n_providers, analysts) == HEADLINE {
+                    headline = Some((serial, trial));
+                }
+            }
+        });
+    }
+
+    // Machine-readable summary for CI (`bench_gate` reads the headline_*
+    // and *_qps keys; the grid is for trend dashboards).
+    if let Some((serial, engine)) = headline {
+        let json = format!(
+            "{{\n  \"schema\": \"fedaqp-bench-engine/v1\",\n  \"dataset\": \"{}\",\n  \
+             \"queries\": {},\n  \"headline_providers\": {},\n  \"headline_analysts\": {},\n  \
+             \"serial_qps\": {:.3},\n  \"engine_qps\": {:.3},\n  \"speedup\": {:.3},\n  \
+             \"engine_p50_ms\": {:.4},\n  \"engine_p95_ms\": {:.4},\n  \"grid\": [\n{}\n  ]\n}}\n",
+            DatasetKind::Adult.name(),
+            n_queries,
+            HEADLINE.0,
+            HEADLINE.1,
+            serial.qps,
+            engine.qps,
+            engine.qps / serial.qps.max(1e-9),
+            engine.p50_ms,
+            engine.p95_ms,
+            grid_json.join(",\n"),
+        );
+        if let Err(e) = std::fs::create_dir_all(&ctx.out_dir) {
+            eprintln!("[throughput] cannot create {}: {e}", ctx.out_dir.display());
+        }
+        let path = ctx.out_dir.join("BENCH_engine.json");
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("[throughput] wrote {}", path.display()),
+            Err(e) => eprintln!("[throughput] json write failed: {e}"),
+        }
+    }
+    vec![table]
+}

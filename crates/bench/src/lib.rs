@@ -19,6 +19,11 @@
 //! | `table1-dims` | §6.6 — attack accuracy vs |QI|                   |
 //! | `metadata`    | §6.1 — metadata space allocation                 |
 //! | `ablation`    | §4/§7 design-choice ablations                    |
+//! | `throughput`  | engine qps/latency vs analysts × providers (CI)  |
+//!
+//! `throughput` additionally emits `BENCH_engine.json`; the `bench_gate`
+//! binary compares it against the committed `BENCH_baseline.json` and
+//! fails CI on a >25% queries/sec regression (or a <2× engine speed-up).
 
 pub mod experiments;
 pub mod plot;

@@ -135,6 +135,20 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Linear-interpolated `p`-th percentile (`p ∈ [0, 100]`) of a sample;
+/// 0 for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+}
+
 /// Renders a series as a unicode sparkline (`▁▂▃▄▅▆▇█`), normalized to the
 /// series' own min/max — a quick shape check for trend tables in terminal
 /// output.
@@ -216,6 +230,16 @@ mod tests {
         assert_eq!(flat, "▁▁▁");
         let with_nan = sparkline(&[1.0, f64::NAN, 3.0]);
         assert_eq!(with_nan.chars().count(), 3);
+    }
+
+    #[test]
+    fn percentiles() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 95.0) - 3.85).abs() < 1e-12);
     }
 
     #[test]

@@ -235,6 +235,11 @@ pub struct WorkloadStats {
 
 /// Runs every query both plainly and privately, under an explicit ε
 /// (overriding the federation's configured default budget).
+///
+/// Both paths run through one engine worker pool (one persistent thread
+/// per provider), so the speed-up metric compares like for like: the plain
+/// scan and the timed private phases execute on identical threads and are
+/// both charged the slowest provider's wall time plus simulated network.
 pub fn run_workload_with_epsilon(
     testbed: &mut Testbed,
     queries: &[RangeQuery],
@@ -248,19 +253,29 @@ pub fn run_workload_with_epsilon(
     let mut errors = Vec::with_capacity(queries.len());
     let mut speedups = Vec::with_capacity(queries.len());
     let mut fractions = Vec::with_capacity(queries.len());
-    for q in queries {
-        let plain = testbed.federation.run_plain(q).expect("plain run");
-        let ans = testbed
-            .federation
-            .run_with_budget(q, sampling_rate, &budget)
-            .expect("private run");
-        errors.push(ans.relative_error);
-        let private = ans.timings.total().as_secs_f64().max(1e-9);
-        speedups.push(plain.duration.as_secs_f64() / private);
-        if ans.covering_total > 0 {
-            fractions.push(ans.clusters_scanned as f64 / ans.covering_total as f64);
+    testbed.federation.with_engine(|engine| {
+        for q in queries {
+            let plain = engine
+                .submit_plain(q)
+                .and_then(fedaqp_core::PendingPlain::wait)
+                .expect("plain run");
+            let ans = engine
+                .submit_with_budget(q, sampling_rate, &budget)
+                .and_then(fedaqp_core::PendingAnswer::wait)
+                .expect("private run");
+            let exact = plain.value;
+            errors.push(if exact == 0 {
+                ans.value.abs()
+            } else {
+                (exact as f64 - ans.value).abs() / exact as f64
+            });
+            let private = ans.timings.total().as_secs_f64().max(1e-9);
+            speedups.push(plain.duration.as_secs_f64() / private);
+            if ans.covering_total > 0 {
+                fractions.push(ans.clusters_scanned as f64 / ans.covering_total as f64);
+            }
         }
-    }
+    });
     WorkloadStats {
         mean_rel_error: crate::report::mean(&errors),
         mean_speedup: crate::report::mean(&speedups),

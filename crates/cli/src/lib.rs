@@ -7,4 +7,4 @@ pub mod manifest;
 pub mod ops;
 
 pub use manifest::Manifest;
-pub use ops::{generate, inspect, query, GenerateArgs, QueryArgs};
+pub use ops::{batch, generate, inspect, query, BatchArgs, GenerateArgs, QueryArgs};

@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fedaqp_cli::{generate, inspect, query, GenerateArgs, QueryArgs};
+use fedaqp_cli::{batch, generate, inspect, query, BatchArgs, GenerateArgs, QueryArgs};
 
 const USAGE: &str = "\
 fedaqp — private approximate queries over horizontal data federations
@@ -21,6 +21,10 @@ usage:
   fedaqp inspect  STORE.fqst
   fedaqp query    --data DIR [--rate R] [--epsilon E] [--delta D]
                   [--smc] [--baseline] \"SELECT ... FROM T WHERE ...\"
+  fedaqp batch    --data DIR --queries FILE [--rate R] [--epsilon E]
+                  [--delta D] [--analysts N] [--xi X] [--psi P] [--smc]
+                  (serve a file of SQL queries through the concurrent
+                   engine, one line per query)
 ";
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -122,10 +126,74 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
     query(&q)
 }
 
+fn cmd_batch(args: &[String]) -> Result<String, String> {
+    let mut b = BatchArgs {
+        data: PathBuf::new(),
+        queries: PathBuf::new(),
+        rate: 0.10,
+        epsilon: 1.0,
+        delta: 1e-3,
+        analysts: 4,
+        xi: None,
+        psi: 1e-2,
+        smc: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => b.data = PathBuf::from(take_value(args, &mut i, "--data")?),
+            "--queries" => b.queries = PathBuf::from(take_value(args, &mut i, "--queries")?),
+            "--rate" => {
+                b.rate = take_value(args, &mut i, "--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--epsilon" => {
+                b.epsilon = take_value(args, &mut i, "--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
+            }
+            "--delta" => {
+                b.delta = take_value(args, &mut i, "--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?
+            }
+            "--analysts" => {
+                b.analysts = take_value(args, &mut i, "--analysts")?
+                    .parse()
+                    .map_err(|e| format!("--analysts: {e}"))?
+            }
+            "--xi" => {
+                b.xi = Some(
+                    take_value(args, &mut i, "--xi")?
+                        .parse()
+                        .map_err(|e| format!("--xi: {e}"))?,
+                )
+            }
+            "--psi" => {
+                b.psi = take_value(args, &mut i, "--psi")?
+                    .parse()
+                    .map_err(|e| format!("--psi: {e}"))?
+            }
+            "--smc" => b.smc = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if b.data.as_os_str().is_empty() {
+        return Err("--data is required".into());
+    }
+    if b.queries.as_os_str().is_empty() {
+        return Err("--queries is required".into());
+    }
+    batch(&b)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("inspect") => match args.get(1) {
             Some(path) => inspect(std::path::Path::new(path)),
             None => Err("inspect needs a store path".into()),

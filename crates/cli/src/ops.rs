@@ -1,8 +1,12 @@
 //! The CLI operations: generate / inspect / query.
 
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
 
-use fedaqp_core::{Federation, FederationConfig, ReleaseMode};
+use fedaqp_core::{
+    ConcurrentSession, Federation, FederationConfig, FederationEngine, ReleaseMode, SessionPlan,
+};
 use fedaqp_data::{
     partition_rows, AdultConfig, AdultSynth, AmazonConfig, AmazonSynth, PartitionMode,
 };
@@ -150,14 +154,14 @@ pub struct QueryArgs {
     pub baseline: bool,
 }
 
-/// `fedaqp query`: rebuild the federation from a data directory and answer
-/// one private SQL query.
-pub fn query(args: &QueryArgs) -> Result<String, String> {
-    let manifest = Manifest::load(&args.data)?;
+/// Rebuilds a federation (and its schema) from a `fedaqp generate` data
+/// directory — shared by `fedaqp query` and `fedaqp batch`.
+fn load_federation(data: &Path, epsilon: f64, delta: f64, smc: bool) -> Result<Federation, String> {
+    let manifest = Manifest::load(data)?;
     let mut partitions = Vec::with_capacity(manifest.providers);
     let mut schema = None;
     for i in 0..manifest.providers {
-        let path = args.data.join(Manifest::store_file(i));
+        let path = data.join(Manifest::store_file(i));
         let blob = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         let store = decode_store(&blob).map_err(|e| e.to_string())?;
         schema.get_or_insert_with(|| store.schema().clone());
@@ -167,15 +171,20 @@ pub fn query(args: &QueryArgs) -> Result<String, String> {
     let schema = schema.ok_or("data directory holds no providers")?;
     let mut config = FederationConfig::paper_default(manifest.capacity);
     config.n_providers = manifest.providers;
-    config.epsilon = args.epsilon;
-    config.delta = args.delta;
+    config.epsilon = epsilon;
+    config.delta = delta;
     config.seed = manifest.seed;
-    if args.smc {
+    if smc {
         config.release_mode = ReleaseMode::Smc;
     }
-    let parsed = parse_sql(&schema, &args.sql).map_err(|e| e.to_string())?;
-    let mut federation =
-        Federation::build(config, schema, partitions).map_err(|e| e.to_string())?;
+    Federation::build(config, schema, partitions).map_err(|e| e.to_string())
+}
+
+/// `fedaqp query`: rebuild the federation from a data directory and answer
+/// one private SQL query.
+pub fn query(args: &QueryArgs) -> Result<String, String> {
+    let mut federation = load_federation(&args.data, args.epsilon, args.delta, args.smc)?;
+    let parsed = parse_sql(federation.schema(), &args.sql).map_err(|e| e.to_string())?;
     let answer = federation
         .run(&parsed, args.rate)
         .map_err(|e| e.to_string())?;
@@ -209,6 +218,139 @@ pub fn query(args: &QueryArgs) -> Result<String, String> {
             plain.duration.as_secs_f64() / answer.timings.total().as_secs_f64().max(1e-12)
         ));
     }
+    Ok(out)
+}
+
+/// Arguments of `fedaqp batch`.
+#[derive(Debug, Clone)]
+pub struct BatchArgs {
+    /// Data directory produced by `fedaqp generate`.
+    pub data: PathBuf,
+    /// File with one SQL query per line (`#` comments and blanks skipped).
+    pub queries: PathBuf,
+    /// Sampling rate.
+    pub rate: f64,
+    /// Per-query ε.
+    pub epsilon: f64,
+    /// Per-query δ.
+    pub delta: f64,
+    /// Concurrent analyst threads submitting queries.
+    pub analysts: usize,
+    /// Optional session budget ξ: when set, queries run inside one
+    /// `ConcurrentSession` and stop being answered once `(ξ, ψ)` is spent.
+    pub xi: Option<f64>,
+    /// Session failure budget ψ (only meaningful with `xi`).
+    pub psi: f64,
+    /// Use the SMC release mode.
+    pub smc: bool,
+}
+
+/// `fedaqp batch`: rebuild the federation, start the concurrent engine
+/// (one persistent worker thread per provider), and answer a whole file of
+/// SQL queries with `analysts` concurrent submitters.
+pub fn batch(args: &BatchArgs) -> Result<String, String> {
+    if args.analysts == 0 {
+        return Err("need at least one analyst thread".into());
+    }
+    let federation = load_federation(&args.data, args.epsilon, args.delta, args.smc)?;
+    let text = std::fs::read_to_string(&args.queries)
+        .map_err(|e| format!("{}: {e}", args.queries.display()))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let sql = line.trim();
+        if sql.is_empty() || sql.starts_with('#') {
+            continue;
+        }
+        let parsed =
+            parse_sql(federation.schema(), sql).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        queries.push((sql.to_owned(), parsed));
+    }
+    if queries.is_empty() {
+        return Err(format!("{}: no queries found", args.queries.display()));
+    }
+
+    let engine = FederationEngine::start(federation);
+    let handle = engine.handle();
+    let session = match args.xi {
+        Some(xi) => Some(
+            ConcurrentSession::open(handle.clone(), xi, args.psi, SessionPlan::PayAsYouGo)
+                .map_err(|e| e.to_string())?,
+        ),
+        None => None,
+    };
+
+    // Fan the workload out to `analysts` submitter threads, round-robin.
+    let results: Mutex<Vec<(usize, String, bool)>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for analyst in 0..args.analysts.min(queries.len()) {
+            let handle = &handle;
+            let session = &session;
+            let queries = &queries;
+            let results = &results;
+            scope.spawn(move || {
+                for (i, (sql, q)) in queries
+                    .iter()
+                    .enumerate()
+                    .skip(analyst)
+                    .step_by(args.analysts)
+                {
+                    let t = Instant::now();
+                    let answer = match session {
+                        Some(s) => s.query(q, args.rate),
+                        None => handle
+                            .submit(q, args.rate)
+                            .and_then(fedaqp_core::PendingAnswer::wait),
+                    };
+                    let (line, ok) = match answer {
+                        Ok(a) => (
+                            format!(
+                                "[{i}] {sql} -> {:.1} ({:.2} ms)",
+                                a.value,
+                                t.elapsed().as_secs_f64() * 1e3
+                            ),
+                            true,
+                        ),
+                        Err(e) => (format!("[{i}] {sql} -> error: {e}"), false),
+                    };
+                    results.lock().expect("results lock").push((i, line, ok));
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let mut results = results.into_inner().expect("results lock");
+    results.sort_by_key(|(i, _, _)| *i);
+    let answered = results.iter().filter(|(_, _, ok)| *ok).count();
+
+    let mut out = format!(
+        "batch       : {} queries, {} analysts, {} release, per-query ε = {}\n",
+        queries.len(),
+        args.analysts,
+        if args.smc { "SMC" } else { "local-DP" },
+        args.epsilon
+    );
+    for (_, line, _) in &results {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "total       : {answered}/{} answered in {:.2} ms ({:.1} queries/sec)\n",
+        queries.len(),
+        wall.as_secs_f64() * 1e3,
+        answered as f64 / wall.as_secs_f64().max(1e-9)
+    ));
+    if let Some(s) = &session {
+        let spent = s.spent();
+        out.push_str(&format!(
+            "privacy     : spent (ε = {:.3}, δ = {:.1e}) of (ξ = {}, ψ = {:.1e})\n",
+            spent.eps,
+            spent.delta,
+            args.xi.unwrap_or_default(),
+            args.psi
+        ));
+    }
+    engine.shutdown();
     Ok(out)
 }
 
@@ -305,6 +447,78 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("bogus"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn batch_args(dir: PathBuf, queries: PathBuf) -> BatchArgs {
+        BatchArgs {
+            data: dir,
+            queries,
+            rate: 0.2,
+            epsilon: 5.0,
+            delta: 1e-3,
+            analysts: 4,
+            xi: None,
+            psi: 1e-2,
+            smc: false,
+        }
+    }
+
+    #[test]
+    fn batch_answers_a_query_file_concurrently() {
+        let dir = tmp_dir("batch");
+        generate(&generate_args(dir.clone())).unwrap();
+        let qfile = dir.join("queries.sql");
+        std::fs::write(
+            &qfile,
+            "# comment line\n\
+             SELECT COUNT(*) FROM T WHERE 25 <= age <= 60\n\
+             \n\
+             SELECT SUM(Measure) FROM T WHERE 20 <= age <= 70\n\
+             SELECT COUNT(*) FROM T WHERE 30 <= age <= 50\n",
+        )
+        .unwrap();
+        let out = batch(&batch_args(dir.clone(), qfile)).unwrap();
+        assert!(out.contains("batch       : 3 queries, 4 analysts"));
+        assert!(out.contains("[0] SELECT COUNT"));
+        assert!(out.contains("[2] SELECT COUNT"));
+        assert!(out.contains("3/3 answered"));
+        assert!(out.contains("queries/sec"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_session_budget_caps_answers() {
+        let dir = tmp_dir("batch_budget");
+        generate(&generate_args(dir.clone())).unwrap();
+        let qfile = dir.join("queries.sql");
+        // 4 identical queries at ε = 5 under ξ = 10: exactly 2 fit.
+        let sql = "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60\n".repeat(4);
+        std::fs::write(&qfile, sql).unwrap();
+        let mut args = batch_args(dir.clone(), qfile);
+        args.xi = Some(10.0);
+        args.psi = 1e-2;
+        let out = batch(&args).unwrap();
+        assert!(out.contains("2/4 answered"), "{out}");
+        assert!(out.contains("spent (ε = 10.000"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_rejects_bad_inputs() {
+        let dir = tmp_dir("batch_bad");
+        generate(&generate_args(dir.clone())).unwrap();
+        let qfile = dir.join("queries.sql");
+        std::fs::write(&qfile, "SELECT COUNT(*) FROM T WHERE 1 <= bogus <= 2\n").unwrap();
+        let err = batch(&batch_args(dir.clone(), qfile.clone())).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::write(&qfile, "# only comments\n").unwrap();
+        assert!(batch(&batch_args(dir.clone(), qfile.clone()))
+            .unwrap_err()
+            .contains("no queries"));
+        let mut args = batch_args(dir.clone(), qfile);
+        args.analysts = 0;
+        assert!(batch(&args).unwrap_err().contains("analyst"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

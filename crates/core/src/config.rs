@@ -1,6 +1,6 @@
 //! Federation configuration.
 
-use fedaqp_dp::HyperParams;
+use fedaqp_dp::{HyperParams, QueryBudget};
 use fedaqp_smc::CostModel;
 use fedaqp_storage::PartitionStrategy;
 
@@ -143,6 +143,18 @@ impl FederationConfig {
             cost_model: CostModel::lan(),
             seed: 0xFEDA,
         }
+    }
+
+    /// The default per-query budget this configuration implies: `(ε, δ)`
+    /// split across the protocol phases by the hyper-parameters. Both the
+    /// serial runtime and the concurrent engine derive their defaults here
+    /// so they can never drift apart.
+    pub fn query_budget(&self) -> Result<QueryBudget> {
+        Ok(QueryBudget::split(
+            self.epsilon,
+            self.delta,
+            self.hyperparams,
+        )?)
     }
 
     /// Validates the configuration.

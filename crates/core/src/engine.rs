@@ -1,0 +1,989 @@
+//! The concurrent multi-query federation engine.
+//!
+//! [`crate::Federation`] answers one query at a time. This module turns the
+//! same protocol into a long-lived, shared, concurrent service: a
+//! **persistent per-provider worker pool** (one OS thread per data
+//! provider, alive across queries) executes many in-flight queries at
+//! once, pipelining provider phases across queries while each query's
+//! allocation barrier (protocol step 3) synchronizes only its own job.
+//!
+//! Architecture:
+//!
+//! ```text
+//!  analysts ──submit──▶ EngineHandle ──(job fan-out)──▶ provider workers
+//!     ▲                                                   │ prepare+summary
+//!     │                                                   ▼
+//!     │                 per-job barrier: last summary computes allocation
+//!     │                                                   │ execute
+//!     └──── PendingAnswer::wait ◀──(job fan-in)───────────┘ finalize
+//! ```
+//!
+//! Determinism: every `(query, provider)` pair draws from an RNG derived
+//! from `(config.seed, query index, provider id)`, so a seeded
+//! [`QueryBatch`] produces *identical* answers whether its queries run
+//! serially or concurrently — the noise no longer depends on how queries
+//! interleave on the shared providers.
+//!
+//! Privacy: the engine never relaxes the serial path's accounting. Each
+//! query runs under a validated [`QueryBudget`]; session-level budgets are
+//! enforced by [`crate::session::ConcurrentSession`], whose
+//! [`fedaqp_dp::SharedAccountant`] makes check-and-charge atomic so racing
+//! queries cannot jointly overspend `(ξ, ψ)`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fedaqp_dp::{PrivacyCost, QueryBudget};
+use fedaqp_model::{RangeQuery, Schema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aggregator::Aggregator;
+use crate::config::{AllocationPolicy, FederationConfig, ReleaseMode};
+use crate::federation::{Federation, PlainAnswer};
+use crate::protocol::{query_bytes, LocalOutcome, PhaseTimings, ProviderSummary};
+use crate::provider::DataProvider;
+use crate::{CoreError, Result};
+
+/// SplitMix64 finalizer over `(seed, index, lane)` — the per-job RNG
+/// derivation. `lane` is the provider id (or [`AGGREGATOR_LANE`]).
+fn derive_seed(seed: u64, index: u64, lane: u64) -> u64 {
+    let mut z = seed
+        ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (lane.wrapping_add(1)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// RNG lane of the per-job aggregator (must differ from any provider id).
+const AGGREGATOR_LANE: u64 = u64::MAX;
+
+/// One query of a [`QueryBatch`].
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The range query.
+    pub query: RangeQuery,
+    /// The sampling rate `sr ∈ (0, 1)`.
+    pub sampling_rate: f64,
+}
+
+/// An ordered set of queries submitted together. Order matters: it fixes
+/// the query indices and therefore the derived noise, which is what makes
+/// `run_batch` and `run_batch_serial` comparable draw-for-draw.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBatch {
+    specs: Vec<QuerySpec>,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one query at `sampling_rate`.
+    pub fn push(&mut self, query: RangeQuery, sampling_rate: f64) {
+        self.specs.push(QuerySpec {
+            query,
+            sampling_rate,
+        });
+    }
+
+    /// The batch contents, in submission order.
+    pub fn specs(&self) -> &[QuerySpec] {
+        &self.specs
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+impl FromIterator<QuerySpec> for QueryBatch {
+    fn from_iter<T: IntoIterator<Item = QuerySpec>>(iter: T) -> Self {
+        Self {
+            specs: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The engine's answer to one private query.
+///
+/// Unlike [`crate::QueryAnswer`] it carries no exact oracle / relative
+/// error: the engine is the serving path, and computing the exact answer
+/// would scan every provider per query. Experiments that need the oracle
+/// submit a plain job (same worker pool) and compare.
+#[derive(Debug, Clone)]
+pub struct EngineAnswer {
+    /// The DP-released answer.
+    pub value: f64,
+    /// The `(ε, δ)` charged for this query.
+    pub cost: PrivacyCost,
+    /// Per-phase latency breakdown (per-provider phases are charged the
+    /// slowest provider's time, matching the serial runtime's accounting).
+    pub timings: PhaseTimings,
+    /// Total clusters scanned across providers.
+    pub clusters_scanned: usize,
+    /// Total covering-set size across providers (`Σ N^Q_i`).
+    pub covering_total: usize,
+    /// How many providers took the approximate path.
+    pub approximated_providers: usize,
+    /// The per-provider sample-size allocations.
+    pub allocations: Vec<u64>,
+    /// Σ of the providers' raw (pre-noise) estimates (simulation-boundary
+    /// diagnostic; never released to an analyst).
+    pub raw_estimate: f64,
+    /// Per-provider smooth sensitivities (simulation-boundary diagnostic).
+    pub smooth_ls: Vec<f64>,
+}
+
+/// What a job asks of the providers.
+#[derive(Debug)]
+enum JobKind {
+    /// The full private protocol.
+    Private {
+        sampling_rate: f64,
+        budget: QueryBudget,
+    },
+    /// A full plain scan (the speed-up baseline), on the same pool.
+    Plain,
+}
+
+/// Mutable per-job progress, guarded by the job mutex.
+#[derive(Debug)]
+struct JobProgress {
+    summaries: Vec<Option<ProviderSummary>>,
+    summaries_done: usize,
+    allocations: Option<Arc<Vec<u64>>>,
+    outcomes: Vec<Option<LocalOutcome>>,
+    done: usize,
+    error: Option<CoreError>,
+    summary_time: Duration,
+    allocation_time: Duration,
+    execution_time: Duration,
+}
+
+/// One in-flight query job, shared between the submitting analyst and the
+/// provider workers.
+#[derive(Debug)]
+pub(crate) struct JobState {
+    query: RangeQuery,
+    kind: JobKind,
+    index: u64,
+    seed: u64,
+    n_providers: usize,
+    allocation_policy: AllocationPolicy,
+    release_mode: ReleaseMode,
+    cost_model: fedaqp_smc::CostModel,
+    progress: Mutex<JobProgress>,
+    cond: Condvar,
+}
+
+impl JobState {
+    fn new(query: RangeQuery, kind: JobKind, index: u64, config: &FederationConfig) -> Self {
+        let n = config.n_providers;
+        Self {
+            query,
+            kind,
+            index,
+            seed: config.seed,
+            n_providers: n,
+            allocation_policy: config.allocation_policy,
+            release_mode: config.release_mode,
+            cost_model: config.cost_model,
+            progress: Mutex::new(JobProgress {
+                summaries: vec![None; n],
+                summaries_done: 0,
+                allocations: None,
+                outcomes: vec![None; n],
+                done: 0,
+                error: None,
+                summary_time: Duration::ZERO,
+                allocation_time: Duration::ZERO,
+                execution_time: Duration::ZERO,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn fail(&self, progress: &mut JobProgress, error: CoreError) {
+        progress.error.get_or_insert(error);
+        self.cond.notify_all();
+    }
+
+    /// Locks the job progress, recovering from poisoning: a worker that
+    /// panicked mid-job marks the job failed (see [`worker_loop`]), so the
+    /// state behind a poisoned lock is still consistent for waiters.
+    fn lock_progress(&self) -> MutexGuard<'_, JobProgress> {
+        self.progress.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// [`Condvar::wait`] with the same poison recovery.
+    fn wait_on<'a>(&self, guard: MutexGuard<'a, JobProgress>) -> MutexGuard<'a, JobProgress> {
+        self.cond
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The per-provider half of one job. Runs on the provider's worker thread;
+/// the last provider to deliver its summary also solves the allocation
+/// program, so the whole step-1→6 pipeline needs no dedicated coordinator
+/// thread.
+fn run_provider_job(job: &JobState, provider: &DataProvider) {
+    let id = provider.id();
+    let mut rng = StdRng::seed_from_u64(derive_seed(job.seed, job.index, id as u64));
+    match &job.kind {
+        JobKind::Plain => {
+            let t = Instant::now();
+            let value = provider.exact_answer(&job.query);
+            let elapsed = t.elapsed();
+            let mut progress = job.lock_progress();
+            let n_clusters = provider.store().n_clusters();
+            progress.outcomes[id] = Some(LocalOutcome {
+                provider: id,
+                released: None,
+                estimate: value as f64,
+                smooth_ls: 0.0,
+                approximated: false,
+                clusters_scanned: n_clusters,
+                n_covering: n_clusters,
+            });
+            progress.execution_time = progress.execution_time.max(elapsed);
+            progress.done += 1;
+            job.cond.notify_all();
+        }
+        JobKind::Private {
+            sampling_rate,
+            budget,
+        } => {
+            // ---- Steps 1–2: prepare + DP summary ----
+            let t = Instant::now();
+            let prep = provider.prepare(&job.query);
+            let summary = provider.summary_with_rng(&job.query, &prep, budget.eps_o, &mut rng);
+            let elapsed = t.elapsed();
+
+            let allocation = {
+                let mut progress = job.lock_progress();
+                progress.summary_time = progress.summary_time.max(elapsed);
+                match summary {
+                    Ok(s) => progress.summaries[id] = Some(s),
+                    Err(e) => job.fail(&mut progress, e),
+                }
+                progress.summaries_done += 1;
+                // ---- Step 3: the last provider in solves the allocation
+                // program (Eq. 6) for everyone. ----
+                if progress.summaries_done == job.n_providers && progress.error.is_none() {
+                    let summaries: Vec<ProviderSummary> = progress
+                        .summaries
+                        .iter()
+                        .map(|s| s.expect("all summaries delivered"))
+                        .collect();
+                    let t = Instant::now();
+                    let aggregator = Aggregator::new(
+                        derive_seed(job.seed, job.index, AGGREGATOR_LANE),
+                        job.cost_model,
+                    );
+                    let allocated = match job.allocation_policy {
+                        AllocationPolicy::Optimized => {
+                            aggregator.allocate(&summaries, *sampling_rate)
+                        }
+                        AllocationPolicy::LocalUniform => {
+                            aggregator.allocate_local_uniform(&summaries, *sampling_rate)
+                        }
+                    };
+                    progress.allocation_time = t.elapsed();
+                    match allocated {
+                        Ok(a) => {
+                            progress.allocations = Some(Arc::new(a));
+                            job.cond.notify_all();
+                        }
+                        Err(e) => job.fail(&mut progress, e),
+                    }
+                }
+                // Barrier: wait until the allocation (or a failure) lands.
+                loop {
+                    if progress.error.is_some() {
+                        progress.done += 1;
+                        job.cond.notify_all();
+                        return;
+                    }
+                    if let Some(allocations) = &progress.allocations {
+                        break allocations[id];
+                    }
+                    progress = job.wait_on(progress);
+                }
+            };
+
+            // ---- Steps 4–6: local execution ----
+            let release_local = job.release_mode == ReleaseMode::LocalDp;
+            let t = Instant::now();
+            let outcome = provider.execute_with_rng(
+                &job.query,
+                &prep,
+                allocation,
+                budget,
+                release_local,
+                &mut rng,
+            );
+            let elapsed = t.elapsed();
+            let mut progress = job.lock_progress();
+            progress.execution_time = progress.execution_time.max(elapsed);
+            match outcome {
+                Ok(o) => progress.outcomes[id] = Some(o),
+                Err(e) => job.fail(&mut progress, e),
+            }
+            progress.done += 1;
+            job.cond.notify_all();
+        }
+    }
+}
+
+/// The worker loop a provider's pool thread runs: drain jobs until every
+/// engine handle (sender) is gone.
+///
+/// A panic inside the protocol (provider code, or a poisoned job mutex
+/// cascading from a sibling worker) is contained per job: the job is
+/// marked failed so waiting analysts get an error instead of blocking
+/// forever, and the worker moves on to its next job.
+pub(crate) fn worker_loop(provider: &DataProvider, jobs: Receiver<Arc<JobState>>) {
+    while let Ok(job) = jobs.recv() {
+        // `run_provider_job` mutates only the mutex-guarded JobProgress
+        // (consistent at every unlock) and reads the provider immutably,
+        // so resuming after an unwind observes no broken invariants.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_provider_job(&job, provider)
+        }));
+        if outcome.is_err() {
+            let mut progress = job.lock_progress();
+            job.fail(
+                &mut progress,
+                CoreError::ProtocolViolation("provider worker panicked mid-query"),
+            );
+        }
+    }
+}
+
+/// Shared interior of [`EngineHandle`].
+#[derive(Debug)]
+struct HandleInner {
+    /// One job queue per provider; `None` once the engine is shut down.
+    ///
+    /// A `Mutex` (not `RwLock`): a job fan-out must hold the lock for the
+    /// whole send loop so every provider queue observes jobs in the *same*
+    /// order. Interleaved fan-outs (provider 0 sees `[a, b]`, provider 1
+    /// sees `[b, a]`) would deadlock the pool — each worker blocks at its
+    /// first job's allocation barrier waiting for the other.
+    senders: Mutex<Option<Vec<Sender<Arc<JobState>>>>>,
+    config: FederationConfig,
+    schema: Schema,
+    next_index: AtomicU64,
+}
+
+/// A cloneable, thread-safe handle analysts use to submit queries to the
+/// worker pool. All clones share one query-index counter (the noise
+/// derivation) and one set of job queues.
+#[derive(Debug, Clone)]
+pub struct EngineHandle {
+    inner: Arc<HandleInner>,
+}
+
+/// Creates the pool plumbing for `config`: a handle plus one job receiver
+/// per provider (in provider-id order).
+pub(crate) fn pool_channels(
+    config: &FederationConfig,
+    schema: &Schema,
+) -> (EngineHandle, Vec<Receiver<Arc<JobState>>>) {
+    let (senders, receivers) = (0..config.n_providers).map(|_| channel()).unzip();
+    let handle = EngineHandle {
+        inner: Arc::new(HandleInner {
+            senders: Mutex::new(Some(senders)),
+            config: config.clone(),
+            schema: schema.clone(),
+            next_index: AtomicU64::new(0),
+        }),
+    };
+    (handle, receivers)
+}
+
+impl EngineHandle {
+    /// The federation configuration the engine serves.
+    pub fn config(&self) -> &FederationConfig {
+        &self.inner.config
+    }
+
+    /// The public table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    /// Number of providers (== worker threads) behind this engine.
+    pub fn n_providers(&self) -> usize {
+        self.inner.config.n_providers
+    }
+
+    /// The default per-query budget from the configuration.
+    pub fn default_budget(&self) -> Result<QueryBudget> {
+        self.inner.config.query_budget()
+    }
+
+    /// Closes the job queues: workers drain what is in flight and exit;
+    /// later submissions on any clone of this handle fail cleanly.
+    pub(crate) fn close(&self) {
+        self.inner
+            .senders
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+    }
+
+    /// Fans a job out to every provider queue. The lock is held across the
+    /// whole loop so concurrent submissions cannot interleave — identical
+    /// queue order on every provider is what makes the per-job allocation
+    /// barrier deadlock-free (see [`HandleInner::senders`]).
+    fn dispatch(&self, job: &Arc<JobState>) -> Result<()> {
+        let guard = self
+            .inner
+            .senders
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let senders = guard
+            .as_ref()
+            .ok_or(CoreError::ProtocolViolation("engine is shut down"))?;
+        for sender in senders {
+            if sender.send(Arc::clone(job)).is_err() {
+                // A worker died (panicked); fail the job so providers that
+                // did receive it cannot block at the barrier forever.
+                let mut progress = job.lock_progress();
+                job.fail(
+                    &mut progress,
+                    CoreError::ProtocolViolation("engine worker terminated"),
+                );
+                return Err(CoreError::ProtocolViolation("engine worker terminated"));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_budget(budget: &QueryBudget) -> Result<()> {
+        let ok = |x: f64| x.is_finite() && x > 0.0;
+        let valid = ok(budget.eps_o)
+            && ok(budget.eps_s)
+            && ok(budget.eps_e)
+            && budget.delta.is_finite()
+            && (0.0..1.0).contains(&budget.delta);
+        if !valid {
+            return Err(CoreError::BadConfig(
+                "query budget phases must be positive and delta in [0, 1)",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Submits one private query under the configured default budget.
+    pub fn submit(&self, query: &RangeQuery, sampling_rate: f64) -> Result<PendingAnswer> {
+        let budget = self.default_budget()?;
+        self.submit_with_budget(query, sampling_rate, &budget)
+    }
+
+    /// Submits one private query under an explicit per-query budget.
+    ///
+    /// Validation happens here, before any provider sees the job, so a
+    /// malformed query costs nothing.
+    pub fn submit_with_budget(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<PendingAnswer> {
+        if !(sampling_rate.is_finite() && 0.0 < sampling_rate && sampling_rate < 1.0) {
+            return Err(CoreError::InvalidSamplingRate(sampling_rate));
+        }
+        query.check_schema(&self.inner.schema)?;
+        Self::check_budget(budget)?;
+        let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(JobState::new(
+            query.clone(),
+            JobKind::Private {
+                sampling_rate,
+                budget: *budget,
+            },
+            index,
+            &self.inner.config,
+        ));
+        self.dispatch(&job)?;
+        Ok(PendingAnswer { job })
+    }
+
+    /// Submits a plain (non-private, exact) execution of `query` on the
+    /// same worker pool — the like-for-like baseline of the speed-up
+    /// metric: both paths run on identical threads and are charged the
+    /// slowest provider's time.
+    pub fn submit_plain(&self, query: &RangeQuery) -> Result<PendingPlain> {
+        query.check_schema(&self.inner.schema)?;
+        let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(JobState::new(
+            query.clone(),
+            JobKind::Plain,
+            index,
+            &self.inner.config,
+        ));
+        self.dispatch(&job)?;
+        Ok(PendingPlain { job })
+    }
+
+    /// Runs a batch concurrently: every query is submitted before any
+    /// answer is awaited, so provider workers pipeline across queries.
+    pub fn run_batch(&self, batch: &QueryBatch) -> Vec<Result<EngineAnswer>> {
+        let pending: Vec<Result<PendingAnswer>> = batch
+            .specs()
+            .iter()
+            .map(|spec| self.submit(&spec.query, spec.sampling_rate))
+            .collect();
+        pending
+            .into_iter()
+            .map(|p| p.and_then(PendingAnswer::wait))
+            .collect()
+    }
+
+    /// Runs a batch one query at a time (each answer awaited before the
+    /// next submission). Under a fixed seed this returns exactly the same
+    /// answers as [`Self::run_batch`] — the determinism contract of the
+    /// per-job RNG derivation.
+    pub fn run_batch_serial(&self, batch: &QueryBatch) -> Vec<Result<EngineAnswer>> {
+        batch
+            .specs()
+            .iter()
+            .map(|spec| {
+                self.submit(&spec.query, spec.sampling_rate)
+                    .and_then(PendingAnswer::wait)
+            })
+            .collect()
+    }
+}
+
+/// A private query in flight on the pool.
+#[derive(Debug)]
+pub struct PendingAnswer {
+    job: Arc<JobState>,
+}
+
+impl PendingAnswer {
+    /// Blocks until every provider reported, then finalizes the release
+    /// (protocol step 6/7) on the calling thread.
+    pub fn wait(self) -> Result<EngineAnswer> {
+        let job = &self.job;
+        let mut progress = job.lock_progress();
+        while progress.error.is_none() && progress.done < job.n_providers {
+            progress = job.wait_on(progress);
+        }
+        if let Some(error) = progress.error.clone() {
+            return Err(error);
+        }
+        let outcomes: Vec<LocalOutcome> = progress
+            .outcomes
+            .iter()
+            .map(|o| o.expect("all providers reported"))
+            .collect();
+        let allocations = progress
+            .allocations
+            .as_ref()
+            .expect("allocation computed")
+            .to_vec();
+        let budget = match &job.kind {
+            JobKind::Private { budget, .. } => *budget,
+            JobKind::Plain => unreachable!("plain jobs resolve via PendingPlain"),
+        };
+
+        // ---- Step 6/7: release ----
+        let mut aggregator = Aggregator::new(
+            derive_seed(job.seed, job.index, AGGREGATOR_LANE),
+            job.cost_model,
+        );
+        let t = Instant::now();
+        let (value, smc_network) = match job.release_mode {
+            ReleaseMode::LocalDp => (aggregator.finalize_local(&outcomes)?, Duration::ZERO),
+            ReleaseMode::Smc => aggregator.finalize_smc(&outcomes, budget.eps_e)?,
+        };
+        let release_time = t.elapsed();
+
+        // Simulated network rounds — same accounting as the serial runtime.
+        let cost_model = job.cost_model;
+        let mut network = cost_model.round_time(query_bytes(&job.query))
+            + cost_model.round_time(16)
+            + cost_model.round_time(8);
+        network += match job.release_mode {
+            ReleaseMode::LocalDp => cost_model.round_time(16),
+            ReleaseMode::Smc => smc_network,
+        };
+
+        Ok(EngineAnswer {
+            value,
+            cost: budget.cost(),
+            timings: PhaseTimings {
+                summary: progress.summary_time,
+                allocation: progress.allocation_time,
+                execution: progress.execution_time,
+                release: release_time,
+                network,
+            },
+            clusters_scanned: outcomes.iter().map(|o| o.clusters_scanned).sum(),
+            covering_total: outcomes.iter().map(|o| o.n_covering).sum(),
+            approximated_providers: outcomes.iter().filter(|o| o.approximated).count(),
+            allocations,
+            raw_estimate: outcomes.iter().map(|o| o.estimate).sum(),
+            smooth_ls: outcomes.iter().map(|o| o.smooth_ls).collect(),
+        })
+    }
+}
+
+/// A plain (baseline) execution in flight on the pool.
+#[derive(Debug)]
+pub struct PendingPlain {
+    job: Arc<JobState>,
+}
+
+impl PendingPlain {
+    /// Blocks until every provider scanned, then combines the exact sum.
+    pub fn wait(self) -> Result<PlainAnswer> {
+        let job = &self.job;
+        let mut progress = job.lock_progress();
+        while progress.error.is_none() && progress.done < job.n_providers {
+            progress = job.wait_on(progress);
+        }
+        if let Some(error) = progress.error.clone() {
+            return Err(error);
+        }
+        let value: u64 = progress
+            .outcomes
+            .iter()
+            .map(|o| o.expect("all providers reported").estimate as u64)
+            .sum();
+        let network =
+            job.cost_model.round_time(query_bytes(&job.query)) + job.cost_model.round_time(16);
+        Ok(PlainAnswer {
+            value,
+            duration: progress.execution_time + network,
+        })
+    }
+}
+
+/// An owned, long-lived engine: consumes a [`Federation`], moves each
+/// provider onto a dedicated worker thread, and serves queries through
+/// cloneable [`EngineHandle`]s until [`FederationEngine::shutdown`] hands
+/// the federation back.
+#[derive(Debug)]
+pub struct FederationEngine {
+    handle: EngineHandle,
+    workers: Vec<JoinHandle<DataProvider>>,
+}
+
+impl FederationEngine {
+    /// Starts the worker pool (one thread per provider).
+    pub fn start(federation: Federation) -> Self {
+        let (config, schema, providers) = federation.into_parts();
+        let (handle, receivers) = pool_channels(&config, &schema);
+        let workers = providers
+            .into_iter()
+            .zip(receivers)
+            .map(|(provider, jobs)| {
+                std::thread::spawn(move || {
+                    worker_loop(&provider, jobs);
+                    provider
+                })
+            })
+            .collect();
+        Self { handle, workers }
+    }
+
+    /// A new handle onto this engine (cheap; clone freely across threads).
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
+    }
+
+    /// Drains in-flight jobs, stops the workers, and reassembles the
+    /// federation (providers return in id order).
+    pub fn shutdown(self) -> Federation {
+        self.handle.close();
+        let mut providers: Vec<DataProvider> = self
+            .workers
+            .into_iter()
+            .map(|w| w.join().expect("engine worker panicked"))
+            .collect();
+        providers.sort_by_key(DataProvider::id);
+        Federation::from_parts(
+            self.handle.config().clone(),
+            self.handle.schema().clone(),
+            providers,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FederationConfig;
+    use fedaqp_model::{Aggregate, Dimension, Domain, Range, Row};
+    use fedaqp_smc::CostModel;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::new("x", Domain::new(0, 999).unwrap()),
+            Dimension::new("y", Domain::new(0, 99).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    fn partitions(rows_per: usize, n: usize) -> Vec<Vec<Row>> {
+        (0..n)
+            .map(|p| {
+                (0..rows_per)
+                    .map(|i| {
+                        let v = (i * 7 + p * 13) % 1000;
+                        Row::cell(vec![v as i64, ((i + p) % 100) as i64], 1 + (i % 3) as u64)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn config(capacity: usize) -> FederationConfig {
+        let mut cfg = FederationConfig::paper_default(capacity);
+        cfg.cost_model = CostModel::zero();
+        cfg.n_min = 3;
+        cfg
+    }
+
+    fn federation() -> Federation {
+        Federation::build(config(50), schema(), partitions(2000, 4)).unwrap()
+    }
+
+    fn count_query(lo: i64, hi: i64) -> RangeQuery {
+        RangeQuery::new(Aggregate::Count, vec![Range::new(0, lo, hi).unwrap()]).unwrap()
+    }
+
+    fn batch() -> QueryBatch {
+        let mut batch = QueryBatch::new();
+        for i in 0..6 {
+            batch.push(count_query(50 * i, 500 + 50 * i), 0.2);
+        }
+        batch
+    }
+
+    #[test]
+    fn scoped_engine_answers_are_consistent() {
+        let fed = federation();
+        let q = count_query(100, 800);
+        let ans = fed
+            .with_engine(|engine| engine.submit(&q, 0.2).unwrap().wait())
+            .unwrap();
+        assert!(ans.value.is_finite());
+        assert_eq!(ans.allocations.len(), 4);
+        assert_eq!(ans.smooth_ls.len(), 4);
+        assert!(ans.clusters_scanned > 0);
+        assert!(ans.covering_total >= ans.clusters_scanned);
+        assert!((ans.cost.eps - 1.0).abs() < 1e-9);
+        assert!(ans.raw_estimate.is_finite());
+    }
+
+    #[test]
+    fn plain_jobs_run_on_the_pool_and_are_exact() {
+        let fed = federation();
+        let q = count_query(100, 700);
+        let exact = fed.exact(&q);
+        let plain = fed
+            .with_engine(|engine| engine.submit_plain(&q).unwrap().wait())
+            .unwrap();
+        assert_eq!(plain.value, exact);
+    }
+
+    #[test]
+    fn batch_is_deterministic_serial_vs_concurrent() {
+        let serial: Vec<_> = federation()
+            .with_engine(|engine| engine.run_batch_serial(&batch()))
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let concurrent: Vec<_> = federation()
+            .with_engine(|engine| engine.run_batch(&batch()))
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(serial.len(), concurrent.len());
+        for (a, b) in serial.iter().zip(&concurrent) {
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.allocations, b.allocations);
+            assert_eq!(a.raw_estimate, b.raw_estimate);
+            assert_eq!(a.smooth_ls, b.smooth_ls);
+        }
+    }
+
+    #[test]
+    fn smc_release_works_through_the_engine() {
+        let mut cfg = config(50);
+        cfg.release_mode = ReleaseMode::Smc;
+        cfg.epsilon = 100.0;
+        let fed = Federation::build(cfg, schema(), partitions(3000, 4)).unwrap();
+        let q = count_query(0, 999);
+        let exact = fed.exact(&q) as f64;
+        let ans = fed
+            .with_engine(|engine| engine.submit(&q, 0.2).unwrap().wait())
+            .unwrap();
+        assert!(ans.value.is_finite());
+        assert!(
+            (ans.value - exact).abs() < 0.3 * exact,
+            "value {}",
+            ans.value
+        );
+    }
+
+    #[test]
+    fn invalid_submissions_fail_before_touching_workers() {
+        let fed = federation();
+        fed.with_engine(|engine| {
+            let q = count_query(0, 999);
+            assert!(matches!(
+                engine.submit(&q, 0.0),
+                Err(CoreError::InvalidSamplingRate(_))
+            ));
+            assert!(matches!(
+                engine.submit(&q, 1.0),
+                Err(CoreError::InvalidSamplingRate(_))
+            ));
+            let bad_dim =
+                RangeQuery::new(Aggregate::Count, vec![Range::new(7, 0, 1).unwrap()]).unwrap();
+            assert!(engine.submit(&bad_dim, 0.2).is_err());
+            let mut bad_budget = engine.default_budget().unwrap();
+            bad_budget.eps_s = 0.0;
+            assert!(engine.submit_with_budget(&q, 0.2, &bad_budget).is_err());
+        });
+    }
+
+    #[test]
+    fn handle_clones_error_after_close() {
+        let fed = federation();
+        let escaped = fed.with_engine(|engine| engine.clone());
+        let q = count_query(0, 999);
+        assert!(matches!(
+            escaped.submit(&q, 0.2),
+            Err(CoreError::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn owned_engine_round_trips_the_federation() {
+        let fed = federation();
+        let q = count_query(100, 800);
+        let engine = FederationEngine::start(fed);
+        let handle = engine.handle();
+        let ans = handle.submit(&q, 0.2).unwrap().wait().unwrap();
+        assert!(ans.value.is_finite());
+        let mut fed = engine.shutdown();
+        // The reassembled federation still answers queries, and its
+        // providers are back in id order.
+        for (i, p) in fed.providers().iter().enumerate() {
+            assert_eq!(p.id(), i);
+        }
+        let again = fed.run(&q, 0.2).unwrap();
+        assert!(again.value.is_finite());
+        // The handle is dead after shutdown.
+        assert!(handle.submit(&q, 0.2).is_err());
+    }
+
+    #[test]
+    fn many_analysts_share_one_engine() {
+        let fed = federation();
+        let answers = fed.with_engine(|engine| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..8)
+                    .map(|a| {
+                        let engine = engine.clone();
+                        scope.spawn(move || {
+                            let q = count_query(10 * a, 400 + 40 * a);
+                            engine.submit(&q, 0.2).unwrap().wait().unwrap().value
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<f64>>()
+            })
+        });
+        assert_eq!(answers.len(), 8);
+        assert!(answers.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn heavy_interleaved_submission_does_not_deadlock() {
+        // Regression: the fan-out used to run under a shared read lock, so
+        // two analysts' sends could interleave and land in different orders
+        // on different provider queues — each worker then blocked at a
+        // different job's allocation barrier, deadlocking the pool. The
+        // fan-out is now serialized; 8 analysts × 25 queries must drain.
+        let fed = Federation::build(config(50), schema(), partitions(400, 4)).unwrap();
+        fed.with_engine(|engine| {
+            std::thread::scope(|scope| {
+                for analyst in 0..8usize {
+                    let engine = engine.clone();
+                    scope.spawn(move || {
+                        for i in 0..25usize {
+                            let lo = ((i * 7 + analyst) % 200) as i64;
+                            let hi = (500 + (i * 11) % 400) as i64;
+                            let q = count_query(lo, hi);
+                            engine.submit(&q, 0.2).unwrap().wait().unwrap();
+                        }
+                    });
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn panic_inside_with_engine_propagates_instead_of_hanging() {
+        // Regression: a panic in the closure used to skip handle.close(),
+        // leaving the scoped workers blocked in recv() while thread::scope
+        // waited to join them — a process-wide deadlock. The drop guard
+        // must close the pool on unwind so the panic propagates.
+        let fed = federation();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fed.with_engine(|_engine| panic!("analyst code failed"));
+        }));
+        assert!(result.is_err(), "panic must propagate out of with_engine");
+        // The federation (and a fresh pool) still works afterwards.
+        let q = count_query(100, 800);
+        let ans = fed
+            .with_engine(|engine| engine.submit(&q, 0.2).unwrap().wait())
+            .unwrap();
+        assert!(ans.value.is_finite());
+    }
+
+    #[test]
+    fn derive_seed_separates_lanes_and_indices() {
+        let a = derive_seed(7, 0, 0);
+        let b = derive_seed(7, 1, 0);
+        let c = derive_seed(7, 0, 1);
+        let d = derive_seed(7, 0, AGGREGATOR_LANE);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+
+    #[test]
+    fn batch_builder_basics() {
+        let mut b = QueryBatch::new();
+        assert!(b.is_empty());
+        b.push(count_query(0, 10), 0.1);
+        assert_eq!(b.len(), 1);
+        let collected: QueryBatch = b.specs().to_vec().into_iter().collect();
+        assert_eq!(collected.len(), 1);
+    }
+}

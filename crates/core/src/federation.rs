@@ -8,14 +8,10 @@ use fedaqp_storage::MetaSpaceReport;
 
 use crate::aggregator::Aggregator;
 use crate::config::{AllocationPolicy, FederationConfig, ReleaseMode};
-use crate::protocol::{LocalOutcome, PhaseTimings};
+use crate::engine::EngineHandle;
+use crate::protocol::{query_bytes, LocalOutcome, PhaseTimings};
 use crate::provider::DataProvider;
 use crate::{CoreError, Result};
-
-/// Approximate wire size of a range query (protocol accounting).
-fn query_bytes(query: &RangeQuery) -> u64 {
-    16 + 24 * query.ranges().len() as u64
-}
 
 /// The answer to one federated query.
 #[derive(Debug, Clone)]
@@ -139,11 +135,59 @@ impl Federation {
 
     /// The default per-query budget from the configuration.
     pub fn default_budget(&self) -> Result<QueryBudget> {
-        Ok(QueryBudget::split(
-            self.config.epsilon,
-            self.config.delta,
-            self.config.hyperparams,
-        )?)
+        self.config.query_budget()
+    }
+
+    /// Decomposes the federation so the engine can move each provider onto
+    /// its own worker thread.
+    pub(crate) fn into_parts(self) -> (FederationConfig, Schema, Vec<DataProvider>) {
+        (self.config, self.schema, self.providers)
+    }
+
+    /// Reassembles a federation from parts handed back by the engine
+    /// (`providers` must be in id order; the aggregator is rebuilt from the
+    /// configured seed exactly as [`Federation::build`] does).
+    pub(crate) fn from_parts(
+        config: FederationConfig,
+        schema: Schema,
+        providers: Vec<DataProvider>,
+    ) -> Self {
+        let aggregator = Aggregator::new(config.seed, config.cost_model);
+        Self {
+            config,
+            schema,
+            providers,
+            aggregator,
+        }
+    }
+
+    /// Runs `f` against a temporary concurrent engine whose worker pool
+    /// borrows this federation's providers (one worker thread per provider,
+    /// alive for the whole closure). This is the cheap way to get pooled
+    /// execution — including the plain baseline on the *same* threads as
+    /// the private path — without giving up ownership of the federation;
+    /// for a long-lived service use [`crate::engine::FederationEngine`].
+    pub fn with_engine<R>(&self, f: impl FnOnce(&EngineHandle) -> R) -> R {
+        let (handle, receivers) = crate::engine::pool_channels(&self.config, &self.schema);
+        std::thread::scope(|scope| {
+            for (provider, rx) in self.providers.iter().zip(receivers) {
+                scope.spawn(move || crate::engine::worker_loop(provider, rx));
+            }
+            // Close the pool when the closure returns *or unwinds*: the
+            // scoped workers block in `recv()` until every sender is gone,
+            // and `thread::scope` joins them before re-raising a panic —
+            // without the drop guard, a panic inside `f` would deadlock
+            // the process instead of propagating. Handle clones that
+            // outlive the closure turn into errors rather than hangs.
+            struct CloseOnDrop<'a>(&'a EngineHandle);
+            impl Drop for CloseOnDrop<'_> {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let guard = CloseOnDrop(&handle);
+            f(guard.0)
+        })
     }
 
     /// Runs one query under the configured default budget.
@@ -164,7 +208,7 @@ impl Federation {
         sampling_rate: f64,
     ) -> Result<QueryAnswer> {
         let budget = self.default_budget()?;
-        self.run_query_inner(query, sampling_rate, &budget, true)
+        self.run_query_inner(query, sampling_rate, &budget, true, true)
     }
 
     /// Runs one query under an explicit per-query budget (the analyst's
@@ -176,7 +220,24 @@ impl Federation {
         sampling_rate: f64,
         budget: &QueryBudget,
     ) -> Result<QueryAnswer> {
-        self.run_query_inner(query, sampling_rate, budget, false)
+        self.run_query_inner(query, sampling_rate, budget, false, true)
+    }
+
+    /// [`Federation::run_with_budget`] without the exact-answer oracle:
+    /// `exact` is 0 and `relative_error` is `NaN` in the returned answer.
+    ///
+    /// The oracle is a full plain scan of every provider — experiment
+    /// instrumentation, not part of the protocol — so benchmarks that
+    /// measure the *serving* cost of the serial runtime (e.g. the
+    /// `throughput` experiment's baseline) must use this path or the
+    /// serial side would be charged work the engine never does.
+    pub fn run_protocol_only(
+        &mut self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<QueryAnswer> {
+        self.run_query_inner(query, sampling_rate, budget, false, false)
     }
 
     fn run_query_inner(
@@ -185,6 +246,7 @@ impl Federation {
         sampling_rate: f64,
         budget: &QueryBudget,
         concurrent: bool,
+        with_oracle: bool,
     ) -> Result<QueryAnswer> {
         if !(sampling_rate.is_finite() && 0.0 < sampling_rate && sampling_rate < 1.0) {
             return Err(CoreError::InvalidSamplingRate(sampling_rate));
@@ -309,11 +371,16 @@ impl Federation {
             ReleaseMode::Smc => smc_network,
         };
 
-        let exact = self.exact(query);
-        let relative_error = if exact == 0 {
-            value.abs()
+        let (exact, relative_error) = if with_oracle {
+            let exact = self.exact(query);
+            let relative_error = if exact == 0 {
+                value.abs()
+            } else {
+                (exact as f64 - value).abs() / exact as f64
+            };
+            (exact, relative_error)
         } else {
-            (exact as f64 - value).abs() / exact as f64
+            (0, f64::NAN)
         };
         Ok(QueryAnswer {
             value,

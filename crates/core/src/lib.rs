@@ -31,6 +31,7 @@ pub mod agreement;
 pub mod allocation;
 pub mod config;
 pub mod derived;
+pub mod engine;
 pub mod error;
 pub mod extremes;
 pub mod federation;
@@ -49,6 +50,10 @@ pub use config::{
     SensitivityRegime,
 };
 pub use derived::{run_derived, DerivedAnswer, DerivedStatistic};
+pub use engine::{
+    EngineAnswer, EngineHandle, FederationEngine, PendingAnswer, PendingPlain, QueryBatch,
+    QuerySpec,
+};
 pub use error::CoreError;
 pub use extremes::{private_extreme, Extreme, ExtremeAnswer};
 pub use federation::{Federation, PlainAnswer, QueryAnswer};
@@ -56,7 +61,7 @@ pub use groupby::{run_group_by, Group, GroupByAnswer};
 pub use online::{combine_snapshots, run_online, OnlineAnswer, OnlineSnapshot};
 pub use protocol::{LocalOutcome, PhaseTimings, ProviderSummary};
 pub use provider::DataProvider;
-pub use session::{AnalystSession, SessionPlan};
+pub use session::{AnalystSession, ConcurrentSession, SessionPlan};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

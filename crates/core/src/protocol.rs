@@ -2,6 +2,15 @@
 
 use std::time::Duration;
 
+use fedaqp_model::RangeQuery;
+
+/// Approximate wire size of a range query (protocol accounting); shared by
+/// the serial runtime and the concurrent engine so both charge the same
+/// simulated broadcast cost.
+pub(crate) fn query_bytes(query: &RangeQuery) -> u64 {
+    16 + 24 * query.ranges().len() as u64
+}
+
 /// The DP summary a provider releases for the allocation phase (Eq. 5):
 /// `(Ñ^Q, Avg(R̂)~)` perturbed under `ε_O`.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -127,6 +127,12 @@ impl DataProvider {
         meta_space_report(&self.meta)
     }
 
+    /// Temporarily moves the provider's own RNG out so `&self` methods can
+    /// draw from it (the `_with_rng` variants take the RNG by parameter).
+    fn take_rng(&mut self) -> StdRng {
+        std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0))
+    }
+
     /// Protocol step 1: identify `C^Q` and compute `R̂`.
     ///
     /// With [`ProportionSource::Metadata`] (the paper) proportions come from
@@ -162,6 +168,25 @@ impl DataProvider {
         prep: &PreparedQuery,
         eps_o: f64,
     ) -> Result<ProviderSummary> {
+        let mut rng = self.take_rng();
+        let out = self.summary_with_rng(query, prep, eps_o, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    /// [`Self::summary`] with the noise drawn from an explicit RNG.
+    ///
+    /// The engine derives one RNG per `(query, provider)` pair so that
+    /// concurrent query execution stays deterministic under a seed; the
+    /// provider's own RNG (used by [`Self::summary`]) would make results
+    /// depend on the interleaving of queries.
+    pub fn summary_with_rng(
+        &self,
+        query: &RangeQuery,
+        prep: &PreparedQuery,
+        eps_o: f64,
+        rng: &mut StdRng,
+    ) -> Result<ProviderSummary> {
         if !(eps_o.is_finite() && eps_o > 0.0) {
             return Err(CoreError::BadConfig("summary budget must be positive"));
         }
@@ -173,8 +198,8 @@ impl DataProvider {
         );
         let d_avg = delta_avg_r(dr, self.n_min);
         let half = eps_o / 2.0;
-        let noisy_avg_r = prep.avg_r() + laplace_noise(&mut self.rng, d_avg / half);
-        let noisy_n_q = prep.n_q() as f64 + laplace_noise(&mut self.rng, 1.0 / half);
+        let noisy_avg_r = prep.avg_r() + laplace_noise(rng, d_avg / half);
+        let noisy_n_q = prep.n_q() as f64 + laplace_noise(rng, 1.0 / half);
         Ok(ProviderSummary {
             provider: self.id,
             noisy_n_q,
@@ -202,9 +227,26 @@ impl DataProvider {
         budget: &QueryBudget,
         release_local: bool,
     ) -> Result<LocalOutcome> {
+        let mut rng = self.take_rng();
+        let out = self.execute_with_rng(query, prep, allocation, budget, release_local, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    /// [`Self::execute`] with all randomness (EM sampling, release noise)
+    /// drawn from an explicit RNG — see [`Self::summary_with_rng`].
+    pub fn execute_with_rng(
+        &self,
+        query: &RangeQuery,
+        prep: &PreparedQuery,
+        allocation: u64,
+        budget: &QueryBudget,
+        release_local: bool,
+        rng: &mut StdRng,
+    ) -> Result<LocalOutcome> {
         let n_q = prep.n_q();
         if n_q < self.n_min {
-            return self.execute_exact(query, prep, budget, release_local);
+            return self.execute_exact(query, prep, budget, release_local, rng);
         }
         let s = (allocation.max(1) as usize).min(n_q);
         // Uniform ablation: every covering cluster scores equally, turning
@@ -218,7 +260,7 @@ impl DataProvider {
             }
         };
         let dp_score = delta_p(self.n_min);
-        let sample = em_sample(&mut self.rng, weights, s, budget.eps_s, dp_score)?;
+        let sample = em_sample(rng, weights, s, budget.eps_s, dp_score)?;
         // Scan each *distinct* drawn cluster once; repeats reuse the value.
         let mut value_cache: Vec<Option<u64>> = vec![None; n_q];
         let mut scanned = 0usize;
@@ -263,7 +305,7 @@ impl DataProvider {
         let smooth = SmoothSensitivity::new(budget.eps_e, budget.delta)?;
         let smooth_ls = smooth_estimator_sensitivity(&smooth, &sens_inputs, &ctx);
         let released = if release_local {
-            Some(smooth.release(&mut self.rng, estimate, smooth_ls))
+            Some(smooth.release(rng, estimate, smooth_ls))
         } else {
             None
         };
@@ -280,11 +322,12 @@ impl DataProvider {
 
     /// The exact ("regular") path of protocol step 4.
     fn execute_exact(
-        &mut self,
+        &self,
         query: &RangeQuery,
         prep: &PreparedQuery,
         budget: &QueryBudget,
         release_local: bool,
+        rng: &mut StdRng,
     ) -> Result<LocalOutcome> {
         let value = self.store.evaluate_clusters(query, &prep.covering)? as f64;
         let sensitivity = match query.aggregate() {
@@ -295,7 +338,7 @@ impl DataProvider {
         // so the per-query total stays ε_O + ε_S + ε_E.
         let eps_release = budget.eps_s + budget.eps_e;
         let released = if release_local {
-            Some(value + laplace_noise(&mut self.rng, sensitivity / eps_release))
+            Some(value + laplace_noise(rng, sensitivity / eps_release))
         } else {
             None
         };

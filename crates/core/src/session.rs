@@ -12,10 +12,11 @@
 //!   many queries the session will serve; each gets the (larger) per-query
 //!   budget of §6.6's advanced composition.
 
-use fedaqp_dp::{advanced_per_query, BudgetAccountant, PrivacyCost, QueryBudget};
+use fedaqp_dp::{advanced_per_query, BudgetAccountant, PrivacyCost, QueryBudget, SharedAccountant};
 use fedaqp_model::RangeQuery;
 
 use crate::derived::{run_derived, DerivedAnswer, DerivedStatistic};
+use crate::engine::{EngineAnswer, EngineHandle};
 use crate::federation::{Federation, QueryAnswer};
 use crate::{CoreError, Result};
 
@@ -135,6 +136,93 @@ impl AnalystSession {
     /// Closes the session, returning the federation and the spent budget.
     pub fn close(self) -> (Federation, PrivacyCost) {
         (self.federation, self.accountant.spent())
+    }
+}
+
+/// An analyst session over a concurrent [`EngineHandle`]: the §5.4 budget
+/// semantics of [`AnalystSession`], safe to clone across analyst threads.
+///
+/// The accountant sits behind a [`SharedAccountant`], so the affordability
+/// check and the charge are one atomic step: N racing queries can never
+/// jointly drive the session past its `(ξ, ψ)` — losers of the race are
+/// rejected *before* any provider touches data. A charge is kept even if
+/// the query subsequently fails inside the engine (fail-closed: the
+/// conservative direction for privacy).
+#[derive(Debug, Clone)]
+pub struct ConcurrentSession {
+    handle: EngineHandle,
+    accountant: SharedAccountant,
+    plan: SessionPlan,
+    per_query: QueryBudget,
+}
+
+impl ConcurrentSession {
+    /// Opens a session with total budget `(xi, psi)` under `plan`.
+    pub fn open(handle: EngineHandle, xi: f64, psi: f64, plan: SessionPlan) -> Result<Self> {
+        let accountant = SharedAccountant::new(xi, psi).map_err(CoreError::Dp)?;
+        let config = handle.config();
+        let hp = config.hyperparams;
+        let per_query = match plan {
+            SessionPlan::PayAsYouGo => config.query_budget()?,
+            SessionPlan::AdvancedComposition { planned_queries } => {
+                let per = advanced_per_query(xi, psi, planned_queries)?;
+                QueryBudget::split(per.eps, per.delta, hp)?
+            }
+        };
+        Ok(Self {
+            handle,
+            accountant,
+            plan,
+            per_query,
+        })
+    }
+
+    /// The session's budget plan.
+    #[inline]
+    pub fn plan(&self) -> SessionPlan {
+        self.plan
+    }
+
+    /// The `(ε, δ)` each query costs under this session's plan.
+    pub fn per_query_cost(&self) -> PrivacyCost {
+        self.per_query.cost()
+    }
+
+    /// Remaining total budget.
+    pub fn remaining(&self) -> PrivacyCost {
+        self.accountant.remaining()
+    }
+
+    /// The budget consumed so far.
+    pub fn spent(&self) -> PrivacyCost {
+        self.accountant.spent()
+    }
+
+    /// Queries answered so far (successfully charged).
+    pub fn queries_answered(&self) -> u64 {
+        self.accountant.queries_answered()
+    }
+
+    /// Whether another query of this session's cost still fits (advisory:
+    /// the authoritative gate is the atomic charge inside [`Self::query`]).
+    pub fn can_query(&self) -> bool {
+        self.accountant.can_afford(self.per_query.cost())
+    }
+
+    /// The engine handle this session queries through.
+    pub fn handle(&self) -> &EngineHandle {
+        &self.handle
+    }
+
+    /// Answers one private query, atomically charging the session budget
+    /// first.
+    pub fn query(&self, query: &RangeQuery, sampling_rate: f64) -> Result<EngineAnswer> {
+        self.accountant
+            .charge(self.per_query.cost())
+            .map_err(CoreError::Dp)?;
+        self.handle
+            .submit_with_budget(query, sampling_rate, &self.per_query)?
+            .wait()
     }
 }
 

@@ -91,6 +91,84 @@ impl BudgetAccountant {
     }
 }
 
+/// A thread-safe, shareable [`BudgetAccountant`] for concurrent sessions.
+///
+/// Concurrent query engines answer many queries of one analyst session in
+/// parallel; the charge for each query must be atomic with respect to the
+/// affordability check or two racing queries could both observe "enough
+/// budget left" and jointly overspend `(ξ, ψ)`. This wrapper puts the
+/// accountant behind a mutex so check-and-charge is a single critical
+/// section, and behind an `Arc` so clones observe the same ledger.
+#[derive(Debug, Clone)]
+pub struct SharedAccountant {
+    inner: std::sync::Arc<std::sync::Mutex<BudgetAccountant>>,
+}
+
+impl SharedAccountant {
+    /// Creates a shared accountant with total budget `(xi, psi)`.
+    pub fn new(xi: f64, psi: f64) -> Result<Self> {
+        Ok(Self::from_accountant(BudgetAccountant::new(xi, psi)?))
+    }
+
+    /// Wraps an existing accountant (e.g. one restored from a ledger).
+    pub fn from_accountant(accountant: BudgetAccountant) -> Self {
+        Self {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(accountant)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BudgetAccountant> {
+        // A poisoned ledger means a panic mid-charge; the accountant only
+        // mutates `spent` after all checks pass, so the state stays sound.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The total budget.
+    pub fn total(&self) -> PrivacyCost {
+        self.lock().total()
+    }
+
+    /// The budget consumed so far.
+    pub fn spent(&self) -> PrivacyCost {
+        self.lock().spent()
+    }
+
+    /// The budget still available.
+    pub fn remaining(&self) -> PrivacyCost {
+        self.lock().remaining()
+    }
+
+    /// Number of successfully charged queries.
+    pub fn queries_answered(&self) -> u64 {
+        self.lock().queries_answered()
+    }
+
+    /// Whether a charge of `cost` would fit *right now* (advisory only:
+    /// another thread may charge in between; use [`Self::charge`] as the
+    /// authoritative gate).
+    pub fn can_afford(&self, cost: PrivacyCost) -> bool {
+        self.lock().can_afford(cost)
+    }
+
+    /// Atomically checks and charges `cost`, failing (and charging
+    /// nothing) if it does not fit.
+    pub fn charge(&self, cost: PrivacyCost) -> Result<()> {
+        self.lock().charge(cost)
+    }
+
+    /// Whether the ε budget is (effectively) fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.lock().is_exhausted()
+    }
+
+    /// A snapshot copy of the underlying accountant.
+    pub fn snapshot(&self) -> BudgetAccountant {
+        self.lock().clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +226,46 @@ mod tests {
             assert!(acc.charge(per).is_ok(), "query {i} rejected");
         }
         assert!(acc.is_exhausted());
+    }
+
+    #[test]
+    fn shared_accountant_is_atomic_across_threads() {
+        // 8 threads race to charge 0.25 each out of ξ = 1: exactly 4
+        // charges may succeed, no matter the interleaving.
+        let acc = SharedAccountant::new(1.0, 1e-2).unwrap();
+        let per = PrivacyCost {
+            eps: 0.25,
+            delta: 1e-3,
+        };
+        let successes: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let acc = acc.clone();
+                    scope.spawn(move || u64::from(acc.charge(per).is_ok()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(successes, 4);
+        assert_eq!(acc.queries_answered(), 4);
+        assert!(acc.spent().eps <= 1.0 + 1e-9);
+        assert!(acc.spent().delta <= 1e-2 + 1e-9);
+    }
+
+    #[test]
+    fn shared_accountant_mirrors_plain_api() {
+        let acc = SharedAccountant::new(2.0, 1e-3).unwrap();
+        let cost = PrivacyCost {
+            eps: 1.0,
+            delta: 1e-4,
+        };
+        assert!(acc.can_afford(cost));
+        acc.charge(cost).unwrap();
+        assert_eq!(acc.total().eps, 2.0);
+        assert!((acc.remaining().eps - 1.0).abs() < 1e-12);
+        assert!(!acc.is_exhausted());
+        let snap = acc.snapshot();
+        assert_eq!(snap.queries_answered(), 1);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Statistical privacy/mechanism invariants across the whole stack.
 
-use fedaqp::core::{Federation, FederationConfig};
+use fedaqp::core::{
+    ConcurrentSession, Federation, FederationConfig, FederationEngine, QueryBatch, SessionPlan,
+};
 use fedaqp::data::{partition_rows, AmazonConfig, AmazonSynth, PartitionMode};
 use fedaqp::dp::QueryBudget;
 use fedaqp::model::{Aggregate, QueryBuilder, RangeQuery, Row};
@@ -144,6 +146,99 @@ fn smooth_sensitivities_are_sane() {
     assert_eq!(ans.smooth_ls.len(), 4);
     for &s in &ans.smooth_ls {
         assert!(s.is_finite() && s > 0.0, "smooth sensitivity {s}");
+    }
+}
+
+/// Concurrency privacy invariant: N analyst threads hammering one session
+/// through the concurrent engine can never drive the accountant past the
+/// session's `(ξ, ψ)` — the check-and-charge is atomic, so exactly
+/// `⌊ξ/ε⌋` of the racing queries get answered and the rest are rejected
+/// before any provider touches data.
+#[test]
+fn concurrent_session_never_overspends_budget() {
+    let (fed, _) = federation(8, 1.0);
+    let engine = FederationEngine::start(fed);
+    let session =
+        ConcurrentSession::open(engine.handle(), 5.0, 1e-2, SessionPlan::PayAsYouGo).unwrap();
+    // 8 threads × 3 attempts = 24 queries racing for ⌊ξ/ε⌋ = 5 slots.
+    let answered: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let session = session.clone();
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    for _ in 0..3 {
+                        let q = demo_query_for(session.handle().schema());
+                        if session.query(&q, 0.2).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(answered, 5, "exactly ξ/ε queries may be answered");
+    assert_eq!(session.queries_answered(), 5);
+    assert!(session.spent().eps <= 5.0 + 1e-9, "ε overspent");
+    assert!(session.spent().delta <= 1e-2 + 1e-9, "δ overspent");
+    assert!(!session.can_query());
+    engine.shutdown();
+}
+
+fn demo_query_for(schema: &fedaqp::model::Schema) -> RangeQuery {
+    QueryBuilder::new(schema, Aggregate::Sum)
+        .range("rating", 2, 5)
+        .expect("range")
+        .range("week", 20, 180)
+        .expect("range")
+        .build()
+        .expect("query")
+}
+
+/// Determinism invariant: a seeded `QueryBatch` returns bit-identical
+/// answers whether its queries run one at a time or all concurrently —
+/// every `(query, provider)` pair derives its own RNG, so noise cannot
+/// depend on how queries interleave on the shared providers.
+#[test]
+fn seeded_batch_identical_serial_vs_concurrent() {
+    let batch_for = |fed: &Federation| {
+        let mut batch = QueryBatch::new();
+        for i in 0..6 {
+            let q = QueryBuilder::new(fed.schema(), Aggregate::Count)
+                .range("rating", 1, 4)
+                .expect("range")
+                .range("week", 10 + 5 * i, 150 + 10 * i)
+                .expect("range")
+                .build()
+                .expect("query");
+            batch.push(q, 0.15);
+        }
+        batch
+    };
+    let (fed_a, _) = federation(9, 1.0);
+    let (fed_b, _) = federation(9, 1.0);
+    let serial: Vec<_> = fed_a
+        .with_engine(|engine| engine.run_batch_serial(&batch_for(&fed_a)))
+        .into_iter()
+        .map(|r| r.expect("serial batch"))
+        .collect();
+    let concurrent: Vec<_> = fed_b
+        .with_engine(|engine| engine.run_batch(&batch_for(&fed_b)))
+        .into_iter()
+        .map(|r| r.expect("concurrent batch"))
+        .collect();
+    assert_eq!(serial.len(), concurrent.len());
+    for (a, b) in serial.iter().zip(&concurrent) {
+        assert_eq!(
+            a.value, b.value,
+            "released value must not depend on interleaving"
+        );
+        assert_eq!(a.allocations, b.allocations);
+        assert_eq!(a.raw_estimate, b.raw_estimate);
+        assert_eq!(a.smooth_ls, b.smooth_ls);
+        assert_eq!(a.cost.eps, b.cost.eps);
     }
 }
 
