@@ -1,4 +1,7 @@
-//! `bench_gate` — the CI perf-regression gate over `BENCH_engine.json`.
+//! `bench_gate` — the CI regression gates over the machine-readable
+//! benchmark summaries.
+//!
+//! Throughput mode (`BENCH_engine.json`):
 //!
 //! ```text
 //! bench_gate <current.json> <baseline.json> [--max-regression 0.25]
@@ -14,8 +17,34 @@
 //! The comparison deliberately leans on the *speed-up ratio* (machine
 //! independent) and treats absolute qps with a generous regression band,
 //! since CI runners vary in raw speed.
+//!
+//! Accuracy mode (`BENCH_accuracy.json`):
+//!
+//! ```text
+//! bench_gate --accuracy <current.json> <baseline.json>
+//!            [--max-regression 0.25] [--pairwise-slack 1.15]
+//! ```
+//!
+//! Fails (exit 1) when, at the headline ε, any of
+//! * the calibrated (`EmCalibrated`) raw RMS at the top sampling rate
+//!   regressed more than `--max-regression` above the committed baseline,
+//! * calibrated RMS at the top rate is not strictly below the bottom rate
+//!   (estimation error must *fall* with the sampling rate — Fig. 5),
+//! * calibrated RMS does not beat the `PpsEq3` divisor at the top rate
+//!   (strict: this is where the calibration claims its win), or
+//! * calibrated RMS exceeds `--pairwise-slack` × the `PpsEq3` RMS at any
+//!   swept rate. The slack covers the documented tie regime: at the
+//!   lowest rates (one or two draws per provider) the floored-PPS divisor
+//!   acts as a shrinkage estimator and can hold a ≲15% RMS edge; the gate
+//!   tolerates that tie but fails if the calibrated estimator ever loses
+//!   materially anywhere.
+//!
+//! Accuracy numbers are seeded Monte-Carlo, deterministic for a given
+//! code state — regressions mean the estimator changed, not the machine.
 
 use std::process::ExitCode;
+
+use fedaqp_bench::experiments::accuracy::{rate_key, RATES};
 
 /// Extracts the number following `"key":` from a flat JSON document. Only
 /// headline keys are parsed, and they are chosen to be unique substrings,
@@ -44,13 +73,87 @@ fn load(path: &str) -> Result<(f64, f64), String> {
     ))
 }
 
+/// The accuracy-mode gate (see the module docs).
+fn run_accuracy(
+    current_path: &str,
+    baseline_path: &str,
+    max_regression: f64,
+    pairwise_slack: f64,
+) -> Result<String, String> {
+    let current =
+        std::fs::read_to_string(current_path).map_err(|e| format!("{current_path}: {e}"))?;
+    let baseline =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let top_rate = RATES[RATES.len() - 1];
+    let bottom_rate = RATES[0];
+    let em_top = json_number(&current, &rate_key("em", top_rate))?;
+    let pps_top = json_number(&current, &rate_key("pps", top_rate))?;
+    let em_bottom = json_number(&current, &rate_key("em", bottom_rate))?;
+    let baseline_em_top = json_number(&baseline, &rate_key("em", top_rate))?;
+    let ceiling = (1.0 + max_regression) * baseline_em_top;
+    let mut report = format!(
+        "accuracy gate: calibrated raw RMS at sr={:.0}% = {em_top:.4} \
+         (baseline {baseline_em_top:.4}, ceiling {ceiling:.4}); sr={:.0}% = {em_bottom:.4}\n",
+        top_rate * 100.0,
+        bottom_rate * 100.0,
+    );
+    let mut failed = false;
+    if em_top > ceiling {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: calibrated RMS at the top sampling rate regressed more than {:.0}% \
+             above the baseline\n",
+            100.0 * max_regression
+        ));
+    }
+    if em_top >= em_bottom {
+        failed = true;
+        report.push_str(
+            "FAIL: estimation error no longer falls with the sampling rate \
+             (calibrated RMS at the top rate >= bottom rate)\n",
+        );
+    }
+    if em_top >= pps_top {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: calibrated RMS no longer beats the PpsEq3 divisor at sr={:.0}%\n",
+            top_rate * 100.0
+        ));
+    }
+    for &rate in &RATES {
+        let em = json_number(&current, &rate_key("em", rate))?;
+        let pps = json_number(&current, &rate_key("pps", rate))?;
+        report.push_str(&format!(
+            "  sr={:>3.0}%: em {em:.4} vs pps {pps:.4}\n",
+            rate * 100.0
+        ));
+        if em > pairwise_slack * pps {
+            failed = true;
+            report.push_str(&format!(
+                "FAIL: calibrated RMS exceeds {pairwise_slack:.2}x the PpsEq3 RMS \
+                 (the tie slack) at sr={:.0}%\n",
+                rate * 100.0
+            ));
+        }
+    }
+    if failed {
+        Err(report)
+    } else {
+        report.push_str("PASS\n");
+        Ok(report)
+    }
+}
+
 fn run(args: &[String]) -> Result<String, String> {
     let mut positional = Vec::new();
     let mut max_regression = 0.25_f64;
     let mut min_speedup = 2.0_f64;
+    let mut pairwise_slack = 1.15_f64;
+    let mut accuracy = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--accuracy" => accuracy = true,
             "--max-regression" => {
                 i += 1;
                 max_regression = args
@@ -67,15 +170,28 @@ fn run(args: &[String]) -> Result<String, String> {
                     .parse()
                     .map_err(|e| format!("--min-speedup: {e}"))?;
             }
+            "--pairwise-slack" => {
+                i += 1;
+                pairwise_slack = args
+                    .get(i)
+                    .ok_or("--pairwise-slack needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--pairwise-slack: {e}"))?;
+            }
             other => positional.push(other.to_string()),
         }
         i += 1;
     }
     let [current_path, baseline_path] = positional.as_slice() else {
-        return Err("usage: bench_gate <current.json> <baseline.json> \
-                    [--max-regression R] [--min-speedup S]"
-            .into());
+        return Err(
+            "usage: bench_gate [--accuracy] <current.json> <baseline.json> \
+                    [--max-regression R] [--min-speedup S] [--pairwise-slack K]"
+                .into(),
+        );
     };
+    if accuracy {
+        return run_accuracy(current_path, baseline_path, max_regression, pairwise_slack);
+    }
     let (current_qps, current_speedup) = load(current_path)?;
     let (baseline_qps, baseline_speedup) = load(baseline_path)?;
     let qps_floor = (1.0 - max_regression) * baseline_qps;
@@ -176,5 +292,69 @@ mod tests {
     #[test]
     fn bad_usage_is_reported() {
         assert!(run(&["one".into()]).unwrap_err().contains("usage"));
+    }
+
+    /// A synthetic accuracy summary: calibrated RMS falls with the rate
+    /// and beats the PPS divisor everywhere.
+    fn accuracy_doc() -> String {
+        let mut keys = Vec::new();
+        for (i, &rate) in RATES.iter().enumerate() {
+            let em = 0.30 - 0.04 * i as f64;
+            let pps = em + 0.02 * i as f64 + 0.001;
+            keys.push(format!("  \"{}\": {em:.6}", rate_key("em", rate)));
+            keys.push(format!("  \"{}\": {pps:.6}", rate_key("pps", rate)));
+        }
+        format!(
+            "{{\n  \"schema\": \"fedaqp-bench-accuracy/v1\",\n  \"trials\": 40,\n{}\n}}\n",
+            keys.join(",\n")
+        )
+    }
+
+    #[test]
+    fn accuracy_gate_passes_and_fails() {
+        let dir = std::env::temp_dir().join("fedaqp_accuracy_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        let doc = accuracy_doc();
+        std::fs::write(&current, &doc).unwrap();
+        std::fs::write(&baseline, &doc).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [
+                "--accuracy",
+                current.to_str().unwrap(),
+                baseline.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .chain(extra.iter().map(|s| s.to_string()))
+            .collect()
+        };
+        // Identical current/baseline passes.
+        assert!(run(&args(&[])).is_ok());
+        // A baseline far below the current top-rate RMS fails the band.
+        let top = rate_key("em", RATES[RATES.len() - 1]);
+        let tightened = doc.replace(&format!("\"{top}\": 0.14"), &format!("\"{top}\": 0.05"));
+        assert_ne!(tightened, doc, "test fixture must hit the top-rate key");
+        std::fs::write(&baseline, &tightened).unwrap();
+        assert!(run(&args(&[])).unwrap_err().contains("regressed"));
+        // ... unless the band is loosened.
+        assert!(run(&args(&["--max-regression", "2.0"])).is_ok());
+        std::fs::write(&baseline, &doc).unwrap();
+        // Error no longer falling with rate fails.
+        let rising = doc.replace(&format!("\"{top}\": 0.14"), &format!("\"{top}\": 0.50"));
+        std::fs::write(&current, &rising).unwrap();
+        let err = run(&args(&["--max-regression", "10.0"])).unwrap_err();
+        assert!(err.contains("falls with the sampling rate"), "{err}");
+        // Calibrated losing to PPS at one rate fails.
+        let losing = doc.replace(
+            &format!("\"{}\": 0.26", rate_key("em", RATES[1])),
+            &format!("\"{}\": 0.40", rate_key("em", RATES[1])),
+        );
+        assert_ne!(losing, doc);
+        std::fs::write(&current, &losing).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("the tie slack"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,8 +3,9 @@
 //! ```text
 //! cargo run -p fedaqp-bench --release --bin repro -- <experiment> [flags]
 //!
-//! experiments: all, fig1, fig4, fig5, fig6, fig7, fig8,
-//!              table1, table1-dims, metadata, ablation
+//! experiments: all, fig1, fig4, fig5, fig6, fig7, fig8, table1,
+//!              table1-dims, metadata, ablation, throughput, accuracy,
+//!              plot
 //! flags:
 //!   --quick             smoke-test scale (small data, few queries)
 //!   --out <dir>         CSV output directory        (default: results)

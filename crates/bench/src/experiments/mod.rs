@@ -1,6 +1,7 @@
 //! One module per reproduced figure/table.
 
 pub mod ablation;
+pub mod accuracy;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;
@@ -76,6 +77,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "throughput",
             "engine throughput — qps/latency vs #analysts x #providers (CI gate)",
             throughput::run as ExperimentFn,
+        ),
+        (
+            "accuracy",
+            "estimator accuracy — RMS error vs sampling rate x epsilon, both calibrations (CI gate)",
+            accuracy::run as ExperimentFn,
         ),
         (
             "plot",

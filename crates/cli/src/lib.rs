@@ -7,4 +7,6 @@ pub mod manifest;
 pub mod ops;
 
 pub use manifest::Manifest;
-pub use ops::{batch, generate, inspect, query, BatchArgs, GenerateArgs, QueryArgs};
+pub use ops::{
+    batch, generate, inspect, parse_calibration, query, BatchArgs, GenerateArgs, QueryArgs,
+};

@@ -10,7 +10,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fedaqp_cli::{batch, generate, inspect, query, BatchArgs, GenerateArgs, QueryArgs};
+use fedaqp_cli::{
+    batch, generate, inspect, parse_calibration, query, BatchArgs, GenerateArgs, QueryArgs,
+};
+use fedaqp_core::EstimatorCalibration;
 
 const USAGE: &str = "\
 fedaqp — private approximate queries over horizontal data federations
@@ -20,11 +23,17 @@ usage:
                   [--capacity S] [--seed X] --out DIR
   fedaqp inspect  STORE.fqst
   fedaqp query    --data DIR [--rate R] [--epsilon E] [--delta D]
-                  [--smc] [--baseline] \"SELECT ... FROM T WHERE ...\"
+                  [--calibration em|pps] [--smc] [--baseline]
+                  \"SELECT ... FROM T WHERE ...\"
   fedaqp batch    --data DIR --queries FILE [--rate R] [--epsilon E]
-                  [--delta D] [--analysts N] [--xi X] [--psi P] [--smc]
+                  [--delta D] [--analysts N] [--xi X] [--psi P]
+                  [--calibration em|pps] [--smc]
                   (serve a file of SQL queries through the concurrent
                    engine, one line per query)
+
+calibration: `em` (default) divides each Hansen-Hurwitz draw by its exact
+exponential-mechanism probability (unbiased under the actual sampler);
+`pps` divides by the raw Eq. 3 PPS probability (paper-faithful).
 ";
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -90,11 +99,15 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
         delta: 1e-3,
         smc: false,
         baseline: false,
+        calibration: EstimatorCalibration::EmCalibrated,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--data" => q.data = PathBuf::from(take_value(args, &mut i, "--data")?),
+            "--calibration" => {
+                q.calibration = parse_calibration(&take_value(args, &mut i, "--calibration")?)?
+            }
             "--rate" => {
                 q.rate = take_value(args, &mut i, "--rate")?
                     .parse()
@@ -137,11 +150,15 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         xi: None,
         psi: 1e-2,
         smc: false,
+        calibration: EstimatorCalibration::EmCalibrated,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--data" => b.data = PathBuf::from(take_value(args, &mut i, "--data")?),
+            "--calibration" => {
+                b.calibration = parse_calibration(&take_value(args, &mut i, "--calibration")?)?
+            }
             "--queries" => b.queries = PathBuf::from(take_value(args, &mut i, "--queries")?),
             "--rate" => {
                 b.rate = take_value(args, &mut i, "--rate")?

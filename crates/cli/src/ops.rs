@@ -5,7 +5,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use fedaqp_core::{
-    ConcurrentSession, Federation, FederationConfig, FederationEngine, ReleaseMode, SessionPlan,
+    ConcurrentSession, EstimatorCalibration, Federation, FederationConfig, FederationEngine,
+    ReleaseMode, SessionPlan,
 };
 use fedaqp_data::{
     partition_rows, AdultConfig, AdultSynth, AmazonConfig, AmazonSynth, PartitionMode,
@@ -152,11 +153,27 @@ pub struct QueryArgs {
     pub smc: bool,
     /// Also run the plain baseline and report the speed-up.
     pub baseline: bool,
+    /// Hansen–Hurwitz calibration (`em` default, `pps` paper-faithful).
+    pub calibration: EstimatorCalibration,
+}
+
+/// Parses a `--calibration` value: `em` (EM-calibrated, the default) or
+/// `pps` (the paper's Eq. 3 divisor). The vocabulary is
+/// [`EstimatorCalibration`]'s canonical `FromStr`.
+pub fn parse_calibration(text: &str) -> Result<EstimatorCalibration, String> {
+    text.parse()
+        .map_err(|_| format!("unknown calibration `{text}` (use em|pps)"))
 }
 
 /// Rebuilds a federation (and its schema) from a `fedaqp generate` data
 /// directory — shared by `fedaqp query` and `fedaqp batch`.
-fn load_federation(data: &Path, epsilon: f64, delta: f64, smc: bool) -> Result<Federation, String> {
+fn load_federation(
+    data: &Path,
+    epsilon: f64,
+    delta: f64,
+    smc: bool,
+    calibration: EstimatorCalibration,
+) -> Result<Federation, String> {
     let manifest = Manifest::load(data)?;
     let mut partitions = Vec::with_capacity(manifest.providers);
     let mut schema = None;
@@ -174,6 +191,7 @@ fn load_federation(data: &Path, epsilon: f64, delta: f64, smc: bool) -> Result<F
     config.epsilon = epsilon;
     config.delta = delta;
     config.seed = manifest.seed;
+    config.estimator_calibration = calibration;
     if smc {
         config.release_mode = ReleaseMode::Smc;
     }
@@ -183,7 +201,13 @@ fn load_federation(data: &Path, epsilon: f64, delta: f64, smc: bool) -> Result<F
 /// `fedaqp query`: rebuild the federation from a data directory and answer
 /// one private SQL query.
 pub fn query(args: &QueryArgs) -> Result<String, String> {
-    let mut federation = load_federation(&args.data, args.epsilon, args.delta, args.smc)?;
+    let mut federation = load_federation(
+        &args.data,
+        args.epsilon,
+        args.delta,
+        args.smc,
+        args.calibration,
+    )?;
     let parsed = parse_sql(federation.schema(), &args.sql).map_err(|e| e.to_string())?;
     let answer = federation
         .run(&parsed, args.rate)
@@ -204,6 +228,17 @@ pub fn query(args: &QueryArgs) -> Result<String, String> {
         answer.cost.eps,
         answer.cost.delta,
         if args.smc { "SMC release" } else { "local DP" }
+    ));
+    out.push_str(&format!(
+        "estimator   : {} calibration, sampling CI ±{}\n",
+        match args.calibration {
+            EstimatorCalibration::EmCalibrated => "EM",
+            EstimatorCalibration::PpsEq3 => "PPS (Eq. 3)",
+        },
+        match answer.ci_halfwidth {
+            Some(hw) => format!("{hw:.1} (95%)"),
+            None => "unknown (single-draw sample)".into(),
+        }
     ));
     out.push_str(&format!(
         "work        : scanned {} of {} covering clusters\n",
@@ -243,6 +278,8 @@ pub struct BatchArgs {
     pub psi: f64,
     /// Use the SMC release mode.
     pub smc: bool,
+    /// Hansen–Hurwitz calibration (`em` default, `pps` paper-faithful).
+    pub calibration: EstimatorCalibration,
 }
 
 /// `fedaqp batch`: rebuild the federation, start the concurrent engine
@@ -252,7 +289,13 @@ pub fn batch(args: &BatchArgs) -> Result<String, String> {
     if args.analysts == 0 {
         return Err("need at least one analyst thread".into());
     }
-    let federation = load_federation(&args.data, args.epsilon, args.delta, args.smc)?;
+    let federation = load_federation(
+        &args.data,
+        args.epsilon,
+        args.delta,
+        args.smc,
+        args.calibration,
+    )?;
     let text = std::fs::read_to_string(&args.queries)
         .map_err(|e| format!("{}: {e}", args.queries.display()))?;
     let mut queries = Vec::new();
@@ -399,10 +442,45 @@ mod tests {
             delta: 1e-3,
             smc: false,
             baseline: true,
+            calibration: EstimatorCalibration::EmCalibrated,
         })
         .unwrap();
         assert!(out.contains("private"));
         assert!(out.contains("speed-up"));
+        assert!(out.contains("EM calibration"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_calibration_accepts_both_modes() {
+        assert_eq!(
+            parse_calibration("em"),
+            Ok(EstimatorCalibration::EmCalibrated)
+        );
+        assert_eq!(parse_calibration("pps"), Ok(EstimatorCalibration::PpsEq3));
+        assert!(parse_calibration("exact").unwrap_err().contains("em|pps"));
+    }
+
+    #[test]
+    fn query_honours_pps_calibration() {
+        let dir = tmp_dir("pps_cal");
+        generate(&GenerateArgs {
+            rows: 4_000,
+            ..generate_args(dir.clone())
+        })
+        .unwrap();
+        let out = query(&QueryArgs {
+            data: dir.clone(),
+            sql: "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60".into(),
+            rate: 0.2,
+            epsilon: 50.0,
+            delta: 1e-3,
+            smc: false,
+            baseline: false,
+            calibration: EstimatorCalibration::PpsEq3,
+        })
+        .unwrap();
+        assert!(out.contains("PPS (Eq. 3) calibration"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -423,6 +501,7 @@ mod tests {
             delta: 1e-3,
             smc: false,
             baseline: false,
+            calibration: EstimatorCalibration::EmCalibrated,
         })
         .unwrap_err();
         assert!(err.contains("manifest"));
@@ -444,6 +523,7 @@ mod tests {
             delta: 1e-3,
             smc: false,
             baseline: false,
+            calibration: EstimatorCalibration::EmCalibrated,
         })
         .unwrap_err();
         assert!(err.contains("bogus"));
@@ -461,6 +541,7 @@ mod tests {
             xi: None,
             psi: 1e-2,
             smc: false,
+            calibration: EstimatorCalibration::EmCalibrated,
         }
     }
 
@@ -538,6 +619,7 @@ mod tests {
             delta: 1e-3,
             smc: true,
             baseline: false,
+            calibration: EstimatorCalibration::EmCalibrated,
         })
         .unwrap();
         assert!(out.contains("SMC release"));

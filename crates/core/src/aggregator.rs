@@ -191,6 +191,7 @@ mod tests {
             released,
             estimate,
             smooth_ls: ls,
+            variance: None,
             approximated: true,
             clusters_scanned: 1,
             n_covering: 10,

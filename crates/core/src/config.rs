@@ -57,6 +57,51 @@ pub enum SamplingPolicy {
     Uniform,
 }
 
+/// Which probability the Hansen–Hurwitz estimator divides each draw by.
+///
+/// Algorithm 2 *selects* clusters with the Exponential mechanism (per-draw
+/// budget `ε_s = ε_S/s`), whose selection distribution is the softmax of
+/// `ε_s·p_j/(2Δp)` — not the raw PPS distribution `p_j` of Eq. 1. Eq. 3
+/// nevertheless divides by `p_j`. The mismatch grows with the sample size:
+/// larger `s` shrinks `ε_s`, flattening the draw distribution toward
+/// uniform while the divisor stays PPS, so the estimator's bias *grows*
+/// with the sampling rate and eats the variance reduction the extra draws
+/// paid for (the Fig. 5 "error falls with rate" trend inverts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorCalibration {
+    /// Divide by the raw PPS probability `p_j` (Eq. 3 verbatim) — the
+    /// paper-faithful baseline, biased under the actual draw distribution.
+    PpsEq3,
+    /// Divide by the Exponential mechanism's exact per-draw selection
+    /// probability — unbiased by construction under the distribution the
+    /// sampler actually used (the default).
+    EmCalibrated,
+}
+
+impl EstimatorCalibration {
+    /// Canonical short name (`em` / `pps`) — the CLI `--calibration`
+    /// vocabulary and the `BENCH_accuracy.json` key prefix, kept in one
+    /// place so the parser and the benchmark writer cannot drift.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EstimatorCalibration::EmCalibrated => "em",
+            EstimatorCalibration::PpsEq3 => "pps",
+        }
+    }
+}
+
+impl std::str::FromStr for EstimatorCalibration {
+    type Err = CoreError;
+
+    fn from_str(text: &str) -> Result<Self> {
+        match text {
+            "em" => Ok(EstimatorCalibration::EmCalibrated),
+            "pps" => Ok(EstimatorCalibration::PpsEq3),
+            _ => Err(CoreError::BadConfig("unknown calibration (use em|pps)")),
+        }
+    }
+}
+
 /// Where the per-cluster proportions `R` come from (ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProportionSource {
@@ -102,6 +147,9 @@ pub struct FederationConfig {
     pub allocation_policy: AllocationPolicy,
     /// Cluster sampling weights (PPS vs uniform).
     pub sampling_policy: SamplingPolicy,
+    /// Hansen–Hurwitz divisor: actual EM draw probability (calibrated,
+    /// unbiased) vs raw PPS probability (paper's Eq. 3).
+    pub estimator_calibration: EstimatorCalibration,
     /// Proportion source (metadata approximation vs exact scan).
     pub proportion_source: ProportionSource,
     /// Metadata resolution: `None` stores every distinct value's tail
@@ -118,6 +166,13 @@ pub struct FederationConfig {
 impl FederationConfig {
     /// The paper's evaluation configuration (§6.1): 4 providers, ε = 1,
     /// δ = 10⁻³, budget split (0.1, 0.1, 0.8), local-DP release.
+    ///
+    /// One deliberate deviation: the estimator defaults to
+    /// [`EstimatorCalibration::EmCalibrated`], which restores the Fig. 5
+    /// "error falls with sampling rate" behaviour the paper reports but
+    /// Eq. 3's PPS divisor does not deliver under Algorithm 2's actual
+    /// draw distribution. Set [`EstimatorCalibration::PpsEq3`] for the
+    /// verbatim-paper estimator.
     pub fn paper_default(cluster_capacity: usize) -> Self {
         Self {
             n_providers: 4,
@@ -138,6 +193,7 @@ impl FederationConfig {
             partition_strategy: PartitionStrategy::SortedBy(0),
             allocation_policy: AllocationPolicy::Optimized,
             sampling_policy: SamplingPolicy::Pps,
+            estimator_calibration: EstimatorCalibration::EmCalibrated,
             proportion_source: ProportionSource::Metadata,
             metadata_buckets: None,
             cost_model: CostModel::lan(),
@@ -198,6 +254,10 @@ mod tests {
         assert_eq!(cfg.epsilon, 1.0);
         assert_eq!(cfg.delta, 1e-3);
         assert_eq!(cfg.release_mode, ReleaseMode::LocalDp);
+        assert_eq!(
+            cfg.estimator_calibration,
+            EstimatorCalibration::EmCalibrated
+        );
     }
 
     #[test]

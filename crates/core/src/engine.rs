@@ -145,6 +145,10 @@ pub struct EngineAnswer {
     pub raw_estimate: f64,
     /// Per-provider smooth sensitivities (simulation-boundary diagnostic).
     pub smooth_ls: Vec<f64>,
+    /// 95% confidence half-width of `raw_estimate` from the providers'
+    /// Hansen–Hurwitz variances; `None` when any provider's variance was
+    /// inestimable (single draw).
+    pub ci_halfwidth: Option<f64>,
 }
 
 /// What a job asks of the providers.
@@ -255,6 +259,7 @@ fn run_provider_job(job: &JobState, provider: &DataProvider) {
                 released: None,
                 estimate: value as f64,
                 smooth_ls: 0.0,
+                variance: Some(0.0),
                 approximated: false,
                 clusters_scanned: n_clusters,
                 n_covering: n_clusters,
@@ -643,6 +648,7 @@ impl PendingAnswer {
             allocations,
             raw_estimate: outcomes.iter().map(|o| o.estimate).sum(),
             smooth_ls: outcomes.iter().map(|o| o.smooth_ls).collect(),
+            ci_halfwidth: crate::protocol::combined_ci_halfwidth(&outcomes),
         })
     }
 }

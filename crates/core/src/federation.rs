@@ -9,7 +9,7 @@ use fedaqp_storage::MetaSpaceReport;
 use crate::aggregator::Aggregator;
 use crate::config::{AllocationPolicy, FederationConfig, ReleaseMode};
 use crate::engine::EngineHandle;
-use crate::protocol::{query_bytes, LocalOutcome, PhaseTimings};
+use crate::protocol::{combined_ci_halfwidth, query_bytes, LocalOutcome, PhaseTimings};
 use crate::provider::DataProvider;
 use crate::{CoreError, Result};
 
@@ -43,6 +43,10 @@ pub struct QueryAnswer {
     /// Per-provider smooth sensitivities (simulation-boundary diagnostic:
     /// the scale of each provider's release noise is `2·S_LS/ε_E`).
     pub smooth_ls: Vec<f64>,
+    /// 95% confidence half-width of `raw_estimate` from the providers'
+    /// Hansen–Hurwitz variances (sampling error only, noise excluded).
+    /// `None` when any provider's variance was inestimable (single draw).
+    pub ci_halfwidth: Option<f64>,
 }
 
 /// The answer and latency of a plain (non-private, non-approximate)
@@ -400,6 +404,7 @@ impl Federation {
             allocations,
             raw_estimate: outcomes.iter().map(|o| o.estimate).sum(),
             smooth_ls: outcomes.iter().map(|o| o.smooth_ls).collect(),
+            ci_halfwidth: combined_ci_halfwidth(&outcomes),
         })
     }
 

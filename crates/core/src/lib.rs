@@ -46,8 +46,8 @@ pub use aggregator::Aggregator;
 pub use agreement::{agree_on_s, announce_size, SizeDisclosure};
 pub use allocation::{allocate_greedy, AllocationInput};
 pub use config::{
-    AllocationPolicy, FederationConfig, ProportionSource, ReleaseMode, SamplingPolicy,
-    SensitivityRegime,
+    AllocationPolicy, EstimatorCalibration, FederationConfig, ProportionSource, ReleaseMode,
+    SamplingPolicy, SensitivityRegime,
 };
 pub use derived::{run_derived, DerivedAnswer, DerivedStatistic};
 pub use engine::{

@@ -37,6 +37,11 @@ pub struct LocalOutcome {
     pub estimate: f64,
     /// The smooth sensitivity accompanying the estimate (Alg. 3 line 6).
     pub smooth_ls: f64,
+    /// Hansen–Hurwitz variance of the raw estimate (simulation-boundary
+    /// diagnostic, like `estimate`). `None` when inestimable — a single
+    /// draw carries no variance information; the exact path reports
+    /// `Some(0.0)` (a full scan genuinely has zero sampling variance).
+    pub variance: Option<f64>,
     /// Whether the provider approximated (`N^Q ≥ N_min`) or answered
     /// exactly.
     pub approximated: bool,
@@ -44,6 +49,19 @@ pub struct LocalOutcome {
     pub clusters_scanned: usize,
     /// Size of the provider's covering set `N^Q`.
     pub n_covering: usize,
+}
+
+/// 95% confidence half-width of the federation-wide raw estimate: the
+/// per-provider estimates are independent, so their variances add, and
+/// [`fedaqp_sampling::hh_confidence_halfwidth`] turns the sum into the
+/// half-width. `None` as soon as any provider's variance is inestimable
+/// (a single draw) — an unknown term makes the whole interval unknown,
+/// not zero.
+pub(crate) fn combined_ci_halfwidth(outcomes: &[LocalOutcome]) -> Option<f64> {
+    let total = outcomes
+        .iter()
+        .try_fold(0.0f64, |acc, o| o.variance.map(|v| acc + v.max(0.0)));
+    fedaqp_sampling::hh_confidence_halfwidth(total)
 }
 
 /// Wall-clock/simulated time spent in each protocol phase of one query.
@@ -77,6 +95,30 @@ impl PhaseTimings {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ci_halfwidth_combines_or_abstains() {
+        let outcome = |variance| LocalOutcome {
+            provider: 0,
+            released: None,
+            estimate: 1.0,
+            smooth_ls: 1.0,
+            variance,
+            approximated: true,
+            clusters_scanned: 1,
+            n_covering: 1,
+        };
+        // Variances add; half-width is 1.96·√Σ.
+        let hw = combined_ci_halfwidth(&[outcome(Some(9.0)), outcome(Some(16.0))]).unwrap();
+        assert!((hw - 1.96 * 5.0).abs() < 1e-12);
+        // One inestimable provider poisons the whole interval.
+        assert_eq!(
+            combined_ci_halfwidth(&[outcome(Some(9.0)), outcome(None)]),
+            None
+        );
+        // No providers: degenerate zero-width interval.
+        assert_eq!(combined_ci_halfwidth(&[]), Some(0.0));
+    }
 
     #[test]
     fn total_sums_phases() {

@@ -4,13 +4,15 @@
 use fedaqp_dp::{laplace_noise, QueryBudget, SmoothSensitivity};
 use fedaqp_model::{Aggregate, RangeQuery, Row, Schema};
 use fedaqp_sampling::em::{delta_p, em_sample};
-use fedaqp_sampling::hansen_hurwitz::{hh_estimate, HansenHurwitz};
+use fedaqp_sampling::hansen_hurwitz::{hh_estimate, hh_variance, HansenHurwitz};
 use fedaqp_storage::codec::meta_space_report;
 use fedaqp_storage::{ClusterId, ClusterStore, MetaSpaceReport, ProviderMeta};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::{FederationConfig, ProportionSource, SamplingPolicy, SensitivityRegime};
+use crate::config::{
+    EstimatorCalibration, FederationConfig, ProportionSource, SamplingPolicy, SensitivityRegime,
+};
 use crate::protocol::{LocalOutcome, ProviderSummary};
 use crate::sensitivity::{
     delta_avg_r, delta_r_for, smooth_estimator_sensitivity, ClusterSensitivityInput,
@@ -58,6 +60,7 @@ pub struct DataProvider {
     sum_measure_cap: u64,
     sampling_policy: SamplingPolicy,
     proportion_source: ProportionSource,
+    calibration: EstimatorCalibration,
     rng: StdRng,
 }
 
@@ -92,6 +95,7 @@ impl DataProvider {
             sum_measure_cap: config.sum_measure_cap.max(1),
             sampling_policy: config.sampling_policy,
             proportion_source: config.proportion_source,
+            calibration: config.estimator_calibration,
             rng: StdRng::seed_from_u64(
                 config.seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             ),
@@ -270,14 +274,24 @@ impl DataProvider {
             self.store.schema().arity(),
             query.dimensionality(),
         );
-        // Floor the PPS divisor at the sampler's *actual* minimum draw
-        // probability: no cluster entered the sample with lower probability,
-        // so dividing by less would inflate both the estimate and the
-        // scenario-4 sensitivity without statistical meaning (the paper
-        // divides by raw `p_i`, which is 0 for clusters whose metadata
-        // proportion vanishes — see DESIGN.md).
-        let p_floor = sample.min_draw_probability();
-        let ctx = SensitivityContext::new(prep.sum_r, dr, self.meta.agreed_s(), p_floor);
+        // The sampler's *actual* minimum draw probability. Under
+        // `EmCalibrated` (the default) every Hansen–Hurwitz draw is divided
+        // by its own exact EM probability — the distribution the sampler
+        // actually used — which makes the estimator unbiased by
+        // construction and keeps the scenario-4 slope at `1/q_i ≤
+        // 1/p_floor`. Under `PpsEq3` (the paper's Eq. 3) the divisor is
+        // the raw PPS probability floored at `p_floor`: dividing by less
+        // would inflate both the estimate and the sensitivity without
+        // statistical meaning (metadata can assign `R̂ ≈ 0` to a cluster
+        // the privacy-noised sampler nevertheless selected).
+        let p_floor = sample.min_draw_probability()?;
+        let ctx = SensitivityContext::new(
+            prep.sum_r,
+            dr,
+            self.meta.agreed_s(),
+            p_floor,
+            self.calibration,
+        );
         let mut draws = Vec::with_capacity(s);
         let mut sens_inputs = Vec::with_capacity(s);
         for &pos in &sample.chosen {
@@ -290,7 +304,7 @@ impl DataProvider {
                     v
                 }
             };
-            let p = ctx.p_eff(sample.pps[pos]);
+            let p = ctx.divisor(sample.pps[pos], sample.em_probabilities[pos]);
             draws.push(HansenHurwitz {
                 value: q_c as f64,
                 probability: p,
@@ -298,10 +312,11 @@ impl DataProvider {
             sens_inputs.push(ClusterSensitivityInput {
                 q_c: q_c as f64,
                 r: prep.proportions[pos],
-                p: sample.pps[pos],
+                p,
             });
         }
         let estimate = hh_estimate(&draws)?;
+        let variance = hh_variance(&draws, estimate);
         let smooth = SmoothSensitivity::new(budget.eps_e, budget.delta)?;
         let smooth_ls = smooth_estimator_sensitivity(&smooth, &sens_inputs, &ctx);
         let released = if release_local {
@@ -314,6 +329,7 @@ impl DataProvider {
             released,
             estimate,
             smooth_ls,
+            variance,
             approximated: true,
             clusters_scanned: scanned,
             n_covering: n_q,
@@ -347,6 +363,8 @@ impl DataProvider {
             released,
             estimate: value,
             smooth_ls: sensitivity,
+            // A full covering-set scan has genuinely zero sampling variance.
+            variance: Some(0.0),
             approximated: false,
             clusters_scanned: prep.covering.len(),
             n_covering: prep.covering.len(),

@@ -2,7 +2,7 @@
 
 use fedaqp_dp::SmoothSensitivity;
 
-use crate::config::SensitivityRegime;
+use crate::config::{EstimatorCalibration, SensitivityRegime};
 
 /// `ΔR = 1 − (1 − 1/S)^{n_dims}` (Thm. 5.1 / App. A.1): how much one
 /// individual can move a single cluster's proportion `R`.
@@ -44,7 +44,12 @@ pub struct ClusterSensitivityInput {
     pub q_c: f64,
     /// `R` — the cluster's approximated proportion.
     pub r: f64,
-    /// `p` — the cluster's PPS probability.
+    /// `p` — the probability the Hansen–Hurwitz estimator actually divides
+    /// this cluster's draw by (see [`SensitivityContext::divisor`]): the
+    /// exact EM draw probability under
+    /// [`EstimatorCalibration::EmCalibrated`], the floored PPS probability
+    /// under [`EstimatorCalibration::PpsEq3`]. The scenario-4 slope is
+    /// `1/p` for whichever divisor the estimator used.
     pub p: f64,
 }
 
@@ -63,22 +68,33 @@ pub struct SensitivityContext {
     /// Hansen–Hurwitz division finite when a zero-probability cluster is
     /// drawn by the (privacy-noised) EM sampler.
     pub p_floor: f64,
+    /// Which divisor the Hansen–Hurwitz estimator uses — and hence which
+    /// scenario-4 bound applies (see [`SensitivityContext::divisor`]).
+    pub calibration: EstimatorCalibration,
 }
 
 impl SensitivityContext {
     /// Builds the context for one provider and query.
     ///
-    /// `p_floor` should be the *minimum achievable draw probability* of the
-    /// sampler (see [`em_draw_probability_floor`]); dividing by anything
-    /// smaller than the true draw probability inflates both the estimate
-    /// and its sensitivity without statistical justification.
-    pub fn new(sum_r: f64, delta_r: f64, agreed_s: usize, p_floor: f64) -> Self {
+    /// `p_floor` should be the *minimum actual draw probability* of the
+    /// sampler ([`fedaqp_sampling::EmSample::min_draw_probability`], lower-
+    /// bounded analytically by [`em_draw_probability_floor`]); dividing by
+    /// anything smaller than the true draw probability inflates both the
+    /// estimate and its sensitivity without statistical justification.
+    pub fn new(
+        sum_r: f64,
+        delta_r: f64,
+        agreed_s: usize,
+        p_floor: f64,
+        calibration: EstimatorCalibration,
+    ) -> Self {
         let s = agreed_s.max(1) as f64;
         Self {
             sum_r,
             delta_r,
             r_floor: 1.0 / s,
             p_floor: p_floor.max(f64::MIN_POSITIVE),
+            calibration,
         }
     }
 
@@ -92,6 +108,28 @@ impl SensitivityContext {
     #[inline]
     pub fn p_eff(&self, p: f64) -> f64 {
         p.max(self.p_floor)
+    }
+
+    /// The probability the Hansen–Hurwitz estimator divides one draw by,
+    /// given both probability views of that draw.
+    ///
+    /// * [`EstimatorCalibration::EmCalibrated`] — the exact EM selection
+    ///   probability `q_i`: the draw *actually* happened with this
+    ///   probability, so `E[(1/s)·Σ Q(C_i)/q_i] = Σ_j Q(C_j)` holds by
+    ///   construction. Since every `q_i ≥ p_floor = min_j q_j`, the
+    ///   resulting scenario-4 slope `1/q_i ≤ 1/p_floor` — the calibrated
+    ///   divisor *tightens* the sensitivity bound relative to the floored-
+    ///   PPS fallback, so the released noise shrinks too.
+    /// * [`EstimatorCalibration::PpsEq3`] — the paper's Eq. 3 divisor: the
+    ///   raw PPS probability, floored at `p_floor` because metadata can
+    ///   assign `R̂ ≈ 0` (hence `p ≈ 0`) to a cluster the privacy-noised
+    ///   sampler nevertheless selected.
+    #[inline]
+    pub fn divisor(&self, pps: f64, em: f64) -> f64 {
+        match self.calibration {
+            EstimatorCalibration::PpsEq3 => self.p_eff(pps),
+            EstimatorCalibration::EmCalibrated => em.max(f64::MIN_POSITIVE),
+        }
     }
 }
 
@@ -112,6 +150,38 @@ impl SensitivityContext {
 pub fn em_draw_probability_floor(eps_per_selection: f64, delta_p: f64, n_candidates: usize) -> f64 {
     let exponent = (eps_per_selection / (2.0 * delta_p)).min(30.0);
     (-exponent).exp() / n_candidates.max(1) as f64
+}
+
+/// Worst-case scenario-4 slope of the *calibrated* estimator — the
+/// rederived bound for the `EmCalibrated` divisor.
+///
+/// The calibrated Hansen–Hurwitz divides draw `i` by its exact EM
+/// probability `q_i = w_i / Σ w_j` (`w_i = exp(ε_s·p_i/(2Δp))`), so the
+/// scenario-4 local-sensitivity slope is `1/q_i`. With scores `p_i ∈
+/// [0, 1]` the weights differ by at most the per-draw ratio bound
+/// `exp(ε_s·(max p − min p)/(2Δp)) ≤ exp(ε_s/(2Δp))`, hence
+///
+/// ```text
+/// 1/q_i ≤ N^Q · exp(ε_s/(2Δp))        for every candidate i,
+/// ```
+///
+/// the reciprocal of [`em_draw_probability_floor`]. Two orderings follow:
+///
+/// * the *realized* calibrated slope `1/q_i` of any drawn cluster is at
+///   most `1/min_j q_j = 1/p_floor` — i.e. never worse than the floored-
+///   PPS fallback's worst case, and strictly better for every cluster
+///   that is not the least-likely one (the released noise shrinks);
+/// * `1/p_floor` itself never exceeds this analytic bound, so the bound
+///   is safe to publish without inspecting the realized distribution.
+///
+/// This function is **analysis-only**: the runtime noise computation uses
+/// the realized slopes (`ClusterSensitivityInput::p` carries the exact EM
+/// probability each draw was divided by), which are tighter than this
+/// worst case. It exists to prove the orderings above and to give
+/// auditors a distribution-free cap — changing it does not change any
+/// released noise.
+pub fn em_calibrated_slope_bound(eps_per_selection: f64, delta_p: f64, n_candidates: usize) -> f64 {
+    1.0 / em_draw_probability_floor(eps_per_selection, delta_p, n_candidates)
 }
 
 /// The linear local-sensitivity slope `LS^k / k` for one cluster, choosing
@@ -188,7 +258,7 @@ mod tests {
 
     #[test]
     fn dominant_scenario_switches_at_threshold() {
-        let ctx = SensitivityContext::new(5.0, 0.1, 100, 0.5 / 20.0);
+        let ctx = SensitivityContext::new(5.0, 0.1, 100, 0.5 / 20.0, EstimatorCalibration::PpsEq3);
         // Threshold = sum_r/delta_r = 50.
         let heavy = ClusterSensitivityInput {
             q_c: 100.0,
@@ -208,7 +278,7 @@ mod tests {
 
     #[test]
     fn floors_keep_slopes_finite() {
-        let ctx = SensitivityContext::new(1.0, 0.05, 100, 0.5 / 10.0);
+        let ctx = SensitivityContext::new(1.0, 0.05, 100, 0.5 / 10.0, EstimatorCalibration::PpsEq3);
         let degenerate = ClusterSensitivityInput {
             q_c: 1000.0,
             r: 0.0,
@@ -228,7 +298,7 @@ mod tests {
     #[test]
     fn smooth_sensitivity_averages_clusters() {
         let smooth = SmoothSensitivity::new(0.8, 1e-3).unwrap();
-        let ctx = SensitivityContext::new(2.0, 0.1, 100, 0.5 / 10.0);
+        let ctx = SensitivityContext::new(2.0, 0.1, 100, 0.5 / 10.0, EstimatorCalibration::PpsEq3);
         let a = ClusterSensitivityInput {
             q_c: 100.0,
             r: 0.5,
@@ -252,7 +322,7 @@ mod tests {
         // the reason SUM answers carry more noise than their magnitude
         // would suggest on small data (§6.6 discussion).
         let smooth = SmoothSensitivity::new(0.8, 1e-3).unwrap();
-        let ctx = SensitivityContext::new(2.0, 0.1, 100, 0.5 / 10.0);
+        let ctx = SensitivityContext::new(2.0, 0.1, 100, 0.5 / 10.0, EstimatorCalibration::PpsEq3);
         let small = ClusterSensitivityInput {
             q_c: 50.0,
             r: 0.5,
@@ -266,6 +336,77 @@ mod tests {
         assert!(
             smooth_estimator_sensitivity(&smooth, &[large], &ctx)
                 > smooth_estimator_sensitivity(&smooth, &[small], &ctx)
+        );
+    }
+
+    #[test]
+    fn divisor_follows_calibration() {
+        let pps_ctx = SensitivityContext::new(2.0, 0.1, 100, 0.05, EstimatorCalibration::PpsEq3);
+        let em_ctx =
+            SensitivityContext::new(2.0, 0.1, 100, 0.05, EstimatorCalibration::EmCalibrated);
+        // PPS path: raw probability, floored.
+        assert_eq!(pps_ctx.divisor(0.3, 0.2), 0.3);
+        assert_eq!(pps_ctx.divisor(0.01, 0.2), 0.05);
+        // Calibrated path: always the exact EM probability.
+        assert_eq!(em_ctx.divisor(0.3, 0.2), 0.2);
+        assert_eq!(em_ctx.divisor(0.01, 0.2), 0.2);
+        // Degenerate EM probability is clamped away from zero.
+        assert!(em_ctx.divisor(0.3, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn calibrated_slope_bound_dominates_realized_slopes() {
+        // A realistic EM distribution: softmax of ε_s·p_j/(2Δp).
+        let eps_s = 0.05;
+        let dp = delta_p(10);
+        let scores = [0.5, 0.3, 0.15, 0.05, 0.0];
+        let t = eps_s / (2.0 * dp);
+        let weights: Vec<f64> = scores.iter().map(|&p| (t * p).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let q: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let q_min = q.iter().cloned().fold(f64::INFINITY, f64::min);
+        let bound = em_calibrated_slope_bound(eps_s, dp, scores.len());
+        for &qi in &q {
+            // Realized calibrated slope ≤ floored-PPS worst case ≤ analytic
+            // bound — the orderings the rederivation promises.
+            assert!(1.0 / qi <= 1.0 / q_min + 1e-12);
+            assert!(
+                1.0 / q_min <= bound + 1e-9,
+                "1/q_min {} vs {bound}",
+                1.0 / q_min
+            );
+        }
+        assert!((bound - 1.0 / em_draw_probability_floor(eps_s, dp, 5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibrated_inputs_give_tighter_smooth_sensitivity() {
+        // Same drawn clusters, scenario-4-dominant (small Q): feeding the
+        // exact EM probabilities yields a strictly smaller smooth
+        // sensitivity than the floored-PPS divisors whenever the sampler
+        // flattened the distribution above the floor.
+        let smooth = SmoothSensitivity::new(0.8, 1e-3).unwrap();
+        let pps = [0.01, 0.02, 0.4];
+        let em = [0.2, 0.25, 0.55]; // flattened towards uniform
+        let p_floor = 0.2; // min realized EM probability
+        let mk = |probs: &[f64], calibration| {
+            let ctx = SensitivityContext::new(0.5, 0.001, 100, p_floor, calibration);
+            let inputs: Vec<ClusterSensitivityInput> = probs
+                .iter()
+                .zip(&pps)
+                .map(|(&p, &raw)| ClusterSensitivityInput {
+                    q_c: 1.0,
+                    r: 0.5,
+                    p: ctx.divisor(raw, p),
+                })
+                .collect();
+            smooth_estimator_sensitivity(&smooth, &inputs, &ctx)
+        };
+        let calibrated = mk(&em, EstimatorCalibration::EmCalibrated);
+        let paper = mk(&pps, EstimatorCalibration::PpsEq3);
+        assert!(
+            calibrated < paper,
+            "calibrated {calibrated} should be below paper {paper}"
         );
     }
 }
@@ -293,7 +434,13 @@ mod proptests {
             sum_r in 0.0f64..100.0,
             n_cov in 1usize..1000,
         ) {
-            let ctx = SensitivityContext::new(sum_r, delta_r(100, 4), 100, em_draw_probability_floor(0.0125, 1.0/110.0, n_cov));
+            let ctx = SensitivityContext::new(
+                sum_r,
+                delta_r(100, 4),
+                100,
+                em_draw_probability_floor(0.0125, 1.0/110.0, n_cov),
+                EstimatorCalibration::PpsEq3,
+            );
             let slope = dominant_ls_slope(ClusterSensitivityInput { q_c, r, p }, &ctx);
             prop_assert!(slope.is_finite() && slope > 0.0);
         }

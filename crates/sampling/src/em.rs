@@ -6,14 +6,15 @@ use rand::Rng;
 use crate::pps::pps_probabilities;
 use crate::{Result, SamplingError};
 
-/// Output of [`em_sample`]: the selected cluster positions plus the raw PPS
-/// probabilities.
+/// Output of [`em_sample`]: the selected cluster positions plus both
+/// probability views of the draw.
 ///
-/// Algorithm 2 returns both `C_S^Q` *and* `P`: the Hansen–Hurwitz estimator
-/// divides by the PPS probability `p_i` (Eq. 3), not by the perturbed
-/// exponential-mechanism probability — the EM's own randomness is the
-/// privacy price, and the estimator treats the selection as if it were a
-/// PPS draw.
+/// Algorithm 2 returns `C_S^Q` *and* `P`: the paper's Eq. 3 divides each
+/// Hansen–Hurwitz contribution by the raw PPS probability `p_i`, but the
+/// distribution the sampler *actually* drew from is the Exponential
+/// mechanism's softmax of `ε_s·p_j/(2Δp)` — so the calibrated estimator
+/// divides by [`EmSample::em_probabilities`] instead, which is what makes
+/// it unbiased under its own sampling distribution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmSample {
     /// Indices into the covering set, one per selection (with replacement).
@@ -21,21 +22,30 @@ pub struct EmSample {
     /// PPS probabilities `p_j = R_j / Σ R_i` for the whole covering set.
     pub pps: Vec<f64>,
     /// The Exponential mechanism's exact per-draw selection probabilities
-    /// (softmax of `ε_s·p_j/(2Δp)`). The estimator uses their minimum as a
-    /// floor for the PPS divisor: no cluster was ever drawn with lower
-    /// probability than this, so dividing by less would over-inflate both
-    /// the Hansen–Hurwitz contribution and the scenario-4 sensitivity.
+    /// (softmax of `ε_s·p_j/(2Δp)`). The calibrated estimator divides by
+    /// these directly; the paper-faithful PPS estimator uses their minimum
+    /// as a floor for the PPS divisor, since no cluster was ever drawn with
+    /// lower probability than this.
     pub em_probabilities: Vec<f64>,
 }
 
 impl EmSample {
     /// The smallest probability with which any cluster could be drawn.
-    pub fn min_draw_probability(&self) -> f64 {
-        self.em_probabilities
+    ///
+    /// Errors with [`SamplingError::EmptyDrawProbabilities`] when the
+    /// sample carries no distribution at all: folding an empty slice
+    /// would yield `+∞`, silently driving every Hansen–Hurwitz
+    /// contribution divided by it to zero.
+    pub fn min_draw_probability(&self) -> Result<f64> {
+        let min = self
+            .em_probabilities
             .iter()
             .copied()
-            .fold(f64::INFINITY, f64::min)
-            .max(f64::MIN_POSITIVE)
+            .fold(f64::INFINITY, f64::min);
+        if !min.is_finite() {
+            return Err(SamplingError::EmptyDrawProbabilities);
+        }
+        Ok(min.max(f64::MIN_POSITIVE))
     }
 }
 
@@ -178,6 +188,101 @@ mod tests {
         let b = em_sample(&mut StdRng::seed_from_u64(5), &[0.2, 0.8], 10, 0.5, 0.01).unwrap();
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn min_draw_probability_rejects_empty_distribution() {
+        // Regression: the old implementation folded an empty slice to +∞
+        // (`.max(f64::MIN_POSITIVE)` does not clamp infinity), which would
+        // silently zero every Hansen–Hurwitz contribution downstream.
+        let sample = EmSample {
+            chosen: vec![],
+            pps: vec![],
+            em_probabilities: vec![],
+        };
+        assert_eq!(
+            sample.min_draw_probability(),
+            Err(SamplingError::EmptyDrawProbabilities)
+        );
+        let ok = EmSample {
+            chosen: vec![0],
+            pps: vec![1.0],
+            em_probabilities: vec![0.25, 0.75],
+        };
+        assert_eq!(ok.min_draw_probability(), Ok(0.25));
+    }
+
+    /// The calibrated estimator — each draw divided by the probability the
+    /// EM *actually* assigned it — is unbiased under the EM's own draw
+    /// distribution, across budgets where that distribution ranges from
+    /// near-PPS to near-uniform. Dividing by the raw PPS probability
+    /// (Eq. 3) is not: at tight per-draw budgets its bias is visible in
+    /// the same Monte-Carlo average.
+    #[test]
+    fn calibrated_estimator_unbiased_under_em_draws() {
+        use crate::hansen_hurwitz::{hh_estimate, HansenHurwitz};
+        let totals = [5.0, 10.0, 20.0, 40.0, 25.0];
+        let population_total: f64 = totals.iter().sum();
+        // Proportions deliberately *misaligned* with the totals (as the
+        // metadata approximation produces in practice): a divisor that is
+        // not the true draw probability cannot hide behind Q_i ∝ p_i.
+        let props = [0.35, 0.05, 0.20, 0.15, 0.25];
+        for (case, (eps_s_total, s)) in [(2.0, 2), (1.0, 4), (0.05, 8)].iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(31 + case as u64);
+            let trials = 8_000;
+            let mut acc = 0.0;
+            for _ in 0..trials {
+                let sample = em_sample(&mut rng, &props, *s, *eps_s_total, delta_p(4)).unwrap();
+                let draws: Vec<HansenHurwitz> = sample
+                    .chosen
+                    .iter()
+                    .map(|&pos| HansenHurwitz {
+                        value: totals[pos],
+                        probability: sample.em_probabilities[pos],
+                    })
+                    .collect();
+                acc += hh_estimate(&draws).unwrap();
+            }
+            let mean = acc / trials as f64;
+            assert!(
+                (mean - population_total).abs() < 0.05 * population_total,
+                "case {case}: mean {mean} vs total {population_total}"
+            );
+        }
+    }
+
+    /// The same Monte-Carlo with the paper's Eq. 3 divisor shows the bias
+    /// the calibration removes: at a tight per-draw budget the EM draws
+    /// near-uniformly, while dividing by PPS still over-weights rare
+    /// clusters and under-weights heavy ones.
+    #[test]
+    fn pps_divisor_is_biased_under_flattened_em_draws() {
+        use crate::hansen_hurwitz::{hh_estimate, HansenHurwitz};
+        let totals = [5.0, 10.0, 20.0, 40.0, 25.0];
+        let population_total: f64 = totals.iter().sum();
+        let props = [0.35, 0.05, 0.20, 0.15, 0.25];
+        let mut rng = StdRng::seed_from_u64(77);
+        let trials = 8_000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            // ε_s = 0.05/8 per draw: the draw distribution is ~uniform.
+            let sample = em_sample(&mut rng, &props, 8, 0.05, delta_p(4)).unwrap();
+            let draws: Vec<HansenHurwitz> = sample
+                .chosen
+                .iter()
+                .map(|&pos| HansenHurwitz {
+                    value: totals[pos],
+                    probability: sample.pps[pos],
+                })
+                .collect();
+            acc += hh_estimate(&draws).unwrap();
+        }
+        let mean = acc / trials as f64;
+        assert!(
+            (mean - population_total).abs() > 0.2 * population_total,
+            "Eq. 3 divisor unexpectedly unbiased under uniform-ish draws: \
+             mean {mean} vs total {population_total}"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +304,51 @@ mod proptests {
             let out = em_sample(&mut rng, &props, s, 0.1, delta_p(10)).unwrap();
             prop_assert_eq!(out.chosen.len(), s);
             prop_assert!(out.chosen.iter().all(|&i| i < props.len()));
+        }
+
+        /// Monte-Carlo unbiasedness of the *calibrated* estimator across
+        /// random seeds, budgets, and sample sizes: dividing each draw by
+        /// its exact EM probability keeps the Hansen–Hurwitz mean on the
+        /// population total. The acceptance band scales with the empirical
+        /// standard error so tight budgets (heavier-tailed `Q/q`) are held
+        /// to a statistically fair bar rather than a fixed one. The budget
+        /// range keeps the per-draw ε_s moderate: past that the EM
+        /// concentrates so hard that the expectation is carried by draws
+        /// too rare for 1.5k trials to sample (and for the empirical SE to
+        /// see) — a Monte-Carlo artefact, not an estimator property.
+        #[test]
+        fn calibrated_estimator_unbiased_across_seeds_and_budgets(
+            seed in any::<u64>(),
+            eps_s_total in 0.05f64..1.5,
+            s in 2usize..9,
+        ) {
+            use crate::hansen_hurwitz::{hh_estimate, HansenHurwitz};
+            let totals = [5.0, 10.0, 20.0, 40.0, 25.0];
+            let population_total: f64 = totals.iter().sum();
+            let props = [0.35, 0.05, 0.20, 0.15, 0.25];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 1_500;
+            let mut estimates = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let sample = em_sample(&mut rng, &props, s, eps_s_total, delta_p(4)).unwrap();
+                let draws: Vec<HansenHurwitz> = sample
+                    .chosen
+                    .iter()
+                    .map(|&pos| HansenHurwitz {
+                        value: totals[pos],
+                        probability: sample.em_probabilities[pos],
+                    })
+                    .collect();
+                estimates.push(hh_estimate(&draws).unwrap());
+            }
+            let mean = estimates.iter().sum::<f64>() / trials as f64;
+            let var = estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
+                / (trials - 1) as f64;
+            let se = (var / trials as f64).sqrt();
+            prop_assert!(
+                (mean - population_total).abs() < 6.0 * se + 0.01 * population_total,
+                "mean {} vs total {} (se {})", mean, population_total, se
+            );
         }
     }
 }

@@ -18,6 +18,9 @@ pub enum SamplingError {
     },
     /// A sample of size zero was requested.
     ZeroSampleSize,
+    /// A sample carried no per-draw probabilities: the estimator cannot
+    /// calibrate (or floor) its divisor against an empty distribution.
+    EmptyDrawProbabilities,
     /// The estimator met a zero or non-finite inclusion probability.
     InvalidProbability {
         /// Index of the offending probability.
@@ -39,6 +42,9 @@ impl fmt::Display for SamplingError {
                 write!(f, "weight {weight} at index {index} is invalid")
             }
             SamplingError::ZeroSampleSize => write!(f, "sample size must be positive"),
+            SamplingError::EmptyDrawProbabilities => {
+                write!(f, "sample carries no per-draw probabilities")
+            }
             SamplingError::InvalidProbability { index, probability } => {
                 write!(
                     f,

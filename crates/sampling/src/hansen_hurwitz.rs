@@ -46,13 +46,16 @@ pub fn hh_estimate(draws: &[HansenHurwitz]) -> Result<f64> {
 /// V̂(Ê) = 1/(n(n−1)) Σ (Q(C_i)/p_i − Ê)²
 /// ```
 ///
-/// Returns 0 for a single draw (variance is then inestimable; callers treat
-/// the CI as unknown).
-pub fn hh_variance(draws: &[HansenHurwitz]) -> Result<f64> {
-    let estimate = hh_estimate(draws)?;
+/// Takes the point estimate precomputed by [`hh_estimate`] (callers always
+/// have it; recomputing it here doubled the divisions and could disagree
+/// with the caller's value). Returns `None` for fewer than two draws: a
+/// single draw carries no variance information, and the old `0.0` return
+/// was indistinguishable from a genuine zero-variance sample — callers
+/// must treat the confidence interval as unknown, not as exact.
+pub fn hh_variance(draws: &[HansenHurwitz], estimate: f64) -> Option<f64> {
     let n = draws.len();
     if n < 2 {
-        return Ok(0.0);
+        return None;
     }
     let ss: f64 = draws
         .iter()
@@ -61,7 +64,13 @@ pub fn hh_variance(draws: &[HansenHurwitz]) -> Result<f64> {
             t * t
         })
         .sum();
-    Ok(ss / (n as f64 * (n as f64 - 1.0)))
+    Some(ss / (n as f64 * (n as f64 - 1.0)))
+}
+
+/// 95% confidence half-width of the estimate: `1.96·√V̂`. `None` whenever
+/// the variance is inestimable ([`hh_variance`] on fewer than two draws).
+pub fn hh_confidence_halfwidth(variance: Option<f64>) -> Option<f64> {
+    variance.map(|v| 1.96 * v.max(0.0).sqrt())
 }
 
 #[cfg(test)]
@@ -86,7 +95,8 @@ mod tests {
         for d in &draws {
             assert!((hh_estimate(&[*d]).unwrap() - sum).abs() < 1e-9);
         }
-        assert!(hh_variance(&draws).unwrap() < 1e-9);
+        let estimate = hh_estimate(&draws).unwrap();
+        assert!(hh_variance(&draws, estimate).unwrap() < 1e-9);
     }
 
     #[test]
@@ -194,8 +204,9 @@ mod tests {
                     }
                 })
                 .collect();
-            ests.push(hh_estimate(&draws).unwrap());
-            est_vars += hh_variance(&draws).unwrap();
+            let estimate = hh_estimate(&draws).unwrap();
+            ests.push(estimate);
+            est_vars += hh_variance(&draws, estimate).unwrap();
         }
         let mean_est_var = est_vars / trials as f64;
         let m = ests.iter().sum::<f64>() / trials as f64;
@@ -207,12 +218,25 @@ mod tests {
     }
 
     #[test]
-    fn single_draw_variance_is_zero() {
+    fn single_draw_variance_is_inestimable() {
+        // Regression: a single draw used to report variance 0.0 —
+        // indistinguishable from a genuinely zero-variance sample and
+        // turning the CI into a confident lie. It is now `None`.
         let d = [HansenHurwitz {
             value: 3.0,
             probability: 0.5,
         }];
-        assert_eq!(hh_variance(&d).unwrap(), 0.0);
+        let estimate = hh_estimate(&d).unwrap();
+        assert_eq!(hh_variance(&d, estimate), None);
+        assert_eq!(hh_variance(&[], 0.0), None);
+        assert_eq!(hh_confidence_halfwidth(None), None);
+        // Two identical draws: genuine zero variance, genuine zero CI.
+        let dd = [d[0], d[0]];
+        let estimate = hh_estimate(&dd).unwrap();
+        assert_eq!(hh_variance(&dd, estimate), Some(0.0));
+        assert_eq!(hh_confidence_halfwidth(Some(0.0)), Some(0.0));
+        // Half-width is 1.96·√V.
+        assert!((hh_confidence_halfwidth(Some(4.0)).unwrap() - 3.92).abs() < 1e-12);
     }
 }
 

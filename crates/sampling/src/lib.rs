@@ -23,7 +23,7 @@ pub mod uniform;
 
 pub use em::{em_sample, EmSample};
 pub use error::SamplingError;
-pub use hansen_hurwitz::{hh_estimate, hh_variance, HansenHurwitz};
+pub use hansen_hurwitz::{hh_confidence_halfwidth, hh_estimate, hh_variance, HansenHurwitz};
 pub use pps::pps_probabilities;
 pub use uniform::{bernoulli_sample, reservoir_sample, uniform_sample_with_replacement};
 
