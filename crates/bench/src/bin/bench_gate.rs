@@ -41,6 +41,21 @@
 //!
 //! Accuracy numbers are seeded Monte-Carlo, deterministic for a given
 //! code state — regressions mean the estimator changed, not the machine.
+//!
+//! Net mode (`BENCH_net.json`):
+//!
+//! ```text
+//! bench_gate --net <current.json> <baseline.json>
+//!            [--max-regression 0.25] [--min-scaling 4.0]
+//! ```
+//!
+//! Fails (exit 1) when either
+//! * the remote path's queries/sec at the headline analyst count dropped
+//!   more than `--max-regression` below the committed baseline, or
+//! * remote throughput no longer scales: 8 concurrent analysts must reach
+//!   at least `--min-scaling` × the single-analyst qps (the latency-hiding
+//!   property the serving path exists for; under the slept-WAN model this
+//!   ratio is machine-independent).
 
 use std::process::ExitCode;
 
@@ -144,16 +159,69 @@ fn run_accuracy(
     }
 }
 
+/// The net-mode gate (see the module docs).
+fn run_net(
+    current_path: &str,
+    baseline_path: &str,
+    max_regression: f64,
+    min_scaling: f64,
+) -> Result<String, String> {
+    let current =
+        std::fs::read_to_string(current_path).map_err(|e| format!("{current_path}: {e}"))?;
+    let baseline =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let net_qps = json_number(&current, "net_qps")?;
+    let scaling = json_number(&current, "scaling")?;
+    let baseline_qps = json_number(&baseline, "net_qps")?;
+    let qps_floor = (1.0 - max_regression) * baseline_qps;
+    let mut report = format!(
+        "net gate: net_qps {net_qps:.1} (baseline {baseline_qps:.1}, floor {qps_floor:.1}), \
+         scaling {scaling:.2}x (floor {min_scaling:.2}x)\n"
+    );
+    let mut failed = false;
+    if net_qps < qps_floor {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: remote queries/sec regressed more than {:.0}% below the baseline\n",
+            100.0 * max_regression
+        ));
+    }
+    if scaling < min_scaling {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: remote throughput no longer scales ≥{min_scaling:.1}x from 1 to the \
+             headline analyst count\n"
+        ));
+    }
+    if failed {
+        Err(report)
+    } else {
+        report.push_str("PASS\n");
+        Ok(report)
+    }
+}
+
 fn run(args: &[String]) -> Result<String, String> {
     let mut positional = Vec::new();
     let mut max_regression = 0.25_f64;
     let mut min_speedup = 2.0_f64;
+    let mut min_scaling = 4.0_f64;
     let mut pairwise_slack = 1.15_f64;
     let mut accuracy = false;
+    let mut net = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--accuracy" => accuracy = true,
+            "--net" => net = true,
+            "--min-scaling" => {
+                i += 1;
+                min_scaling = args
+                    .get(i)
+                    .ok_or("--min-scaling needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--min-scaling: {e}"))?;
+            }
             "--max-regression" => {
                 i += 1;
                 max_regression = args
@@ -184,13 +252,17 @@ fn run(args: &[String]) -> Result<String, String> {
     }
     let [current_path, baseline_path] = positional.as_slice() else {
         return Err(
-            "usage: bench_gate [--accuracy] <current.json> <baseline.json> \
-                    [--max-regression R] [--min-speedup S] [--pairwise-slack K]"
+            "usage: bench_gate [--accuracy | --net] <current.json> <baseline.json> \
+                    [--max-regression R] [--min-speedup S] [--pairwise-slack K] \
+                    [--min-scaling X]"
                 .into(),
         );
     };
     if accuracy {
         return run_accuracy(current_path, baseline_path, max_regression, pairwise_slack);
+    }
+    if net {
+        return run_net(current_path, baseline_path, max_regression, min_scaling);
     }
     let (current_qps, current_speedup) = load(current_path)?;
     let (baseline_qps, baseline_speedup) = load(baseline_path)?;
@@ -292,6 +364,57 @@ mod tests {
     #[test]
     fn bad_usage_is_reported() {
         assert!(run(&["one".into()]).unwrap_err().contains("usage"));
+    }
+
+    const NET_DOC: &str = r#"{
+  "schema": "fedaqp-bench-net/v1",
+  "queries": 48,
+  "headline_analysts": 8,
+  "single_qps": 9.8,
+  "net_qps": 71.5,
+  "scaling": 7.296,
+  "net_p50_ms": 104.1,
+  "net_p95_ms": 110.2,
+  "grid": [
+    {"analysts": 8, "qps": 71.5, "p50_ms": 104.1, "p95_ms": 110.2}
+  ]
+}"#;
+
+    #[test]
+    fn net_gate_passes_and_fails() {
+        let dir = std::env::temp_dir().join("fedaqp_net_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&current, NET_DOC).unwrap();
+        std::fs::write(&baseline, NET_DOC).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [
+                "--net",
+                current.to_str().unwrap(),
+                baseline.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .chain(extra.iter().map(|s| s.to_string()))
+            .collect()
+        };
+        // Identical current/baseline passes.
+        assert!(run(&args(&[])).is_ok());
+        // A baseline 10x above the current qps fails the regression band.
+        let fast = NET_DOC.replace("\"net_qps\": 71.5", "\"net_qps\": 715.0");
+        std::fs::write(&baseline, fast).unwrap();
+        assert!(run(&args(&[])).unwrap_err().contains("regressed"));
+        assert!(run(&args(&["--max-regression", "0.95"])).is_ok());
+        // Scaling below the floor fails.
+        std::fs::write(&baseline, NET_DOC).unwrap();
+        let flat = NET_DOC.replace("\"scaling\": 7.296", "\"scaling\": 2.1");
+        std::fs::write(&current, flat).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("no longer scales"), "{err}");
+        // ... unless the floor is lowered.
+        assert!(run(&args(&["--min-scaling", "2.0"])).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// A synthetic accuracy summary: calibrated RMS falls with the rate

@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod metadata;
+pub mod net;
 pub mod plotting;
 pub mod table1;
 pub mod throughput;
@@ -82,6 +83,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "accuracy",
             "estimator accuracy — RMS error vs sampling rate x epsilon, both calibrations (CI gate)",
             accuracy::run as ExperimentFn,
+        ),
+        (
+            "net",
+            "remote federation — qps/latency vs #remote analysts over loopback TCP (CI gate)",
+            net::run as ExperimentFn,
         ),
         (
             "plot",

@@ -8,5 +8,6 @@ pub mod ops;
 
 pub use manifest::Manifest;
 pub use ops::{
-    batch, generate, inspect, parse_calibration, query, BatchArgs, GenerateArgs, QueryArgs,
+    batch, generate, inspect, parse_calibration, query, serve, BatchArgs, GenerateArgs, QueryArgs,
+    RunningServer, ServeArgs,
 };

@@ -11,7 +11,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fedaqp_cli::{
-    batch, generate, inspect, parse_calibration, query, BatchArgs, GenerateArgs, QueryArgs,
+    batch, generate, inspect, parse_calibration, query, serve, BatchArgs, GenerateArgs, QueryArgs,
+    ServeArgs,
 };
 use fedaqp_core::EstimatorCalibration;
 
@@ -22,14 +23,22 @@ usage:
   fedaqp generate --dataset adult|amazon [--rows N] [--providers K]
                   [--capacity S] [--seed X] --out DIR
   fedaqp inspect  STORE.fqst
-  fedaqp query    --data DIR [--rate R] [--epsilon E] [--delta D]
-                  [--calibration em|pps] [--smc] [--baseline]
+  fedaqp query    (--data DIR | --remote HOST:PORT) [--rate R]
+                  [--epsilon E] [--delta D] [--calibration em|pps]
+                  [--smc] [--baseline]
                   \"SELECT ... FROM T WHERE ...\"
-  fedaqp batch    --data DIR --queries FILE [--rate R] [--epsilon E]
-                  [--delta D] [--analysts N] [--xi X] [--psi P]
-                  [--calibration em|pps] [--smc]
-                  (serve a file of SQL queries through the concurrent
+                  (with --remote, ε/δ/calibration/release mode come from
+                   the server; only --rate applies)
+  fedaqp batch    (--data DIR | --remote HOST:PORT) --queries FILE
+                  [--rate R] [--epsilon E] [--delta D] [--analysts N]
+                  [--xi X] [--psi P] [--calibration em|pps] [--smc]
+                  (answer a file of SQL queries through the concurrent
                    engine, one line per query)
+  fedaqp serve    --data DIR [--listen HOST:PORT] [--epsilon E]
+                  [--delta D] [--xi X] [--psi P] [--calibration em|pps]
+                  [--smc]
+                  (expose the federation to remote analysts over TCP;
+                   --xi caps each analyst identity at a session budget)
 
 calibration: `em` (default) divides each Hansen-Hurwitz draw by its exact
 exponential-mechanism probability (unbiased under the actual sampler);
@@ -100,13 +109,17 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
         smc: false,
         baseline: false,
         calibration: EstimatorCalibration::EmCalibrated,
+        remote: None,
     };
     let mut i = 0;
+    let mut server_side: Vec<&'static str> = Vec::new();
     while i < args.len() {
         match args[i].as_str() {
             "--data" => q.data = PathBuf::from(take_value(args, &mut i, "--data")?),
+            "--remote" => q.remote = Some(take_value(args, &mut i, "--remote")?),
             "--calibration" => {
-                q.calibration = parse_calibration(&take_value(args, &mut i, "--calibration")?)?
+                q.calibration = parse_calibration(&take_value(args, &mut i, "--calibration")?)?;
+                server_side.push("--calibration");
             }
             "--rate" => {
                 q.rate = take_value(args, &mut i, "--rate")?
@@ -116,27 +129,94 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
             "--epsilon" => {
                 q.epsilon = take_value(args, &mut i, "--epsilon")?
                     .parse()
-                    .map_err(|e| format!("--epsilon: {e}"))?
+                    .map_err(|e| format!("--epsilon: {e}"))?;
+                server_side.push("--epsilon");
             }
             "--delta" => {
                 q.delta = take_value(args, &mut i, "--delta")?
                     .parse()
-                    .map_err(|e| format!("--delta: {e}"))?
+                    .map_err(|e| format!("--delta: {e}"))?;
+                server_side.push("--delta");
             }
-            "--smc" => q.smc = true,
+            "--smc" => {
+                q.smc = true;
+                server_side.push("--smc");
+            }
             "--baseline" => q.baseline = true,
             sql if !sql.starts_with("--") => q.sql = sql.to_owned(),
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
     }
-    if q.data.as_os_str().is_empty() {
-        return Err("--data is required".into());
+    if q.data.as_os_str().is_empty() && q.remote.is_none() {
+        return Err("--data or --remote is required".into());
+    }
+    // Privacy parameters and release mode are fixed by the server; a flag
+    // that silently did nothing would let the analyst believe they ran a
+    // different query than they did.
+    if q.remote.is_some() && !server_side.is_empty() {
+        return Err(format!(
+            "{} {} set by the server and cannot be used with --remote",
+            server_side.join(", "),
+            if server_side.len() == 1 { "is" } else { "are" },
+        ));
     }
     if q.sql.is_empty() {
         return Err("a SQL query argument is required".into());
     }
     query(&q)
+}
+
+fn cmd_serve(args: &[String]) -> Result<fedaqp_cli::RunningServer, String> {
+    let mut s = ServeArgs {
+        data: PathBuf::new(),
+        listen: "127.0.0.1:4751".into(),
+        epsilon: 1.0,
+        delta: 1e-3,
+        xi: None,
+        psi: 1e-2,
+        smc: false,
+        calibration: EstimatorCalibration::EmCalibrated,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => s.data = PathBuf::from(take_value(args, &mut i, "--data")?),
+            "--listen" => s.listen = take_value(args, &mut i, "--listen")?,
+            "--calibration" => {
+                s.calibration = parse_calibration(&take_value(args, &mut i, "--calibration")?)?
+            }
+            "--epsilon" => {
+                s.epsilon = take_value(args, &mut i, "--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
+            }
+            "--delta" => {
+                s.delta = take_value(args, &mut i, "--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?
+            }
+            "--xi" => {
+                s.xi = Some(
+                    take_value(args, &mut i, "--xi")?
+                        .parse()
+                        .map_err(|e| format!("--xi: {e}"))?,
+                )
+            }
+            "--psi" => {
+                s.psi = take_value(args, &mut i, "--psi")?
+                    .parse()
+                    .map_err(|e| format!("--psi: {e}"))?
+            }
+            "--smc" => s.smc = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if s.data.as_os_str().is_empty() {
+        return Err("--data is required".into());
+    }
+    serve(&s)
 }
 
 fn cmd_batch(args: &[String]) -> Result<String, String> {
@@ -151,13 +231,17 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         psi: 1e-2,
         smc: false,
         calibration: EstimatorCalibration::EmCalibrated,
+        remote: None,
     };
     let mut i = 0;
+    let mut server_side: Vec<&'static str> = Vec::new();
     while i < args.len() {
         match args[i].as_str() {
             "--data" => b.data = PathBuf::from(take_value(args, &mut i, "--data")?),
+            "--remote" => b.remote = Some(take_value(args, &mut i, "--remote")?),
             "--calibration" => {
-                b.calibration = parse_calibration(&take_value(args, &mut i, "--calibration")?)?
+                b.calibration = parse_calibration(&take_value(args, &mut i, "--calibration")?)?;
+                server_side.push("--calibration");
             }
             "--queries" => b.queries = PathBuf::from(take_value(args, &mut i, "--queries")?),
             "--rate" => {
@@ -168,12 +252,14 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
             "--epsilon" => {
                 b.epsilon = take_value(args, &mut i, "--epsilon")?
                     .parse()
-                    .map_err(|e| format!("--epsilon: {e}"))?
+                    .map_err(|e| format!("--epsilon: {e}"))?;
+                server_side.push("--epsilon");
             }
             "--delta" => {
                 b.delta = take_value(args, &mut i, "--delta")?
                     .parse()
-                    .map_err(|e| format!("--delta: {e}"))?
+                    .map_err(|e| format!("--delta: {e}"))?;
+                server_side.push("--delta");
             }
             "--analysts" => {
                 b.analysts = take_value(args, &mut i, "--analysts")?
@@ -192,13 +278,23 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
                     .parse()
                     .map_err(|e| format!("--psi: {e}"))?
             }
-            "--smc" => b.smc = true,
+            "--smc" => {
+                b.smc = true;
+                server_side.push("--smc");
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
     }
-    if b.data.as_os_str().is_empty() {
-        return Err("--data is required".into());
+    if b.data.as_os_str().is_empty() && b.remote.is_none() {
+        return Err("--data or --remote is required".into());
+    }
+    if b.remote.is_some() && !server_side.is_empty() {
+        return Err(format!(
+            "{} {} set by the server and cannot be used with --remote",
+            server_side.join(", "),
+            if server_side.len() == 1 { "is" } else { "are" },
+        ));
     }
     if b.queries.as_os_str().is_empty() {
         return Err("--queries is required".into());
@@ -211,6 +307,25 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => {
+            // Serve prints its banner, then blocks on the accept loop for
+            // the life of the process (Ctrl-C stops it). Any setup failure
+            // — bad data dir, unbindable address, invalid budget — exits
+            // non-zero with a one-line message like every other command.
+            return match cmd_serve(&args[1..]) {
+                Ok(running) => {
+                    print!("{}", running.banner);
+                    use std::io::Write as _;
+                    std::io::stdout().flush().ok();
+                    running.server.join();
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Some("inspect") => match args.get(1) {
             Some(path) => inspect(std::path::Path::new(path)),
             None => Err("inspect needs a store path".into()),

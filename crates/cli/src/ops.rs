@@ -11,7 +11,8 @@ use fedaqp_core::{
 use fedaqp_data::{
     partition_rows, AdultConfig, AdultSynth, AmazonConfig, AmazonSynth, PartitionMode,
 };
-use fedaqp_model::parse_sql;
+use fedaqp_model::{parse_sql, RangeQuery, Schema};
+use fedaqp_net::{FederationServer, RemoteFederation, ServeOptions};
 use fedaqp_storage::{decode_store, encode_store, ClusterStore, PartitionStrategy, ProviderMeta};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -139,7 +140,8 @@ pub fn inspect(path: &Path) -> Result<String, String> {
 /// Arguments of `fedaqp query`.
 #[derive(Debug, Clone)]
 pub struct QueryArgs {
-    /// Data directory produced by `fedaqp generate`.
+    /// Data directory produced by `fedaqp generate` (unused with
+    /// `remote`).
     pub data: PathBuf,
     /// The SQL text.
     pub sql: String,
@@ -155,6 +157,8 @@ pub struct QueryArgs {
     pub baseline: bool,
     /// Hansen–Hurwitz calibration (`em` default, `pps` paper-faithful).
     pub calibration: EstimatorCalibration,
+    /// Query a served federation at `host:port` instead of local data.
+    pub remote: Option<String>,
 }
 
 /// Parses a `--calibration` value: `em` (EM-calibrated, the default) or
@@ -198,9 +202,69 @@ fn load_federation(
     Federation::build(config, schema, partitions).map_err(|e| e.to_string())
 }
 
+/// `fedaqp query --remote`: parse the SQL against the served schema and
+/// answer it over the wire.
+fn query_remote(args: &QueryArgs, addr: &str) -> Result<String, String> {
+    if args.baseline {
+        return Err("--baseline needs local data; it is unavailable with --remote".into());
+    }
+    let mut remote = RemoteFederation::connect_as(addr, "cli").map_err(|e| e.to_string())?;
+    let parsed = parse_sql(remote.schema(), &args.sql).map_err(|e| e.to_string())?;
+    let started = Instant::now();
+    let answer = remote
+        .query(&parsed, args.rate)
+        .map_err(|e| e.to_string())?;
+    let round_trip = started.elapsed();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "query       : {}\n",
+        parsed.display_sql(remote.schema())
+    ));
+    out.push_str(&format!(
+        "remote      : {addr} ({} providers)\n",
+        remote.n_providers()
+    ));
+    out.push_str(&format!("private     : {:.1}\n", answer.value));
+    out.push_str(&format!(
+        "privacy     : (ε = {}, δ = {:e})\n",
+        answer.cost.eps, answer.cost.delta
+    ));
+    out.push_str(&format!(
+        "estimator   : {} calibration, sampling CI ±{}\n",
+        match remote.calibration() {
+            EstimatorCalibration::EmCalibrated => "EM",
+            EstimatorCalibration::PpsEq3 => "PPS (Eq. 3)",
+        },
+        match answer.ci_halfwidth {
+            Some(hw) => format!("{hw:.1} (95%)"),
+            None => "unknown (single-draw sample)".into(),
+        }
+    ));
+    out.push_str(&format!(
+        "work        : scanned {} of {} covering clusters\n",
+        answer.clusters_scanned, answer.covering_total
+    ));
+    out.push_str(&format!(
+        "latency     : {:.2} ms round trip ({:.2} ms server protocol)\n",
+        round_trip.as_secs_f64() * 1e3,
+        answer.timings.total().as_secs_f64() * 1e3,
+    ));
+    if let Some((xi, psi)) = remote.session_budget() {
+        let status = remote.budget_status().map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "budget      : spent (ε = {:.3}, δ = {:.1e}) of (ξ = {xi}, ψ = {psi:.1e})\n",
+            status.spent_eps, status.spent_delta
+        ));
+    }
+    Ok(out)
+}
+
 /// `fedaqp query`: rebuild the federation from a data directory and answer
 /// one private SQL query.
 pub fn query(args: &QueryArgs) -> Result<String, String> {
+    if let Some(addr) = args.remote.as_deref() {
+        return query_remote(args, addr);
+    }
     let mut federation = load_federation(
         &args.data,
         args.epsilon,
@@ -280,6 +344,95 @@ pub struct BatchArgs {
     pub smc: bool,
     /// Hansen–Hurwitz calibration (`em` default, `pps` paper-faithful).
     pub calibration: EstimatorCalibration,
+    /// Run the batch against a served federation at `host:port` instead
+    /// of local data (one connection per analyst thread).
+    pub remote: Option<String>,
+}
+
+/// Reads and parses a query file (one SQL statement per line; `#`
+/// comments and blanks skipped) against `schema`.
+fn load_query_file(path: &Path, schema: &Schema) -> Result<Vec<(String, RangeQuery)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let sql = line.trim();
+        if sql.is_empty() || sql.starts_with('#') {
+            continue;
+        }
+        let parsed = parse_sql(schema, sql).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        queries.push((sql.to_owned(), parsed));
+    }
+    if queries.is_empty() {
+        return Err(format!("{}: no queries found", path.display()));
+    }
+    Ok(queries)
+}
+
+/// `fedaqp batch --remote`: fan the query file out to `analysts` threads,
+/// each holding its own connection to the served federation.
+fn batch_remote(args: &BatchArgs, addr: &str) -> Result<String, String> {
+    if args.xi.is_some() {
+        return Err(
+            "session budgets are enforced server-side with --remote (start the server \
+             with `fedaqp serve --xi`)"
+                .into(),
+        );
+    }
+    let probe = RemoteFederation::connect_as(addr, "cli").map_err(|e| e.to_string())?;
+    let schema = probe.schema().clone();
+    drop(probe);
+    let queries = load_query_file(&args.queries, &schema)?;
+    let results: Mutex<Vec<(usize, String, bool)>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let analysts = args.analysts.min(queries.len());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for analyst in 0..analysts {
+            let queries = &queries;
+            let results = &results;
+            scope.spawn(move || {
+                // One connection per analyst thread: remote concurrency
+                // mirrors the in-process engine's analyst threads.
+                let mut connection = RemoteFederation::connect_as(addr, "cli");
+                for (i, (sql, q)) in queries.iter().enumerate().skip(analyst).step_by(analysts) {
+                    let t = Instant::now();
+                    let (line, ok) = match connection.as_mut() {
+                        Ok(conn) => match conn.query(q, args.rate) {
+                            Ok(a) => (
+                                format!(
+                                    "[{i}] {sql} -> {:.1} ({:.2} ms)",
+                                    a.value,
+                                    t.elapsed().as_secs_f64() * 1e3
+                                ),
+                                true,
+                            ),
+                            Err(e) => (format!("[{i}] {sql} -> error: {e}"), false),
+                        },
+                        Err(e) => (format!("[{i}] {sql} -> connect error: {e}"), false),
+                    };
+                    results.lock().expect("results lock").push((i, line, ok));
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let mut results = results.into_inner().expect("results lock");
+    results.sort_by_key(|(i, _, _)| *i);
+    let answered = results.iter().filter(|(_, _, ok)| *ok).count();
+    let mut out = format!(
+        "batch       : {} queries, {analysts} analysts over {addr}\n",
+        queries.len()
+    );
+    for (_, line, _) in &results {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "total       : {answered}/{} answered in {:.2} ms ({:.1} queries/sec)\n",
+        queries.len(),
+        wall.as_secs_f64() * 1e3,
+        answered as f64 / wall.as_secs_f64().max(1e-9)
+    ));
+    Ok(out)
 }
 
 /// `fedaqp batch`: rebuild the federation, start the concurrent engine
@@ -289,6 +442,9 @@ pub fn batch(args: &BatchArgs) -> Result<String, String> {
     if args.analysts == 0 {
         return Err("need at least one analyst thread".into());
     }
+    if let Some(addr) = args.remote.as_deref() {
+        return batch_remote(args, addr);
+    }
     let federation = load_federation(
         &args.data,
         args.epsilon,
@@ -296,21 +452,7 @@ pub fn batch(args: &BatchArgs) -> Result<String, String> {
         args.smc,
         args.calibration,
     )?;
-    let text = std::fs::read_to_string(&args.queries)
-        .map_err(|e| format!("{}: {e}", args.queries.display()))?;
-    let mut queries = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let sql = line.trim();
-        if sql.is_empty() || sql.starts_with('#') {
-            continue;
-        }
-        let parsed =
-            parse_sql(federation.schema(), sql).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        queries.push((sql.to_owned(), parsed));
-    }
-    if queries.is_empty() {
-        return Err(format!("{}: no queries found", args.queries.display()));
-    }
+    let queries = load_query_file(&args.queries, federation.schema())?;
 
     let engine = FederationEngine::start(federation);
     let handle = engine.handle();
@@ -397,6 +539,82 @@ pub fn batch(args: &BatchArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// Arguments of `fedaqp serve`.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Data directory produced by `fedaqp generate`.
+    pub data: PathBuf,
+    /// Listen address, e.g. `127.0.0.1:4751` (port `0` = ephemeral).
+    pub listen: String,
+    /// Default per-query ε.
+    pub epsilon: f64,
+    /// Default per-query δ.
+    pub delta: f64,
+    /// Per-analyst session budget ξ; `None` serves uncapped.
+    pub xi: Option<f64>,
+    /// Per-analyst session failure budget ψ (meaningful with `xi`).
+    pub psi: f64,
+    /// Use the SMC release mode.
+    pub smc: bool,
+    /// Hansen–Hurwitz calibration (`em` default, `pps` paper-faithful).
+    pub calibration: EstimatorCalibration,
+}
+
+/// A running `fedaqp serve` instance. Keep both fields alive for the
+/// lifetime of the service; the binary blocks on
+/// [`FederationServer::join`], tests call
+/// [`FederationServer::shutdown`].
+#[derive(Debug)]
+pub struct RunningServer {
+    /// The TCP server (accept loop).
+    pub server: FederationServer,
+    /// The engine whose worker pool answers the queries.
+    pub engine: FederationEngine,
+    /// Human-readable startup report.
+    pub banner: String,
+}
+
+/// `fedaqp serve`: rebuild the federation from a data directory, start
+/// the concurrent engine, and expose it on a TCP listener.
+pub fn serve(args: &ServeArgs) -> Result<RunningServer, String> {
+    let federation = load_federation(
+        &args.data,
+        args.epsilon,
+        args.delta,
+        args.smc,
+        args.calibration,
+    )?;
+    let n_providers = federation.config().n_providers;
+    let engine = FederationEngine::start(federation);
+    let options = match args.xi {
+        Some(xi) => ServeOptions::with_budget(xi, args.psi),
+        None => ServeOptions::unlimited(),
+    };
+    let server = FederationServer::bind(&args.listen, engine.handle(), options).map_err(|e| {
+        // The pool must not leak when the bind fails.
+        e.to_string()
+    })?;
+    let banner = format!(
+        "serving     : {n_providers} providers from {} on {}\n\
+         privacy     : per-query ε = {}, δ = {:e}, {} release\n\
+         budget      : {}\n",
+        args.data.display(),
+        server.local_addr(),
+        args.epsilon,
+        args.delta,
+        if args.smc { "SMC" } else { "local-DP" },
+        match args.xi {
+            Some(xi) => format!("per-analyst (ξ = {xi}, ψ = {:e})", args.psi),
+            None => "uncapped sessions".into(),
+        },
+    );
+    Ok(RunningServer {
+        server,
+        engine,
+        banner,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +661,7 @@ mod tests {
             smc: false,
             baseline: true,
             calibration: EstimatorCalibration::EmCalibrated,
+            remote: None,
         })
         .unwrap();
         assert!(out.contains("private"));
@@ -478,6 +697,7 @@ mod tests {
             smc: false,
             baseline: false,
             calibration: EstimatorCalibration::PpsEq3,
+            remote: None,
         })
         .unwrap();
         assert!(out.contains("PPS (Eq. 3) calibration"), "{out}");
@@ -502,6 +722,7 @@ mod tests {
             smc: false,
             baseline: false,
             calibration: EstimatorCalibration::EmCalibrated,
+            remote: None,
         })
         .unwrap_err();
         assert!(err.contains("manifest"));
@@ -524,6 +745,7 @@ mod tests {
             smc: false,
             baseline: false,
             calibration: EstimatorCalibration::EmCalibrated,
+            remote: None,
         })
         .unwrap_err();
         assert!(err.contains("bogus"));
@@ -542,6 +764,7 @@ mod tests {
             psi: 1e-2,
             smc: false,
             calibration: EstimatorCalibration::EmCalibrated,
+            remote: None,
         }
     }
 
@@ -603,6 +826,128 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    fn serve_args(dir: PathBuf) -> ServeArgs {
+        ServeArgs {
+            data: dir,
+            listen: "127.0.0.1:0".into(),
+            epsilon: 5.0,
+            delta: 1e-3,
+            xi: None,
+            psi: 1e-2,
+            smc: false,
+            calibration: EstimatorCalibration::EmCalibrated,
+        }
+    }
+
+    #[test]
+    fn serve_then_query_and_batch_remotely() {
+        let dir = tmp_dir("serve");
+        generate(&generate_args(dir.clone())).unwrap();
+        let running = serve(&serve_args(dir.clone())).unwrap();
+        assert!(running.banner.contains("serving"));
+        let addr = running.server.local_addr().to_string();
+
+        // Remote query over the wire.
+        let out = query(&QueryArgs {
+            data: PathBuf::new(),
+            sql: "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60".into(),
+            rate: 0.2,
+            epsilon: 5.0,
+            delta: 1e-3,
+            smc: false,
+            baseline: false,
+            calibration: EstimatorCalibration::EmCalibrated,
+            remote: Some(addr.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("remote"), "{out}");
+        assert!(out.contains("private"), "{out}");
+        assert!(out.contains("round trip"), "{out}");
+
+        // Remote batch with several analyst connections.
+        let qfile = dir.join("queries.sql");
+        std::fs::write(
+            &qfile,
+            "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60\n\
+             SELECT SUM(Measure) FROM T WHERE 20 <= age <= 70\n\
+             SELECT COUNT(*) FROM T WHERE 30 <= age <= 50\n",
+        )
+        .unwrap();
+        let mut args = batch_args(dir.clone(), qfile);
+        args.data = PathBuf::new();
+        args.remote = Some(addr.clone());
+        let out = batch(&args).unwrap();
+        assert!(out.contains(&format!("over {addr}")), "{out}");
+        assert!(out.contains("3/3 answered"), "{out}");
+
+        running.server.shutdown();
+        running.engine.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remote_errors_are_one_line_strings() {
+        // Nothing is listening here: connect errors must surface as clean
+        // one-line strings, not panics.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = query(&QueryArgs {
+            data: PathBuf::new(),
+            sql: "SELECT COUNT(*) FROM T WHERE 1 <= age <= 2".into(),
+            rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+            smc: false,
+            baseline: false,
+            calibration: EstimatorCalibration::EmCalibrated,
+            remote: Some(format!("127.0.0.1:{port}")),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+        assert!(!err.contains('\n'), "one line, no backtrace: {err}");
+
+        // --baseline needs the local exact oracle.
+        let err = query(&QueryArgs {
+            data: PathBuf::new(),
+            sql: "SELECT COUNT(*) FROM T WHERE 1 <= age <= 2".into(),
+            rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+            smc: false,
+            baseline: true,
+            calibration: EstimatorCalibration::EmCalibrated,
+            remote: Some("127.0.0.1:1".into()),
+        })
+        .unwrap_err();
+        assert!(err.contains("--baseline"), "{err}");
+
+        // --xi with --remote is a serve-side concern.
+        let mut args = batch_args(PathBuf::new(), PathBuf::from("/nonexistent.sql"));
+        args.remote = Some("127.0.0.1:1".into());
+        args.xi = Some(1.0);
+        let err = batch(&args).unwrap_err();
+        assert!(err.contains("server-side"), "{err}");
+    }
+
+    #[test]
+    fn serve_fails_cleanly_on_bad_inputs() {
+        // Missing data directory.
+        let err = serve(&serve_args(tmp_dir("serve_missing"))).unwrap_err();
+        assert!(err.contains("manifest"), "{err}");
+
+        // Unbindable listen address.
+        let dir = tmp_dir("serve_badaddr");
+        generate(&generate_args(dir.clone())).unwrap();
+        let mut args = serve_args(dir.clone());
+        args.listen = "256.0.0.1:1".into();
+        let err = serve(&args).unwrap_err();
+        assert!(err.contains("cannot listen"), "{err}");
+        assert!(!err.contains('\n'), "one line, no backtrace: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn smc_mode_round_trips() {
         let dir = tmp_dir("smc");
@@ -620,6 +965,7 @@ mod tests {
             smc: true,
             baseline: false,
             calibration: EstimatorCalibration::EmCalibrated,
+            remote: None,
         })
         .unwrap();
         assert!(out.contains("SMC release"));

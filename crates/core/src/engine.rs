@@ -501,6 +501,24 @@ impl EngineHandle {
         self.submit_with_budget(query, sampling_rate, &budget)
     }
 
+    /// Validates a submission without dispatching it: sampling rate in
+    /// `(0, 1)`, query dimensions in the schema, budget phases positive.
+    /// Stateless, so budget-charging sessions can check a request *before*
+    /// charging for it — a request the engine would reject touches no
+    /// data and must not cost budget.
+    pub fn validate(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<()> {
+        if !(sampling_rate.is_finite() && 0.0 < sampling_rate && sampling_rate < 1.0) {
+            return Err(CoreError::InvalidSamplingRate(sampling_rate));
+        }
+        query.check_schema(&self.inner.schema)?;
+        Self::check_budget(budget)
+    }
+
     /// Submits one private query under an explicit per-query budget.
     ///
     /// Validation happens here, before any provider sees the job, so a
@@ -511,11 +529,7 @@ impl EngineHandle {
         sampling_rate: f64,
         budget: &QueryBudget,
     ) -> Result<PendingAnswer> {
-        if !(sampling_rate.is_finite() && 0.0 < sampling_rate && sampling_rate < 1.0) {
-            return Err(CoreError::InvalidSamplingRate(sampling_rate));
-        }
-        query.check_schema(&self.inner.schema)?;
-        Self::check_budget(budget)?;
+        self.validate(query, sampling_rate, budget)?;
         let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
         let job = Arc::new(JobState::new(
             query.clone(),

@@ -16,7 +16,7 @@ use fedaqp_dp::{advanced_per_query, BudgetAccountant, PrivacyCost, QueryBudget, 
 use fedaqp_model::RangeQuery;
 
 use crate::derived::{run_derived, DerivedAnswer, DerivedStatistic};
-use crate::engine::{EngineAnswer, EngineHandle};
+use crate::engine::{EngineAnswer, EngineHandle, PendingAnswer};
 use crate::federation::{Federation, QueryAnswer};
 use crate::{CoreError, Result};
 
@@ -160,12 +160,28 @@ impl ConcurrentSession {
     /// Opens a session with total budget `(xi, psi)` under `plan`.
     pub fn open(handle: EngineHandle, xi: f64, psi: f64, plan: SessionPlan) -> Result<Self> {
         let accountant = SharedAccountant::new(xi, psi).map_err(CoreError::Dp)?;
+        Self::open_with_accountant(handle, accountant, plan)
+    }
+
+    /// Opens a session over an externally owned ledger.
+    ///
+    /// A serving endpoint keys ledgers by analyst identity (e.g. through a
+    /// [`fedaqp_dp::BudgetDirectory`]) so that reconnecting — or opening
+    /// several parallel connections — can never reset or multiply an
+    /// analyst's `(ξ, ψ)`: every session opened on the same accountant
+    /// charges the same atomic ledger.
+    pub fn open_with_accountant(
+        handle: EngineHandle,
+        accountant: SharedAccountant,
+        plan: SessionPlan,
+    ) -> Result<Self> {
         let config = handle.config();
         let hp = config.hyperparams;
+        let total = accountant.total();
         let per_query = match plan {
             SessionPlan::PayAsYouGo => config.query_budget()?,
             SessionPlan::AdvancedComposition { planned_queries } => {
-                let per = advanced_per_query(xi, psi, planned_queries)?;
+                let per = advanced_per_query(total.eps, total.delta, planned_queries)?;
                 QueryBudget::split(per.eps, per.delta, hp)?
             }
         };
@@ -214,15 +230,35 @@ impl ConcurrentSession {
         &self.handle
     }
 
-    /// Answers one private query, atomically charging the session budget
-    /// first.
-    pub fn query(&self, query: &RangeQuery, sampling_rate: f64) -> Result<EngineAnswer> {
+    /// The shared ledger this session charges.
+    pub fn accountant(&self) -> &SharedAccountant {
+        &self.accountant
+    }
+
+    /// Atomically charges the session budget, then submits the query to
+    /// the engine *without* waiting for the answer. Submitting a whole
+    /// batch before the first wait lets the worker pool pipeline one
+    /// analyst's queries.
+    ///
+    /// A request the engine would reject up front (bad sampling rate,
+    /// unknown dimension) is validated *before* the charge — it touches
+    /// no data, so it must not cost budget. Once a query is dispatched,
+    /// the charge is kept even if it later fails inside the engine
+    /// (fail-closed: the conservative direction for privacy).
+    pub fn submit(&self, query: &RangeQuery, sampling_rate: f64) -> Result<PendingAnswer> {
+        self.handle
+            .validate(query, sampling_rate, &self.per_query)?;
         self.accountant
             .charge(self.per_query.cost())
             .map_err(CoreError::Dp)?;
         self.handle
-            .submit_with_budget(query, sampling_rate, &self.per_query)?
-            .wait()
+            .submit_with_budget(query, sampling_rate, &self.per_query)
+    }
+
+    /// Answers one private query, atomically charging the session budget
+    /// first.
+    pub fn query(&self, query: &RangeQuery, sampling_rate: f64) -> Result<EngineAnswer> {
+        self.submit(query, sampling_rate)?.wait()
     }
 }
 
@@ -308,6 +344,75 @@ mod tests {
             "charged {}",
             before - after
         );
+    }
+
+    #[test]
+    fn sessions_on_one_accountant_share_the_ledger() {
+        // Two "connections" of one analyst: sessions opened over the same
+        // shared accountant cannot jointly overspend its (ξ, ψ).
+        let fed = federation(1.0);
+        fed.with_engine(|engine| {
+            let ledger = SharedAccountant::new(2.0, 1e-2).unwrap();
+            let s1 = ConcurrentSession::open_with_accountant(
+                engine.clone(),
+                ledger.clone(),
+                SessionPlan::PayAsYouGo,
+            )
+            .unwrap();
+            let s2 = ConcurrentSession::open_with_accountant(
+                engine.clone(),
+                ledger,
+                SessionPlan::PayAsYouGo,
+            )
+            .unwrap();
+            s1.query(&query(), 0.2).unwrap();
+            s2.query(&query(), 0.2).unwrap();
+            assert!(s1.query(&query(), 0.2).is_err());
+            assert!(s2.query(&query(), 0.2).is_err());
+            assert_eq!(s1.queries_answered(), 2);
+            assert!((s2.accountant().spent().eps - 2.0).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn submit_charges_before_waiting() {
+        let fed = federation(1.0);
+        fed.with_engine(|engine| {
+            let session =
+                ConcurrentSession::open(engine.clone(), 1.0, 1e-2, SessionPlan::PayAsYouGo)
+                    .unwrap();
+            let pending = session.submit(&query(), 0.2).unwrap();
+            // The charge landed at submission time, before the wait.
+            assert!((session.spent().eps - 1.0).abs() < 1e-9);
+            assert!(pending.wait().unwrap().value.is_finite());
+            assert!(session.submit(&query(), 0.2).is_err());
+        });
+    }
+
+    #[test]
+    fn rejected_submissions_cost_no_budget() {
+        // A request the engine rejects up front touches no data, so the
+        // session must not charge for it — otherwise a couple of typos
+        // (sampling rate 1.5, a bogus dimension) would burn a remote
+        // analyst's whole ξ with zero queries answered.
+        let fed = federation(1.0);
+        fed.with_engine(|engine| {
+            let session =
+                ConcurrentSession::open(engine.clone(), 2.0, 1e-2, SessionPlan::PayAsYouGo)
+                    .unwrap();
+            assert!(matches!(
+                session.submit(&query(), 1.5),
+                Err(CoreError::InvalidSamplingRate(_))
+            ));
+            let bad_dim =
+                RangeQuery::new(Aggregate::Count, vec![Range::new(9, 0, 1).unwrap()]).unwrap();
+            assert!(session.submit(&bad_dim, 0.2).is_err());
+            assert_eq!(session.spent().eps, 0.0);
+            assert_eq!(session.queries_answered(), 0);
+            // The budget is still whole: both valid queries fit.
+            session.query(&query(), 0.2).unwrap();
+            session.query(&query(), 0.2).unwrap();
+        });
     }
 
     #[test]

@@ -169,6 +169,66 @@ impl SharedAccountant {
     }
 }
 
+/// Per-analyst budget ledgers for a serving endpoint.
+///
+/// A federation server answers many remote analysts, each entitled to one
+/// total budget `(ξ, ψ)`. Keying the ledger by the analyst's declared
+/// identity — rather than by connection — closes two overspending holes:
+/// reconnecting cannot reset a spent budget, and opening parallel
+/// connections cannot multiply it, because every connection of one analyst
+/// is handed a clone of the *same* [`SharedAccountant`] (whose
+/// check-and-charge is atomic).
+#[derive(Debug)]
+pub struct BudgetDirectory {
+    xi: f64,
+    psi: f64,
+    ledgers: std::sync::Mutex<std::collections::HashMap<String, SharedAccountant>>,
+}
+
+impl BudgetDirectory {
+    /// Creates a directory granting every analyst the budget `(xi, psi)`.
+    pub fn new(xi: f64, psi: f64) -> Result<Self> {
+        // Validate once up front so `accountant` can never fail later.
+        BudgetAccountant::new(xi, psi)?;
+        Ok(Self {
+            xi,
+            psi,
+            ledgers: std::sync::Mutex::new(std::collections::HashMap::new()),
+        })
+    }
+
+    /// The budget each analyst is granted.
+    pub fn per_analyst(&self) -> PrivacyCost {
+        PrivacyCost {
+            eps: self.xi,
+            delta: self.psi,
+        }
+    }
+
+    /// The ledger for `analyst`, created on first sight. All callers asking
+    /// for the same identity share one atomic ledger.
+    pub fn accountant(&self, analyst: &str) -> SharedAccountant {
+        let mut ledgers = self
+            .ledgers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        ledgers
+            .entry(analyst.to_owned())
+            .or_insert_with(|| {
+                SharedAccountant::new(self.xi, self.psi).expect("budget validated at construction")
+            })
+            .clone()
+    }
+
+    /// Number of distinct analysts seen so far.
+    pub fn analysts(&self) -> usize {
+        self.ledgers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +326,51 @@ mod tests {
         assert!(!acc.is_exhausted());
         let snap = acc.snapshot();
         assert_eq!(snap.queries_answered(), 1);
+    }
+
+    #[test]
+    fn directory_shares_ledgers_by_identity() {
+        let dir = BudgetDirectory::new(1.0, 1e-2).unwrap();
+        let cost = PrivacyCost {
+            eps: 0.6,
+            delta: 1e-3,
+        };
+        // Alice spends on one "connection"…
+        dir.accountant("alice").charge(cost).unwrap();
+        // …and cannot double her budget by asking again (reconnect).
+        assert!(dir.accountant("alice").charge(cost).is_err());
+        // Bob's ledger is independent.
+        assert!(dir.accountant("bob").charge(cost).is_ok());
+        assert_eq!(dir.analysts(), 2);
+        assert_eq!(dir.per_analyst().eps, 1.0);
+    }
+
+    #[test]
+    fn directory_is_atomic_across_racing_connections() {
+        // 8 racing "connections" of one analyst charging 0.25 each out of
+        // ξ = 1: exactly 4 may succeed, as with one shared accountant.
+        let dir = BudgetDirectory::new(1.0, 1e-2).unwrap();
+        let per = PrivacyCost {
+            eps: 0.25,
+            delta: 1e-3,
+        };
+        let successes: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let dir = &dir;
+                    scope.spawn(move || u64::from(dir.accountant("carol").charge(per).is_ok()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(successes, 4);
+        assert_eq!(dir.accountant("carol").queries_answered(), 4);
+    }
+
+    #[test]
+    fn directory_rejects_invalid_budgets() {
+        assert!(BudgetDirectory::new(-1.0, 1e-2).is_err());
+        assert!(BudgetDirectory::new(1.0, 2.0).is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod gaussian;
 pub mod laplace;
 pub mod smooth;
 
-pub use accountant::{BudgetAccountant, SharedAccountant};
+pub use accountant::{BudgetAccountant, BudgetDirectory, SharedAccountant};
 pub use budget::{HyperParams, QueryBudget};
 pub use composition::{
     advanced_per_query, parallel, sequential, sequential_per_query, PrivacyCost,

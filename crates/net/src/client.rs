@@ -1,0 +1,283 @@
+//! The remote-analyst client: an [`EngineHandle`]-shaped API over TCP.
+//!
+//! [`RemoteFederation`] mirrors the engine's submit/wait surface
+//! ([`RemoteFederation::submit`] → [`PendingRemote::wait`], plus
+//! [`RemoteFederation::run_batch`]), so analyst code written against a
+//! local [`fedaqp_core::EngineHandle`] ports to a remote endpoint by
+//! swapping the handle for a connection. The client is blocking and owns
+//! one socket; queries pipelined on one connection are answered strictly
+//! in submission order, which is what makes the wait side trivially
+//! correlatable without request ids.
+//!
+//! [`EngineHandle`]: fedaqp_core::EngineHandle
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use fedaqp_core::{EstimatorCalibration, PhaseTimings, QueryBatch};
+use fedaqp_dp::PrivacyCost;
+use fedaqp_model::{Dimension, Domain, RangeQuery, Schema};
+
+use crate::wire::{
+    calibration_from_code, read_frame, write_frame, Answer, BatchRequest, BudgetStatus, Frame,
+    Hello, QueryRequest,
+};
+use crate::{NetError, Result};
+
+/// The answer to one remote query — the released projection of
+/// [`fedaqp_core::EngineAnswer`] (no raw estimates, no sensitivities).
+#[derive(Debug, Clone)]
+pub struct RemoteAnswer {
+    /// The DP-released answer.
+    pub value: f64,
+    /// The `(ε, δ)` charged for this query.
+    pub cost: PrivacyCost,
+    /// Per-phase latency breakdown as measured at the server (network is
+    /// the *simulated* WAN component, not this socket's transit).
+    pub timings: PhaseTimings,
+    /// Total clusters scanned across providers.
+    pub clusters_scanned: usize,
+    /// Total covering-set size across providers.
+    pub covering_total: usize,
+    /// How many providers took the approximate path.
+    pub approximated_providers: usize,
+    /// The per-provider sample-size allocations.
+    pub allocations: Vec<u64>,
+    /// 95% sampling confidence half-width, when estimable.
+    pub ci_halfwidth: Option<f64>,
+}
+
+impl RemoteAnswer {
+    fn from_wire(answer: Answer) -> Self {
+        Self {
+            value: answer.value,
+            cost: PrivacyCost {
+                eps: answer.eps,
+                delta: answer.delta,
+            },
+            timings: PhaseTimings {
+                summary: Duration::from_micros(answer.summary_us),
+                allocation: Duration::from_micros(answer.allocation_us),
+                execution: Duration::from_micros(answer.execution_us),
+                release: Duration::from_micros(answer.release_us),
+                network: Duration::from_micros(answer.network_us),
+            },
+            clusters_scanned: answer.clusters_scanned as usize,
+            covering_total: answer.covering_total as usize,
+            approximated_providers: answer.approximated_providers as usize,
+            allocations: answer.allocations,
+            ci_halfwidth: answer.ci_halfwidth,
+        }
+    }
+}
+
+/// A blocking connection to a [`crate::FederationServer`].
+#[derive(Debug)]
+pub struct RemoteFederation {
+    stream: TcpStream,
+    schema: Schema,
+    n_providers: usize,
+    epsilon: f64,
+    delta: f64,
+    calibration: EstimatorCalibration,
+    session_budget: Option<(f64, f64)>,
+    /// Replies the server still owes for submitted-but-unwaited queries.
+    /// Every new request first drains these, so dropping a
+    /// [`PendingRemote`] without waiting can never desynchronize the
+    /// stream (the next reply would otherwise be attributed to the wrong
+    /// query).
+    outstanding: usize,
+}
+
+impl RemoteFederation {
+    /// Connects anonymously (all anonymous connections share one budget
+    /// ledger on a budget-capped server — declare an identity with
+    /// [`Self::connect_as`] to get your own).
+    pub fn connect(addr: &str) -> Result<Self> {
+        Self::connect_as(addr, "anonymous")
+    }
+
+    /// Connects and declares an analyst identity (the server's budget
+    /// ledger key).
+    pub fn connect_as(addr: &str, analyst: &str) -> Result<Self> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| NetError::Connect {
+            addr: addr.to_owned(),
+            message: e.to_string(),
+        })?;
+        stream.set_nodelay(true).ok();
+        write_frame(
+            &mut stream,
+            &Frame::Hello(Hello {
+                analyst: analyst.to_owned(),
+            }),
+        )?;
+        let ack = match read_frame(&mut stream)? {
+            Frame::HelloAck(ack) => ack,
+            Frame::Error(e) => {
+                return Err(NetError::Remote {
+                    code: e.code,
+                    message: e.message,
+                })
+            }
+            _ => return Err(NetError::Handshake("expected HelloAck")),
+        };
+        let dimensions: Vec<Dimension> = ack
+            .dimensions
+            .iter()
+            .map(|d| {
+                Domain::new(d.min, d.max)
+                    .map(|domain| Dimension::new(d.name.clone(), domain))
+                    .map_err(|_| NetError::Malformed("inverted schema domain"))
+            })
+            .collect::<Result<_>>()?;
+        let schema = Schema::new(dimensions).map_err(|_| NetError::Malformed("invalid schema"))?;
+        Ok(Self {
+            stream,
+            schema,
+            n_providers: ack.n_providers as usize,
+            epsilon: ack.epsilon,
+            delta: ack.delta,
+            calibration: calibration_from_code(ack.calibration)?,
+            session_budget: ack.session_budget,
+            outstanding: 0,
+        })
+    }
+
+    /// The served federation's public table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of data providers behind the served federation.
+    pub fn n_providers(&self) -> usize {
+        self.n_providers
+    }
+
+    /// The server's default per-query ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The server's default per-query δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The server's Hansen–Hurwitz calibration.
+    pub fn calibration(&self) -> EstimatorCalibration {
+        self.calibration
+    }
+
+    /// The per-analyst session budget `(ξ, ψ)` the server enforces, if
+    /// any.
+    pub fn session_budget(&self) -> Option<(f64, f64)> {
+        self.session_budget
+    }
+
+    /// Reads and discards replies for queries whose [`PendingRemote`] was
+    /// dropped without a wait, so the next reply read belongs to the next
+    /// request. Answers drained this way are lost (their budget, if any,
+    /// was spent server-side when the query was submitted).
+    fn drain_outstanding(&mut self) -> Result<()> {
+        while self.outstanding > 0 {
+            self.outstanding -= 1;
+            // A typed per-query Error frame is a valid (discarded) reply;
+            // only connection-level failures propagate.
+            match self.read_reply() {
+                Ok(_) | Err(NetError::Remote { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends one query without waiting for its answer — the remote mirror
+    /// of `EngineHandle::submit`. Pipelining is allowed: waits resolve in
+    /// submission order, and the reply of a pending query that is dropped
+    /// un-waited is discarded on the next request.
+    pub fn submit(&mut self, query: &RangeQuery, sampling_rate: f64) -> Result<PendingRemote<'_>> {
+        self.drain_outstanding()?;
+        write_frame(
+            &mut self.stream,
+            &Frame::Query(QueryRequest {
+                query: query.clone(),
+                sampling_rate,
+            }),
+        )?;
+        self.outstanding += 1;
+        Ok(PendingRemote { conn: self })
+    }
+
+    /// Answers one private query (submit + wait).
+    pub fn query(&mut self, query: &RangeQuery, sampling_rate: f64) -> Result<RemoteAnswer> {
+        self.submit(query, sampling_rate)?.wait()
+    }
+
+    /// Sends a whole batch in one frame and collects the per-query
+    /// results in submission order. The outer error is connection-level;
+    /// inner errors are per-query (e.g. a typed budget rejection).
+    pub fn run_batch(&mut self, batch: &QueryBatch) -> Result<Vec<Result<RemoteAnswer>>> {
+        let specs: Vec<QueryRequest> = batch
+            .specs()
+            .iter()
+            .map(|spec| QueryRequest {
+                query: spec.query.clone(),
+                sampling_rate: spec.sampling_rate,
+            })
+            .collect();
+        self.drain_outstanding()?;
+        write_frame(&mut self.stream, &Frame::Batch(BatchRequest { specs }))?;
+        let mut results = Vec::with_capacity(batch.len());
+        for _ in 0..batch.len() {
+            match self.read_reply() {
+                Ok(answer) => results.push(Ok(answer)),
+                // A typed per-query rejection: record it and keep reading.
+                Err(e @ NetError::Remote { .. }) => results.push(Err(e)),
+                // A connection-level failure: the remaining replies can
+                // never arrive.
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Asks the server for this analyst's session ledger.
+    pub fn budget_status(&mut self) -> Result<BudgetStatus> {
+        self.drain_outstanding()?;
+        write_frame(&mut self.stream, &Frame::BudgetRequest)?;
+        match read_frame(&mut self.stream)? {
+            Frame::BudgetStatus(status) => Ok(status),
+            Frame::Error(e) => Err(NetError::Remote {
+                code: e.code,
+                message: e.message,
+            }),
+            _ => Err(NetError::Malformed("expected BudgetStatus")),
+        }
+    }
+
+    fn read_reply(&mut self) -> Result<RemoteAnswer> {
+        match read_frame(&mut self.stream)? {
+            Frame::Answer(answer) => Ok(RemoteAnswer::from_wire(answer)),
+            Frame::Error(e) => Err(NetError::Remote {
+                code: e.code,
+                message: e.message,
+            }),
+            _ => Err(NetError::Malformed("expected Answer or Error")),
+        }
+    }
+}
+
+/// A query in flight on the remote connection — the network mirror of
+/// [`fedaqp_core::PendingAnswer`].
+#[derive(Debug)]
+pub struct PendingRemote<'a> {
+    conn: &'a mut RemoteFederation,
+}
+
+impl PendingRemote<'_> {
+    /// Blocks until the server's reply for this query arrives.
+    pub fn wait(self) -> Result<RemoteAnswer> {
+        self.conn.outstanding -= 1;
+        self.conn.read_reply()
+    }
+}

@@ -1,0 +1,37 @@
+//! `fedaqp-net` — the federation's network face.
+//!
+//! The paper's deployment story is a coordinator answering remote
+//! analysts' approximate range-aggregate queries; this crate turns the
+//! in-process concurrent engine ([`fedaqp_core::engine`]) into exactly
+//! that service, on nothing but `std::net`:
+//!
+//! * [`wire`] — a versioned, length-prefixed binary frame codec
+//!   (`Hello`/`Query`/`Batch`/`Answer`/`Error`/`BudgetStatus`), hand-rolled
+//!   in the defensive style of `fedaqp_storage::codec`: hard frame cap,
+//!   bounded declared lengths, strict trailing-byte rejection.
+//! * [`FederationServer`] — a thread-per-connection TCP server over an
+//!   [`fedaqp_core::EngineHandle`]. Per-analyst budgets are charged
+//!   through [`fedaqp_dp::BudgetDirectory`]-backed
+//!   [`fedaqp_core::ConcurrentSession`]s, so concurrent (or reconnecting)
+//!   remote analysts can never overspend their `(ξ, ψ)`.
+//! * [`RemoteFederation`] — a blocking client mirroring the engine's
+//!   submit/wait API, so analyst code is indifferent to whether the
+//!   federation is in-process or across the network.
+//!
+//! Threat model: the wire carries only DP-released values (never raw
+//! estimates or sensitivities), but transport security — encryption,
+//! authentication of the declared analyst identity — is out of scope and
+//! must come from the deployment (TLS terminator, VPN, …).
+
+pub mod client;
+pub mod error;
+pub mod server;
+pub mod wire;
+
+pub use client::{PendingRemote, RemoteAnswer, RemoteFederation};
+pub use error::NetError;
+pub use server::{FederationServer, ServeOptions};
+pub use wire::{BudgetStatus, ErrorCode, Frame};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NetError>;

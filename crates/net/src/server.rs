@@ -1,0 +1,438 @@
+//! The TCP federation server: the coordinator's network face.
+//!
+//! [`FederationServer`] wraps an [`EngineHandle`] — the analyst-facing
+//! handle of the concurrent worker pool — and serves it over real sockets,
+//! thread-per-connection: the accept loop runs on one background thread
+//! and every connection gets its own, so N remote analysts drive the
+//! engine exactly like N in-process analyst threads do. All protocol
+//! state (budget ledgers, in-flight jobs) lives in thread-safe structures
+//! the engine already provides; the server adds no locking of its own
+//! beyond the listener.
+//!
+//! Budget enforcement: with [`ServeOptions::with_budget`], every
+//! connection is wrapped in a [`ConcurrentSession`] whose ledger comes
+//! from a [`BudgetDirectory`] keyed by the analyst identity declared in
+//! the `Hello` frame. Reconnecting or opening parallel connections can
+//! therefore never reset or multiply an analyst's `(ξ, ψ)` — racing
+//! charges hit one atomic [`fedaqp_dp::SharedAccountant`]. An exhausted
+//! budget surfaces as a typed [`wire::ErrorCode::BudgetExhausted`] error
+//! frame; the connection stays open.
+//!
+//! What never crosses the wire: providers' raw (pre-noise) estimates and
+//! smooth sensitivities. Those fields exist on [`EngineAnswer`] as
+//! simulation-boundary diagnostics; [`answer_frame`] deliberately drops
+//! them so a remote analyst sees only DP-released values. Transport
+//! security (TLS, authn) is out of scope — see the README threat model.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use fedaqp_core::{
+    ConcurrentSession, CoreError, EngineAnswer, EngineHandle, PendingAnswer, SessionPlan,
+};
+use fedaqp_dp::{BudgetDirectory, DpError};
+
+use crate::wire::{
+    calibration_code, read_frame, write_frame, Answer, BudgetStatus, ErrorCode, ErrorFrame, Frame,
+    HelloAck, QueryRequest, WireDimension,
+};
+use crate::{NetError, Result};
+
+/// Longest error message shipped in an [`ErrorFrame`].
+const MAX_ERROR_MESSAGE: usize = 1024;
+
+/// How a server treats its analysts' budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOptions {
+    /// Per-analyst session budget `(ξ, ψ)`; `None` serves without a
+    /// session cap (each query still pays its own `(ε, δ)`).
+    pub per_analyst: Option<(f64, f64)>,
+}
+
+impl ServeOptions {
+    /// No session cap: any analyst may keep querying.
+    pub fn unlimited() -> Self {
+        Self { per_analyst: None }
+    }
+
+    /// Every analyst is granted a total `(xi, psi)` across all of their
+    /// connections, enforced through one shared ledger per identity.
+    pub fn with_budget(xi: f64, psi: f64) -> Self {
+        Self {
+            per_analyst: Some((xi, psi)),
+        }
+    }
+}
+
+/// A running federation server.
+///
+/// Dropping the value does *not* stop the accept loop — call
+/// [`FederationServer::shutdown`] (tests, embedding) or block on
+/// [`FederationServer::join`] (a serve binary).
+#[derive(Debug)]
+pub struct FederationServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: JoinHandle<()>,
+}
+
+impl FederationServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:4751"`, or port `0` for an
+    /// ephemeral port) and starts accepting analyst connections against
+    /// `handle`'s engine.
+    pub fn bind(addr: &str, handle: EngineHandle, options: ServeOptions) -> Result<Self> {
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::Bind {
+            addr: addr.to_owned(),
+            message: e.to_string(),
+        })?;
+        let local_addr = listener.local_addr()?;
+        let directory = match options.per_analyst {
+            Some((xi, psi)) => Some(Arc::new(
+                BudgetDirectory::new(xi, psi)
+                    .map_err(|e| NetError::BadServeConfig(e.to_string()))?,
+            )),
+            None => None,
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, handle, directory, stop))
+        };
+        Ok(Self {
+            local_addr,
+            stop,
+            accept,
+        })
+    }
+
+    /// The address the server actually listens on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until the accept loop exits (it only does on
+    /// [`Self::shutdown`] from another owner, so this is "serve forever"
+    /// for a server binary).
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Connections already open keep being served until their analysts
+    /// disconnect (or the engine behind them shuts down).
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept.join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    handle: EngineHandle,
+    directory: Option<Arc<BudgetDirectory>>,
+    stop: Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let handle = handle.clone();
+        let directory = directory.clone();
+        std::thread::spawn(move || {
+            // Connection failures are the analyst's problem to observe;
+            // the server just moves on to other connections.
+            let _ = serve_connection(stream, handle, directory);
+        });
+    }
+}
+
+/// One analyst connection, served to completion.
+fn serve_connection(
+    mut stream: TcpStream,
+    handle: EngineHandle,
+    directory: Option<Arc<BudgetDirectory>>,
+) -> Result<()> {
+    // Frames are small and latency-sensitive; never batch them.
+    stream.set_nodelay(true).ok();
+
+    // ---- Handshake: exactly one Hello, answered with HelloAck. ----
+    let hello = match read_frame(&mut stream) {
+        Ok(Frame::Hello(h)) => h,
+        Ok(_) => {
+            let _ = write_frame(
+                &mut stream,
+                &error_reply(0, ErrorCode::BadRequest, "expected a Hello frame"),
+            );
+            return Err(NetError::Handshake("expected Hello"));
+        }
+        Err(NetError::Disconnected) => return Ok(()),
+        Err(e) => {
+            let _ = write_frame(
+                &mut stream,
+                &error_reply(0, ErrorCode::BadRequest, &e.to_string()),
+            );
+            return Err(e);
+        }
+    };
+    let session = match &directory {
+        Some(dir) => Some(
+            ConcurrentSession::open_with_accountant(
+                handle.clone(),
+                dir.accountant(&hello.analyst),
+                SessionPlan::PayAsYouGo,
+            )
+            .map_err(|e| {
+                let _ = write_frame(
+                    &mut stream,
+                    &error_reply(0, ErrorCode::Internal, &e.to_string()),
+                );
+                NetError::Handshake("session open failed")
+            })?,
+        ),
+        None => None,
+    };
+    write_frame(
+        &mut stream,
+        &Frame::HelloAck(hello_ack(&handle, &directory)),
+    )?;
+
+    // ---- Request loop. ----
+    let mut answered: u64 = 0;
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Frame::Query(spec)) => {
+                let reply =
+                    match submit(&handle, session.as_ref(), &spec).and_then(PendingAnswer::wait) {
+                        Ok(answer) => {
+                            answered += 1;
+                            answer_frame(0, &answer)
+                        }
+                        Err(e) => core_error_reply(0, &e),
+                    };
+                write_frame(&mut stream, &reply)?;
+            }
+            Ok(Frame::Batch(batch)) => {
+                // Submit everything before waiting on anything: the worker
+                // pool pipelines the whole batch exactly as it does for an
+                // in-process `run_batch`.
+                let pending: Vec<_> = batch
+                    .specs
+                    .iter()
+                    .map(|spec| submit(&handle, session.as_ref(), spec))
+                    .collect();
+                for (i, p) in pending.into_iter().enumerate() {
+                    let reply = match p.and_then(PendingAnswer::wait) {
+                        Ok(answer) => {
+                            answered += 1;
+                            answer_frame(i as u32, &answer)
+                        }
+                        Err(e) => core_error_reply(i as u32, &e),
+                    };
+                    write_frame(&mut stream, &reply)?;
+                }
+            }
+            Ok(Frame::BudgetRequest) => {
+                write_frame(
+                    &mut stream,
+                    &Frame::BudgetStatus(budget_status(session.as_ref(), answered)),
+                )?;
+            }
+            Ok(_) => {
+                // Hello again, or a server-to-client frame: protocol
+                // misuse, answered but not fatal.
+                write_frame(
+                    &mut stream,
+                    &error_reply(0, ErrorCode::BadRequest, "unexpected frame kind"),
+                )?;
+            }
+            Err(NetError::Disconnected) => return Ok(()),
+            Err(e) => {
+                // A malformed frame leaves the stream unsynchronized;
+                // report and close.
+                let _ = write_frame(
+                    &mut stream,
+                    &error_reply(0, ErrorCode::BadRequest, &e.to_string()),
+                );
+                return Err(e);
+            }
+        }
+    }
+}
+
+fn hello_ack(handle: &EngineHandle, directory: &Option<Arc<BudgetDirectory>>) -> HelloAck {
+    let config = handle.config();
+    HelloAck {
+        dimensions: handle
+            .schema()
+            .dimensions()
+            .iter()
+            .map(|d| WireDimension {
+                name: d.name().to_owned(),
+                min: d.domain().min(),
+                max: d.domain().max(),
+            })
+            .collect(),
+        n_providers: config.n_providers as u32,
+        epsilon: config.epsilon,
+        delta: config.delta,
+        calibration: calibration_code(config.estimator_calibration),
+        session_budget: directory.as_ref().map(|dir| {
+            let per = dir.per_analyst();
+            (per.eps, per.delta)
+        }),
+    }
+}
+
+fn submit(
+    handle: &EngineHandle,
+    session: Option<&ConcurrentSession>,
+    spec: &QueryRequest,
+) -> fedaqp_core::Result<PendingAnswer> {
+    match session {
+        Some(s) => s.submit(&spec.query, spec.sampling_rate),
+        None => handle.submit(&spec.query, spec.sampling_rate),
+    }
+}
+
+/// Projects an [`EngineAnswer`] onto the wire, dropping the
+/// simulation-boundary diagnostics (`raw_estimate`, `smooth_ls`) that
+/// must never reach an analyst.
+fn answer_frame(index: u32, answer: &EngineAnswer) -> Frame {
+    Frame::Answer(Answer {
+        index,
+        value: answer.value,
+        eps: answer.cost.eps,
+        delta: answer.cost.delta,
+        ci_halfwidth: answer.ci_halfwidth,
+        clusters_scanned: answer.clusters_scanned as u64,
+        covering_total: answer.covering_total as u64,
+        approximated_providers: answer.approximated_providers as u32,
+        allocations: answer.allocations.clone(),
+        summary_us: answer.timings.summary.as_micros() as u64,
+        allocation_us: answer.timings.allocation.as_micros() as u64,
+        execution_us: answer.timings.execution.as_micros() as u64,
+        release_us: answer.timings.release.as_micros() as u64,
+        network_us: answer.timings.network.as_micros() as u64,
+    })
+}
+
+fn error_reply(index: u32, code: ErrorCode, message: &str) -> Frame {
+    let mut message = message.to_owned();
+    if message.len() > MAX_ERROR_MESSAGE {
+        // Truncate on a char boundary to stay valid UTF-8.
+        let cut = (0..=MAX_ERROR_MESSAGE)
+            .rev()
+            .find(|&i| message.is_char_boundary(i))
+            .unwrap_or(0);
+        message.truncate(cut);
+    }
+    Frame::Error(ErrorFrame {
+        index,
+        code,
+        message,
+    })
+}
+
+/// Maps an engine/protocol failure onto the typed wire error vocabulary.
+fn core_error_reply(index: u32, error: &CoreError) -> Frame {
+    let code = match error {
+        CoreError::Dp(DpError::BudgetExhausted { .. }) => ErrorCode::BudgetExhausted,
+        CoreError::Model(_) => ErrorCode::InvalidQuery,
+        CoreError::InvalidSamplingRate(_) => ErrorCode::InvalidSamplingRate,
+        CoreError::BadConfig(_) => ErrorCode::BadRequest,
+        _ => ErrorCode::Internal,
+    };
+    error_reply(index, code, &error.to_string())
+}
+
+fn budget_status(session: Option<&ConcurrentSession>, answered: u64) -> BudgetStatus {
+    match session {
+        Some(s) => {
+            let total = s.accountant().total();
+            let spent = s.spent();
+            BudgetStatus {
+                limited: true,
+                total_eps: total.eps,
+                total_delta: total.delta,
+                spent_eps: spent.eps,
+                spent_delta: spent.delta,
+                queries_answered: s.queries_answered(),
+            }
+        }
+        None => BudgetStatus {
+            limited: false,
+            total_eps: f64::INFINITY,
+            total_delta: 1.0,
+            spent_eps: 0.0,
+            spent_delta: 0.0,
+            queries_answered: answered,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedaqp_model::ModelError;
+
+    #[test]
+    fn core_errors_map_to_typed_codes() {
+        let cases = [
+            (
+                CoreError::Dp(DpError::BudgetExhausted {
+                    requested_eps: 1.0,
+                    remaining_eps: 0.0,
+                    requested_delta: 0.0,
+                    remaining_delta: 0.0,
+                }),
+                ErrorCode::BudgetExhausted,
+            ),
+            (
+                CoreError::Model(ModelError::NoRanges),
+                ErrorCode::InvalidQuery,
+            ),
+            (
+                CoreError::InvalidSamplingRate(1.5),
+                ErrorCode::InvalidSamplingRate,
+            ),
+            (CoreError::BadConfig("x"), ErrorCode::BadRequest),
+            (CoreError::NoProviders, ErrorCode::Internal),
+        ];
+        for (error, expected) in cases {
+            match core_error_reply(7, &error) {
+                Frame::Error(e) => {
+                    assert_eq!(e.code, expected);
+                    assert_eq!(e.index, 7);
+                    assert!(!e.message.is_empty());
+                }
+                other => panic!("expected an error frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn long_error_messages_are_truncated_to_the_wire_cap() {
+        let long = "é".repeat(2 * MAX_ERROR_MESSAGE);
+        match error_reply(0, ErrorCode::Internal, &long) {
+            Frame::Error(e) => {
+                assert!(e.message.len() <= MAX_ERROR_MESSAGE);
+                // Still encodable.
+                assert!(crate::wire::encode_frame(&Frame::Error(e)).is_ok());
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_status_is_uncapped() {
+        let status = budget_status(None, 5);
+        assert!(!status.limited);
+        assert!(status.total_eps.is_infinite());
+        assert_eq!(status.queries_answered, 5);
+    }
+}

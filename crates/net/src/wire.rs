@@ -1,0 +1,1132 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every message on a federation connection is one *frame*:
+//!
+//! ```text
+//! magic   u32  = 0x4651_4E50  ("FQNP")
+//! version u16  = 1
+//! kind    u8
+//! len     u32  (payload bytes; hard-capped at MAX_PAYLOAD)
+//! payload [len bytes]
+//! ```
+//!
+//! All integers are little-endian, matching `fedaqp_storage::codec`. The
+//! codec is hand-rolled in the same defensive style: every declared count
+//! is bounded by [`fedaqp_storage::declared_len_fits`] before it is
+//! trusted, truncation anywhere fails loudly, and a payload that decodes
+//! without consuming every byte is rejected (`trailing bytes`) — a frame
+//! either round-trips exactly or it is an error.
+//!
+//! Conversation shape (client ⇒ server unless noted):
+//!
+//! * [`Frame::Hello`] opens a connection; the server replies with
+//!   [`Frame::HelloAck`] (schema, defaults, session budget) or a typed
+//!   [`Frame::Error`].
+//! * [`Frame::Query`] / [`Frame::Batch`] submit work; the server replies
+//!   with one [`Frame::Answer`] or [`Frame::Error`] per query, in
+//!   submission order.
+//! * [`Frame::BudgetRequest`] asks for the session ledger; the server
+//!   replies with [`Frame::BudgetStatus`].
+//!
+//! What is *not* on the wire is as deliberate as what is: a provider's raw
+//! (pre-noise) estimate and smooth sensitivities are simulation-boundary
+//! diagnostics and never leave the server (see the README threat-model
+//! note).
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+use fedaqp_core::EstimatorCalibration;
+use fedaqp_model::{Aggregate, Range, RangeQuery};
+use fedaqp_storage::declared_len_fits;
+
+use crate::{NetError, Result};
+
+/// Frame magic ("FQNP").
+pub const MAGIC: u32 = 0x4651_4E50;
+/// Wire-protocol version.
+pub const VERSION: u16 = 1;
+/// Hard cap on a frame payload. Nothing legitimate comes close (the
+/// largest frame is a maximal batch at well under 200 KiB); anything
+/// larger is a hostile or corrupt length prefix.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+/// Frame header size: magic + version + kind + payload length.
+pub const HEADER_BYTES: usize = 4 + 2 + 1 + 4;
+
+/// Caps on declared collection sizes inside payloads. All are generous
+/// for real deployments while keeping worst-case decode work tiny.
+const MAX_STRING: usize = 1024;
+const MAX_BATCH: usize = 4096;
+const MAX_DIMS: usize = 1024;
+const MAX_RANGES: usize = 1024;
+const MAX_ALLOCATIONS: usize = 4096;
+
+const KIND_HELLO: u8 = 1;
+const KIND_HELLO_ACK: u8 = 2;
+const KIND_QUERY: u8 = 3;
+const KIND_BATCH: u8 = 4;
+const KIND_ANSWER: u8 = 5;
+const KIND_ERROR: u8 = 6;
+const KIND_BUDGET_REQUEST: u8 = 7;
+const KIND_BUDGET_STATUS: u8 = 8;
+
+/// A connection-opening frame: the analyst declares an identity the
+/// server keys budget ledgers by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The analyst's identity (budget-ledger key on the server).
+    pub analyst: String,
+}
+
+/// One schema dimension as published to remote analysts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDimension {
+    /// Dimension name.
+    pub name: String,
+    /// Domain minimum.
+    pub min: i64,
+    /// Domain maximum.
+    pub max: i64,
+}
+
+/// The server's handshake reply: everything a remote analyst needs to
+/// form queries without local data access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelloAck {
+    /// The public table schema.
+    pub dimensions: Vec<WireDimension>,
+    /// Number of data providers behind the federation.
+    pub n_providers: u32,
+    /// Default per-query ε.
+    pub epsilon: f64,
+    /// Default per-query δ.
+    pub delta: f64,
+    /// The server's Hansen–Hurwitz calibration (see
+    /// [`calibration_code`]).
+    pub calibration: u8,
+    /// The per-analyst session budget `(ξ, ψ)`; `None` when the server
+    /// imposes no session cap.
+    pub session_budget: Option<(f64, f64)>,
+}
+
+/// One private range-aggregate query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The range query.
+    pub query: RangeQuery,
+    /// The sampling rate `sr ∈ (0, 1)` (validated server-side).
+    pub sampling_rate: f64,
+}
+
+/// An ordered set of queries; the server answers each in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// The queries, in submission order.
+    pub specs: Vec<QueryRequest>,
+}
+
+/// The released answer to one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// Position within the submitted batch (0 for a lone query).
+    pub index: u32,
+    /// The DP-released value.
+    pub value: f64,
+    /// ε charged.
+    pub eps: f64,
+    /// δ charged.
+    pub delta: f64,
+    /// 95% sampling confidence half-width, when estimable.
+    pub ci_halfwidth: Option<f64>,
+    /// Total clusters scanned across providers.
+    pub clusters_scanned: u64,
+    /// Total covering-set size across providers.
+    pub covering_total: u64,
+    /// Providers that took the approximate path.
+    pub approximated_providers: u32,
+    /// Per-provider sample-size allocations.
+    pub allocations: Vec<u64>,
+    /// Summary-phase time, microseconds.
+    pub summary_us: u64,
+    /// Allocation-phase time, microseconds.
+    pub allocation_us: u64,
+    /// Execution-phase time, microseconds.
+    pub execution_us: u64,
+    /// Release-phase time, microseconds.
+    pub release_us: u64,
+    /// Simulated network time, microseconds.
+    pub network_us: u64,
+}
+
+/// Typed error classes a server reports per query or per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The analyst's session `(ξ, ψ)` cannot afford the query.
+    BudgetExhausted,
+    /// The query itself is invalid (unknown dimension, empty range, …).
+    InvalidQuery,
+    /// The sampling rate is outside `(0, 1)`.
+    InvalidSamplingRate,
+    /// The request was malformed or arrived out of protocol order.
+    BadRequest,
+    /// The server failed internally.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BudgetExhausted => 1,
+            ErrorCode::InvalidQuery => 2,
+            ErrorCode::InvalidSamplingRate => 3,
+            ErrorCode::BadRequest => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    fn from_u8(code: u8) -> Result<Self> {
+        match code {
+            1 => Ok(ErrorCode::BudgetExhausted),
+            2 => Ok(ErrorCode::InvalidQuery),
+            3 => Ok(ErrorCode::InvalidSamplingRate),
+            4 => Ok(ErrorCode::BadRequest),
+            5 => Ok(ErrorCode::Internal),
+            _ => Err(NetError::Malformed("unknown error code")),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::BudgetExhausted => "budget-exhausted",
+            ErrorCode::InvalidQuery => "invalid-query",
+            ErrorCode::InvalidSamplingRate => "invalid-sampling-rate",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A typed error for one query (or the whole connection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// Position within the submitted batch (0 for connection-level).
+    pub index: u32,
+    /// The typed error class.
+    pub code: ErrorCode,
+    /// Human-readable detail (capped at 1 KiB on the wire).
+    pub message: String,
+}
+
+/// The session ledger as reported to the analyst.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetStatus {
+    /// Whether the server caps this analyst's session at all.
+    pub limited: bool,
+    /// Total ξ granted (∞ when unlimited).
+    pub total_eps: f64,
+    /// Total ψ granted.
+    pub total_delta: f64,
+    /// ε spent so far.
+    pub spent_eps: f64,
+    /// δ spent so far.
+    pub spent_delta: f64,
+    /// Queries successfully charged so far.
+    pub queries_answered: u64,
+}
+
+/// Every message of the wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection opening (client → server).
+    Hello(Hello),
+    /// Handshake reply (server → client).
+    HelloAck(HelloAck),
+    /// One query (client → server).
+    Query(QueryRequest),
+    /// A batch of queries (client → server).
+    Batch(BatchRequest),
+    /// One answer (server → client).
+    Answer(Answer),
+    /// A typed error (server → client).
+    Error(ErrorFrame),
+    /// Ledger inquiry (client → server; empty payload).
+    BudgetRequest,
+    /// Ledger report (server → client).
+    BudgetStatus(BudgetStatus),
+}
+
+/// Wire code of an [`EstimatorCalibration`] (`0` = EM, `1` = PPS).
+pub fn calibration_code(calibration: EstimatorCalibration) -> u8 {
+    match calibration {
+        EstimatorCalibration::EmCalibrated => 0,
+        EstimatorCalibration::PpsEq3 => 1,
+    }
+}
+
+/// Inverse of [`calibration_code`].
+pub fn calibration_from_code(code: u8) -> Result<EstimatorCalibration> {
+    match code {
+        0 => Ok(EstimatorCalibration::EmCalibrated),
+        1 => Ok(EstimatorCalibration::PpsEq3),
+        _ => Err(NetError::Malformed("unknown calibration code")),
+    }
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_string(buf: &mut BytesMut, text: &str) -> Result<()> {
+    if text.len() > MAX_STRING {
+        return Err(NetError::Malformed("string exceeds wire cap"));
+    }
+    buf.put_u16_le(text.len() as u16);
+    buf.extend_from_slice(text.as_bytes());
+    Ok(())
+}
+
+fn put_opt_f64(buf: &mut BytesMut, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_f64_le(x);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_query(buf: &mut BytesMut, spec: &QueryRequest) -> Result<()> {
+    let ranges = spec.query.ranges();
+    if ranges.len() > MAX_RANGES {
+        return Err(NetError::Malformed("too many query ranges"));
+    }
+    buf.put_f64_le(spec.sampling_rate);
+    buf.put_u8(match spec.query.aggregate() {
+        Aggregate::Count => 0,
+        Aggregate::Sum => 1,
+    });
+    buf.put_u16_le(ranges.len() as u16);
+    for r in ranges {
+        buf.put_u32_le(r.dim as u32);
+        buf.put_i64_le(r.lo);
+        buf.put_i64_le(r.hi);
+    }
+    Ok(())
+}
+
+fn encode_payload(frame: &Frame) -> Result<(u8, BytesMut)> {
+    let mut buf = BytesMut::with_capacity(64);
+    let kind = match frame {
+        Frame::Hello(h) => {
+            put_string(&mut buf, &h.analyst)?;
+            KIND_HELLO
+        }
+        Frame::HelloAck(a) => {
+            if a.dimensions.len() > MAX_DIMS {
+                return Err(NetError::Malformed("too many schema dimensions"));
+            }
+            buf.put_u16_le(a.dimensions.len() as u16);
+            for d in &a.dimensions {
+                put_string(&mut buf, &d.name)?;
+                buf.put_i64_le(d.min);
+                buf.put_i64_le(d.max);
+            }
+            buf.put_u32_le(a.n_providers);
+            buf.put_f64_le(a.epsilon);
+            buf.put_f64_le(a.delta);
+            buf.put_u8(a.calibration);
+            match a.session_budget {
+                Some((xi, psi)) => {
+                    buf.put_u8(1);
+                    buf.put_f64_le(xi);
+                    buf.put_f64_le(psi);
+                }
+                None => buf.put_u8(0),
+            }
+            KIND_HELLO_ACK
+        }
+        Frame::Query(q) => {
+            put_query(&mut buf, q)?;
+            KIND_QUERY
+        }
+        Frame::Batch(b) => {
+            if b.specs.len() > MAX_BATCH {
+                return Err(NetError::Malformed("batch exceeds wire cap"));
+            }
+            buf.put_u32_le(b.specs.len() as u32);
+            for spec in &b.specs {
+                put_query(&mut buf, spec)?;
+            }
+            KIND_BATCH
+        }
+        Frame::Answer(a) => {
+            if a.allocations.len() > MAX_ALLOCATIONS {
+                return Err(NetError::Malformed("too many allocations"));
+            }
+            buf.put_u32_le(a.index);
+            buf.put_f64_le(a.value);
+            buf.put_f64_le(a.eps);
+            buf.put_f64_le(a.delta);
+            put_opt_f64(&mut buf, a.ci_halfwidth);
+            buf.put_u64_le(a.clusters_scanned);
+            buf.put_u64_le(a.covering_total);
+            buf.put_u32_le(a.approximated_providers);
+            buf.put_u32_le(a.allocations.len() as u32);
+            for &s in &a.allocations {
+                buf.put_u64_le(s);
+            }
+            buf.put_u64_le(a.summary_us);
+            buf.put_u64_le(a.allocation_us);
+            buf.put_u64_le(a.execution_us);
+            buf.put_u64_le(a.release_us);
+            buf.put_u64_le(a.network_us);
+            KIND_ANSWER
+        }
+        Frame::Error(e) => {
+            buf.put_u32_le(e.index);
+            buf.put_u8(e.code.to_u8());
+            put_string(&mut buf, &e.message)?;
+            KIND_ERROR
+        }
+        Frame::BudgetRequest => KIND_BUDGET_REQUEST,
+        Frame::BudgetStatus(s) => {
+            buf.put_u8(u8::from(s.limited));
+            buf.put_f64_le(s.total_eps);
+            buf.put_f64_le(s.total_delta);
+            buf.put_f64_le(s.spent_eps);
+            buf.put_f64_le(s.spent_delta);
+            buf.put_u64_le(s.queries_answered);
+            KIND_BUDGET_STATUS
+        }
+    };
+    if buf.len() > MAX_PAYLOAD as usize {
+        return Err(NetError::Malformed("payload exceeds frame cap"));
+    }
+    Ok((kind, buf))
+}
+
+/// Encodes one frame (header + payload) into bytes ready for the socket.
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>> {
+    let (kind, payload) = encode_payload(frame)?;
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.put_u32_le(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u8(kind);
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- decode
+
+fn need(data: &[u8], bytes: usize, what: &'static str) -> Result<()> {
+    if data.len() < bytes {
+        return Err(NetError::Malformed(what));
+    }
+    Ok(())
+}
+
+fn get_string(data: &mut &[u8]) -> Result<String> {
+    need(data, 2, "string length truncated")?;
+    let len = data.get_u16_le() as usize;
+    if len > MAX_STRING || !declared_len_fits(len, 1, data.remaining()) {
+        return Err(NetError::Malformed("string length out of range"));
+    }
+    let mut bytes = vec![0u8; len];
+    data.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| NetError::Malformed("string is not utf-8"))
+}
+
+fn get_opt_f64(data: &mut &[u8]) -> Result<Option<f64>> {
+    need(data, 1, "option tag truncated")?;
+    match data.get_u8() {
+        0 => Ok(None),
+        1 => {
+            need(data, 8, "optional float truncated")?;
+            Ok(Some(data.get_f64_le()))
+        }
+        _ => Err(NetError::Malformed("bad option tag")),
+    }
+}
+
+fn get_query(data: &mut &[u8]) -> Result<QueryRequest> {
+    need(data, 8 + 1 + 2, "query header truncated")?;
+    let sampling_rate = data.get_f64_le();
+    let agg = match data.get_u8() {
+        0 => Aggregate::Count,
+        1 => Aggregate::Sum,
+        _ => return Err(NetError::Malformed("unknown aggregate")),
+    };
+    let n_ranges = data.get_u16_le() as usize;
+    if n_ranges > MAX_RANGES || !declared_len_fits(n_ranges, 4 + 8 + 8, data.remaining()) {
+        return Err(NetError::Malformed("declared range count too large"));
+    }
+    let mut ranges = Vec::with_capacity(n_ranges);
+    for _ in 0..n_ranges {
+        let dim = data.get_u32_le() as usize;
+        let lo = data.get_i64_le();
+        let hi = data.get_i64_le();
+        ranges.push(Range::new(dim, lo, hi).map_err(|_| NetError::Malformed("empty range"))?);
+    }
+    let query =
+        RangeQuery::new(agg, ranges).map_err(|_| NetError::Malformed("invalid range set"))?;
+    Ok(QueryRequest {
+        query,
+        sampling_rate,
+    })
+}
+
+fn decode_payload(kind: u8, mut data: &[u8]) -> Result<Frame> {
+    let frame = match kind {
+        KIND_HELLO => Frame::Hello(Hello {
+            analyst: get_string(&mut data)?,
+        }),
+        KIND_HELLO_ACK => {
+            need(data, 2, "dimension count truncated")?;
+            let n_dims = data.get_u16_le() as usize;
+            if n_dims > MAX_DIMS || !declared_len_fits(n_dims, 2 + 8 + 8, data.remaining()) {
+                return Err(NetError::Malformed("declared dimension count too large"));
+            }
+            let mut dimensions = Vec::with_capacity(n_dims);
+            for _ in 0..n_dims {
+                let name = get_string(&mut data)?;
+                need(data, 16, "dimension domain truncated")?;
+                let min = data.get_i64_le();
+                let max = data.get_i64_le();
+                dimensions.push(WireDimension { name, min, max });
+            }
+            need(data, 4 + 8 + 8 + 1 + 1, "hello-ack tail truncated")?;
+            let n_providers = data.get_u32_le();
+            let epsilon = data.get_f64_le();
+            let delta = data.get_f64_le();
+            let calibration = data.get_u8();
+            let session_budget = match data.get_u8() {
+                0 => None,
+                1 => {
+                    need(data, 16, "session budget truncated")?;
+                    Some((data.get_f64_le(), data.get_f64_le()))
+                }
+                _ => return Err(NetError::Malformed("bad budget tag")),
+            };
+            Frame::HelloAck(HelloAck {
+                dimensions,
+                n_providers,
+                epsilon,
+                delta,
+                calibration,
+                session_budget,
+            })
+        }
+        KIND_QUERY => Frame::Query(get_query(&mut data)?),
+        KIND_BATCH => {
+            need(data, 4, "batch count truncated")?;
+            let n = data.get_u32_le() as usize;
+            // Each query costs at least its 11-byte header.
+            if n > MAX_BATCH || !declared_len_fits(n, 8 + 1 + 2, data.remaining()) {
+                return Err(NetError::Malformed("declared batch size too large"));
+            }
+            let mut specs = Vec::with_capacity(n);
+            for _ in 0..n {
+                specs.push(get_query(&mut data)?);
+            }
+            Frame::Batch(BatchRequest { specs })
+        }
+        KIND_ANSWER => {
+            need(data, 4 + 8 + 8 + 8, "answer header truncated")?;
+            let index = data.get_u32_le();
+            let value = data.get_f64_le();
+            let eps = data.get_f64_le();
+            let delta = data.get_f64_le();
+            let ci_halfwidth = get_opt_f64(&mut data)?;
+            need(data, 8 + 8 + 4 + 4, "answer counters truncated")?;
+            let clusters_scanned = data.get_u64_le();
+            let covering_total = data.get_u64_le();
+            let approximated_providers = data.get_u32_le();
+            let n_alloc = data.get_u32_le() as usize;
+            if n_alloc > MAX_ALLOCATIONS || !declared_len_fits(n_alloc, 8, data.remaining()) {
+                return Err(NetError::Malformed("declared allocation count too large"));
+            }
+            let mut allocations = Vec::with_capacity(n_alloc);
+            for _ in 0..n_alloc {
+                allocations.push(data.get_u64_le());
+            }
+            need(data, 5 * 8, "answer timings truncated")?;
+            Frame::Answer(Answer {
+                index,
+                value,
+                eps,
+                delta,
+                ci_halfwidth,
+                clusters_scanned,
+                covering_total,
+                approximated_providers,
+                allocations,
+                summary_us: data.get_u64_le(),
+                allocation_us: data.get_u64_le(),
+                execution_us: data.get_u64_le(),
+                release_us: data.get_u64_le(),
+                network_us: data.get_u64_le(),
+            })
+        }
+        KIND_ERROR => {
+            need(data, 4 + 1, "error header truncated")?;
+            let index = data.get_u32_le();
+            let code = ErrorCode::from_u8(data.get_u8())?;
+            let message = get_string(&mut data)?;
+            Frame::Error(ErrorFrame {
+                index,
+                code,
+                message,
+            })
+        }
+        KIND_BUDGET_REQUEST => Frame::BudgetRequest,
+        KIND_BUDGET_STATUS => {
+            need(data, 1 + 4 * 8 + 8, "budget status truncated")?;
+            let limited = match data.get_u8() {
+                0 => false,
+                1 => true,
+                _ => return Err(NetError::Malformed("bad limited tag")),
+            };
+            Frame::BudgetStatus(BudgetStatus {
+                limited,
+                total_eps: data.get_f64_le(),
+                total_delta: data.get_f64_le(),
+                spent_eps: data.get_f64_le(),
+                spent_delta: data.get_f64_le(),
+                queries_answered: data.get_u64_le(),
+            })
+        }
+        other => return Err(NetError::UnknownKind(other)),
+    };
+    if data.has_remaining() {
+        return Err(NetError::Malformed("trailing bytes in frame"));
+    }
+    Ok(frame)
+}
+
+// ------------------------------------------------------------------- io
+
+fn eof_to_disconnect(e: std::io::Error) -> NetError {
+    match e.kind() {
+        // A clean close, or a peer that closed with bytes still unread
+        // (the OS then resets instead of FIN-closing): both mean "the
+        // other side is gone", which callers handle as one condition.
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::ConnectionAborted => NetError::Disconnected,
+        _ => NetError::Io(e),
+    }
+}
+
+/// Writes one frame to a socket (or any [`Write`]), flushing it.
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> Result<()> {
+    let bytes = encode_frame(frame)?;
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from a socket (or any [`Read`]).
+///
+/// A clean connection close surfaces as [`NetError::Disconnected`]; a
+/// header with a bad magic, an unsupported version, an unknown kind, or a
+/// payload above [`MAX_PAYLOAD`] fails *before* any payload is read.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Frame> {
+    let mut header = [0u8; HEADER_BYTES];
+    reader.read_exact(&mut header).map_err(eof_to_disconnect)?;
+    let mut h: &[u8] = &header;
+    if h.get_u32_le() != MAGIC {
+        return Err(NetError::Malformed("bad frame magic"));
+    }
+    let version = h.get_u16_le();
+    if version != VERSION {
+        return Err(NetError::UnsupportedVersion(version));
+    }
+    let kind = h.get_u8();
+    let len = h.get_u32_le();
+    if len > MAX_PAYLOAD {
+        return Err(NetError::FrameTooLarge {
+            declared: len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload).map_err(eof_to_disconnect)?;
+    decode_payload(kind, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(lo: i64, hi: i64) -> RangeQuery {
+        RangeQuery::new(Aggregate::Count, vec![Range::new(0, lo, hi).unwrap()]).unwrap()
+    }
+
+    fn sample_answer() -> Frame {
+        Frame::Answer(Answer {
+            index: 3,
+            value: 123.5,
+            eps: 1.0,
+            delta: 1e-3,
+            ci_halfwidth: Some(4.25),
+            clusters_scanned: 17,
+            covering_total: 40,
+            approximated_providers: 4,
+            allocations: vec![3, 4, 5, 6],
+            summary_us: 100,
+            allocation_us: 20,
+            execution_us: 900,
+            release_us: 5,
+            network_us: 100_000,
+        })
+    }
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello(Hello {
+                analyst: "alice".into(),
+            }),
+            Frame::HelloAck(HelloAck {
+                dimensions: vec![
+                    WireDimension {
+                        name: "age".into(),
+                        min: 17,
+                        max: 90,
+                    },
+                    WireDimension {
+                        name: "hours".into(),
+                        min: 1,
+                        max: 99,
+                    },
+                ],
+                n_providers: 4,
+                epsilon: 1.0,
+                delta: 1e-3,
+                calibration: 0,
+                session_budget: Some((10.0, 1e-2)),
+            }),
+            Frame::Query(QueryRequest {
+                query: query(10, 60),
+                sampling_rate: 0.2,
+            }),
+            Frame::Batch(BatchRequest {
+                specs: (0..5)
+                    .map(|i| QueryRequest {
+                        query: query(i, 60 + i),
+                        sampling_rate: 0.1 + 0.01 * i as f64,
+                    })
+                    .collect(),
+            }),
+            sample_answer(),
+            Frame::Error(ErrorFrame {
+                index: 2,
+                code: ErrorCode::BudgetExhausted,
+                message: "requested (ε=1) but only (ε=0.2) remains".into(),
+            }),
+            Frame::BudgetRequest,
+            Frame::BudgetStatus(BudgetStatus {
+                limited: true,
+                total_eps: 10.0,
+                total_delta: 1e-2,
+                spent_eps: 3.0,
+                spent_delta: 3e-3,
+                queries_answered: 3,
+            }),
+        ]
+    }
+
+    fn round_trip(frame: &Frame) -> Frame {
+        let bytes = encode_frame(frame).unwrap();
+        let mut slice: &[u8] = &bytes;
+        let decoded = read_frame(&mut slice).unwrap();
+        assert!(!slice.has_remaining(), "frame left bytes unread");
+        decoded
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        for frame in all_frames() {
+            assert_eq!(round_trip(&frame), frame);
+        }
+    }
+
+    #[test]
+    fn none_ci_and_unlimited_budget_round_trip() {
+        let mut answer = sample_answer();
+        if let Frame::Answer(a) = &mut answer {
+            a.ci_halfwidth = None;
+            a.allocations.clear();
+        }
+        assert_eq!(round_trip(&answer), answer);
+        let ack = Frame::HelloAck(HelloAck {
+            dimensions: vec![],
+            n_providers: 1,
+            epsilon: 0.5,
+            delta: 0.0,
+            calibration: 1,
+            session_budget: None,
+        });
+        assert_eq!(round_trip(&ack), ack);
+        let status = Frame::BudgetStatus(BudgetStatus {
+            limited: false,
+            total_eps: f64::INFINITY,
+            total_delta: 1.0,
+            spent_eps: 0.0,
+            spent_delta: 0.0,
+            queries_answered: 9,
+        });
+        assert_eq!(round_trip(&status), status);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error() {
+        for frame in all_frames() {
+            let bytes = encode_frame(&frame).unwrap();
+            for cut in 0..bytes.len() {
+                let mut slice = &bytes[..cut];
+                assert!(
+                    read_frame(&mut slice).is_err(),
+                    "prefix of {cut} bytes decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        for frame in all_frames() {
+            // Grow the payload by one byte and patch the declared length:
+            // the decoder must reject the leftover byte, not ignore it.
+            let mut bytes = encode_frame(&frame).unwrap();
+            bytes.push(0);
+            let len = (bytes.len() - HEADER_BYTES) as u32;
+            bytes[7..11].copy_from_slice(&len.to_le_bytes());
+            let mut slice: &[u8] = &bytes;
+            assert!(matches!(
+                read_frame(&mut slice),
+                Err(NetError::Malformed("trailing bytes in frame"))
+            ));
+        }
+    }
+
+    #[test]
+    fn header_validation() {
+        let good = encode_frame(&Frame::BudgetRequest).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut &bad_magic[..]),
+            Err(NetError::Malformed("bad frame magic"))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            read_frame(&mut &bad_version[..]),
+            Err(NetError::UnsupportedVersion(99))
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[6] = 200;
+        assert!(matches!(
+            read_frame(&mut &bad_kind[..]),
+            Err(NetError::UnknownKind(200))
+        ));
+
+        let mut oversized = good;
+        oversized[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &oversized[..]),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+
+        assert!(matches!(
+            read_frame(&mut &b""[..]),
+            Err(NetError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn absurd_declared_counts_are_rejected() {
+        // A batch claiming 2^31 queries over an 8-byte body.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u16_le(VERSION);
+        bytes.put_u8(KIND_BATCH);
+        bytes.put_u32_le(12);
+        bytes.put_u32_le(1 << 31);
+        bytes.put_u64_le(0);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("declared batch size too large"))
+        ));
+
+        // An answer claiming u32::MAX allocations.
+        let frame = match sample_answer() {
+            Frame::Answer(mut a) => {
+                a.allocations.clear();
+                Frame::Answer(a)
+            }
+            _ => unreachable!(),
+        };
+        let mut bytes = encode_frame(&frame).unwrap();
+        // The allocation count sits after index+value+eps+delta+ci(9)+2*u64+u32.
+        let at = HEADER_BYTES + 4 + 8 + 8 + 8 + 9 + 8 + 8 + 4;
+        bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("declared allocation count too large"))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_query_payloads() {
+        // lo > hi.
+        let mut bytes = Vec::new();
+        bytes.put_f64_le(0.2);
+        bytes.put_u8(0);
+        bytes.put_u16_le(1);
+        bytes.put_u32_le(0);
+        bytes.put_i64_le(10);
+        bytes.put_i64_le(5);
+        assert!(decode_payload(KIND_QUERY, &bytes).is_err());
+
+        // Duplicate dimension.
+        let mut bytes = Vec::new();
+        bytes.put_f64_le(0.2);
+        bytes.put_u8(0);
+        bytes.put_u16_le(2);
+        for _ in 0..2 {
+            bytes.put_u32_le(3);
+            bytes.put_i64_le(0);
+            bytes.put_i64_le(5);
+        }
+        assert!(decode_payload(KIND_QUERY, &bytes).is_err());
+
+        // Unknown aggregate.
+        let mut bytes = Vec::new();
+        bytes.put_f64_le(0.2);
+        bytes.put_u8(9);
+        bytes.put_u16_le(0);
+        assert!(decode_payload(KIND_QUERY, &bytes).is_err());
+    }
+
+    #[test]
+    fn strings_are_capped_and_utf8_checked() {
+        let long = "x".repeat(MAX_STRING + 1);
+        assert!(encode_frame(&Frame::Hello(Hello { analyst: long })).is_err());
+
+        let mut bytes = Vec::new();
+        bytes.put_u16_le(2);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            decode_payload(KIND_HELLO, &bytes),
+            Err(NetError::Malformed("string is not utf-8"))
+        ));
+    }
+
+    #[test]
+    fn calibration_codes_round_trip() {
+        for cal in [
+            EstimatorCalibration::EmCalibrated,
+            EstimatorCalibration::PpsEq3,
+        ] {
+            assert_eq!(calibration_from_code(calibration_code(cal)).unwrap(), cal);
+        }
+        assert!(calibration_from_code(9).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Lowercase ASCII strings of up to 24 bytes (the vendored proptest
+    /// shim has no regex strategies).
+    fn arb_name() -> impl Strategy<Value = String> {
+        proptest::collection::vec(97u8..123, 0..24)
+            .prop_map(|bytes| String::from_utf8(bytes).expect("ascii"))
+    }
+
+    fn arb_opt_f64() -> impl Strategy<Value = Option<f64>> {
+        (any::<bool>(), 0.0f64..1e6).prop_map(|(some, v)| some.then_some(v))
+    }
+
+    fn arb_query() -> impl Strategy<Value = QueryRequest> {
+        (
+            prop_oneof![Just(Aggregate::Count), Just(Aggregate::Sum)],
+            proptest::collection::vec((0u32..64, -1000i64..1000, 0i64..1000), 1..6),
+            0.001f64..0.999,
+        )
+            .prop_map(|(agg, raw, sampling_rate)| {
+                // Distinct dims via an offset walk; widths non-negative.
+                let ranges: Vec<Range> = raw
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(dim, lo, width))| {
+                        Range::new(dim as usize + i * 64, lo, lo + width).unwrap()
+                    })
+                    .collect();
+                QueryRequest {
+                    query: RangeQuery::new(agg, ranges).unwrap(),
+                    sampling_rate,
+                }
+            })
+    }
+
+    fn arb_frame() -> BoxedStrategy<Frame> {
+        let hello = arb_name()
+            .prop_map(|analyst| Frame::Hello(Hello { analyst }))
+            .boxed();
+        let ack = (
+            proptest::collection::vec((arb_name(), -5000i64..5000, 0i64..5000), 0..6),
+            1u32..64,
+            (0.001f64..100.0, 0.0f64..0.1),
+            0u8..2,
+            (any::<bool>(), 0.001f64..100.0, 0.0f64..0.1),
+        )
+            .prop_map(
+                |(dims, n_providers, (epsilon, delta), calibration, (capped, xi, psi))| {
+                    Frame::HelloAck(HelloAck {
+                        dimensions: dims
+                            .into_iter()
+                            .map(|(name, min, width)| WireDimension {
+                                name,
+                                min,
+                                max: min + width,
+                            })
+                            .collect(),
+                        n_providers,
+                        epsilon,
+                        delta,
+                        calibration,
+                        session_budget: capped.then_some((xi, psi)),
+                    })
+                },
+            )
+            .boxed();
+        let query = arb_query().prop_map(Frame::Query).boxed();
+        let batch = proptest::collection::vec(arb_query(), 0..8)
+            .prop_map(|specs| Frame::Batch(BatchRequest { specs }))
+            .boxed();
+        let answer = (
+            (any::<u32>(), any::<f64>(), 0.0f64..10.0, 0.0f64..0.1),
+            arb_opt_f64(),
+            (any::<u64>(), any::<u64>(), any::<u32>()),
+            proptest::collection::vec(any::<u64>(), 0..8),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+            ),
+        )
+            .prop_map(
+                |(
+                    (index, value, eps, delta),
+                    ci_halfwidth,
+                    (clusters_scanned, covering_total, approximated_providers),
+                    allocations,
+                    (summary_us, allocation_us, execution_us, release_us, network_us),
+                )| {
+                    Frame::Answer(Answer {
+                        index,
+                        value,
+                        eps,
+                        delta,
+                        ci_halfwidth,
+                        clusters_scanned,
+                        covering_total,
+                        approximated_providers,
+                        allocations,
+                        summary_us,
+                        allocation_us,
+                        execution_us,
+                        release_us,
+                        network_us,
+                    })
+                },
+            )
+            .boxed();
+        let error = (
+            any::<u32>(),
+            prop_oneof![
+                Just(ErrorCode::BudgetExhausted),
+                Just(ErrorCode::InvalidQuery),
+                Just(ErrorCode::InvalidSamplingRate),
+                Just(ErrorCode::BadRequest),
+                Just(ErrorCode::Internal),
+            ],
+            arb_name(),
+        )
+            .prop_map(|(index, code, message)| {
+                Frame::Error(ErrorFrame {
+                    index,
+                    code,
+                    message,
+                })
+            })
+            .boxed();
+        let budget_req = Just(Frame::BudgetRequest).boxed();
+        let budget_status = (
+            any::<bool>(),
+            (0.0f64..1000.0, 0.0f64..1.0, 0.0f64..1000.0, 0.0f64..1.0),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(limited, (total_eps, total_delta, spent_eps, spent_delta), queries)| {
+                    Frame::BudgetStatus(BudgetStatus {
+                        limited,
+                        total_eps,
+                        total_delta,
+                        spent_eps,
+                        spent_delta,
+                        queries_answered: queries,
+                    })
+                },
+            )
+            .boxed();
+        prop_oneof![
+            hello,
+            ack,
+            query,
+            batch,
+            answer,
+            error,
+            budget_req,
+            budget_status
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Every frame the protocol can express round-trips bit-exactly,
+        /// and the decode consumes the whole frame.
+        #[test]
+        fn arbitrary_frames_round_trip(frame in arb_frame()) {
+            let bytes = encode_frame(&frame).unwrap();
+            let mut slice: &[u8] = &bytes;
+            let decoded = read_frame(&mut slice).unwrap();
+            prop_assert!(!slice.has_remaining());
+            prop_assert_eq!(decoded, frame);
+        }
+
+        /// No byte-flip in the header survives validation silently: the
+        /// result is either an error or (for a payload-length byte) a
+        /// stalled read, never a silently different frame kind.
+        #[test]
+        fn header_bit_flips_never_panic(frame in arb_frame(), byte in 0usize..HEADER_BYTES, bit in 0u8..8) {
+            let mut bytes = encode_frame(&frame).unwrap();
+            bytes[byte] ^= 1 << bit;
+            let mut slice: &[u8] = &bytes;
+            let _ = read_frame(&mut slice); // must not panic
+        }
+    }
+}

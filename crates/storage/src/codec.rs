@@ -51,6 +51,23 @@ impl MetaSpaceReport {
     }
 }
 
+/// Whether a length-prefixed collection's declared element count can
+/// possibly fit in the bytes still available, given a (conservative)
+/// minimum encoded size per element.
+///
+/// Length-prefixed binary formats must never trust a declared count before
+/// bounding it: a hostile 4-byte prefix can claim 4 billion elements and
+/// drive `Vec::with_capacity` (or a decode loop) far past the actual input.
+/// Checking `declared * min_bytes_each <= remaining` rejects every such
+/// claim up front — any count that passes is bounded by the input size
+/// itself. Shared by this metadata codec and the `fedaqp-net` wire codec.
+#[inline]
+pub fn declared_len_fits(declared: usize, min_bytes_each: usize, remaining: usize) -> bool {
+    declared
+        .checked_mul(min_bytes_each.max(1))
+        .is_some_and(|need| need <= remaining)
+}
+
 /// Encodes provider metadata into its binary form.
 pub fn encode_provider_meta(meta: &ProviderMeta) -> Bytes {
     let mut buf = BytesMut::with_capacity(1024);
@@ -104,7 +121,12 @@ pub fn decode_provider_meta(mut data: &[u8]) -> Result<ProviderMeta> {
         return Err(StorageError::Corrupt("agreed S is zero"));
     }
     let n_clusters = data.get_u32_le() as usize;
-    let mut clusters = Vec::with_capacity(n_clusters.min(1 << 20));
+    // Every cluster costs at least its 10-byte header; a declared count
+    // that cannot fit is rejected before any allocation trusts it.
+    if !declared_len_fits(n_clusters, 4 + 4 + 2, data.remaining()) {
+        return Err(StorageError::Corrupt("declared cluster count too large"));
+    }
+    let mut clusters = Vec::with_capacity(n_clusters);
     for _ in 0..n_clusters {
         if data.remaining() < 4 + 4 + 2 {
             return Err(StorageError::Corrupt("cluster header truncated"));
@@ -112,6 +134,10 @@ pub fn decode_provider_meta(mut data: &[u8]) -> Result<ProviderMeta> {
         let id = data.get_u32_le();
         let len = data.get_u32_le();
         let n_dims = data.get_u16_le() as usize;
+        // Each dimension costs at least its 4-byte value-count prefix.
+        if !declared_len_fits(n_dims, 4, data.remaining()) {
+            return Err(StorageError::Corrupt("declared dimension count too large"));
+        }
         let mut dims = Vec::with_capacity(n_dims);
         for _ in 0..n_dims {
             dims.push(decode_dim(&mut data, len)?);
@@ -131,6 +157,11 @@ fn decode_dim(data: &mut &[u8], cluster_len: u32) -> Result<DimMeta> {
     let n = data.get_u32_le() as usize;
     if n > cluster_len as usize {
         return Err(StorageError::Corrupt("more distinct values than rows"));
+    }
+    // Each entry costs at least one delta varint byte plus one tail varint
+    // byte (the first value costs 8): a lower bound of 2 bytes per entry.
+    if !declared_len_fits(n, 2, data.remaining()) {
+        return Err(StorageError::Corrupt("declared value count too large"));
     }
     let mut values = Vec::with_capacity(n);
     let mut prev = 0i64;
@@ -285,6 +316,63 @@ mod tests {
             decode_provider_meta(&blob),
             Err(StorageError::Corrupt("trailing bytes"))
         ));
+    }
+
+    #[test]
+    fn rejects_absurd_declared_counts() {
+        // A header claiming u32::MAX clusters over a near-empty body must
+        // fail on the bound check, not allocate or scan 4 billion entries.
+        let mut blob = BytesMut::new();
+        blob.put_u32_le(MAGIC);
+        blob.put_u16_le(VERSION);
+        blob.put_u64_le(25);
+        blob.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode_provider_meta(&blob.freeze()),
+            Err(StorageError::Corrupt("declared cluster count too large"))
+        ));
+
+        // A cluster claiming u16::MAX dimensions with no bytes behind it.
+        let mut blob = BytesMut::new();
+        blob.put_u32_le(MAGIC);
+        blob.put_u16_le(VERSION);
+        blob.put_u64_le(25);
+        blob.put_u32_le(1);
+        blob.put_u32_le(0); // cluster id
+        blob.put_u32_le(10); // cluster len
+        blob.put_u16_le(u16::MAX); // dims
+        assert!(matches!(
+            decode_provider_meta(&blob.freeze()),
+            Err(StorageError::Corrupt("declared dimension count too large"))
+        ));
+
+        // A dimension claiming more values than the remaining bytes could
+        // ever encode (cluster len is inflated so the row-count check is
+        // not the guard that fires).
+        let mut blob = BytesMut::new();
+        blob.put_u32_le(MAGIC);
+        blob.put_u16_le(VERSION);
+        blob.put_u64_le(25);
+        blob.put_u32_le(1);
+        blob.put_u32_le(0); // cluster id
+        blob.put_u32_le(u32::MAX); // cluster len (hostile)
+        blob.put_u16_le(1); // dims
+        blob.put_u32_le(1 << 30); // declared distinct values
+        assert!(matches!(
+            decode_provider_meta(&blob.freeze()),
+            Err(StorageError::Corrupt("declared value count too large"))
+        ));
+    }
+
+    #[test]
+    fn declared_len_guard_bounds() {
+        assert!(declared_len_fits(0, 10, 0));
+        assert!(declared_len_fits(4, 10, 40));
+        assert!(!declared_len_fits(5, 10, 40));
+        // A zero per-element floor is clamped to 1 byte.
+        assert!(!declared_len_fits(41, 0, 40));
+        // Overflowing products are rejected, not wrapped.
+        assert!(!declared_len_fits(usize::MAX, 8, usize::MAX));
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod store;
 pub mod store_codec;
 
 pub use cluster::{Cluster, ClusterId};
-pub use codec::{decode_provider_meta, encode_provider_meta, MetaSpaceReport};
+pub use codec::{declared_len_fits, decode_provider_meta, encode_provider_meta, MetaSpaceReport};
 pub use error::StorageError;
 pub use meta::{ClusterMeta, DimMeta, ProviderMeta};
 pub use store::{ClusterStore, PartitionStrategy};

@@ -16,6 +16,7 @@
 //! * [`sampling`] — PPS weights, EM sampling, Hansen–Hurwitz estimation.
 //! * [`smc`] — additive secret sharing with a network cost model.
 //! * [`core`] — the federated protocol (providers, aggregator, allocation).
+//! * [`net`] — the wire protocol, TCP federation server, and remote client.
 //! * [`data`] — synthetic Adult/Amazon generators and workloads.
 //! * [`attack`] — the §6.6 Naive-Bayes learning attack harness.
 //!
@@ -49,6 +50,7 @@ pub use fedaqp_core as core;
 pub use fedaqp_data as data;
 pub use fedaqp_dp as dp;
 pub use fedaqp_model as model;
+pub use fedaqp_net as net;
 pub use fedaqp_sampling as sampling;
 pub use fedaqp_smc as smc;
 pub use fedaqp_storage as storage;
