@@ -21,7 +21,9 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use fedaqp_model::Aggregate;
+use fedaqp_core::Federation;
+use fedaqp_dp::QueryBudget;
+use fedaqp_model::{Aggregate, QueryPlan, Range, RangeQuery};
 use fedaqp_smc::CostModel;
 
 use crate::report::{fmt_f, percentile, Table};
@@ -64,6 +66,136 @@ fn grid_entry(providers: usize, mode: &str, analysts: usize, t: &Trial) -> Strin
     )
 }
 
+/// Analyst threads driving the mixed-plan workload through the engine.
+const MIXED_ANALYSTS: usize = 8;
+
+/// Result of the mixed scalar+group-by plan workload at 4 providers.
+#[derive(Debug, Clone, Copy)]
+struct MixedTrial {
+    plans: usize,
+    serial_qps: f64,
+    engine_qps: f64,
+}
+
+/// The mixed workload: `scalars.len()` scalar plans interleaved with as
+/// many GROUP-BY plans over the `group_dim` categorical dimension.
+fn mixed_plans(
+    scalars: &[RangeQuery],
+    group_dim: usize,
+    sampling_rate: f64,
+    epsilon: f64,
+    delta: f64,
+) -> Vec<QueryPlan> {
+    let mut plans = Vec::with_capacity(scalars.len() * 2);
+    for (i, q) in scalars.iter().enumerate() {
+        plans.push(QueryPlan::Scalar {
+            query: q.clone(),
+            sampling_rate,
+            epsilon,
+            delta,
+        });
+        // Group a disjoint age band so the filter never touches the
+        // grouped dimension.
+        let lo = 20 + 8 * (i as i64 % 5);
+        let base = RangeQuery::new(
+            Aggregate::Count,
+            vec![Range::new(0, lo, lo + 30).expect("static range")],
+        )
+        .expect("static base");
+        plans.push(QueryPlan::GroupBy {
+            base,
+            statistic: None,
+            group_dim,
+            threshold: 0.0,
+            sampling_rate,
+            epsilon,
+            delta,
+        });
+    }
+    plans
+}
+
+/// The mixed-plan comparison at the headline provider count: the serial
+/// path executes every plan's sub-queries one at a time (each stalling on
+/// its own slept-WAN transit — what the pre-plan `run_group_by` cost over
+/// a WAN), while the engine path submits whole plans whose sub-queries
+/// pipeline across the worker pool and overlap their transits.
+fn run_mixed(federation: &mut Federation, plans: &[QueryPlan]) -> MixedTrial {
+    let hp = federation.config().hyperparams;
+
+    // ---- Serial baseline: sum of every sub-query's stall. ----
+    let t0 = Instant::now();
+    for plan in plans {
+        match plan {
+            QueryPlan::Scalar {
+                query,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => {
+                let budget = QueryBudget::split(*epsilon, *delta, hp).expect("scalar budget");
+                let ans = federation
+                    .run_protocol_only(query, *sampling_rate, &budget)
+                    .expect("serial scalar");
+                std::thread::sleep(ans.timings.network);
+            }
+            QueryPlan::GroupBy {
+                base,
+                group_dim,
+                sampling_rate,
+                epsilon,
+                delta,
+                ..
+            } => {
+                let domain = federation
+                    .schema()
+                    .dimension(*group_dim)
+                    .expect("group dimension")
+                    .domain();
+                let k = domain.size() as f64;
+                let budget = QueryBudget::split(epsilon / k, delta / k, hp).expect("group budget");
+                for key in domain.iter() {
+                    let mut ranges = base.ranges().to_vec();
+                    ranges.push(Range::new(*group_dim, key, key).expect("point range"));
+                    let q = RangeQuery::new(base.aggregate(), ranges).expect("group query");
+                    let ans = federation
+                        .run_protocol_only(&q, *sampling_rate, &budget)
+                        .expect("serial group");
+                    std::thread::sleep(ans.timings.network);
+                }
+            }
+            _ => unreachable!("mixed workload is scalar + group-by"),
+        }
+    }
+    let serial_wall = t0.elapsed().as_secs_f64();
+
+    // ---- Engine path: whole plans, transits overlapped. ----
+    let t0 = Instant::now();
+    federation.with_engine(|engine| {
+        std::thread::scope(|scope| {
+            for analyst in 0..MIXED_ANALYSTS {
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    for plan in plans.iter().skip(analyst).step_by(MIXED_ANALYSTS) {
+                        let answer = engine.run_plan(plan).expect("engine plan");
+                        // A plan's concurrent sub-queries overlap their
+                        // simulated transit: the analyst stalls on the
+                        // max, not the sum.
+                        std::thread::sleep(answer.timings.network);
+                    }
+                });
+            }
+        });
+    });
+    let engine_wall = t0.elapsed().as_secs_f64();
+
+    MixedTrial {
+        plans: plans.len(),
+        serial_qps: plans.len() as f64 / serial_wall.max(1e-9),
+        engine_qps: plans.len() as f64 / engine_wall.max(1e-9),
+    }
+}
+
 /// Runs the sweep and writes `BENCH_engine.json` next to the CSVs.
 pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
     let mut table = Table::new(
@@ -85,6 +217,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
     let sampling_rate = DatasetKind::Adult.default_sampling_rate();
     let mut grid_json: Vec<String> = Vec::new();
     let mut headline: Option<(Trial, Trial)> = None;
+    let mut mixed: Option<MixedTrial> = None;
 
     for &n_providers in &PROVIDERS {
         let mut testbed = build_testbed(DatasetKind::Adult, ctx, |cfg| {
@@ -180,16 +313,74 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
                 }
             }
         });
+
+        // Mixed-plan workload at the headline provider count: scalar plans
+        // interleaved with GROUP-BY plans (8 workclass groups each), the
+        // serial sub-query-at-a-time path vs whole plans on the engine.
+        if n_providers == HEADLINE.0 {
+            let group_dim = testbed
+                .federation
+                .schema()
+                .index_of("workclass")
+                .expect("adult schema");
+            let epsilon = testbed.federation.config().epsilon;
+            let delta = testbed.federation.config().delta;
+            let plans = mixed_plans(
+                &queries[..queries.len().min(4)],
+                group_dim,
+                sampling_rate,
+                epsilon,
+                delta,
+            );
+            let trial = run_mixed(&mut testbed.federation, &plans);
+            table.push_row(vec![
+                n_providers.to_string(),
+                "mixed-serial".into(),
+                "1".into(),
+                trial.plans.to_string(),
+                String::new(),
+                fmt_f(trial.serial_qps, 2),
+                String::new(),
+                String::new(),
+                "1.00".into(),
+            ]);
+            table.push_row(vec![
+                n_providers.to_string(),
+                "mixed-engine".into(),
+                MIXED_ANALYSTS.to_string(),
+                trial.plans.to_string(),
+                String::new(),
+                fmt_f(trial.engine_qps, 2),
+                String::new(),
+                String::new(),
+                fmt_f(trial.engine_qps / trial.serial_qps.max(1e-9), 2),
+            ]);
+            mixed = Some(trial);
+        }
     }
 
     // Machine-readable summary for CI (`bench_gate` reads the headline_*
-    // and *_qps keys; the grid is for trend dashboards).
+    // and *_qps keys; the grid is for trend dashboards). The mixed_* keys
+    // are additions for the plan workload — the pre-existing keys (and the
+    // gate thresholds over them) are unchanged.
     if let Some((serial, engine)) = headline {
+        let mixed_json = mixed
+            .map(|m| {
+                format!(
+                    "  \"mixed_plans\": {},\n  \"mixed_serial_qps\": {:.3},\n  \
+                     \"mixed_engine_qps\": {:.3},\n  \"mixed_speedup\": {:.3},\n",
+                    m.plans,
+                    m.serial_qps,
+                    m.engine_qps,
+                    m.engine_qps / m.serial_qps.max(1e-9),
+                )
+            })
+            .unwrap_or_default();
         let json = format!(
             "{{\n  \"schema\": \"fedaqp-bench-engine/v1\",\n  \"dataset\": \"{}\",\n  \
              \"queries\": {},\n  \"headline_providers\": {},\n  \"headline_analysts\": {},\n  \
              \"serial_qps\": {:.3},\n  \"engine_qps\": {:.3},\n  \"speedup\": {:.3},\n  \
-             \"engine_p50_ms\": {:.4},\n  \"engine_p95_ms\": {:.4},\n  \"grid\": [\n{}\n  ]\n}}\n",
+             \"engine_p50_ms\": {:.4},\n  \"engine_p95_ms\": {:.4},\n{}  \"grid\": [\n{}\n  ]\n}}\n",
             DatasetKind::Adult.name(),
             n_queries,
             HEADLINE.0,
@@ -199,6 +390,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
             engine.qps / serial.qps.max(1e-9),
             engine.p50_ms,
             engine.p95_ms,
+            mixed_json,
             grid_json.join(",\n"),
         );
         if let Err(e) = std::fs::create_dir_all(&ctx.out_dir) {

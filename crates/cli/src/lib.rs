@@ -8,6 +8,6 @@ pub mod ops;
 
 pub use manifest::Manifest;
 pub use ops::{
-    batch, generate, inspect, parse_calibration, query, serve, BatchArgs, GenerateArgs, QueryArgs,
-    RunningServer, ServeArgs,
+    batch, generate, inspect, parse_calibration, parse_extreme, parse_stat, query, serve,
+    BatchArgs, GenerateArgs, QueryArgs, RunningServer, ServeArgs,
 };

@@ -11,8 +11,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fedaqp_cli::{
-    batch, generate, inspect, parse_calibration, query, serve, BatchArgs, GenerateArgs, QueryArgs,
-    ServeArgs,
+    batch, generate, inspect, parse_calibration, parse_extreme, parse_stat, query, serve,
+    BatchArgs, GenerateArgs, QueryArgs, ServeArgs,
 };
 use fedaqp_core::EstimatorCalibration;
 
@@ -25,10 +25,13 @@ usage:
   fedaqp inspect  STORE.fqst
   fedaqp query    (--data DIR | --remote HOST:PORT) [--rate R]
                   [--epsilon E] [--delta D] [--calibration em|pps]
-                  [--smc] [--baseline]
-                  \"SELECT ... FROM T WHERE ...\"
-                  (with --remote, ε/δ/calibration/release mode come from
-                   the server; only --rate applies)
+                  [--smc] [--baseline] [--group-by DIM] [--stat avg|var|std]
+                  [--extreme min:DIM|max:DIM] [--threshold T]
+                  \"SELECT ... FROM T WHERE ... [GROUP BY DIM]\"
+                  (SQL may also say AVG/VAR/STD(Measure), MIN(dim)/MAX(dim),
+                   and GROUP BY; --extreme replaces the SQL argument.
+                   with --remote, ε/δ/calibration/release mode come from
+                   the server; --rate and the plan shape still apply)
   fedaqp batch    (--data DIR | --remote HOST:PORT) --queries FILE
                   [--rate R] [--epsilon E] [--delta D] [--analysts N]
                   [--xi X] [--psi P] [--calibration em|pps] [--smc]
@@ -110,6 +113,10 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
         baseline: false,
         calibration: EstimatorCalibration::EmCalibrated,
         remote: None,
+        group_by: None,
+        stat: None,
+        extreme: None,
+        threshold: 0.0,
     };
     let mut i = 0;
     let mut server_side: Vec<&'static str> = Vec::new();
@@ -143,6 +150,16 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
                 server_side.push("--smc");
             }
             "--baseline" => q.baseline = true,
+            "--group-by" => q.group_by = Some(take_value(args, &mut i, "--group-by")?),
+            "--stat" => q.stat = Some(parse_stat(&take_value(args, &mut i, "--stat")?)?),
+            "--extreme" => {
+                q.extreme = Some(parse_extreme(&take_value(args, &mut i, "--extreme")?)?)
+            }
+            "--threshold" => {
+                q.threshold = take_value(args, &mut i, "--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?
+            }
             sql if !sql.starts_with("--") => q.sql = sql.to_owned(),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -161,7 +178,7 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
             if server_side.len() == 1 { "is" } else { "are" },
         ));
     }
-    if q.sql.is_empty() {
+    if q.sql.is_empty() && q.extreme.is_none() {
         return Err("a SQL query argument is required".into());
     }
     query(&q)

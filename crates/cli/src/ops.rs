@@ -6,12 +6,14 @@ use std::time::Instant;
 
 use fedaqp_core::{
     ConcurrentSession, EstimatorCalibration, Federation, FederationConfig, FederationEngine,
-    ReleaseMode, SessionPlan,
+    PlanAnswer, PlanResult, ReleaseMode, SessionPlan,
 };
 use fedaqp_data::{
     partition_rows, AdultConfig, AdultSynth, AmazonConfig, AmazonSynth, PartitionMode,
 };
-use fedaqp_model::{parse_sql, RangeQuery, Schema};
+use fedaqp_model::{
+    parse_sql, parse_sql_plan, DerivedStatistic, Extreme, PlanParams, QueryPlan, RangeQuery, Schema,
+};
 use fedaqp_net::{FederationServer, RemoteFederation, ServeOptions};
 use fedaqp_storage::{decode_store, encode_store, ClusterStore, PartitionStrategy, ProviderMeta};
 use rand::rngs::StdRng;
@@ -159,6 +161,16 @@ pub struct QueryArgs {
     pub calibration: EstimatorCalibration,
     /// Query a served federation at `host:port` instead of local data.
     pub remote: Option<String>,
+    /// Group the query by this dimension (`GROUP BY` in SQL works too).
+    pub group_by: Option<String>,
+    /// Derive this statistic instead of the plain aggregate (`AVG(...)`
+    /// etc. in SQL works too).
+    pub stat: Option<DerivedStatistic>,
+    /// Release this extreme of a dimension (`min:DIM` / `max:DIM`) —
+    /// replaces the SQL query.
+    pub extreme: Option<(Extreme, String)>,
+    /// GROUP BY suppression threshold (noisy groups below it vanish).
+    pub threshold: f64,
 }
 
 /// Parses a `--calibration` value: `em` (EM-calibrated, the default) or
@@ -167,6 +179,189 @@ pub struct QueryArgs {
 pub fn parse_calibration(text: &str) -> Result<EstimatorCalibration, String> {
     text.parse()
         .map_err(|_| format!("unknown calibration `{text}` (use em|pps)"))
+}
+
+/// Parses a `--stat` value: `avg`, `var`, or `std`.
+pub fn parse_stat(text: &str) -> Result<DerivedStatistic, String> {
+    match text {
+        "avg" => Ok(DerivedStatistic::Average),
+        "var" => Ok(DerivedStatistic::Variance),
+        "std" => Ok(DerivedStatistic::StdDev),
+        _ => Err(format!("unknown statistic `{text}` (use avg|var|std)")),
+    }
+}
+
+/// Parses an `--extreme` value: `min:DIM` or `max:DIM`.
+pub fn parse_extreme(text: &str) -> Result<(Extreme, String), String> {
+    let (which, dim) = text
+        .split_once(':')
+        .ok_or_else(|| format!("`{text}` is not of the form min:DIM or max:DIM"))?;
+    let extreme = match which {
+        "min" => Extreme::Min,
+        "max" => Extreme::Max,
+        _ => return Err(format!("unknown extreme `{which}` (use min|max)")),
+    };
+    if dim.is_empty() {
+        return Err("the extreme needs a dimension name (e.g. max:age)".into());
+    }
+    Ok((extreme, dim.to_owned()))
+}
+
+/// Compiles the SQL text plus the plan-shaping flags into one
+/// [`QueryPlan`] against `schema`.
+fn build_plan(
+    schema: &Schema,
+    args: &QueryArgs,
+    epsilon: f64,
+    delta: f64,
+) -> Result<QueryPlan, String> {
+    let mut plan = match &args.extreme {
+        Some((extreme, dim_name)) => {
+            if !args.sql.is_empty() {
+                return Err(
+                    "--extreme replaces the SQL query (or express it as SELECT MIN(dim) FROM T)"
+                        .into(),
+                );
+            }
+            let dim = schema
+                .index_of(dim_name)
+                .map_err(|_| format!("unknown dimension `{dim_name}`"))?;
+            QueryPlan::Extreme {
+                dim,
+                extreme: *extreme,
+                epsilon,
+            }
+        }
+        None => {
+            let params = PlanParams {
+                sampling_rate: args.rate,
+                epsilon,
+                delta,
+                threshold: args.threshold,
+            };
+            parse_sql_plan(schema, &args.sql, &params).map_err(|e| e.to_string())?
+        }
+    };
+    if let Some(stat) = args.stat {
+        plan = match plan {
+            QueryPlan::Scalar {
+                query,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => QueryPlan::Derived {
+                query,
+                statistic: stat,
+                sampling_rate,
+                epsilon,
+                delta,
+            },
+            QueryPlan::GroupBy {
+                base,
+                statistic: None,
+                group_dim,
+                threshold,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => QueryPlan::GroupBy {
+                base,
+                statistic: Some(stat),
+                group_dim,
+                threshold,
+                sampling_rate,
+                epsilon,
+                delta,
+            },
+            _ => {
+                return Err("--stat applies to a COUNT/SUM query (with or without GROUP BY)".into())
+            }
+        };
+    }
+    if let Some(name) = &args.group_by {
+        let dim = schema
+            .index_of(name)
+            .map_err(|_| format!("unknown dimension `{name}`"))?;
+        plan = match plan {
+            QueryPlan::Scalar {
+                query,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => QueryPlan::GroupBy {
+                base: query,
+                statistic: None,
+                group_dim: dim,
+                threshold: args.threshold,
+                sampling_rate,
+                epsilon,
+                delta,
+            },
+            QueryPlan::Derived {
+                query,
+                statistic,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => QueryPlan::GroupBy {
+                base: query,
+                statistic: Some(statistic),
+                group_dim: dim,
+                threshold: args.threshold,
+                sampling_rate,
+                epsilon,
+                delta,
+            },
+            _ => {
+                return Err(
+                    "--group-by applies to a scalar or derived query (or use GROUP BY in SQL)"
+                        .into(),
+                )
+            }
+        };
+    }
+    Ok(plan)
+}
+
+/// Renders a plan answer: scalar value, group table, or extreme.
+fn render_plan_answer(schema: &Schema, plan: &QueryPlan, answer: &PlanAnswer) -> String {
+    let mut out = String::new();
+    match &answer.result {
+        PlanResult::Value {
+            value,
+            ci_halfwidth,
+        } => {
+            out.push_str(&format!("private     : {value:.3}\n"));
+            if let Some(hw) = ci_halfwidth {
+                out.push_str(&format!("sampling CI : ±{hw:.1} (95%)\n"));
+            }
+        }
+        PlanResult::Groups { groups, suppressed } => {
+            let group_dim = match plan {
+                QueryPlan::GroupBy { group_dim, .. } => *group_dim,
+                _ => 0,
+            };
+            let name = schema
+                .dimension(group_dim)
+                .map(|d| d.name().to_owned())
+                .unwrap_or_else(|_| format!("dim{group_dim}"));
+            for g in groups {
+                out.push_str(&format!("{name:<12}= {:<6} -> {:.1}\n", g.key, g.value));
+            }
+            out.push_str(&format!(
+                "groups      : {} released, {suppressed} suppressed\n",
+                groups.len()
+            ));
+        }
+        PlanResult::Extreme { value } => {
+            out.push_str(&format!("private     : {value}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "privacy     : (ε = {}, δ = {:e}) for the whole plan\n",
+        answer.cost.eps, answer.cost.delta
+    ));
+    out
 }
 
 /// Rebuilds a federation (and its schema) from a `fedaqp generate` data
@@ -202,14 +397,57 @@ fn load_federation(
     Federation::build(config, schema, partitions).map_err(|e| e.to_string())
 }
 
-/// `fedaqp query --remote`: parse the SQL against the served schema and
-/// answer it over the wire.
+/// `fedaqp query --remote` with a plan-shaped request (group-by, derived
+/// statistic, or extreme): the plan travels as one v2 frame; its `(ε, δ)`
+/// spend is the server's advertised default (the server charges the whole
+/// plan atomically against the analyst's session ledger).
+fn query_remote_plan(
+    args: &QueryArgs,
+    addr: &str,
+    remote: &mut RemoteFederation,
+    plan: &QueryPlan,
+) -> Result<String, String> {
+    let started = Instant::now();
+    let answer = remote.run_plan(plan).map_err(|e| e.to_string())?;
+    let round_trip = started.elapsed();
+    let mut out = String::new();
+    if !args.sql.is_empty() {
+        out.push_str(&format!("query       : {}\n", args.sql));
+    }
+    out.push_str(&format!(
+        "remote      : {addr} ({} providers, wire v{})\n",
+        remote.n_providers(),
+        remote.protocol_version()
+    ));
+    out.push_str(&render_plan_answer(remote.schema(), plan, &answer));
+    out.push_str(&format!(
+        "latency     : {:.2} ms round trip ({:.2} ms server protocol)\n",
+        round_trip.as_secs_f64() * 1e3,
+        answer.timings.total().as_secs_f64() * 1e3,
+    ));
+    if remote.session_budget().is_some() {
+        let status = remote.budget_status().map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "budget      : spent (ε = {:.3}, δ = {:.1e})\n",
+            status.spent_eps, status.spent_delta
+        ));
+    }
+    Ok(out)
+}
+
+/// `fedaqp query --remote`: parse the request against the served schema
+/// and answer it over the wire.
 fn query_remote(args: &QueryArgs, addr: &str) -> Result<String, String> {
     if args.baseline {
         return Err("--baseline needs local data; it is unavailable with --remote".into());
     }
     let mut remote = RemoteFederation::connect_as(addr, "cli").map_err(|e| e.to_string())?;
-    let parsed = parse_sql(remote.schema(), &args.sql).map_err(|e| e.to_string())?;
+    let (epsilon, delta) = (remote.epsilon(), remote.delta());
+    let plan = build_plan(remote.schema(), args, epsilon, delta)?;
+    let parsed = match plan {
+        QueryPlan::Scalar { ref query, .. } => query.clone(),
+        ref plan => return query_remote_plan(args, addr, &mut remote, plan),
+    };
     let started = Instant::now();
     let answer = remote
         .query(&parsed, args.rate)
@@ -259,8 +497,31 @@ fn query_remote(args: &QueryArgs, addr: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// `fedaqp query` with a plan-shaped request on local data: run the plan
+/// through a scoped concurrent engine (per-group sub-queries fan out
+/// across the provider worker pool).
+fn query_local_plan(
+    federation: &Federation,
+    sql: &str,
+    plan: &QueryPlan,
+) -> Result<String, String> {
+    let answer = federation
+        .with_engine(|engine| engine.run_plan(plan))
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    if !sql.is_empty() {
+        out.push_str(&format!("query       : {sql}\n"));
+    }
+    out.push_str(&render_plan_answer(federation.schema(), plan, &answer));
+    out.push_str(&format!(
+        "latency     : {:.2} ms protocol\n",
+        answer.timings.total().as_secs_f64() * 1e3
+    ));
+    Ok(out)
+}
+
 /// `fedaqp query`: rebuild the federation from a data directory and answer
-/// one private SQL query.
+/// one private SQL query (or plan: group-by, derived statistic, extreme).
 pub fn query(args: &QueryArgs) -> Result<String, String> {
     if let Some(addr) = args.remote.as_deref() {
         return query_remote(args, addr);
@@ -272,7 +533,11 @@ pub fn query(args: &QueryArgs) -> Result<String, String> {
         args.smc,
         args.calibration,
     )?;
-    let parsed = parse_sql(federation.schema(), &args.sql).map_err(|e| e.to_string())?;
+    let plan = build_plan(federation.schema(), args, args.epsilon, args.delta)?;
+    let parsed = match plan {
+        QueryPlan::Scalar { ref query, .. } => query.clone(),
+        ref plan => return query_local_plan(&federation, &args.sql, plan),
+    };
     let answer = federation
         .run(&parsed, args.rate)
         .map_err(|e| e.to_string())?;
@@ -662,12 +927,102 @@ mod tests {
             baseline: true,
             calibration: EstimatorCalibration::EmCalibrated,
             remote: None,
+            group_by: None,
+            stat: None,
+            extreme: None,
+            threshold: 0.0,
         })
         .unwrap();
         assert!(out.contains("private"));
         assert!(out.contains("speed-up"));
         assert!(out.contains("EM calibration"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn plan_query_args(data: PathBuf, sql: &str) -> QueryArgs {
+        QueryArgs {
+            data,
+            sql: sql.into(),
+            rate: 0.2,
+            epsilon: 50.0,
+            delta: 1e-3,
+            smc: false,
+            baseline: false,
+            calibration: EstimatorCalibration::EmCalibrated,
+            remote: None,
+            group_by: None,
+            stat: None,
+            extreme: None,
+            threshold: 0.0,
+        }
+    }
+
+    #[test]
+    fn plan_shaped_queries_run_locally() {
+        let dir = tmp_dir("plan_local");
+        generate(&generate_args(dir.clone())).unwrap();
+
+        // GROUP BY via SQL.
+        let out = query(&plan_query_args(
+            dir.clone(),
+            "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60 GROUP BY workclass",
+        ))
+        .unwrap();
+        assert!(out.contains("groups      :"), "{out}");
+        assert!(out.contains("for the whole plan"), "{out}");
+
+        // GROUP BY via flag, derived statistic via flag.
+        let mut args = plan_query_args(dir.clone(), "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60");
+        args.group_by = Some("workclass".into());
+        args.stat = Some(DerivedStatistic::Average);
+        let out = query(&args).unwrap();
+        assert!(out.contains("groups      :"), "{out}");
+
+        // AVG via SQL.
+        let out = query(&plan_query_args(
+            dir.clone(),
+            "SELECT AVG(Measure) FROM T WHERE 25 <= age <= 60",
+        ))
+        .unwrap();
+        assert!(out.contains("private     :"), "{out}");
+
+        // Extreme via flag (no SQL needed).
+        let mut args = plan_query_args(dir.clone(), "");
+        args.extreme = Some((Extreme::Max, "age".into()));
+        let out = query(&args).unwrap();
+        assert!(out.contains("private     :"), "{out}");
+
+        // Extreme via SQL.
+        let out = query(&plan_query_args(dir.clone(), "SELECT MIN(age) FROM T")).unwrap();
+        assert!(out.contains("private     :"), "{out}");
+
+        // Bad combinations fail with one-line guidance.
+        let mut args = plan_query_args(dir.clone(), "SELECT MIN(age) FROM T");
+        args.extreme = Some((Extreme::Max, "age".into()));
+        assert!(
+            query(&args).unwrap_err().contains("--extreme"),
+            "flag + SQL"
+        );
+        let mut args = plan_query_args(dir.clone(), "SELECT COUNT(*) FROM T WHERE age >= 20");
+        args.group_by = Some("bogus".into());
+        assert!(query(&args).unwrap_err().contains("bogus"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_stat_and_extreme_vocabulary() {
+        assert_eq!(parse_stat("avg"), Ok(DerivedStatistic::Average));
+        assert_eq!(parse_stat("var"), Ok(DerivedStatistic::Variance));
+        assert_eq!(parse_stat("std"), Ok(DerivedStatistic::StdDev));
+        assert!(parse_stat("median").unwrap_err().contains("avg|var|std"));
+        assert_eq!(parse_extreme("min:age"), Ok((Extreme::Min, "age".into())));
+        assert_eq!(
+            parse_extreme("max:hours"),
+            Ok((Extreme::Max, "hours".into()))
+        );
+        assert!(parse_extreme("max").unwrap_err().contains("min:DIM"));
+        assert!(parse_extreme("top:age").unwrap_err().contains("min|max"));
+        assert!(parse_extreme("min:").is_err());
     }
 
     #[test]
@@ -698,6 +1053,10 @@ mod tests {
             baseline: false,
             calibration: EstimatorCalibration::PpsEq3,
             remote: None,
+            group_by: None,
+            stat: None,
+            extreme: None,
+            threshold: 0.0,
         })
         .unwrap();
         assert!(out.contains("PPS (Eq. 3) calibration"), "{out}");
@@ -723,6 +1082,10 @@ mod tests {
             baseline: false,
             calibration: EstimatorCalibration::EmCalibrated,
             remote: None,
+            group_by: None,
+            stat: None,
+            extreme: None,
+            threshold: 0.0,
         })
         .unwrap_err();
         assert!(err.contains("manifest"));
@@ -746,6 +1109,10 @@ mod tests {
             baseline: false,
             calibration: EstimatorCalibration::EmCalibrated,
             remote: None,
+            group_by: None,
+            stat: None,
+            extreme: None,
+            threshold: 0.0,
         })
         .unwrap_err();
         assert!(err.contains("bogus"));
@@ -858,11 +1225,28 @@ mod tests {
             baseline: false,
             calibration: EstimatorCalibration::EmCalibrated,
             remote: Some(addr.clone()),
+            group_by: None,
+            stat: None,
+            extreme: None,
+            threshold: 0.0,
         })
         .unwrap();
         assert!(out.contains("remote"), "{out}");
         assert!(out.contains("private"), "{out}");
         assert!(out.contains("round trip"), "{out}");
+
+        // A plan-shaped query travels as one v2 frame; ε/δ come from the
+        // server's advertised defaults.
+        let mut plan_args = plan_query_args(
+            PathBuf::new(),
+            "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60 GROUP BY workclass",
+        );
+        plan_args.epsilon = 1.0; // ignored: set above by the server
+        plan_args.remote = Some(addr.clone());
+        let out = query(&plan_args).unwrap();
+        assert!(out.contains("wire v2"), "{out}");
+        assert!(out.contains("groups      :"), "{out}");
+        assert!(out.contains("for the whole plan"), "{out}");
 
         // Remote batch with several analyst connections.
         let qfile = dir.join("queries.sql");
@@ -903,6 +1287,10 @@ mod tests {
             baseline: false,
             calibration: EstimatorCalibration::EmCalibrated,
             remote: Some(format!("127.0.0.1:{port}")),
+            group_by: None,
+            stat: None,
+            extreme: None,
+            threshold: 0.0,
         })
         .unwrap_err();
         assert!(err.contains("cannot connect"), "{err}");
@@ -919,6 +1307,10 @@ mod tests {
             baseline: true,
             calibration: EstimatorCalibration::EmCalibrated,
             remote: Some("127.0.0.1:1".into()),
+            group_by: None,
+            stat: None,
+            extreme: None,
+            threshold: 0.0,
         })
         .unwrap_err();
         assert!(err.contains("--baseline"), "{err}");
@@ -966,6 +1358,10 @@ mod tests {
             baseline: false,
             calibration: EstimatorCalibration::EmCalibrated,
             remote: None,
+            group_by: None,
+            stat: None,
+            extreme: None,
+            threshold: 0.0,
         })
         .unwrap();
         assert!(out.contains("SMC release"));

@@ -35,12 +35,6 @@ impl Aggregator {
         }
     }
 
-    /// The aggregator's RNG (crate-internal: extension mechanisms that run
-    /// at the aggregator draw their randomness here).
-    pub(crate) fn rng_mut(&mut self) -> &mut StdRng {
-        &mut self.rng
-    }
-
     /// Protocol step 3: solve Eq. 6 over the received summaries.
     pub fn allocate(&self, summaries: &[ProviderSummary], sampling_rate: f64) -> Result<Vec<u64>> {
         let inputs: Vec<AllocationInput> = summaries

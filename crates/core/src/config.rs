@@ -159,6 +159,12 @@ pub struct FederationConfig {
     pub metadata_buckets: Option<usize>,
     /// Network cost model for protocol messages and the SMC release path.
     pub cost_model: CostModel,
+    /// Largest group-dimension domain a GROUP-BY plan may enumerate. A
+    /// group-by fans out one sub-query per domain value, so an unbounded
+    /// domain (say `categorical(10^9)`) would loop and allocate without
+    /// limit; plans over larger domains are rejected with
+    /// [`CoreError::GroupDomainTooLarge`] before any work starts.
+    pub max_group_domain: u64,
     /// Base seed for all provider/aggregator randomness.
     pub seed: u64,
 }
@@ -197,6 +203,7 @@ impl FederationConfig {
             proportion_source: ProportionSource::Metadata,
             metadata_buckets: None,
             cost_model: CostModel::lan(),
+            max_group_domain: 4096,
             seed: 0xFEDA,
         }
     }
@@ -237,6 +244,11 @@ impl FederationConfig {
         }
         if self.sum_measure_cap == 0 {
             return Err(CoreError::BadConfig("sum measure cap must be positive"));
+        }
+        if self.max_group_domain == 0 {
+            return Err(CoreError::BadConfig(
+                "max group-by domain size must be positive",
+            ));
         }
         Ok(())
     }

@@ -5,35 +5,23 @@
 //! normal private pipeline, splitting the caller's `(ε, δ)` across them by
 //! sequential composition (Thm. 3.1), then post-processes the noisy
 //! results (Thm. 3.3 — free).
+//!
+//! Execution is plan compilation: [`run_derived`] builds a
+//! [`fedaqp_model::QueryPlan::Derived`] and runs it on a scoped concurrent
+//! engine (see [`crate::plan`]), so the sub-queries fan out across the
+//! provider worker pool and the noise derivation is identical to the
+//! concurrent and remote paths. The VAR/STD post-processing is the
+//! *measure dispersion proxy* documented in [`crate::plan`]: the
+//! count-tensor model exposes only COUNT/SUM (§3), so a faithful M²-sum
+//! would need a dedicated aggregate; the third sub-query exists to charge
+//! the budget the proxy's refinement release costs.
 
-use fedaqp_dp::{PrivacyCost, QueryBudget};
-use fedaqp_model::{Aggregate, RangeQuery};
+use fedaqp_dp::PrivacyCost;
+pub use fedaqp_model::DerivedStatistic;
+use fedaqp_model::{Aggregate, QueryPlan, RangeQuery};
 
 use crate::federation::Federation;
-use crate::{CoreError, Result};
-
-/// A derived statistic computable from SUM and COUNT.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DerivedStatistic {
-    /// `AVG(Measure) = SUM/COUNT` — two sub-queries.
-    Average,
-    /// `VAR(Measure) = E[M²] − E[M]²` via `SUM(M²)`, `SUM(M)`, `COUNT` —
-    /// approximated with the second-moment trick over the *cell measure*
-    /// distribution; three sub-queries.
-    Variance,
-    /// `STD(Measure) = √VAR` — same sub-queries as variance.
-    StdDev,
-}
-
-impl DerivedStatistic {
-    /// Number of underlying private sub-queries.
-    pub fn sub_queries(&self) -> u32 {
-        match self {
-            DerivedStatistic::Average => 2,
-            DerivedStatistic::Variance | DerivedStatistic::StdDev => 3,
-        }
-    }
-}
+use crate::Result;
 
 /// The result of a derived aggregation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +32,25 @@ pub struct DerivedAnswer {
     pub exact: f64,
     /// Total privacy cost charged (sum over sub-queries).
     pub cost: PrivacyCost,
+}
+
+/// The exact (oracle) value of `statistic` over the predicate ranges —
+/// experiment instrumentation, never released.
+pub(crate) fn exact_derived(
+    federation: &Federation,
+    query: &RangeQuery,
+    statistic: DerivedStatistic,
+) -> Result<f64> {
+    let count_q = RangeQuery::new(Aggregate::Count, query.ranges().to_vec())?;
+    let sum_q = RangeQuery::new(Aggregate::Sum, query.ranges().to_vec())?;
+    let exact_count = (federation.exact(&count_q) as f64).max(1.0);
+    let exact_sum = federation.exact(&sum_q) as f64;
+    let mean = exact_sum / exact_count;
+    Ok(match statistic {
+        DerivedStatistic::Average => mean,
+        DerivedStatistic::Variance => (mean * (mean - 1.0)).max(0.0),
+        DerivedStatistic::StdDev => (mean * (mean - 1.0)).max(0.0).sqrt(),
+    })
 }
 
 /// Runs a derived aggregation over the predicate ranges of `query`
@@ -59,67 +66,27 @@ pub fn run_derived(
     epsilon: f64,
     delta: f64,
 ) -> Result<DerivedAnswer> {
-    if !(epsilon.is_finite() && epsilon > 0.0) {
-        return Err(CoreError::BadConfig("derived epsilon must be positive"));
-    }
-    let n = statistic.sub_queries();
-    let hp = federation.config().hyperparams;
-    let per = QueryBudget::split(epsilon / n as f64, delta / n as f64, hp)?;
-
-    let count_q = RangeQuery::new(Aggregate::Count, query.ranges().to_vec())?;
-    let sum_q = RangeQuery::new(Aggregate::Sum, query.ranges().to_vec())?;
-
-    let count_ans = federation.run_with_budget(&count_q, sampling_rate, &per)?;
-    let sum_ans = federation.run_with_budget(&sum_q, sampling_rate, &per)?;
-    let noisy_count = count_ans.value.max(1.0);
-    let noisy_sum = sum_ans.value;
-    let exact_count = (count_ans.exact as f64).max(1.0);
-    let exact_sum = sum_ans.exact as f64;
-
-    let mut cost = PrivacyCost {
-        eps: count_ans.cost.eps + sum_ans.cost.eps,
-        delta: count_ans.cost.delta + sum_ans.cost.delta,
+    let plan = QueryPlan::Derived {
+        query: query.clone(),
+        statistic,
+        sampling_rate,
+        epsilon,
+        delta,
     };
-
-    let (value, exact) = match statistic {
-        DerivedStatistic::Average => (noisy_sum / noisy_count, exact_sum / exact_count),
-        DerivedStatistic::Variance | DerivedStatistic::StdDev => {
-            // Third sub-query: the sum of squared measures. The exact
-            // second moment comes from the oracle; the noisy one reuses
-            // the SUM pipeline with measures squared via a proxy scan —
-            // we approximate E[M²] by scaling the SUM answer with the
-            // exact mean-square ratio of the *sample*: instead, issue the
-            // COUNT of cells with measure ≥ 2 as the third budgeted
-            // release and use the standard identity on (sum, count).
-            //
-            // A faithful M²-sum would need a dedicated aggregate; the
-            // count-tensor model exposes only COUNT/SUM (§3), so variance
-            // here is the *measure dispersion proxy* used for BI-style
-            // dashboards: Var ≈ mean·(sum/count − 1) for count data
-            // (Poisson-style), refined by one more COUNT release below.
-            let heavy_q = RangeQuery::new(Aggregate::Count, query.ranges().to_vec())?;
-            let heavy_ans = federation.run_with_budget(&heavy_q, sampling_rate, &per)?;
-            cost = PrivacyCost {
-                eps: cost.eps + heavy_ans.cost.eps,
-                delta: cost.delta + heavy_ans.cost.delta,
-            };
-            let mean = noisy_sum / noisy_count;
-            let exact_mean = exact_sum / exact_count;
-            let var = (mean * (mean - 1.0)).max(0.0);
-            let exact_var = (exact_mean * (exact_mean - 1.0)).max(0.0);
-            match statistic {
-                DerivedStatistic::Variance => (var, exact_var),
-                _ => (var.sqrt(), exact_var.sqrt()),
-            }
-        }
-    };
-    Ok(DerivedAnswer { value, exact, cost })
+    let answer = federation.with_engine(|engine| engine.run_plan(&plan))?;
+    let value = answer.value().expect("derived plans release a value");
+    Ok(DerivedAnswer {
+        value,
+        exact: exact_derived(federation, query, statistic)?,
+        cost: answer.cost,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::FederationConfig;
+    use crate::CoreError;
     use fedaqp_model::{Dimension, Domain, Range, Row, Schema};
 
     fn federation() -> Federation {
@@ -220,15 +187,17 @@ mod tests {
     #[test]
     fn rejects_bad_epsilon() {
         let mut fed = federation();
-        assert!(run_derived(
-            &mut fed,
-            &query(),
-            DerivedStatistic::Average,
-            0.3,
-            0.0,
-            1e-3
-        )
-        .is_err());
+        assert!(matches!(
+            run_derived(
+                &mut fed,
+                &query(),
+                DerivedStatistic::Average,
+                0.3,
+                0.0,
+                1e-3
+            ),
+            Err(CoreError::BadConfig(_))
+        ));
     }
 
     #[test]

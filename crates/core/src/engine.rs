@@ -19,10 +19,14 @@
 //! ```
 //!
 //! Determinism: every `(query, provider)` pair draws from an RNG derived
-//! from `(config.seed, query index, provider id)`, so a seeded
-//! [`QueryBatch`] produces *identical* answers whether its queries run
-//! serially or concurrently — the noise no longer depends on how queries
-//! interleave on the shared providers.
+//! from `(config.seed, job content, query index, provider id)`, so a
+//! seeded [`QueryBatch`] produces *identical* answers whether its queries
+//! run serially or concurrently — the noise no longer depends on how
+//! queries interleave on the shared providers. Mixing the job *content*
+//! into the derivation keeps noise streams independent across different
+//! requests that land on the same index (two plans on fresh scoped
+//! engines, say): differencing two different releases always faces
+//! independent draws.
 //!
 //! Privacy: the engine never relaxes the serial path's accounting. Each
 //! query runs under a validated [`QueryBudget`]; session-level budgets are
@@ -37,7 +41,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fedaqp_dp::{PrivacyCost, QueryBudget};
-use fedaqp_model::{RangeQuery, Schema};
+use fedaqp_model::{Extreme, RangeQuery, Schema};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -61,6 +65,19 @@ fn derive_seed(seed: u64, index: u64, lane: u64) -> u64 {
 
 /// RNG lane of the per-job aggregator (must differ from any provider id).
 const AGGREGATOR_LANE: u64 = u64::MAX;
+
+/// Derivation lane that folds a job's content hash into its seed (a
+/// separate derivation *level* from the per-provider lanes, which are
+/// applied to the result).
+const CONTENT_LANE: u64 = u64::MAX - 1;
+
+/// FNV-1a accumulation of `bytes` into `h`.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
 
 /// One query of a [`QueryBatch`].
 #[derive(Debug, Clone)]
@@ -156,11 +173,68 @@ pub struct EngineAnswer {
 enum JobKind {
     /// The full private protocol.
     Private {
+        query: RangeQuery,
         sampling_rate: f64,
         budget: QueryBudget,
     },
     /// A full plain scan (the speed-up baseline), on the same pool.
-    Plain,
+    Plain { query: RangeQuery },
+    /// A private MIN/MAX: per-provider Exponential-mechanism selection
+    /// over the dimension's public domain, answered from Algorithm 1
+    /// metadata alone (no data scan, no allocation barrier).
+    Extreme {
+        dim: usize,
+        extreme: Extreme,
+        epsilon: f64,
+    },
+}
+
+impl JobKind {
+    /// A stable hash of everything that shapes the job's mechanisms —
+    /// query ranges, aggregate, sampling rate, and budget.
+    ///
+    /// Folded into the job seed so that *different* requests landing on
+    /// the same query index (e.g. the first sub-query of two different
+    /// plans, each on a fresh scoped engine over the same federation)
+    /// never share a noise stream — differencing two such releases must
+    /// face independent draws, not cancelling ones. Identical requests at
+    /// the same index still repeat the same release, which reveals no
+    /// more than one release does (while still being charged for).
+    fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let put_u64 = |h: &mut u64, v: u64| fnv1a(h, &v.to_le_bytes());
+        match self {
+            JobKind::Private {
+                query,
+                sampling_rate,
+                budget,
+            } => {
+                fnv1a(&mut h, &[1, query.aggregate() as u8]);
+                for r in query.ranges() {
+                    put_u64(&mut h, r.dim as u64);
+                    put_u64(&mut h, r.lo as u64);
+                    put_u64(&mut h, r.hi as u64);
+                }
+                put_u64(&mut h, sampling_rate.to_bits());
+                put_u64(&mut h, budget.eps_o.to_bits());
+                put_u64(&mut h, budget.eps_s.to_bits());
+                put_u64(&mut h, budget.eps_e.to_bits());
+                put_u64(&mut h, budget.delta.to_bits());
+            }
+            // Plain scans draw no noise; any constant works.
+            JobKind::Plain { .. } => fnv1a(&mut h, &[2]),
+            JobKind::Extreme {
+                dim,
+                extreme,
+                epsilon,
+            } => {
+                fnv1a(&mut h, &[3, matches!(extreme, Extreme::Max) as u8]);
+                put_u64(&mut h, *dim as u64);
+                put_u64(&mut h, epsilon.to_bits());
+            }
+        }
+        h
+    }
 }
 
 /// Mutable per-job progress, guarded by the job mutex.
@@ -181,7 +255,6 @@ struct JobProgress {
 /// provider workers.
 #[derive(Debug)]
 pub(crate) struct JobState {
-    query: RangeQuery,
     kind: JobKind,
     index: u64,
     seed: u64,
@@ -194,13 +267,16 @@ pub(crate) struct JobState {
 }
 
 impl JobState {
-    fn new(query: RangeQuery, kind: JobKind, index: u64, config: &FederationConfig) -> Self {
+    fn new(kind: JobKind, index: u64, config: &FederationConfig) -> Self {
         let n = config.n_providers;
+        // The job seed mixes the configured seed with the job's content
+        // (see [`JobKind::content_hash`]); the per-provider lanes then
+        // derive from the result.
+        let seed = derive_seed(config.seed, kind.content_hash(), CONTENT_LANE);
         Self {
-            query,
             kind,
             index,
-            seed: config.seed,
+            seed,
             n_providers: n,
             allocation_policy: config.allocation_policy,
             release_mode: config.release_mode,
@@ -248,9 +324,9 @@ fn run_provider_job(job: &JobState, provider: &DataProvider) {
     let id = provider.id();
     let mut rng = StdRng::seed_from_u64(derive_seed(job.seed, job.index, id as u64));
     match &job.kind {
-        JobKind::Plain => {
+        JobKind::Plain { query } => {
             let t = Instant::now();
-            let value = provider.exact_answer(&job.query);
+            let value = provider.exact_answer(query);
             let elapsed = t.elapsed();
             let mut progress = job.lock_progress();
             let n_clusters = provider.store().n_clusters();
@@ -268,14 +344,47 @@ fn run_provider_job(job: &JobState, provider: &DataProvider) {
             progress.done += 1;
             job.cond.notify_all();
         }
+        JobKind::Extreme {
+            dim,
+            extreme,
+            epsilon,
+        } => {
+            // One EM selection from metadata; no allocation barrier, no
+            // data touched. The selection is parked in the outcome's
+            // `estimate` slot for the waiter to combine.
+            let t = Instant::now();
+            let selected =
+                crate::extremes::provider_select(provider, *dim, *extreme, *epsilon, &mut rng);
+            let elapsed = t.elapsed();
+            let mut progress = job.lock_progress();
+            progress.execution_time = progress.execution_time.max(elapsed);
+            match selected {
+                Ok(value) => {
+                    progress.outcomes[id] = Some(LocalOutcome {
+                        provider: id,
+                        released: None,
+                        estimate: value as f64,
+                        smooth_ls: 0.0,
+                        variance: None,
+                        approximated: false,
+                        clusters_scanned: 0,
+                        n_covering: 0,
+                    })
+                }
+                Err(e) => job.fail(&mut progress, e),
+            }
+            progress.done += 1;
+            job.cond.notify_all();
+        }
         JobKind::Private {
+            query,
             sampling_rate,
             budget,
         } => {
             // ---- Steps 1–2: prepare + DP summary ----
             let t = Instant::now();
-            let prep = provider.prepare(&job.query);
-            let summary = provider.summary_with_rng(&job.query, &prep, budget.eps_o, &mut rng);
+            let prep = provider.prepare(query);
+            let summary = provider.summary_with_rng(query, &prep, budget.eps_o, &mut rng);
             let elapsed = t.elapsed();
 
             let allocation = {
@@ -334,7 +443,7 @@ fn run_provider_job(job: &JobState, provider: &DataProvider) {
             let release_local = job.release_mode == ReleaseMode::LocalDp;
             let t = Instant::now();
             let outcome = provider.execute_with_rng(
-                &job.query,
+                query,
                 &prep,
                 allocation,
                 budget,
@@ -532,8 +641,8 @@ impl EngineHandle {
         self.validate(query, sampling_rate, budget)?;
         let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
         let job = Arc::new(JobState::new(
-            query.clone(),
             JobKind::Private {
+                query: query.clone(),
                 sampling_rate,
                 budget: *budget,
             },
@@ -544,6 +653,36 @@ impl EngineHandle {
         Ok(PendingAnswer { job })
     }
 
+    /// Submits a private MIN/MAX of dimension `dim` to the worker pool:
+    /// every provider runs one Exponential-mechanism selection over the
+    /// domain (from metadata alone) under its job-derived RNG, so extreme
+    /// queries are deterministic and concurrent like every other job.
+    pub fn submit_extreme(
+        &self,
+        dim: usize,
+        extreme: Extreme,
+        epsilon: f64,
+    ) -> Result<PendingExtreme> {
+        self.inner.schema.dimension(dim)?;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(CoreError::BadConfig(
+                "extreme-query epsilon must be positive",
+            ));
+        }
+        let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(JobState::new(
+            JobKind::Extreme {
+                dim,
+                extreme,
+                epsilon,
+            },
+            index,
+            &self.inner.config,
+        ));
+        self.dispatch(&job)?;
+        Ok(PendingExtreme { job })
+    }
+
     /// Submits a plain (non-private, exact) execution of `query` on the
     /// same worker pool — the like-for-like baseline of the speed-up
     /// metric: both paths run on identical threads and are charged the
@@ -552,8 +691,9 @@ impl EngineHandle {
         query.check_schema(&self.inner.schema)?;
         let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
         let job = Arc::new(JobState::new(
-            query.clone(),
-            JobKind::Plain,
+            JobKind::Plain {
+                query: query.clone(),
+            },
             index,
             &self.inner.config,
         ));
@@ -619,9 +759,9 @@ impl PendingAnswer {
             .as_ref()
             .expect("allocation computed")
             .to_vec();
-        let budget = match &job.kind {
-            JobKind::Private { budget, .. } => *budget,
-            JobKind::Plain => unreachable!("plain jobs resolve via PendingPlain"),
+        let (query, budget) = match &job.kind {
+            JobKind::Private { query, budget, .. } => (query, *budget),
+            _ => unreachable!("only private jobs resolve via PendingAnswer"),
         };
 
         // ---- Step 6/7: release ----
@@ -638,7 +778,7 @@ impl PendingAnswer {
 
         // Simulated network rounds — same accounting as the serial runtime.
         let cost_model = job.cost_model;
-        let mut network = cost_model.round_time(query_bytes(&job.query))
+        let mut network = cost_model.round_time(query_bytes(query))
             + cost_model.round_time(16)
             + cost_model.round_time(8);
         network += match job.release_mode {
@@ -689,11 +829,71 @@ impl PendingPlain {
             .iter()
             .map(|o| o.expect("all providers reported").estimate as u64)
             .sum();
-        let network =
-            job.cost_model.round_time(query_bytes(&job.query)) + job.cost_model.round_time(16);
+        let query = match &job.kind {
+            JobKind::Plain { query } => query,
+            _ => unreachable!("only plain jobs resolve via PendingPlain"),
+        };
+        let network = job.cost_model.round_time(query_bytes(query)) + job.cost_model.round_time(16);
         Ok(PlainAnswer {
             value,
             duration: progress.execution_time + network,
+        })
+    }
+}
+
+/// The engine's answer to one private MIN/MAX job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineExtreme {
+    /// The combined (post-processed) selection across providers.
+    pub value: fedaqp_model::Value,
+    /// ε charged (per provider; parallel composition across providers).
+    pub epsilon: f64,
+    /// Wall time of the slowest provider's selection.
+    pub execution: Duration,
+    /// Simulated network time (query broadcast + one result round).
+    pub network: Duration,
+}
+
+/// A private extreme query in flight on the pool.
+#[derive(Debug)]
+pub struct PendingExtreme {
+    job: Arc<JobState>,
+}
+
+impl PendingExtreme {
+    /// Blocks until every provider selected, then combines the per-provider
+    /// DP selections by post-processing (max of outputs for MAX, min for
+    /// MIN — Thm. 3.3, free).
+    pub fn wait(self) -> Result<EngineExtreme> {
+        let job = &self.job;
+        let mut progress = job.lock_progress();
+        while progress.error.is_none() && progress.done < job.n_providers {
+            progress = job.wait_on(progress);
+        }
+        if let Some(error) = progress.error.clone() {
+            return Err(error);
+        }
+        let (extreme, epsilon) = match &job.kind {
+            JobKind::Extreme {
+                extreme, epsilon, ..
+            } => (*extreme, *epsilon),
+            _ => unreachable!("only extreme jobs resolve via PendingExtreme"),
+        };
+        let selections = progress
+            .outcomes
+            .iter()
+            .map(|o| o.expect("all providers reported").estimate as fedaqp_model::Value);
+        let value = match extreme {
+            Extreme::Max => selections.max(),
+            Extreme::Min => selections.min(),
+        }
+        .expect("non-empty providers");
+        let network = job.cost_model.round_time(16) + job.cost_model.round_time(8);
+        Ok(EngineExtreme {
+            value,
+            epsilon,
+            execution: progress.execution_time,
+            network,
         })
     }
 }
@@ -986,6 +1186,67 @@ mod tests {
             .with_engine(|engine| engine.submit(&q, 0.2).unwrap().wait())
             .unwrap();
         assert!(ans.value.is_finite());
+    }
+
+    #[test]
+    fn job_seeds_differ_across_different_requests_at_the_same_index() {
+        // Regression: routing the serial extension APIs through fresh
+        // scoped engines means many jobs land on index 0 with the same
+        // configured seed. Different requests must still draw independent
+        // noise, so the job seed mixes the request content.
+        let cfg = config(50);
+        let budget = cfg.query_budget().unwrap();
+        let seed_of = |kind: JobKind| JobState::new(kind, 0, &cfg).seed;
+        let private = |lo: i64, hi: i64, sr: f64| JobKind::Private {
+            query: count_query(lo, hi),
+            sampling_rate: sr,
+            budget,
+        };
+        let base = seed_of(private(0, 500, 0.2));
+        // Identical request → identical seed (repeating a release reveals
+        // no more than one release).
+        assert_eq!(base, seed_of(private(0, 500, 0.2)));
+        // Different ranges, sampling rate, or budget → different stream.
+        assert_ne!(base, seed_of(private(0, 501, 0.2)));
+        assert_ne!(base, seed_of(private(0, 500, 0.3)));
+        let mut other_budget = budget;
+        other_budget.eps_e *= 2.0;
+        assert_ne!(
+            base,
+            seed_of(JobKind::Private {
+                query: count_query(0, 500),
+                sampling_rate: 0.2,
+                budget: other_budget,
+            })
+        );
+        // Extreme jobs separate by dimension and direction.
+        let extreme = |dim: usize, extreme: Extreme| JobKind::Extreme {
+            dim,
+            extreme,
+            epsilon: 1.0,
+        };
+        assert_ne!(
+            seed_of(extreme(0, Extreme::Max)),
+            seed_of(extreme(0, Extreme::Min))
+        );
+        assert_ne!(
+            seed_of(extreme(0, Extreme::Max)),
+            seed_of(extreme(1, Extreme::Max))
+        );
+        assert_ne!(base, seed_of(extreme(0, Extreme::Max)));
+    }
+
+    #[test]
+    fn different_queries_draw_independent_noise_at_index_zero() {
+        // Two fresh scoped engines over identical federations: index 0 on
+        // both, but the queries differ, so the realized noise must too.
+        let noise_of = |lo: i64, hi: i64| {
+            let ans = federation()
+                .with_engine(|engine| engine.submit(&count_query(lo, hi), 0.2).unwrap().wait())
+                .unwrap();
+            ans.value - ans.raw_estimate
+        };
+        assert_ne!(noise_of(0, 500).to_bits(), noise_of(1, 500).to_bits());
     }
 
     #[test]

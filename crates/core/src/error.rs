@@ -36,6 +36,14 @@ pub enum CoreError {
     BadConfig(&'static str),
     /// Summary count mismatch between protocol phases.
     ProtocolViolation(&'static str),
+    /// A GROUP-BY plan would enumerate a domain larger than the configured
+    /// cap ([`crate::FederationConfig::max_group_domain`]).
+    GroupDomainTooLarge {
+        /// The grouped dimension's domain size.
+        size: u64,
+        /// The configured cap.
+        cap: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -59,6 +67,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::BadConfig(what) => write!(f, "bad configuration: {what}"),
             CoreError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+            CoreError::GroupDomainTooLarge { size, cap } => write!(
+                f,
+                "group-by domain of {size} values exceeds the configured cap of {cap}"
+            ),
         }
     }
 }

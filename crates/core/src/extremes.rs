@@ -9,21 +9,22 @@
 //! metadata alone — no data scan — and the aggregator combines the
 //! per-provider selections by post-processing (max of DP outputs for MAX,
 //! min for MIN).
+//!
+//! Execution is plan compilation onto the concurrent engine: an extreme
+//! query is one [`crate::engine::EngineHandle::submit_extreme`] job, so
+//! every provider's selection runs on its own worker thread under the
+//! per-`(query, provider)` derived RNG — deterministic regardless of how
+//! jobs interleave, and identical whether the plan arrives in-process or
+//! over the wire.
 
 use fedaqp_dp::ExponentialMechanism;
-use fedaqp_model::Value;
+pub use fedaqp_model::Extreme;
+use fedaqp_model::{QueryPlan, Value};
+use rand::rngs::StdRng;
 
 use crate::federation::Federation;
-use crate::{CoreError, Result};
-
-/// Which extreme to release.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Extreme {
-    /// Smallest stored value of the dimension.
-    Min,
-    /// Largest stored value of the dimension.
-    Max,
-}
+use crate::plan::PlanResult;
+use crate::Result;
 
 /// The result of a private extreme query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,42 +81,36 @@ fn provider_scores(
         .collect()
 }
 
-/// Releases a private MIN or MAX of dimension `dim` with per-provider
-/// budget `epsilon` (the federation-wide cost is `epsilon` by parallel
-/// composition over disjoint providers).
-pub fn private_extreme(
-    federation: &mut Federation,
+/// One provider's DP extreme selection: scores from metadata, one
+/// Exponential-mechanism draw from `rng` (the engine passes the job's
+/// derived RNG). Runs on the provider's worker thread.
+pub(crate) fn provider_select(
+    provider: &crate::provider::DataProvider,
     dim: usize,
     extreme: Extreme,
     epsilon: f64,
-) -> Result<ExtremeAnswer> {
-    if !(epsilon.is_finite() && epsilon > 0.0) {
-        return Err(CoreError::BadConfig(
-            "extreme-query epsilon must be positive",
-        ));
-    }
-    let schema = federation.schema().clone();
-    let domain = schema.dimension(dim)?.domain();
-    let mut selections: Vec<Value> = Vec::with_capacity(federation.providers().len());
-    // Split into an immutable pass (scores) and a RNG pass via the
-    // aggregator's RNG — provider RNGs are reserved for the query protocol.
-    let scores: Vec<Vec<f64>> = federation
-        .providers()
-        .iter()
-        .map(|p| provider_scores(p, dim, extreme))
-        .collect();
-    let rng = federation.aggregator_rng();
-    for s in &scores {
-        let mechanism = ExponentialMechanism::new(s, 1.0, epsilon)?;
-        let idx = mechanism.select(rng);
-        selections.push(domain.min() + idx as Value);
-    }
-    let value = match extreme {
-        Extreme::Max => *selections.iter().max().expect("non-empty providers"),
-        Extreme::Min => *selections.iter().min().expect("non-empty providers"),
-    };
-    // Oracle: exact extreme over all providers' metadata.
-    let exact = federation
+    rng: &mut StdRng,
+) -> Result<Value> {
+    let scores = provider_scores(provider, dim, extreme);
+    let mechanism = ExponentialMechanism::new(&scores, 1.0, epsilon)?;
+    let idx = mechanism.select(rng);
+    let domain = provider
+        .store()
+        .schema()
+        .dimension(dim)
+        .expect("validated dimension")
+        .domain();
+    Ok(domain.min() + idx as Value)
+}
+
+/// The exact extreme over every provider's metadata (experiment oracle;
+/// never released).
+pub(crate) fn exact_extreme(
+    federation: &Federation,
+    dim: usize,
+    extreme: Extreme,
+) -> Option<Value> {
+    federation
         .providers()
         .iter()
         .flat_map(|p| {
@@ -131,10 +126,34 @@ pub fn private_extreme(
             (None, _) => Some(v),
             (Some(a), Extreme::Max) => Some(a.max(v)),
             (Some(a), Extreme::Min) => Some(a.min(v)),
-        });
+        })
+}
+
+/// Releases a private MIN or MAX of dimension `dim` with per-provider
+/// budget `epsilon` (the federation-wide cost is `epsilon` by parallel
+/// composition over disjoint providers).
+///
+/// Compiles to a [`QueryPlan::Extreme`] executed on a scoped engine, so
+/// the serial convenience API and the concurrent/remote paths share one
+/// implementation (and one noise derivation).
+pub fn private_extreme(
+    federation: &mut Federation,
+    dim: usize,
+    extreme: Extreme,
+    epsilon: f64,
+) -> Result<ExtremeAnswer> {
+    let plan = QueryPlan::Extreme {
+        dim,
+        extreme,
+        epsilon,
+    };
+    let answer = federation.with_engine(|engine| engine.run_plan(&plan))?;
+    let PlanResult::Extreme { value } = answer.result else {
+        unreachable!("extreme plans produce extreme results");
+    };
     Ok(ExtremeAnswer {
         value,
-        exact,
+        exact: exact_extreme(federation, dim, extreme),
         epsilon,
     })
 }
@@ -221,5 +240,17 @@ mod tests {
         let ans = private_extreme(&mut fed, 1, Extreme::Max, 200.0).unwrap();
         assert_eq!(ans.exact, Some(49));
         assert!((0..=49).contains(&ans.value));
+    }
+
+    #[test]
+    fn serial_convenience_matches_engine_plan_byte_for_byte() {
+        // One implementation, one noise derivation: the &mut Federation
+        // API and a direct engine submission must agree exactly.
+        let mut fed = federation();
+        let serial = private_extreme(&mut fed, 0, Extreme::Max, 2.0).unwrap();
+        let engine = fed
+            .with_engine(|engine| engine.submit_extreme(0, Extreme::Max, 2.0).unwrap().wait())
+            .unwrap();
+        assert_eq!(serial.value, engine.value);
     }
 }

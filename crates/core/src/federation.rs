@@ -114,11 +114,6 @@ impl Federation {
         &self.providers
     }
 
-    /// Crate-internal: the aggregator's RNG for extension mechanisms.
-    pub(crate) fn aggregator_rng(&mut self) -> &mut rand::rngs::StdRng {
-        self.aggregator.rng_mut()
-    }
-
     /// Exact plain-text answer over the union of partitions (oracle).
     pub fn exact(&self, query: &RangeQuery) -> u64 {
         self.providers.iter().map(|p| p.exact_answer(query)).sum()

@@ -15,13 +15,24 @@
 //! depends on all rows in the cluster), so parallel composition does not
 //! apply; the caller's `(ε, δ)` is split across groups by sequential
 //! composition. Practical for the small categorical domains GROUP-BY is
-//! typically used on.
+//! typically used on — and guarded: domains above
+//! [`crate::FederationConfig::max_group_domain`] are rejected with
+//! [`crate::CoreError::GroupDomainTooLarge`].
+//!
+//! **Execution.** [`run_group_by`] compiles to a
+//! [`fedaqp_model::QueryPlan::GroupBy`] executed on a scoped concurrent
+//! engine (see [`crate::plan`]): the `k` per-group point queries are all
+//! in flight on the provider worker pool before the first answer is
+//! awaited, so a group-by costs roughly one query's wall time instead of
+//! `k` — while remaining byte-identical to the same plan submitted over
+//! the wire.
 
-use fedaqp_dp::{PrivacyCost, QueryBudget};
-use fedaqp_model::{Range, RangeQuery, Value};
+use fedaqp_dp::PrivacyCost;
+use fedaqp_model::{QueryPlan, Range, RangeQuery, Value};
 
 use crate::federation::Federation;
-use crate::{CoreError, Result};
+use crate::plan::PlanResult;
+use crate::Result;
 
 /// One released group.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,46 +74,38 @@ pub fn run_group_by(
     delta: f64,
     threshold: f64,
 ) -> Result<GroupByAnswer> {
-    if !(epsilon.is_finite() && epsilon > 0.0) {
-        return Err(CoreError::BadConfig("group-by epsilon must be positive"));
-    }
-    if base.dims().any(|d| d == group_dim) {
-        return Err(CoreError::BadConfig(
-            "filter ranges must not constrain the grouped dimension",
-        ));
-    }
-    let domain = federation.schema().dimension(group_dim)?.domain();
-    let k = domain.size();
-    let per_eps = epsilon / k as f64;
-    let per_delta = delta / k as f64;
-    let hp = federation.config().hyperparams;
-    let budget = QueryBudget::split(per_eps, per_delta, hp)?;
-
-    let mut groups = Vec::new();
-    let mut suppressed = 0usize;
-    for key in domain.iter() {
-        let mut ranges = base.ranges().to_vec();
-        ranges.push(Range::new(group_dim, key, key)?);
-        let query = RangeQuery::new(base.aggregate(), ranges)?;
-        let ans = federation.run_with_budget(&query, sampling_rate, &budget)?;
-        if ans.value >= threshold {
-            groups.push(Group {
-                key,
-                value: ans.value,
-                exact: ans.exact,
-            });
-        } else {
-            suppressed += 1;
-        }
-    }
+    let plan = QueryPlan::GroupBy {
+        base: base.clone(),
+        statistic: None,
+        group_dim,
+        threshold,
+        sampling_rate,
+        epsilon,
+        delta,
+    };
+    let answer = federation.with_engine(|engine| engine.run_plan(&plan))?;
+    let PlanResult::Groups { groups, suppressed } = answer.result else {
+        unreachable!("group-by plans produce group results");
+    };
+    let k = federation.schema().dimension(group_dim)?.domain().size();
+    let groups = groups
+        .into_iter()
+        .map(|g| {
+            let mut ranges = base.ranges().to_vec();
+            ranges.push(Range::new(group_dim, g.key, g.key)?);
+            let point = RangeQuery::new(base.aggregate(), ranges)?;
+            Ok(Group {
+                key: g.key,
+                value: g.value,
+                exact: federation.exact(&point),
+            })
+        })
+        .collect::<Result<Vec<Group>>>()?;
     Ok(GroupByAnswer {
         groups,
-        suppressed,
-        cost: PrivacyCost {
-            eps: epsilon,
-            delta,
-        },
-        per_group_epsilon: per_eps,
+        suppressed: suppressed as usize,
+        cost: answer.cost,
+        per_group_epsilon: epsilon / k as f64,
     })
 }
 
@@ -110,6 +113,7 @@ pub fn run_group_by(
 mod tests {
     use super::*;
     use crate::config::FederationConfig;
+    use crate::CoreError;
     use fedaqp_model::{Aggregate, Dimension, Domain, Row, Schema};
 
     fn federation() -> Federation {
@@ -184,6 +188,24 @@ mod tests {
         ));
         assert!(run_group_by(&mut fed, &base(), 0, 0.3, 0.0, 1e-3, 0.0).is_err());
         assert!(run_group_by(&mut fed, &base(), 9, 0.3, 1.0, 1e-3, 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_group_domains() {
+        let base_fed = federation();
+        let mut cfg = base_fed.config().clone();
+        cfg.max_group_domain = 4; // category has 5 values
+        let partitions: Vec<Vec<Row>> = base_fed
+            .providers()
+            .iter()
+            .map(|p| p.store().clusters().iter().flat_map(|c| c.rows()).collect())
+            .collect();
+        let mut fed = Federation::build(cfg, base_fed.schema().clone(), partitions).unwrap();
+        let err = run_group_by(&mut fed, &base(), 0, 0.3, 1.0, 1e-3, 0.0).unwrap_err();
+        assert!(
+            matches!(err, CoreError::GroupDomainTooLarge { size: 5, cap: 4 }),
+            "{err:?}"
+        );
     }
 
     #[test]

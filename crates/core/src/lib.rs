@@ -37,6 +37,7 @@ pub mod extremes;
 pub mod federation;
 pub mod groupby;
 pub mod online;
+pub mod plan;
 pub mod protocol;
 pub mod provider;
 pub mod sensitivity;
@@ -51,14 +52,15 @@ pub use config::{
 };
 pub use derived::{run_derived, DerivedAnswer, DerivedStatistic};
 pub use engine::{
-    EngineAnswer, EngineHandle, FederationEngine, PendingAnswer, PendingPlain, QueryBatch,
-    QuerySpec,
+    EngineAnswer, EngineExtreme, EngineHandle, FederationEngine, PendingAnswer, PendingExtreme,
+    PendingPlain, QueryBatch, QuerySpec,
 };
 pub use error::CoreError;
 pub use extremes::{private_extreme, Extreme, ExtremeAnswer};
 pub use federation::{Federation, PlainAnswer, QueryAnswer};
 pub use groupby::{run_group_by, Group, GroupByAnswer};
 pub use online::{combine_snapshots, run_online, OnlineAnswer, OnlineSnapshot};
+pub use plan::{PendingPlan, PlanAnswer, PlanGroup, PlanResult, QueryPlan};
 pub use protocol::{LocalOutcome, PhaseTimings, ProviderSummary};
 pub use provider::DataProvider;
 pub use session::{AnalystSession, ConcurrentSession, SessionPlan};

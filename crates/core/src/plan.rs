@@ -1,0 +1,729 @@
+//! Plan execution: compiling a [`QueryPlan`] into concurrent engine
+//! sub-queries.
+//!
+//! Every analyst-facing layer — the serial convenience functions
+//! ([`crate::run_group_by`], [`crate::run_derived`],
+//! [`crate::private_extreme`]), [`crate::ConcurrentSession`], the TCP
+//! server, and the CLI — executes plans through this one compiler, so the
+//! semantics (budget splits, suppression, noise derivation) cannot drift
+//! between layers.
+//!
+//! Compilation shape:
+//!
+//! * [`QueryPlan::Scalar`] → one private sub-query.
+//! * [`QueryPlan::Derived`] → 2–3 sub-queries, each under a `1/n` share of
+//!   the plan's `(ε, δ)` (sequential composition, Thm. 3.1); the statistic
+//!   is post-processed from the noisy releases (Thm. 3.3 — free).
+//! * [`QueryPlan::GroupBy`] → one point sub-query per public domain value
+//!   of the grouped dimension (× the statistic's sub-queries when grouping
+//!   a derived aggregate), each under a `1/k` (or `1/(k·n)`) share.
+//!   Group queries are *not* disjoint under this pipeline (a cluster's
+//!   metadata depends on all rows in the cluster), so sequential — not
+//!   parallel — composition applies.
+//! * [`QueryPlan::Extreme`] → one metadata-only engine job
+//!   ([`EngineHandle::submit_extreme`]).
+//!
+//! **Concurrency.** [`EngineHandle::submit_plan`] submits *every*
+//! sub-query before anything is awaited, so a group-by's `k` point queries
+//! pipeline across the provider worker pool instead of executing serially
+//! — under a WAN cost model their transits overlap, which is why
+//! [`PlanAnswer::timings`] reports per-phase *maxima* over the concurrent
+//! sub-queries rather than sums.
+//!
+//! **Determinism.** Sub-queries are submitted in a canonical order
+//! (groups ascending by key; within a derived cell: COUNT, SUM, second
+//! moment), and each draws noise from the engine's per-`(query index,
+//! provider)` RNG derivation — so a seeded plan produces byte-identical
+//! answers whether it runs through a scoped engine, a shared
+//! [`crate::FederationEngine`], or a remote connection.
+//!
+//! **Budget.** A plan's whole `(ε, δ)` is known up front
+//! ([`QueryPlan::total_cost`]), and [`EngineHandle::validate_plan`] is
+//! side-effect free, so budget-charging sessions validate first, charge
+//! the *entire* plan atomically, and only then submit — a plan the engine
+//! would reject costs nothing, and a plan that is accepted can never be
+//! half-charged (fail-closed once dispatched).
+
+use std::time::Duration;
+
+use fedaqp_dp::{PrivacyCost, QueryBudget};
+pub use fedaqp_model::QueryPlan;
+use fedaqp_model::{Aggregate, Range, RangeQuery, Value};
+
+use crate::derived::DerivedStatistic;
+use crate::engine::{EngineHandle, PendingAnswer, PendingExtreme};
+use crate::protocol::PhaseTimings;
+use crate::{CoreError, Result};
+
+/// One released group of a GROUP-BY plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanGroup {
+    /// The group key (a value of the grouped dimension).
+    pub key: Value,
+    /// The noisy aggregate (or derived statistic) for the group.
+    pub value: f64,
+    /// 95% sampling confidence half-width of the group's release, when
+    /// estimable (`None` for derived statistics, whose post-processing has
+    /// no closed-form interval here).
+    pub ci_halfwidth: Option<f64>,
+}
+
+/// The shape-specific part of a [`PlanAnswer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanResult {
+    /// A scalar or derived-statistic release.
+    Value {
+        /// The DP-released value.
+        value: f64,
+        /// 95% sampling confidence half-width, when estimable.
+        ci_halfwidth: Option<f64>,
+    },
+    /// A GROUP-BY release: surviving groups ascending by key.
+    Groups {
+        /// Released groups (noisy value ≥ threshold).
+        groups: Vec<PlanGroup>,
+        /// Number of groups suppressed by the significance threshold.
+        suppressed: u64,
+    },
+    /// A private MIN/MAX selection.
+    Extreme {
+        /// The selected (privately released) domain value.
+        value: Value,
+    },
+}
+
+/// The uniform answer to any [`QueryPlan`]: the shape-specific result plus
+/// the privacy cost and latency accounting every plan kind shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanAnswer {
+    /// The released result.
+    pub result: PlanResult,
+    /// The `(ε, δ)` the plan charged — always exactly
+    /// [`QueryPlan::total_cost`].
+    pub cost: PrivacyCost,
+    /// Per-phase latency, taken as the *maximum* over the plan's
+    /// concurrent sub-queries (their execution and simulated transit
+    /// overlap on the worker pool; a serial executor would pay the sum).
+    pub timings: PhaseTimings,
+}
+
+impl PlanAnswer {
+    /// The scalar value, when the plan released one.
+    pub fn value(&self) -> Option<f64> {
+        match &self.result {
+            PlanResult::Value { value, .. } => Some(*value),
+            PlanResult::Extreme { value } => Some(*value as f64),
+            PlanResult::Groups { .. } => None,
+        }
+    }
+
+    /// The released groups, when the plan was a GROUP-BY.
+    pub fn groups(&self) -> Option<&[PlanGroup]> {
+        match &self.result {
+            PlanResult::Groups { groups, .. } => Some(groups),
+            _ => None,
+        }
+    }
+}
+
+/// Merges per-phase timings under the overlap model (element-wise max).
+fn merge_timings(into: &mut PhaseTimings, other: &PhaseTimings) {
+    into.summary = into.summary.max(other.summary);
+    into.allocation = into.allocation.max(other.allocation);
+    into.execution = into.execution.max(other.execution);
+    into.release = into.release.max(other.release);
+    into.network = into.network.max(other.network);
+}
+
+/// The in-flight sub-queries of one scalar or derived "cell" (a lone plan,
+/// or one group of a GROUP-BY).
+#[derive(Debug)]
+enum CellPending {
+    Scalar(PendingAnswer),
+    Derived {
+        statistic: DerivedStatistic,
+        count: PendingAnswer,
+        sum: PendingAnswer,
+        /// The third budgeted release of VAR/STD (see
+        /// [`crate::derived`] for why it is cost-only).
+        second_moment: Option<PendingAnswer>,
+    },
+}
+
+impl CellPending {
+    /// Waits out the cell's sub-queries and post-processes the statistic.
+    /// Noisy denominators are clamped to ≥ 1 so the post-processing stays
+    /// finite; variance is clamped at ≥ 0.
+    fn wait(self) -> Result<(f64, Option<f64>, PhaseTimings)> {
+        match self {
+            CellPending::Scalar(pending) => {
+                let answer = pending.wait()?;
+                Ok((answer.value, answer.ci_halfwidth, answer.timings))
+            }
+            CellPending::Derived {
+                statistic,
+                count,
+                sum,
+                second_moment,
+            } => {
+                let count = count.wait()?;
+                let sum = sum.wait()?;
+                let mut timings = count.timings;
+                merge_timings(&mut timings, &sum.timings);
+                if let Some(pending) = second_moment {
+                    let heavy = pending.wait()?;
+                    merge_timings(&mut timings, &heavy.timings);
+                }
+                let noisy_count = count.value.max(1.0);
+                let mean = sum.value / noisy_count;
+                let value = match statistic {
+                    DerivedStatistic::Average => mean,
+                    DerivedStatistic::Variance => (mean * (mean - 1.0)).max(0.0),
+                    DerivedStatistic::StdDev => (mean * (mean - 1.0)).max(0.0).sqrt(),
+                };
+                Ok((value, None, timings))
+            }
+        }
+    }
+}
+
+/// A [`QueryPlan`] in flight on the engine: every sub-query has been
+/// submitted (and is pipelining across the worker pool); [`wait`] collects
+/// and post-processes.
+///
+/// [`wait`]: PendingPlan::wait
+#[derive(Debug)]
+pub struct PendingPlan {
+    kind: PendingKind,
+    cost: PrivacyCost,
+}
+
+#[derive(Debug)]
+enum PendingKind {
+    Cell(CellPending),
+    Groups {
+        keys: Vec<Value>,
+        cells: Vec<CellPending>,
+        threshold: f64,
+    },
+    Extreme(PendingExtreme),
+}
+
+impl PendingPlan {
+    /// Blocks until every sub-query resolved, then assembles the plan's
+    /// uniform answer.
+    pub fn wait(self) -> Result<PlanAnswer> {
+        let cost = self.cost;
+        match self.kind {
+            PendingKind::Cell(cell) => {
+                let (value, ci_halfwidth, timings) = cell.wait()?;
+                Ok(PlanAnswer {
+                    result: PlanResult::Value {
+                        value,
+                        ci_halfwidth,
+                    },
+                    cost,
+                    timings,
+                })
+            }
+            PendingKind::Groups {
+                keys,
+                cells,
+                threshold,
+            } => {
+                let mut groups = Vec::with_capacity(keys.len());
+                let mut suppressed = 0u64;
+                let mut timings = PhaseTimings {
+                    summary: Duration::ZERO,
+                    allocation: Duration::ZERO,
+                    execution: Duration::ZERO,
+                    release: Duration::ZERO,
+                    network: Duration::ZERO,
+                };
+                for (key, cell) in keys.into_iter().zip(cells) {
+                    let (value, ci_halfwidth, cell_timings) = cell.wait()?;
+                    merge_timings(&mut timings, &cell_timings);
+                    if value >= threshold {
+                        groups.push(PlanGroup {
+                            key,
+                            value,
+                            ci_halfwidth,
+                        });
+                    } else {
+                        suppressed += 1;
+                    }
+                }
+                Ok(PlanAnswer {
+                    result: PlanResult::Groups { groups, suppressed },
+                    cost,
+                    timings,
+                })
+            }
+            PendingKind::Extreme(pending) => {
+                let extreme = pending.wait()?;
+                Ok(PlanAnswer {
+                    result: PlanResult::Extreme {
+                        value: extreme.value,
+                    },
+                    cost,
+                    timings: PhaseTimings {
+                        summary: Duration::ZERO,
+                        allocation: Duration::ZERO,
+                        execution: extreme.execution,
+                        release: Duration::ZERO,
+                        network: extreme.network,
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// The sub-query budget of one derived cell: the cell's `(ε, δ)` split
+/// evenly over the statistic's sub-queries, then phase-split.
+fn derived_budget(
+    handle: &EngineHandle,
+    statistic: DerivedStatistic,
+    epsilon: f64,
+    delta: f64,
+) -> Result<QueryBudget> {
+    let n = statistic.sub_queries() as f64;
+    Ok(QueryBudget::split(
+        epsilon / n,
+        delta / n,
+        handle.config().hyperparams,
+    )?)
+}
+
+/// The enumerated `(key, point query)` pairs of a GROUP-BY plan, ascending
+/// by key.
+fn compile_groups(base: &RangeQuery, group_dim: usize, keys: &[Value]) -> Result<Vec<RangeQuery>> {
+    keys.iter()
+        .map(|&key| {
+            let mut ranges = base.ranges().to_vec();
+            ranges.push(Range::new(group_dim, key, key)?);
+            Ok(RangeQuery::new(base.aggregate(), ranges)?)
+        })
+        .collect()
+}
+
+/// The COUNT and SUM (and cost-only second moment) sub-queries of one
+/// derived cell over `ranges`.
+fn derived_queries(query: &RangeQuery) -> Result<(RangeQuery, RangeQuery, RangeQuery)> {
+    let count = RangeQuery::new(Aggregate::Count, query.ranges().to_vec())?;
+    let sum = RangeQuery::new(Aggregate::Sum, query.ranges().to_vec())?;
+    let second = RangeQuery::new(Aggregate::Count, query.ranges().to_vec())?;
+    Ok((count, sum, second))
+}
+
+impl EngineHandle {
+    /// The keys a GROUP-BY plan enumerates, after the domain-size guard:
+    /// a grouped dimension whose public domain exceeds
+    /// [`crate::FederationConfig::max_group_domain`] is rejected with a
+    /// typed error instead of iterating an enormous domain.
+    fn group_keys(&self, group_dim: usize) -> Result<Vec<Value>> {
+        let domain = self.schema().dimension(group_dim)?.domain();
+        let cap = self.config().max_group_domain;
+        if domain.size() > cap {
+            return Err(CoreError::GroupDomainTooLarge {
+                size: domain.size(),
+                cap,
+            });
+        }
+        Ok(domain.iter().collect())
+    }
+
+    /// Validates a plan without dispatching (or charging) anything:
+    /// schema, sampling rate, budget positivity, and the group-domain cap.
+    /// Stateless, so sessions can check a plan *before* charging its
+    /// [`QueryPlan::total_cost`].
+    pub fn validate_plan(&self, plan: &QueryPlan) -> Result<()> {
+        match plan {
+            QueryPlan::Scalar {
+                query,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => {
+                let budget = QueryBudget::split(*epsilon, *delta, self.config().hyperparams)?;
+                self.validate(query, *sampling_rate, &budget)
+            }
+            QueryPlan::Derived {
+                query,
+                statistic,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => {
+                if !(epsilon.is_finite() && *epsilon > 0.0) {
+                    return Err(CoreError::BadConfig("derived epsilon must be positive"));
+                }
+                let budget = derived_budget(self, *statistic, *epsilon, *delta)?;
+                self.validate(query, *sampling_rate, &budget)
+            }
+            QueryPlan::GroupBy {
+                base,
+                statistic,
+                group_dim,
+                sampling_rate,
+                epsilon,
+                delta,
+                ..
+            } => {
+                if !(epsilon.is_finite() && *epsilon > 0.0) {
+                    return Err(CoreError::BadConfig("group-by epsilon must be positive"));
+                }
+                if base.dims().any(|d| d == *group_dim) {
+                    return Err(CoreError::BadConfig(
+                        "filter ranges must not constrain the grouped dimension",
+                    ));
+                }
+                let keys = self.group_keys(*group_dim)?;
+                let k = keys.len() as f64;
+                let budget = match statistic {
+                    Some(statistic) => derived_budget(self, *statistic, epsilon / k, delta / k)?,
+                    None => QueryBudget::split(epsilon / k, delta / k, self.config().hyperparams)?,
+                };
+                self.validate(base, *sampling_rate, &budget)
+            }
+            QueryPlan::Extreme { dim, epsilon, .. } => {
+                self.schema().dimension(*dim)?;
+                if !(epsilon.is_finite() && *epsilon > 0.0) {
+                    return Err(CoreError::BadConfig(
+                        "extreme-query epsilon must be positive",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Submits one derived cell (COUNT, SUM, and for VAR/STD the cost-only
+    /// second moment) without waiting.
+    fn submit_derived_cell(
+        &self,
+        query: &RangeQuery,
+        statistic: DerivedStatistic,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<CellPending> {
+        let (count_q, sum_q, second_q) = derived_queries(query)?;
+        let count = self.submit_with_budget(&count_q, sampling_rate, budget)?;
+        let sum = self.submit_with_budget(&sum_q, sampling_rate, budget)?;
+        let second_moment = match statistic {
+            DerivedStatistic::Average => None,
+            DerivedStatistic::Variance | DerivedStatistic::StdDev => {
+                Some(self.submit_with_budget(&second_q, sampling_rate, budget)?)
+            }
+        };
+        Ok(CellPending::Derived {
+            statistic,
+            count,
+            sum,
+            second_moment,
+        })
+    }
+
+    /// Compiles `plan` and submits **all** of its sub-queries to the
+    /// worker pool before returning — a group-by's per-group queries are
+    /// in flight together, pipelining across providers, by the time the
+    /// caller first waits.
+    ///
+    /// Validation happens up front ([`Self::validate_plan`]), so a
+    /// rejected plan touches no data and costs no budget.
+    pub fn submit_plan(&self, plan: &QueryPlan) -> Result<PendingPlan> {
+        self.validate_plan(plan)?;
+        self.submit_plan_validated(plan)
+    }
+
+    /// [`Self::submit_plan`] minus the validation pass — for callers that
+    /// already ran [`Self::validate_plan`] on this exact plan (a session
+    /// validates, charges atomically, then submits; re-validating would
+    /// re-enumerate a group-by's domain for nothing).
+    pub(crate) fn submit_plan_validated(&self, plan: &QueryPlan) -> Result<PendingPlan> {
+        let (eps, delta) = plan.total_cost();
+        let cost = PrivacyCost { eps, delta };
+        let kind = match plan {
+            QueryPlan::Scalar {
+                query,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => {
+                let budget = QueryBudget::split(*epsilon, *delta, self.config().hyperparams)?;
+                PendingKind::Cell(CellPending::Scalar(self.submit_with_budget(
+                    query,
+                    *sampling_rate,
+                    &budget,
+                )?))
+            }
+            QueryPlan::Derived {
+                query,
+                statistic,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => {
+                let budget = derived_budget(self, *statistic, *epsilon, *delta)?;
+                PendingKind::Cell(self.submit_derived_cell(
+                    query,
+                    *statistic,
+                    *sampling_rate,
+                    &budget,
+                )?)
+            }
+            QueryPlan::GroupBy {
+                base,
+                statistic,
+                group_dim,
+                threshold,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => {
+                let keys = self.group_keys(*group_dim)?;
+                let k = keys.len() as f64;
+                let queries = compile_groups(base, *group_dim, &keys)?;
+                let cells = match statistic {
+                    None => {
+                        let budget =
+                            QueryBudget::split(epsilon / k, delta / k, self.config().hyperparams)?;
+                        queries
+                            .iter()
+                            .map(|q| {
+                                Ok(CellPending::Scalar(self.submit_with_budget(
+                                    q,
+                                    *sampling_rate,
+                                    &budget,
+                                )?))
+                            })
+                            .collect::<Result<Vec<_>>>()?
+                    }
+                    Some(statistic) => {
+                        let budget = derived_budget(self, *statistic, epsilon / k, delta / k)?;
+                        queries
+                            .iter()
+                            .map(|q| {
+                                self.submit_derived_cell(q, *statistic, *sampling_rate, &budget)
+                            })
+                            .collect::<Result<Vec<_>>>()?
+                    }
+                };
+                PendingKind::Groups {
+                    keys,
+                    cells,
+                    threshold: *threshold,
+                }
+            }
+            QueryPlan::Extreme {
+                dim,
+                extreme,
+                epsilon,
+            } => PendingKind::Extreme(self.submit_extreme(*dim, *extreme, *epsilon)?),
+        };
+        Ok(PendingPlan { kind, cost })
+    }
+
+    /// Submits a plan and waits it out (submit + wait).
+    pub fn run_plan(&self, plan: &QueryPlan) -> Result<PlanAnswer> {
+        self.submit_plan(plan)?.wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FederationConfig;
+    use crate::federation::Federation;
+    use fedaqp_model::{Dimension, Domain, Extreme, Row, Schema};
+
+    fn federation(epsilon: f64) -> Federation {
+        let schema = Schema::new(vec![
+            Dimension::new("category", Domain::new(0, 4).unwrap()),
+            Dimension::new("x", Domain::new(0, 99).unwrap()),
+        ])
+        .unwrap();
+        let sizes = [2000usize, 1000, 400, 40, 0];
+        let partitions: Vec<Vec<Row>> = (0..4)
+            .map(|p| {
+                let mut rows = Vec::new();
+                for (cat, &n) in sizes.iter().enumerate() {
+                    for i in 0..n / 4 {
+                        rows.push(Row::cell(
+                            vec![cat as i64, ((i * 7 + p) % 100) as i64],
+                            1 + (i % 3) as u64,
+                        ));
+                    }
+                }
+                rows
+            })
+            .collect();
+        let mut cfg = FederationConfig::paper_default(64);
+        cfg.cost_model = fedaqp_smc::CostModel::zero();
+        cfg.n_min = 2;
+        cfg.epsilon = epsilon;
+        Federation::build(cfg, schema, partitions).unwrap()
+    }
+
+    fn base() -> RangeQuery {
+        RangeQuery::new(Aggregate::Count, vec![Range::new(1, 0, 99).unwrap()]).unwrap()
+    }
+
+    fn group_plan(epsilon: f64, statistic: Option<DerivedStatistic>) -> QueryPlan {
+        QueryPlan::GroupBy {
+            base: base(),
+            statistic,
+            group_dim: 0,
+            threshold: 0.0,
+            sampling_rate: 0.3,
+            epsilon,
+            delta: 1e-3,
+        }
+    }
+
+    #[test]
+    fn scalar_plan_matches_direct_submission() {
+        let fed = federation(1.0);
+        let plan = QueryPlan::Scalar {
+            query: base(),
+            sampling_rate: 0.3,
+            epsilon: 1.0,
+            delta: 1e-3,
+        };
+        let via_plan = fed.with_engine(|e| e.run_plan(&plan)).unwrap();
+        let direct = fed
+            .with_engine(|e| e.submit(&base(), 0.3).unwrap().wait())
+            .unwrap();
+        assert_eq!(via_plan.value().unwrap().to_bits(), direct.value.to_bits());
+        assert_eq!(via_plan.cost.eps, 1.0);
+    }
+
+    #[test]
+    fn group_by_plan_releases_every_group_in_key_order() {
+        let fed = federation(250.0);
+        let answer = fed
+            .with_engine(|e| e.run_plan(&group_plan(250.0, None)))
+            .unwrap();
+        let groups = answer.groups().unwrap();
+        assert_eq!(groups.len(), 5);
+        let keys: Vec<Value> = groups.iter().map(|g| g.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+        // The big groups come out in the right order under the loose budget.
+        assert!(groups[0].value > groups[1].value);
+        assert!(groups[1].value > groups[2].value);
+        assert!((answer.cost.eps - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_by_plan_is_deterministic_across_runs() {
+        let a = federation(2.0)
+            .with_engine(|e| e.run_plan(&group_plan(2.0, None)))
+            .unwrap();
+        let b = federation(2.0)
+            .with_engine(|e| e.run_plan(&group_plan(2.0, None)))
+            .unwrap();
+        // Released data is byte-identical; only wall-clock timings vary.
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn grouped_average_stays_in_measure_range() {
+        // Cell measures are 1..=3, so per-group averages live in [1, 3]
+        // modulo noise; a huge ε pins them there.
+        let fed = federation(5000.0);
+        let answer = fed
+            .with_engine(|e| e.run_plan(&group_plan(5000.0, Some(DerivedStatistic::Average))))
+            .unwrap();
+        let groups = answer.groups().unwrap();
+        assert!(!groups.is_empty());
+        for g in groups.iter().take(3) {
+            // Only the populated groups are pinned by data.
+            assert!(g.value > 0.5 && g.value < 4.0, "group {g:?}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_before_any_work() {
+        let fed = federation(1.0);
+        fed.with_engine(|e| {
+            // Group dim constrained by the filter.
+            let bad = QueryPlan::GroupBy {
+                base: RangeQuery::new(Aggregate::Count, vec![Range::new(0, 0, 2).unwrap()])
+                    .unwrap(),
+                statistic: None,
+                group_dim: 0,
+                threshold: 0.0,
+                sampling_rate: 0.3,
+                epsilon: 1.0,
+                delta: 1e-3,
+            };
+            assert!(matches!(
+                e.validate_plan(&bad),
+                Err(CoreError::BadConfig(_))
+            ));
+            // Bad sampling rate.
+            let bad = QueryPlan::Scalar {
+                query: base(),
+                sampling_rate: 1.5,
+                epsilon: 1.0,
+                delta: 1e-3,
+            };
+            assert!(matches!(
+                e.validate_plan(&bad),
+                Err(CoreError::InvalidSamplingRate(_))
+            ));
+            // Non-positive ε.
+            assert!(e.validate_plan(&group_plan(0.0, None)).is_err());
+            // Unknown extreme dimension.
+            let bad = QueryPlan::Extreme {
+                dim: 7,
+                extreme: Extreme::Max,
+                epsilon: 1.0,
+            };
+            assert!(e.validate_plan(&bad).is_err());
+        });
+    }
+
+    #[test]
+    fn oversized_group_domain_is_a_typed_error() {
+        let mut cfg_fed = federation(1.0);
+        // Shrink the cap below the category domain (5 values).
+        let plan = group_plan(1.0, None);
+        let err = {
+            let fed = &mut cfg_fed;
+            // Rebuild with a tiny cap.
+            let schema = fed.schema().clone();
+            let mut cfg = fed.config().clone();
+            cfg.max_group_domain = 3;
+            let partitions: Vec<Vec<Row>> = fed
+                .providers()
+                .iter()
+                .map(|p| p.store().clusters().iter().flat_map(|c| c.rows()).collect())
+                .collect();
+            let capped = Federation::build(cfg, schema, partitions).unwrap();
+            capped.with_engine(|e| e.validate_plan(&plan)).unwrap_err()
+        };
+        assert!(
+            matches!(err, CoreError::GroupDomainTooLarge { size: 5, cap: 3 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn extreme_plan_runs_on_the_pool() {
+        let fed = federation(1.0);
+        let plan = QueryPlan::Extreme {
+            dim: 1,
+            extreme: Extreme::Max,
+            epsilon: 100.0,
+        };
+        let answer = fed.with_engine(|e| e.run_plan(&plan)).unwrap();
+        match answer.result {
+            PlanResult::Extreme { value } => assert!((0..=99).contains(&value)),
+            other => panic!("expected an extreme result, got {other:?}"),
+        }
+        assert_eq!(answer.cost.eps, 100.0);
+        assert_eq!(answer.cost.delta, 0.0);
+    }
+}

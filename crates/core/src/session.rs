@@ -13,11 +13,12 @@
 //!   budget of §6.6's advanced composition.
 
 use fedaqp_dp::{advanced_per_query, BudgetAccountant, PrivacyCost, QueryBudget, SharedAccountant};
-use fedaqp_model::RangeQuery;
+use fedaqp_model::{QueryPlan, RangeQuery};
 
 use crate::derived::{run_derived, DerivedAnswer, DerivedStatistic};
 use crate::engine::{EngineAnswer, EngineHandle, PendingAnswer};
 use crate::federation::{Federation, QueryAnswer};
+use crate::plan::{PendingPlan, PlanAnswer};
 use crate::{CoreError, Result};
 
 /// How the session stretches the analyst's `(ξ, ψ)`.
@@ -259,6 +260,39 @@ impl ConcurrentSession {
     /// first.
     pub fn query(&self, query: &RangeQuery, sampling_rate: f64) -> Result<EngineAnswer> {
         self.submit(query, sampling_rate)?.wait()
+    }
+
+    /// Atomically charges a plan's *entire* declared
+    /// [`QueryPlan::total_cost`] up front, then compiles and submits every
+    /// sub-query without waiting — so a group-by's per-group queries
+    /// pipeline on the worker pool while the budget ledger already covers
+    /// all of them (racing plans cannot jointly overspend `(ξ, ψ)`, and a
+    /// plan can never be half-charged).
+    ///
+    /// A plan the engine would reject is validated *before* the charge —
+    /// it touches no data, so it must not cost budget. Once dispatched,
+    /// the whole charge is kept even if a sub-query later fails
+    /// (fail-closed: the conservative direction for privacy).
+    ///
+    /// A plan always charges its *declared* cost: unlike [`Self::submit`],
+    /// whose per-query `(ε, δ)` comes from the session's [`SessionPlan`]
+    /// (including the advanced-composition discount), a [`QueryPlan`] is a
+    /// self-contained privacy contract and spends exactly
+    /// [`QueryPlan::total_cost`] regardless of the plan the session was
+    /// opened with — the sequential-composition accounting, which is never
+    /// an undercharge.
+    pub fn submit_plan(&self, plan: &QueryPlan) -> Result<PendingPlan> {
+        self.handle.validate_plan(plan)?;
+        let (eps, delta) = plan.total_cost();
+        self.accountant
+            .charge(PrivacyCost { eps, delta })
+            .map_err(CoreError::Dp)?;
+        self.handle.submit_plan_validated(plan)
+    }
+
+    /// Answers one plan, atomically charging its whole cost first.
+    pub fn run_plan(&self, plan: &QueryPlan) -> Result<PlanAnswer> {
+        self.submit_plan(plan)?.wait()
     }
 }
 

@@ -26,6 +26,7 @@ pub mod dimension;
 pub mod domain;
 pub mod error;
 pub mod executor;
+pub mod plan;
 pub mod query;
 pub mod row;
 pub mod schema;
@@ -37,10 +38,11 @@ pub use dimension::Dimension;
 pub use domain::Domain;
 pub use error::ModelError;
 pub use executor::{scan_aggregate, scan_aggregate_rows, PlainExecutor};
+pub use plan::{DerivedStatistic, Extreme, QueryPlan};
 pub use query::{Aggregate, QueryBuilder, Range, RangeQuery};
 pub use row::Row;
 pub use schema::Schema;
-pub use sql::{parse_sql, SqlError};
+pub use sql::{parse_sql, parse_sql_plan, PlanParams, SqlError};
 pub use tensor::CountTensor;
 pub use value::Value;
 

@@ -1,0 +1,311 @@
+//! The unified analyst request vocabulary: [`QueryPlan`].
+//!
+//! A plan is *what an analyst asks the federation*, one level above a bare
+//! [`RangeQuery`]: a scalar range-aggregate, a derived statistic
+//! (AVG/VAR/STD via sequential composition), a GROUP BY over a public
+//! categorical dimension, or a private MIN/MAX. Every plan carries its own
+//! sampling rate and an explicit `(ε, δ)` spend, so a plan is a complete,
+//! self-contained privacy contract: whatever layer executes it — the
+//! in-process engine, the TCP server, the CLI — charges exactly
+//! [`QueryPlan::total_cost`] and nothing else.
+//!
+//! This type lives in `fedaqp-model` (not `fedaqp-core`) deliberately: the
+//! SQL parser compiles statements into plans, the wire codec serializes
+//! them, and the engine executes them, and none of those layers should own
+//! the vocabulary the other two speak.
+
+use crate::error::ModelError;
+use crate::query::RangeQuery;
+use crate::schema::Schema;
+
+/// A derived statistic computable from SUM and COUNT (§7: AVERAGE,
+/// VARIANCE, and STDDEV "can be derived from SUM and COUNT using the
+/// sequential composition of DP").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerivedStatistic {
+    /// `AVG(Measure) = SUM/COUNT` — two sub-queries.
+    Average,
+    /// `VAR(Measure) = E[M²] − E[M]²` approximated with the second-moment
+    /// trick over the *cell measure* distribution; three sub-queries.
+    Variance,
+    /// `STD(Measure) = √VAR` — same sub-queries as variance.
+    StdDev,
+}
+
+impl DerivedStatistic {
+    /// Number of underlying private sub-queries.
+    pub fn sub_queries(&self) -> u32 {
+        match self {
+            DerivedStatistic::Average => 2,
+            DerivedStatistic::Variance | DerivedStatistic::StdDev => 3,
+        }
+    }
+
+    /// Canonical short name (`avg` / `var` / `std`) — the CLI `--stat`
+    /// vocabulary.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DerivedStatistic::Average => "avg",
+            DerivedStatistic::Variance => "var",
+            DerivedStatistic::StdDev => "std",
+        }
+    }
+}
+
+/// Which extreme a private MIN/MAX query releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extreme {
+    /// Smallest stored value of the dimension.
+    Min,
+    /// Largest stored value of the dimension.
+    Max,
+}
+
+impl Extreme {
+    /// Canonical short name (`min` / `max`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Extreme::Min => "min",
+            Extreme::Max => "max",
+        }
+    }
+}
+
+/// One complete analyst request, with its sampling rate and explicit
+/// `(ε, δ)` spend.
+///
+/// Executors compile a plan into range-query sub-queries (see
+/// `fedaqp_core::plan`): a [`QueryPlan::GroupBy`] of `k` groups fans out
+/// `k` point queries (× the statistic's sub-queries when grouped over a
+/// derived aggregate), each under a `1/k` share of the plan's budget by
+/// sequential composition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPlan {
+    /// A plain private range-aggregate (COUNT/SUM) — one sub-query.
+    Scalar {
+        /// The range query.
+        query: RangeQuery,
+        /// Sampling rate `sr ∈ (0, 1)`.
+        sampling_rate: f64,
+        /// Total ε spent by the plan.
+        epsilon: f64,
+        /// Total δ spent by the plan.
+        delta: f64,
+    },
+    /// A derived statistic over the predicate ranges of `query` (whose
+    /// own aggregate is ignored) — 2–3 sub-queries.
+    Derived {
+        /// The predicate-carrying query.
+        query: RangeQuery,
+        /// Which statistic to derive.
+        statistic: DerivedStatistic,
+        /// Sampling rate `sr ∈ (0, 1)`.
+        sampling_rate: f64,
+        /// Total ε spent by the plan.
+        epsilon: f64,
+        /// Total δ spent by the plan.
+        delta: f64,
+    },
+    /// `SELECT g, AGG(..) … GROUP BY g` over the public domain of
+    /// dimension `group_dim` — one point sub-query per domain value (times
+    /// the statistic's sub-queries when `statistic` is set).
+    GroupBy {
+        /// The aggregate and filter ranges (must not constrain
+        /// `group_dim`).
+        base: RangeQuery,
+        /// Derive this statistic per group instead of the base aggregate.
+        statistic: Option<DerivedStatistic>,
+        /// The grouped dimension (its public domain enumerates the
+        /// groups).
+        group_dim: usize,
+        /// Suppress groups whose noisy value falls below this (a utility
+        /// measure mirroring partition-selection thresholding; `0.0`
+        /// releases every group).
+        threshold: f64,
+        /// Sampling rate `sr ∈ (0, 1)`.
+        sampling_rate: f64,
+        /// Total ε spent by the plan (split across groups).
+        epsilon: f64,
+        /// Total δ spent by the plan (split across groups).
+        delta: f64,
+    },
+    /// A private MIN/MAX of dimension `dim` via Exponential-mechanism
+    /// selection over the domain (metadata only — no sampling, no δ).
+    Extreme {
+        /// The dimension whose extreme is released.
+        dim: usize,
+        /// MIN or MAX.
+        extreme: Extreme,
+        /// Per-provider ε (federation-wide cost by parallel composition).
+        epsilon: f64,
+    },
+}
+
+impl QueryPlan {
+    /// The `(ε, δ)` the whole plan costs the analyst — what a session
+    /// ledger charges *up front*, before any sub-query touches data.
+    pub fn total_cost(&self) -> (f64, f64) {
+        match self {
+            QueryPlan::Scalar { epsilon, delta, .. }
+            | QueryPlan::Derived { epsilon, delta, .. }
+            | QueryPlan::GroupBy { epsilon, delta, .. } => (*epsilon, *delta),
+            QueryPlan::Extreme { epsilon, .. } => (*epsilon, 0.0),
+        }
+    }
+
+    /// The plan's sampling rate, when it samples at all (extremes answer
+    /// from metadata alone).
+    pub fn sampling_rate(&self) -> Option<f64> {
+        match self {
+            QueryPlan::Scalar { sampling_rate, .. }
+            | QueryPlan::Derived { sampling_rate, .. }
+            | QueryPlan::GroupBy { sampling_rate, .. } => Some(*sampling_rate),
+            QueryPlan::Extreme { .. } => None,
+        }
+    }
+
+    /// How many private range-query sub-queries the plan compiles into
+    /// against `schema` (0 for extremes, which run a dedicated
+    /// metadata-only job per provider).
+    pub fn sub_query_count(&self, schema: &Schema) -> Result<u64, ModelError> {
+        Ok(match self {
+            QueryPlan::Scalar { .. } => 1,
+            QueryPlan::Derived { statistic, .. } => statistic.sub_queries() as u64,
+            QueryPlan::GroupBy {
+                statistic,
+                group_dim,
+                ..
+            } => {
+                let k = schema.dimension(*group_dim)?.domain().size();
+                k * statistic.map_or(1, |s| s.sub_queries() as u64)
+            }
+            QueryPlan::Extreme { .. } => 0,
+        })
+    }
+
+    /// Checks every dimension the plan references against `schema`.
+    pub fn check_schema(&self, schema: &Schema) -> Result<(), ModelError> {
+        match self {
+            QueryPlan::Scalar { query, .. } | QueryPlan::Derived { query, .. } => {
+                query.check_schema(schema)
+            }
+            QueryPlan::GroupBy {
+                base, group_dim, ..
+            } => {
+                base.check_schema(schema)?;
+                schema.dimension(*group_dim).map(|_| ())
+            }
+            QueryPlan::Extreme { dim, .. } => schema.dimension(*dim).map(|_| ()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::domain::Domain;
+    use crate::query::{Aggregate, Range};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::new("age", Domain::new(17, 90).unwrap()),
+            Dimension::new("workclass", Domain::new(0, 7).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    fn base() -> RangeQuery {
+        RangeQuery::new(Aggregate::Count, vec![Range::new(0, 20, 40).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn total_cost_covers_every_variant() {
+        let scalar = QueryPlan::Scalar {
+            query: base(),
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+        };
+        assert_eq!(scalar.total_cost(), (1.0, 1e-3));
+        let extreme = QueryPlan::Extreme {
+            dim: 0,
+            extreme: Extreme::Max,
+            epsilon: 2.0,
+        };
+        assert_eq!(extreme.total_cost(), (2.0, 0.0));
+        assert_eq!(extreme.sampling_rate(), None);
+        assert_eq!(scalar.sampling_rate(), Some(0.2));
+    }
+
+    #[test]
+    fn sub_query_counts_scale_with_groups_and_statistics() {
+        let s = schema();
+        let plain = QueryPlan::GroupBy {
+            base: base(),
+            statistic: None,
+            group_dim: 1,
+            threshold: 0.0,
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+        };
+        assert_eq!(plain.sub_query_count(&s).unwrap(), 8);
+        let avg = QueryPlan::GroupBy {
+            base: base(),
+            statistic: Some(DerivedStatistic::Average),
+            group_dim: 1,
+            threshold: 0.0,
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+        };
+        assert_eq!(avg.sub_query_count(&s).unwrap(), 16);
+        let derived = QueryPlan::Derived {
+            query: base(),
+            statistic: DerivedStatistic::Variance,
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+        };
+        assert_eq!(derived.sub_query_count(&s).unwrap(), 3);
+    }
+
+    #[test]
+    fn check_schema_rejects_unknown_dimensions() {
+        let s = schema();
+        let bad = QueryPlan::Extreme {
+            dim: 9,
+            extreme: Extreme::Min,
+            epsilon: 1.0,
+        };
+        assert!(bad.check_schema(&s).is_err());
+        let bad_group = QueryPlan::GroupBy {
+            base: base(),
+            statistic: None,
+            group_dim: 9,
+            threshold: 0.0,
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+        };
+        assert!(bad_group.check_schema(&s).is_err());
+        let ok = QueryPlan::Derived {
+            query: base(),
+            statistic: DerivedStatistic::Average,
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+        };
+        assert!(ok.check_schema(&s).is_ok());
+    }
+
+    #[test]
+    fn short_names_are_stable() {
+        assert_eq!(DerivedStatistic::Average.as_str(), "avg");
+        assert_eq!(DerivedStatistic::Variance.as_str(), "var");
+        assert_eq!(DerivedStatistic::StdDev.as_str(), "std");
+        assert_eq!(Extreme::Min.as_str(), "min");
+        assert_eq!(Extreme::Max.as_str(), "max");
+    }
+}

@@ -24,13 +24,32 @@
 //! * `dim >= lo`, `dim > lo`, `dim <= hi`, `dim < hi` (open side clamps to
 //!   the domain bound), `dim = v`
 //!
-//! Aggregates: `COUNT(*)` and `SUM(Measure)` (case-insensitive; the SUM
-//! argument is accepted as any identifier since `Measure` is the only
-//! summable column in the data model).
+//! Aggregates (case-insensitive): `COUNT(*)` and `SUM(Measure)` compile to
+//! a plain [`RangeQuery`]; `AVG`/`VAR`/`VARIANCE`/`STD`/`STDDEV` (argument
+//! accepted as any identifier, since `Measure` is the only summable column
+//! in the data model) and `MIN(dim)`/`MAX(dim)` compile to a
+//! [`QueryPlan`], as does any statement with a `GROUP BY` clause — use
+//! [`parse_sql_plan`] for those:
+//!
+//! ```
+//! use fedaqp_model::{parse_sql_plan, Dimension, Domain, PlanParams, QueryPlan, Schema};
+//!
+//! let schema = Schema::new(vec![
+//!     Dimension::new("age", Domain::new(17, 90).unwrap()),
+//!     Dimension::new("workclass", Domain::new(0, 7).unwrap()),
+//! ]).unwrap();
+//! let plan = parse_sql_plan(
+//!     &schema,
+//!     "SELECT AVG(Measure) FROM T WHERE 20 <= age <= 40 GROUP BY workclass",
+//!     &PlanParams::default(),
+//! ).unwrap();
+//! assert!(matches!(plan, QueryPlan::GroupBy { statistic: Some(_), .. }));
+//! ```
 
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::plan::{DerivedStatistic, Extreme, QueryPlan};
 use crate::query::{Aggregate, Range, RangeQuery};
 use crate::schema::Schema;
 use crate::value::Value;
@@ -191,34 +210,51 @@ impl<'a> Parser<'a> {
         matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
     }
 
-    fn parse_aggregate(&mut self) -> Result<Aggregate, SqlError> {
+    fn parse_aggregate(&mut self) -> Result<SqlAgg, SqlError> {
         let word = match self.bump() {
             Some(Token::Ident(w)) => w,
             _ => {
                 self.pos = self.pos.saturating_sub(1);
-                return self.err("expected COUNT or SUM");
+                return self.err("expected an aggregate (COUNT, SUM, AVG, VAR, STD, MIN, MAX)");
             }
         };
-        let agg = if word.eq_ignore_ascii_case("count") {
-            Aggregate::Count
-        } else if word.eq_ignore_ascii_case("sum") {
-            Aggregate::Sum
-        } else {
-            self.pos = self.pos.saturating_sub(1);
-            return self.err(format!("unknown aggregate `{word}`"));
+        let lower = word.to_ascii_lowercase();
+        let agg = match lower.as_str() {
+            "count" => SqlAgg::Scalar(Aggregate::Count),
+            "sum" => SqlAgg::Scalar(Aggregate::Sum),
+            "avg" | "average" => SqlAgg::Derived(DerivedStatistic::Average),
+            "var" | "variance" => SqlAgg::Derived(DerivedStatistic::Variance),
+            "std" | "stddev" => SqlAgg::Derived(DerivedStatistic::StdDev),
+            "min" => SqlAgg::Extreme(Extreme::Min, 0),
+            "max" => SqlAgg::Extreme(Extreme::Max, 0),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return self.err(format!("unknown aggregate `{word}`"));
+            }
         };
         if self.bump() != Some(Token::LParen) {
             self.pos = self.pos.saturating_sub(1);
             return self.err("expected `(` after aggregate");
         }
-        match (agg, self.bump()) {
-            (Aggregate::Count, Some(Token::Star)) => {}
-            (Aggregate::Sum, Some(Token::Ident(_))) => {}
+        let agg = match (agg, self.bump()) {
+            (a @ SqlAgg::Scalar(Aggregate::Count), Some(Token::Star)) => a,
+            // SUM/AVG/VAR/STD take any identifier: `Measure` is the only
+            // summable column in the data model.
+            (a @ (SqlAgg::Scalar(Aggregate::Sum) | SqlAgg::Derived(_)), Some(Token::Ident(_))) => a,
+            // MIN/MAX select over a *dimension's* public domain.
+            (SqlAgg::Extreme(extreme, _), Some(Token::Ident(_))) => {
+                self.pos = self.pos.saturating_sub(1);
+                SqlAgg::Extreme(extreme, self.dimension()?)
+            }
+            (SqlAgg::Scalar(Aggregate::Count), _) => {
+                self.pos = self.pos.saturating_sub(1);
+                return self.err("expected `*` in COUNT(*)");
+            }
             _ => {
                 self.pos = self.pos.saturating_sub(1);
-                return self.err("expected `*` in COUNT(*) or a column in SUM(...)");
+                return self.err(format!("expected a column name in {word}(...)"));
             }
-        }
+        };
         if self.bump() != Some(Token::RParen) {
             self.pos = self.pos.saturating_sub(1);
             return self.err("expected `)` after aggregate argument");
@@ -356,8 +392,27 @@ fn merge(
     Ok(())
 }
 
-/// Parses a SQL string into a [`RangeQuery`] against `schema`.
-pub fn parse_sql(schema: &Schema, input: &str) -> Result<RangeQuery, SqlError> {
+/// The aggregate of a parsed SELECT list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SqlAgg {
+    /// `COUNT(*)` / `SUM(Measure)`.
+    Scalar(Aggregate),
+    /// `AVG`/`VAR`/`STD` — compiles to a derived-statistic plan.
+    Derived(DerivedStatistic),
+    /// `MIN(dim)`/`MAX(dim)` — compiles to an extreme plan (the payload is
+    /// the resolved dimension index).
+    Extreme(Extreme, usize),
+}
+
+/// A fully parsed statement, before plan/query compilation.
+#[derive(Debug)]
+struct Statement {
+    agg: SqlAgg,
+    ranges: Vec<Range>,
+    group_dim: Option<usize>,
+}
+
+fn parse_statement(schema: &Schema, input: &str) -> Result<Statement, SqlError> {
     let tokens = tokenize(input)?;
     let mut p = Parser {
         tokens,
@@ -376,12 +431,40 @@ pub fn parse_sql(schema: &Schema, input: &str) -> Result<RangeQuery, SqlError> {
             return p.err("expected a table name after FROM");
         }
     }
+    if let SqlAgg::Extreme(..) = agg {
+        // Extremes select over a dimension's whole public domain from
+        // metadata alone; a filter or grouping has nothing to act on.
+        if p.peek().is_some() {
+            return p.err("MIN/MAX queries take no WHERE or GROUP BY clause");
+        }
+        return Ok(Statement {
+            agg,
+            ranges: Vec::new(),
+            group_dim: None,
+        });
+    }
     p.expect_keyword("where")?;
     let mut bounds: HashMap<usize, (Option<Value>, Option<Value>)> = HashMap::new();
     p.parse_predicate(&mut bounds)?;
     while p.keyword_is("and") {
         p.bump();
         p.parse_predicate(&mut bounds)?;
+    }
+    let mut group_dim = None;
+    if p.keyword_is("group") {
+        p.bump();
+        p.expect_keyword("by")?;
+        let dim = p.dimension()?;
+        if bounds.contains_key(&dim) {
+            return p.err(format!(
+                "GROUP BY dimension `{}` is also constrained in WHERE",
+                schema
+                    .dimension(dim)
+                    .map(|d| d.name().to_owned())
+                    .unwrap_or_else(|_| dim.to_string())
+            ));
+        }
+        group_dim = Some(dim);
     }
     if p.peek().is_some() {
         return p.err("trailing input after the WHERE clause");
@@ -397,10 +480,120 @@ pub fn parse_sql(schema: &Schema, input: &str) -> Result<RangeQuery, SqlError> {
         })?;
         ranges.push(range);
     }
+    Ok(Statement {
+        agg,
+        ranges,
+        group_dim,
+    })
+}
+
+fn build_query(agg: Aggregate, ranges: Vec<Range>, input: &str) -> Result<RangeQuery, SqlError> {
     RangeQuery::new(agg, ranges).map_err(|e| SqlError {
         message: e.to_string(),
         position: input.len(),
     })
+}
+
+/// Parses a scalar (`COUNT`/`SUM`, no `GROUP BY`) SQL string into a
+/// [`RangeQuery`] against `schema`. Statements that compile to a richer
+/// [`QueryPlan`] (derived statistics, extremes, grouping) are rejected
+/// here — parse those with [`parse_sql_plan`].
+pub fn parse_sql(schema: &Schema, input: &str) -> Result<RangeQuery, SqlError> {
+    let st = parse_statement(schema, input)?;
+    let reject = |what: &str| {
+        Err(SqlError {
+            message: format!("{what} compiles to a QueryPlan; parse it with parse_sql_plan"),
+            position: 0,
+        })
+    };
+    match (st.agg, st.group_dim) {
+        (SqlAgg::Scalar(agg), None) => build_query(agg, st.ranges, input),
+        (SqlAgg::Scalar(_), Some(_)) => reject("a GROUP BY query"),
+        (SqlAgg::Derived(s), _) => reject(&format!("aggregate `{}`", s.as_str().to_uppercase())),
+        (SqlAgg::Extreme(e, _), _) => reject(&format!("aggregate `{}`", e.as_str().to_uppercase())),
+    }
+}
+
+/// The plan parameters a SQL statement does not itself carry: the sampling
+/// rate, the `(ε, δ)` spend, and the group-suppression threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanParams {
+    /// Sampling rate `sr ∈ (0, 1)`.
+    pub sampling_rate: f64,
+    /// Total ε the plan spends.
+    pub epsilon: f64,
+    /// Total δ the plan spends (ignored by MIN/MAX plans).
+    pub delta: f64,
+    /// GROUP BY suppression threshold (`0.0` releases every group).
+    pub threshold: f64,
+}
+
+impl Default for PlanParams {
+    fn default() -> Self {
+        Self {
+            sampling_rate: 0.1,
+            epsilon: 1.0,
+            delta: 1e-3,
+            threshold: 0.0,
+        }
+    }
+}
+
+/// Parses any supported SQL statement into a [`QueryPlan`] against
+/// `schema`, attaching the sampling rate and `(ε, δ)` from `params`.
+///
+/// This is the one entry point behind the CLI and the remote analyst
+/// tools: `SELECT COUNT(*)…` becomes [`QueryPlan::Scalar`],
+/// `SELECT AVG(Measure)…` becomes [`QueryPlan::Derived`], a `GROUP BY`
+/// clause wraps either into [`QueryPlan::GroupBy`], and
+/// `SELECT MIN(dim) FROM T` becomes [`QueryPlan::Extreme`].
+pub fn parse_sql_plan(
+    schema: &Schema,
+    input: &str,
+    params: &PlanParams,
+) -> Result<QueryPlan, SqlError> {
+    let st = parse_statement(schema, input)?;
+    let plan = match (st.agg, st.group_dim) {
+        (SqlAgg::Scalar(agg), None) => QueryPlan::Scalar {
+            query: build_query(agg, st.ranges, input)?,
+            sampling_rate: params.sampling_rate,
+            epsilon: params.epsilon,
+            delta: params.delta,
+        },
+        (SqlAgg::Scalar(agg), Some(group_dim)) => QueryPlan::GroupBy {
+            base: build_query(agg, st.ranges, input)?,
+            statistic: None,
+            group_dim,
+            threshold: params.threshold,
+            sampling_rate: params.sampling_rate,
+            epsilon: params.epsilon,
+            delta: params.delta,
+        },
+        (SqlAgg::Derived(statistic), None) => QueryPlan::Derived {
+            // The base aggregate is ignored by derived compilation (the
+            // plan issues its own COUNT/SUM sub-queries over the ranges).
+            query: build_query(Aggregate::Count, st.ranges, input)?,
+            statistic,
+            sampling_rate: params.sampling_rate,
+            epsilon: params.epsilon,
+            delta: params.delta,
+        },
+        (SqlAgg::Derived(statistic), Some(group_dim)) => QueryPlan::GroupBy {
+            base: build_query(Aggregate::Count, st.ranges, input)?,
+            statistic: Some(statistic),
+            group_dim,
+            threshold: params.threshold,
+            sampling_rate: params.sampling_rate,
+            epsilon: params.epsilon,
+            delta: params.delta,
+        },
+        (SqlAgg::Extreme(extreme, dim), _) => QueryPlan::Extreme {
+            dim,
+            extreme,
+            epsilon: params.epsilon,
+        },
+    };
+    Ok(plan)
 }
 
 #[cfg(test)]
@@ -519,5 +712,157 @@ mod tests {
         let s = schema();
         let err = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE age ?= 3").unwrap_err();
         assert!(err.message.contains("unexpected character"));
+    }
+
+    fn params() -> PlanParams {
+        PlanParams {
+            sampling_rate: 0.2,
+            epsilon: 2.0,
+            delta: 1e-3,
+            threshold: 5.0,
+        }
+    }
+
+    #[test]
+    fn plan_parse_scalar_matches_parse_sql() {
+        let s = schema();
+        let sql = "SELECT COUNT(*) FROM T WHERE 20 <= age <= 40";
+        let plan = parse_sql_plan(&s, sql, &params()).unwrap();
+        match plan {
+            QueryPlan::Scalar {
+                query,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => {
+                assert_eq!(query, parse_sql(&s, sql).unwrap());
+                assert_eq!(sampling_rate, 0.2);
+                assert_eq!(epsilon, 2.0);
+                assert_eq!(delta, 1e-3);
+            }
+            other => panic!("expected a scalar plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_parse_group_by_and_avg() {
+        let s = schema();
+        let plan = parse_sql_plan(
+            &s,
+            "SELECT AVG(Measure) FROM T WHERE 20 <= age <= 40 GROUP BY edu",
+            &params(),
+        )
+        .unwrap();
+        match plan {
+            QueryPlan::GroupBy {
+                base,
+                statistic,
+                group_dim,
+                threshold,
+                ..
+            } => {
+                assert_eq!(statistic, Some(DerivedStatistic::Average));
+                assert_eq!(group_dim, 2);
+                assert_eq!(threshold, 5.0);
+                assert_eq!(base.ranges(), &[Range::new(0, 20, 40).unwrap()]);
+            }
+            other => panic!("expected a group-by plan, got {other:?}"),
+        }
+        let plain = parse_sql_plan(
+            &s,
+            "SELECT COUNT(*) FROM T WHERE hours >= 35 GROUP BY edu",
+            &params(),
+        )
+        .unwrap();
+        assert!(matches!(
+            plain,
+            QueryPlan::GroupBy {
+                statistic: None,
+                group_dim: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn plan_parse_derived_and_extremes() {
+        let s = schema();
+        for (sql, stat) in [
+            (
+                "SELECT AVG(m) FROM T WHERE age >= 20",
+                DerivedStatistic::Average,
+            ),
+            (
+                "select variance(m) from t where age >= 20",
+                DerivedStatistic::Variance,
+            ),
+            (
+                "SELECT STDDEV(m) FROM T WHERE age >= 20",
+                DerivedStatistic::StdDev,
+            ),
+        ] {
+            let plan = parse_sql_plan(&s, sql, &params()).unwrap();
+            assert!(
+                matches!(plan, QueryPlan::Derived { statistic, .. } if statistic == stat),
+                "{sql} -> {plan:?}"
+            );
+        }
+        let plan = parse_sql_plan(&s, "SELECT MAX(hours) FROM T", &params()).unwrap();
+        assert_eq!(
+            plan,
+            QueryPlan::Extreme {
+                dim: 1,
+                extreme: Extreme::Max,
+                epsilon: 2.0,
+            }
+        );
+        let plan = parse_sql_plan(&s, "select min(age) from t", &params()).unwrap();
+        assert!(matches!(
+            plan,
+            QueryPlan::Extreme {
+                dim: 0,
+                extreme: Extreme::Min,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn plan_parse_rejects_malformed_statements() {
+        let s = schema();
+        // Extremes take no WHERE or GROUP BY.
+        let err =
+            parse_sql_plan(&s, "SELECT MIN(age) FROM T WHERE age >= 2", &params()).unwrap_err();
+        assert!(err.message.contains("no WHERE"), "{}", err.message);
+        // MIN argument must be a schema dimension.
+        let err = parse_sql_plan(&s, "SELECT MIN(bogus) FROM T", &params()).unwrap_err();
+        assert!(err.message.contains("bogus"), "{}", err.message);
+        // The grouped dimension must not also be filtered.
+        let err = parse_sql_plan(
+            &s,
+            "SELECT COUNT(*) FROM T WHERE edu >= 2 GROUP BY edu",
+            &params(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("also constrained"), "{}", err.message);
+        // GROUP BY needs its dimension.
+        assert!(parse_sql_plan(
+            &s,
+            "SELECT COUNT(*) FROM T WHERE age >= 2 GROUP BY",
+            &params()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parse_sql_rejects_plan_shaped_statements_with_guidance() {
+        let s = schema();
+        let err = parse_sql(&s, "SELECT AVG(m) FROM T WHERE age >= 20").unwrap_err();
+        assert!(err.message.contains("AVG"), "{}", err.message);
+        assert!(err.message.contains("parse_sql_plan"), "{}", err.message);
+        let err = parse_sql(&s, "SELECT MIN(age) FROM T").unwrap_err();
+        assert!(err.message.contains("MIN"), "{}", err.message);
+        let err = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE age >= 20 GROUP BY edu").unwrap_err();
+        assert!(err.message.contains("GROUP BY"), "{}", err.message);
     }
 }

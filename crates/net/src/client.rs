@@ -14,13 +14,15 @@
 use std::net::TcpStream;
 use std::time::Duration;
 
-use fedaqp_core::{EstimatorCalibration, PhaseTimings, QueryBatch};
+use fedaqp_core::{
+    EstimatorCalibration, PhaseTimings, PlanAnswer, PlanGroup, PlanResult, QueryBatch, QueryPlan,
+};
 use fedaqp_dp::PrivacyCost;
 use fedaqp_model::{Dimension, Domain, RangeQuery, Schema};
 
 use crate::wire::{
-    calibration_from_code, read_frame, write_frame, Answer, BatchRequest, BudgetStatus, Frame,
-    Hello, QueryRequest,
+    calibration_from_code, read_frame, write_frame_at, Answer, BatchRequest, BudgetStatus,
+    ErrorCode, Frame, Hello, PlanAnswerFrame, PlanRequest, QueryRequest, WirePlanResult, VERSION,
 };
 use crate::{NetError, Result};
 
@@ -81,12 +83,60 @@ pub struct RemoteFederation {
     delta: f64,
     calibration: EstimatorCalibration,
     session_budget: Option<(f64, f64)>,
+    /// The protocol version negotiated at the handshake:
+    /// `min(`[`VERSION`]`, server's advertised maximum)`. Plan submission
+    /// needs ≥ 2.
+    version: u16,
     /// Replies the server still owes for submitted-but-unwaited queries.
     /// Every new request first drains these, so dropping a
     /// [`PendingRemote`] without waiting can never desynchronize the
     /// stream (the next reply would otherwise be attributed to the wrong
     /// query).
     outstanding: usize,
+}
+
+/// Any per-request reply frame the server can owe.
+enum Reply {
+    Answer(Answer),
+    Plan(PlanAnswerFrame),
+}
+
+fn plan_answer_from_wire(frame: PlanAnswerFrame) -> PlanAnswer {
+    let result = match frame.result {
+        WirePlanResult::Value {
+            value,
+            ci_halfwidth,
+        } => PlanResult::Value {
+            value,
+            ci_halfwidth,
+        },
+        WirePlanResult::Groups { groups, suppressed } => PlanResult::Groups {
+            groups: groups
+                .into_iter()
+                .map(|g| PlanGroup {
+                    key: g.key,
+                    value: g.value,
+                    ci_halfwidth: g.ci_halfwidth,
+                })
+                .collect(),
+            suppressed,
+        },
+        WirePlanResult::Extreme { value } => PlanResult::Extreme { value },
+    };
+    PlanAnswer {
+        result,
+        cost: PrivacyCost {
+            eps: frame.eps,
+            delta: frame.delta,
+        },
+        timings: PhaseTimings {
+            summary: Duration::from_micros(frame.summary_us),
+            allocation: Duration::from_micros(frame.allocation_us),
+            execution: Duration::from_micros(frame.execution_us),
+            release: Duration::from_micros(frame.release_us),
+            network: Duration::from_micros(frame.network_us),
+        },
+    }
 }
 
 impl RemoteFederation {
@@ -99,20 +149,41 @@ impl RemoteFederation {
 
     /// Connects and declares an analyst identity (the server's budget
     /// ledger key).
+    ///
+    /// The Hello frame is stamped with this build's [`VERSION`]; the
+    /// connection then speaks `min(VERSION, server maximum)` as
+    /// advertised in the handshake reply. A *future* server that cannot
+    /// speak our version answers with a typed negotiation error, surfaced
+    /// as [`NetError::UnsupportedVersion`] carrying both versions.
+    ///
+    /// Compatibility is asymmetric by design: a v1 client works against a
+    /// v2 server verbatim (the server answers at the client's version),
+    /// but a server built *before* the negotiation mechanism existed
+    /// rejects a v2-stamped Hello outright with a generic `bad-request`
+    /// error — it cannot advertise a maximum it does not know about.
     pub fn connect_as(addr: &str, analyst: &str) -> Result<Self> {
         let mut stream = TcpStream::connect(addr).map_err(|e| NetError::Connect {
             addr: addr.to_owned(),
             message: e.to_string(),
         })?;
         stream.set_nodelay(true).ok();
-        write_frame(
+        write_frame_at(
             &mut stream,
             &Frame::Hello(Hello {
                 analyst: analyst.to_owned(),
             }),
+            VERSION,
         )?;
         let ack = match read_frame(&mut stream)? {
             Frame::HelloAck(ack) => ack,
+            Frame::Error(e) if e.code == ErrorCode::UnsupportedVersion => {
+                // The error frame's index carries the server's maximum
+                // version (see the wire-module docs).
+                return Err(NetError::UnsupportedVersion {
+                    requested: VERSION,
+                    supported: e.index as u16,
+                });
+            }
             Frame::Error(e) => {
                 return Err(NetError::Remote {
                     code: e.code,
@@ -139,8 +210,14 @@ impl RemoteFederation {
             delta: ack.delta,
             calibration: calibration_from_code(ack.calibration)?,
             session_budget: ack.session_budget,
+            version: VERSION.min(ack.max_version),
             outstanding: 0,
         })
+    }
+
+    /// The wire-protocol version this connection negotiated.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
     }
 
     /// The served federation's public table schema.
@@ -174,16 +251,16 @@ impl RemoteFederation {
         self.session_budget
     }
 
-    /// Reads and discards replies for queries whose [`PendingRemote`] was
+    /// Reads and discards replies for requests whose pending handle was
     /// dropped without a wait, so the next reply read belongs to the next
     /// request. Answers drained this way are lost (their budget, if any,
-    /// was spent server-side when the query was submitted).
+    /// was spent server-side when the request was submitted).
     fn drain_outstanding(&mut self) -> Result<()> {
         while self.outstanding > 0 {
             self.outstanding -= 1;
-            // A typed per-query Error frame is a valid (discarded) reply;
-            // only connection-level failures propagate.
-            match self.read_reply() {
+            // A typed per-request Error frame is a valid (discarded)
+            // reply; only connection-level failures propagate.
+            match self.read_reply_any() {
                 Ok(_) | Err(NetError::Remote { .. }) => {}
                 Err(e) => return Err(e),
             }
@@ -197,12 +274,13 @@ impl RemoteFederation {
     /// un-waited is discarded on the next request.
     pub fn submit(&mut self, query: &RangeQuery, sampling_rate: f64) -> Result<PendingRemote<'_>> {
         self.drain_outstanding()?;
-        write_frame(
+        write_frame_at(
             &mut self.stream,
             &Frame::Query(QueryRequest {
                 query: query.clone(),
                 sampling_rate,
             }),
+            self.version,
         )?;
         self.outstanding += 1;
         Ok(PendingRemote { conn: self })
@@ -211,6 +289,35 @@ impl RemoteFederation {
     /// Answers one private query (submit + wait).
     pub fn query(&mut self, query: &RangeQuery, sampling_rate: f64) -> Result<RemoteAnswer> {
         self.submit(query, sampling_rate)?.wait()
+    }
+
+    /// Sends one [`QueryPlan`] without waiting for its answer — the
+    /// remote mirror of `EngineHandle::submit_plan`. The server charges
+    /// the plan's whole `(ε, δ)` atomically (validate-before-charge) and
+    /// fans its sub-queries out across the engine worker pool.
+    ///
+    /// Needs a v2 connection; against an older server this fails with
+    /// [`NetError::UnsupportedVersion`] carrying both versions.
+    pub fn submit_plan(&mut self, plan: &QueryPlan) -> Result<PendingRemotePlan<'_>> {
+        if self.version < 2 {
+            return Err(NetError::UnsupportedVersion {
+                requested: 2,
+                supported: self.version,
+            });
+        }
+        self.drain_outstanding()?;
+        write_frame_at(
+            &mut self.stream,
+            &Frame::Plan(PlanRequest { plan: plan.clone() }),
+            self.version,
+        )?;
+        self.outstanding += 1;
+        Ok(PendingRemotePlan { conn: self })
+    }
+
+    /// Answers one plan (submit + wait).
+    pub fn run_plan(&mut self, plan: &QueryPlan) -> Result<PlanAnswer> {
+        self.submit_plan(plan)?.wait()
     }
 
     /// Sends a whole batch in one frame and collects the per-query
@@ -226,7 +333,11 @@ impl RemoteFederation {
             })
             .collect();
         self.drain_outstanding()?;
-        write_frame(&mut self.stream, &Frame::Batch(BatchRequest { specs }))?;
+        write_frame_at(
+            &mut self.stream,
+            &Frame::Batch(BatchRequest { specs }),
+            self.version,
+        )?;
         let mut results = Vec::with_capacity(batch.len());
         for _ in 0..batch.len() {
             match self.read_reply() {
@@ -244,7 +355,7 @@ impl RemoteFederation {
     /// Asks the server for this analyst's session ledger.
     pub fn budget_status(&mut self) -> Result<BudgetStatus> {
         self.drain_outstanding()?;
-        write_frame(&mut self.stream, &Frame::BudgetRequest)?;
+        write_frame_at(&mut self.stream, &Frame::BudgetRequest, self.version)?;
         match read_frame(&mut self.stream)? {
             Frame::BudgetStatus(status) => Ok(status),
             Frame::Error(e) => Err(NetError::Remote {
@@ -255,14 +366,30 @@ impl RemoteFederation {
         }
     }
 
-    fn read_reply(&mut self) -> Result<RemoteAnswer> {
+    /// Reads whatever per-request reply the server owes next.
+    fn read_reply_any(&mut self) -> Result<Reply> {
         match read_frame(&mut self.stream)? {
-            Frame::Answer(answer) => Ok(RemoteAnswer::from_wire(answer)),
+            Frame::Answer(answer) => Ok(Reply::Answer(answer)),
+            Frame::PlanAnswer(answer) => Ok(Reply::Plan(answer)),
             Frame::Error(e) => Err(NetError::Remote {
                 code: e.code,
                 message: e.message,
             }),
             _ => Err(NetError::Malformed("expected Answer or Error")),
+        }
+    }
+
+    fn read_reply(&mut self) -> Result<RemoteAnswer> {
+        match self.read_reply_any()? {
+            Reply::Answer(answer) => Ok(RemoteAnswer::from_wire(answer)),
+            Reply::Plan(_) => Err(NetError::Malformed("expected Answer, got PlanAnswer")),
+        }
+    }
+
+    fn read_plan_reply(&mut self) -> Result<PlanAnswer> {
+        match self.read_reply_any()? {
+            Reply::Plan(answer) => Ok(plan_answer_from_wire(answer)),
+            Reply::Answer(_) => Err(NetError::Malformed("expected PlanAnswer, got Answer")),
         }
     }
 }
@@ -279,5 +406,20 @@ impl PendingRemote<'_> {
     pub fn wait(self) -> Result<RemoteAnswer> {
         self.conn.outstanding -= 1;
         self.conn.read_reply()
+    }
+}
+
+/// A plan in flight on the remote connection — the network mirror of
+/// [`fedaqp_core::PendingPlan`].
+#[derive(Debug)]
+pub struct PendingRemotePlan<'a> {
+    conn: &'a mut RemoteFederation,
+}
+
+impl PendingRemotePlan<'_> {
+    /// Blocks until the server's reply for this plan arrives.
+    pub fn wait(self) -> Result<PlanAnswer> {
+        self.conn.outstanding -= 1;
+        self.conn.read_plan_reply()
     }
 }

@@ -27,8 +27,16 @@ pub enum NetError {
     Disconnected,
     /// A frame failed to decode.
     Malformed(&'static str),
-    /// The peer speaks an unsupported protocol version.
-    UnsupportedVersion(u16),
+    /// A protocol version was requested that the other side does not
+    /// support. Carries both sides of the negotiation: the version that
+    /// was asked for and the highest the rejecting side speaks.
+    UnsupportedVersion {
+        /// The version that was requested (a frame header's version, or
+        /// the version a feature like plan submission needs).
+        requested: u16,
+        /// The highest version the rejecting side supports.
+        supported: u16,
+    },
     /// A frame header declared a payload above the hard cap.
     FrameTooLarge {
         /// Declared payload length.
@@ -61,8 +69,15 @@ impl fmt::Display for NetError {
             }
             NetError::Disconnected => write!(f, "connection closed by peer"),
             NetError::Malformed(what) => write!(f, "malformed frame: {what}"),
-            NetError::UnsupportedVersion(v) => {
-                write!(f, "unsupported wire-protocol version {v}")
+            NetError::UnsupportedVersion {
+                requested,
+                supported,
+            } => {
+                write!(
+                    f,
+                    "wire-protocol version {requested} is unsupported \
+                     (peer supports up to version {supported})"
+                )
             }
             NetError::FrameTooLarge { declared, max } => {
                 write!(
@@ -102,7 +117,10 @@ mod tests {
         let cases: Vec<NetError> = vec![
             NetError::Disconnected,
             NetError::Malformed("trailing bytes"),
-            NetError::UnsupportedVersion(9),
+            NetError::UnsupportedVersion {
+                requested: 9,
+                supported: 2,
+            },
             NetError::FrameTooLarge {
                 declared: 1 << 30,
                 max: 1 << 20,

@@ -28,7 +28,7 @@ pub mod error;
 pub mod server;
 pub mod wire;
 
-pub use client::{PendingRemote, RemoteAnswer, RemoteFederation};
+pub use client::{PendingRemote, PendingRemotePlan, RemoteAnswer, RemoteFederation};
 pub use error::NetError;
 pub use server::{FederationServer, ServeOptions};
 pub use wire::{BudgetStatus, ErrorCode, Frame};

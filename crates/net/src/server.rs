@@ -15,13 +15,14 @@
 //! the `Hello` frame. Reconnecting or opening parallel connections can
 //! therefore never reset or multiply an analyst's `(ξ, ψ)` — racing
 //! charges hit one atomic [`fedaqp_dp::SharedAccountant`]. An exhausted
-//! budget surfaces as a typed [`wire::ErrorCode::BudgetExhausted`] error
-//! frame; the connection stays open.
+//! budget surfaces as a typed [`ErrorCode::BudgetExhausted`] error
+//! frame; the connection stays open. A whole [`QueryPlan`] is validated
+//! and charged atomically up front the same way.
 //!
 //! What never crosses the wire: providers' raw (pre-noise) estimates and
 //! smooth sensitivities. Those fields exist on [`EngineAnswer`] as
-//! simulation-boundary diagnostics; [`answer_frame`] deliberately drops
-//! them so a remote analyst sees only DP-released values. Transport
+//! simulation-boundary diagnostics; the answer projection deliberately
+//! drops them so a remote analyst sees only DP-released values. Transport
 //! security (TLS, authn) is out of scope — see the README threat model.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -30,13 +31,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use fedaqp_core::{
-    ConcurrentSession, CoreError, EngineAnswer, EngineHandle, PendingAnswer, SessionPlan,
+    ConcurrentSession, CoreError, EngineAnswer, EngineHandle, PendingAnswer, PendingPlan,
+    PlanAnswer, PlanResult, QueryPlan, SessionPlan,
 };
 use fedaqp_dp::{BudgetDirectory, DpError};
 
 use crate::wire::{
-    calibration_code, read_frame, write_frame, Answer, BudgetStatus, ErrorCode, ErrorFrame, Frame,
-    HelloAck, QueryRequest, WireDimension,
+    calibration_code, read_frame_versioned, write_frame_at, Answer, BudgetStatus, ErrorCode,
+    ErrorFrame, Frame, HelloAck, PlanAnswerFrame, QueryRequest, WireDimension, WireGroup,
+    WirePlanResult, VERSION,
 };
 use crate::{NetError, Result};
 
@@ -151,7 +154,29 @@ fn accept_loop(
     }
 }
 
+/// Builds the typed reply to a frame whose header declared a version this
+/// server does not speak. The `index` field carries the server's maximum
+/// version (documented on [`ErrorCode::UnsupportedVersion`]) so the client
+/// can surface both sides of the failed negotiation.
+fn unsupported_version_reply(requested: u16) -> Frame {
+    Frame::Error(ErrorFrame {
+        index: VERSION as u32,
+        code: ErrorCode::UnsupportedVersion,
+        message: format!(
+            "server speaks wire-protocol versions {}..={}, frame declared {}",
+            crate::wire::MIN_VERSION,
+            VERSION,
+            requested
+        ),
+    })
+}
+
 /// One analyst connection, served to completion.
+///
+/// The connection speaks the version negotiated at the handshake:
+/// `min(client's Hello header version, VERSION)`. Every reply is encoded
+/// at that version, so a v1 client sees byte-identical v1 frames while a
+/// v2 client may additionally submit plans.
 fn serve_connection(
     mut stream: TcpStream,
     handle: EngineHandle,
@@ -161,21 +186,28 @@ fn serve_connection(
     stream.set_nodelay(true).ok();
 
     // ---- Handshake: exactly one Hello, answered with HelloAck. ----
-    let hello = match read_frame(&mut stream) {
-        Ok(Frame::Hello(h)) => h,
+    let (hello, version) = match read_frame_versioned(&mut stream) {
+        Ok((Frame::Hello(h), v)) => (h, v.min(VERSION)),
         Ok(_) => {
-            let _ = write_frame(
+            let _ = write_frame_at(
                 &mut stream,
                 &error_reply(0, ErrorCode::BadRequest, "expected a Hello frame"),
+                VERSION,
             );
             return Err(NetError::Handshake("expected Hello"));
         }
         Err(NetError::Disconnected) => return Ok(()),
         Err(e) => {
-            let _ = write_frame(
-                &mut stream,
-                &error_reply(0, ErrorCode::BadRequest, &e.to_string()),
-            );
+            // An unknown header version gets the typed negotiation error
+            // (at v1, the most interoperable encoding) before the close —
+            // never a bare hangup.
+            let reply = match &e {
+                NetError::UnsupportedVersion { requested, .. } => {
+                    unsupported_version_reply(*requested)
+                }
+                _ => error_reply(0, ErrorCode::BadRequest, &e.to_string()),
+            };
+            let _ = write_frame_at(&mut stream, &reply, crate::wire::MIN_VERSION);
             return Err(e);
         }
     };
@@ -187,24 +219,26 @@ fn serve_connection(
                 SessionPlan::PayAsYouGo,
             )
             .map_err(|e| {
-                let _ = write_frame(
+                let _ = write_frame_at(
                     &mut stream,
                     &error_reply(0, ErrorCode::Internal, &e.to_string()),
+                    version,
                 );
                 NetError::Handshake("session open failed")
             })?,
         ),
         None => None,
     };
-    write_frame(
+    write_frame_at(
         &mut stream,
         &Frame::HelloAck(hello_ack(&handle, &directory)),
+        version,
     )?;
 
     // ---- Request loop. ----
     let mut answered: u64 = 0;
     loop {
-        match read_frame(&mut stream) {
+        match read_frame_versioned(&mut stream).map(|(frame, _)| frame) {
             Ok(Frame::Query(spec)) => {
                 let reply =
                     match submit(&handle, session.as_ref(), &spec).and_then(PendingAnswer::wait) {
@@ -214,7 +248,7 @@ fn serve_connection(
                         }
                         Err(e) => core_error_reply(0, &e),
                     };
-                write_frame(&mut stream, &reply)?;
+                write_frame_at(&mut stream, &reply, version)?;
             }
             Ok(Frame::Batch(batch)) => {
                 // Submit everything before waiting on anything: the worker
@@ -233,31 +267,69 @@ fn serve_connection(
                         }
                         Err(e) => core_error_reply(i as u32, &e),
                     };
-                    write_frame(&mut stream, &reply)?;
+                    write_frame_at(&mut stream, &reply, version)?;
                 }
             }
+            Ok(Frame::Plan(request)) => {
+                // Plan frames decode only from a v2 *frame header*, but the
+                // reply must be encodable at the version negotiated at the
+                // handshake — a v1-negotiated connection smuggling a v2
+                // plan frame gets a typed rejection BEFORE any budget is
+                // charged or any sub-query dispatched (the reply encoding
+                // would otherwise fail and hang up after the charge).
+                if version < 2 {
+                    write_frame_at(
+                        &mut stream,
+                        &error_reply(
+                            0,
+                            ErrorCode::BadRequest,
+                            "plan frames need a v2-negotiated connection (reconnect with a v2 Hello)",
+                        ),
+                        version,
+                    )?;
+                    continue;
+                }
+                // Every sub-query is submitted (and the whole plan charged)
+                // before the wait — the per-group fan-out pipelines on the
+                // worker pool exactly as in-process plans do.
+                let reply = match submit_plan(&handle, session.as_ref(), &request.plan)
+                    .and_then(PendingPlan::wait)
+                {
+                    Ok(answer) => {
+                        answered += 1;
+                        plan_answer_frame(0, &answer)
+                    }
+                    Err(e) => core_error_reply(0, &e),
+                };
+                write_frame_at(&mut stream, &reply, version)?;
+            }
             Ok(Frame::BudgetRequest) => {
-                write_frame(
+                write_frame_at(
                     &mut stream,
                     &Frame::BudgetStatus(budget_status(session.as_ref(), answered)),
+                    version,
                 )?;
             }
             Ok(_) => {
                 // Hello again, or a server-to-client frame: protocol
                 // misuse, answered but not fatal.
-                write_frame(
+                write_frame_at(
                     &mut stream,
                     &error_reply(0, ErrorCode::BadRequest, "unexpected frame kind"),
+                    version,
                 )?;
             }
             Err(NetError::Disconnected) => return Ok(()),
             Err(e) => {
                 // A malformed frame leaves the stream unsynchronized;
-                // report and close.
-                let _ = write_frame(
-                    &mut stream,
-                    &error_reply(0, ErrorCode::BadRequest, &e.to_string()),
-                );
+                // report (typed, including version mismatches) and close.
+                let reply = match &e {
+                    NetError::UnsupportedVersion { requested, .. } => {
+                        unsupported_version_reply(*requested)
+                    }
+                    _ => error_reply(0, ErrorCode::BadRequest, &e.to_string()),
+                };
+                let _ = write_frame_at(&mut stream, &reply, version);
                 return Err(e);
             }
         }
@@ -285,6 +357,7 @@ fn hello_ack(handle: &EngineHandle, directory: &Option<Arc<BudgetDirectory>>) ->
             let per = dir.per_analyst();
             (per.eps, per.delta)
         }),
+        max_version: VERSION,
     }
 }
 
@@ -296,6 +369,20 @@ fn submit(
     match session {
         Some(s) => s.submit(&spec.query, spec.sampling_rate),
         None => handle.submit(&spec.query, spec.sampling_rate),
+    }
+}
+
+/// Submits a whole plan: with a session, the plan's entire declared
+/// `(ε, δ)` is validated and charged atomically before any sub-query is
+/// dispatched (validate-before-charge, whole-plan ξ accounting).
+fn submit_plan(
+    handle: &EngineHandle,
+    session: Option<&ConcurrentSession>,
+    plan: &QueryPlan,
+) -> fedaqp_core::Result<PendingPlan> {
+    match session {
+        Some(s) => s.submit_plan(plan),
+        None => handle.submit_plan(plan),
     }
 }
 
@@ -313,6 +400,44 @@ fn answer_frame(index: u32, answer: &EngineAnswer) -> Frame {
         covering_total: answer.covering_total as u64,
         approximated_providers: answer.approximated_providers as u32,
         allocations: answer.allocations.clone(),
+        summary_us: answer.timings.summary.as_micros() as u64,
+        allocation_us: answer.timings.allocation.as_micros() as u64,
+        execution_us: answer.timings.execution.as_micros() as u64,
+        release_us: answer.timings.release.as_micros() as u64,
+        network_us: answer.timings.network.as_micros() as u64,
+    })
+}
+
+/// Projects a [`PlanAnswer`] onto the wire. Like [`answer_frame`], only
+/// DP-released data crosses: suppressed groups contribute a count, never
+/// their noisy values.
+fn plan_answer_frame(index: u32, answer: &PlanAnswer) -> Frame {
+    let result = match &answer.result {
+        PlanResult::Value {
+            value,
+            ci_halfwidth,
+        } => WirePlanResult::Value {
+            value: *value,
+            ci_halfwidth: *ci_halfwidth,
+        },
+        PlanResult::Groups { groups, suppressed } => WirePlanResult::Groups {
+            groups: groups
+                .iter()
+                .map(|g| WireGroup {
+                    key: g.key,
+                    value: g.value,
+                    ci_halfwidth: g.ci_halfwidth,
+                })
+                .collect(),
+            suppressed: *suppressed,
+        },
+        PlanResult::Extreme { value } => WirePlanResult::Extreme { value: *value },
+    };
+    Frame::PlanAnswer(PlanAnswerFrame {
+        index,
+        eps: answer.cost.eps,
+        delta: answer.cost.delta,
+        result,
         summary_us: answer.timings.summary.as_micros() as u64,
         allocation_us: answer.timings.allocation.as_micros() as u64,
         execution_us: answer.timings.execution.as_micros() as u64,
@@ -342,7 +467,7 @@ fn error_reply(index: u32, code: ErrorCode, message: &str) -> Frame {
 fn core_error_reply(index: u32, error: &CoreError) -> Frame {
     let code = match error {
         CoreError::Dp(DpError::BudgetExhausted { .. }) => ErrorCode::BudgetExhausted,
-        CoreError::Model(_) => ErrorCode::InvalidQuery,
+        CoreError::Model(_) | CoreError::GroupDomainTooLarge { .. } => ErrorCode::InvalidQuery,
         CoreError::InvalidSamplingRate(_) => ErrorCode::InvalidSamplingRate,
         CoreError::BadConfig(_) => ErrorCode::BadRequest,
         _ => ErrorCode::Internal,
@@ -401,6 +526,13 @@ mod tests {
                 ErrorCode::InvalidSamplingRate,
             ),
             (CoreError::BadConfig("x"), ErrorCode::BadRequest),
+            (
+                CoreError::GroupDomainTooLarge {
+                    size: 1_000_000_000,
+                    cap: 4096,
+                },
+                ErrorCode::InvalidQuery,
+            ),
             (CoreError::NoProviders, ErrorCode::Internal),
         ];
         for (error, expected) in cases {

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic   u32  = 0x4651_4E50  ("FQNP")
-//! version u16  = 1
+//! version u16  (1 or 2; see below)
 //! kind    u8
 //! len     u32  (payload bytes; hard-capped at MAX_PAYLOAD)
 //! payload [len bytes]
@@ -17,6 +17,23 @@
 //! without consuming every byte is rejected (`trailing bytes`) — a frame
 //! either round-trips exactly or it is an error.
 //!
+//! **Versioning.** The codec speaks every version in
+//! `MIN_VERSION..=VERSION`. A client stamps its frames with the highest
+//! version it supports; the server answers at
+//! `min(client version, VERSION)` and advertises its own maximum in
+//! [`HelloAck::max_version`] (a field that only exists on the wire from
+//! v2 — a v1 `HelloAck` payload is byte-identical to what a v1 server
+//! sent). v2 adds the plan frames ([`Frame::Plan`] / [`Frame::PlanAnswer`]);
+//! every v1 frame kind is unchanged, so v1 clients work against a v2
+//! server verbatim. A header with a version outside the supported range
+//! fails with [`NetError::UnsupportedVersion`] *before* any payload is
+//! read — servers answer it with a typed
+//! [`ErrorCode::UnsupportedVersion`] frame (whose `index` field carries
+//! the server's maximum version) instead of hanging up bare. (Servers
+//! built *before* this negotiation existed reject a v2 Hello with a
+//! generic error instead; compatibility is guaranteed in the
+//! v1-client-to-v2-server direction.)
+//!
 //! Conversation shape (client ⇒ server unless noted):
 //!
 //! * [`Frame::Hello`] opens a connection; the server replies with
@@ -25,27 +42,33 @@
 //! * [`Frame::Query`] / [`Frame::Batch`] submit work; the server replies
 //!   with one [`Frame::Answer`] or [`Frame::Error`] per query, in
 //!   submission order.
+//! * [`Frame::Plan`] (v2) submits one [`QueryPlan`]; the server replies
+//!   with one [`Frame::PlanAnswer`] or [`Frame::Error`].
 //! * [`Frame::BudgetRequest`] asks for the session ledger; the server
 //!   replies with [`Frame::BudgetStatus`].
 //!
 //! What is *not* on the wire is as deliberate as what is: a provider's raw
 //! (pre-noise) estimate and smooth sensitivities are simulation-boundary
 //! diagnostics and never leave the server (see the README threat-model
-//! note).
+//! note) — and a plan answer carries only the released groups/values, never
+//! the suppressed groups' noisy values.
 
 use std::io::{Read, Write};
 
 use bytes::{Buf, BufMut, BytesMut};
 use fedaqp_core::EstimatorCalibration;
-use fedaqp_model::{Aggregate, Range, RangeQuery};
+use fedaqp_model::{Aggregate, DerivedStatistic, Extreme, QueryPlan, Range, RangeQuery};
 use fedaqp_storage::declared_len_fits;
 
 use crate::{NetError, Result};
 
 /// Frame magic ("FQNP").
 pub const MAGIC: u32 = 0x4651_4E50;
-/// Wire-protocol version.
-pub const VERSION: u16 = 1;
+/// Highest wire-protocol version this build speaks (and the version the
+/// client stamps its frames with).
+pub const VERSION: u16 = 2;
+/// Lowest wire-protocol version this build still accepts.
+pub const MIN_VERSION: u16 = 1;
 /// Hard cap on a frame payload. Nothing legitimate comes close (the
 /// largest frame is a maximal batch at well under 200 KiB); anything
 /// larger is a hostile or corrupt length prefix.
@@ -60,6 +83,9 @@ const MAX_BATCH: usize = 4096;
 const MAX_DIMS: usize = 1024;
 const MAX_RANGES: usize = 1024;
 const MAX_ALLOCATIONS: usize = 4096;
+/// Cap on groups in a plan answer — matches the engine's default
+/// group-domain cap (`FederationConfig::max_group_domain`).
+const MAX_GROUPS: usize = 4096;
 
 const KIND_HELLO: u8 = 1;
 const KIND_HELLO_ACK: u8 = 2;
@@ -69,6 +95,8 @@ const KIND_ANSWER: u8 = 5;
 const KIND_ERROR: u8 = 6;
 const KIND_BUDGET_REQUEST: u8 = 7;
 const KIND_BUDGET_STATUS: u8 = 8;
+const KIND_PLAN: u8 = 9;
+const KIND_PLAN_ANSWER: u8 = 10;
 
 /// A connection-opening frame: the analyst declares an identity the
 /// server keys budget ledgers by.
@@ -107,6 +135,10 @@ pub struct HelloAck {
     /// The per-analyst session budget `(ξ, ψ)`; `None` when the server
     /// imposes no session cap.
     pub session_budget: Option<(f64, f64)>,
+    /// The highest wire-protocol version the server speaks. Only on the
+    /// wire from v2 — decoding a v1 `HelloAck` sets it to 1, which is
+    /// exactly what a v1 server supports.
+    pub max_version: u16,
 }
 
 /// One private range-aggregate query.
@@ -171,6 +203,11 @@ pub enum ErrorCode {
     BadRequest,
     /// The server failed internally.
     Internal,
+    /// The client's frame header declared a wire-protocol version the
+    /// server does not speak. The error frame's `index` field carries the
+    /// server's maximum supported version so the client can surface both
+    /// sides of the failed negotiation.
+    UnsupportedVersion,
 }
 
 impl ErrorCode {
@@ -181,6 +218,7 @@ impl ErrorCode {
             ErrorCode::InvalidSamplingRate => 3,
             ErrorCode::BadRequest => 4,
             ErrorCode::Internal => 5,
+            ErrorCode::UnsupportedVersion => 6,
         }
     }
 
@@ -191,6 +229,7 @@ impl ErrorCode {
             3 => Ok(ErrorCode::InvalidSamplingRate),
             4 => Ok(ErrorCode::BadRequest),
             5 => Ok(ErrorCode::Internal),
+            6 => Ok(ErrorCode::UnsupportedVersion),
             _ => Err(NetError::Malformed("unknown error code")),
         }
     }
@@ -204,6 +243,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::InvalidSamplingRate => "invalid-sampling-rate",
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::Internal => "internal",
+            ErrorCode::UnsupportedVersion => "unsupported-version",
         };
         f.write_str(name)
     }
@@ -237,6 +277,72 @@ pub struct BudgetStatus {
     pub queries_answered: u64,
 }
 
+/// One released group on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireGroup {
+    /// The group key.
+    pub key: i64,
+    /// The noisy aggregate (or derived statistic) for the group.
+    pub value: f64,
+    /// 95% sampling confidence half-width, when estimable.
+    pub ci_halfwidth: Option<f64>,
+}
+
+/// The shape-specific part of a [`PlanAnswerFrame`] — the wire projection
+/// of `fedaqp_core::PlanResult`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirePlanResult {
+    /// A scalar or derived-statistic release.
+    Value {
+        /// The DP-released value.
+        value: f64,
+        /// 95% sampling confidence half-width, when estimable.
+        ci_halfwidth: Option<f64>,
+    },
+    /// A GROUP-BY release, ascending by key.
+    Groups {
+        /// Released groups (count capped at the group-domain cap).
+        groups: Vec<WireGroup>,
+        /// Groups suppressed by the significance threshold.
+        suppressed: u64,
+    },
+    /// A private MIN/MAX selection.
+    Extreme {
+        /// The selected domain value.
+        value: i64,
+    },
+}
+
+/// One plan submission (client → server, v2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRequest {
+    /// The plan, complete with sampling rate and `(ε, δ)` spend.
+    pub plan: QueryPlan,
+}
+
+/// The released answer to one plan (server → client, v2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanAnswerFrame {
+    /// Position within the submitted stream (0 for a lone plan).
+    pub index: u32,
+    /// ε charged for the whole plan.
+    pub eps: f64,
+    /// δ charged for the whole plan.
+    pub delta: f64,
+    /// The released result.
+    pub result: WirePlanResult,
+    /// Summary-phase time (max over concurrent sub-queries), microseconds.
+    pub summary_us: u64,
+    /// Allocation-phase time, microseconds.
+    pub allocation_us: u64,
+    /// Execution-phase time, microseconds.
+    pub execution_us: u64,
+    /// Release-phase time, microseconds.
+    pub release_us: u64,
+    /// Simulated network time (overlapped transit), microseconds.
+    pub network_us: u64,
+}
+
 /// Every message of the wire protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -256,6 +362,10 @@ pub enum Frame {
     BudgetRequest,
     /// Ledger report (server → client).
     BudgetStatus(BudgetStatus),
+    /// One plan submission (client → server; v2).
+    Plan(PlanRequest),
+    /// One plan answer (server → client; v2).
+    PlanAnswer(PlanAnswerFrame),
 }
 
 /// Wire code of an [`EstimatorCalibration`] (`0` = EM, `1` = PPS).
@@ -296,13 +406,12 @@ fn put_opt_f64(buf: &mut BytesMut, v: Option<f64>) {
     }
 }
 
-fn put_query(buf: &mut BytesMut, spec: &QueryRequest) -> Result<()> {
-    let ranges = spec.query.ranges();
+fn put_range_query(buf: &mut BytesMut, query: &RangeQuery) -> Result<()> {
+    let ranges = query.ranges();
     if ranges.len() > MAX_RANGES {
         return Err(NetError::Malformed("too many query ranges"));
     }
-    buf.put_f64_le(spec.sampling_rate);
-    buf.put_u8(match spec.query.aggregate() {
+    buf.put_u8(match query.aggregate() {
         Aggregate::Count => 0,
         Aggregate::Sum => 1,
     });
@@ -315,7 +424,137 @@ fn put_query(buf: &mut BytesMut, spec: &QueryRequest) -> Result<()> {
     Ok(())
 }
 
-fn encode_payload(frame: &Frame) -> Result<(u8, BytesMut)> {
+fn put_query(buf: &mut BytesMut, spec: &QueryRequest) -> Result<()> {
+    buf.put_f64_le(spec.sampling_rate);
+    put_range_query(buf, &spec.query)
+}
+
+fn statistic_code(statistic: DerivedStatistic) -> u8 {
+    match statistic {
+        DerivedStatistic::Average => 0,
+        DerivedStatistic::Variance => 1,
+        DerivedStatistic::StdDev => 2,
+    }
+}
+
+fn statistic_from_code(code: u8) -> Result<DerivedStatistic> {
+    match code {
+        0 => Ok(DerivedStatistic::Average),
+        1 => Ok(DerivedStatistic::Variance),
+        2 => Ok(DerivedStatistic::StdDev),
+        _ => Err(NetError::Malformed("unknown derived-statistic code")),
+    }
+}
+
+fn put_plan(buf: &mut BytesMut, plan: &QueryPlan) -> Result<()> {
+    match plan {
+        QueryPlan::Scalar {
+            query,
+            sampling_rate,
+            epsilon,
+            delta,
+        } => {
+            buf.put_u8(0);
+            buf.put_f64_le(*sampling_rate);
+            buf.put_f64_le(*epsilon);
+            buf.put_f64_le(*delta);
+            put_range_query(buf, query)?;
+        }
+        QueryPlan::Derived {
+            query,
+            statistic,
+            sampling_rate,
+            epsilon,
+            delta,
+        } => {
+            buf.put_u8(1);
+            buf.put_u8(statistic_code(*statistic));
+            buf.put_f64_le(*sampling_rate);
+            buf.put_f64_le(*epsilon);
+            buf.put_f64_le(*delta);
+            put_range_query(buf, query)?;
+        }
+        QueryPlan::GroupBy {
+            base,
+            statistic,
+            group_dim,
+            threshold,
+            sampling_rate,
+            epsilon,
+            delta,
+        } => {
+            buf.put_u8(2);
+            buf.put_u32_le(*group_dim as u32);
+            match statistic {
+                Some(s) => {
+                    buf.put_u8(1);
+                    buf.put_u8(statistic_code(*s));
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_f64_le(*threshold);
+            buf.put_f64_le(*sampling_rate);
+            buf.put_f64_le(*epsilon);
+            buf.put_f64_le(*delta);
+            put_range_query(buf, base)?;
+        }
+        QueryPlan::Extreme {
+            dim,
+            extreme,
+            epsilon,
+        } => {
+            buf.put_u8(3);
+            buf.put_u32_le(*dim as u32);
+            buf.put_u8(match extreme {
+                Extreme::Min => 0,
+                Extreme::Max => 1,
+            });
+            buf.put_f64_le(*epsilon);
+        }
+    }
+    Ok(())
+}
+
+fn put_plan_answer(buf: &mut BytesMut, frame: &PlanAnswerFrame) -> Result<()> {
+    buf.put_u32_le(frame.index);
+    buf.put_f64_le(frame.eps);
+    buf.put_f64_le(frame.delta);
+    match &frame.result {
+        WirePlanResult::Value {
+            value,
+            ci_halfwidth,
+        } => {
+            buf.put_u8(0);
+            buf.put_f64_le(*value);
+            put_opt_f64(buf, *ci_halfwidth);
+        }
+        WirePlanResult::Groups { groups, suppressed } => {
+            if groups.len() > MAX_GROUPS {
+                return Err(NetError::Malformed("too many plan groups"));
+            }
+            buf.put_u8(1);
+            buf.put_u32_le(groups.len() as u32);
+            for g in groups {
+                buf.put_i64_le(g.key);
+                buf.put_f64_le(g.value);
+                put_opt_f64(buf, g.ci_halfwidth);
+            }
+            buf.put_u64_le(*suppressed);
+        }
+        WirePlanResult::Extreme { value } => {
+            buf.put_u8(2);
+            buf.put_i64_le(*value);
+        }
+    }
+    buf.put_u64_le(frame.summary_us);
+    buf.put_u64_le(frame.allocation_us);
+    buf.put_u64_le(frame.execution_us);
+    buf.put_u64_le(frame.release_us);
+    buf.put_u64_le(frame.network_us);
+    Ok(())
+}
+
+fn encode_payload(frame: &Frame, version: u16) -> Result<(u8, BytesMut)> {
     let mut buf = BytesMut::with_capacity(64);
     let kind = match frame {
         Frame::Hello(h) => {
@@ -343,6 +582,11 @@ fn encode_payload(frame: &Frame) -> Result<(u8, BytesMut)> {
                     buf.put_f64_le(psi);
                 }
                 None => buf.put_u8(0),
+            }
+            // The version advertisement exists on the wire only from v2;
+            // a v1 HelloAck payload is unchanged from what v1 servers sent.
+            if version >= 2 {
+                buf.put_u16_le(a.max_version);
             }
             KIND_HELLO_ACK
         }
@@ -399,6 +643,20 @@ fn encode_payload(frame: &Frame) -> Result<(u8, BytesMut)> {
             buf.put_u64_le(s.queries_answered);
             KIND_BUDGET_STATUS
         }
+        Frame::Plan(p) => {
+            if version < 2 {
+                return Err(NetError::Malformed("plan frames need protocol v2"));
+            }
+            put_plan(&mut buf, &p.plan)?;
+            KIND_PLAN
+        }
+        Frame::PlanAnswer(a) => {
+            if version < 2 {
+                return Err(NetError::Malformed("plan frames need protocol v2"));
+            }
+            put_plan_answer(&mut buf, a)?;
+            KIND_PLAN_ANSWER
+        }
     };
     if buf.len() > MAX_PAYLOAD as usize {
         return Err(NetError::Malformed("payload exceeds frame cap"));
@@ -406,16 +664,28 @@ fn encode_payload(frame: &Frame) -> Result<(u8, BytesMut)> {
     Ok((kind, buf))
 }
 
-/// Encodes one frame (header + payload) into bytes ready for the socket.
-pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>> {
-    let (kind, payload) = encode_payload(frame)?;
+/// Encodes one frame (header + payload) at an explicit protocol version —
+/// what a server uses to answer a client at the client's own version.
+pub fn encode_frame_at(frame: &Frame, version: u16) -> Result<Vec<u8>> {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(NetError::UnsupportedVersion {
+            requested: version,
+            supported: VERSION,
+        });
+    }
+    let (kind, payload) = encode_payload(frame, version)?;
     let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
     out.put_u32_le(MAGIC);
-    out.put_u16_le(VERSION);
+    out.put_u16_le(version);
     out.put_u8(kind);
     out.put_u32_le(payload.len() as u32);
     out.extend_from_slice(&payload);
     Ok(out)
+}
+
+/// Encodes one frame at the newest protocol version.
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>> {
+    encode_frame_at(frame, VERSION)
 }
 
 // ---------------------------------------------------------------- decode
@@ -450,9 +720,8 @@ fn get_opt_f64(data: &mut &[u8]) -> Result<Option<f64>> {
     }
 }
 
-fn get_query(data: &mut &[u8]) -> Result<QueryRequest> {
-    need(data, 8 + 1 + 2, "query header truncated")?;
-    let sampling_rate = data.get_f64_le();
+fn get_range_query(data: &mut &[u8]) -> Result<RangeQuery> {
+    need(data, 1 + 2, "query header truncated")?;
     let agg = match data.get_u8() {
         0 => Aggregate::Count,
         1 => Aggregate::Sum,
@@ -469,15 +738,154 @@ fn get_query(data: &mut &[u8]) -> Result<QueryRequest> {
         let hi = data.get_i64_le();
         ranges.push(Range::new(dim, lo, hi).map_err(|_| NetError::Malformed("empty range"))?);
     }
-    let query =
-        RangeQuery::new(agg, ranges).map_err(|_| NetError::Malformed("invalid range set"))?;
+    RangeQuery::new(agg, ranges).map_err(|_| NetError::Malformed("invalid range set"))
+}
+
+fn get_query(data: &mut &[u8]) -> Result<QueryRequest> {
+    need(data, 8, "query header truncated")?;
+    let sampling_rate = data.get_f64_le();
+    let query = get_range_query(data)?;
     Ok(QueryRequest {
         query,
         sampling_rate,
     })
 }
 
-fn decode_payload(kind: u8, mut data: &[u8]) -> Result<Frame> {
+fn get_plan(data: &mut &[u8]) -> Result<QueryPlan> {
+    need(data, 1, "plan tag truncated")?;
+    let plan = match data.get_u8() {
+        0 => {
+            need(data, 3 * 8, "plan parameters truncated")?;
+            let sampling_rate = data.get_f64_le();
+            let epsilon = data.get_f64_le();
+            let delta = data.get_f64_le();
+            QueryPlan::Scalar {
+                query: get_range_query(data)?,
+                sampling_rate,
+                epsilon,
+                delta,
+            }
+        }
+        1 => {
+            need(data, 1 + 3 * 8, "plan parameters truncated")?;
+            let statistic = statistic_from_code(data.get_u8())?;
+            let sampling_rate = data.get_f64_le();
+            let epsilon = data.get_f64_le();
+            let delta = data.get_f64_le();
+            QueryPlan::Derived {
+                query: get_range_query(data)?,
+                statistic,
+                sampling_rate,
+                epsilon,
+                delta,
+            }
+        }
+        2 => {
+            need(data, 4 + 1, "group-by plan header truncated")?;
+            let group_dim = data.get_u32_le() as usize;
+            let statistic = match data.get_u8() {
+                0 => None,
+                1 => {
+                    need(data, 1, "statistic code truncated")?;
+                    Some(statistic_from_code(data.get_u8())?)
+                }
+                _ => return Err(NetError::Malformed("bad statistic tag")),
+            };
+            need(data, 4 * 8, "plan parameters truncated")?;
+            let threshold = data.get_f64_le();
+            let sampling_rate = data.get_f64_le();
+            let epsilon = data.get_f64_le();
+            let delta = data.get_f64_le();
+            QueryPlan::GroupBy {
+                base: get_range_query(data)?,
+                statistic,
+                group_dim,
+                threshold,
+                sampling_rate,
+                epsilon,
+                delta,
+            }
+        }
+        3 => {
+            need(data, 4 + 1 + 8, "extreme plan truncated")?;
+            let dim = data.get_u32_le() as usize;
+            let extreme = match data.get_u8() {
+                0 => Extreme::Min,
+                1 => Extreme::Max,
+                _ => return Err(NetError::Malformed("unknown extreme code")),
+            };
+            QueryPlan::Extreme {
+                dim,
+                extreme,
+                epsilon: data.get_f64_le(),
+            }
+        }
+        _ => return Err(NetError::Malformed("unknown plan tag")),
+    };
+    Ok(plan)
+}
+
+fn get_plan_answer(data: &mut &[u8]) -> Result<PlanAnswerFrame> {
+    need(data, 4 + 8 + 8 + 1, "plan answer header truncated")?;
+    let index = data.get_u32_le();
+    let eps = data.get_f64_le();
+    let delta = data.get_f64_le();
+    let result = match data.get_u8() {
+        0 => {
+            need(data, 8, "plan value truncated")?;
+            let value = data.get_f64_le();
+            WirePlanResult::Value {
+                value,
+                ci_halfwidth: get_opt_f64(data)?,
+            }
+        }
+        1 => {
+            need(data, 4, "group count truncated")?;
+            let n = data.get_u32_le() as usize;
+            // Each group costs at least key + value + option tag.
+            if n > MAX_GROUPS || !declared_len_fits(n, 8 + 8 + 1, data.remaining()) {
+                return Err(NetError::Malformed("declared group count too large"));
+            }
+            let mut groups = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(data, 8 + 8, "group entry truncated")?;
+                let key = data.get_i64_le();
+                let value = data.get_f64_le();
+                groups.push(WireGroup {
+                    key,
+                    value,
+                    ci_halfwidth: get_opt_f64(data)?,
+                });
+            }
+            need(data, 8, "suppressed count truncated")?;
+            WirePlanResult::Groups {
+                groups,
+                suppressed: data.get_u64_le(),
+            }
+        }
+        2 => {
+            need(data, 8, "extreme value truncated")?;
+            WirePlanResult::Extreme {
+                value: data.get_i64_le(),
+            }
+        }
+        _ => return Err(NetError::Malformed("unknown plan result tag")),
+    };
+    need(data, 5 * 8, "plan answer timings truncated")?;
+    Ok(PlanAnswerFrame {
+        index,
+        eps,
+        delta,
+        result,
+        summary_us: data.get_u64_le(),
+        allocation_us: data.get_u64_le(),
+        execution_us: data.get_u64_le(),
+        release_us: data.get_u64_le(),
+        network_us: data.get_u64_le(),
+    })
+}
+
+fn decode_payload(kind: u8, mut data: &[u8], version: u16) -> Result<Frame> {
     let frame = match kind {
         KIND_HELLO => Frame::Hello(Hello {
             analyst: get_string(&mut data)?,
@@ -509,6 +917,14 @@ fn decode_payload(kind: u8, mut data: &[u8]) -> Result<Frame> {
                 }
                 _ => return Err(NetError::Malformed("bad budget tag")),
             };
+            let max_version = if version >= 2 {
+                need(data, 2, "version advertisement truncated")?;
+                data.get_u16_le()
+            } else {
+                // A v1 HelloAck has no advertisement: v1 *is* the max a
+                // v1-speaking server supports.
+                1
+            };
             Frame::HelloAck(HelloAck {
                 dimensions,
                 n_providers,
@@ -516,6 +932,7 @@ fn decode_payload(kind: u8, mut data: &[u8]) -> Result<Frame> {
                 delta,
                 calibration,
                 session_budget,
+                max_version,
             })
         }
         KIND_QUERY => Frame::Query(get_query(&mut data)?),
@@ -580,6 +997,13 @@ fn decode_payload(kind: u8, mut data: &[u8]) -> Result<Frame> {
                 message,
             })
         }
+        KIND_PLAN if version >= 2 => Frame::Plan(PlanRequest {
+            plan: get_plan(&mut data)?,
+        }),
+        KIND_PLAN_ANSWER if version >= 2 => Frame::PlanAnswer(get_plan_answer(&mut data)?),
+        KIND_PLAN | KIND_PLAN_ANSWER => {
+            return Err(NetError::Malformed("plan frames need protocol v2"))
+        }
         KIND_BUDGET_REQUEST => Frame::BudgetRequest,
         KIND_BUDGET_STATUS => {
             need(data, 1 + 4 * 8 + 8, "budget status truncated")?;
@@ -619,20 +1043,28 @@ fn eof_to_disconnect(e: std::io::Error) -> NetError {
     }
 }
 
-/// Writes one frame to a socket (or any [`Write`]), flushing it.
-pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> Result<()> {
-    let bytes = encode_frame(frame)?;
+/// Writes one frame at an explicit protocol version, flushing it.
+pub fn write_frame_at<W: Write>(writer: &mut W, frame: &Frame, version: u16) -> Result<()> {
+    let bytes = encode_frame_at(frame, version)?;
     writer.write_all(&bytes)?;
     writer.flush()?;
     Ok(())
 }
 
-/// Reads one frame from a socket (or any [`Read`]).
+/// Writes one frame at the newest protocol version, flushing it.
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> Result<()> {
+    write_frame_at(writer, frame, VERSION)
+}
+
+/// Reads one frame from a socket (or any [`Read`]), returning it together
+/// with the header's protocol version — what a server uses to answer each
+/// client at the client's own version.
 ///
 /// A clean connection close surfaces as [`NetError::Disconnected`]; a
-/// header with a bad magic, an unsupported version, an unknown kind, or a
-/// payload above [`MAX_PAYLOAD`] fails *before* any payload is read.
-pub fn read_frame<R: Read>(reader: &mut R) -> Result<Frame> {
+/// header with a bad magic, a version outside
+/// `MIN_VERSION..=VERSION`, an unknown kind, or a payload above
+/// [`MAX_PAYLOAD`] fails *before* any payload is read.
+pub fn read_frame_versioned<R: Read>(reader: &mut R) -> Result<(Frame, u16)> {
     let mut header = [0u8; HEADER_BYTES];
     reader.read_exact(&mut header).map_err(eof_to_disconnect)?;
     let mut h: &[u8] = &header;
@@ -640,8 +1072,11 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Frame> {
         return Err(NetError::Malformed("bad frame magic"));
     }
     let version = h.get_u16_le();
-    if version != VERSION {
-        return Err(NetError::UnsupportedVersion(version));
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(NetError::UnsupportedVersion {
+            requested: version,
+            supported: VERSION,
+        });
     }
     let kind = h.get_u8();
     let len = h.get_u32_le();
@@ -653,7 +1088,12 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Frame> {
     }
     let mut payload = vec![0u8; len as usize];
     reader.read_exact(&mut payload).map_err(eof_to_disconnect)?;
-    decode_payload(kind, &payload)
+    decode_payload(kind, &payload, version).map(|frame| (frame, version))
+}
+
+/// Reads one frame, discarding the header's version.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Frame> {
+    read_frame_versioned(reader).map(|(frame, _)| frame)
 }
 
 #[cfg(test)]
@@ -706,6 +1146,7 @@ mod tests {
                 delta: 1e-3,
                 calibration: 0,
                 session_budget: Some((10.0, 1e-2)),
+                max_version: VERSION,
             }),
             Frame::Query(QueryRequest {
                 query: query(10, 60),
@@ -733,6 +1174,49 @@ mod tests {
                 spent_eps: 3.0,
                 spent_delta: 3e-3,
                 queries_answered: 3,
+            }),
+            Frame::Plan(PlanRequest {
+                plan: QueryPlan::GroupBy {
+                    base: query(10, 60),
+                    statistic: Some(DerivedStatistic::Average),
+                    group_dim: 3,
+                    threshold: 12.5,
+                    sampling_rate: 0.2,
+                    epsilon: 4.0,
+                    delta: 1e-3,
+                },
+            }),
+            Frame::Plan(PlanRequest {
+                plan: QueryPlan::Extreme {
+                    dim: 1,
+                    extreme: Extreme::Max,
+                    epsilon: 0.5,
+                },
+            }),
+            Frame::PlanAnswer(PlanAnswerFrame {
+                index: 2,
+                eps: 4.0,
+                delta: 1e-3,
+                result: WirePlanResult::Groups {
+                    groups: vec![
+                        WireGroup {
+                            key: 0,
+                            value: 812.5,
+                            ci_halfwidth: Some(3.25),
+                        },
+                        WireGroup {
+                            key: 2,
+                            value: 41.0,
+                            ci_halfwidth: None,
+                        },
+                    ],
+                    suppressed: 3,
+                },
+                summary_us: 120,
+                allocation_us: 30,
+                execution_us: 1100,
+                release_us: 9,
+                network_us: 100_500,
             }),
         ]
     }
@@ -767,6 +1251,7 @@ mod tests {
             delta: 0.0,
             calibration: 1,
             session_budget: None,
+            max_version: VERSION,
         });
         assert_eq!(round_trip(&ack), ack);
         let status = Frame::BudgetStatus(BudgetStatus {
@@ -826,7 +1311,10 @@ mod tests {
         bad_version[4] = 99;
         assert!(matches!(
             read_frame(&mut &bad_version[..]),
-            Err(NetError::UnsupportedVersion(99))
+            Err(NetError::UnsupportedVersion {
+                requested: 99,
+                supported: VERSION,
+            })
         ));
 
         let mut bad_kind = good.clone();
@@ -892,7 +1380,7 @@ mod tests {
         bytes.put_u32_le(0);
         bytes.put_i64_le(10);
         bytes.put_i64_le(5);
-        assert!(decode_payload(KIND_QUERY, &bytes).is_err());
+        assert!(decode_payload(KIND_QUERY, &bytes, VERSION).is_err());
 
         // Duplicate dimension.
         let mut bytes = Vec::new();
@@ -904,14 +1392,14 @@ mod tests {
             bytes.put_i64_le(0);
             bytes.put_i64_le(5);
         }
-        assert!(decode_payload(KIND_QUERY, &bytes).is_err());
+        assert!(decode_payload(KIND_QUERY, &bytes, VERSION).is_err());
 
         // Unknown aggregate.
         let mut bytes = Vec::new();
         bytes.put_f64_le(0.2);
         bytes.put_u8(9);
         bytes.put_u16_le(0);
-        assert!(decode_payload(KIND_QUERY, &bytes).is_err());
+        assert!(decode_payload(KIND_QUERY, &bytes, VERSION).is_err());
     }
 
     #[test]
@@ -923,8 +1411,86 @@ mod tests {
         bytes.put_u16_le(2);
         bytes.extend_from_slice(&[0xFF, 0xFE]);
         assert!(matches!(
-            decode_payload(KIND_HELLO, &bytes),
+            decode_payload(KIND_HELLO, &bytes, VERSION),
             Err(NetError::Malformed("string is not utf-8"))
+        ));
+    }
+
+    #[test]
+    fn v1_frames_round_trip_at_v1_unchanged() {
+        // Every v1 frame kind must encode/decode at version 1 byte-for-
+        // byte as before — this is what keeps v1 clients working against
+        // the v2 server.
+        for frame in all_frames() {
+            if matches!(frame, Frame::Plan(_) | Frame::PlanAnswer(_)) {
+                continue;
+            }
+            let expected = match &frame {
+                // The version advertisement is not on a v1 wire; a v1
+                // decode reports max_version = 1.
+                Frame::HelloAck(a) => Frame::HelloAck(HelloAck {
+                    max_version: 1,
+                    ..a.clone()
+                }),
+                other => other.clone(),
+            };
+            let bytes = encode_frame_at(&frame, 1).unwrap();
+            assert_eq!(bytes[4], 1, "header version");
+            let mut slice: &[u8] = &bytes;
+            let (decoded, version) = read_frame_versioned(&mut slice).unwrap();
+            assert!(!slice.has_remaining());
+            assert_eq!(version, 1);
+            assert_eq!(decoded, expected);
+        }
+    }
+
+    #[test]
+    fn plan_frames_are_v2_only() {
+        let plan = Frame::Plan(PlanRequest {
+            plan: QueryPlan::Extreme {
+                dim: 0,
+                extreme: Extreme::Min,
+                epsilon: 1.0,
+            },
+        });
+        assert!(matches!(
+            encode_frame_at(&plan, 1),
+            Err(NetError::Malformed("plan frames need protocol v2"))
+        ));
+        // A v1 header smuggling a plan kind is rejected at decode.
+        let mut bytes = encode_frame(&plan).unwrap();
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("plan frames need protocol v2"))
+        ));
+        // Out-of-range encode versions are typed errors.
+        assert!(matches!(
+            encode_frame_at(&plan, 9),
+            Err(NetError::UnsupportedVersion {
+                requested: 9,
+                supported: VERSION,
+            })
+        ));
+    }
+
+    #[test]
+    fn absurd_group_counts_are_rejected() {
+        // A plan answer claiming u32::MAX groups over a tiny body.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u16_le(VERSION);
+        bytes.put_u8(KIND_PLAN_ANSWER);
+        bytes.put_u32_le(4 + 8 + 8 + 1 + 4 + 8);
+        bytes.put_u32_le(0); // index
+        bytes.put_f64_le(1.0); // eps
+        bytes.put_f64_le(0.0); // delta
+        bytes.put_u8(1); // groups tag
+        bytes.put_u32_le(u32::MAX);
+        bytes.put_u64_le(0);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("declared group count too large"))
         ));
     }
 
@@ -988,9 +1554,10 @@ mod proptests {
             (0.001f64..100.0, 0.0f64..0.1),
             0u8..2,
             (any::<bool>(), 0.001f64..100.0, 0.0f64..0.1),
+            1u16..8,
         )
             .prop_map(
-                |(dims, n_providers, (epsilon, delta), calibration, (capped, xi, psi))| {
+                |(dims, n_providers, (epsilon, delta), calibration, (capped, xi, psi), max_v)| {
                     Frame::HelloAck(HelloAck {
                         dimensions: dims
                             .into_iter()
@@ -1005,6 +1572,7 @@ mod proptests {
                         delta,
                         calibration,
                         session_budget: capped.then_some((xi, psi)),
+                        max_version: max_v,
                     })
                 },
             )
@@ -1072,6 +1640,114 @@ mod proptests {
                 })
             })
             .boxed();
+        let arb_statistic = || {
+            prop_oneof![
+                Just(DerivedStatistic::Average),
+                Just(DerivedStatistic::Variance),
+                Just(DerivedStatistic::StdDev),
+            ]
+        };
+        let plan = (
+            arb_query(),
+            (0.001f64..100.0, 0.0f64..0.1, 0.0f64..500.0),
+            0u32..256,
+            (any::<bool>(), arb_statistic()),
+            prop_oneof![Just(Extreme::Min), Just(Extreme::Max)],
+            0u8..4,
+        )
+            .prop_map(
+                |(spec, (epsilon, delta, threshold), dim, (grouped_stat, stat), extreme, shape)| {
+                    let statistic = grouped_stat.then_some(stat);
+                    let plan = match shape {
+                        0 => QueryPlan::Scalar {
+                            query: spec.query,
+                            sampling_rate: spec.sampling_rate,
+                            epsilon,
+                            delta,
+                        },
+                        1 => QueryPlan::Derived {
+                            query: spec.query,
+                            statistic: stat,
+                            sampling_rate: spec.sampling_rate,
+                            epsilon,
+                            delta,
+                        },
+                        2 => QueryPlan::GroupBy {
+                            base: spec.query,
+                            statistic,
+                            group_dim: dim as usize,
+                            threshold,
+                            sampling_rate: spec.sampling_rate,
+                            epsilon,
+                            delta,
+                        },
+                        _ => QueryPlan::Extreme {
+                            dim: dim as usize,
+                            extreme,
+                            epsilon,
+                        },
+                    };
+                    Frame::Plan(PlanRequest { plan })
+                },
+            )
+            .boxed();
+        let plan_answer = (
+            (any::<u32>(), 0.0f64..100.0, 0.0f64..0.1),
+            0u8..3,
+            (any::<f64>(), arb_opt_f64(), -5000i64..5000),
+            proptest::collection::vec((-5000i64..5000, 0.0f64..1e6, arb_opt_f64()), 0..6),
+            any::<u64>(),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+            ),
+        )
+            .prop_map(
+                |(
+                    (index, eps, delta),
+                    shape,
+                    (value, ci_halfwidth, extreme_value),
+                    raw_groups,
+                    suppressed,
+                    (summary_us, allocation_us, execution_us, release_us, network_us),
+                )| {
+                    let result = match shape {
+                        0 => WirePlanResult::Value {
+                            value,
+                            ci_halfwidth,
+                        },
+                        1 => WirePlanResult::Groups {
+                            groups: raw_groups
+                                .into_iter()
+                                .map(|(key, value, ci_halfwidth)| WireGroup {
+                                    key,
+                                    value,
+                                    ci_halfwidth,
+                                })
+                                .collect(),
+                            suppressed,
+                        },
+                        _ => WirePlanResult::Extreme {
+                            value: extreme_value,
+                        },
+                    };
+                    Frame::PlanAnswer(PlanAnswerFrame {
+                        index,
+                        eps,
+                        delta,
+                        result,
+                        summary_us,
+                        allocation_us,
+                        execution_us,
+                        release_us,
+                        network_us,
+                    })
+                },
+            )
+            .boxed();
         let budget_req = Just(Frame::BudgetRequest).boxed();
         let budget_status = (
             any::<bool>(),
@@ -1099,7 +1775,9 @@ mod proptests {
             answer,
             error,
             budget_req,
-            budget_status
+            budget_status,
+            plan,
+            plan_answer
         ]
         .boxed()
     }

@@ -9,7 +9,10 @@
 //!   survives), and reconnecting cannot reset a spent budget.
 
 use fedaqp_core::{Federation, FederationConfig, FederationEngine, QueryBatch};
-use fedaqp_model::{Aggregate, Dimension, Domain, Range, RangeQuery, Row, Schema};
+use fedaqp_model::{
+    Aggregate, DerivedStatistic, Dimension, Domain, Extreme, QueryPlan, Range, RangeQuery, Row,
+    Schema,
+};
 use fedaqp_net::{ErrorCode, FederationServer, NetError, RemoteFederation, ServeOptions};
 
 fn schema() -> Schema {
@@ -317,6 +320,329 @@ fn malformed_bytes_get_a_typed_error_then_close() {
     // The server closed its side after the unsyncable stream.
     assert!(matches!(
         fedaqp_net::wire::read_frame(&mut stream),
+        Err(NetError::Disconnected)
+    ));
+
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// A federation with a small categorical dimension for plan tests.
+fn plan_federation(epsilon: f64) -> Federation {
+    let schema = Schema::new(vec![
+        Dimension::new("x", Domain::new(0, 999).unwrap()),
+        Dimension::new("cat", Domain::new(0, 4).unwrap()),
+    ])
+    .unwrap();
+    let partitions: Vec<Vec<Row>> = (0..4)
+        .map(|p| {
+            (0..2000)
+                .map(|i| {
+                    let v = (i * 7 + p * 13) % 1000;
+                    Row::cell(vec![v as i64, ((i + p) % 5) as i64], 1 + (i % 3) as u64)
+                })
+                .collect()
+        })
+        .collect();
+    let mut cfg = FederationConfig::paper_default(50);
+    cfg.cost_model = fedaqp_smc::CostModel::zero();
+    cfg.n_min = 3;
+    cfg.epsilon = epsilon;
+    Federation::build(cfg, schema, partitions).unwrap()
+}
+
+/// The seeded mixed workload: one plan of every kind.
+fn mixed_plans() -> Vec<QueryPlan> {
+    vec![
+        QueryPlan::Scalar {
+            query: count_query(100, 800),
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+        },
+        QueryPlan::Derived {
+            query: count_query(0, 900),
+            statistic: DerivedStatistic::Average,
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+        },
+        QueryPlan::GroupBy {
+            base: count_query(0, 999),
+            statistic: None,
+            group_dim: 1,
+            threshold: 0.0,
+            sampling_rate: 0.2,
+            epsilon: 2.5,
+            delta: 1e-3,
+        },
+        QueryPlan::Extreme {
+            dim: 0,
+            extreme: Extreme::Max,
+            epsilon: 5.0,
+        },
+    ]
+}
+
+/// The acceptance bar of the plan redesign: a seeded mixed batch — scalar,
+/// derived, group-by, and extreme — answered over a real socket is
+/// byte-identical to the same plans run in-process. The wire carries
+/// plans, never arithmetic.
+#[test]
+fn remote_plans_are_byte_identical_to_in_process() {
+    let engine = FederationEngine::start(plan_federation(1.0));
+    let server =
+        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut client = RemoteFederation::connect(&addr).unwrap();
+    assert_eq!(client.protocol_version(), 2);
+    let remote: Vec<_> = mixed_plans()
+        .iter()
+        .map(|plan| client.run_plan(plan).unwrap())
+        .collect();
+
+    let in_process: Vec<_> = plan_federation(1.0).with_engine(|engine| {
+        mixed_plans()
+            .iter()
+            .map(|plan| engine.run_plan(plan).unwrap())
+            .collect()
+    });
+
+    assert_eq!(remote.len(), in_process.len());
+    for (r, l) in remote.iter().zip(&in_process) {
+        assert_eq!(r.result, l.result, "released result");
+        assert_eq!(r.cost, l.cost, "charged cost");
+    }
+    // Spot-check the shapes came through. Threshold 0 still suppresses
+    // groups whose noise swung negative, so released + suppressed = 5.
+    assert!(remote[0].value().is_some());
+    let groups = remote[2].groups().unwrap();
+    match &remote[2].result {
+        fedaqp_core::PlanResult::Groups { suppressed, .. } => {
+            assert_eq!(groups.len() as u64 + suppressed, 5, "5 categories");
+        }
+        other => panic!("expected groups, got {other:?}"),
+    }
+    assert!(!groups.is_empty());
+
+    drop(client);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// A session-capped server charges a plan's *whole* declared (ε, δ)
+/// atomically: a group-by that fits is answered, the next plan that does
+/// not is a typed error, and reconnecting cannot reset the ledger.
+#[test]
+fn plan_budgets_are_charged_whole_and_typed() {
+    let engine = FederationEngine::start(plan_federation(1.0));
+    let server = FederationServer::bind(
+        "127.0.0.1:0",
+        engine.handle(),
+        ServeOptions::with_budget(3.0, 1e-2),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut dana = RemoteFederation::connect_as(&addr, "dana").unwrap();
+    let group_by = QueryPlan::GroupBy {
+        base: count_query(0, 999),
+        statistic: None,
+        group_dim: 1,
+        threshold: 0.0,
+        sampling_rate: 0.2,
+        epsilon: 2.5,
+        delta: 1e-3,
+    };
+    dana.run_plan(&group_by).unwrap();
+    let status = dana.budget_status().unwrap();
+    assert!(
+        (status.spent_eps - 2.5).abs() < 1e-9,
+        "the whole plan (not per-sub-query driblets) is on the ledger: {}",
+        status.spent_eps
+    );
+    // ξ has 0.5 left: the same 2.5-ε plan no longer fits, typed error.
+    match dana.run_plan(&group_by) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BudgetExhausted),
+        other => panic!("expected a typed budget error, got {other:?}"),
+    }
+    // An invalid plan costs nothing (validate-before-charge): the spend is
+    // unchanged after a rejected group-by over a filtered group dim.
+    let invalid = QueryPlan::GroupBy {
+        base: RangeQuery::new(Aggregate::Count, vec![Range::new(1, 0, 2).unwrap()]).unwrap(),
+        statistic: None,
+        group_dim: 1,
+        threshold: 0.0,
+        sampling_rate: 0.2,
+        epsilon: 0.1,
+        delta: 1e-4,
+    };
+    assert!(dana.run_plan(&invalid).is_err());
+    let status = dana.budget_status().unwrap();
+    assert!((status.spent_eps - 2.5).abs() < 1e-9);
+    // Reconnecting cannot reset the plan spend.
+    let mut dana_again = RemoteFederation::connect_as(&addr, "dana").unwrap();
+    match dana_again.run_plan(&group_by) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BudgetExhausted),
+        other => panic!("expected a typed budget error, got {other:?}"),
+    }
+
+    drop((dana, dana_again));
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// A v1 client — frames stamped version 1, no plan kinds — works against
+/// the v2 server verbatim: same handshake, same Query/Answer bytes.
+#[test]
+fn v1_clients_still_work_against_the_v2_server() {
+    use fedaqp_net::wire::{read_frame_versioned, write_frame_at, Frame, Hello, QueryRequest};
+
+    let engine = FederationEngine::start(federation(1.0));
+    let server =
+        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+
+    write_frame_at(
+        &mut stream,
+        &Frame::Hello(Hello {
+            analyst: "legacy".into(),
+        }),
+        1,
+    )
+    .unwrap();
+    let (ack, version) = read_frame_versioned(&mut stream).unwrap();
+    assert_eq!(version, 1, "server answers a v1 client at v1");
+    match ack {
+        Frame::HelloAck(a) => {
+            assert_eq!(a.n_providers, 4);
+            assert_eq!(a.max_version, 1, "a v1 payload carries no advertisement");
+        }
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    write_frame_at(
+        &mut stream,
+        &Frame::Query(QueryRequest {
+            query: count_query(100, 800),
+            sampling_rate: 0.2,
+        }),
+        1,
+    )
+    .unwrap();
+    let (reply, version) = read_frame_versioned(&mut stream).unwrap();
+    assert_eq!(version, 1);
+    match reply {
+        Frame::Answer(a) => assert!(a.value.is_finite()),
+        other => panic!("expected an Answer, got {other:?}"),
+    }
+
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// A v2 plan frame smuggled onto a v1-negotiated connection is rejected
+/// with a typed error BEFORE any budget is charged — and the connection
+/// (and its ledger) keeps working.
+#[test]
+fn plans_on_a_v1_connection_are_rejected_without_charging() {
+    use fedaqp_net::wire::{
+        read_frame_versioned, write_frame, write_frame_at, Frame, Hello, PlanRequest,
+    };
+
+    let engine = FederationEngine::start(federation(1.0));
+    let server = FederationServer::bind(
+        "127.0.0.1:0",
+        engine.handle(),
+        ServeOptions::with_budget(5.0, 1e-2),
+    )
+    .unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+
+    // Handshake at v1: the connection negotiates version 1.
+    write_frame_at(
+        &mut stream,
+        &Frame::Hello(Hello {
+            analyst: "sneaky".into(),
+        }),
+        1,
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame_versioned(&mut stream).unwrap(),
+        (Frame::HelloAck(_), 1)
+    ));
+
+    // Now send a v2 plan frame anyway.
+    write_frame(
+        &mut stream,
+        &Frame::Plan(PlanRequest {
+            plan: QueryPlan::Scalar {
+                query: count_query(100, 800),
+                sampling_rate: 0.2,
+                epsilon: 1.0,
+                delta: 1e-3,
+            },
+        }),
+    )
+    .unwrap();
+    match read_frame_versioned(&mut stream).unwrap() {
+        (Frame::Error(e), 1) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("v2"), "{}", e.message);
+        }
+        other => panic!("expected a typed v1 error, got {other:?}"),
+    }
+    // The rejection cost nothing and the connection still answers.
+    write_frame_at(&mut stream, &Frame::BudgetRequest, 1).unwrap();
+    match read_frame_versioned(&mut stream).unwrap() {
+        (Frame::BudgetStatus(status), 1) => {
+            assert_eq!(status.spent_eps, 0.0, "no budget charged");
+            assert_eq!(status.queries_answered, 0);
+        }
+        other => panic!("expected BudgetStatus, got {other:?}"),
+    }
+
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// An unknown header version gets a typed negotiation error frame — with
+/// the server's maximum version in it — before the close, never a bare
+/// hangup.
+#[test]
+fn unknown_versions_get_a_typed_error_not_a_hangup() {
+    use fedaqp_net::wire::{encode_frame, read_frame, Frame, Hello, VERSION};
+    use std::io::Write as _;
+
+    let engine = FederationEngine::start(federation(1.0));
+    let server =
+        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+
+    // A well-formed Hello whose header claims version 99.
+    let mut bytes = encode_frame(&Frame::Hello(Hello {
+        analyst: "futuristic".into(),
+    }))
+    .unwrap();
+    bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+    stream.write_all(&bytes).unwrap();
+    stream.flush().unwrap();
+
+    match read_frame(&mut stream) {
+        Ok(Frame::Error(e)) => {
+            assert_eq!(e.code, ErrorCode::UnsupportedVersion);
+            assert_eq!(e.index, VERSION as u32, "the server's max version");
+            assert!(e.message.contains("99"), "{}", e.message);
+        }
+        other => panic!("expected a typed version error, got {other:?}"),
+    }
+    // The server closed after the unsyncable stream.
+    assert!(matches!(
+        read_frame(&mut stream),
         Err(NetError::Disconnected)
     ));
 
