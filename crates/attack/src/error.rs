@@ -28,6 +28,10 @@ pub enum AttackError {
     },
     /// Evaluation needs at least one row.
     NoEvaluationRows,
+    /// The remote federation (wire client) failed. Carries the rendered
+    /// [`fedaqp_net::NetError`] text: the net error itself owns a socket
+    /// error and cannot be cloned or compared.
+    Net(String),
 }
 
 impl fmt::Display for AttackError {
@@ -46,6 +50,7 @@ impl fmt::Display for AttackError {
                 write!(f, "plan expects {expected} answers, got {got}")
             }
             AttackError::NoEvaluationRows => write!(f, "no rows to evaluate the attack on"),
+            AttackError::Net(e) => write!(f, "remote federation error: {e}"),
         }
     }
 }
@@ -76,6 +81,12 @@ impl From<CoreError> for AttackError {
 impl From<DpError> for AttackError {
     fn from(e: DpError) -> Self {
         AttackError::Dp(e)
+    }
+}
+
+impl From<fedaqp_net::NetError> for AttackError {
+    fn from(e: fedaqp_net::NetError) -> Self {
+        AttackError::Net(e.to_string())
     }
 }
 

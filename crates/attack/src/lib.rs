@@ -16,16 +16,21 @@
 //! * [`attack`] — end-to-end orchestration against a [`fedaqp_core`]
 //!   federation under a budget regime, plus the oracle-based variant used
 //!   to validate the classifier itself.
+//! * [`remote`] — the same adversary as a remote analyst (or a coalition
+//!   of them) issuing wire-v2 plan frames against a live
+//!   [`fedaqp_net::FederationServer`].
 
 pub mod attack;
 pub mod error;
 pub mod nbc;
 pub mod plan;
+pub mod remote;
 
 pub use attack::{run_attack, AttackConfig, AttackOutcome, CompositionRegime};
 pub use error::AttackError;
 pub use nbc::NbcModel;
 pub use plan::{build_plan, AttackPlan};
+pub use remote::{run_coalition_attack, run_remote_attack, RemoteAttackOutcome};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, AttackError>;

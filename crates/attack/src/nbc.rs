@@ -106,6 +106,18 @@ impl NbcModel {
         })
     }
 
+    /// The classifier's log score for class index `y` on a row.
+    fn class_score(&self, y: usize, values: &[Value]) -> f64 {
+        let mut score = self.log_prior[y];
+        for (i, &(qi, dom)) in self.qi_dims.iter().enumerate() {
+            let v = values[qi];
+            if dom.contains(v) {
+                score += self.log_likelihood_ratio[i][y][(v - dom.min()) as usize];
+            }
+        }
+        score
+    }
+
     /// Predicts the sensitive value from a full row (QI values are read
     /// from the row's dimensions).
     pub fn predict(&self, values: &[Value]) -> Value {
@@ -113,19 +125,79 @@ impl NbcModel {
         let mut best = 0usize;
         let mut best_score = f64::NEG_INFINITY;
         for y in 0..k {
-            let mut score = self.log_prior[y];
-            for (i, &(qi, dom)) in self.qi_dims.iter().enumerate() {
-                let v = values[qi];
-                if dom.contains(v) {
-                    score += self.log_likelihood_ratio[i][y][(v - dom.min()) as usize];
-                }
-            }
+            let score = self.class_score(y, values);
             if score > best_score {
                 best_score = score;
                 best = y;
             }
         }
         self.sa_domain.min() + best as Value
+    }
+
+    /// The log-score margin for the positive class of a *binary* SA,
+    /// `score(y₁) − score(y₀)` — the continuous confidence an ROC curve
+    /// thresholds over. `None` when the SA domain is not binary.
+    pub fn binary_margin(&self, values: &[Value]) -> Option<f64> {
+        if self.sa_domain.size() != 2 {
+            return None;
+        }
+        Some(self.class_score(1, values) - self.class_score(0, values))
+    }
+
+    /// Measure-weighted ROC AUC of [`Self::binary_margin`] over tensor
+    /// cells (Mann–Whitney form, ties counted half). `Ok(None)` when the
+    /// SA is not binary or the evaluation set lacks one of the classes —
+    /// AUC is undefined there, not zero.
+    pub fn binary_auc(&self, cells: &[Row]) -> Result<Option<f64>> {
+        if cells.is_empty() {
+            return Err(AttackError::NoEvaluationRows);
+        }
+        if self.sa_domain.size() != 2 {
+            return Ok(None);
+        }
+        let positive = self.sa_domain.min() + 1;
+        let mut scored: Vec<(f64, bool, u64)> = cells
+            .iter()
+            .map(|cell| {
+                let margin = self
+                    .binary_margin(cell.values())
+                    .expect("binary SA checked above");
+                (margin, cell.value(self.sa_dim) == positive, cell.measure())
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (mut w_pos, mut w_neg) = (0.0f64, 0.0f64);
+        for &(_, is_pos, w) in &scored {
+            if is_pos {
+                w_pos += w as f64;
+            } else {
+                w_neg += w as f64;
+            }
+        }
+        if w_pos == 0.0 || w_neg == 0.0 {
+            return Ok(None);
+        }
+        // Walk ascending scores, grouping ties: every (positive, negative)
+        // pair with the positive scored higher counts 1, ties count ½.
+        let mut auc_pairs = 0.0f64;
+        let mut neg_below = 0.0f64;
+        let mut i = 0;
+        while i < scored.len() {
+            let mut j = i;
+            let (mut tie_pos, mut tie_neg) = (0.0f64, 0.0f64);
+            while j < scored.len() && scored[j].0 == scored[i].0 {
+                if scored[j].1 {
+                    tie_pos += scored[j].2 as f64;
+                } else {
+                    tie_neg += scored[j].2 as f64;
+                }
+                j += 1;
+            }
+            auc_pairs += tie_pos * (neg_below + 0.5 * tie_neg);
+            neg_below += tie_neg;
+            i = j;
+        }
+        Ok(Some(auc_pairs / (w_pos * w_neg)))
     }
 
     /// Measure-weighted prediction accuracy over tensor cells: the §6.6
@@ -243,6 +315,61 @@ mod tests {
         // All scores finite, prediction well-defined.
         let acc = model.accuracy(&rows).unwrap();
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// Binary SA (2 classes), 1 QI dim of 4 values: SA = v/2.
+    fn binary_world() -> (Schema, Vec<Row>) {
+        let schema = Schema::new(vec![
+            Dimension::new("sa", Domain::new(0, 1).unwrap()),
+            Dimension::new("qi", Domain::new(0, 3).unwrap()),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for v in 0..4i64 {
+            for _ in 0..25 {
+                rows.push(Row::raw(vec![v / 2, v]));
+            }
+        }
+        (schema, rows)
+    }
+
+    #[test]
+    fn auc_is_perfect_on_exact_counts_and_undefined_off_binary() {
+        let (schema, rows) = binary_world();
+        let plan = build_plan(&schema, 0, &[1], Aggregate::Count).unwrap();
+        let answers = exact_answers(&plan, &rows);
+        let model = NbcModel::train(&schema, &plan, &answers).unwrap();
+        let auc = model.binary_auc(&rows).unwrap().expect("binary SA");
+        assert!(auc > 0.99, "auc {auc}");
+        // The 3-class world has no binary margin, hence no AUC.
+        let (schema3, rows3) = correlated_world();
+        let plan3 = build_plan(&schema3, 0, &[1], Aggregate::Count).unwrap();
+        let answers3 = exact_answers(&plan3, &rows3);
+        let model3 = NbcModel::train(&schema3, &plan3, &answers3).unwrap();
+        assert!(model3.binary_margin(rows3[0].values()).is_none());
+        assert!(model3.binary_auc(&rows3).unwrap().is_none());
+    }
+
+    #[test]
+    fn auc_is_half_when_scores_are_constant() {
+        let (schema, rows) = binary_world();
+        let plan = build_plan(&schema, 0, &[1], Aggregate::Count).unwrap();
+        // Identical answers everywhere ⇒ constant margin ⇒ every pair is
+        // a tie ⇒ AUC exactly ½.
+        let answers = vec![100.0; plan.queries.len()];
+        let model = NbcModel::train(&schema, &plan, &answers).unwrap();
+        let auc = model.binary_auc(&rows).unwrap().expect("binary SA");
+        assert!((auc - 0.5).abs() < 1e-12, "auc {auc}");
+    }
+
+    #[test]
+    fn auc_undefined_when_a_class_is_absent() {
+        let (schema, rows) = binary_world();
+        let plan = build_plan(&schema, 0, &[1], Aggregate::Count).unwrap();
+        let answers = exact_answers(&plan, &rows);
+        let model = NbcModel::train(&schema, &plan, &answers).unwrap();
+        let only_zero: Vec<Row> = rows.iter().filter(|r| r.value(0) == 0).cloned().collect();
+        assert!(model.binary_auc(&only_zero).unwrap().is_none());
     }
 
     #[test]

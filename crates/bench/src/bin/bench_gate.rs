@@ -56,10 +56,33 @@
 //!   at least `--min-scaling` × the single-analyst qps (the latency-hiding
 //!   property the serving path exists for; under the slept-WAN model this
 //!   ratio is machine-independent).
+//!
+//! Attack mode (`BENCH_attack.json`):
+//!
+//! ```text
+//! bench_gate --attack <current.json> <baseline.json>
+//!            [--attack-band 0.10] [--attack-drift 0.05] [--min-ceiling 0.65]
+//! ```
+//!
+//! The empirical privacy gate over the red-team harness (`repro attack`):
+//! single-analyst and coalition NBC accuracy/AUC against a live loopback
+//! server, every swept ξ. Fails (exit 1) when any of
+//! * an attacked accuracy or AUC strays more than `--attack-band` from
+//!   chance (0.5 — the world's SA is binary), i.e. the private interface
+//!   leaked a learnable signal,
+//! * a metric drifts more than `--attack-drift` from the committed
+//!   baseline (attack numbers are bit-reproducible; unexplained movement
+//!   means the noise path changed),
+//! * the current run's no-DP ceiling accuracy is below `--min-ceiling`
+//!   (the harness could not learn even from clean answers — the gate
+//!   would be vacuously green), or
+//! * any analyst identity's server-side ledger exceeded its `(ξ, ψ)`
+//!   grant (`ledgers_ok` ≠ 1).
 
 use std::process::ExitCode;
 
 use fedaqp_bench::experiments::accuracy::{rate_key, RATES};
+use fedaqp_bench::experiments::attack::{metric_key, XIS};
 
 /// Extracts the number following `"key":` from a flat JSON document. Only
 /// headline keys are parsed, and they are chosen to be unique substrings,
@@ -201,19 +224,113 @@ fn run_net(
     }
 }
 
+/// The attack-mode gate (see the module docs).
+fn run_attack(
+    current_path: &str,
+    baseline_path: &str,
+    band: f64,
+    drift: f64,
+    min_ceiling: f64,
+) -> Result<String, String> {
+    let current =
+        std::fs::read_to_string(current_path).map_err(|e| format!("{current_path}: {e}"))?;
+    let baseline =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let chance = json_number(&current, "chance")?;
+    let ceiling = json_number(&current, "ceiling_accuracy")?;
+    let ledgers_ok = json_number(&current, "ledgers_ok")?;
+    let mut report = format!(
+        "attack gate: chance {chance:.2}, band ±{band:.2}, drift ±{drift:.2}; \
+         no-DP ceiling accuracy {ceiling:.4} (floor {min_ceiling:.2})\n"
+    );
+    let mut failed = false;
+    if ceiling < min_ceiling {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: the no-DP ceiling accuracy is below {min_ceiling:.2} — the harness cannot \
+             learn even from clean answers, so a chance-level attack proves nothing\n"
+        ));
+    }
+    if ledgers_ok != 1.0 {
+        failed = true;
+        report.push_str(
+            "FAIL: an analyst identity's server-side ledger exceeded its (xi, psi) grant\n",
+        );
+    }
+    for variant in ["single", "coalition"] {
+        for &xi in &XIS {
+            for metric in ["accuracy", "auc"] {
+                let key = metric_key(variant, xi, metric);
+                let cur = json_number(&current, &key)?;
+                let base = json_number(&baseline, &key)?;
+                report.push_str(&format!("  {key}: {cur:.4} (baseline {base:.4})\n"));
+                if (cur - chance).abs() > band {
+                    failed = true;
+                    report.push_str(&format!(
+                        "FAIL: `{key}` strayed more than {band:.2} from chance — the private \
+                         interface leaked a learnable signal\n"
+                    ));
+                }
+                if (cur - base).abs() > drift {
+                    failed = true;
+                    report.push_str(&format!(
+                        "FAIL: `{key}` drifted more than {drift:.2} from the committed baseline \
+                         (attack runs are bit-reproducible; explain or re-baseline)\n"
+                    ));
+                }
+            }
+        }
+    }
+    if failed {
+        Err(report)
+    } else {
+        report.push_str("PASS\n");
+        Ok(report)
+    }
+}
+
 fn run(args: &[String]) -> Result<String, String> {
     let mut positional = Vec::new();
     let mut max_regression = 0.25_f64;
     let mut min_speedup = 2.0_f64;
     let mut min_scaling = 4.0_f64;
     let mut pairwise_slack = 1.15_f64;
+    let mut attack_band = 0.10_f64;
+    let mut attack_drift = 0.05_f64;
+    let mut min_ceiling = 0.65_f64;
     let mut accuracy = false;
     let mut net = false;
+    let mut attack = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--accuracy" => accuracy = true,
             "--net" => net = true,
+            "--attack" => attack = true,
+            "--attack-band" => {
+                i += 1;
+                attack_band = args
+                    .get(i)
+                    .ok_or("--attack-band needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--attack-band: {e}"))?;
+            }
+            "--attack-drift" => {
+                i += 1;
+                attack_drift = args
+                    .get(i)
+                    .ok_or("--attack-drift needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--attack-drift: {e}"))?;
+            }
+            "--min-ceiling" => {
+                i += 1;
+                min_ceiling = args
+                    .get(i)
+                    .ok_or("--min-ceiling needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--min-ceiling: {e}"))?;
+            }
             "--min-scaling" => {
                 i += 1;
                 min_scaling = args
@@ -252,9 +369,9 @@ fn run(args: &[String]) -> Result<String, String> {
     }
     let [current_path, baseline_path] = positional.as_slice() else {
         return Err(
-            "usage: bench_gate [--accuracy | --net] <current.json> <baseline.json> \
+            "usage: bench_gate [--accuracy | --net | --attack] <current.json> <baseline.json> \
                     [--max-regression R] [--min-speedup S] [--pairwise-slack K] \
-                    [--min-scaling X]"
+                    [--min-scaling X] [--attack-band B] [--attack-drift D] [--min-ceiling C]"
                 .into(),
         );
     };
@@ -263,6 +380,15 @@ fn run(args: &[String]) -> Result<String, String> {
     }
     if net {
         return run_net(current_path, baseline_path, max_regression, min_scaling);
+    }
+    if attack {
+        return run_attack(
+            current_path,
+            baseline_path,
+            attack_band,
+            attack_drift,
+            min_ceiling,
+        );
     }
     let (current_qps, current_speedup) = load(current_path)?;
     let (baseline_qps, baseline_speedup) = load(baseline_path)?;
@@ -414,6 +540,86 @@ mod tests {
         assert!(err.contains("no longer scales"), "{err}");
         // ... unless the floor is lowered.
         assert!(run(&args(&["--min-scaling", "2.0"])).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A synthetic attack summary: every attacked metric hugs chance, the
+    /// no-DP ceiling shows real signal, and every ledger held.
+    fn attack_doc() -> String {
+        let mut keys = Vec::new();
+        for (v, variant) in ["single", "coalition"].iter().enumerate() {
+            for (i, &xi) in XIS.iter().enumerate() {
+                let acc = 0.5 + 0.01 * (i as f64 - v as f64);
+                let auc = 0.5 - 0.008 * (i as f64 + v as f64);
+                keys.push(format!(
+                    "  \"{}\": {acc:.6}",
+                    metric_key(variant, xi, "accuracy")
+                ));
+                keys.push(format!(
+                    "  \"{}\": {auc:.6}",
+                    metric_key(variant, xi, "auc")
+                ));
+            }
+        }
+        format!(
+            "{{\n  \"schema\": \"fedaqp-bench-attack/v1\",\n  \"chance\": 0.5,\n  \
+             \"cells\": 9000,\n  \"coalition_members\": 4,\n  \"ceiling_accuracy\": 0.831000,\n  \
+             \"ceiling_auc\": 0.902000,\n  \"ledgers_ok\": 1,\n{}\n}}\n",
+            keys.join(",\n")
+        )
+    }
+
+    #[test]
+    fn attack_gate_passes_and_fails() {
+        let dir = std::env::temp_dir().join("fedaqp_attack_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        let doc = attack_doc();
+        std::fs::write(&current, &doc).unwrap();
+        std::fs::write(&baseline, &doc).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [
+                "--attack",
+                current.to_str().unwrap(),
+                baseline.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .chain(extra.iter().map(|s| s.to_string()))
+            .collect()
+        };
+        // Identical current/baseline at chance passes.
+        assert!(run(&args(&[])).is_ok());
+        // An attacked accuracy escaping the chance band fails.
+        let key = metric_key("coalition", XIS[2], "accuracy");
+        let leaky = doc.replace(&format!("\"{key}\": 0.51"), &format!("\"{key}\": 0.70"));
+        assert_ne!(leaky, doc, "test fixture must hit the coalition key");
+        std::fs::write(&current, &leaky).unwrap();
+        let err = run(&args(&["--attack-drift", "10.0"])).unwrap_err();
+        assert!(err.contains("leaked a learnable signal"), "{err}");
+        // ... unless the band is widened past the excursion.
+        assert!(run(&args(&["--attack-drift", "10.0", "--attack-band", "0.30"])).is_ok());
+        // Within-band but off-baseline movement fails the drift check.
+        let drifted = doc.replace(&format!("\"{key}\": 0.51"), &format!("\"{key}\": 0.44"));
+        std::fs::write(&current, &drifted).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("drifted"), "{err}");
+        assert!(run(&args(&["--attack-drift", "0.20"])).is_ok());
+        // A collapsed no-DP ceiling makes the gate vacuous: fail loudly.
+        let blind = doc.replace(
+            "\"ceiling_accuracy\": 0.831000",
+            "\"ceiling_accuracy\": 0.503000",
+        );
+        std::fs::write(&current, &blind).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("proves nothing"), "{err}");
+        assert!(run(&args(&["--min-ceiling", "0.50"])).is_ok());
+        // An overspent ledger fails regardless of the metrics.
+        let overspent = doc.replace("\"ledgers_ok\": 1", "\"ledgers_ok\": 0");
+        std::fs::write(&current, &overspent).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("ledger"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod accuracy;
+pub mod attack;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;
@@ -88,6 +89,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "net",
             "remote federation — qps/latency vs #remote analysts over loopback TCP (CI gate)",
             net::run as ExperimentFn,
+        ),
+        (
+            "attack",
+            "NBC attack over live TCP — accuracy/AUC vs xi, single analyst + coalition (CI gate)",
+            attack::run as ExperimentFn,
         ),
         (
             "plot",

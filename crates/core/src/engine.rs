@@ -19,14 +19,17 @@
 //! ```
 //!
 //! Determinism: every `(query, provider)` pair draws from an RNG derived
-//! from `(config.seed, job content, query index, provider id)`, so a
-//! seeded [`QueryBatch`] produces *identical* answers whether its queries
-//! run serially or concurrently — the noise no longer depends on how
-//! queries interleave on the shared providers. Mixing the job *content*
-//! into the derivation keeps noise streams independent across different
-//! requests that land on the same index (two plans on fresh scoped
-//! engines, say): differencing two different releases always faces
-//! independent draws.
+//! from `(config.seed, job content, occurrence, provider id)`, where
+//! *occurrence* counts how many times this exact job content has been
+//! submitted on this engine. Distinct requests therefore have noise
+//! streams that are fully determined by their content — independent of
+//! global submission order, of which connection carried them, and of how
+//! queries interleave on the shared providers — so a seeded workload of
+//! distinct queries is bit-reproducible even when raced across analyst
+//! connections. Repeated *identical* requests advance their occurrence
+//! counter and draw fresh noise each time (averaging repeats must not be
+//! free), while two *different* requests never share a stream:
+//! differencing two different releases always faces independent draws.
 //!
 //! Privacy: the engine never relaxes the serial path's accounting. Each
 //! query runs under a validated [`QueryBudget`]; session-level budgets are
@@ -34,7 +37,7 @@
 //! [`fedaqp_dp::SharedAccountant`] makes check-and-charge atomic so racing
 //! queries cannot jointly overspend `(ξ, ψ)`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -88,9 +91,10 @@ pub struct QuerySpec {
     pub sampling_rate: f64,
 }
 
-/// An ordered set of queries submitted together. Order matters: it fixes
-/// the query indices and therefore the derived noise, which is what makes
-/// `run_batch` and `run_batch_serial` comparable draw-for-draw.
+/// An ordered set of queries submitted together. Noise is derived from
+/// each query's content and occurrence count, so `run_batch` and
+/// `run_batch_serial` are comparable draw-for-draw; only the relative
+/// order of *repeated identical* queries affects which draw each one gets.
 #[derive(Debug, Clone, Default)]
 pub struct QueryBatch {
     specs: Vec<QuerySpec>,
@@ -193,13 +197,15 @@ impl JobKind {
     /// A stable hash of everything that shapes the job's mechanisms —
     /// query ranges, aggregate, sampling rate, and budget.
     ///
-    /// Folded into the job seed so that *different* requests landing on
-    /// the same query index (e.g. the first sub-query of two different
-    /// plans, each on a fresh scoped engine over the same federation)
-    /// never share a noise stream — differencing two such releases must
-    /// face independent draws, not cancelling ones. Identical requests at
-    /// the same index still repeat the same release, which reveals no
-    /// more than one release does (while still being charged for).
+    /// Folded into the job seed so that *different* requests never share
+    /// a noise stream — differencing two different releases must face
+    /// independent draws, not cancelling ones. It also keys the engine's
+    /// per-content occurrence counter, which replaces a global submission
+    /// index: a request's noise depends only on its content and on how
+    /// many identical copies preceded it, never on unrelated traffic, so
+    /// concurrent multi-analyst workloads of distinct queries are
+    /// bit-reproducible. Repeated identical requests still advance the
+    /// counter and draw fresh noise (each is charged, each is noisy).
     fn content_hash(&self) -> u64 {
         let mut h: u64 = 0xCBF2_9CE4_8422_2325;
         let put_u64 = |h: &mut u64, v: u64| fnv1a(h, &v.to_le_bytes());
@@ -501,12 +507,16 @@ struct HandleInner {
     senders: Mutex<Option<Vec<Sender<Arc<JobState>>>>>,
     config: FederationConfig,
     schema: Schema,
-    next_index: AtomicU64,
+    /// Per-content submission counts, keyed by [`JobKind::content_hash`].
+    /// The job index for a submission is the number of identical
+    /// submissions that preceded it, so noise derivation is independent
+    /// of unrelated traffic (see the module docs).
+    occurrences: Mutex<HashMap<u64, u64>>,
 }
 
 /// A cloneable, thread-safe handle analysts use to submit queries to the
-/// worker pool. All clones share one query-index counter (the noise
-/// derivation) and one set of job queues.
+/// worker pool. All clones share one per-content occurrence ledger (the
+/// noise derivation) and one set of job queues.
 #[derive(Debug, Clone)]
 pub struct EngineHandle {
     inner: Arc<HandleInner>,
@@ -524,7 +534,7 @@ pub(crate) fn pool_channels(
             senders: Mutex::new(Some(senders)),
             config: config.clone(),
             schema: schema.clone(),
-            next_index: AtomicU64::new(0),
+            occurrences: Mutex::new(HashMap::new()),
         }),
     };
     (handle, receivers)
@@ -589,6 +599,22 @@ impl EngineHandle {
         Ok(())
     }
 
+    /// Fetch-and-increment the occurrence count for `kind`'s content: the
+    /// returned index is the number of identical submissions seen before
+    /// this one, which (with the content hash) fully determines the job's
+    /// noise streams.
+    fn next_occurrence(&self, kind: &JobKind) -> u64 {
+        let mut counts = self
+            .inner
+            .occurrences
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let slot = counts.entry(kind.content_hash()).or_insert(0);
+        let index = *slot;
+        *slot += 1;
+        index
+    }
+
     fn check_budget(budget: &QueryBudget) -> Result<()> {
         let ok = |x: f64| x.is_finite() && x > 0.0;
         let valid = ok(budget.eps_o)
@@ -639,16 +665,13 @@ impl EngineHandle {
         budget: &QueryBudget,
     ) -> Result<PendingAnswer> {
         self.validate(query, sampling_rate, budget)?;
-        let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
-        let job = Arc::new(JobState::new(
-            JobKind::Private {
-                query: query.clone(),
-                sampling_rate,
-                budget: *budget,
-            },
-            index,
-            &self.inner.config,
-        ));
+        let kind = JobKind::Private {
+            query: query.clone(),
+            sampling_rate,
+            budget: *budget,
+        };
+        let index = self.next_occurrence(&kind);
+        let job = Arc::new(JobState::new(kind, index, &self.inner.config));
         self.dispatch(&job)?;
         Ok(PendingAnswer { job })
     }
@@ -669,16 +692,13 @@ impl EngineHandle {
                 "extreme-query epsilon must be positive",
             ));
         }
-        let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
-        let job = Arc::new(JobState::new(
-            JobKind::Extreme {
-                dim,
-                extreme,
-                epsilon,
-            },
-            index,
-            &self.inner.config,
-        ));
+        let kind = JobKind::Extreme {
+            dim,
+            extreme,
+            epsilon,
+        };
+        let index = self.next_occurrence(&kind);
+        let job = Arc::new(JobState::new(kind, index, &self.inner.config));
         self.dispatch(&job)?;
         Ok(PendingExtreme { job })
     }
@@ -689,14 +709,11 @@ impl EngineHandle {
     /// slowest provider's time.
     pub fn submit_plain(&self, query: &RangeQuery) -> Result<PendingPlain> {
         query.check_schema(&self.inner.schema)?;
-        let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
-        let job = Arc::new(JobState::new(
-            JobKind::Plain {
-                query: query.clone(),
-            },
-            index,
-            &self.inner.config,
-        ));
+        let kind = JobKind::Plain {
+            query: query.clone(),
+        };
+        let index = self.next_occurrence(&kind);
+        let job = Arc::new(JobState::new(kind, index, &self.inner.config));
         self.dispatch(&job)?;
         Ok(PendingPlain { job })
     }
@@ -1247,6 +1264,51 @@ mod tests {
             ans.value - ans.raw_estimate
         };
         assert_ne!(noise_of(0, 500).to_bits(), noise_of(1, 500).to_bits());
+    }
+
+    #[test]
+    fn distinct_queries_are_independent_of_submission_order() {
+        // The attack-gate determinism contract: a workload of *distinct*
+        // queries returns bit-identical answers no matter which order (or
+        // which analyst thread) submitted them — each job's noise derives
+        // from its content and occurrence count, not a global counter.
+        let run_in_order = |order: &[usize]| -> Vec<(i64, f64, f64)> {
+            let fed = federation();
+            let mut out: Vec<(i64, f64, f64)> = fed.with_engine(|engine| {
+                order
+                    .iter()
+                    .map(|&i| {
+                        let lo = 10 * i as i64;
+                        let ans = engine
+                            .submit(&count_query(lo, 700), 0.2)
+                            .unwrap()
+                            .wait()
+                            .unwrap();
+                        (lo, ans.value, ans.raw_estimate)
+                    })
+                    .collect()
+            });
+            out.sort_by_key(|(lo, _, _)| *lo);
+            out
+        };
+        let forward = run_in_order(&[0, 1, 2, 3, 4]);
+        let reversed = run_in_order(&[4, 3, 2, 1, 0]);
+        let shuffled = run_in_order(&[2, 0, 4, 1, 3]);
+        for ((a, b), c) in forward.iter().zip(&reversed).zip(&shuffled) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "order-dependent noise");
+            assert_eq!(a.1.to_bits(), c.1.to_bits(), "order-dependent noise");
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+        // Repeats of an identical query still draw fresh noise: averaging
+        // a query by resubmitting it is never free.
+        let fed = federation();
+        let (first, second) = fed.with_engine(|engine| {
+            let q = count_query(100, 800);
+            let a = engine.submit(&q, 0.2).unwrap().wait().unwrap();
+            let b = engine.submit(&q, 0.2).unwrap().wait().unwrap();
+            (a.value - a.raw_estimate, b.value - b.raw_estimate)
+        });
+        assert_ne!(first.to_bits(), second.to_bits(), "repeat reused noise");
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Adversarial server tests: budget-directory abuse under connection
+//! churn, and byte-level hygiene of every answer frame.
+//!
+//! * **Churn** — one analyst identity hammering the ledger through
+//!   reconnect loops and parallel sessions must win *exactly* the queries
+//!   its `(ξ, ψ)` affords: no double-spend through racing connections, no
+//!   reset through reconnecting, no leakage into other identities.
+//! * **Hygiene** — the only numbers that may cross the socket are
+//!   DP-released. Raw pre-noise estimates and smooth sensitivities exist
+//!   in the engine's [`EngineAnswer`] as simulation-boundary diagnostics;
+//!   their exact byte patterns must be absent from every captured answer
+//!   frame, while the released value's bytes are present (the positive
+//!   control that the scan works). The struct literals in
+//!   `answer_frames_carry_no_diagnostic_fields` are the compile-time half:
+//!   adding any field to `Answer`/`PlanAnswerFrame` breaks them, forcing a
+//!   conscious review of what new bytes reach an analyst.
+
+use std::io::Read as _;
+
+use fedaqp_core::{Federation, FederationConfig, FederationEngine, QueryBatch};
+use fedaqp_model::{Aggregate, Dimension, Domain, QueryPlan, Range, RangeQuery, Row, Schema};
+use fedaqp_net::wire::{
+    read_frame, write_frame, Answer, Frame, Hello, PlanAnswerFrame, PlanRequest, QueryRequest,
+    WirePlanResult, HEADER_BYTES,
+};
+use fedaqp_net::{ErrorCode, FederationServer, NetError, RemoteFederation, ServeOptions};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Dimension::new("x", Domain::new(0, 999).unwrap()),
+        Dimension::new("y", Domain::new(0, 99).unwrap()),
+    ])
+    .unwrap()
+}
+
+fn federation() -> Federation {
+    let partitions: Vec<Vec<Row>> = (0..4)
+        .map(|p| {
+            (0..2000)
+                .map(|i| {
+                    let v = (i * 7 + p * 13) % 1000;
+                    Row::cell(vec![v as i64, ((i + p) % 100) as i64], 1 + (i % 3) as u64)
+                })
+                .collect()
+        })
+        .collect();
+    let mut cfg = FederationConfig::paper_default(50);
+    cfg.cost_model = fedaqp_smc::CostModel::zero();
+    cfg.n_min = 3;
+    Federation::build(cfg, schema(), partitions).unwrap()
+}
+
+fn count_query(lo: i64, hi: i64) -> RangeQuery {
+    RangeQuery::new(Aggregate::Count, vec![Range::new(0, lo, hi).unwrap()]).unwrap()
+}
+
+/// One identity, ξ = 4 at ε = 1 per query, abused three ways in sequence:
+/// a reconnect loop (fresh connection per query), a 3-connection parallel
+/// swarm under a second identity, and post-exhaustion churn. The ledger
+/// must grant exactly ⌊ξ/ε⌋ queries per identity — never more (double
+/// spend), never fewer (lost grant) — and never reset.
+#[test]
+fn budget_survives_reconnect_churn_and_parallel_sessions() {
+    let engine = FederationEngine::start(federation());
+    let server = FederationServer::bind(
+        "127.0.0.1:0",
+        engine.handle(),
+        ServeOptions::with_budget(4.0, 1e-2),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let q = count_query(100, 800);
+
+    // Reconnect churn: 8 one-shot sessions under one identity. The first
+    // 4 queries fit ξ = 4; the rest are typed rejections on fresh
+    // connections that inherited the spent ledger.
+    let mut served = 0;
+    for round in 0..8 {
+        let mut conn = RemoteFederation::connect_as(&addr, "mallet").unwrap();
+        match conn.query(&q, 0.2) {
+            Ok(answer) => {
+                served += 1;
+                assert!(answer.value.is_finite());
+                assert!(round < 4, "query {round} exceeded the ledger");
+            }
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, ErrorCode::BudgetExhausted);
+                assert!(round >= 4, "query {round} rejected with budget left");
+            }
+            Err(other) => panic!("expected answer or typed rejection, got {other:?}"),
+        }
+        let status = conn.budget_status().unwrap();
+        assert!(
+            status.spent_eps <= 4.0 + 1e-9,
+            "ledger shows overspend: {}",
+            status.spent_eps
+        );
+    }
+    assert_eq!(served, 4, "exactly xi/eps queries served across reconnects");
+
+    // Parallel sessions: 3 connections race 3 queries each under one
+    // fresh identity. Whatever the interleaving, exactly 4 of the 9
+    // attempts may win the atomic check-and-charge.
+    let outcomes: Vec<Result<(), ErrorCode>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let addr = addr.clone();
+                let q = q.clone();
+                scope.spawn(move || {
+                    let mut conn = RemoteFederation::connect_as(&addr, "swarm").unwrap();
+                    (0..3)
+                        .map(|_| match conn.query(&q, 0.2) {
+                            Ok(_) => Ok(()),
+                            Err(NetError::Remote { code, .. }) => Err(code),
+                            Err(other) => panic!("unexpected transport error: {other:?}"),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let won = outcomes.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(won, 4, "racing sessions double-spent or lost a grant");
+    for rejected in outcomes.iter().filter_map(|r| r.as_ref().err()) {
+        assert_eq!(*rejected, ErrorCode::BudgetExhausted);
+    }
+
+    // Both identities sit exactly at their cap, and more churn cannot
+    // move them.
+    for identity in ["mallet", "swarm"] {
+        let mut conn = RemoteFederation::connect_as(&addr, identity).unwrap();
+        let status = conn.budget_status().unwrap();
+        assert!((status.spent_eps - 4.0).abs() < 1e-9, "{identity} ledger");
+        assert_eq!(status.queries_answered, 4, "{identity} answers");
+        assert!(matches!(
+            conn.query(&q, 0.2),
+            Err(NetError::Remote {
+                code: ErrorCode::BudgetExhausted,
+                ..
+            })
+        ));
+    }
+    // A bystander identity still has its own fresh grant.
+    let mut bystander = RemoteFederation::connect_as(&addr, "bystander").unwrap();
+    assert!(bystander.query(&q, 0.2).is_ok());
+
+    drop(bystander);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// Reads one frame from the stream, returning both the raw bytes and the
+/// decoded frame — the hygiene scan needs the bytes as they crossed the
+/// socket.
+fn read_raw_frame(stream: &mut std::net::TcpStream) -> (Vec<u8>, Frame) {
+    let mut bytes = vec![0u8; HEADER_BYTES];
+    stream.read_exact(&mut bytes).unwrap();
+    let payload_len = u32::from_le_bytes(bytes[7..11].try_into().unwrap()) as usize;
+    let mut payload = vec![0u8; payload_len];
+    stream.read_exact(&mut payload).unwrap();
+    bytes.extend_from_slice(&payload);
+    let frame = read_frame(&mut &bytes[..]).unwrap();
+    (bytes, frame)
+}
+
+/// True when `needle`'s exact little-endian f64 byte pattern occurs
+/// anywhere in `haystack`.
+fn contains_f64(haystack: &[u8], needle: f64) -> bool {
+    let pattern = needle.to_le_bytes();
+    haystack.windows(8).any(|w| w == pattern)
+}
+
+/// Walks every answer frame of an e2e run at the byte level: the
+/// DP-released values appear (positive control), the raw pre-noise
+/// estimates and smooth sensitivities — recovered from a bit-identical
+/// in-process run of the same federation — do not.
+#[test]
+fn answer_frames_never_carry_raw_estimates_or_sensitivities() {
+    let engine = FederationEngine::start(federation());
+    let server =
+        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+
+    let queries = [
+        count_query(100, 800),
+        count_query(0, 400),
+        count_query(250, 999),
+    ];
+
+    write_frame(
+        &mut stream,
+        &Frame::Hello(Hello {
+            analyst: "auditor".into(),
+        }),
+    )
+    .unwrap();
+    match read_raw_frame(&mut stream).1 {
+        Frame::HelloAck(_) => {}
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+
+    // The same answers, computed in-process on an identical federation:
+    // noise derives from (seed, content, occurrence), so this run is
+    // bit-identical to the served one and exposes the diagnostics the
+    // wire must not carry.
+    let mut batch = QueryBatch::new();
+    for q in &queries {
+        batch.push(q.clone(), 0.2);
+    }
+    let in_process: Vec<_> = federation()
+        .with_engine(|engine| engine.run_batch_serial(&batch))
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    for (q, oracle) in queries.iter().zip(&in_process) {
+        write_frame(
+            &mut stream,
+            &Frame::Query(QueryRequest {
+                query: q.clone(),
+                sampling_rate: 0.2,
+            }),
+        )
+        .unwrap();
+        let (bytes, frame) = read_raw_frame(&mut stream);
+        let answer = match frame {
+            Frame::Answer(a) => a,
+            other => panic!("expected an Answer, got {other:?}"),
+        };
+        assert_eq!(
+            answer.value.to_bits(),
+            oracle.value.to_bits(),
+            "served and in-process runs diverged; the hygiene scan is void"
+        );
+        assert_ne!(
+            oracle.raw_estimate.to_bits(),
+            oracle.value.to_bits(),
+            "noise-free release would make the scan vacuous"
+        );
+        assert!(
+            contains_f64(&bytes, answer.value),
+            "positive control: the released value's bytes must be present"
+        );
+        assert!(
+            !contains_f64(&bytes, oracle.raw_estimate),
+            "raw pre-noise estimate leaked into an Answer frame"
+        );
+        for &ls in &oracle.smooth_ls {
+            assert!(
+                !contains_f64(&bytes, ls),
+                "smooth sensitivity leaked into an Answer frame"
+            );
+        }
+    }
+
+    // The v2 plan path: a scalar plan with the batch-default budget runs
+    // the same job content, so the in-process diagnostics match it too.
+    write_frame(
+        &mut stream,
+        &Frame::Plan(PlanRequest {
+            plan: QueryPlan::Scalar {
+                query: queries[0].clone(),
+                sampling_rate: 0.2,
+                epsilon: 1.0,
+                delta: 1e-3,
+            },
+        }),
+    )
+    .unwrap();
+    let (bytes, frame) = read_raw_frame(&mut stream);
+    let plan_answer = match frame {
+        Frame::PlanAnswer(a) => a,
+        other => panic!("expected a PlanAnswer, got {other:?}"),
+    };
+    let released = match plan_answer.result {
+        WirePlanResult::Value { value, .. } => value,
+        other => panic!("expected a scalar release, got {other:?}"),
+    };
+    // Same content, second occurrence of it on the served engine vs. the
+    // in-process engine: the draw differs, but the raw estimate is the
+    // same deterministic pre-noise sum.
+    assert!(contains_f64(&bytes, released), "positive control");
+    assert!(
+        !contains_f64(&bytes, in_process[0].raw_estimate),
+        "raw pre-noise estimate leaked into a PlanAnswer frame"
+    );
+    for &ls in &in_process[0].smooth_ls {
+        assert!(
+            !contains_f64(&bytes, ls),
+            "smooth sensitivity leaked into a PlanAnswer frame"
+        );
+    }
+
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// Compile-time hygiene: exhaustive struct literals over both answer
+/// frames. Adding ANY field to [`Answer`] or [`PlanAnswerFrame`] — say a
+/// `raw_estimate` diagnostic — fails this build with "missing field",
+/// forcing review of what new bytes would reach an analyst. (No
+/// functional-update `..` shorthand here, deliberately.)
+#[test]
+fn answer_frames_carry_no_diagnostic_fields() {
+    let answer = Answer {
+        index: 0,
+        value: 1.0,
+        eps: 1.0,
+        delta: 1e-3,
+        ci_halfwidth: Some(0.5),
+        clusters_scanned: 2,
+        covering_total: 3,
+        approximated_providers: 4,
+        allocations: vec![1, 2],
+        summary_us: 5,
+        allocation_us: 6,
+        execution_us: 7,
+        release_us: 8,
+        network_us: 9,
+    };
+    assert_eq!(answer.allocations.len(), 2);
+
+    let plan_answer = PlanAnswerFrame {
+        index: 0,
+        eps: 1.0,
+        delta: 1e-3,
+        result: WirePlanResult::Value {
+            value: 1.0,
+            ci_halfwidth: None,
+        },
+        summary_us: 1,
+        allocation_us: 2,
+        execution_us: 3,
+        release_us: 4,
+        network_us: 5,
+    };
+    assert!(matches!(plan_answer.result, WirePlanResult::Value { .. }));
+}

@@ -1,10 +1,14 @@
 //! Integration tests for the §6.6 attack harness against a live
 //! federation: budgeted attacks stay near chance, the harness itself is
-//! sound (it succeeds when protection is absent).
+//! sound (it succeeds when protection is absent), and the same adversary
+//! works over a real TCP socket against a budget-enforcing server.
 
-use fedaqp::attack::{run_attack, AttackConfig, CompositionRegime};
-use fedaqp::core::{Federation, FederationConfig};
+use fedaqp::attack::{
+    run_attack, run_coalition_attack, run_remote_attack, AttackConfig, CompositionRegime,
+};
+use fedaqp::core::{Federation, FederationConfig, FederationEngine};
 use fedaqp::model::{Aggregate, Dimension, Domain, Row, Schema};
+use fedaqp::net::{FederationServer, ServeOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -114,4 +118,48 @@ fn attack_consumes_the_private_interface_only() {
     let expected = 10.0 / out.n_queries as f64;
     assert!((out.per_query.eps - expected).abs() < 1e-12);
     assert_eq!(out.classes, 12);
+}
+
+#[test]
+fn attack_runs_over_the_wire_against_a_budgeted_server() {
+    // The fast smoke half of the red-team harness (`repro attack` is the
+    // full CI gate): a single analyst and a 3-member coalition probe a
+    // live loopback server that enforces (ξ, ψ) per identity.
+    let (fed, rows) = world(5);
+    let engine = FederationEngine::start(fed);
+    let server = FederationServer::bind(
+        "127.0.0.1:0",
+        engine.handle(),
+        ServeOptions::with_budget(1.0, 1e-6),
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let cfg = config(CompositionRegime::Sequential, 1.0);
+
+    let single = run_remote_attack(&addr, "smoke-single", &rows, &cfg).expect("remote attack");
+    assert_eq!(single.n_queries, 1 + 12 + 12 * (12 + 4));
+    assert!(
+        single.accuracy < 0.30,
+        "over-the-wire attack accuracy {} too high",
+        single.accuracy
+    );
+    assert!(
+        single.auc.is_none(),
+        "AUC is binary-SA only; this SA has 12"
+    );
+    let (_, spent_eps, spent_delta) = &single.spent[0];
+    assert!(*spent_eps <= 1.0 + 1e-9, "ledger overspent: {spent_eps}");
+    assert!(*spent_delta <= 1e-6 + 1e-12);
+
+    let coalition =
+        run_coalition_attack(&addr, "smoke-pool", 3, &rows, &cfg).expect("coalition attack");
+    assert_eq!(coalition.n_queries, single.n_queries, "pooled plan");
+    assert!(coalition.accuracy < 0.30, "{}", coalition.accuracy);
+    assert_eq!(coalition.spent.len(), 3, "one ledger entry per member");
+    for (identity, eps, _) in &coalition.spent {
+        assert!(*eps <= 1.0 + 1e-9, "{identity} overspent: {eps}");
+    }
+
+    server.shutdown();
+    engine.shutdown();
 }
