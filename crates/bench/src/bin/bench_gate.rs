@@ -1,20 +1,29 @@
 //! `bench_gate` — the CI regression gates over the machine-readable
 //! benchmark summaries.
 //!
+//! Run `bench_gate --help` for a usage summary of every mode and flag.
+//!
 //! Throughput mode (`BENCH_engine.json`):
 //!
 //! ```text
 //! bench_gate <current.json> <baseline.json> [--max-regression 0.25]
-//!            [--min-speedup 2.0]
+//!            [--min-speedup 2.0] [--min-pruned-speedup 1.15]
+//!            [--min-pruned-fraction 0.5]
 //! ```
 //!
-//! Fails (exit 1) when either
+//! Fails (exit 1) when any of
 //! * the concurrent engine's queries/sec dropped more than
-//!   `--max-regression` (default 25%) below the committed baseline, or
+//!   `--max-regression` (default 25%) below the committed baseline,
 //! * the engine no longer beats the serial runtime by at least
-//!   `--min-speedup` (default 2×) at the headline grid point.
+//!   `--min-speedup` (default 2×) at the headline grid point,
+//! * metadata pruning no longer beats the exhaustive plan by at least
+//!   `--min-pruned-speedup` (default 1.15×) on the skewed band layout, or
+//! * the optimizer pruned less than `--min-pruned-fraction` (default 0.5)
+//!   of the provider slots on that layout — the speed-up gate would be
+//!   vacuous if nothing were actually pruned (the committed layout prunes
+//!   exactly 3 of 4 providers per query, fraction 0.75).
 //!
-//! The comparison deliberately leans on the *speed-up ratio* (machine
+//! The comparison deliberately leans on the *speed-up ratios* (machine
 //! independent) and treats absolute qps with a generous regression band,
 //! since CI runners vary in raw speed.
 //!
@@ -289,10 +298,45 @@ fn run_attack(
     }
 }
 
+/// The `--help` text: one block per mode, flags with their defaults.
+const HELP: &str = "\
+bench_gate — CI regression gates over the repro benchmark summaries
+
+usage: bench_gate [MODE] <current.json> <baseline.json> [FLAGS]
+
+modes (default: throughput over BENCH_engine.json):
+  --accuracy   estimator-quality gate over BENCH_accuracy.json
+  --net        remote-serving gate over BENCH_net.json
+  --attack     empirical-privacy gate over BENCH_attack.json
+
+throughput flags:
+  --max-regression R       allowed engine_qps drop vs baseline  [0.25]
+  --min-speedup S          engine-vs-serial speedup floor       [2.0]
+  --min-pruned-speedup P   pruned-vs-exhaustive speedup floor   [1.15]
+  --min-pruned-fraction F  pruned provider-slot fraction floor  [0.5]
+
+accuracy flags:
+  --max-regression R       allowed calibrated-RMS rise          [0.25]
+  --pairwise-slack K       calibrated-vs-PPS tie tolerance      [1.15]
+
+net flags:
+  --max-regression R       allowed net_qps drop vs baseline     [0.25]
+  --min-scaling X          8-analyst vs 1-analyst scaling floor [4.0]
+
+attack flags:
+  --attack-band B          allowed |metric - chance|            [0.10]
+  --attack-drift D         allowed |metric - baseline|          [0.05]
+  --min-ceiling C          no-DP ceiling accuracy floor         [0.65]
+
+Exit status 0 on PASS, 1 on any FAIL (report on stderr).
+";
+
 fn run(args: &[String]) -> Result<String, String> {
     let mut positional = Vec::new();
     let mut max_regression = 0.25_f64;
     let mut min_speedup = 2.0_f64;
+    let mut min_pruned_speedup = 1.15_f64;
+    let mut min_pruned_fraction = 0.5_f64;
     let mut min_scaling = 4.0_f64;
     let mut pairwise_slack = 1.15_f64;
     let mut attack_band = 0.10_f64;
@@ -304,6 +348,7 @@ fn run(args: &[String]) -> Result<String, String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => return Ok(HELP.to_string()),
             "--accuracy" => accuracy = true,
             "--net" => net = true,
             "--attack" => attack = true,
@@ -355,6 +400,22 @@ fn run(args: &[String]) -> Result<String, String> {
                     .parse()
                     .map_err(|e| format!("--min-speedup: {e}"))?;
             }
+            "--min-pruned-speedup" => {
+                i += 1;
+                min_pruned_speedup = args
+                    .get(i)
+                    .ok_or("--min-pruned-speedup needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--min-pruned-speedup: {e}"))?;
+            }
+            "--min-pruned-fraction" => {
+                i += 1;
+                min_pruned_fraction = args
+                    .get(i)
+                    .ok_or("--min-pruned-fraction needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--min-pruned-fraction: {e}"))?;
+            }
             "--pairwise-slack" => {
                 i += 1;
                 pairwise_slack = args
@@ -368,12 +429,10 @@ fn run(args: &[String]) -> Result<String, String> {
         i += 1;
     }
     let [current_path, baseline_path] = positional.as_slice() else {
-        return Err(
+        return Err(format!(
             "usage: bench_gate [--accuracy | --net | --attack] <current.json> <baseline.json> \
-                    [--max-regression R] [--min-speedup S] [--pairwise-slack K] \
-                    [--min-scaling X] [--attack-band B] [--attack-drift D] [--min-ceiling C]"
-                .into(),
-        );
+             [flags]\n\n{HELP}"
+        ));
     };
     if accuracy {
         return run_accuracy(current_path, baseline_path, max_regression, pairwise_slack);
@@ -390,12 +449,18 @@ fn run(args: &[String]) -> Result<String, String> {
             min_ceiling,
         );
     }
+    let current_text =
+        std::fs::read_to_string(current_path).map_err(|e| format!("{current_path}: {e}"))?;
     let (current_qps, current_speedup) = load(current_path)?;
     let (baseline_qps, baseline_speedup) = load(baseline_path)?;
+    let pruned_speedup = json_number(&current_text, "pruned_speedup")?;
+    let pruned_fraction = json_number(&current_text, "pruned_fraction")?;
     let qps_floor = (1.0 - max_regression) * baseline_qps;
     let mut report = format!(
         "bench gate: engine_qps {current_qps:.1} (baseline {baseline_qps:.1}, floor {qps_floor:.1}), \
-         speedup {current_speedup:.2}x (baseline {baseline_speedup:.2}x, floor {min_speedup:.2}x)\n"
+         speedup {current_speedup:.2}x (baseline {baseline_speedup:.2}x, floor {min_speedup:.2}x), \
+         pruned speedup {pruned_speedup:.2}x (floor {min_pruned_speedup:.2}x) at pruned fraction \
+         {pruned_fraction:.2} (floor {min_pruned_fraction:.2})\n"
     );
     let mut failed = false;
     if current_qps < qps_floor {
@@ -409,6 +474,22 @@ fn run(args: &[String]) -> Result<String, String> {
         failed = true;
         report.push_str(&format!(
             "FAIL: concurrent engine no longer ≥{min_speedup:.1}x the serial runtime\n"
+        ));
+    }
+    if pruned_fraction < min_pruned_fraction {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: the optimizer pruned only {:.0}% of provider slots on the skewed layout \
+             (floor {:.0}%) — the pruned-speedup gate would be vacuous\n",
+            100.0 * pruned_fraction,
+            100.0 * min_pruned_fraction
+        ));
+    }
+    if pruned_speedup < min_pruned_speedup {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: metadata pruning no longer ≥{min_pruned_speedup:.2}x the exhaustive plan \
+             on the skewed band layout\n"
         ));
     }
     if failed {
@@ -443,6 +524,11 @@ mod tests {
   "serial_qps": 100.5,
   "engine_qps": 402.25,
   "speedup": 4.002,
+  "pruned_jobs": 1200,
+  "pruned_fraction": 0.75,
+  "pruned_exhaustive_qps": 22000.0,
+  "pruned_qps": 30000.0,
+  "pruned_speedup": 1.364,
   "grid": [
     {"providers": 4, "mode": "engine", "analysts": 8, "qps": 402.25, "p50_ms": 1.2, "p95_ms": 3.4}
   ]
@@ -488,8 +574,63 @@ mod tests {
     }
 
     #[test]
+    fn pruned_gate_passes_and_fails() {
+        let dir = std::env::temp_dir().join("fedaqp_pruned_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&baseline, DOC).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [current.to_str().unwrap(), baseline.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .chain(extra.iter().map(|s| s.to_string()))
+                .collect()
+        };
+        // Pruning losing its edge fails...
+        let flat = DOC.replace("\"pruned_speedup\": 1.364", "\"pruned_speedup\": 1.01");
+        std::fs::write(&current, flat).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("exhaustive plan"), "{err}");
+        // ... unless the floor is lowered below the measurement.
+        assert!(run(&args(&["--min-pruned-speedup", "1.0"])).is_ok());
+        // A layout where (almost) nothing is pruned makes the speed-up
+        // gate vacuous: fail loudly even though the ratio itself passes.
+        let vacuous = DOC.replace("\"pruned_fraction\": 0.75", "\"pruned_fraction\": 0.05");
+        std::fs::write(&current, vacuous).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("vacuous"), "{err}");
+        assert!(run(&args(&["--min-pruned-fraction", "0.01"])).is_ok());
+        // A summary predating the pruned keys is a hard error, not a pass.
+        std::fs::write(&current, DOC.replace("\"pruned_speedup\": 1.364,\n", "")).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("pruned_speedup"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn bad_usage_is_reported() {
         assert!(run(&["one".into()]).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn help_prints_every_mode_and_exits_zero() {
+        let help = run(&["--help".into()]).unwrap();
+        for needle in [
+            "--accuracy",
+            "--net",
+            "--attack",
+            "--min-pruned-speedup",
+            "--min-pruned-fraction",
+            "--min-speedup",
+            "--min-scaling",
+            "--pairwise-slack",
+            "--attack-band",
+            "--min-ceiling",
+        ] {
+            assert!(help.contains(needle), "help is missing `{needle}`");
+        }
+        assert_eq!(run(&["-h".into()]).unwrap(), help);
     }
 
     const NET_DOC: &str = r#"{

@@ -25,13 +25,17 @@ usage:
   fedaqp inspect  STORE.fqst
   fedaqp query    (--data DIR | --remote HOST:PORT) [--rate R]
                   [--epsilon E] [--delta D] [--calibration em|pps]
-                  [--smc] [--baseline] [--group-by DIM] [--stat avg|var|std]
-                  [--extreme min:DIM|max:DIM] [--threshold T]
-                  \"SELECT ... FROM T WHERE ... [GROUP BY DIM]\"
+                  [--smc] [--baseline] [--explain] [--group-by DIM]
+                  [--stat avg|var|std] [--extreme min:DIM|max:DIM]
+                  [--threshold T]
+                  \"[EXPLAIN] SELECT ... FROM T WHERE ... [GROUP BY DIM]\"
                   (SQL may also say AVG/VAR/STD(Measure), MIN(dim)/MAX(dim),
                    and GROUP BY; --extreme replaces the SQL argument.
                    with --remote, ε/δ/calibration/release mode come from
-                   the server; --rate and the plan shape still apply)
+                   the server; --rate and the plan shape still apply.
+                   --explain, or an EXPLAIN prefix on the SQL, prints the
+                   optimizer's decisions without running the plan or
+                   spending any budget)
   fedaqp batch    (--data DIR | --remote HOST:PORT) --queries FILE
                   [--rate R] [--epsilon E] [--delta D] [--analysts N]
                   [--xi X] [--psi P] [--calibration em|pps] [--smc]
@@ -117,6 +121,7 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
         stat: None,
         extreme: None,
         threshold: 0.0,
+        explain: false,
     };
     let mut i = 0;
     let mut server_side: Vec<&'static str> = Vec::new();
@@ -150,6 +155,7 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
                 server_side.push("--smc");
             }
             "--baseline" => q.baseline = true,
+            "--explain" => q.explain = true,
             "--group-by" => q.group_by = Some(take_value(args, &mut i, "--group-by")?),
             "--stat" => q.stat = Some(parse_stat(&take_value(args, &mut i, "--stat")?)?),
             "--extreme" => {

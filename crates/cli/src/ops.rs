@@ -12,7 +12,8 @@ use fedaqp_data::{
     partition_rows, AdultConfig, AdultSynth, AmazonConfig, AmazonSynth, PartitionMode,
 };
 use fedaqp_model::{
-    parse_sql, parse_sql_plan, DerivedStatistic, Extreme, PlanParams, QueryPlan, RangeQuery, Schema,
+    parse_sql, parse_sql_statement, DerivedStatistic, Extreme, PlanParams, QueryPlan, RangeQuery,
+    Schema,
 };
 use fedaqp_net::{FederationServer, RemoteFederation, ServeOptions};
 use fedaqp_storage::{decode_store, encode_store, ClusterStore, PartitionStrategy, ProviderMeta};
@@ -171,6 +172,9 @@ pub struct QueryArgs {
     pub extreme: Option<(Extreme, String)>,
     /// GROUP BY suppression threshold (noisy groups below it vanish).
     pub threshold: f64,
+    /// Print the optimizer's decisions instead of running the plan
+    /// (`EXPLAIN` as a SQL prefix works too). Charges no budget.
+    pub explain: bool,
 }
 
 /// Parses a `--calibration` value: `em` (EM-calibrated, the default) or
@@ -208,13 +212,15 @@ pub fn parse_extreme(text: &str) -> Result<(Extreme, String), String> {
 }
 
 /// Compiles the SQL text plus the plan-shaping flags into one
-/// [`QueryPlan`] against `schema`.
+/// [`QueryPlan`] against `schema`, plus whether the SQL asked for
+/// `EXPLAIN` (the `--explain` flag is OR-ed in by the caller).
 fn build_plan(
     schema: &Schema,
     args: &QueryArgs,
     epsilon: f64,
     delta: f64,
-) -> Result<QueryPlan, String> {
+) -> Result<(QueryPlan, bool), String> {
+    let mut sql_explain = false;
     let mut plan = match &args.extreme {
         Some((extreme, dim_name)) => {
             if !args.sql.is_empty() {
@@ -239,7 +245,10 @@ fn build_plan(
                 delta,
                 threshold: args.threshold,
             };
-            parse_sql_plan(schema, &args.sql, &params).map_err(|e| e.to_string())?
+            let (plan, explain) =
+                parse_sql_statement(schema, &args.sql, &params).map_err(|e| e.to_string())?;
+            sql_explain = explain;
+            plan
         }
     };
     if let Some(stat) = args.stat {
@@ -320,7 +329,7 @@ fn build_plan(
             }
         };
     }
-    Ok(plan)
+    Ok((plan, sql_explain))
 }
 
 /// Renders a plan answer: scalar value, group table, or extreme.
@@ -443,7 +452,23 @@ fn query_remote(args: &QueryArgs, addr: &str) -> Result<String, String> {
     }
     let mut remote = RemoteFederation::connect_as(addr, "cli").map_err(|e| e.to_string())?;
     let (epsilon, delta) = (remote.epsilon(), remote.delta());
-    let plan = build_plan(remote.schema(), args, epsilon, delta)?;
+    let (plan, sql_explain) = build_plan(remote.schema(), args, epsilon, delta)?;
+    if args.explain || sql_explain {
+        // The server's optimizer explains the plan; nothing runs and no
+        // budget is spent on either side. Needs a v3 server.
+        let explanation = remote.explain_plan(&plan).map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        if !args.sql.is_empty() {
+            out.push_str(&format!("query       : {}\n", args.sql));
+        }
+        out.push_str(&format!(
+            "remote      : {addr} ({} providers, wire v{})\n",
+            remote.n_providers(),
+            remote.protocol_version()
+        ));
+        out.push_str(&explanation.render());
+        return Ok(out);
+    }
     let parsed = match plan {
         QueryPlan::Scalar { ref query, .. } => query.clone(),
         ref plan => return query_remote_plan(args, addr, &mut remote, plan),
@@ -533,7 +558,18 @@ pub fn query(args: &QueryArgs) -> Result<String, String> {
         args.smc,
         args.calibration,
     )?;
-    let plan = build_plan(federation.schema(), args, args.epsilon, args.delta)?;
+    let (plan, sql_explain) = build_plan(federation.schema(), args, args.epsilon, args.delta)?;
+    if args.explain || sql_explain {
+        let explanation = federation
+            .with_engine(|engine| engine.explain_plan(&plan))
+            .map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        if !args.sql.is_empty() {
+            out.push_str(&format!("query       : {}\n", args.sql));
+        }
+        out.push_str(&explanation.render());
+        return Ok(out);
+    }
     let parsed = match plan {
         QueryPlan::Scalar { ref query, .. } => query.clone(),
         ref plan => return query_local_plan(&federation, &args.sql, plan),
@@ -931,6 +967,7 @@ mod tests {
             stat: None,
             extreme: None,
             threshold: 0.0,
+            explain: false,
         })
         .unwrap();
         assert!(out.contains("private"));
@@ -954,6 +991,7 @@ mod tests {
             stat: None,
             extreme: None,
             threshold: 0.0,
+            explain: false,
         }
     }
 
@@ -1010,6 +1048,43 @@ mod tests {
     }
 
     #[test]
+    fn explain_prints_the_optimizer_decisions_without_running() {
+        let dir = tmp_dir("explain_local");
+        generate(&generate_args(dir.clone())).unwrap();
+
+        // Via the flag.
+        let mut args = plan_query_args(
+            dir.clone(),
+            "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60 GROUP BY workclass",
+        );
+        args.explain = true;
+        let out = query(&args).unwrap();
+        assert!(out.contains("optimizer   :"), "{out}");
+        assert!(out.contains("pruned      :"), "{out}");
+        assert!(
+            !out.contains("groups      :"),
+            "explain must not run: {out}"
+        );
+
+        // Via an EXPLAIN prefix in the SQL itself.
+        let out = query(&plan_query_args(
+            dir.clone(),
+            "EXPLAIN SELECT VAR(Measure) FROM T WHERE 25 <= age <= 60",
+        ))
+        .unwrap();
+        assert!(out.contains("optimizer   :"), "{out}");
+        assert!(
+            out.contains("reuses"),
+            "VAR second moment reuses COUNT: {out}"
+        );
+        assert!(
+            !out.contains("private     :"),
+            "explain must not run: {out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn parse_stat_and_extreme_vocabulary() {
         assert_eq!(parse_stat("avg"), Ok(DerivedStatistic::Average));
         assert_eq!(parse_stat("var"), Ok(DerivedStatistic::Variance));
@@ -1057,6 +1132,7 @@ mod tests {
             stat: None,
             extreme: None,
             threshold: 0.0,
+            explain: false,
         })
         .unwrap();
         assert!(out.contains("PPS (Eq. 3) calibration"), "{out}");
@@ -1086,6 +1162,7 @@ mod tests {
             stat: None,
             extreme: None,
             threshold: 0.0,
+            explain: false,
         })
         .unwrap_err();
         assert!(err.contains("manifest"));
@@ -1113,6 +1190,7 @@ mod tests {
             stat: None,
             extreme: None,
             threshold: 0.0,
+            explain: false,
         })
         .unwrap_err();
         assert!(err.contains("bogus"));
@@ -1229,6 +1307,7 @@ mod tests {
             stat: None,
             extreme: None,
             threshold: 0.0,
+            explain: false,
         })
         .unwrap();
         assert!(out.contains("remote"), "{out}");
@@ -1244,9 +1323,20 @@ mod tests {
         plan_args.epsilon = 1.0; // ignored: set above by the server
         plan_args.remote = Some(addr.clone());
         let out = query(&plan_args).unwrap();
-        assert!(out.contains("wire v2"), "{out}");
+        assert!(out.contains("wire v3"), "{out}");
         assert!(out.contains("groups      :"), "{out}");
         assert!(out.contains("for the whole plan"), "{out}");
+
+        // EXPLAIN travels as one v3 frame and runs nothing.
+        let mut explain_args = plan_args.clone();
+        explain_args.explain = true;
+        let out = query(&explain_args).unwrap();
+        assert!(out.contains("optimizer   :"), "{out}");
+        assert!(out.contains("wire v3"), "{out}");
+        assert!(
+            !out.contains("groups      :"),
+            "explain must not run: {out}"
+        );
 
         // Remote batch with several analyst connections.
         let qfile = dir.join("queries.sql");
@@ -1291,6 +1381,7 @@ mod tests {
             stat: None,
             extreme: None,
             threshold: 0.0,
+            explain: false,
         })
         .unwrap_err();
         assert!(err.contains("cannot connect"), "{err}");
@@ -1311,6 +1402,7 @@ mod tests {
             stat: None,
             extreme: None,
             threshold: 0.0,
+            explain: false,
         })
         .unwrap_err();
         assert!(err.contains("--baseline"), "{err}");
@@ -1362,6 +1454,7 @@ mod tests {
             stat: None,
             extreme: None,
             threshold: 0.0,
+            explain: false,
         })
         .unwrap();
         assert!(out.contains("SMC release"));

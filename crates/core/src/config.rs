@@ -114,6 +114,57 @@ pub enum ProportionSource {
     ExactScan,
 }
 
+/// Toggles for the metadata-driven plan optimizer (see
+/// [`crate::optimizer`]).
+///
+/// Every pass conditions **only on offline Algorithm 1 metadata** (public
+/// by Theorem 5.1's one-time release) and on the query itself, never on
+/// sampled data — so toggling a pass can change how much work the engine
+/// does but never which bytes it releases. The equivalence is asserted by
+/// the optimizer test suite; the default enables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Skip protocol step 1 on providers whose public per-dimension
+    /// `[v_min, v_max]` bounds prove an empty covering set `C^Q` (Eq. 2).
+    pub prune_providers: bool,
+    /// Answer a plan's *cost-only* repeated sub-queries (VAR/STD's second
+    /// moment re-issues the cell's COUNT) by re-reading the already
+    /// released answer — post-processing, zero extra ξ, zero extra work.
+    pub dedup_subqueries: bool,
+    /// Submit a GROUP-BY's cells costliest-first (by metadata-estimated
+    /// surviving cluster count) so the stragglers start pipelining
+    /// earliest. Released bytes are order-independent for distinct
+    /// sub-queries (content-derived noise), so this is latency-only.
+    pub reorder_subqueries: bool,
+}
+
+impl OptimizerConfig {
+    /// All passes on (the default).
+    pub fn enabled() -> Self {
+        Self {
+            prune_providers: true,
+            dedup_subqueries: true,
+            reorder_subqueries: true,
+        }
+    }
+
+    /// All passes off — the exhaustive fan-out the optimizer is measured
+    /// against (and the reference side of the equivalence tests).
+    pub fn disabled() -> Self {
+        Self {
+            prune_providers: false,
+            dedup_subqueries: false,
+            reorder_subqueries: false,
+        }
+    }
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self::enabled()
+    }
+}
+
 /// Full configuration of a federation.
 #[derive(Debug, Clone)]
 pub struct FederationConfig {
@@ -165,6 +216,9 @@ pub struct FederationConfig {
     /// limit; plans over larger domains are rejected with
     /// [`CoreError::GroupDomainTooLarge`] before any work starts.
     pub max_group_domain: u64,
+    /// Metadata-driven plan-optimizer passes (all on by default; released
+    /// bytes are identical either way — see [`crate::optimizer`]).
+    pub optimizer: OptimizerConfig,
     /// Base seed for all provider/aggregator randomness.
     pub seed: u64,
 }
@@ -204,6 +258,7 @@ impl FederationConfig {
             metadata_buckets: None,
             cost_model: CostModel::lan(),
             max_group_domain: 4096,
+            optimizer: OptimizerConfig::enabled(),
             seed: 0xFEDA,
         }
     }

@@ -51,8 +51,9 @@ use rand::SeedableRng;
 use crate::aggregator::Aggregator;
 use crate::config::{AllocationPolicy, FederationConfig, ReleaseMode};
 use crate::federation::{Federation, PlainAnswer};
+use crate::optimizer::MetaSnapshot;
 use crate::protocol::{query_bytes, LocalOutcome, PhaseTimings, ProviderSummary};
-use crate::provider::DataProvider;
+use crate::provider::{DataProvider, PreparedQuery, ProviderShadow};
 use crate::{CoreError, Result};
 
 /// SplitMix64 finalizer over `(seed, index, lane)` — the per-job RNG
@@ -264,6 +265,12 @@ pub(crate) struct JobState {
     kind: JobKind,
     index: u64,
     seed: u64,
+    /// Per-provider pruning verdicts from the engine's public metadata
+    /// snapshot (`true` ⇒ provably empty covering set, skip the step-1
+    /// walk). Empty when the pruning pass is off. Deliberately *not* part
+    /// of [`JobKind::content_hash`]: pruning is derived from the query and
+    /// public metadata, so the job's noise streams must not depend on it.
+    pruned: Vec<bool>,
     n_providers: usize,
     allocation_policy: AllocationPolicy,
     release_mode: ReleaseMode,
@@ -283,6 +290,7 @@ impl JobState {
             kind,
             index,
             seed,
+            pruned: Vec::new(),
             n_providers: n,
             allocation_policy: config.allocation_policy,
             release_mode: config.release_mode,
@@ -387,62 +395,18 @@ fn run_provider_job(job: &JobState, provider: &DataProvider) {
             sampling_rate,
             budget,
         } => {
-            // ---- Steps 1–2: prepare + DP summary ----
+            // ---- Steps 1–2: prepare + DP summary. A provider the
+            // optimizer pruned never reaches this arm — the engine answers
+            // its noise-only turn inline at submission (see
+            // [`EngineHandle::answer_for_pruned`]). ----
             let t = Instant::now();
             let prep = provider.prepare(query);
             let summary = provider.summary_with_rng(query, &prep, budget.eps_o, &mut rng);
-            let elapsed = t.elapsed();
+            deliver_summary(job, id, summary, t.elapsed(), *sampling_rate);
 
-            let allocation = {
-                let mut progress = job.lock_progress();
-                progress.summary_time = progress.summary_time.max(elapsed);
-                match summary {
-                    Ok(s) => progress.summaries[id] = Some(s),
-                    Err(e) => job.fail(&mut progress, e),
-                }
-                progress.summaries_done += 1;
-                // ---- Step 3: the last provider in solves the allocation
-                // program (Eq. 6) for everyone. ----
-                if progress.summaries_done == job.n_providers && progress.error.is_none() {
-                    let summaries: Vec<ProviderSummary> = progress
-                        .summaries
-                        .iter()
-                        .map(|s| s.expect("all summaries delivered"))
-                        .collect();
-                    let t = Instant::now();
-                    let aggregator = Aggregator::new(
-                        derive_seed(job.seed, job.index, AGGREGATOR_LANE),
-                        job.cost_model,
-                    );
-                    let allocated = match job.allocation_policy {
-                        AllocationPolicy::Optimized => {
-                            aggregator.allocate(&summaries, *sampling_rate)
-                        }
-                        AllocationPolicy::LocalUniform => {
-                            aggregator.allocate_local_uniform(&summaries, *sampling_rate)
-                        }
-                    };
-                    progress.allocation_time = t.elapsed();
-                    match allocated {
-                        Ok(a) => {
-                            progress.allocations = Some(Arc::new(a));
-                            job.cond.notify_all();
-                        }
-                        Err(e) => job.fail(&mut progress, e),
-                    }
-                }
-                // Barrier: wait until the allocation (or a failure) lands.
-                loop {
-                    if progress.error.is_some() {
-                        progress.done += 1;
-                        job.cond.notify_all();
-                        return;
-                    }
-                    if let Some(allocations) = &progress.allocations {
-                        break allocations[id];
-                    }
-                    progress = job.wait_on(progress);
-                }
+            // Barrier: wait until the allocation (or a failure) lands.
+            let Some(allocation) = await_allocation(job, id) else {
+                return;
             };
 
             // ---- Steps 4–6: local execution ----
@@ -456,17 +420,89 @@ fn run_provider_job(job: &JobState, provider: &DataProvider) {
                 release_local,
                 &mut rng,
             );
-            let elapsed = t.elapsed();
-            let mut progress = job.lock_progress();
-            progress.execution_time = progress.execution_time.max(elapsed);
-            match outcome {
-                Ok(o) => progress.outcomes[id] = Some(o),
-                Err(e) => job.fail(&mut progress, e),
-            }
-            progress.done += 1;
-            job.cond.notify_all();
+            deliver_outcome(job, id, outcome, t.elapsed());
         }
     }
+}
+
+/// Delivers provider `id`'s step-2 summary into the job. The last summary
+/// in solves the allocation program (Eq. 6) for everyone — the step-3
+/// barrier needs no dedicated coordinator thread. Shared by the worker
+/// path and the inline pruned path so both feed the barrier identically.
+fn deliver_summary(
+    job: &JobState,
+    id: usize,
+    summary: Result<ProviderSummary>,
+    elapsed: Duration,
+    sampling_rate: f64,
+) {
+    let mut progress = job.lock_progress();
+    progress.summary_time = progress.summary_time.max(elapsed);
+    match summary {
+        Ok(s) => progress.summaries[id] = Some(s),
+        Err(e) => job.fail(&mut progress, e),
+    }
+    progress.summaries_done += 1;
+    // ---- Step 3: the last provider in solves the allocation program
+    // (Eq. 6) for everyone. ----
+    if progress.summaries_done == job.n_providers && progress.error.is_none() {
+        let summaries: Vec<ProviderSummary> = progress
+            .summaries
+            .iter()
+            .map(|s| s.expect("all summaries delivered"))
+            .collect();
+        let t = Instant::now();
+        let aggregator = Aggregator::new(
+            derive_seed(job.seed, job.index, AGGREGATOR_LANE),
+            job.cost_model,
+        );
+        let allocated = match job.allocation_policy {
+            AllocationPolicy::Optimized => aggregator.allocate(&summaries, sampling_rate),
+            AllocationPolicy::LocalUniform => {
+                aggregator.allocate_local_uniform(&summaries, sampling_rate)
+            }
+        };
+        progress.allocation_time = t.elapsed();
+        match allocated {
+            Ok(a) => {
+                progress.allocations = Some(Arc::new(a));
+                job.cond.notify_all();
+            }
+            Err(e) => job.fail(&mut progress, e),
+        }
+    }
+}
+
+/// Parks until the job's allocation — or a failure — lands. Returns
+/// provider `id`'s cluster allocation, or `None` on the failure path
+/// (after performing the provider's `done` bookkeeping, so the waiter
+/// still unblocks).
+fn await_allocation(job: &JobState, id: usize) -> Option<u64> {
+    let mut progress = job.lock_progress();
+    loop {
+        if progress.error.is_some() {
+            progress.done += 1;
+            job.cond.notify_all();
+            return None;
+        }
+        if let Some(allocations) = &progress.allocations {
+            return Some(allocations[id]);
+        }
+        progress = job.wait_on(progress);
+    }
+}
+
+/// Delivers provider `id`'s steps-4–6 outcome into the job and performs
+/// the final `done` bookkeeping that unblocks the waiter.
+fn deliver_outcome(job: &JobState, id: usize, outcome: Result<LocalOutcome>, elapsed: Duration) {
+    let mut progress = job.lock_progress();
+    progress.execution_time = progress.execution_time.max(elapsed);
+    match outcome {
+        Ok(o) => progress.outcomes[id] = Some(o),
+        Err(e) => job.fail(&mut progress, e),
+    }
+    progress.done += 1;
+    job.cond.notify_all();
 }
 
 /// The worker loop a provider's pool thread runs: drain jobs until every
@@ -507,11 +543,22 @@ struct HandleInner {
     senders: Mutex<Option<Vec<Sender<Arc<JobState>>>>>,
     config: FederationConfig,
     schema: Schema,
+    /// Public per-provider pruning bounds, captured at engine start. Read
+    /// by the optimizer (pruning, cost estimates, `EXPLAIN`) — offline
+    /// Algorithm 1 metadata only, never sampled data.
+    snapshot: MetaSnapshot,
     /// Per-content submission counts, keyed by [`JobKind::content_hash`].
     /// The job index for a submission is the number of identical
     /// submissions that preceded it, so noise derivation is independent
     /// of unrelated traffic (see the module docs).
     occurrences: Mutex<HashMap<u64, u64>>,
+    /// Public scalar facets of each provider (id, `n_min`, regime, agreed
+    /// smooth-sensitivity order, arity, SUM cap) — everything the
+    /// noise-only turn of a *pruned* provider reads. Lets the engine
+    /// answer for pruned providers inline instead of paying a queue
+    /// round-trip for a provably empty covering set (see
+    /// [`EngineHandle`]'s pruning notes on `submit_with_budget`).
+    shadows: Vec<ProviderShadow>,
 }
 
 /// A cloneable, thread-safe handle analysts use to submit queries to the
@@ -527,6 +574,8 @@ pub struct EngineHandle {
 pub(crate) fn pool_channels(
     config: &FederationConfig,
     schema: &Schema,
+    snapshot: MetaSnapshot,
+    shadows: Vec<ProviderShadow>,
 ) -> (EngineHandle, Vec<Receiver<Arc<JobState>>>) {
     let (senders, receivers) = (0..config.n_providers).map(|_| channel()).unzip();
     let handle = EngineHandle {
@@ -534,7 +583,9 @@ pub(crate) fn pool_channels(
             senders: Mutex::new(Some(senders)),
             config: config.clone(),
             schema: schema.clone(),
+            snapshot,
             occurrences: Mutex::new(HashMap::new()),
+            shadows,
         }),
     };
     (handle, receivers)
@@ -556,6 +607,14 @@ impl EngineHandle {
         self.inner.config.n_providers
     }
 
+    /// The engine's public metadata snapshot: per-provider pruning bounds
+    /// captured at start-up. Offline Algorithm 1 metadata only — reading
+    /// (or publishing) it reveals nothing beyond the one-time metadata
+    /// release the protocol already accounts for.
+    pub fn meta_snapshot(&self) -> &MetaSnapshot {
+        &self.inner.snapshot
+    }
+
     /// The default per-query budget from the configuration.
     pub fn default_budget(&self) -> Result<QueryBudget> {
         self.inner.config.query_budget()
@@ -571,10 +630,14 @@ impl EngineHandle {
             .take();
     }
 
-    /// Fans a job out to every provider queue. The lock is held across the
-    /// whole loop so concurrent submissions cannot interleave — identical
-    /// queue order on every provider is what makes the per-job allocation
-    /// barrier deadlock-free (see [`HandleInner::senders`]).
+    /// Fans a job out to every *un-pruned* provider queue. The lock is
+    /// held across the whole loop so concurrent submissions cannot
+    /// interleave — every provider queue observes the same subsequence of
+    /// the global submission order, which is what makes the per-job
+    /// allocation barrier deadlock-free (see [`HandleInner::senders`]).
+    /// Pruned providers never see the job at all: their noise-only turn
+    /// is answered inline by [`Self::answer_for_pruned`], which delivers
+    /// into the job directly and never blocks on a queue.
     fn dispatch(&self, job: &Arc<JobState>) -> Result<()> {
         let guard = self
             .inner
@@ -584,7 +647,10 @@ impl EngineHandle {
         let senders = guard
             .as_ref()
             .ok_or(CoreError::ProtocolViolation("engine is shut down"))?;
-        for sender in senders {
+        for (id, sender) in senders.iter().enumerate() {
+            if job.pruned.get(id).copied().unwrap_or(false) {
+                continue;
+            }
             if sender.send(Arc::clone(job)).is_err() {
                 // A worker died (panicked); fail the job so providers that
                 // did receive it cannot block at the barrier forever.
@@ -665,15 +731,91 @@ impl EngineHandle {
         budget: &QueryBudget,
     ) -> Result<PendingAnswer> {
         self.validate(query, sampling_rate, budget)?;
+        // The pruning pass: providers whose public bounds prove an empty
+        // covering set skip the step-1 metadata walk. An O(dims) check per
+        // provider against start-up bounds — never the per-cluster walk
+        // it avoids, and never anything data-derived.
+        let pruned = if self.inner.config.optimizer.prune_providers {
+            self.inner.snapshot.pruned_flags(query)
+        } else {
+            Vec::new()
+        };
         let kind = JobKind::Private {
             query: query.clone(),
             sampling_rate,
             budget: *budget,
         };
         let index = self.next_occurrence(&kind);
-        let job = Arc::new(JobState::new(kind, index, &self.inner.config));
+        let mut job = JobState::new(kind, index, &self.inner.config);
+        job.pruned = pruned;
+        let job = Arc::new(job);
         self.dispatch(&job)?;
+        self.answer_for_pruned(&job);
         Ok(PendingAnswer { job })
+    }
+
+    /// Answers the noise-only turn of every pruned provider inline, on the
+    /// submitting thread, so pruned providers pay no queue round-trip.
+    ///
+    /// Byte-identical to the worker path by construction: a pruned
+    /// provider's covering set is provably empty, so its turn reads only
+    /// public scalars — captured in [`ProviderShadow`], the *same* code the
+    /// worker path delegates to — and its noise lanes are content-derived
+    /// (`derive_seed(job.seed, job.index, id)`), independent of which
+    /// thread draws them.
+    ///
+    /// Ordering is free of the barrier: the empty-prep execution ignores
+    /// its allocation, so the inline path delivers its summary *and*
+    /// outcome immediately instead of parking at the step-3 barrier —
+    /// waiting there would block `submit` and deadlock the all-pruned
+    /// case, where no worker thread ever sees the job.
+    fn answer_for_pruned(&self, job: &JobState) {
+        if !job.pruned.iter().any(|&p| p) {
+            return;
+        }
+        let JobKind::Private {
+            query,
+            sampling_rate,
+            budget,
+        } = &job.kind
+        else {
+            return;
+        };
+        let release_local = job.release_mode == ReleaseMode::LocalDp;
+        let empty = PreparedQuery {
+            covering: Vec::new(),
+            proportions: Vec::new(),
+            sum_r: 0.0,
+        };
+        for shadow in &self.inner.shadows {
+            let id = shadow.id();
+            if !job.pruned.get(id).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(derive_seed(job.seed, job.index, id as u64));
+            let t = Instant::now();
+            let summary = shadow.summary(query, &empty, budget.eps_o, &mut rng);
+            deliver_summary(job, id, summary, t.elapsed(), *sampling_rate);
+            // Check the failure path under the lock exactly as a worker
+            // would at the barrier: once the job has failed, only the
+            // `done` bookkeeping remains.
+            let failed = {
+                let mut progress = job.lock_progress();
+                if progress.error.is_some() {
+                    progress.done += 1;
+                    job.cond.notify_all();
+                    true
+                } else {
+                    false
+                }
+            };
+            if failed {
+                continue;
+            }
+            let t = Instant::now();
+            let outcome = shadow.empty_outcome(query, budget, release_local, &mut rng);
+            deliver_outcome(job, id, Ok(outcome), t.elapsed());
+        }
     }
 
     /// Submits a private MIN/MAX of dimension `dim` to the worker pool:
@@ -755,6 +897,17 @@ pub struct PendingAnswer {
 }
 
 impl PendingAnswer {
+    /// A second waiter on the same in-flight job — the dedup pass's
+    /// release reuse. [`Self::wait`] only reads job progress and
+    /// *recomputes* the release from the job's derived aggregator seed,
+    /// so every sharer observes byte-identical answers; nothing is
+    /// resubmitted, re-noised, or re-charged.
+    pub(crate) fn share(&self) -> PendingAnswer {
+        PendingAnswer {
+            job: Arc::clone(&self.job),
+        }
+    }
+
     /// Blocks until every provider reported, then finalizes the release
     /// (protocol step 6/7) on the calling thread.
     pub fn wait(self) -> Result<EngineAnswer> {
@@ -929,7 +1082,9 @@ impl FederationEngine {
     /// Starts the worker pool (one thread per provider).
     pub fn start(federation: Federation) -> Self {
         let (config, schema, providers) = federation.into_parts();
-        let (handle, receivers) = pool_channels(&config, &schema);
+        let snapshot = MetaSnapshot::from_providers(&providers);
+        let shadows = providers.iter().map(DataProvider::shadow).collect();
+        let (handle, receivers) = pool_channels(&config, &schema, snapshot, shadows);
         let workers = providers
             .into_iter()
             .zip(receivers)

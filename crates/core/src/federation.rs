@@ -167,7 +167,10 @@ impl Federation {
     /// the private path — without giving up ownership of the federation;
     /// for a long-lived service use [`crate::engine::FederationEngine`].
     pub fn with_engine<R>(&self, f: impl FnOnce(&EngineHandle) -> R) -> R {
-        let (handle, receivers) = crate::engine::pool_channels(&self.config, &self.schema);
+        let snapshot = crate::optimizer::MetaSnapshot::from_providers(&self.providers);
+        let shadows = self.providers.iter().map(DataProvider::shadow).collect();
+        let (handle, receivers) =
+            crate::engine::pool_channels(&self.config, &self.schema, snapshot, shadows);
         std::thread::scope(|scope| {
             for (provider, rx) in self.providers.iter().zip(receivers) {
                 scope.spawn(move || crate::engine::worker_loop(provider, rx));

@@ -37,6 +37,7 @@ pub mod extremes;
 pub mod federation;
 pub mod groupby;
 pub mod online;
+pub mod optimizer;
 pub mod plan;
 pub mod protocol;
 pub mod provider;
@@ -47,8 +48,8 @@ pub use aggregator::Aggregator;
 pub use agreement::{agree_on_s, announce_size, SizeDisclosure};
 pub use allocation::{allocate_greedy, AllocationInput};
 pub use config::{
-    AllocationPolicy, EstimatorCalibration, FederationConfig, ProportionSource, ReleaseMode,
-    SamplingPolicy, SensitivityRegime,
+    AllocationPolicy, EstimatorCalibration, FederationConfig, OptimizerConfig, ProportionSource,
+    ReleaseMode, SamplingPolicy, SensitivityRegime,
 };
 pub use derived::{run_derived, DerivedAnswer, DerivedStatistic};
 pub use engine::{
@@ -60,6 +61,7 @@ pub use extremes::{private_extreme, Extreme, ExtremeAnswer};
 pub use federation::{Federation, PlainAnswer, QueryAnswer};
 pub use groupby::{run_group_by, Group, GroupByAnswer};
 pub use online::{combine_snapshots, run_online, OnlineAnswer, OnlineSnapshot};
+pub use optimizer::{MetaSnapshot, PlanExplanation, ProviderBounds, SubQueryExplanation};
 pub use plan::{PendingPlan, PlanAnswer, PlanGroup, PlanResult, QueryPlan};
 pub use protocol::{LocalOutcome, PhaseTimings, ProviderSummary};
 pub use provider::DataProvider;

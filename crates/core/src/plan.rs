@@ -52,6 +52,7 @@ use fedaqp_model::{Aggregate, Range, RangeQuery, Value};
 
 use crate::derived::DerivedStatistic;
 use crate::engine::{EngineHandle, PendingAnswer, PendingExtreme};
+use crate::optimizer::{submission_order, PlanExplanation, SubQueryExplanation};
 use crate::protocol::PhaseTimings;
 use crate::{CoreError, Result};
 
@@ -413,7 +414,18 @@ impl EngineHandle {
         let second_moment = match statistic {
             DerivedStatistic::Average => None,
             DerivedStatistic::Variance | DerivedStatistic::StdDev => {
-                Some(self.submit_with_budget(&second_q, sampling_rate, budget)?)
+                // The second moment is *cost-only*: its released value is
+                // never read (see [`crate::derived`]), and its content is
+                // identical to the cell's COUNT. The dedup pass re-reads
+                // the COUNT's release instead of executing a third
+                // sub-query — post-processing, zero extra ξ — while the
+                // plan still declares (and sessions still charge) the full
+                // three-way split.
+                if self.config().optimizer.dedup_subqueries {
+                    Some(count.share())
+                } else {
+                    Some(self.submit_with_budget(&second_q, sampling_rate, budget)?)
+                }
             }
         };
         Ok(CellPending::Derived {
@@ -484,31 +496,47 @@ impl EngineHandle {
                 let keys = self.group_keys(*group_dim)?;
                 let k = keys.len() as f64;
                 let queries = compile_groups(base, *group_dim, &keys)?;
-                let cells = match statistic {
+                // Cost-ordered submission: costliest cells (by metadata-
+                // estimated surviving cluster count) enter the worker pool
+                // first, so the stragglers pipeline from the start. The
+                // pendings land back in key-order slots — `PendingKind::
+                // Groups` zips keys with cells positionally — and distinct
+                // sub-queries draw content-derived noise, so the released
+                // groups are byte-identical in any submission order.
+                let costs: Vec<u64> = queries
+                    .iter()
+                    .map(|q| self.meta_snapshot().estimated_cost(q))
+                    .collect();
+                let order = submission_order(&costs, self.config().optimizer.reorder_subqueries);
+                let mut slots: Vec<Option<CellPending>> = queries.iter().map(|_| None).collect();
+                match statistic {
                     None => {
                         let budget =
                             QueryBudget::split(epsilon / k, delta / k, self.config().hyperparams)?;
-                        queries
-                            .iter()
-                            .map(|q| {
-                                Ok(CellPending::Scalar(self.submit_with_budget(
-                                    q,
-                                    *sampling_rate,
-                                    &budget,
-                                )?))
-                            })
-                            .collect::<Result<Vec<_>>>()?
+                        for &i in &order {
+                            slots[i] = Some(CellPending::Scalar(self.submit_with_budget(
+                                &queries[i],
+                                *sampling_rate,
+                                &budget,
+                            )?));
+                        }
                     }
                     Some(statistic) => {
                         let budget = derived_budget(self, *statistic, epsilon / k, delta / k)?;
-                        queries
-                            .iter()
-                            .map(|q| {
-                                self.submit_derived_cell(q, *statistic, *sampling_rate, &budget)
-                            })
-                            .collect::<Result<Vec<_>>>()?
+                        for &i in &order {
+                            slots[i] = Some(self.submit_derived_cell(
+                                &queries[i],
+                                *statistic,
+                                *sampling_rate,
+                                &budget,
+                            )?);
+                        }
                     }
-                };
+                }
+                let cells = slots
+                    .into_iter()
+                    .map(|c| c.expect("every cell submitted"))
+                    .collect();
                 PendingKind::Groups {
                     keys,
                     cells,
@@ -525,8 +553,153 @@ impl EngineHandle {
     }
 
     /// Submits a plan and waits it out (submit + wait).
+    ///
+    /// ```
+    /// use fedaqp_core::{Federation, FederationConfig, QueryPlan};
+    /// use fedaqp_model::{Aggregate, Dimension, Domain, Range, RangeQuery, Row, Schema};
+    ///
+    /// let schema = Schema::new(vec![Dimension::new("x", Domain::new(0, 99).unwrap())]).unwrap();
+    /// let partitions: Vec<Vec<Row>> = (0..4)
+    ///     .map(|p| (0..300).map(|i| Row::cell(vec![((i * 7 + p) % 100) as i64], 1)).collect())
+    ///     .collect();
+    /// let federation =
+    ///     Federation::build(FederationConfig::paper_default(32), schema, partitions).unwrap();
+    ///
+    /// let plan = QueryPlan::Scalar {
+    ///     query: RangeQuery::new(Aggregate::Count, vec![Range::new(0, 20, 70).unwrap()]).unwrap(),
+    ///     sampling_rate: 0.2,
+    ///     epsilon: 1.0,
+    ///     delta: 1e-6,
+    /// };
+    /// let answer = federation.with_engine(|engine| {
+    ///     // EXPLAIN first: the optimizer's pruning/dedup/ordering decisions,
+    ///     // computed from public metadata alone — free, nothing dispatched.
+    ///     let explanation = engine.explain_plan(&plan)?;
+    ///     assert_eq!(explanation.sub_queries.len(), 1);
+    ///     engine.run_plan(&plan)
+    /// }).unwrap();
+    /// assert!(answer.value().unwrap().is_finite());
+    /// assert_eq!(answer.cost.eps, 1.0);
+    /// ```
     pub fn run_plan(&self, plan: &QueryPlan) -> Result<PlanAnswer> {
         self.submit_plan(plan)?.wait()
+    }
+
+    /// `EXPLAIN`: the optimizer's decisions for `plan`, computed from the
+    /// plan and the engine's public metadata snapshot alone — nothing is
+    /// dispatched, no data is touched, and (because the inputs are the
+    /// analyst's own query plus already-public Algorithm 1 metadata) no
+    /// budget is charged. The reported pruning, reuse, and ordering are
+    /// exactly what [`Self::submit_plan`] would do under the current
+    /// [`crate::config::OptimizerConfig`].
+    pub fn explain_plan(&self, plan: &QueryPlan) -> Result<PlanExplanation> {
+        self.validate_plan(plan)?;
+        let opt = self.config().optimizer;
+        let snap = self.meta_snapshot();
+        let sub = |label: String, query: &RangeQuery, reuses: Option<u64>, order: u64| {
+            SubQueryExplanation {
+                label,
+                pruned_providers: if opt.prune_providers {
+                    snap.pruned_flags(query)
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &p)| p.then_some(i as u64))
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+                estimated_cost: snap.estimated_cost(query),
+                reuses,
+                order,
+            }
+        };
+        // One cell's sub-queries: COUNT, SUM, and for VAR/STD the second
+        // moment (marked as reusing the COUNT when dedup is on).
+        let derived_subs = |prefix: &str,
+                            query: &RangeQuery,
+                            statistic: DerivedStatistic,
+                            first_index: u64,
+                            order: u64|
+         -> Result<Vec<SubQueryExplanation>> {
+            let (count_q, sum_q, second_q) = derived_queries(query)?;
+            let mut subs = vec![
+                sub(format!("{prefix}count"), &count_q, None, order),
+                sub(format!("{prefix}sum"), &sum_q, None, order),
+            ];
+            if statistic.sub_queries() > 2 {
+                let reuses = opt.dedup_subqueries.then_some(first_index);
+                subs.push(sub(
+                    format!("{prefix}second-moment"),
+                    &second_q,
+                    reuses,
+                    order,
+                ));
+            }
+            Ok(subs)
+        };
+        let (plan_kind, sub_queries) = match plan {
+            QueryPlan::Scalar { query, .. } => {
+                ("scalar", vec![sub("query".into(), query, None, 0)])
+            }
+            QueryPlan::Derived {
+                query, statistic, ..
+            } => ("derived", derived_subs("", query, *statistic, 0, 0)?),
+            QueryPlan::GroupBy {
+                base,
+                statistic,
+                group_dim,
+                ..
+            } => {
+                let keys = self.group_keys(*group_dim)?;
+                let queries = compile_groups(base, *group_dim, &keys)?;
+                let costs: Vec<u64> = queries.iter().map(|q| snap.estimated_cost(q)).collect();
+                let order = submission_order(&costs, opt.reorder_subqueries);
+                // `order[pos] = cell` ⇒ cell's submission position.
+                let mut position = vec![0u64; order.len()];
+                for (pos, &cell) in order.iter().enumerate() {
+                    position[cell] = pos as u64;
+                }
+                let mut subs = Vec::new();
+                for (cell, (key, query)) in keys.iter().zip(&queries).enumerate() {
+                    match statistic {
+                        None => subs.push(sub(format!("group {key}"), query, None, position[cell])),
+                        Some(statistic) => {
+                            let first = subs.len() as u64;
+                            subs.extend(derived_subs(
+                                &format!("group {key} "),
+                                query,
+                                *statistic,
+                                first,
+                                position[cell],
+                            )?);
+                        }
+                    }
+                }
+                ("group-by", subs)
+            }
+            // Extremes are answered from metadata by *every* provider's
+            // Exponential-mechanism selection — pruning a provider would
+            // change the released value, so the optimizer never does.
+            QueryPlan::Extreme { .. } => (
+                "extreme",
+                vec![SubQueryExplanation {
+                    label: "extreme".into(),
+                    pruned_providers: Vec::new(),
+                    estimated_cost: 0,
+                    reuses: None,
+                    order: 0,
+                }],
+            ),
+        };
+        let (eps, delta) = plan.total_cost();
+        Ok(PlanExplanation {
+            plan_kind: plan_kind.into(),
+            n_providers: self.n_providers() as u64,
+            optimizer: opt,
+            eps,
+            delta,
+            sub_queries,
+        })
     }
 }
 

@@ -49,6 +49,111 @@ impl PreparedQuery {
     }
 }
 
+/// The provider-independent scalars of protocol steps 2 and 4–6:
+/// everything a provider's *noise-only* turn (a provably empty covering
+/// set) reads. All of it is public — configuration plus the agreed
+/// cluster size — never data.
+///
+/// [`crate::engine`] captures one shadow per provider at pool start so a
+/// pruned provider's turn can be answered on the analyst thread without a
+/// worker round trip; the provider's own summary and exact-release
+/// methods route through the same shadow, so the inline and worker paths
+/// share one implementation and cannot drift apart byte-wise.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ProviderShadow {
+    id: usize,
+    n_min: usize,
+    regime: SensitivityRegime,
+    agreed_s: usize,
+    arity: usize,
+    sum_measure_cap: u64,
+}
+
+impl ProviderShadow {
+    /// The provider id this shadow answers for.
+    pub(crate) fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Protocol step 2: the DP summary `(Ñ^Q, Avg(R̂)~)` under `ε_O`
+    /// (Eq. 5); each component gets `ε_O/2`.
+    pub(crate) fn summary(
+        &self,
+        query: &RangeQuery,
+        prep: &PreparedQuery,
+        eps_o: f64,
+        rng: &mut StdRng,
+    ) -> Result<ProviderSummary> {
+        if !(eps_o.is_finite() && eps_o > 0.0) {
+            return Err(CoreError::BadConfig("summary budget must be positive"));
+        }
+        let dr = delta_r_for(
+            self.regime,
+            self.agreed_s,
+            self.arity,
+            query.dimensionality(),
+        );
+        let d_avg = delta_avg_r(dr, self.n_min);
+        let half = eps_o / 2.0;
+        let noisy_avg_r = prep.avg_r() + laplace_noise(rng, d_avg / half);
+        let noisy_n_q = prep.n_q() as f64 + laplace_noise(rng, 1.0 / half);
+        Ok(ProviderSummary {
+            provider: self.id,
+            noisy_n_q,
+            noisy_avg_r,
+        })
+    }
+
+    /// The exact-path release (the `N^Q < N_min` branch of steps 4–6)
+    /// over an already-computed scan `value`.
+    pub(crate) fn exact_outcome(
+        &self,
+        query: &RangeQuery,
+        value: f64,
+        covering: usize,
+        budget: &QueryBudget,
+        release_local: bool,
+        rng: &mut StdRng,
+    ) -> LocalOutcome {
+        let sensitivity = match query.aggregate() {
+            Aggregate::Count => 1.0,
+            Aggregate::Sum => self.sum_measure_cap as f64,
+        };
+        // The EM budget is unspent on this path; fold it into the release
+        // so the per-query total stays ε_O + ε_S + ε_E.
+        let eps_release = budget.eps_s + budget.eps_e;
+        let released = if release_local {
+            Some(value + laplace_noise(rng, sensitivity / eps_release))
+        } else {
+            None
+        };
+        LocalOutcome {
+            provider: self.id,
+            released,
+            estimate: value,
+            smooth_ls: sensitivity,
+            // A full covering-set scan has genuinely zero sampling variance.
+            variance: Some(0.0),
+            approximated: false,
+            clusters_scanned: covering,
+            n_covering: covering,
+        }
+    }
+
+    /// A pruned provider's whole steps-4–6 turn: an empty covering set
+    /// always takes the exact path (`N^Q = 0 < N_min`, since `N_min ≥ 1`)
+    /// and scans zero clusters, so only the release noise remains.
+    pub(crate) fn empty_outcome(
+        &self,
+        query: &RangeQuery,
+        budget: &QueryBudget,
+        release_local: bool,
+        rng: &mut StdRng,
+    ) -> LocalOutcome {
+        self.exact_outcome(query, 0.0, 0, budget, release_local, rng)
+    }
+}
+
 /// One data provider of the federation.
 #[derive(Debug)]
 pub struct DataProvider {
@@ -191,24 +296,20 @@ impl DataProvider {
         eps_o: f64,
         rng: &mut StdRng,
     ) -> Result<ProviderSummary> {
-        if !(eps_o.is_finite() && eps_o > 0.0) {
-            return Err(CoreError::BadConfig("summary budget must be positive"));
+        self.shadow().summary(query, prep, eps_o, rng)
+    }
+
+    /// This provider's [`ProviderShadow`] — the public protocol scalars
+    /// the engine needs to answer a pruned turn without the provider.
+    pub(crate) fn shadow(&self) -> ProviderShadow {
+        ProviderShadow {
+            id: self.id,
+            n_min: self.n_min,
+            regime: self.regime,
+            agreed_s: self.meta.agreed_s(),
+            arity: self.store.schema().arity(),
+            sum_measure_cap: self.sum_measure_cap,
         }
-        let dr = delta_r_for(
-            self.regime,
-            self.meta.agreed_s(),
-            self.store.schema().arity(),
-            query.dimensionality(),
-        );
-        let d_avg = delta_avg_r(dr, self.n_min);
-        let half = eps_o / 2.0;
-        let noisy_avg_r = prep.avg_r() + laplace_noise(rng, d_avg / half);
-        let noisy_n_q = prep.n_q() as f64 + laplace_noise(rng, 1.0 / half);
-        Ok(ProviderSummary {
-            provider: self.id,
-            noisy_n_q,
-            noisy_avg_r,
-        })
     }
 
     /// Protocol steps 4–6: answer the query locally.
@@ -346,29 +447,14 @@ impl DataProvider {
         rng: &mut StdRng,
     ) -> Result<LocalOutcome> {
         let value = self.store.evaluate_clusters(query, &prep.covering)? as f64;
-        let sensitivity = match query.aggregate() {
-            Aggregate::Count => 1.0,
-            Aggregate::Sum => self.sum_measure_cap as f64,
-        };
-        // The EM budget is unspent on this path; fold it into the release
-        // so the per-query total stays ε_O + ε_S + ε_E.
-        let eps_release = budget.eps_s + budget.eps_e;
-        let released = if release_local {
-            Some(value + laplace_noise(rng, sensitivity / eps_release))
-        } else {
-            None
-        };
-        Ok(LocalOutcome {
-            provider: self.id,
-            released,
-            estimate: value,
-            smooth_ls: sensitivity,
-            // A full covering-set scan has genuinely zero sampling variance.
-            variance: Some(0.0),
-            approximated: false,
-            clusters_scanned: prep.covering.len(),
-            n_covering: prep.covering.len(),
-        })
+        Ok(self.shadow().exact_outcome(
+            query,
+            value,
+            prep.covering.len(),
+            budget,
+            release_local,
+            rng,
+        ))
     }
 
     /// Exact full-partition answer (test oracle / plain baseline).

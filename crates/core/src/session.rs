@@ -294,6 +294,16 @@ impl ConcurrentSession {
     pub fn run_plan(&self, plan: &QueryPlan) -> Result<PlanAnswer> {
         self.submit_plan(plan)?.wait()
     }
+
+    /// `EXPLAIN` through a budgeted session — charges **nothing**. The
+    /// explanation conditions only on the analyst's own plan and on public
+    /// offline metadata (same rationale as validate-before-charge: a
+    /// request that touches no data must not cost budget), so an analyst
+    /// can inspect pruning/dedup/ordering decisions before committing
+    /// their `(ξ, ψ)` to the plan itself.
+    pub fn explain_plan(&self, plan: &QueryPlan) -> Result<crate::optimizer::PlanExplanation> {
+        self.handle.explain_plan(plan)
+    }
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub use plan::{DerivedStatistic, Extreme, QueryPlan};
 pub use query::{Aggregate, QueryBuilder, Range, RangeQuery};
 pub use row::Row;
 pub use schema::Schema;
-pub use sql::{parse_sql, parse_sql_plan, PlanParams, SqlError};
+pub use sql::{parse_sql, parse_sql_plan, parse_sql_statement, PlanParams, SqlError};
 pub use tensor::CountTensor;
 pub use value::Value;
 

@@ -79,6 +79,42 @@ impl Extreme {
 /// `k` point queries (× the statistic's sub-queries when grouped over a
 /// derived aggregate), each under a `1/k` share of the plan's budget by
 /// sequential composition.
+///
+/// A plan is a *self-contained privacy contract*: its
+/// [`total_cost`](QueryPlan::total_cost) is what any budget ledger
+/// charges, up front and atomically, before a single sub-query runs.
+///
+/// ```
+/// use fedaqp_model::{
+///     Aggregate, Dimension, Domain, QueryPlan, Range, RangeQuery, Schema,
+/// };
+///
+/// let schema = Schema::new(vec![
+///     Dimension::new("age", Domain::new(0, 99).unwrap()),
+///     Dimension::new("workclass", Domain::new(0, 7).unwrap()),
+/// ])
+/// .unwrap();
+/// let query = RangeQuery::new(
+///     Aggregate::Count,
+///     vec![Range::new(0, 25, 60).unwrap()],
+/// )
+/// .unwrap();
+///
+/// // A GROUP BY over workclass's 8-value public domain fans out into
+/// // 8 point sub-queries, but declares ONE (ε, δ) for the whole plan.
+/// let plan = QueryPlan::GroupBy {
+///     base: query,
+///     statistic: None,
+///     group_dim: 1,
+///     threshold: 0.0,
+///     sampling_rate: 0.2,
+///     epsilon: 4.0,
+///     delta: 1e-3,
+/// };
+/// assert_eq!(plan.total_cost(), (4.0, 1e-3));
+/// assert_eq!(plan.sub_query_count(&schema).unwrap(), 8);
+/// plan.check_schema(&schema).unwrap();
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryPlan {
     /// A plain private range-aggregate (COUNT/SUM) — one sub-query.

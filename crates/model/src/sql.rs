@@ -410,6 +410,8 @@ struct Statement {
     agg: SqlAgg,
     ranges: Vec<Range>,
     group_dim: Option<usize>,
+    /// A leading `EXPLAIN` keyword: describe the plan instead of running it.
+    explain: bool,
 }
 
 fn parse_statement(schema: &Schema, input: &str) -> Result<Statement, SqlError> {
@@ -420,6 +422,10 @@ fn parse_statement(schema: &Schema, input: &str) -> Result<Statement, SqlError> 
         schema,
         input_len: input.len(),
     };
+    let explain = p.keyword_is("explain");
+    if explain {
+        p.bump();
+    }
     p.expect_keyword("select")?;
     let agg = p.parse_aggregate()?;
     p.expect_keyword("from")?;
@@ -441,6 +447,7 @@ fn parse_statement(schema: &Schema, input: &str) -> Result<Statement, SqlError> 
             agg,
             ranges: Vec::new(),
             group_dim: None,
+            explain,
         });
     }
     p.expect_keyword("where")?;
@@ -484,6 +491,7 @@ fn parse_statement(schema: &Schema, input: &str) -> Result<Statement, SqlError> 
         agg,
         ranges,
         group_dim,
+        explain,
     })
 }
 
@@ -500,6 +508,13 @@ fn build_query(agg: Aggregate, ranges: Vec<Range>, input: &str) -> Result<RangeQ
 /// here — parse those with [`parse_sql_plan`].
 pub fn parse_sql(schema: &Schema, input: &str) -> Result<RangeQuery, SqlError> {
     let st = parse_statement(schema, input)?;
+    if st.explain {
+        return Err(SqlError {
+            message: "EXPLAIN compiles to a plan description; parse it with parse_sql_statement"
+                .into(),
+            position: 0,
+        });
+    }
     let reject = |what: &str| {
         Err(SqlError {
             message: format!("{what} compiles to a QueryPlan; parse it with parse_sql_plan"),
@@ -547,12 +562,53 @@ impl Default for PlanParams {
 /// `SELECT AVG(Measure)…` becomes [`QueryPlan::Derived`], a `GROUP BY`
 /// clause wraps either into [`QueryPlan::GroupBy`], and
 /// `SELECT MIN(dim) FROM T` becomes [`QueryPlan::Extreme`].
+///
+/// ```
+/// use fedaqp_model::{parse_sql_plan, Dimension, Domain, PlanParams, QueryPlan, Schema};
+///
+/// let schema = Schema::new(vec![
+///     Dimension::new("age", Domain::new(0, 99).unwrap()),
+///     Dimension::new("workclass", Domain::new(0, 7).unwrap()),
+/// ])
+/// .unwrap();
+/// let plan = parse_sql_plan(
+///     &schema,
+///     "SELECT AVG(Measure) FROM T WHERE 25 <= age <= 60 GROUP BY workclass",
+///     &PlanParams { sampling_rate: 0.2, epsilon: 4.0, delta: 1e-3, threshold: 0.0 },
+/// )
+/// .unwrap();
+/// assert!(matches!(plan, QueryPlan::GroupBy { group_dim: 1, .. }));
+/// assert_eq!(plan.total_cost(), (4.0, 1e-3));
+/// ```
 pub fn parse_sql_plan(
     schema: &Schema,
     input: &str,
     params: &PlanParams,
 ) -> Result<QueryPlan, SqlError> {
+    let (plan, explain) = parse_sql_statement(schema, input, params)?;
+    if explain {
+        return Err(SqlError {
+            message: "EXPLAIN statements describe a plan instead of running it; parse them with \
+                      parse_sql_statement and route the flag to EngineHandle::explain_plan"
+                .into(),
+            position: 0,
+        });
+    }
+    Ok(plan)
+}
+
+/// Parses any supported SQL statement — including a leading `EXPLAIN` —
+/// into a [`QueryPlan`] plus an *explain* flag. `EXPLAIN SELECT …` parses
+/// the same plan as `SELECT …`; the caller routes the flag to the
+/// engine's `explain_plan` (describe, don't execute, charge nothing)
+/// instead of `run_plan`.
+pub fn parse_sql_statement(
+    schema: &Schema,
+    input: &str,
+    params: &PlanParams,
+) -> Result<(QueryPlan, bool), SqlError> {
     let st = parse_statement(schema, input)?;
+    let explain = st.explain;
     let plan = match (st.agg, st.group_dim) {
         (SqlAgg::Scalar(agg), None) => QueryPlan::Scalar {
             query: build_query(agg, st.ranges, input)?,
@@ -593,7 +649,7 @@ pub fn parse_sql_plan(
             epsilon: params.epsilon,
         },
     };
-    Ok(plan)
+    Ok((plan, explain))
 }
 
 #[cfg(test)]
@@ -663,6 +719,30 @@ mod tests {
         let s = schema();
         let q = parse_sql(&s, "SELECT COUNT(*) FROM T WHERE age >= 25 AND age <= 55").unwrap();
         assert_eq!(q.ranges(), &[Range::new(0, 25, 55).unwrap()]);
+    }
+
+    #[test]
+    fn explain_prefix_parses_the_same_plan_and_sets_the_flag() {
+        let s = schema();
+        let params = PlanParams::default();
+        let sql = "SELECT AVG(Measure) FROM T WHERE 20 <= age <= 40 GROUP BY edu";
+        let (plain, explain) = parse_sql_statement(&s, sql, &params).unwrap();
+        assert!(!explain);
+        let (explained, explain) =
+            parse_sql_statement(&s, &format!("EXPLAIN {sql}"), &params).unwrap();
+        assert!(explain);
+        assert_eq!(format!("{plain:?}"), format!("{explained:?}"));
+        // Case-insensitive, like every other keyword.
+        let (_, explain) = parse_sql_statement(&s, &format!("explain {sql}"), &params).unwrap();
+        assert!(explain);
+        // The run-only entry points refuse EXPLAIN instead of silently
+        // executing it.
+        let err = parse_sql_plan(&s, &format!("EXPLAIN {sql}"), &params).unwrap_err();
+        assert!(err.message.contains("EXPLAIN"));
+        let err = parse_sql(&s, "EXPLAIN SELECT COUNT(*) FROM T WHERE age >= 30").unwrap_err();
+        assert!(err.message.contains("EXPLAIN"));
+        // EXPLAIN still validates: a broken statement is a parse error.
+        assert!(parse_sql_statement(&s, "EXPLAIN SELECT nope", &params).is_err());
     }
 
     #[test]

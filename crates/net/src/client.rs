@@ -15,14 +15,16 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use fedaqp_core::{
-    EstimatorCalibration, PhaseTimings, PlanAnswer, PlanGroup, PlanResult, QueryBatch, QueryPlan,
+    EstimatorCalibration, PhaseTimings, PlanAnswer, PlanExplanation, PlanGroup, PlanResult,
+    QueryBatch, QueryPlan,
 };
 use fedaqp_dp::PrivacyCost;
 use fedaqp_model::{Dimension, Domain, RangeQuery, Schema};
 
 use crate::wire::{
     calibration_from_code, read_frame, write_frame_at, Answer, BatchRequest, BudgetStatus,
-    ErrorCode, Frame, Hello, PlanAnswerFrame, PlanRequest, QueryRequest, WirePlanResult, VERSION,
+    ErrorCode, ExplainRequest, Frame, Hello, PlanAnswerFrame, PlanRequest, QueryRequest,
+    WirePlanResult, VERSION,
 };
 use crate::{NetError, Result};
 
@@ -99,6 +101,7 @@ pub struct RemoteFederation {
 enum Reply {
     Answer(Answer),
     Plan(PlanAnswerFrame),
+    Explain(PlanExplanation),
 }
 
 fn plan_answer_from_wire(frame: PlanAnswerFrame) -> PlanAnswer {
@@ -320,6 +323,32 @@ impl RemoteFederation {
         self.submit_plan(plan)?.wait()
     }
 
+    /// Asks the server what its optimizer would decide about `plan`
+    /// without running it — the remote mirror of
+    /// `EngineHandle::explain_plan`. Nothing executes and no budget is
+    /// charged, on either side.
+    ///
+    /// Needs a v3 connection; against an older server this fails with
+    /// [`NetError::UnsupportedVersion`] carrying both versions.
+    pub fn explain_plan(&mut self, plan: &QueryPlan) -> Result<PlanExplanation> {
+        if self.version < 3 {
+            return Err(NetError::UnsupportedVersion {
+                requested: 3,
+                supported: self.version,
+            });
+        }
+        self.drain_outstanding()?;
+        write_frame_at(
+            &mut self.stream,
+            &Frame::Explain(ExplainRequest { plan: plan.clone() }),
+            self.version,
+        )?;
+        match self.read_reply_any()? {
+            Reply::Explain(explanation) => Ok(explanation),
+            _ => Err(NetError::Malformed("expected ExplainAnswer")),
+        }
+    }
+
     /// Sends a whole batch in one frame and collects the per-query
     /// results in submission order. The outer error is connection-level;
     /// inner errors are per-query (e.g. a typed budget rejection).
@@ -371,6 +400,7 @@ impl RemoteFederation {
         match read_frame(&mut self.stream)? {
             Frame::Answer(answer) => Ok(Reply::Answer(answer)),
             Frame::PlanAnswer(answer) => Ok(Reply::Plan(answer)),
+            Frame::ExplainAnswer(answer) => Ok(Reply::Explain(answer.explanation)),
             Frame::Error(e) => Err(NetError::Remote {
                 code: e.code,
                 message: e.message,
@@ -382,14 +412,16 @@ impl RemoteFederation {
     fn read_reply(&mut self) -> Result<RemoteAnswer> {
         match self.read_reply_any()? {
             Reply::Answer(answer) => Ok(RemoteAnswer::from_wire(answer)),
-            Reply::Plan(_) => Err(NetError::Malformed("expected Answer, got PlanAnswer")),
+            _ => Err(NetError::Malformed("expected Answer, got another reply")),
         }
     }
 
     fn read_plan_reply(&mut self) -> Result<PlanAnswer> {
         match self.read_reply_any()? {
             Reply::Plan(answer) => Ok(plan_answer_from_wire(answer)),
-            Reply::Answer(_) => Err(NetError::Malformed("expected PlanAnswer, got Answer")),
+            _ => Err(NetError::Malformed(
+                "expected PlanAnswer, got another reply",
+            )),
         }
     }
 }

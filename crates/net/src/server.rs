@@ -38,8 +38,8 @@ use fedaqp_dp::{BudgetDirectory, DpError};
 
 use crate::wire::{
     calibration_code, read_frame_versioned, write_frame_at, Answer, BudgetStatus, ErrorCode,
-    ErrorFrame, Frame, HelloAck, PlanAnswerFrame, QueryRequest, WireDimension, WireGroup,
-    WirePlanResult, VERSION,
+    ErrorFrame, ExplainAnswerFrame, Frame, HelloAck, PlanAnswerFrame, QueryRequest, WireDimension,
+    WireGroup, WirePlanResult, VERSION,
 };
 use crate::{NetError, Result};
 
@@ -176,7 +176,8 @@ fn unsupported_version_reply(requested: u16) -> Frame {
 /// The connection speaks the version negotiated at the handshake:
 /// `min(client's Hello header version, VERSION)`. Every reply is encoded
 /// at that version, so a v1 client sees byte-identical v1 frames while a
-/// v2 client may additionally submit plans.
+/// v2 client may additionally submit plans and a v3 client may ask for
+/// plan explanations.
 fn serve_connection(
     mut stream: TcpStream,
     handle: EngineHandle,
@@ -299,6 +300,35 @@ fn serve_connection(
                         answered += 1;
                         plan_answer_frame(0, &answer)
                     }
+                    Err(e) => core_error_reply(0, &e),
+                };
+                write_frame_at(&mut stream, &reply, version)?;
+            }
+            Ok(Frame::Explain(request)) => {
+                // Same guard as plans: the reply frame exists only from
+                // v3, so a connection negotiated below that gets a typed
+                // rejection instead of an encode failure.
+                if version < 3 {
+                    write_frame_at(
+                        &mut stream,
+                        &error_reply(
+                            0,
+                            ErrorCode::BadRequest,
+                            "explain frames need a v3-negotiated connection (reconnect with a v3 Hello)",
+                        ),
+                        version,
+                    )?;
+                    continue;
+                }
+                // Explaining runs nothing and charges no budget — the
+                // explanation is a pure function of the plan and the
+                // public offline metadata, so it bypasses the session
+                // ledger entirely (and `answered` stays put).
+                let reply = match handle.explain_plan(&request.plan) {
+                    Ok(explanation) => Frame::ExplainAnswer(ExplainAnswerFrame {
+                        index: 0,
+                        explanation,
+                    }),
                     Err(e) => core_error_reply(0, &e),
                 };
                 write_frame_at(&mut stream, &reply, version)?;

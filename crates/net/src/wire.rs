@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic   u32  = 0x4651_4E50  ("FQNP")
-//! version u16  (1 or 2; see below)
+//! version u16  (1, 2 or 3; see below)
 //! kind    u8
 //! len     u32  (payload bytes; hard-capped at MAX_PAYLOAD)
 //! payload [len bytes]
@@ -24,8 +24,10 @@
 //! [`HelloAck::max_version`] (a field that only exists on the wire from
 //! v2 — a v1 `HelloAck` payload is byte-identical to what a v1 server
 //! sent). v2 adds the plan frames ([`Frame::Plan`] / [`Frame::PlanAnswer`]);
-//! every v1 frame kind is unchanged, so v1 clients work against a v2
-//! server verbatim. A header with a version outside the supported range
+//! v3 adds the explain frames ([`Frame::Explain`] /
+//! [`Frame::ExplainAnswer`]). Each version leaves every earlier frame
+//! kind byte-identical, so v1 and v2 clients work against a v3 server
+//! verbatim. A header with a version outside the supported range
 //! fails with [`NetError::UnsupportedVersion`] *before* any payload is
 //! read — servers answer it with a typed
 //! [`ErrorCode::UnsupportedVersion`] frame (whose `index` field carries
@@ -44,6 +46,11 @@
 //!   submission order.
 //! * [`Frame::Plan`] (v2) submits one [`QueryPlan`]; the server replies
 //!   with one [`Frame::PlanAnswer`] or [`Frame::Error`].
+//! * [`Frame::Explain`] (v3) asks what the optimizer would decide about a
+//!   [`QueryPlan`] *without running it*; the server replies with one
+//!   [`Frame::ExplainAnswer`] (carrying a [`PlanExplanation`]) or
+//!   [`Frame::Error`]. Explaining charges no budget — the explanation is
+//!   computed from the plan and public offline metadata only.
 //! * [`Frame::BudgetRequest`] asks for the session ledger; the server
 //!   replies with [`Frame::BudgetStatus`].
 //!
@@ -56,7 +63,7 @@
 use std::io::{Read, Write};
 
 use bytes::{Buf, BufMut, BytesMut};
-use fedaqp_core::EstimatorCalibration;
+use fedaqp_core::{EstimatorCalibration, OptimizerConfig, PlanExplanation, SubQueryExplanation};
 use fedaqp_model::{Aggregate, DerivedStatistic, Extreme, QueryPlan, Range, RangeQuery};
 use fedaqp_storage::declared_len_fits;
 
@@ -66,7 +73,7 @@ use crate::{NetError, Result};
 pub const MAGIC: u32 = 0x4651_4E50;
 /// Highest wire-protocol version this build speaks (and the version the
 /// client stamps its frames with).
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
 /// Lowest wire-protocol version this build still accepts.
 pub const MIN_VERSION: u16 = 1;
 /// Hard cap on a frame payload. Nothing legitimate comes close (the
@@ -86,6 +93,10 @@ const MAX_ALLOCATIONS: usize = 4096;
 /// Cap on groups in a plan answer — matches the engine's default
 /// group-domain cap (`FederationConfig::max_group_domain`).
 const MAX_GROUPS: usize = 4096;
+/// Cap on sub-queries in an explanation: a maximal group-by with a
+/// derived statistic fans out to three sub-queries per key plus the
+/// shared base probe.
+const MAX_SUBQUERIES: usize = 3 * MAX_GROUPS + 1;
 
 const KIND_HELLO: u8 = 1;
 const KIND_HELLO_ACK: u8 = 2;
@@ -97,6 +108,8 @@ const KIND_BUDGET_REQUEST: u8 = 7;
 const KIND_BUDGET_STATUS: u8 = 8;
 const KIND_PLAN: u8 = 9;
 const KIND_PLAN_ANSWER: u8 = 10;
+const KIND_EXPLAIN: u8 = 11;
+const KIND_EXPLAIN_ANSWER: u8 = 12;
 
 /// A connection-opening frame: the analyst declares an identity the
 /// server keys budget ledgers by.
@@ -343,6 +356,23 @@ pub struct PlanAnswerFrame {
     pub network_us: u64,
 }
 
+/// One explain request (client → server, v3): what would the optimizer
+/// decide about this plan? Nothing runs and no budget is charged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRequest {
+    /// The plan to explain, complete with sampling rate and `(ε, δ)`.
+    pub plan: QueryPlan,
+}
+
+/// The explanation of one plan (server → client, v3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainAnswerFrame {
+    /// Position within the submitted stream (0 for a lone request).
+    pub index: u32,
+    /// The optimizer's structured decisions for the plan.
+    pub explanation: PlanExplanation,
+}
+
 /// Every message of the wire protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -366,6 +396,10 @@ pub enum Frame {
     Plan(PlanRequest),
     /// One plan answer (server → client; v2).
     PlanAnswer(PlanAnswerFrame),
+    /// One explain request (client → server; v3).
+    Explain(ExplainRequest),
+    /// One explain answer (server → client; v3).
+    ExplainAnswer(ExplainAnswerFrame),
 }
 
 /// Wire code of an [`EstimatorCalibration`] (`0` = EM, `1` = PPS).
@@ -554,6 +588,40 @@ fn put_plan_answer(buf: &mut BytesMut, frame: &PlanAnswerFrame) -> Result<()> {
     Ok(())
 }
 
+fn put_explanation(buf: &mut BytesMut, expl: &PlanExplanation) -> Result<()> {
+    put_string(buf, &expl.plan_kind)?;
+    buf.put_u64_le(expl.n_providers);
+    buf.put_u8(u8::from(expl.optimizer.prune_providers));
+    buf.put_u8(u8::from(expl.optimizer.dedup_subqueries));
+    buf.put_u8(u8::from(expl.optimizer.reorder_subqueries));
+    buf.put_f64_le(expl.eps);
+    buf.put_f64_le(expl.delta);
+    if expl.sub_queries.len() > MAX_SUBQUERIES {
+        return Err(NetError::Malformed("too many explained sub-queries"));
+    }
+    buf.put_u32_le(expl.sub_queries.len() as u32);
+    for s in &expl.sub_queries {
+        put_string(buf, &s.label)?;
+        if s.pruned_providers.len() > MAX_ALLOCATIONS {
+            return Err(NetError::Malformed("too many pruned providers"));
+        }
+        buf.put_u32_le(s.pruned_providers.len() as u32);
+        for &p in &s.pruned_providers {
+            buf.put_u64_le(p);
+        }
+        buf.put_u64_le(s.estimated_cost);
+        match s.reuses {
+            Some(i) => {
+                buf.put_u8(1);
+                buf.put_u64_le(i);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64_le(s.order);
+    }
+    Ok(())
+}
+
 fn encode_payload(frame: &Frame, version: u16) -> Result<(u8, BytesMut)> {
     let mut buf = BytesMut::with_capacity(64);
     let kind = match frame {
@@ -656,6 +724,21 @@ fn encode_payload(frame: &Frame, version: u16) -> Result<(u8, BytesMut)> {
             }
             put_plan_answer(&mut buf, a)?;
             KIND_PLAN_ANSWER
+        }
+        Frame::Explain(e) => {
+            if version < 3 {
+                return Err(NetError::Malformed("explain frames need protocol v3"));
+            }
+            put_plan(&mut buf, &e.plan)?;
+            KIND_EXPLAIN
+        }
+        Frame::ExplainAnswer(a) => {
+            if version < 3 {
+                return Err(NetError::Malformed("explain frames need protocol v3"));
+            }
+            buf.put_u32_le(a.index);
+            put_explanation(&mut buf, &a.explanation)?;
+            KIND_EXPLAIN_ANSWER
         }
     };
     if buf.len() > MAX_PAYLOAD as usize {
@@ -885,6 +968,74 @@ fn get_plan_answer(data: &mut &[u8]) -> Result<PlanAnswerFrame> {
     })
 }
 
+fn get_bool(data: &mut &[u8], what: &'static str) -> Result<bool> {
+    need(data, 1, what)?;
+    match data.get_u8() {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(NetError::Malformed("bad boolean tag")),
+    }
+}
+
+fn get_explanation(data: &mut &[u8]) -> Result<PlanExplanation> {
+    let plan_kind = get_string(data)?;
+    need(data, 8, "provider count truncated")?;
+    let n_providers = data.get_u64_le();
+    let optimizer = OptimizerConfig {
+        prune_providers: get_bool(data, "optimizer flags truncated")?,
+        dedup_subqueries: get_bool(data, "optimizer flags truncated")?,
+        reorder_subqueries: get_bool(data, "optimizer flags truncated")?,
+    };
+    need(data, 8 + 8 + 4, "explanation header truncated")?;
+    let eps = data.get_f64_le();
+    let delta = data.get_f64_le();
+    let n_subs = data.get_u32_le() as usize;
+    // Each sub-query costs at least label len + pruned count + cost +
+    // reuse tag + order.
+    if n_subs > MAX_SUBQUERIES || !declared_len_fits(n_subs, 2 + 4 + 8 + 1 + 8, data.remaining()) {
+        return Err(NetError::Malformed("declared sub-query count too large"));
+    }
+    let mut sub_queries = Vec::with_capacity(n_subs);
+    for _ in 0..n_subs {
+        let label = get_string(data)?;
+        need(data, 4, "pruned count truncated")?;
+        let n_pruned = data.get_u32_le() as usize;
+        if n_pruned > MAX_ALLOCATIONS || !declared_len_fits(n_pruned, 8, data.remaining()) {
+            return Err(NetError::Malformed("declared pruned count too large"));
+        }
+        let mut pruned_providers = Vec::with_capacity(n_pruned);
+        for _ in 0..n_pruned {
+            pruned_providers.push(data.get_u64_le());
+        }
+        need(data, 8 + 1, "sub-query tail truncated")?;
+        let estimated_cost = data.get_u64_le();
+        let reuses = match data.get_u8() {
+            0 => None,
+            1 => {
+                need(data, 8, "reuse index truncated")?;
+                Some(data.get_u64_le())
+            }
+            _ => return Err(NetError::Malformed("bad reuse tag")),
+        };
+        need(data, 8, "sub-query order truncated")?;
+        sub_queries.push(SubQueryExplanation {
+            label,
+            pruned_providers,
+            estimated_cost,
+            reuses,
+            order: data.get_u64_le(),
+        });
+    }
+    Ok(PlanExplanation {
+        plan_kind,
+        n_providers,
+        optimizer,
+        eps,
+        delta,
+        sub_queries,
+    })
+}
+
 fn decode_payload(kind: u8, mut data: &[u8], version: u16) -> Result<Frame> {
     let frame = match kind {
         KIND_HELLO => Frame::Hello(Hello {
@@ -1003,6 +1154,20 @@ fn decode_payload(kind: u8, mut data: &[u8], version: u16) -> Result<Frame> {
         KIND_PLAN_ANSWER if version >= 2 => Frame::PlanAnswer(get_plan_answer(&mut data)?),
         KIND_PLAN | KIND_PLAN_ANSWER => {
             return Err(NetError::Malformed("plan frames need protocol v2"))
+        }
+        KIND_EXPLAIN if version >= 3 => Frame::Explain(ExplainRequest {
+            plan: get_plan(&mut data)?,
+        }),
+        KIND_EXPLAIN_ANSWER if version >= 3 => {
+            need(data, 4, "explain answer header truncated")?;
+            let index = data.get_u32_le();
+            Frame::ExplainAnswer(ExplainAnswerFrame {
+                index,
+                explanation: get_explanation(&mut data)?,
+            })
+        }
+        KIND_EXPLAIN | KIND_EXPLAIN_ANSWER => {
+            return Err(NetError::Malformed("explain frames need protocol v3"))
         }
         KIND_BUDGET_REQUEST => Frame::BudgetRequest,
         KIND_BUDGET_STATUS => {
@@ -1218,7 +1383,50 @@ mod tests {
                 release_us: 9,
                 network_us: 100_500,
             }),
+            Frame::Explain(ExplainRequest {
+                plan: QueryPlan::Derived {
+                    query: query(10, 60),
+                    statistic: DerivedStatistic::Variance,
+                    sampling_rate: 0.2,
+                    epsilon: 3.0,
+                    delta: 1e-3,
+                },
+            }),
+            Frame::ExplainAnswer(ExplainAnswerFrame {
+                index: 4,
+                explanation: sample_explanation(),
+            }),
         ]
+    }
+
+    fn sample_explanation() -> PlanExplanation {
+        PlanExplanation {
+            plan_kind: "derived".into(),
+            n_providers: 4,
+            optimizer: OptimizerConfig {
+                prune_providers: true,
+                dedup_subqueries: true,
+                reorder_subqueries: false,
+            },
+            eps: 3.0,
+            delta: 1e-3,
+            sub_queries: vec![
+                SubQueryExplanation {
+                    label: "count".into(),
+                    pruned_providers: vec![1, 3],
+                    estimated_cost: 12,
+                    reuses: None,
+                    order: 0,
+                },
+                SubQueryExplanation {
+                    label: "second-moment".into(),
+                    pruned_providers: vec![],
+                    estimated_cost: 12,
+                    reuses: Some(0),
+                    order: 1,
+                },
+            ],
+        }
     }
 
     fn round_trip(frame: &Frame) -> Frame {
@@ -1420,9 +1628,12 @@ mod tests {
     fn v1_frames_round_trip_at_v1_unchanged() {
         // Every v1 frame kind must encode/decode at version 1 byte-for-
         // byte as before — this is what keeps v1 clients working against
-        // the v2 server.
+        // newer servers.
         for frame in all_frames() {
-            if matches!(frame, Frame::Plan(_) | Frame::PlanAnswer(_)) {
+            if matches!(
+                frame,
+                Frame::Plan(_) | Frame::PlanAnswer(_) | Frame::Explain(_) | Frame::ExplainAnswer(_)
+            ) {
                 continue;
             }
             let expected = match &frame {
@@ -1471,6 +1682,78 @@ mod tests {
                 requested: 9,
                 supported: VERSION,
             })
+        ));
+    }
+
+    #[test]
+    fn v2_frames_round_trip_at_v2_unchanged() {
+        // Every v2 frame kind must encode/decode at version 2 exactly as
+        // a v2 build did — this is what keeps v2 clients working against
+        // the v3 server.
+        for frame in all_frames() {
+            if matches!(frame, Frame::Explain(_) | Frame::ExplainAnswer(_)) {
+                continue;
+            }
+            let bytes = encode_frame_at(&frame, 2).unwrap();
+            assert_eq!(bytes[4], 2, "header version");
+            let mut slice: &[u8] = &bytes;
+            let (decoded, version) = read_frame_versioned(&mut slice).unwrap();
+            assert!(!slice.has_remaining());
+            assert_eq!(version, 2);
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn explain_frames_are_v3_only() {
+        let explain = Frame::Explain(ExplainRequest {
+            plan: QueryPlan::Extreme {
+                dim: 0,
+                extreme: Extreme::Min,
+                epsilon: 1.0,
+            },
+        });
+        let answer = Frame::ExplainAnswer(ExplainAnswerFrame {
+            index: 0,
+            explanation: sample_explanation(),
+        });
+        for frame in [&explain, &answer] {
+            for version in [1, 2] {
+                assert!(matches!(
+                    encode_frame_at(frame, version),
+                    Err(NetError::Malformed("explain frames need protocol v3"))
+                ));
+            }
+            // A v2 header smuggling an explain kind is rejected at decode.
+            let mut bytes = encode_frame(frame).unwrap();
+            bytes[4..6].copy_from_slice(&2u16.to_le_bytes());
+            assert!(matches!(
+                read_frame(&mut &bytes[..]),
+                Err(NetError::Malformed("explain frames need protocol v3"))
+            ));
+        }
+    }
+
+    #[test]
+    fn absurd_subquery_counts_are_rejected() {
+        // An explain answer claiming u32::MAX sub-queries over a tiny body.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u16_le(VERSION);
+        bytes.put_u8(KIND_EXPLAIN_ANSWER);
+        bytes.put_u32_le(4 + 2 + 8 + 3 + 8 + 8 + 4);
+        bytes.put_u32_le(0); // index
+        bytes.put_u16_le(0); // plan kind: ""
+        bytes.put_u64_le(4); // n_providers
+        bytes.put_u8(1);
+        bytes.put_u8(1);
+        bytes.put_u8(1);
+        bytes.put_f64_le(1.0); // eps
+        bytes.put_f64_le(0.0); // delta
+        bytes.put_u32_le(u32::MAX);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("declared sub-query count too large"))
         ));
     }
 
@@ -1748,6 +2031,77 @@ mod proptests {
                 },
             )
             .boxed();
+        let explain = (
+            arb_query(),
+            (0.001f64..100.0, 0.0f64..0.1),
+            prop_oneof![Just(Extreme::Min), Just(Extreme::Max)],
+            0u32..256,
+            any::<bool>(),
+        )
+            .prop_map(|(spec, (epsilon, delta), extreme, dim, scalar)| {
+                let plan = if scalar {
+                    QueryPlan::Scalar {
+                        query: spec.query,
+                        sampling_rate: spec.sampling_rate,
+                        epsilon,
+                        delta,
+                    }
+                } else {
+                    QueryPlan::Extreme {
+                        dim: dim as usize,
+                        extreme,
+                        epsilon,
+                    }
+                };
+                Frame::Explain(ExplainRequest { plan })
+            })
+            .boxed();
+        let explain_answer = (
+            (any::<u32>(), arb_name(), 0u64..64),
+            (any::<bool>(), any::<bool>(), any::<bool>()),
+            (0.0f64..100.0, 0.0f64..0.1),
+            proptest::collection::vec(
+                (
+                    arb_name(),
+                    proptest::collection::vec(any::<u64>(), 0..6),
+                    any::<u64>(),
+                    (any::<bool>(), any::<u64>()),
+                    any::<u64>(),
+                ),
+                0..6,
+            ),
+        )
+            .prop_map(
+                |((index, plan_kind, n_providers), (prune, dedup, reorder), (eps, delta), subs)| {
+                    Frame::ExplainAnswer(ExplainAnswerFrame {
+                        index,
+                        explanation: PlanExplanation {
+                            plan_kind,
+                            n_providers,
+                            optimizer: OptimizerConfig {
+                                prune_providers: prune,
+                                dedup_subqueries: dedup,
+                                reorder_subqueries: reorder,
+                            },
+                            eps,
+                            delta,
+                            sub_queries: subs
+                                .into_iter()
+                                .map(|(label, pruned_providers, cost, (reused, at), order)| {
+                                    SubQueryExplanation {
+                                        label,
+                                        pruned_providers,
+                                        estimated_cost: cost,
+                                        reuses: reused.then_some(at),
+                                        order,
+                                    }
+                                })
+                                .collect(),
+                        },
+                    })
+                },
+            )
+            .boxed();
         let budget_req = Just(Frame::BudgetRequest).boxed();
         let budget_status = (
             any::<bool>(),
@@ -1777,7 +2131,9 @@ mod proptests {
             budget_req,
             budget_status,
             plan,
-            plan_answer
+            plan_answer,
+            explain,
+            explain_answer
         ]
         .boxed()
     }

@@ -397,7 +397,7 @@ fn remote_plans_are_byte_identical_to_in_process() {
     let addr = server.local_addr().to_string();
 
     let mut client = RemoteFederation::connect(&addr).unwrap();
-    assert_eq!(client.protocol_version(), 2);
+    assert_eq!(client.protocol_version(), 3);
     let remote: Vec<_> = mixed_plans()
         .iter()
         .map(|plan| client.run_plan(plan).unwrap())
@@ -426,6 +426,46 @@ fn remote_plans_are_byte_identical_to_in_process() {
         other => panic!("expected groups, got {other:?}"),
     }
     assert!(!groups.is_empty());
+
+    drop(client);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// EXPLAIN over the wire: the remote explanation is identical to the one
+/// the in-process engine computes, asking for it charges nothing to a
+/// session-capped analyst, and the explained plan still runs afterwards.
+#[test]
+fn remote_explain_matches_in_process_and_charges_nothing() {
+    let engine = FederationEngine::start(plan_federation(1.0));
+    let server = FederationServer::bind(
+        "127.0.0.1:0",
+        engine.handle(),
+        ServeOptions::with_budget(5.0, 1e-2),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut client = RemoteFederation::connect_as(&addr, "erin").unwrap();
+    for plan in mixed_plans() {
+        let remote = client.explain_plan(&plan).unwrap();
+        let local = plan_federation(1.0).with_engine(|engine| engine.explain_plan(&plan).unwrap());
+        assert_eq!(remote, local, "explanations must agree across the wire");
+    }
+    let status = client.budget_status().unwrap();
+    assert_eq!(status.spent_eps, 0.0, "explaining must charge nothing");
+    assert_eq!(status.queries_answered, 0);
+
+    // The explained plan still runs on the same connection.
+    let answer = client
+        .run_plan(&QueryPlan::Scalar {
+            query: count_query(100, 800),
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+        })
+        .unwrap();
+    assert!(answer.value().unwrap().is_finite());
 
     drop(client);
     server.shutdown();
@@ -604,6 +644,66 @@ fn plans_on_a_v1_connection_are_rejected_without_charging() {
         }
         other => panic!("expected BudgetStatus, got {other:?}"),
     }
+
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// A v3 explain frame smuggled onto a v2-negotiated connection is
+/// rejected with a typed error and the connection keeps working — the
+/// same guarantee the plan frames give v1 connections.
+#[test]
+fn explains_on_a_v2_connection_are_rejected_cleanly() {
+    use fedaqp_net::wire::{
+        read_frame_versioned, write_frame, write_frame_at, ExplainRequest, Frame, Hello,
+    };
+
+    let engine = FederationEngine::start(federation(1.0));
+    let server =
+        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+
+    // Handshake at v2: the connection negotiates version 2.
+    write_frame_at(
+        &mut stream,
+        &Frame::Hello(Hello {
+            analyst: "sneaky".into(),
+        }),
+        2,
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame_versioned(&mut stream).unwrap(),
+        (Frame::HelloAck(_), 2)
+    ));
+
+    // Now send a v3 explain frame anyway.
+    write_frame(
+        &mut stream,
+        &Frame::Explain(ExplainRequest {
+            plan: QueryPlan::Scalar {
+                query: count_query(100, 800),
+                sampling_rate: 0.2,
+                epsilon: 1.0,
+                delta: 1e-3,
+            },
+        }),
+    )
+    .unwrap();
+    match read_frame_versioned(&mut stream).unwrap() {
+        (Frame::Error(e), 2) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("v3"), "{}", e.message);
+        }
+        other => panic!("expected a typed v2 error, got {other:?}"),
+    }
+    // The connection still answers.
+    write_frame_at(&mut stream, &Frame::BudgetRequest, 2).unwrap();
+    assert!(matches!(
+        read_frame_versioned(&mut stream).unwrap(),
+        (Frame::BudgetStatus(_), 2)
+    ));
 
     drop(stream);
     server.shutdown();
