@@ -66,6 +66,22 @@
 //!   property the serving path exists for; under the slept-WAN model this
 //!   ratio is machine-independent).
 //!
+//! Shard mode (`BENCH_shard.json`):
+//!
+//! ```text
+//! bench_gate --shard <current.json> <baseline.json>
+//!            [--max-regression 0.25] [--min-scaling 1.3]
+//! ```
+//!
+//! Fails (exit 1) when any of
+//! * the 2-shard grid's queries/sec dropped more than `--max-regression`
+//!   below the committed baseline,
+//! * the 2-shard grid no longer reaches `--min-scaling` (default 1.3×)
+//!   the 1-shard grid's qps at equal total providers — the scatter–gather
+//!   coordinator's reason to exist; under the slept-uplink model this
+//!   ratio is machine-independent, or
+//! * the 1-shard qps is not positive (the comparison would be vacuous).
+//!
 //! Attack mode (`BENCH_attack.json`):
 //!
 //! ```text
@@ -233,6 +249,55 @@ fn run_net(
     }
 }
 
+/// The shard-mode gate (see the module docs).
+fn run_shard(
+    current_path: &str,
+    baseline_path: &str,
+    max_regression: f64,
+    min_scaling: f64,
+) -> Result<String, String> {
+    let current =
+        std::fs::read_to_string(current_path).map_err(|e| format!("{current_path}: {e}"))?;
+    let baseline =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let one_qps = json_number(&current, "one_shard_qps")?;
+    let two_qps = json_number(&current, "two_shard_qps")?;
+    let scaling = json_number(&current, "scaling")?;
+    let baseline_qps = json_number(&baseline, "two_shard_qps")?;
+    let qps_floor = (1.0 - max_regression) * baseline_qps;
+    let mut report = format!(
+        "shard gate: two_shard_qps {two_qps:.1} (baseline {baseline_qps:.1}, floor {qps_floor:.1}), \
+         one_shard_qps {one_qps:.1}, scaling {scaling:.2}x (floor {min_scaling:.2}x)\n"
+    );
+    let mut failed = false;
+    if one_qps <= 0.0 {
+        failed = true;
+        report.push_str(
+            "FAIL: the 1-shard grid answered nothing — the scaling comparison is vacuous\n",
+        );
+    }
+    if two_qps < qps_floor {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: 2-shard queries/sec regressed more than {:.0}% below the baseline\n",
+            100.0 * max_regression
+        ));
+    }
+    if scaling < min_scaling {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: the 2-shard grid no longer reaches ≥{min_scaling:.1}x the 1-shard grid \
+             at equal total providers\n"
+        ));
+    }
+    if failed {
+        Err(report)
+    } else {
+        report.push_str("PASS\n");
+        Ok(report)
+    }
+}
+
 /// The attack-mode gate (see the module docs).
 fn run_attack(
     current_path: &str,
@@ -307,6 +372,7 @@ usage: bench_gate [MODE] <current.json> <baseline.json> [FLAGS]
 modes (default: throughput over BENCH_engine.json):
   --accuracy   estimator-quality gate over BENCH_accuracy.json
   --net        remote-serving gate over BENCH_net.json
+  --shard      sharded-coordinator gate over BENCH_shard.json
   --attack     empirical-privacy gate over BENCH_attack.json
 
 throughput flags:
@@ -323,6 +389,10 @@ net flags:
   --max-regression R       allowed net_qps drop vs baseline     [0.25]
   --min-scaling X          8-analyst vs 1-analyst scaling floor [4.0]
 
+shard flags:
+  --max-regression R       allowed two_shard_qps drop vs baseline [0.25]
+  --min-scaling X          2-shard vs 1-shard grid scaling floor  [1.3]
+
 attack flags:
   --attack-band B          allowed |metric - chance|            [0.10]
   --attack-drift D         allowed |metric - baseline|          [0.05]
@@ -337,13 +407,14 @@ fn run(args: &[String]) -> Result<String, String> {
     let mut min_speedup = 2.0_f64;
     let mut min_pruned_speedup = 1.15_f64;
     let mut min_pruned_fraction = 0.5_f64;
-    let mut min_scaling = 4.0_f64;
+    let mut min_scaling: Option<f64> = None;
     let mut pairwise_slack = 1.15_f64;
     let mut attack_band = 0.10_f64;
     let mut attack_drift = 0.05_f64;
     let mut min_ceiling = 0.65_f64;
     let mut accuracy = false;
     let mut net = false;
+    let mut shard = false;
     let mut attack = false;
     let mut i = 0;
     while i < args.len() {
@@ -351,6 +422,7 @@ fn run(args: &[String]) -> Result<String, String> {
             "--help" | "-h" => return Ok(HELP.to_string()),
             "--accuracy" => accuracy = true,
             "--net" => net = true,
+            "--shard" => shard = true,
             "--attack" => attack = true,
             "--attack-band" => {
                 i += 1;
@@ -378,11 +450,12 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             "--min-scaling" => {
                 i += 1;
-                min_scaling = args
-                    .get(i)
-                    .ok_or("--min-scaling needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--min-scaling: {e}"))?;
+                min_scaling = Some(
+                    args.get(i)
+                        .ok_or("--min-scaling needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--min-scaling: {e}"))?,
+                );
             }
             "--max-regression" => {
                 i += 1;
@@ -430,15 +503,28 @@ fn run(args: &[String]) -> Result<String, String> {
     }
     let [current_path, baseline_path] = positional.as_slice() else {
         return Err(format!(
-            "usage: bench_gate [--accuracy | --net | --attack] <current.json> <baseline.json> \
-             [flags]\n\n{HELP}"
+            "usage: bench_gate [--accuracy | --net | --shard | --attack] <current.json> \
+             <baseline.json> [flags]\n\n{HELP}"
         ));
     };
     if accuracy {
         return run_accuracy(current_path, baseline_path, max_regression, pairwise_slack);
     }
     if net {
-        return run_net(current_path, baseline_path, max_regression, min_scaling);
+        return run_net(
+            current_path,
+            baseline_path,
+            max_regression,
+            min_scaling.unwrap_or(4.0),
+        );
+    }
+    if shard {
+        return run_shard(
+            current_path,
+            baseline_path,
+            max_regression,
+            min_scaling.unwrap_or(1.3),
+        );
     }
     if attack {
         return run_attack(
@@ -619,6 +705,7 @@ mod tests {
         for needle in [
             "--accuracy",
             "--net",
+            "--shard",
             "--attack",
             "--min-pruned-speedup",
             "--min-pruned-fraction",
@@ -681,6 +768,61 @@ mod tests {
         assert!(err.contains("no longer scales"), "{err}");
         // ... unless the floor is lowered.
         assert!(run(&args(&["--min-scaling", "2.0"])).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    const SHARD_DOC: &str = r#"{
+  "schema": "fedaqp-bench-shard/v1",
+  "dataset": "adult_synth",
+  "providers": 8,
+  "analysts": 8,
+  "queries": 48,
+  "one_shard_qps": 44.2,
+  "two_shard_qps": 81.6,
+  "scaling": 1.846,
+  "two_shard_p50_ms": 22.4,
+  "two_shard_p95_ms": 30.1
+}"#;
+
+    #[test]
+    fn shard_gate_passes_and_fails() {
+        let dir = std::env::temp_dir().join("fedaqp_shard_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&current, SHARD_DOC).unwrap();
+        std::fs::write(&baseline, SHARD_DOC).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [
+                "--shard",
+                current.to_str().unwrap(),
+                baseline.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .chain(extra.iter().map(|s| s.to_string()))
+            .collect()
+        };
+        // Identical current/baseline passes.
+        assert!(run(&args(&[])).is_ok());
+        // A baseline 10x above the current 2-shard qps fails the band.
+        let fast = SHARD_DOC.replace("\"two_shard_qps\": 81.6", "\"two_shard_qps\": 816.0");
+        std::fs::write(&baseline, fast).unwrap();
+        assert!(run(&args(&[])).unwrap_err().contains("regressed"));
+        assert!(run(&args(&["--max-regression", "0.95"])).is_ok());
+        // Scaling below the 1.3x floor fails.
+        std::fs::write(&baseline, SHARD_DOC).unwrap();
+        let flat = SHARD_DOC.replace("\"scaling\": 1.846", "\"scaling\": 1.05");
+        std::fs::write(&current, flat).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("equal total providers"), "{err}");
+        // ... unless the floor is lowered below the measurement.
+        assert!(run(&args(&["--min-scaling", "1.0"])).is_ok());
+        // A 1-shard grid that answered nothing makes the ratio vacuous.
+        let dead = SHARD_DOC.replace("\"one_shard_qps\": 44.2", "\"one_shard_qps\": 0.0");
+        std::fs::write(&current, dead).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("vacuous"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

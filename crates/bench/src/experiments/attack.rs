@@ -1,5 +1,6 @@
 //! Privacy red-team gate: the §6.6 NBC attack run *over the wire* against
-//! a live loopback [`FederationServer`], as CI's empirical privacy check.
+//! a live loopback [`fedaqp_net::FederationServer`], as CI's empirical
+//! privacy check.
 //!
 //! Unlike `table1` (which replays the paper's serial in-process attack),
 //! this experiment attacks the surface the system actually ships: a TCP
@@ -32,7 +33,7 @@ use fedaqp_attack::{
 use fedaqp_core::{Federation, FederationConfig, FederationEngine};
 use fedaqp_data::{partition_rows, PartitionMode};
 use fedaqp_model::{Aggregate, Dimension, Domain, Row, Schema};
-use fedaqp_net::{FederationServer, ServeOptions};
+use fedaqp_net::{LoopbackServer, ServeOptions};
 use fedaqp_smc::CostModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -211,24 +212,17 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
         for (xi_index, &xi) in XIS.iter().enumerate() {
             // A fresh server per (world, ξ) so every analyst identity's
             // ledger grants exactly the ξ this cell claims to spend.
-            let server = FederationServer::bind(
-                "127.0.0.1:0",
-                engine.handle(),
-                ServeOptions::with_budget(xi, PSI),
-            )
-            .expect("bind loopback server");
-            let addr = server.local_addr().to_string();
+            let server =
+                LoopbackServer::analyst(engine.handle(), ServeOptions::with_budget(xi, PSI))
+                    .expect("bind loopback server");
+            let addr = server.addr();
             let cfg = attack_cfg(xi);
 
-            let single = run_remote_attack(
-                &addr,
-                &format!("red-single-x{xi:.0}-w{world}"),
-                &truth,
-                &cfg,
-            )
-            .expect("single-analyst attack");
+            let single =
+                run_remote_attack(addr, &format!("red-single-x{xi:.0}-w{world}"), &truth, &cfg)
+                    .expect("single-analyst attack");
             let coalition = run_coalition_attack(
-                &addr,
+                addr,
                 &format!("red-coalition-x{xi:.0}-w{world}"),
                 COALITION_K,
                 &truth,

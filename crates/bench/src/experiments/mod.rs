@@ -12,6 +12,7 @@ pub mod fig8;
 pub mod metadata;
 pub mod net;
 pub mod plotting;
+pub mod shard;
 pub mod table1;
 pub mod throughput;
 
@@ -89,6 +90,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "net",
             "remote federation — qps/latency vs #remote analysts over loopback TCP (CI gate)",
             net::run as ExperimentFn,
+        ),
+        (
+            "shard",
+            "sharded coordinator — 2-shard vs 1-shard grid throughput at equal providers (CI gate)",
+            shard::run as ExperimentFn,
         ),
         (
             "attack",

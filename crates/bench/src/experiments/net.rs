@@ -20,7 +20,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use fedaqp_model::Aggregate;
-use fedaqp_net::{FederationServer, RemoteFederation, ServeOptions};
+use fedaqp_net::{LoopbackServer, RemoteFederation, ServeOptions};
 use fedaqp_smc::CostModel;
 
 use crate::report::{fmt_f, percentile, Table};
@@ -69,17 +69,15 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
     let mut headline: Option<Trial> = None;
 
     testbed.federation.with_engine(|engine| {
-        let server =
-            FederationServer::bind("127.0.0.1:0", engine.clone(), ServeOptions::unlimited())
-                .expect("bind loopback server");
-        let addr = server.local_addr().to_string();
+        let server = LoopbackServer::analyst(engine.clone(), ServeOptions::unlimited())
+            .expect("bind loopback server");
 
         for &analysts in &ANALYSTS {
             let latencies = Mutex::new(Vec::with_capacity(queries.len()));
             let t0 = Instant::now();
             std::thread::scope(|scope| {
                 for analyst in 0..analysts {
-                    let addr = &addr;
+                    let addr = server.addr();
                     let queries = &queries;
                     let latencies = &latencies;
                     scope.spawn(move || {

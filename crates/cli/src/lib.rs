@@ -8,6 +8,7 @@ pub mod ops;
 
 pub use manifest::Manifest;
 pub use ops::{
-    batch, generate, inspect, parse_calibration, parse_extreme, parse_stat, query, serve,
-    BatchArgs, GenerateArgs, QueryArgs, RunningServer, ServeArgs,
+    batch, coordinate, generate, inspect, parse_calibration, parse_extreme, parse_shard_slice,
+    parse_stat, query, serve, BatchArgs, CoordinateArgs, GenerateArgs, QueryArgs,
+    RunningCoordinator, RunningServer, ServeArgs,
 };

@@ -11,8 +11,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fedaqp_cli::{
-    batch, generate, inspect, parse_calibration, parse_extreme, parse_stat, query, serve,
-    BatchArgs, GenerateArgs, QueryArgs, ServeArgs,
+    batch, coordinate, generate, inspect, parse_calibration, parse_extreme, parse_shard_slice,
+    parse_stat, query, serve, BatchArgs, CoordinateArgs, GenerateArgs, QueryArgs, ServeArgs,
 };
 use fedaqp_core::EstimatorCalibration;
 
@@ -43,9 +43,22 @@ usage:
                    engine, one line per query)
   fedaqp serve    --data DIR [--listen HOST:PORT] [--epsilon E]
                   [--delta D] [--xi X] [--psi P] [--calibration em|pps]
-                  [--smc]
+                  [--smc] [--shard I/N]
                   (expose the federation to remote analysts over TCP;
-                   --xi caps each analyst identity at a session budget)
+                   --xi caps each analyst identity at a session budget.
+                   --shard I/N serves only provider slice I of N and
+                   speaks the coordinator fragment protocol instead —
+                   analysts then connect to `fedaqp coordinate`, which
+                   holds the single budget ledger, so --xi and --smc do
+                   not combine with --shard)
+  fedaqp coordinate --data DIR --shards ADDR,ADDR,... 
+                  [--listen HOST:PORT] [--epsilon E] [--delta D]
+                  [--xi X] [--psi P] [--calibration em|pps]
+                  (federate `serve --shard` servers behind one analyst
+                   endpoint: plans are charged whole here, fragmented
+                   across the shards, and merged byte-identically to an
+                   unsharded server; DIR supplies the manifest and schema
+                   only — the rows stay with the shards)
 
 calibration: `em` (default) divides each Hansen-Hurwitz draw by its exact
 exponential-mechanism probability (unbiased under the actual sampler);
@@ -200,6 +213,7 @@ fn cmd_serve(args: &[String]) -> Result<fedaqp_cli::RunningServer, String> {
         psi: 1e-2,
         smc: false,
         calibration: EstimatorCalibration::EmCalibrated,
+        shard: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -232,6 +246,7 @@ fn cmd_serve(args: &[String]) -> Result<fedaqp_cli::RunningServer, String> {
                     .map_err(|e| format!("--psi: {e}"))?
             }
             "--smc" => s.smc = true,
+            "--shard" => s.shard = Some(parse_shard_slice(&take_value(args, &mut i, "--shard")?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -240,6 +255,67 @@ fn cmd_serve(args: &[String]) -> Result<fedaqp_cli::RunningServer, String> {
         return Err("--data is required".into());
     }
     serve(&s)
+}
+
+fn cmd_coordinate(args: &[String]) -> Result<fedaqp_cli::RunningCoordinator, String> {
+    let mut c = CoordinateArgs {
+        data: PathBuf::new(),
+        shards: Vec::new(),
+        listen: "127.0.0.1:4750".into(),
+        epsilon: 1.0,
+        delta: 1e-3,
+        xi: None,
+        psi: 1e-2,
+        calibration: EstimatorCalibration::EmCalibrated,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => c.data = PathBuf::from(take_value(args, &mut i, "--data")?),
+            "--shards" => {
+                c.shards = take_value(args, &mut i, "--shards")?
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_owned)
+                    .collect()
+            }
+            "--listen" => c.listen = take_value(args, &mut i, "--listen")?,
+            "--calibration" => {
+                c.calibration = parse_calibration(&take_value(args, &mut i, "--calibration")?)?
+            }
+            "--epsilon" => {
+                c.epsilon = take_value(args, &mut i, "--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
+            }
+            "--delta" => {
+                c.delta = take_value(args, &mut i, "--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?
+            }
+            "--xi" => {
+                c.xi = Some(
+                    take_value(args, &mut i, "--xi")?
+                        .parse()
+                        .map_err(|e| format!("--xi: {e}"))?,
+                )
+            }
+            "--psi" => {
+                c.psi = take_value(args, &mut i, "--psi")?
+                    .parse()
+                    .map_err(|e| format!("--psi: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if c.data.as_os_str().is_empty() {
+        return Err("--data is required".into());
+    }
+    if c.shards.is_empty() {
+        return Err("--shards is required".into());
+    }
+    coordinate(&c)
 }
 
 fn cmd_batch(args: &[String]) -> Result<String, String> {
@@ -336,6 +412,22 @@ fn main() -> ExitCode {
             // — bad data dir, unbindable address, invalid budget — exits
             // non-zero with a one-line message like every other command.
             return match cmd_serve(&args[1..]) {
+                Ok(running) => {
+                    print!("{}", running.banner);
+                    use std::io::Write as _;
+                    std::io::stdout().flush().ok();
+                    running.server.join();
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("coordinate") => {
+            // Like serve: print the banner, then block on the accept loop.
+            return match cmd_coordinate(&args[1..]) {
                 Ok(running) => {
                     print!("{}", running.banner);
                     use std::io::Write as _;

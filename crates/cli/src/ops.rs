@@ -15,7 +15,7 @@ use fedaqp_model::{
     parse_sql, parse_sql_statement, DerivedStatistic, Extreme, PlanParams, QueryPlan, RangeQuery,
     Schema,
 };
-use fedaqp_net::{FederationServer, RemoteFederation, ServeOptions};
+use fedaqp_net::{FederationServer, RemoteFederation, RemoteShard, ServeOptions};
 use fedaqp_storage::{decode_store, encode_store, ClusterStore, PartitionStrategy, ProviderMeta};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -373,19 +373,44 @@ fn render_plan_answer(schema: &Schema, plan: &QueryPlan, answer: &PlanAnswer) ->
     out
 }
 
+/// The contiguous provider slice `(offset, len)` shard `index` of `count`
+/// holds, mirroring the coordinator's split: earlier shards take the
+/// remainder, every provider lands in exactly one shard.
+fn shard_slice(providers: usize, index: usize, count: usize) -> Result<(usize, usize), String> {
+    if count > providers {
+        return Err(format!(
+            "{count} shards cannot split {providers} providers (at most one shard per provider)"
+        ));
+    }
+    let (base, extra) = (providers / count, providers % count);
+    Ok((
+        index * base + index.min(extra),
+        base + usize::from(index < extra),
+    ))
+}
+
 /// Rebuilds a federation (and its schema) from a `fedaqp generate` data
-/// directory — shared by `fedaqp query` and `fedaqp batch`.
+/// directory — shared by `fedaqp query` and `fedaqp batch`. With a
+/// `shard` slice, only that contiguous range of provider stores is
+/// loaded, and the noise-lane base is offset so the shard draws exactly
+/// the lanes it would hold in the unsharded federation (the determinism
+/// contract of `fedaqp serve --shard`).
 fn load_federation(
     data: &Path,
     epsilon: f64,
     delta: f64,
     smc: bool,
     calibration: EstimatorCalibration,
+    shard: Option<(usize, usize)>,
 ) -> Result<Federation, String> {
     let manifest = Manifest::load(data)?;
-    let mut partitions = Vec::with_capacity(manifest.providers);
+    let (offset, len) = match shard {
+        Some((index, count)) => shard_slice(manifest.providers, index, count)?,
+        None => (0, manifest.providers),
+    };
+    let mut partitions = Vec::with_capacity(len);
     let mut schema = None;
-    for i in 0..manifest.providers {
+    for i in offset..offset + len {
         let path = data.join(Manifest::store_file(i));
         let blob = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         let store = decode_store(&blob).map_err(|e| e.to_string())?;
@@ -395,7 +420,8 @@ fn load_federation(
     }
     let schema = schema.ok_or("data directory holds no providers")?;
     let mut config = FederationConfig::paper_default(manifest.capacity);
-    config.n_providers = manifest.providers;
+    config.n_providers = len;
+    config.provider_lane_base = offset as u64;
     config.epsilon = epsilon;
     config.delta = delta;
     config.seed = manifest.seed;
@@ -557,6 +583,7 @@ pub fn query(args: &QueryArgs) -> Result<String, String> {
         args.delta,
         args.smc,
         args.calibration,
+        None,
     )?;
     let (plan, sql_explain) = build_plan(federation.schema(), args, args.epsilon, args.delta)?;
     if args.explain || sql_explain {
@@ -752,6 +779,7 @@ pub fn batch(args: &BatchArgs) -> Result<String, String> {
         args.delta,
         args.smc,
         args.calibration,
+        None,
     )?;
     let queries = load_query_file(&args.queries, federation.schema())?;
 
@@ -859,6 +887,10 @@ pub struct ServeArgs {
     pub smc: bool,
     /// Hansen–Hurwitz calibration (`em` default, `pps` paper-faithful).
     pub calibration: EstimatorCalibration,
+    /// Serve shard `I` of `N` (`--shard I/N`): hold only that contiguous
+    /// provider slice and speak the coordinator's fragment protocol
+    /// instead of the analyst protocol.
+    pub shard: Option<(usize, usize)>,
 }
 
 /// A running `fedaqp serve` instance. Keep both fields alive for the
@@ -875,15 +907,80 @@ pub struct RunningServer {
     pub banner: String,
 }
 
+/// Parses a `--shard` value: `I/N` — this server holds contiguous
+/// provider slice `I` (0-based) of `N` shards.
+pub fn parse_shard_slice(text: &str) -> Result<(usize, usize), String> {
+    let (index, count) = text
+        .split_once('/')
+        .ok_or_else(|| format!("`{text}` is not of the form I/N (e.g. 0/2)"))?;
+    let index: usize = index.parse().map_err(|e| format!("--shard index: {e}"))?;
+    let count: usize = count.parse().map_err(|e| format!("--shard count: {e}"))?;
+    if count == 0 || index >= count {
+        return Err(format!("--shard wants I < N, got {index}/{count}"));
+    }
+    Ok((index, count))
+}
+
+/// `fedaqp serve --shard I/N`: rebuild shard `I`'s provider slice, start
+/// its engine, and expose it to an upstream coordinator (fragment frames
+/// only — analysts connect to `fedaqp coordinate`).
+fn serve_shard(args: &ServeArgs, index: usize, count: usize) -> Result<RunningServer, String> {
+    if args.xi.is_some() {
+        return Err(
+            "shards run budget-unchecked: the coordinator holds the single ξ ledger \
+             (use --xi on `fedaqp coordinate`)"
+                .into(),
+        );
+    }
+    if args.smc {
+        return Err(
+            "SMC release is not shardable: the oblivious sum needs every provider's \
+             shares in one place"
+                .into(),
+        );
+    }
+    let federation = load_federation(
+        &args.data,
+        args.epsilon,
+        args.delta,
+        false,
+        args.calibration,
+        Some((index, count)),
+    )?;
+    let n_providers = federation.config().n_providers;
+    let lane_base = federation.config().provider_lane_base;
+    let engine = FederationEngine::start(federation);
+    let server =
+        FederationServer::bind_shard(&args.listen, engine.handle()).map_err(|e| e.to_string())?;
+    let banner = format!(
+        "shard       : {index} of {count} — {n_providers} providers (global lanes {lane_base}..{}) \
+         from {} on {}\n\
+         mode        : coordinator fragment frames only (wire v4); analysts connect to \
+         `fedaqp coordinate`\n",
+        lane_base + n_providers as u64,
+        args.data.display(),
+        server.local_addr(),
+    );
+    Ok(RunningServer {
+        server,
+        engine,
+        banner,
+    })
+}
+
 /// `fedaqp serve`: rebuild the federation from a data directory, start
 /// the concurrent engine, and expose it on a TCP listener.
 pub fn serve(args: &ServeArgs) -> Result<RunningServer, String> {
+    if let Some((index, count)) = args.shard {
+        return serve_shard(args, index, count);
+    }
     let federation = load_federation(
         &args.data,
         args.epsilon,
         args.delta,
         args.smc,
         args.calibration,
+        None,
     )?;
     let n_providers = federation.config().n_providers;
     let engine = FederationEngine::start(federation);
@@ -914,6 +1011,98 @@ pub fn serve(args: &ServeArgs) -> Result<RunningServer, String> {
         engine,
         banner,
     })
+}
+
+/// Arguments of `fedaqp coordinate`.
+#[derive(Debug, Clone)]
+pub struct CoordinateArgs {
+    /// Data directory produced by `fedaqp generate` — read for the
+    /// manifest and the schema only; the rows stay with the shards.
+    pub data: PathBuf,
+    /// Shard server addresses, in shard order (`--shard 0/N` first).
+    pub shards: Vec<String>,
+    /// Listen address for analysts.
+    pub listen: String,
+    /// Default per-query ε.
+    pub epsilon: f64,
+    /// Default per-query δ.
+    pub delta: f64,
+    /// Per-analyst session budget ξ; `None` serves uncapped.
+    pub xi: Option<f64>,
+    /// Per-analyst session failure budget ψ (meaningful with `xi`).
+    pub psi: f64,
+    /// Hansen–Hurwitz calibration — must match the shards'.
+    pub calibration: EstimatorCalibration,
+}
+
+/// A running `fedaqp coordinate` instance: the scatter–gather TCP
+/// server. The shard connections live inside the coordinator; shutting
+/// the server down releases them.
+#[derive(Debug)]
+pub struct RunningCoordinator {
+    /// The analyst-facing TCP server.
+    pub server: FederationServer,
+    /// Human-readable startup report.
+    pub banner: String,
+}
+
+/// `fedaqp coordinate`: federate `--shards` fragment servers behind one
+/// analyst-facing endpoint. The coordinator is the single ξ authority —
+/// every plan's whole cost is charged here before any fragment is
+/// scattered; the shards themselves run budget-unchecked.
+pub fn coordinate(args: &CoordinateArgs) -> Result<RunningCoordinator, String> {
+    if args.shards.is_empty() {
+        return Err("--shards needs at least one address".into());
+    }
+    let manifest = Manifest::load(&args.data)?;
+    // The schema comes from the first provider store; its rows are not
+    // loaded into the coordinator (they are the shards' business).
+    let path = args.data.join(Manifest::store_file(0));
+    let blob = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = decode_store(&blob)
+        .map_err(|e| e.to_string())?
+        .schema()
+        .clone();
+    let mut config = FederationConfig::paper_default(manifest.capacity);
+    config.n_providers = manifest.providers;
+    config.epsilon = args.epsilon;
+    config.delta = args.delta;
+    config.seed = manifest.seed;
+    config.estimator_calibration = args.calibration;
+    let mut backends: Vec<Box<dyn fedaqp_core::ShardBackend>> =
+        Vec::with_capacity(args.shards.len());
+    for addr in &args.shards {
+        let shard = RemoteShard::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        backends.push(Box::new(shard));
+    }
+    let counts: Vec<String> = backends
+        .iter()
+        .map(|b| b.n_providers().to_string())
+        .collect();
+    let federation = fedaqp_core::ShardedFederation::from_backends(config, schema, backends)
+        .map_err(|e| e.to_string())?;
+    let options = match args.xi {
+        Some(xi) => ServeOptions::with_budget(xi, args.psi),
+        None => ServeOptions::unlimited(),
+    };
+    let server = FederationServer::bind_coordinator(&args.listen, federation, options)
+        .map_err(|e| e.to_string())?;
+    let banner = format!(
+        "coordinating: {} shards ({} providers) on {}\n\
+         privacy     : per-query ε = {}, δ = {:e}, local-DP release\n\
+         budget      : {} — charged whole here before any scatter; shards run \
+         budget-unchecked\n",
+        args.shards.len(),
+        counts.join("+"),
+        server.local_addr(),
+        args.epsilon,
+        args.delta,
+        match args.xi {
+            Some(xi) => format!("per-analyst (ξ = {xi}, ψ = {:e})", args.psi),
+            None => "uncapped sessions".into(),
+        },
+    );
+    Ok(RunningCoordinator { server, banner })
 }
 
 #[cfg(test)]
@@ -1281,6 +1470,7 @@ mod tests {
             psi: 1e-2,
             smc: false,
             calibration: EstimatorCalibration::EmCalibrated,
+            shard: None,
         }
     }
 
@@ -1323,7 +1513,7 @@ mod tests {
         plan_args.epsilon = 1.0; // ignored: set above by the server
         plan_args.remote = Some(addr.clone());
         let out = query(&plan_args).unwrap();
-        assert!(out.contains("wire v3"), "{out}");
+        assert!(out.contains("wire v4"), "{out}");
         assert!(out.contains("groups      :"), "{out}");
         assert!(out.contains("for the whole plan"), "{out}");
 
@@ -1332,7 +1522,7 @@ mod tests {
         explain_args.explain = true;
         let out = query(&explain_args).unwrap();
         assert!(out.contains("optimizer   :"), "{out}");
-        assert!(out.contains("wire v3"), "{out}");
+        assert!(out.contains("wire v4"), "{out}");
         assert!(
             !out.contains("groups      :"),
             "explain must not run: {out}"
@@ -1458,6 +1648,164 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("SMC release"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_shard_slice_vocabulary() {
+        assert_eq!(parse_shard_slice("0/2"), Ok((0, 2)));
+        assert_eq!(parse_shard_slice("3/4"), Ok((3, 4)));
+        assert!(parse_shard_slice("2").unwrap_err().contains("I/N"));
+        assert!(parse_shard_slice("2/2").unwrap_err().contains("I < N"));
+        assert!(parse_shard_slice("0/0").unwrap_err().contains("I < N"));
+        assert!(parse_shard_slice("x/2").is_err());
+    }
+
+    #[test]
+    fn shard_slices_are_contiguous_and_cover_every_provider() {
+        for providers in 1..=7 {
+            for count in 1..=providers {
+                let mut next = 0;
+                for index in 0..count {
+                    let (offset, len) = shard_slice(providers, index, count).unwrap();
+                    assert_eq!(offset, next, "contiguous");
+                    assert!(len > 0, "no empty shard");
+                    next = offset + len;
+                }
+                assert_eq!(next, providers, "every provider in exactly one shard");
+            }
+        }
+        assert!(shard_slice(2, 0, 3).unwrap_err().contains("cannot split"));
+    }
+
+    #[test]
+    fn shard_mode_rejects_budget_and_smc_flags() {
+        let mut args = serve_args(PathBuf::from("/nonexistent"));
+        args.shard = Some((0, 2));
+        args.xi = Some(5.0);
+        assert!(serve(&args).unwrap_err().contains("coordinator"), "xi");
+        let mut args = serve_args(PathBuf::from("/nonexistent"));
+        args.shard = Some((0, 2));
+        args.smc = true;
+        assert!(serve(&args).unwrap_err().contains("not shardable"), "smc");
+    }
+
+    /// The README's 2-shard walkthrough, end to end: two `serve --shard`
+    /// servers over one generated data directory, a `coordinate` server
+    /// federating them, and `query --remote` against the coordinator —
+    /// answering byte-identically to a single unsharded `serve` of the
+    /// same directory.
+    #[test]
+    fn shard_grid_answers_byte_identical_to_single_server() {
+        let dir = tmp_dir("shard_grid");
+        generate(&GenerateArgs {
+            providers: 4,
+            ..generate_args(dir.clone())
+        })
+        .unwrap();
+
+        let mut shard0_args = serve_args(dir.clone());
+        shard0_args.shard = Some((0, 2));
+        let shard0 = serve(&shard0_args).unwrap();
+        assert!(
+            shard0.banner.contains("shard       : 0 of 2"),
+            "{}",
+            shard0.banner
+        );
+        assert!(shard0.banner.contains("wire v4"), "{}", shard0.banner);
+        let mut shard1_args = serve_args(dir.clone());
+        shard1_args.shard = Some((1, 2));
+        let shard1 = serve(&shard1_args).unwrap();
+        assert!(shard1.banner.contains("lanes 2..4"), "{}", shard1.banner);
+
+        let running = coordinate(&CoordinateArgs {
+            data: dir.clone(),
+            shards: vec![
+                shard0.server.local_addr().to_string(),
+                shard1.server.local_addr().to_string(),
+            ],
+            listen: "127.0.0.1:0".into(),
+            epsilon: 5.0,
+            delta: 1e-3,
+            xi: None,
+            psi: 1e-2,
+            calibration: EstimatorCalibration::EmCalibrated,
+        })
+        .unwrap();
+        assert!(
+            running
+                .banner
+                .contains("coordinating: 2 shards (2+2 providers)"),
+            "{}",
+            running.banner
+        );
+
+        let single = serve(&serve_args(dir.clone())).unwrap();
+
+        let remote_query = |addr: String| {
+            let mut args = plan_query_args(
+                PathBuf::new(),
+                "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60",
+            );
+            args.remote = Some(addr);
+            query(&args).unwrap()
+        };
+        let sharded = remote_query(running.server.local_addr().to_string());
+        let unsharded = remote_query(single.server.local_addr().to_string());
+        let private = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("private"))
+                .map(str::to_owned)
+                .unwrap()
+        };
+        assert_eq!(private(&sharded), private(&unsharded), "byte-identical");
+
+        running.server.shutdown();
+        single.server.shutdown();
+        single.engine.shutdown();
+        shard0.server.shutdown();
+        shard0.engine.shutdown();
+        shard1.server.shutdown();
+        shard1.engine.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coordinate_fails_cleanly_on_bad_inputs() {
+        // No shards.
+        let err = coordinate(&CoordinateArgs {
+            data: PathBuf::from("/nonexistent"),
+            shards: vec![],
+            listen: "127.0.0.1:0".into(),
+            epsilon: 5.0,
+            delta: 1e-3,
+            xi: None,
+            psi: 1e-2,
+            calibration: EstimatorCalibration::EmCalibrated,
+        })
+        .unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+
+        // A dead shard address is a one-line connect error.
+        let dir = tmp_dir("coordinate_dead");
+        generate(&generate_args(dir.clone())).unwrap();
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = coordinate(&CoordinateArgs {
+            data: dir.clone(),
+            shards: vec![format!("127.0.0.1:{port}")],
+            listen: "127.0.0.1:0".into(),
+            epsilon: 5.0,
+            delta: 1e-3,
+            xi: None,
+            psi: 1e-2,
+            calibration: EstimatorCalibration::EmCalibrated,
+        })
+        .unwrap_err();
+        assert!(err.contains(&port.to_string()), "{err}");
+        assert!(!err.contains('\n'), "one line: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

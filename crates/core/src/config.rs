@@ -221,6 +221,15 @@ pub struct FederationConfig {
     pub optimizer: OptimizerConfig,
     /// Base seed for all provider/aggregator randomness.
     pub seed: u64,
+    /// Offset added to the per-provider RNG lane (`lane_base + provider_id`
+    /// instead of `provider_id`). A sharded deployment gives shard *s*
+    /// holding global providers `[o, o+k)` a lane base of `o`, so its
+    /// local providers `0..k` draw from exactly the noise streams the
+    /// 1-shard engine would give providers `o..o+k` — the mechanism behind
+    /// the serial ≡ concurrent ≡ remote ≡ sharded byte-identity contract.
+    /// Single-engine deployments leave this at 0 (bit-identical to every
+    /// prior release).
+    pub provider_lane_base: u64,
 }
 
 impl FederationConfig {
@@ -260,6 +269,7 @@ impl FederationConfig {
             max_group_domain: 4096,
             optimizer: OptimizerConfig::enabled(),
             seed: 0xFEDA,
+            provider_lane_base: 0,
         }
     }
 

@@ -272,6 +272,16 @@ pub(crate) struct JobState {
     /// public metadata, so the job's noise streams must not depend on it.
     pruned: Vec<bool>,
     n_providers: usize,
+    /// RNG-lane offset for this engine's providers (see
+    /// [`FederationConfig::provider_lane_base`]): local provider `id`
+    /// draws from lane `lane_base + id`, so a shard holding global
+    /// providers `[o, o+k)` reproduces exactly the 1-shard streams.
+    lane_base: u64,
+    /// When set, step 3 is solved *outside* this engine: the last summary
+    /// only wakes the fragment's waiter, and workers park until
+    /// [`PendingFragment::provide_allocation`] delivers the coordinator's
+    /// globally solved allocation.
+    external_allocation: bool,
     allocation_policy: AllocationPolicy,
     release_mode: ReleaseMode,
     cost_model: fedaqp_smc::CostModel,
@@ -292,6 +302,8 @@ impl JobState {
             seed,
             pruned: Vec::new(),
             n_providers: n,
+            lane_base: config.provider_lane_base,
+            external_allocation: false,
             allocation_policy: config.allocation_policy,
             release_mode: config.release_mode,
             cost_model: config.cost_model,
@@ -336,7 +348,11 @@ impl JobState {
 /// thread.
 fn run_provider_job(job: &JobState, provider: &DataProvider) {
     let id = provider.id();
-    let mut rng = StdRng::seed_from_u64(derive_seed(job.seed, job.index, id as u64));
+    let mut rng = StdRng::seed_from_u64(derive_seed(
+        job.seed,
+        job.index,
+        job.lane_base.wrapping_add(id as u64),
+    ));
     match &job.kind {
         JobKind::Plain { query } => {
             let t = Instant::now();
@@ -446,6 +462,14 @@ fn deliver_summary(
     // ---- Step 3: the last provider in solves the allocation program
     // (Eq. 6) for everyone. ----
     if progress.summaries_done == job.n_providers && progress.error.is_none() {
+        if job.external_allocation {
+            // A fragment's allocation is solved by the coordinator over
+            // *every* shard's summaries: wake the fragment waiter gathering
+            // them and leave the workers parked at the barrier until
+            // [`PendingFragment::provide_allocation`] lands.
+            job.cond.notify_all();
+            return;
+        }
         let summaries: Vec<ProviderSummary> = progress
             .summaries
             .iter()
@@ -681,21 +705,6 @@ impl EngineHandle {
         index
     }
 
-    fn check_budget(budget: &QueryBudget) -> Result<()> {
-        let ok = |x: f64| x.is_finite() && x > 0.0;
-        let valid = ok(budget.eps_o)
-            && ok(budget.eps_s)
-            && ok(budget.eps_e)
-            && budget.delta.is_finite()
-            && (0.0..1.0).contains(&budget.delta);
-        if !valid {
-            return Err(CoreError::BadConfig(
-                "query budget phases must be positive and delta in [0, 1)",
-            ));
-        }
-        Ok(())
-    }
-
     /// Submits one private query under the configured default budget.
     pub fn submit(&self, query: &RangeQuery, sampling_rate: f64) -> Result<PendingAnswer> {
         let budget = self.default_budget()?;
@@ -717,7 +726,7 @@ impl EngineHandle {
             return Err(CoreError::InvalidSamplingRate(sampling_rate));
         }
         query.check_schema(&self.inner.schema)?;
-        Self::check_budget(budget)
+        crate::plan::check_budget(budget)
     }
 
     /// Submits one private query under an explicit per-query budget.
@@ -792,7 +801,11 @@ impl EngineHandle {
             if !job.pruned.get(id).copied().unwrap_or(false) {
                 continue;
             }
-            let mut rng = StdRng::seed_from_u64(derive_seed(job.seed, job.index, id as u64));
+            let mut rng = StdRng::seed_from_u64(derive_seed(
+                job.seed,
+                job.index,
+                job.lane_base.wrapping_add(id as u64),
+            ));
             let t = Instant::now();
             let summary = shadow.summary(query, &empty, budget.eps_o, &mut rng);
             deliver_summary(job, id, summary, t.elapsed(), *sampling_rate);
@@ -818,6 +831,78 @@ impl EngineHandle {
         }
     }
 
+    /// Submits one *fragment* of a sharded private query: the same job as
+    /// [`Self::submit_with_budget`], except that (a) the occurrence index
+    /// comes from the coordinator's ledger (this engine's own ledger is
+    /// untouched — in a sharded deployment the coordinator sees the full
+    /// analyst stream, the shards only their fragments), and (b) step 3 is
+    /// externalized: providers park after their summaries until the
+    /// coordinator feeds back the globally solved allocation through
+    /// [`PendingFragment::provide_allocation`].
+    ///
+    /// Because the job seed is content-derived and the provider lanes are
+    /// `lane_base + id`, a shard configured with the 1-shard seed and its
+    /// global lane offset produces byte-identical noise to the providers
+    /// it replaced.
+    pub fn submit_fragment(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+        occurrence: u64,
+    ) -> Result<PendingFragment> {
+        self.validate(query, sampling_rate, budget)?;
+        let pruned = if self.inner.config.optimizer.prune_providers {
+            self.inner.snapshot.pruned_flags(query)
+        } else {
+            Vec::new()
+        };
+        let kind = JobKind::Private {
+            query: query.clone(),
+            sampling_rate,
+            budget: *budget,
+        };
+        let mut job = JobState::new(kind, occurrence, &self.inner.config);
+        job.pruned = pruned;
+        job.external_allocation = true;
+        let job = Arc::new(job);
+        self.dispatch(&job)?;
+        self.answer_for_pruned(&job);
+        Ok(PendingFragment { job })
+    }
+
+    /// Submits one fragment of a sharded MIN/MAX: identical to
+    /// [`Self::submit_extreme`] except the occurrence index is supplied by
+    /// the coordinator's ledger instead of this engine's.
+    pub fn submit_extreme_fragment(
+        &self,
+        dim: usize,
+        extreme: Extreme,
+        epsilon: f64,
+        occurrence: u64,
+    ) -> Result<PendingExtreme> {
+        self.validate_extreme(dim, epsilon)?;
+        let kind = JobKind::Extreme {
+            dim,
+            extreme,
+            epsilon,
+        };
+        let job = Arc::new(JobState::new(kind, occurrence, &self.inner.config));
+        self.dispatch(&job)?;
+        Ok(PendingExtreme { job })
+    }
+
+    /// Validates an extreme-query submission without dispatching it.
+    pub fn validate_extreme(&self, dim: usize, epsilon: f64) -> Result<()> {
+        self.inner.schema.dimension(dim)?;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(CoreError::BadConfig(
+                "extreme-query epsilon must be positive",
+            ));
+        }
+        Ok(())
+    }
+
     /// Submits a private MIN/MAX of dimension `dim` to the worker pool:
     /// every provider runs one Exponential-mechanism selection over the
     /// domain (from metadata alone) under its job-derived RNG, so extreme
@@ -828,12 +913,7 @@ impl EngineHandle {
         extreme: Extreme,
         epsilon: f64,
     ) -> Result<PendingExtreme> {
-        self.inner.schema.dimension(dim)?;
-        if !(epsilon.is_finite() && epsilon > 0.0) {
-            return Err(CoreError::BadConfig(
-                "extreme-query epsilon must be positive",
-            ));
-        }
+        self.validate_extreme(dim, epsilon)?;
         let kind = JobKind::Extreme {
             dim,
             extreme,
@@ -974,6 +1054,136 @@ impl PendingAnswer {
             smooth_ls: outcomes.iter().map(|o| o.smooth_ls).collect(),
             ci_halfwidth: crate::protocol::combined_ci_halfwidth(&outcomes),
         })
+    }
+}
+
+/// Content hash of a private job — the coordinator's occurrence-ledger
+/// key. Identical to the key the 1-shard engine uses internally, so the
+/// coordinator's occurrence indices reproduce the 1-shard indices exactly.
+pub(crate) fn private_content_hash(
+    query: &RangeQuery,
+    sampling_rate: f64,
+    budget: &QueryBudget,
+) -> u64 {
+    JobKind::Private {
+        query: query.clone(),
+        sampling_rate,
+        budget: *budget,
+    }
+    .content_hash()
+}
+
+/// Content hash of an extreme job (coordinator occurrence-ledger key).
+pub(crate) fn extreme_content_hash(dim: usize, extreme: Extreme, epsilon: f64) -> u64 {
+    JobKind::Extreme {
+        dim,
+        extreme,
+        epsilon,
+    }
+    .content_hash()
+}
+
+/// One shard's half of a sharded private query: summaries out, allocation
+/// in, partial out. Created by [`EngineHandle::submit_fragment`];
+/// dropping it before the allocation lands aborts the job so parked
+/// workers unblock instead of waiting forever on a coordinator that gave
+/// up (a failed sibling shard, a dropped connection).
+#[derive(Debug)]
+pub struct PendingFragment {
+    job: Arc<JobState>,
+}
+
+impl PendingFragment {
+    /// Blocks until every local provider delivered its step-2 summary,
+    /// then returns them in local provider order together with the
+    /// slowest provider's summary time.
+    pub fn summaries(&self) -> Result<(Vec<ProviderSummary>, Duration)> {
+        let job = &self.job;
+        let mut progress = job.lock_progress();
+        while progress.error.is_none() && progress.summaries_done < job.n_providers {
+            progress = job.wait_on(progress);
+        }
+        if let Some(error) = progress.error.clone() {
+            return Err(error);
+        }
+        let summaries = progress
+            .summaries
+            .iter()
+            .map(|s| s.expect("all summaries delivered"))
+            .collect();
+        Ok((summaries, progress.summary_time))
+    }
+
+    /// Feeds the coordinator's globally solved allocation (this shard's
+    /// slice, in local provider order) to the parked workers.
+    pub fn provide_allocation(&self, allocations: Vec<u64>) -> Result<()> {
+        let job = &self.job;
+        if allocations.len() != job.n_providers {
+            return Err(CoreError::ProtocolViolation(
+                "fragment allocation length does not match shard providers",
+            ));
+        }
+        let mut progress = job.lock_progress();
+        if progress.allocations.is_some() {
+            return Err(CoreError::ProtocolViolation(
+                "fragment allocation delivered twice",
+            ));
+        }
+        progress.allocations = Some(Arc::new(allocations));
+        job.cond.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until every local provider executed, then returns the
+    /// shard's mergeable partial (per-provider released values in local
+    /// provider order — the coordinator re-runs the 1-shard release fold
+    /// over the global concatenation, so merging is bit-exact).
+    pub fn partial(&self) -> Result<crate::shard::FragmentPartial> {
+        let job = &self.job;
+        let mut progress = job.lock_progress();
+        while progress.error.is_none() && progress.done < job.n_providers {
+            progress = job.wait_on(progress);
+        }
+        if let Some(error) = progress.error.clone() {
+            return Err(error);
+        }
+        let rows = progress
+            .outcomes
+            .iter()
+            .map(|o| {
+                let o = o.expect("all providers reported");
+                let released = o.released.ok_or(CoreError::ProtocolViolation(
+                    "fragment provider withheld its release (SMC mode is not shardable)",
+                ))?;
+                Ok(crate::shard::PartialRow {
+                    released,
+                    variance: o.variance,
+                    approximated: o.approximated,
+                    clusters_scanned: o.clusters_scanned as u64,
+                    n_covering: o.n_covering as u64,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(crate::shard::FragmentPartial {
+            rows,
+            execution: progress.execution_time,
+        })
+    }
+}
+
+impl Drop for PendingFragment {
+    fn drop(&mut self) {
+        // Abort an incomplete fragment: workers parked at the allocation
+        // barrier would otherwise wait forever once the coordinator is
+        // gone. Completed fragments (allocation delivered) finish on
+        // their own; failed ones are already unblocked.
+        let mut progress = self.job.lock_progress();
+        if progress.allocations.is_none() && progress.error.is_none() {
+            self.job.fail(
+                &mut progress,
+                CoreError::ProtocolViolation("fragment aborted before allocation"),
+            );
+        }
     }
 }
 

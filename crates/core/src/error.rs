@@ -44,6 +44,16 @@ pub enum CoreError {
         /// The configured cap.
         cap: u64,
     },
+    /// A downstream engine shard refused a connection or dropped mid-plan.
+    /// The coordinator surfaces this as a typed error (never a hangup);
+    /// budget already charged for the plan stays charged (fail-closed —
+    /// see `docs/privacy-model.md`).
+    ShardUnavailable {
+        /// Which shard (coordinator shard index, not a provider id).
+        shard: usize,
+        /// What failed.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -71,6 +81,9 @@ impl fmt::Display for CoreError {
                 f,
                 "group-by domain of {size} values exceeds the configured cap of {cap}"
             ),
+            CoreError::ShardUnavailable { shard, reason } => {
+                write!(f, "shard-unavailable: shard {shard}: {reason}")
+            }
         }
     }
 }

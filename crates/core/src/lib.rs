@@ -43,6 +43,7 @@ pub mod protocol;
 pub mod provider;
 pub mod sensitivity;
 pub mod session;
+pub mod shard;
 
 pub use aggregator::Aggregator;
 pub use agreement::{agree_on_s, announce_size, SizeDisclosure};
@@ -54,7 +55,7 @@ pub use config::{
 pub use derived::{run_derived, DerivedAnswer, DerivedStatistic};
 pub use engine::{
     EngineAnswer, EngineExtreme, EngineHandle, FederationEngine, PendingAnswer, PendingExtreme,
-    PendingPlain, QueryBatch, QuerySpec,
+    PendingFragment, PendingPlain, QueryBatch, QuerySpec,
 };
 pub use error::CoreError;
 pub use extremes::{private_extreme, Extreme, ExtremeAnswer};
@@ -62,10 +63,17 @@ pub use federation::{Federation, PlainAnswer, QueryAnswer};
 pub use groupby::{run_group_by, Group, GroupByAnswer};
 pub use online::{combine_snapshots, run_online, OnlineAnswer, OnlineSnapshot};
 pub use optimizer::{MetaSnapshot, PlanExplanation, ProviderBounds, SubQueryExplanation};
-pub use plan::{PendingPlan, PlanAnswer, PlanGroup, PlanResult, QueryPlan};
+pub use plan::{
+    ExtremeOutcome, PendingPlan, PlanAnswer, PlanBackend, PlanGroup, PlanResult, QueryPlan,
+    SubOutcome,
+};
 pub use protocol::{LocalOutcome, PhaseTimings, ProviderSummary};
 pub use provider::DataProvider;
 pub use session::{AnalystSession, ConcurrentSession, SessionPlan};
+pub use shard::{
+    ExtremeFragmentSpec, FragmentHandle, FragmentPartial, FragmentSpec, PartialRow, ShardBackend,
+    ShardedAnswer, ShardedFederation, ShardedPendingAnswer, ShardedSession, ShardedSub,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

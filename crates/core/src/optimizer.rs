@@ -57,6 +57,18 @@ pub struct ProviderBounds {
 }
 
 impl ProviderBounds {
+    /// Builds bounds from already-public per-dimension `[v_min, v_max]`
+    /// pairs — the constructor a sharded coordinator uses to rebuild a
+    /// remote shard's snapshot from its wire-served bounds.
+    pub fn new(dims: Vec<Option<(Value, Value)>>, n_clusters: usize) -> Self {
+        Self { dims, n_clusters }
+    }
+
+    /// Per-dimension bounds (`None` where no cluster has values).
+    pub fn dims(&self) -> &[Option<(Value, Value)>] {
+        &self.dims
+    }
+
     fn of(provider: &DataProvider) -> Self {
         let meta = provider.meta();
         let n_dims = meta.clusters().first().map_or(0, |c| c.dims().len());
@@ -109,6 +121,13 @@ impl MetaSnapshot {
         Self {
             providers: providers.iter().map(ProviderBounds::of).collect(),
         }
+    }
+
+    /// Assembles a snapshot from per-provider bounds in id order — how a
+    /// sharded coordinator concatenates its shards' public bounds into
+    /// the global federation snapshot.
+    pub fn from_bounds(providers: Vec<ProviderBounds>) -> Self {
+        Self { providers }
     }
 
     /// Per-provider bounds, in provider-id order.

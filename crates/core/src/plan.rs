@@ -23,6 +23,14 @@
 //! * [`QueryPlan::Extreme`] → one metadata-only engine job
 //!   ([`EngineHandle::submit_extreme`]).
 //!
+//! **Backends.** The compiler is generic over a [`PlanBackend`]: the thing
+//! that actually runs a sub-query. [`EngineHandle`] is the in-process
+//! backend (the default, and what every pre-sharding caller uses);
+//! [`crate::shard::ShardedFederation`] is the scatter–gather coordinator
+//! backend. Both run the *same* compilation, budget-split, suppression,
+//! and post-processing code below — which is what makes the sharded
+//! determinism contract checkable: only the sub-query transport differs.
+//!
 //! **Concurrency.** [`EngineHandle::submit_plan`] submits *every*
 //! sub-query before anything is awaited, so a group-by's `k` point queries
 //! pipeline across the provider worker pool instead of executing serially
@@ -32,10 +40,11 @@
 //!
 //! **Determinism.** Sub-queries are submitted in a canonical order
 //! (groups ascending by key; within a derived cell: COUNT, SUM, second
-//! moment), and each draws noise from the engine's per-`(query index,
-//! provider)` RNG derivation — so a seeded plan produces byte-identical
-//! answers whether it runs through a scoped engine, a shared
-//! [`crate::FederationEngine`], or a remote connection.
+//! moment), and each draws noise from the engine's per-`(query content,
+//! occurrence, provider)` RNG derivation — so a seeded plan produces
+//! byte-identical answers whether it runs through a scoped engine, a
+//! shared [`crate::FederationEngine`], a remote connection, or a sharded
+//! coordinator.
 //!
 //! **Budget.** A plan's whole `(ε, δ)` is known up front
 //! ([`QueryPlan::total_cost`]), and [`EngineHandle::validate_plan`] is
@@ -46,13 +55,14 @@
 
 use std::time::Duration;
 
-use fedaqp_dp::{PrivacyCost, QueryBudget};
+use fedaqp_dp::{HyperParams, PrivacyCost, QueryBudget};
 pub use fedaqp_model::QueryPlan;
-use fedaqp_model::{Aggregate, Range, RangeQuery, Value};
+use fedaqp_model::{Aggregate, Extreme, Range, RangeQuery, Schema, Value};
 
+use crate::config::FederationConfig;
 use crate::derived::DerivedStatistic;
 use crate::engine::{EngineHandle, PendingAnswer, PendingExtreme};
-use crate::optimizer::{submission_order, PlanExplanation, SubQueryExplanation};
+use crate::optimizer::{submission_order, MetaSnapshot, PlanExplanation, SubQueryExplanation};
 use crate::protocol::PhaseTimings;
 use crate::{CoreError, Result};
 
@@ -127,6 +137,178 @@ impl PlanAnswer {
     }
 }
 
+/// What one resolved scalar sub-query hands back to the plan compiler —
+/// the release, its confidence interval, and its latency accounting,
+/// stripped of backend-specific diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubOutcome {
+    /// The DP-released value.
+    pub value: f64,
+    /// 95% sampling confidence half-width, when estimable.
+    pub ci_halfwidth: Option<f64>,
+    /// Per-phase latency of this sub-query.
+    pub timings: PhaseTimings,
+}
+
+/// What one resolved extreme selection hands back to the plan compiler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtremeOutcome {
+    /// The combined (post-processed) selection.
+    pub value: Value,
+    /// Wall time of the slowest provider's selection.
+    pub execution: Duration,
+    /// Simulated network time.
+    pub network: Duration,
+}
+
+/// A sub-query transport the plan compiler can run on: the in-process
+/// [`EngineHandle`] or the sharded scatter–gather coordinator
+/// ([`crate::shard::ShardedFederation`]). Everything *semantic* — budget
+/// splits, group enumeration, suppression, derived post-processing,
+/// optimizer decisions — lives in the shared generic functions of this
+/// module; a backend only moves sub-queries and answers.
+pub trait PlanBackend: Clone {
+    /// A private scalar sub-query in flight.
+    type Sub;
+    /// A private MIN/MAX selection in flight.
+    type Ext;
+
+    /// The federation configuration this backend serves.
+    fn config(&self) -> &FederationConfig;
+    /// The public table schema.
+    fn schema(&self) -> &Schema;
+    /// The public pruning-bounds snapshot (whole federation).
+    fn snapshot(&self) -> &MetaSnapshot;
+
+    /// Submits one private sub-query without waiting.
+    fn submit_sub(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<Self::Sub>;
+    /// A second waiter on the same in-flight sub-query (the dedup pass's
+    /// release reuse): both waiters must observe byte-identical outcomes
+    /// without resubmitting, re-noising, or re-charging.
+    fn share_sub(&self, sub: &Self::Sub) -> Self::Sub;
+    /// Blocks until the sub-query resolved.
+    fn wait_sub(&self, sub: Self::Sub) -> Result<SubOutcome>;
+
+    /// Submits one private MIN/MAX without waiting.
+    fn submit_ext(&self, dim: usize, extreme: Extreme, epsilon: f64) -> Result<Self::Ext>;
+    /// Blocks until the selection resolved.
+    fn wait_ext(&self, ext: Self::Ext) -> Result<ExtremeOutcome>;
+
+    /// Validates one sub-query submission without dispatching it:
+    /// sampling rate in `(0, 1)`, query dimensions in the schema, budget
+    /// phases positive. Stateless.
+    fn validate_sub(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<()> {
+        if !(sampling_rate.is_finite() && 0.0 < sampling_rate && sampling_rate < 1.0) {
+            return Err(CoreError::InvalidSamplingRate(sampling_rate));
+        }
+        query.check_schema(self.schema())?;
+        check_budget(budget)
+    }
+
+    /// Validates one extreme submission without dispatching it.
+    fn validate_ext(&self, dim: usize, epsilon: f64) -> Result<()> {
+        self.schema().dimension(dim)?;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(CoreError::BadConfig(
+                "extreme-query epsilon must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Budget-phase sanity shared by every backend (and by
+/// [`EngineHandle::validate`]).
+pub(crate) fn check_budget(budget: &QueryBudget) -> Result<()> {
+    let ok = |x: f64| x.is_finite() && x > 0.0;
+    let valid = ok(budget.eps_o)
+        && ok(budget.eps_s)
+        && ok(budget.eps_e)
+        && budget.delta.is_finite()
+        && (0.0..1.0).contains(&budget.delta);
+    if !valid {
+        return Err(CoreError::BadConfig(
+            "query budget phases must be positive and delta in [0, 1)",
+        ));
+    }
+    Ok(())
+}
+
+impl PlanBackend for EngineHandle {
+    type Sub = PendingAnswer;
+    type Ext = PendingExtreme;
+
+    fn config(&self) -> &FederationConfig {
+        EngineHandle::config(self)
+    }
+
+    fn schema(&self) -> &Schema {
+        EngineHandle::schema(self)
+    }
+
+    fn snapshot(&self) -> &MetaSnapshot {
+        self.meta_snapshot()
+    }
+
+    fn submit_sub(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<PendingAnswer> {
+        self.submit_with_budget(query, sampling_rate, budget)
+    }
+
+    fn share_sub(&self, sub: &PendingAnswer) -> PendingAnswer {
+        sub.share()
+    }
+
+    fn wait_sub(&self, sub: PendingAnswer) -> Result<SubOutcome> {
+        let answer = sub.wait()?;
+        Ok(SubOutcome {
+            value: answer.value,
+            ci_halfwidth: answer.ci_halfwidth,
+            timings: answer.timings,
+        })
+    }
+
+    fn submit_ext(&self, dim: usize, extreme: Extreme, epsilon: f64) -> Result<PendingExtreme> {
+        self.submit_extreme(dim, extreme, epsilon)
+    }
+
+    fn wait_ext(&self, ext: PendingExtreme) -> Result<ExtremeOutcome> {
+        let extreme = ext.wait()?;
+        Ok(ExtremeOutcome {
+            value: extreme.value,
+            execution: extreme.execution,
+            network: extreme.network,
+        })
+    }
+
+    fn validate_sub(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<()> {
+        self.validate(query, sampling_rate, budget)
+    }
+
+    fn validate_ext(&self, dim: usize, epsilon: f64) -> Result<()> {
+        self.validate_extreme(dim, epsilon)
+    }
+}
+
 /// Merges per-phase timings under the overlap model (element-wise max).
 fn merge_timings(into: &mut PhaseTimings, other: &PhaseTimings) {
     into.summary = into.summary.max(other.summary);
@@ -138,27 +320,26 @@ fn merge_timings(into: &mut PhaseTimings, other: &PhaseTimings) {
 
 /// The in-flight sub-queries of one scalar or derived "cell" (a lone plan,
 /// or one group of a GROUP-BY).
-#[derive(Debug)]
-enum CellPending {
-    Scalar(PendingAnswer),
+enum CellPending<B: PlanBackend> {
+    Scalar(B::Sub),
     Derived {
         statistic: DerivedStatistic,
-        count: PendingAnswer,
-        sum: PendingAnswer,
+        count: B::Sub,
+        sum: B::Sub,
         /// The third budgeted release of VAR/STD (see
         /// [`crate::derived`] for why it is cost-only).
-        second_moment: Option<PendingAnswer>,
+        second_moment: Option<B::Sub>,
     },
 }
 
-impl CellPending {
+impl<B: PlanBackend> CellPending<B> {
     /// Waits out the cell's sub-queries and post-processes the statistic.
     /// Noisy denominators are clamped to ≥ 1 so the post-processing stays
     /// finite; variance is clamped at ≥ 0.
-    fn wait(self) -> Result<(f64, Option<f64>, PhaseTimings)> {
+    fn wait(self, backend: &B) -> Result<(f64, Option<f64>, PhaseTimings)> {
         match self {
             CellPending::Scalar(pending) => {
-                let answer = pending.wait()?;
+                let answer = backend.wait_sub(pending)?;
                 Ok((answer.value, answer.ci_halfwidth, answer.timings))
             }
             CellPending::Derived {
@@ -167,12 +348,12 @@ impl CellPending {
                 sum,
                 second_moment,
             } => {
-                let count = count.wait()?;
-                let sum = sum.wait()?;
+                let count = backend.wait_sub(count)?;
+                let sum = backend.wait_sub(sum)?;
                 let mut timings = count.timings;
                 merge_timings(&mut timings, &sum.timings);
                 if let Some(pending) = second_moment {
-                    let heavy = pending.wait()?;
+                    let heavy = backend.wait_sub(pending)?;
                     merge_timings(&mut timings, &heavy.timings);
                 }
                 let noisy_count = count.value.max(1.0);
@@ -188,36 +369,36 @@ impl CellPending {
     }
 }
 
-/// A [`QueryPlan`] in flight on the engine: every sub-query has been
+/// A [`QueryPlan`] in flight on a backend: every sub-query has been
 /// submitted (and is pipelining across the worker pool); [`wait`] collects
-/// and post-processes.
+/// and post-processes. The default backend is the in-process engine.
 ///
 /// [`wait`]: PendingPlan::wait
-#[derive(Debug)]
-pub struct PendingPlan {
-    kind: PendingKind,
+pub struct PendingPlan<B: PlanBackend = EngineHandle> {
+    backend: B,
+    kind: PendingKind<B>,
     cost: PrivacyCost,
 }
 
-#[derive(Debug)]
-enum PendingKind {
-    Cell(CellPending),
+enum PendingKind<B: PlanBackend> {
+    Cell(CellPending<B>),
     Groups {
         keys: Vec<Value>,
-        cells: Vec<CellPending>,
+        cells: Vec<CellPending<B>>,
         threshold: f64,
     },
-    Extreme(PendingExtreme),
+    Extreme(B::Ext),
 }
 
-impl PendingPlan {
+impl<B: PlanBackend> PendingPlan<B> {
     /// Blocks until every sub-query resolved, then assembles the plan's
     /// uniform answer.
     pub fn wait(self) -> Result<PlanAnswer> {
         let cost = self.cost;
+        let backend = &self.backend;
         match self.kind {
             PendingKind::Cell(cell) => {
-                let (value, ci_halfwidth, timings) = cell.wait()?;
+                let (value, ci_halfwidth, timings) = cell.wait(backend)?;
                 Ok(PlanAnswer {
                     result: PlanResult::Value {
                         value,
@@ -242,7 +423,7 @@ impl PendingPlan {
                     network: Duration::ZERO,
                 };
                 for (key, cell) in keys.into_iter().zip(cells) {
-                    let (value, ci_halfwidth, cell_timings) = cell.wait()?;
+                    let (value, ci_halfwidth, cell_timings) = cell.wait(backend)?;
                     merge_timings(&mut timings, &cell_timings);
                     if value >= threshold {
                         groups.push(PlanGroup {
@@ -261,7 +442,7 @@ impl PendingPlan {
                 })
             }
             PendingKind::Extreme(pending) => {
-                let extreme = pending.wait()?;
+                let extreme = backend.wait_ext(pending)?;
                 Ok(PlanAnswer {
                     result: PlanResult::Extreme {
                         value: extreme.value,
@@ -283,17 +464,13 @@ impl PendingPlan {
 /// The sub-query budget of one derived cell: the cell's `(ε, δ)` split
 /// evenly over the statistic's sub-queries, then phase-split.
 fn derived_budget(
-    handle: &EngineHandle,
+    hyperparams: HyperParams,
     statistic: DerivedStatistic,
     epsilon: f64,
     delta: f64,
 ) -> Result<QueryBudget> {
     let n = statistic.sub_queries() as f64;
-    Ok(QueryBudget::split(
-        epsilon / n,
-        delta / n,
-        handle.config().hyperparams,
-    )?)
+    Ok(QueryBudget::split(epsilon / n, delta / n, hyperparams)?)
 }
 
 /// The enumerated `(key, point query)` pairs of a GROUP-BY plan, ascending
@@ -317,123 +494,353 @@ fn derived_queries(query: &RangeQuery) -> Result<(RangeQuery, RangeQuery, RangeQ
     Ok((count, sum, second))
 }
 
-impl EngineHandle {
-    /// The keys a GROUP-BY plan enumerates, after the domain-size guard:
-    /// a grouped dimension whose public domain exceeds
-    /// [`crate::FederationConfig::max_group_domain`] is rejected with a
-    /// typed error instead of iterating an enormous domain.
-    fn group_keys(&self, group_dim: usize) -> Result<Vec<Value>> {
-        let domain = self.schema().dimension(group_dim)?.domain();
-        let cap = self.config().max_group_domain;
-        if domain.size() > cap {
-            return Err(CoreError::GroupDomainTooLarge {
-                size: domain.size(),
-                cap,
-            });
-        }
-        Ok(domain.iter().collect())
+/// The keys a GROUP-BY plan enumerates, after the domain-size guard:
+/// a grouped dimension whose public domain exceeds
+/// [`crate::FederationConfig::max_group_domain`] is rejected with a
+/// typed error instead of iterating an enormous domain.
+fn group_keys<B: PlanBackend>(backend: &B, group_dim: usize) -> Result<Vec<Value>> {
+    let domain = backend.schema().dimension(group_dim)?.domain();
+    let cap = backend.config().max_group_domain;
+    if domain.size() > cap {
+        return Err(CoreError::GroupDomainTooLarge {
+            size: domain.size(),
+            cap,
+        });
     }
+    Ok(domain.iter().collect())
+}
 
+/// Validates a plan on any backend without dispatching (or charging)
+/// anything: schema, sampling rate, budget positivity, and the
+/// group-domain cap. Stateless, so sessions can check a plan *before*
+/// charging its [`QueryPlan::total_cost`].
+pub(crate) fn validate_plan_with<B: PlanBackend>(backend: &B, plan: &QueryPlan) -> Result<()> {
+    let hyperparams = backend.config().hyperparams;
+    match plan {
+        QueryPlan::Scalar {
+            query,
+            sampling_rate,
+            epsilon,
+            delta,
+        } => {
+            let budget = QueryBudget::split(*epsilon, *delta, hyperparams)?;
+            backend.validate_sub(query, *sampling_rate, &budget)
+        }
+        QueryPlan::Derived {
+            query,
+            statistic,
+            sampling_rate,
+            epsilon,
+            delta,
+        } => {
+            if !(epsilon.is_finite() && *epsilon > 0.0) {
+                return Err(CoreError::BadConfig("derived epsilon must be positive"));
+            }
+            let budget = derived_budget(hyperparams, *statistic, *epsilon, *delta)?;
+            backend.validate_sub(query, *sampling_rate, &budget)
+        }
+        QueryPlan::GroupBy {
+            base,
+            statistic,
+            group_dim,
+            sampling_rate,
+            epsilon,
+            delta,
+            ..
+        } => {
+            if !(epsilon.is_finite() && *epsilon > 0.0) {
+                return Err(CoreError::BadConfig("group-by epsilon must be positive"));
+            }
+            if base.dims().any(|d| d == *group_dim) {
+                return Err(CoreError::BadConfig(
+                    "filter ranges must not constrain the grouped dimension",
+                ));
+            }
+            let keys = group_keys(backend, *group_dim)?;
+            let k = keys.len() as f64;
+            let budget = match statistic {
+                Some(statistic) => derived_budget(hyperparams, *statistic, epsilon / k, delta / k)?,
+                None => QueryBudget::split(epsilon / k, delta / k, hyperparams)?,
+            };
+            backend.validate_sub(base, *sampling_rate, &budget)
+        }
+        QueryPlan::Extreme { dim, epsilon, .. } => backend.validate_ext(*dim, *epsilon),
+    }
+}
+
+/// Submits one derived cell (COUNT, SUM, and for VAR/STD the cost-only
+/// second moment) without waiting.
+fn submit_derived_cell<B: PlanBackend>(
+    backend: &B,
+    query: &RangeQuery,
+    statistic: DerivedStatistic,
+    sampling_rate: f64,
+    budget: &QueryBudget,
+) -> Result<CellPending<B>> {
+    let (count_q, sum_q, second_q) = derived_queries(query)?;
+    let count = backend.submit_sub(&count_q, sampling_rate, budget)?;
+    let sum = backend.submit_sub(&sum_q, sampling_rate, budget)?;
+    let second_moment = match statistic {
+        DerivedStatistic::Average => None,
+        DerivedStatistic::Variance | DerivedStatistic::StdDev => {
+            // The second moment is *cost-only*: its released value is
+            // never read (see [`crate::derived`]), and its content is
+            // identical to the cell's COUNT. The dedup pass re-reads
+            // the COUNT's release instead of executing a third
+            // sub-query — post-processing, zero extra ξ — while the
+            // plan still declares (and sessions still charge) the full
+            // three-way split.
+            if backend.config().optimizer.dedup_subqueries {
+                Some(backend.share_sub(&count))
+            } else {
+                Some(backend.submit_sub(&second_q, sampling_rate, budget)?)
+            }
+        }
+    };
+    Ok(CellPending::Derived {
+        statistic,
+        count,
+        sum,
+        second_moment,
+    })
+}
+
+/// Compiles `plan` on `backend` and submits **all** of its sub-queries
+/// before returning. Assumes `plan` already passed
+/// [`validate_plan_with`] — sessions validate, charge atomically, then
+/// submit; re-validating would re-enumerate a group-by's domain for
+/// nothing.
+pub(crate) fn submit_plan_with<B: PlanBackend>(
+    backend: &B,
+    plan: &QueryPlan,
+) -> Result<PendingPlan<B>> {
+    let hyperparams = backend.config().hyperparams;
+    let (eps, delta) = plan.total_cost();
+    let cost = PrivacyCost { eps, delta };
+    let kind = match plan {
+        QueryPlan::Scalar {
+            query,
+            sampling_rate,
+            epsilon,
+            delta,
+        } => {
+            let budget = QueryBudget::split(*epsilon, *delta, hyperparams)?;
+            PendingKind::Cell(CellPending::Scalar(backend.submit_sub(
+                query,
+                *sampling_rate,
+                &budget,
+            )?))
+        }
+        QueryPlan::Derived {
+            query,
+            statistic,
+            sampling_rate,
+            epsilon,
+            delta,
+        } => {
+            let budget = derived_budget(hyperparams, *statistic, *epsilon, *delta)?;
+            PendingKind::Cell(submit_derived_cell(
+                backend,
+                query,
+                *statistic,
+                *sampling_rate,
+                &budget,
+            )?)
+        }
+        QueryPlan::GroupBy {
+            base,
+            statistic,
+            group_dim,
+            threshold,
+            sampling_rate,
+            epsilon,
+            delta,
+        } => {
+            let keys = group_keys(backend, *group_dim)?;
+            let k = keys.len() as f64;
+            let queries = compile_groups(base, *group_dim, &keys)?;
+            // Cost-ordered submission: costliest cells (by metadata-
+            // estimated surviving cluster count) enter the worker pool
+            // first, so the stragglers pipeline from the start. The
+            // pendings land back in key-order slots — `PendingKind::
+            // Groups` zips keys with cells positionally — and distinct
+            // sub-queries draw content-derived noise, so the released
+            // groups are byte-identical in any submission order.
+            let costs: Vec<u64> = queries
+                .iter()
+                .map(|q| backend.snapshot().estimated_cost(q))
+                .collect();
+            let order = submission_order(&costs, backend.config().optimizer.reorder_subqueries);
+            let mut slots: Vec<Option<CellPending<B>>> = queries.iter().map(|_| None).collect();
+            match statistic {
+                None => {
+                    let budget = QueryBudget::split(epsilon / k, delta / k, hyperparams)?;
+                    for &i in &order {
+                        slots[i] = Some(CellPending::Scalar(backend.submit_sub(
+                            &queries[i],
+                            *sampling_rate,
+                            &budget,
+                        )?));
+                    }
+                }
+                Some(statistic) => {
+                    let budget = derived_budget(hyperparams, *statistic, epsilon / k, delta / k)?;
+                    for &i in &order {
+                        slots[i] = Some(submit_derived_cell(
+                            backend,
+                            &queries[i],
+                            *statistic,
+                            *sampling_rate,
+                            &budget,
+                        )?);
+                    }
+                }
+            }
+            let cells = slots
+                .into_iter()
+                .map(|c| c.expect("every cell submitted"))
+                .collect();
+            PendingKind::Groups {
+                keys,
+                cells,
+                threshold: *threshold,
+            }
+        }
+        QueryPlan::Extreme {
+            dim,
+            extreme,
+            epsilon,
+        } => PendingKind::Extreme(backend.submit_ext(*dim, *extreme, *epsilon)?),
+    };
+    Ok(PendingPlan {
+        backend: backend.clone(),
+        kind,
+        cost,
+    })
+}
+
+/// `EXPLAIN` on any backend: the optimizer's decisions for `plan`,
+/// computed from the plan and the backend's public metadata snapshot
+/// alone — nothing is dispatched, no data is touched, and (because the
+/// inputs are the analyst's own query plus already-public Algorithm 1
+/// metadata) no budget is charged.
+pub(crate) fn explain_plan_with<B: PlanBackend>(
+    backend: &B,
+    plan: &QueryPlan,
+) -> Result<PlanExplanation> {
+    validate_plan_with(backend, plan)?;
+    let opt = backend.config().optimizer;
+    let snap = backend.snapshot();
+    let sub =
+        |label: String, query: &RangeQuery, reuses: Option<u64>, order: u64| SubQueryExplanation {
+            label,
+            pruned_providers: if opt.prune_providers {
+                snap.pruned_flags(query)
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &p)| p.then_some(i as u64))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            estimated_cost: snap.estimated_cost(query),
+            reuses,
+            order,
+        };
+    // One cell's sub-queries: COUNT, SUM, and for VAR/STD the second
+    // moment (marked as reusing the COUNT when dedup is on).
+    let derived_subs = |prefix: &str,
+                        query: &RangeQuery,
+                        statistic: DerivedStatistic,
+                        first_index: u64,
+                        order: u64|
+     -> Result<Vec<SubQueryExplanation>> {
+        let (count_q, sum_q, second_q) = derived_queries(query)?;
+        let mut subs = vec![
+            sub(format!("{prefix}count"), &count_q, None, order),
+            sub(format!("{prefix}sum"), &sum_q, None, order),
+        ];
+        if statistic.sub_queries() > 2 {
+            let reuses = opt.dedup_subqueries.then_some(first_index);
+            subs.push(sub(
+                format!("{prefix}second-moment"),
+                &second_q,
+                reuses,
+                order,
+            ));
+        }
+        Ok(subs)
+    };
+    let (plan_kind, sub_queries) = match plan {
+        QueryPlan::Scalar { query, .. } => ("scalar", vec![sub("query".into(), query, None, 0)]),
+        QueryPlan::Derived {
+            query, statistic, ..
+        } => ("derived", derived_subs("", query, *statistic, 0, 0)?),
+        QueryPlan::GroupBy {
+            base,
+            statistic,
+            group_dim,
+            ..
+        } => {
+            let keys = group_keys(backend, *group_dim)?;
+            let queries = compile_groups(base, *group_dim, &keys)?;
+            let costs: Vec<u64> = queries.iter().map(|q| snap.estimated_cost(q)).collect();
+            let order = submission_order(&costs, opt.reorder_subqueries);
+            // `order[pos] = cell` ⇒ cell's submission position.
+            let mut position = vec![0u64; order.len()];
+            for (pos, &cell) in order.iter().enumerate() {
+                position[cell] = pos as u64;
+            }
+            let mut subs = Vec::new();
+            for (cell, (key, query)) in keys.iter().zip(&queries).enumerate() {
+                match statistic {
+                    None => subs.push(sub(format!("group {key}"), query, None, position[cell])),
+                    Some(statistic) => {
+                        let first = subs.len() as u64;
+                        subs.extend(derived_subs(
+                            &format!("group {key} "),
+                            query,
+                            *statistic,
+                            first,
+                            position[cell],
+                        )?);
+                    }
+                }
+            }
+            ("group-by", subs)
+        }
+        // Extremes are answered from metadata by *every* provider's
+        // Exponential-mechanism selection — pruning a provider would
+        // change the released value, so the optimizer never does.
+        QueryPlan::Extreme { .. } => (
+            "extreme",
+            vec![SubQueryExplanation {
+                label: "extreme".into(),
+                pruned_providers: Vec::new(),
+                estimated_cost: 0,
+                reuses: None,
+                order: 0,
+            }],
+        ),
+    };
+    let (eps, delta) = plan.total_cost();
+    Ok(PlanExplanation {
+        plan_kind: plan_kind.into(),
+        n_providers: backend.config().n_providers as u64,
+        optimizer: opt,
+        eps,
+        delta,
+        sub_queries,
+    })
+}
+
+impl EngineHandle {
     /// Validates a plan without dispatching (or charging) anything:
     /// schema, sampling rate, budget positivity, and the group-domain cap.
     /// Stateless, so sessions can check a plan *before* charging its
     /// [`QueryPlan::total_cost`].
     pub fn validate_plan(&self, plan: &QueryPlan) -> Result<()> {
-        match plan {
-            QueryPlan::Scalar {
-                query,
-                sampling_rate,
-                epsilon,
-                delta,
-            } => {
-                let budget = QueryBudget::split(*epsilon, *delta, self.config().hyperparams)?;
-                self.validate(query, *sampling_rate, &budget)
-            }
-            QueryPlan::Derived {
-                query,
-                statistic,
-                sampling_rate,
-                epsilon,
-                delta,
-            } => {
-                if !(epsilon.is_finite() && *epsilon > 0.0) {
-                    return Err(CoreError::BadConfig("derived epsilon must be positive"));
-                }
-                let budget = derived_budget(self, *statistic, *epsilon, *delta)?;
-                self.validate(query, *sampling_rate, &budget)
-            }
-            QueryPlan::GroupBy {
-                base,
-                statistic,
-                group_dim,
-                sampling_rate,
-                epsilon,
-                delta,
-                ..
-            } => {
-                if !(epsilon.is_finite() && *epsilon > 0.0) {
-                    return Err(CoreError::BadConfig("group-by epsilon must be positive"));
-                }
-                if base.dims().any(|d| d == *group_dim) {
-                    return Err(CoreError::BadConfig(
-                        "filter ranges must not constrain the grouped dimension",
-                    ));
-                }
-                let keys = self.group_keys(*group_dim)?;
-                let k = keys.len() as f64;
-                let budget = match statistic {
-                    Some(statistic) => derived_budget(self, *statistic, epsilon / k, delta / k)?,
-                    None => QueryBudget::split(epsilon / k, delta / k, self.config().hyperparams)?,
-                };
-                self.validate(base, *sampling_rate, &budget)
-            }
-            QueryPlan::Extreme { dim, epsilon, .. } => {
-                self.schema().dimension(*dim)?;
-                if !(epsilon.is_finite() && *epsilon > 0.0) {
-                    return Err(CoreError::BadConfig(
-                        "extreme-query epsilon must be positive",
-                    ));
-                }
-                Ok(())
-            }
-        }
-    }
-
-    /// Submits one derived cell (COUNT, SUM, and for VAR/STD the cost-only
-    /// second moment) without waiting.
-    fn submit_derived_cell(
-        &self,
-        query: &RangeQuery,
-        statistic: DerivedStatistic,
-        sampling_rate: f64,
-        budget: &QueryBudget,
-    ) -> Result<CellPending> {
-        let (count_q, sum_q, second_q) = derived_queries(query)?;
-        let count = self.submit_with_budget(&count_q, sampling_rate, budget)?;
-        let sum = self.submit_with_budget(&sum_q, sampling_rate, budget)?;
-        let second_moment = match statistic {
-            DerivedStatistic::Average => None,
-            DerivedStatistic::Variance | DerivedStatistic::StdDev => {
-                // The second moment is *cost-only*: its released value is
-                // never read (see [`crate::derived`]), and its content is
-                // identical to the cell's COUNT. The dedup pass re-reads
-                // the COUNT's release instead of executing a third
-                // sub-query — post-processing, zero extra ξ — while the
-                // plan still declares (and sessions still charge) the full
-                // three-way split.
-                if self.config().optimizer.dedup_subqueries {
-                    Some(count.share())
-                } else {
-                    Some(self.submit_with_budget(&second_q, sampling_rate, budget)?)
-                }
-            }
-        };
-        Ok(CellPending::Derived {
-            statistic,
-            count,
-            sum,
-            second_moment,
-        })
+        validate_plan_with(self, plan)
     }
 
     /// Compiles `plan` and submits **all** of its sub-queries to the
@@ -453,103 +860,7 @@ impl EngineHandle {
     /// validates, charges atomically, then submits; re-validating would
     /// re-enumerate a group-by's domain for nothing).
     pub(crate) fn submit_plan_validated(&self, plan: &QueryPlan) -> Result<PendingPlan> {
-        let (eps, delta) = plan.total_cost();
-        let cost = PrivacyCost { eps, delta };
-        let kind = match plan {
-            QueryPlan::Scalar {
-                query,
-                sampling_rate,
-                epsilon,
-                delta,
-            } => {
-                let budget = QueryBudget::split(*epsilon, *delta, self.config().hyperparams)?;
-                PendingKind::Cell(CellPending::Scalar(self.submit_with_budget(
-                    query,
-                    *sampling_rate,
-                    &budget,
-                )?))
-            }
-            QueryPlan::Derived {
-                query,
-                statistic,
-                sampling_rate,
-                epsilon,
-                delta,
-            } => {
-                let budget = derived_budget(self, *statistic, *epsilon, *delta)?;
-                PendingKind::Cell(self.submit_derived_cell(
-                    query,
-                    *statistic,
-                    *sampling_rate,
-                    &budget,
-                )?)
-            }
-            QueryPlan::GroupBy {
-                base,
-                statistic,
-                group_dim,
-                threshold,
-                sampling_rate,
-                epsilon,
-                delta,
-            } => {
-                let keys = self.group_keys(*group_dim)?;
-                let k = keys.len() as f64;
-                let queries = compile_groups(base, *group_dim, &keys)?;
-                // Cost-ordered submission: costliest cells (by metadata-
-                // estimated surviving cluster count) enter the worker pool
-                // first, so the stragglers pipeline from the start. The
-                // pendings land back in key-order slots — `PendingKind::
-                // Groups` zips keys with cells positionally — and distinct
-                // sub-queries draw content-derived noise, so the released
-                // groups are byte-identical in any submission order.
-                let costs: Vec<u64> = queries
-                    .iter()
-                    .map(|q| self.meta_snapshot().estimated_cost(q))
-                    .collect();
-                let order = submission_order(&costs, self.config().optimizer.reorder_subqueries);
-                let mut slots: Vec<Option<CellPending>> = queries.iter().map(|_| None).collect();
-                match statistic {
-                    None => {
-                        let budget =
-                            QueryBudget::split(epsilon / k, delta / k, self.config().hyperparams)?;
-                        for &i in &order {
-                            slots[i] = Some(CellPending::Scalar(self.submit_with_budget(
-                                &queries[i],
-                                *sampling_rate,
-                                &budget,
-                            )?));
-                        }
-                    }
-                    Some(statistic) => {
-                        let budget = derived_budget(self, *statistic, epsilon / k, delta / k)?;
-                        for &i in &order {
-                            slots[i] = Some(self.submit_derived_cell(
-                                &queries[i],
-                                *statistic,
-                                *sampling_rate,
-                                &budget,
-                            )?);
-                        }
-                    }
-                }
-                let cells = slots
-                    .into_iter()
-                    .map(|c| c.expect("every cell submitted"))
-                    .collect();
-                PendingKind::Groups {
-                    keys,
-                    cells,
-                    threshold: *threshold,
-                }
-            }
-            QueryPlan::Extreme {
-                dim,
-                extreme,
-                epsilon,
-            } => PendingKind::Extreme(self.submit_extreme(*dim, *extreme, *epsilon)?),
-        };
-        Ok(PendingPlan { kind, cost })
+        submit_plan_with(self, plan)
     }
 
     /// Submits a plan and waits it out (submit + wait).
@@ -593,113 +904,7 @@ impl EngineHandle {
     /// exactly what [`Self::submit_plan`] would do under the current
     /// [`crate::config::OptimizerConfig`].
     pub fn explain_plan(&self, plan: &QueryPlan) -> Result<PlanExplanation> {
-        self.validate_plan(plan)?;
-        let opt = self.config().optimizer;
-        let snap = self.meta_snapshot();
-        let sub = |label: String, query: &RangeQuery, reuses: Option<u64>, order: u64| {
-            SubQueryExplanation {
-                label,
-                pruned_providers: if opt.prune_providers {
-                    snap.pruned_flags(query)
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, &p)| p.then_some(i as u64))
-                        .collect()
-                } else {
-                    Vec::new()
-                },
-                estimated_cost: snap.estimated_cost(query),
-                reuses,
-                order,
-            }
-        };
-        // One cell's sub-queries: COUNT, SUM, and for VAR/STD the second
-        // moment (marked as reusing the COUNT when dedup is on).
-        let derived_subs = |prefix: &str,
-                            query: &RangeQuery,
-                            statistic: DerivedStatistic,
-                            first_index: u64,
-                            order: u64|
-         -> Result<Vec<SubQueryExplanation>> {
-            let (count_q, sum_q, second_q) = derived_queries(query)?;
-            let mut subs = vec![
-                sub(format!("{prefix}count"), &count_q, None, order),
-                sub(format!("{prefix}sum"), &sum_q, None, order),
-            ];
-            if statistic.sub_queries() > 2 {
-                let reuses = opt.dedup_subqueries.then_some(first_index);
-                subs.push(sub(
-                    format!("{prefix}second-moment"),
-                    &second_q,
-                    reuses,
-                    order,
-                ));
-            }
-            Ok(subs)
-        };
-        let (plan_kind, sub_queries) = match plan {
-            QueryPlan::Scalar { query, .. } => {
-                ("scalar", vec![sub("query".into(), query, None, 0)])
-            }
-            QueryPlan::Derived {
-                query, statistic, ..
-            } => ("derived", derived_subs("", query, *statistic, 0, 0)?),
-            QueryPlan::GroupBy {
-                base,
-                statistic,
-                group_dim,
-                ..
-            } => {
-                let keys = self.group_keys(*group_dim)?;
-                let queries = compile_groups(base, *group_dim, &keys)?;
-                let costs: Vec<u64> = queries.iter().map(|q| snap.estimated_cost(q)).collect();
-                let order = submission_order(&costs, opt.reorder_subqueries);
-                // `order[pos] = cell` ⇒ cell's submission position.
-                let mut position = vec![0u64; order.len()];
-                for (pos, &cell) in order.iter().enumerate() {
-                    position[cell] = pos as u64;
-                }
-                let mut subs = Vec::new();
-                for (cell, (key, query)) in keys.iter().zip(&queries).enumerate() {
-                    match statistic {
-                        None => subs.push(sub(format!("group {key}"), query, None, position[cell])),
-                        Some(statistic) => {
-                            let first = subs.len() as u64;
-                            subs.extend(derived_subs(
-                                &format!("group {key} "),
-                                query,
-                                *statistic,
-                                first,
-                                position[cell],
-                            )?);
-                        }
-                    }
-                }
-                ("group-by", subs)
-            }
-            // Extremes are answered from metadata by *every* provider's
-            // Exponential-mechanism selection — pruning a provider would
-            // change the released value, so the optimizer never does.
-            QueryPlan::Extreme { .. } => (
-                "extreme",
-                vec![SubQueryExplanation {
-                    label: "extreme".into(),
-                    pruned_providers: Vec::new(),
-                    estimated_cost: 0,
-                    reuses: None,
-                    order: 0,
-                }],
-            ),
-        };
-        let (eps, delta) = plan.total_cost();
-        Ok(PlanExplanation {
-            plan_kind: plan_kind.into(),
-            n_providers: self.n_providers() as u64,
-            optimizer: opt,
-            eps,
-            delta,
-            sub_queries,
-        })
+        explain_plan_with(self, plan)
     }
 }
 

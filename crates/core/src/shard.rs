@@ -1,0 +1,1311 @@
+//! Sharded federation: plan fragmentation + the scatter–gather
+//! coordinator.
+//!
+//! A single [`crate::FederationEngine`] runs every provider in one
+//! process. This module partitions the providers across *N engine
+//! shards* — each a full worker pool of its own, in-process or behind a
+//! wire connection — and puts a **coordinator** in front that speaks the
+//! analyst surface of an engine while scattering each sub-query as
+//! per-shard *fragments* and gathering the mergeable partials back:
+//!
+//! ```text
+//!  analysts ──plans──▶ ShardedFederation ──fragments──▶ shard 0 (providers 0..k)
+//!     ▲                 │ occurrence ledger             shard 1 (providers k..m)
+//!     │                 │ global allocation (Eq. 6)       …
+//!     └── PlanAnswer ◀──┴── merge partials (serial fold, global order)
+//! ```
+//!
+//! **Determinism contract.** A seeded plan is byte-identical between the
+//! 1-shard and the N-shard run — serial ≡ concurrent ≡ remote ≡ sharded.
+//! Three mechanisms make this hold:
+//!
+//! 1. *Lane offsets.* Shard `s` holding global providers `[o, o+k)` is
+//!    configured with [`FederationConfig::provider_lane_base`] `= o`, so
+//!    its local providers `0..k` draw from exactly the RNG lanes the
+//!    1-shard engine gives providers `o..o+k`.
+//! 2. *One occurrence ledger.* The coordinator owns the per-content
+//!    occurrence counters (the same content hash the engine uses) and
+//!    passes each fragment its explicit occurrence index — shards never
+//!    consult their own ledgers for fragments, so a shard serving two
+//!    coordinators (or analyst traffic on the side) cannot skew the
+//!    noise streams. See the differencing note in [`crate::engine`].
+//! 3. *Serial merge fold.* f64 addition is not associative, so partials
+//!    carry *per-provider* released values and the coordinator re-runs
+//!    the 1-shard release fold ([`Aggregator::finalize_local`]) over the
+//!    global concatenation, in global provider order — bit-exact, not
+//!    merely close. MIN/MAX fragments fold exactly (integer domain).
+//!
+//! The global allocation program (Eq. 6) runs at the coordinator over
+//! the concatenated summaries: step 3 is *externalized* on every shard
+//! ([`crate::engine::PendingFragment`]), whose workers park after their
+//! summaries until the coordinator feeds the globally solved slice back.
+//! [`Aggregator::allocate`] is RNG-free, so the coordinator's solution is
+//! identical to the one the 1-shard aggregator would compute.
+//!
+//! **Single-ξ authority.** The coordinator (its sessions, or the serving
+//! endpoint's `BudgetDirectory`) is the *only* place analyst budgets are
+//! validated and charged: a plan's whole [`QueryPlan::total_cost`] is
+//! charged atomically *before* any fragment is scattered, and downstream
+//! shards execute fragments budget-unchecked. A shard must therefore
+//! accept fragments **only** from its coordinator (the wire layer
+//! enforces this by serving fragment frames and analyst frames from
+//! disjoint endpoints); the full argument lives in
+//! `docs/privacy-model.md`.
+//!
+//! **Faults.** A shard refusing a connection or dropping mid-plan
+//! surfaces as the typed [`CoreError::ShardUnavailable`] — never a
+//! hangup. Budget already charged for the plan stays charged
+//! (fail-closed, the conservative direction for privacy; pinned by
+//! tests). Fragments begun on healthy shards are aborted on drop so
+//! their parked workers unblock.
+//!
+//! **Deadlock discipline.** Every shard engine requires its provider
+//! queues to observe jobs in one order; across shards the coordinator
+//! holds a global scatter lock across the *begin* calls of one sub-query
+//! (and only those — summaries and partials are gathered outside the
+//! lock, in parallel across shards, and allocations delivered outside it
+//! too), so any two sub-queries begin in the same order on every shard
+//! and the per-fragment allocation barriers resolve in queue order.
+//!
+//! SMC release ([`ReleaseMode::Smc`]) is not shardable — its oblivious
+//! sum needs every provider's secret shares in one place — and is
+//! rejected at construction with a typed error.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use fedaqp_dp::{advanced_per_query, PrivacyCost, QueryBudget, SharedAccountant};
+use fedaqp_model::{Extreme, QueryPlan, RangeQuery, Row, Schema, Value};
+
+use crate::aggregator::Aggregator;
+use crate::config::{AllocationPolicy, FederationConfig, ReleaseMode};
+use crate::engine::{
+    extreme_content_hash, private_content_hash, EngineHandle, FederationEngine, PendingFragment,
+};
+use crate::federation::Federation;
+use crate::optimizer::{MetaSnapshot, PlanExplanation, ProviderBounds};
+use crate::plan::{
+    explain_plan_with, submit_plan_with, validate_plan_with, ExtremeOutcome, PendingPlan,
+    PlanAnswer, PlanBackend, SubOutcome,
+};
+use crate::protocol::{combined_ci_halfwidth, query_bytes, LocalOutcome, PhaseTimings};
+use crate::session::SessionPlan;
+use crate::{CoreError, Result};
+
+/// One provider's slice of a fragment's mergeable partial answer: the
+/// locally noised release plus the public per-provider diagnostics the
+/// coordinator folds. Raw estimates and smooth sensitivities never leave
+/// a shard — the coordinator (like any aggregator) sees only
+/// already-released values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialRow {
+    /// The provider's locally noised release (protocol step 6).
+    pub released: f64,
+    /// Hansen–Hurwitz variance of the raw estimate (`None` when
+    /// inestimable) — public CI accounting, not a data leak: the 1-shard
+    /// engine surfaces the same per-provider variances to its analyst.
+    pub variance: Option<f64>,
+    /// Whether the provider approximated.
+    pub approximated: bool,
+    /// Clusters scanned (work proxy).
+    pub clusters_scanned: u64,
+    /// Covering-set size `N^Q`.
+    pub n_covering: u64,
+}
+
+/// One shard's mergeable partial for a private fragment: per-provider
+/// rows in *local* provider order, plus the shard's slowest-provider
+/// execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentPartial {
+    /// One row per local provider, in local provider order.
+    pub rows: Vec<PartialRow>,
+    /// Wall time of the shard's slowest provider (steps 4–6).
+    pub execution: Duration,
+}
+
+/// Everything a shard needs to run one private fragment. The occurrence
+/// index comes from the coordinator's ledger (mechanism 2 of the
+/// determinism contract); the shard's own ledger is untouched.
+#[derive(Debug, Clone)]
+pub struct FragmentSpec {
+    /// The range query.
+    pub query: RangeQuery,
+    /// The sampling rate `sr ∈ (0, 1)`.
+    pub sampling_rate: f64,
+    /// The per-query budget (already validated and charged upstream).
+    pub budget: QueryBudget,
+    /// Coordinator-assigned occurrence index for the noise derivation.
+    pub occurrence: u64,
+}
+
+/// Everything a shard needs to run one MIN/MAX fragment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtremeFragmentSpec {
+    /// The selected dimension.
+    pub dim: usize,
+    /// MIN or MAX.
+    pub extreme: Extreme,
+    /// Per-provider EM budget.
+    pub epsilon: f64,
+    /// Coordinator-assigned occurrence index.
+    pub occurrence: u64,
+}
+
+/// One private fragment in flight on a shard: summaries out, allocation
+/// in, partial out. Dropping an unallocated handle must abort the
+/// fragment so the shard's parked workers unblock (the in-process
+/// implementation inherits this from [`PendingFragment`]'s `Drop`; a
+/// wire-backed implementation aborts on connection close).
+pub trait FragmentHandle: Send {
+    /// Blocks until every local provider delivered its step-2 summary;
+    /// returns them in local provider order with the slowest provider's
+    /// summary time.
+    fn summaries(&mut self) -> Result<(Vec<crate::protocol::ProviderSummary>, Duration)>;
+    /// Delivers the coordinator's globally solved allocation (this
+    /// shard's slice, local provider order).
+    fn allocate(&mut self, allocations: &[u64]) -> Result<()>;
+    /// Blocks until every local provider executed; returns the shard's
+    /// mergeable partial.
+    fn partial(&mut self) -> Result<FragmentPartial>;
+}
+
+/// One engine shard as the coordinator sees it: provider count and
+/// public bounds up front, fragments on demand. Implemented in-process
+/// by [`EngineHandle`] and over the wire by the net crate's remote-shard
+/// client.
+pub trait ShardBackend: Send + Sync {
+    /// Number of providers this shard holds.
+    fn n_providers(&self) -> usize;
+    /// The shard's public per-provider pruning bounds, in local provider
+    /// order (offline Algorithm 1 metadata — the coordinator concatenates
+    /// these into the global [`MetaSnapshot`]).
+    fn bounds(&self) -> Vec<ProviderBounds>;
+    /// Begins one private fragment without waiting.
+    fn begin(&self, spec: &FragmentSpec) -> Result<Box<dyn FragmentHandle>>;
+    /// Runs one MIN/MAX fragment to completion: the shard-local combined
+    /// selection plus its slowest provider's execution time.
+    fn extreme(&self, spec: &ExtremeFragmentSpec) -> Result<(Value, Duration)>;
+}
+
+impl ShardBackend for EngineHandle {
+    fn n_providers(&self) -> usize {
+        EngineHandle::n_providers(self)
+    }
+
+    fn bounds(&self) -> Vec<ProviderBounds> {
+        self.meta_snapshot().providers().to_vec()
+    }
+
+    fn begin(&self, spec: &FragmentSpec) -> Result<Box<dyn FragmentHandle>> {
+        Ok(Box::new(self.submit_fragment(
+            &spec.query,
+            spec.sampling_rate,
+            &spec.budget,
+            spec.occurrence,
+        )?))
+    }
+
+    fn extreme(&self, spec: &ExtremeFragmentSpec) -> Result<(Value, Duration)> {
+        let pending =
+            self.submit_extreme_fragment(spec.dim, spec.extreme, spec.epsilon, spec.occurrence)?;
+        let answer = pending.wait()?;
+        Ok((answer.value, answer.execution))
+    }
+}
+
+impl FragmentHandle for PendingFragment {
+    fn summaries(&mut self) -> Result<(Vec<crate::protocol::ProviderSummary>, Duration)> {
+        PendingFragment::summaries(self)
+    }
+
+    fn allocate(&mut self, allocations: &[u64]) -> Result<()> {
+        self.provide_allocation(allocations.to_vec())
+    }
+
+    fn partial(&mut self) -> Result<FragmentPartial> {
+        PendingFragment::partial(self)
+    }
+}
+
+/// Shared interior of [`ShardedFederation`].
+struct CoordinatorInner {
+    /// Coordinator-wide configuration: `n_providers` is the federation
+    /// total; `provider_lane_base` the global base (0 unless this
+    /// coordinator is itself a shard of a larger one).
+    config: FederationConfig,
+    schema: Schema,
+    /// Global pruning snapshot: the shards' bounds concatenated in shard
+    /// order == global provider order.
+    snapshot: MetaSnapshot,
+    shards: Vec<Box<dyn ShardBackend>>,
+    /// Global provider offset of each shard (prefix sums).
+    offsets: Vec<usize>,
+    /// THE per-content occurrence ledger of the deployment (mechanism 2
+    /// of the determinism contract) — same content-hash keys as the
+    /// engine's own ledger.
+    occurrences: Mutex<HashMap<u64, u64>>,
+    /// Global scatter lock: held across the begin calls of one
+    /// sub-query so every shard observes sub-queries in one order (see
+    /// the module docs' deadlock discipline).
+    scatter: Mutex<()>,
+    /// Worker pools of in-process shards (empty when the shards are
+    /// remote); drained by [`ShardedFederation::shutdown`].
+    engines: Mutex<Vec<FederationEngine>>,
+}
+
+/// A cloneable, thread-safe handle onto a sharded federation — the
+/// scatter–gather coordinator. Implements [`PlanBackend`], so the *same*
+/// plan compiler (budget splits, group enumeration, suppression, dedup,
+/// cost-ordered submission) that drives [`EngineHandle`] drives the
+/// sharded deployment; only the sub-query transport differs.
+#[derive(Clone)]
+pub struct ShardedFederation {
+    inner: Arc<CoordinatorInner>,
+}
+
+impl std::fmt::Debug for ShardedFederation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedFederation")
+            .field("n_shards", &self.inner.shards.len())
+            .field("n_providers", &self.inner.config.n_providers)
+            .finish()
+    }
+}
+
+impl ShardedFederation {
+    /// Builds an in-process sharded federation: `partitions` (one per
+    /// global provider) are split contiguously across `n_shards` worker
+    /// pools, each configured with the *same* seed and its global lane
+    /// offset — the setup under which N-shard answers are byte-identical
+    /// to the 1-shard run.
+    pub fn in_process(
+        config: FederationConfig,
+        schema: Schema,
+        partitions: Vec<Vec<Row>>,
+        n_shards: usize,
+    ) -> Result<Self> {
+        config.validate()?;
+        reject_unshardable(&config)?;
+        if n_shards == 0 || n_shards > config.n_providers {
+            return Err(CoreError::BadConfig(
+                "shard count must be in [1, n_providers]",
+            ));
+        }
+        if partitions.len() != config.n_providers {
+            return Err(CoreError::PartitionMismatch {
+                partitions: partitions.len(),
+                providers: config.n_providers,
+            });
+        }
+        let mut partitions = partitions.into_iter();
+        let mut shards: Vec<Box<dyn ShardBackend>> = Vec::with_capacity(n_shards);
+        let mut engines = Vec::with_capacity(n_shards);
+        let (base, extra) = (config.n_providers / n_shards, config.n_providers % n_shards);
+        let mut offset = 0usize;
+        for s in 0..n_shards {
+            let k = base + usize::from(s < extra);
+            let mut shard_cfg = config.clone();
+            shard_cfg.n_providers = k;
+            shard_cfg.provider_lane_base = config.provider_lane_base + offset as u64;
+            let shard_partitions: Vec<Vec<Row>> = partitions.by_ref().take(k).collect();
+            let engine = FederationEngine::start(Federation::build(
+                shard_cfg,
+                schema.clone(),
+                shard_partitions,
+            )?);
+            shards.push(Box::new(engine.handle()));
+            engines.push(engine);
+            offset += k;
+        }
+        Self::assemble(config, schema, shards, engines)
+    }
+
+    /// Builds a coordinator over externally provided shard backends (the
+    /// net crate federates remote `fedaqp-net` servers this way).
+    /// `config.n_providers` must equal the shard total.
+    pub fn from_backends(
+        config: FederationConfig,
+        schema: Schema,
+        shards: Vec<Box<dyn ShardBackend>>,
+    ) -> Result<Self> {
+        config.validate()?;
+        reject_unshardable(&config)?;
+        if shards.is_empty() {
+            return Err(CoreError::BadConfig("coordinator needs at least one shard"));
+        }
+        Self::assemble(config, schema, shards, Vec::new())
+    }
+
+    fn assemble(
+        config: FederationConfig,
+        schema: Schema,
+        shards: Vec<Box<dyn ShardBackend>>,
+        engines: Vec<FederationEngine>,
+    ) -> Result<Self> {
+        let mut offsets = Vec::with_capacity(shards.len());
+        let mut bounds = Vec::with_capacity(config.n_providers);
+        let mut offset = 0usize;
+        for shard in &shards {
+            offsets.push(offset);
+            let k = shard.n_providers();
+            let shard_bounds = shard.bounds();
+            if shard_bounds.len() != k {
+                return Err(CoreError::ProtocolViolation(
+                    "shard bounds do not match its provider count",
+                ));
+            }
+            bounds.extend(shard_bounds);
+            offset += k;
+        }
+        if offset != config.n_providers {
+            return Err(CoreError::PartitionMismatch {
+                partitions: offset,
+                providers: config.n_providers,
+            });
+        }
+        Ok(Self {
+            inner: Arc::new(CoordinatorInner {
+                config,
+                schema,
+                snapshot: MetaSnapshot::from_bounds(bounds),
+                shards,
+                offsets,
+                occurrences: Mutex::new(HashMap::new()),
+                scatter: Mutex::new(()),
+                engines: Mutex::new(engines),
+            }),
+        })
+    }
+
+    /// The coordinator-wide federation configuration.
+    pub fn config(&self) -> &FederationConfig {
+        &self.inner.config
+    }
+
+    /// The public table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    /// Number of shards behind this coordinator.
+    pub fn n_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Total providers across all shards.
+    pub fn n_providers(&self) -> usize {
+        self.inner.config.n_providers
+    }
+
+    /// The global pruning snapshot (shards' bounds concatenated).
+    pub fn meta_snapshot(&self) -> &MetaSnapshot {
+        &self.inner.snapshot
+    }
+
+    /// The default per-query budget from the configuration.
+    pub fn default_budget(&self) -> Result<QueryBudget> {
+        self.inner.config.query_budget()
+    }
+
+    /// Stops the in-process shard pools (no-op for remote backends,
+    /// whose servers are shut down by their owners). Later submissions
+    /// on any clone fail cleanly.
+    pub fn shutdown(&self) {
+        let mut engines = self
+            .inner
+            .engines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for engine in engines.drain(..) {
+            let _ = engine.shutdown();
+        }
+    }
+
+    /// Validates a plan without dispatching (or charging) anything —
+    /// the sharded twin of [`EngineHandle::validate_plan`].
+    pub fn validate_plan(&self, plan: &QueryPlan) -> Result<()> {
+        validate_plan_with(self, plan)
+    }
+
+    /// Compiles `plan` and scatters **all** of its sub-queries before
+    /// returning — the sharded twin of [`EngineHandle::submit_plan`].
+    pub fn submit_plan(&self, plan: &QueryPlan) -> Result<PendingPlan<ShardedFederation>> {
+        self.validate_plan(plan)?;
+        self.submit_plan_validated(plan)
+    }
+
+    /// [`Self::submit_plan`] minus the validation pass, for sessions
+    /// that validate, charge atomically, then submit.
+    pub(crate) fn submit_plan_validated(
+        &self,
+        plan: &QueryPlan,
+    ) -> Result<PendingPlan<ShardedFederation>> {
+        submit_plan_with(self, plan)
+    }
+
+    /// Submits a plan and waits it out.
+    pub fn run_plan(&self, plan: &QueryPlan) -> Result<PlanAnswer> {
+        self.submit_plan(plan)?.wait()
+    }
+
+    /// `EXPLAIN` on the coordinator: identical decisions to the 1-shard
+    /// engine (same optimizer code over the same concatenated bounds).
+    pub fn explain_plan(&self, plan: &QueryPlan) -> Result<PlanExplanation> {
+        explain_plan_with(self, plan)
+    }
+
+    /// Submits one private scalar query under an explicit budget (the
+    /// analyst-facing twin of [`EngineHandle::submit_with_budget`]).
+    pub fn submit_with_budget(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<ShardedPendingAnswer> {
+        let sub = self.scatter(query, sampling_rate, budget)?;
+        Ok(ShardedPendingAnswer {
+            federation: self.clone(),
+            sub,
+            cost: budget.cost(),
+        })
+    }
+
+    /// Fetch-and-increment the occurrence counter for `key`.
+    fn next_occurrence(&self, key: u64) -> u64 {
+        let mut counts = self
+            .inner
+            .occurrences
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let slot = counts.entry(key).or_insert(0);
+        let index = *slot;
+        *slot += 1;
+        index
+    }
+
+    /// Rebinds a shard-reported error to the coordinator's shard index.
+    fn shard_error(&self, shard: usize, error: CoreError) -> CoreError {
+        match error {
+            CoreError::ShardUnavailable { reason, .. } => {
+                CoreError::ShardUnavailable { shard, reason }
+            }
+            other => other,
+        }
+    }
+
+    /// The scatter half of one private sub-query: begin a fragment on
+    /// every shard (under the global scatter lock), gather and
+    /// concatenate the summaries, solve the global allocation, and feed
+    /// each shard its slice — synchronously, so the returned handle only
+    /// has partials left to gather.
+    fn scatter(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<ShardedSub> {
+        self.validate_sub(query, sampling_rate, budget)?;
+        let inner = &*self.inner;
+        let occurrence = self.next_occurrence(private_content_hash(query, sampling_rate, budget));
+        let spec = FragmentSpec {
+            query: query.clone(),
+            sampling_rate,
+            budget: *budget,
+            occurrence,
+        };
+        // Begin on every shard in shard order under the scatter lock —
+        // and only the begins: holding it across the (blocking) summary
+        // gathering would serialize concurrent plans for nothing.
+        let mut fragments: Vec<Box<dyn FragmentHandle>> = Vec::with_capacity(inner.shards.len());
+        {
+            let _order = inner.scatter.lock().unwrap_or_else(PoisonError::into_inner);
+            for (s, shard) in inner.shards.iter().enumerate() {
+                match shard.begin(&spec) {
+                    Ok(fragment) => fragments.push(fragment),
+                    // Dropping the already-begun fragments aborts them,
+                    // so healthy shards' parked workers unblock.
+                    Err(e) => return Err(self.shard_error(s, e)),
+                }
+            }
+        }
+        // Gather summaries — in parallel across shards, so one shard's
+        // transfer does not idle the others — and concatenate into
+        // global provider order.
+        let mut summaries = Vec::with_capacity(inner.config.n_providers);
+        let mut summary_time = Duration::ZERO;
+        let gathered = for_each_fragment(&mut fragments, |fragment| fragment.summaries());
+        for (s, result) in gathered.into_iter().enumerate() {
+            let (mut shard_summaries, t) = result.map_err(|e| self.shard_error(s, e))?;
+            if shard_summaries.len() != inner.shards[s].n_providers() {
+                return Err(CoreError::ProtocolViolation(
+                    "fragment summaries do not match the shard's provider count",
+                ));
+            }
+            summary_time = summary_time.max(t);
+            for (i, summary) in shard_summaries.iter_mut().enumerate() {
+                summary.provider = inner.offsets[s] + i;
+            }
+            summaries.extend(shard_summaries);
+        }
+        // Step 3, globally: the allocation program over *all* summaries.
+        // `allocate` is RNG-free, so any aggregator seed reproduces the
+        // 1-shard solution exactly.
+        let t = Instant::now();
+        let aggregator = Aggregator::new(0, inner.config.cost_model);
+        let allocations = match inner.config.allocation_policy {
+            AllocationPolicy::Optimized => aggregator.allocate(&summaries, sampling_rate)?,
+            AllocationPolicy::LocalUniform => {
+                aggregator.allocate_local_uniform(&summaries, sampling_rate)?
+            }
+        };
+        let allocation_time = t.elapsed();
+        for (s, fragment) in fragments.iter_mut().enumerate() {
+            let o = inner.offsets[s];
+            let k = inner.shards[s].n_providers();
+            fragment
+                .allocate(&allocations[o..o + k])
+                .map_err(|e| self.shard_error(s, e))?;
+        }
+        Ok(ShardedSub {
+            shared: Arc::new(SubShared {
+                state: Mutex::new(SubState::Scattered {
+                    fragments,
+                    summary_time,
+                    allocation_time,
+                    query_bytes: query_bytes(query),
+                    allocations,
+                }),
+            }),
+        })
+    }
+
+    /// The gather half: fetch every shard's partial, rebuild the global
+    /// outcome rows, and re-run the 1-shard release fold.
+    fn gather(
+        &self,
+        mut fragments: Vec<Box<dyn FragmentHandle>>,
+        summary_time: Duration,
+        allocation_time: Duration,
+        query_bytes: u64,
+        allocations: Vec<u64>,
+    ) -> Result<SubResolved> {
+        let inner = &*self.inner;
+        let mut outcomes = Vec::with_capacity(inner.config.n_providers);
+        let mut execution = Duration::ZERO;
+        let gathered = for_each_fragment(&mut fragments, |fragment| fragment.partial());
+        for (s, result) in gathered.into_iter().enumerate() {
+            let partial = result.map_err(|e| self.shard_error(s, e))?;
+            if partial.rows.len() != inner.shards[s].n_providers() {
+                return Err(CoreError::ProtocolViolation(
+                    "fragment partial does not match the shard's provider count",
+                ));
+            }
+            execution = execution.max(partial.execution);
+            for (i, row) in partial.rows.iter().enumerate() {
+                // Raw estimates and smooth sensitivities never cross the
+                // shard boundary; the fold below reads only `released`
+                // (and the public variances for the CI).
+                outcomes.push(LocalOutcome {
+                    provider: inner.offsets[s] + i,
+                    released: Some(row.released),
+                    estimate: 0.0,
+                    smooth_ls: 0.0,
+                    variance: row.variance,
+                    approximated: row.approximated,
+                    clusters_scanned: row.clusters_scanned as usize,
+                    n_covering: row.n_covering as usize,
+                });
+            }
+        }
+        let t = Instant::now();
+        let aggregator = Aggregator::new(0, inner.config.cost_model);
+        let value = aggregator.finalize_local(&outcomes)?;
+        let release = t.elapsed();
+        // Same simulated-network accounting as the 1-shard engine's
+        // local-DP path: broadcast + summary + allocation + release.
+        let cm = inner.config.cost_model;
+        let network =
+            cm.round_time(query_bytes) + cm.round_time(16) + cm.round_time(8) + cm.round_time(16);
+        Ok(SubResolved {
+            outcome: SubOutcome {
+                value,
+                ci_halfwidth: combined_ci_halfwidth(&outcomes),
+                timings: PhaseTimings {
+                    summary: summary_time,
+                    allocation: allocation_time,
+                    execution,
+                    release,
+                    network,
+                },
+            },
+            clusters_scanned: outcomes.iter().map(|o| o.clusters_scanned).sum(),
+            covering_total: outcomes.iter().map(|o| o.n_covering).sum(),
+            approximated_providers: outcomes.iter().filter(|o| o.approximated).count(),
+            allocations,
+        })
+    }
+
+    /// Resolves a sharded sub-query, memoizing the merged outcome so
+    /// every sharer (the dedup pass) observes byte-identical answers
+    /// without re-gathering.
+    fn wait_sharded(&self, sub: ShardedSub) -> Result<SubResolved> {
+        let mut state = sub
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let SubState::Done(result) = &*state {
+            return result.clone();
+        }
+        let taken = std::mem::replace(
+            &mut *state,
+            SubState::Done(Err(CoreError::ProtocolViolation(
+                "sharded sub-query gather was interrupted",
+            ))),
+        );
+        let SubState::Scattered {
+            fragments,
+            summary_time,
+            allocation_time,
+            query_bytes,
+            allocations,
+        } = taken
+        else {
+            unreachable!("Done was returned above");
+        };
+        let result = self.gather(
+            fragments,
+            summary_time,
+            allocation_time,
+            query_bytes,
+            allocations,
+        );
+        *state = SubState::Done(result.clone());
+        result
+    }
+}
+
+/// Runs `op` on every fragment concurrently — one scoped thread per
+/// shard when there is more than one — returning the results in shard
+/// order. The blocking calls of a sub-query's fragments (summaries,
+/// partials) are independent across shards once begun, so gathering
+/// them serially would leave every other shard's uplink idle for the
+/// duration of each reply; results are still merged in shard order, so
+/// the release fold is unaffected.
+fn for_each_fragment<T, F>(fragments: &mut [Box<dyn FragmentHandle>], op: F) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(&mut dyn FragmentHandle) -> Result<T> + Sync,
+{
+    if let [fragment] = fragments {
+        return vec![op(&mut **fragment)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = fragments
+            .iter_mut()
+            .map(|fragment| scope.spawn(|| op(&mut **fragment)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle.join().unwrap_or_else(|_| {
+                    Err(CoreError::ProtocolViolation(
+                        "fragment gather thread panicked",
+                    ))
+                })
+            })
+            .collect()
+    })
+}
+
+/// Rejects configurations the coordinator cannot serve.
+fn reject_unshardable(config: &FederationConfig) -> Result<()> {
+    if config.release_mode == ReleaseMode::Smc {
+        return Err(CoreError::BadConfig(
+            "SMC release is not shardable: the oblivious sum needs every provider's shares in one place",
+        ));
+    }
+    Ok(())
+}
+
+/// A private sub-query in flight across the shards. Cloning via
+/// [`PlanBackend::share_sub`] shares the underlying gather, so dedup'd
+/// sub-queries resolve once and every sharer reads the memoized merge.
+pub struct ShardedSub {
+    shared: Arc<SubShared>,
+}
+
+struct SubShared {
+    state: Mutex<SubState>,
+}
+
+enum SubState {
+    Scattered {
+        fragments: Vec<Box<dyn FragmentHandle>>,
+        summary_time: Duration,
+        allocation_time: Duration,
+        query_bytes: u64,
+        allocations: Vec<u64>,
+    },
+    Done(Result<SubResolved>),
+}
+
+/// A gathered sub-query: the released outcome plus the public scan
+/// diagnostics an [`crate::EngineAnswer`] also reports.
+#[derive(Clone)]
+struct SubResolved {
+    outcome: SubOutcome,
+    clusters_scanned: usize,
+    covering_total: usize,
+    approximated_providers: usize,
+    allocations: Vec<u64>,
+}
+
+impl PlanBackend for ShardedFederation {
+    type Sub = ShardedSub;
+    type Ext = ExtremeOutcome;
+
+    fn config(&self) -> &FederationConfig {
+        &self.inner.config
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    fn snapshot(&self) -> &MetaSnapshot {
+        &self.inner.snapshot
+    }
+
+    fn submit_sub(
+        &self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        budget: &QueryBudget,
+    ) -> Result<ShardedSub> {
+        self.scatter(query, sampling_rate, budget)
+    }
+
+    fn share_sub(&self, sub: &ShardedSub) -> ShardedSub {
+        ShardedSub {
+            shared: Arc::clone(&sub.shared),
+        }
+    }
+
+    fn wait_sub(&self, sub: ShardedSub) -> Result<SubOutcome> {
+        self.wait_sharded(sub).map(|resolved| resolved.outcome)
+    }
+
+    fn submit_ext(&self, dim: usize, extreme: Extreme, epsilon: f64) -> Result<ExtremeOutcome> {
+        // Extreme fragments carry no allocation barrier, so they cannot
+        // deadlock across shards and resolve blocking right here; the
+        // shard-local MIN/MAX folds are combined exactly (integer
+        // domain), reproducing the 1-shard post-processing bit-for-bit.
+        self.validate_ext(dim, epsilon)?;
+        let spec = ExtremeFragmentSpec {
+            dim,
+            extreme,
+            epsilon,
+            occurrence: self.next_occurrence(extreme_content_hash(dim, extreme, epsilon)),
+        };
+        let mut value: Option<Value> = None;
+        let mut execution = Duration::ZERO;
+        for (s, shard) in self.inner.shards.iter().enumerate() {
+            let (v, t) = shard.extreme(&spec).map_err(|e| self.shard_error(s, e))?;
+            execution = execution.max(t);
+            value = Some(match (value, extreme) {
+                (None, _) => v,
+                (Some(a), Extreme::Max) => a.max(v),
+                (Some(a), Extreme::Min) => a.min(v),
+            });
+        }
+        let cm = self.inner.config.cost_model;
+        Ok(ExtremeOutcome {
+            value: value.expect("coordinator has at least one shard"),
+            execution,
+            network: cm.round_time(16) + cm.round_time(8),
+        })
+    }
+
+    fn wait_ext(&self, ext: ExtremeOutcome) -> Result<ExtremeOutcome> {
+        Ok(ext)
+    }
+}
+
+/// A scalar query in flight on the coordinator (the sharded twin of
+/// [`crate::PendingAnswer`], with the engine's simulation-boundary
+/// diagnostics stripped — they never leave the shards).
+pub struct ShardedPendingAnswer {
+    federation: ShardedFederation,
+    sub: ShardedSub,
+    cost: PrivacyCost,
+}
+
+impl ShardedPendingAnswer {
+    /// Blocks until every shard's partial landed and merges the release.
+    pub fn wait(self) -> Result<ShardedAnswer> {
+        let resolved = self.federation.wait_sharded(self.sub)?;
+        Ok(ShardedAnswer {
+            value: resolved.outcome.value,
+            cost: self.cost,
+            timings: resolved.outcome.timings,
+            ci_halfwidth: resolved.outcome.ci_halfwidth,
+            clusters_scanned: resolved.clusters_scanned,
+            covering_total: resolved.covering_total,
+            approximated_providers: resolved.approximated_providers,
+            allocations: resolved.allocations,
+        })
+    }
+}
+
+/// The coordinator's answer to one scalar query. Field-for-field the
+/// public face of [`crate::EngineAnswer`] — everything an analyst is
+/// allowed to see — minus the simulation-boundary diagnostics
+/// (`raw_estimate`, `smooth_ls`), which never leave the shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedAnswer {
+    /// The DP-released answer (byte-identical to the 1-shard release).
+    pub value: f64,
+    /// The `(ε, δ)` charged.
+    pub cost: PrivacyCost,
+    /// Per-phase latency (maxima across shards, coordinator allocation).
+    pub timings: PhaseTimings,
+    /// 95% sampling confidence half-width, when estimable.
+    pub ci_halfwidth: Option<f64>,
+    /// Total clusters scanned across all shards' providers.
+    pub clusters_scanned: usize,
+    /// Total covering-set size across all shards' providers.
+    pub covering_total: usize,
+    /// How many providers took the approximate path.
+    pub approximated_providers: usize,
+    /// Per-provider sample-size allocations, in global provider order.
+    pub allocations: Vec<u64>,
+}
+
+/// An analyst session over a [`ShardedFederation`]: the exact budget
+/// semantics of [`crate::ConcurrentSession`] — validate before charging,
+/// charge a plan's whole declared cost atomically before any fragment is
+/// scattered, keep the charge if anything downstream fails (fail-closed;
+/// a mid-plan shard failure must not refund, because released fragments
+/// may already have leaked their sub-answers' budget worth).
+#[derive(Debug, Clone)]
+pub struct ShardedSession {
+    federation: ShardedFederation,
+    accountant: SharedAccountant,
+    plan: SessionPlan,
+    per_query: QueryBudget,
+}
+
+impl ShardedSession {
+    /// Opens a session with total budget `(xi, psi)` under `plan`.
+    pub fn open(
+        federation: ShardedFederation,
+        xi: f64,
+        psi: f64,
+        plan: SessionPlan,
+    ) -> Result<Self> {
+        let accountant = SharedAccountant::new(xi, psi).map_err(CoreError::Dp)?;
+        Self::open_with_accountant(federation, accountant, plan)
+    }
+
+    /// Opens a session over an externally owned ledger (a serving
+    /// endpoint keys ledgers by analyst identity, exactly as with
+    /// [`crate::ConcurrentSession::open_with_accountant`]).
+    pub fn open_with_accountant(
+        federation: ShardedFederation,
+        accountant: SharedAccountant,
+        plan: SessionPlan,
+    ) -> Result<Self> {
+        let config = federation.config();
+        let hp = config.hyperparams;
+        let total = accountant.total();
+        let per_query = match plan {
+            SessionPlan::PayAsYouGo => config.query_budget()?,
+            SessionPlan::AdvancedComposition { planned_queries } => {
+                let per = advanced_per_query(total.eps, total.delta, planned_queries)?;
+                QueryBudget::split(per.eps, per.delta, hp)?
+            }
+        };
+        Ok(Self {
+            federation,
+            accountant,
+            plan,
+            per_query,
+        })
+    }
+
+    /// The session's budget plan.
+    #[inline]
+    pub fn plan(&self) -> SessionPlan {
+        self.plan
+    }
+
+    /// The `(ε, δ)` each scalar query costs under this session's plan.
+    pub fn per_query_cost(&self) -> PrivacyCost {
+        self.per_query.cost()
+    }
+
+    /// Remaining total budget.
+    pub fn remaining(&self) -> PrivacyCost {
+        self.accountant.remaining()
+    }
+
+    /// The budget consumed so far.
+    pub fn spent(&self) -> PrivacyCost {
+        self.accountant.spent()
+    }
+
+    /// Queries answered so far (successfully charged).
+    pub fn queries_answered(&self) -> u64 {
+        self.accountant.queries_answered()
+    }
+
+    /// Whether another scalar query still fits (advisory).
+    pub fn can_query(&self) -> bool {
+        self.accountant.can_afford(self.per_query.cost())
+    }
+
+    /// The coordinator this session queries through.
+    pub fn federation(&self) -> &ShardedFederation {
+        &self.federation
+    }
+
+    /// The shared ledger this session charges.
+    pub fn accountant(&self) -> &SharedAccountant {
+        &self.accountant
+    }
+
+    /// Atomically charges the session budget, then scatters the query.
+    /// Validation runs *before* the charge (a rejected request touches
+    /// no data and costs nothing); once scattered, the charge is kept
+    /// even if a shard later fails (fail-closed).
+    pub fn submit(&self, query: &RangeQuery, sampling_rate: f64) -> Result<ShardedPendingAnswer> {
+        self.federation
+            .validate_sub(query, sampling_rate, &self.per_query)?;
+        self.accountant
+            .charge(self.per_query.cost())
+            .map_err(CoreError::Dp)?;
+        self.federation
+            .submit_with_budget(query, sampling_rate, &self.per_query)
+    }
+
+    /// Answers one private query, atomically charging first.
+    pub fn query(&self, query: &RangeQuery, sampling_rate: f64) -> Result<ShardedAnswer> {
+        self.submit(query, sampling_rate)?.wait()
+    }
+
+    /// Atomically charges a plan's *entire* declared cost up front, then
+    /// scatters every sub-query. The whole charge is kept even if a
+    /// shard drops mid-plan (fail-closed — pinned by tests).
+    pub fn submit_plan(&self, plan: &QueryPlan) -> Result<PendingPlan<ShardedFederation>> {
+        self.federation.validate_plan(plan)?;
+        let (eps, delta) = plan.total_cost();
+        self.accountant
+            .charge(PrivacyCost { eps, delta })
+            .map_err(CoreError::Dp)?;
+        self.federation.submit_plan_validated(plan)
+    }
+
+    /// Answers one plan, atomically charging its whole cost first.
+    pub fn run_plan(&self, plan: &QueryPlan) -> Result<PlanAnswer> {
+        self.submit_plan(plan)?.wait()
+    }
+
+    /// `EXPLAIN` through a budgeted session — charges nothing.
+    pub fn explain_plan(&self, plan: &QueryPlan) -> Result<PlanExplanation> {
+        self.federation.explain_plan(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedaqp_model::{Aggregate, DerivedStatistic, Dimension, Domain, Range};
+    use fedaqp_smc::CostModel;
+
+    /// Two dimensions: `x` (clustered per provider, so the optimizer has
+    /// real bounds to prune on) and a 5-value `cat` to group by.
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Dimension::new("x", Domain::new(0, 999).unwrap()),
+            Dimension::new("cat", Domain::new(0, 4).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    /// Provider `p` holds `x ∈ [250p, 250p + 249]`: a filter on the low
+    /// band prunes providers 1–3 via metadata alone.
+    fn partitions() -> Vec<Vec<Row>> {
+        (0..4)
+            .map(|p| {
+                (0..600)
+                    .map(|i| {
+                        let x = (p * 250 + (i * 7) % 250) as i64;
+                        Row::cell(vec![x, (i % 5) as i64], 1 + (i % 3) as u64)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn config(seed: u64) -> FederationConfig {
+        let mut cfg = FederationConfig::paper_default(50);
+        cfg.n_min = 3;
+        cfg.cost_model = CostModel::zero();
+        cfg.epsilon = 4.0;
+        cfg.seed = seed;
+        cfg
+    }
+
+    fn count(lo: i64, hi: i64) -> RangeQuery {
+        RangeQuery::new(Aggregate::Count, vec![Range::new(0, lo, hi).unwrap()]).unwrap()
+    }
+
+    /// Every plan kind the compiler knows, including one whose filter
+    /// prunes three of the four providers (so the byte-identity claim
+    /// covers the optimizer's pruned-provider path too).
+    fn plans() -> Vec<QueryPlan> {
+        vec![
+            QueryPlan::Scalar {
+                query: count(100, 900),
+                sampling_rate: 0.3,
+                epsilon: 2.0,
+                delta: 1e-3,
+            },
+            QueryPlan::Scalar {
+                query: count(0, 240),
+                sampling_rate: 0.3,
+                epsilon: 2.0,
+                delta: 1e-3,
+            },
+            QueryPlan::Derived {
+                query: count(50, 800),
+                statistic: DerivedStatistic::StdDev,
+                sampling_rate: 0.25,
+                epsilon: 3.0,
+                delta: 1e-3,
+            },
+            QueryPlan::GroupBy {
+                base: count(0, 999),
+                statistic: None,
+                group_dim: 1,
+                threshold: 0.0,
+                sampling_rate: 0.3,
+                epsilon: 10.0,
+                delta: 1e-3,
+            },
+            QueryPlan::GroupBy {
+                base: count(0, 999),
+                statistic: Some(DerivedStatistic::Average),
+                group_dim: 1,
+                threshold: 0.0,
+                sampling_rate: 0.3,
+                epsilon: 12.0,
+                delta: 1e-3,
+            },
+            QueryPlan::Extreme {
+                dim: 0,
+                extreme: Extreme::Max,
+                epsilon: 50.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn sharded_answers_are_byte_identical_across_shard_counts() {
+        for seed in [0xFEDA_u64, 7] {
+            // The 1-engine ground truth: the whole plan sequence on one
+            // pool, in order (the order matters — the occurrence ledger
+            // advances per content hash).
+            let reference: Vec<PlanAnswer> =
+                Federation::build(config(seed), schema(), partitions())
+                    .unwrap()
+                    .with_engine(|e| {
+                        plans()
+                            .iter()
+                            .map(|p| e.run_plan(p))
+                            .collect::<Result<Vec<_>>>()
+                    })
+                    .unwrap();
+            for n_shards in [1usize, 2, 4] {
+                let coordinator =
+                    ShardedFederation::in_process(config(seed), schema(), partitions(), n_shards)
+                        .unwrap();
+                for (plan, expected) in plans().iter().zip(&reference) {
+                    let got = coordinator.run_plan(plan).unwrap();
+                    assert_eq!(
+                        got.result, expected.result,
+                        "seed {seed:#x}, {n_shards} shards, plan {plan:?}"
+                    );
+                    assert_eq!(got.cost, expected.cost);
+                }
+                coordinator.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_ledger_advances_like_the_engine() {
+        let plan = QueryPlan::Scalar {
+            query: count(100, 900),
+            sampling_rate: 0.3,
+            epsilon: 2.0,
+            delta: 1e-3,
+        };
+        let (first, second) = Federation::build(config(0xFEDA), schema(), partitions())
+            .unwrap()
+            .with_engine(|e| (e.run_plan(&plan).unwrap(), e.run_plan(&plan).unwrap()));
+        let coordinator =
+            ShardedFederation::in_process(config(0xFEDA), schema(), partitions(), 2).unwrap();
+        assert_eq!(coordinator.run_plan(&plan).unwrap().result, first.result);
+        assert_eq!(coordinator.run_plan(&plan).unwrap().result, second.result);
+        // The ledger really advanced: a repeat draws fresh noise.
+        assert_ne!(first.result, second.result);
+        coordinator.shutdown();
+    }
+
+    #[test]
+    fn unshardable_configurations_are_rejected() {
+        let mut smc = config(1);
+        smc.release_mode = ReleaseMode::Smc;
+        assert!(matches!(
+            ShardedFederation::in_process(smc, schema(), partitions(), 2),
+            Err(CoreError::BadConfig(_))
+        ));
+        assert!(matches!(
+            ShardedFederation::in_process(config(1), schema(), partitions(), 0),
+            Err(CoreError::BadConfig(_))
+        ));
+        assert!(matches!(
+            ShardedFederation::in_process(config(1), schema(), partitions(), 5),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+
+    /// A shard whose engine is unreachable: every fragment fails the way
+    /// the wire client fails when the TCP connect is refused.
+    struct DeadShard {
+        n: usize,
+    }
+
+    impl ShardBackend for DeadShard {
+        fn n_providers(&self) -> usize {
+            self.n
+        }
+
+        fn bounds(&self) -> Vec<ProviderBounds> {
+            vec![ProviderBounds::new(vec![Some((0, 999)), Some((0, 4))], 1); self.n]
+        }
+
+        fn begin(&self, _spec: &FragmentSpec) -> Result<Box<dyn FragmentHandle>> {
+            Err(CoreError::ShardUnavailable {
+                shard: 0,
+                reason: "connection refused",
+            })
+        }
+
+        fn extreme(&self, _spec: &ExtremeFragmentSpec) -> Result<(Value, Duration)> {
+            Err(CoreError::ShardUnavailable {
+                shard: 0,
+                reason: "connection refused",
+            })
+        }
+    }
+
+    #[test]
+    fn dead_shard_yields_typed_error_and_keeps_the_charge() {
+        // Shard 0 is a live two-provider engine; shard 1 refuses.
+        let mut live_cfg = config(0xFEDA);
+        live_cfg.n_providers = 2;
+        let live_partitions: Vec<Vec<Row>> = partitions().into_iter().take(2).collect();
+        let live = FederationEngine::start(
+            Federation::build(live_cfg, schema(), live_partitions).unwrap(),
+        );
+        let coordinator = ShardedFederation::from_backends(
+            config(0xFEDA),
+            schema(),
+            vec![Box::new(live.handle()), Box::new(DeadShard { n: 2 })],
+        )
+        .unwrap();
+        let session =
+            ShardedSession::open(coordinator, 100.0, 0.5, SessionPlan::PayAsYouGo).unwrap();
+        let plan = QueryPlan::Scalar {
+            query: count(100, 900),
+            sampling_rate: 0.3,
+            epsilon: 2.0,
+            delta: 1e-3,
+        };
+        let err = match session.submit_plan(&plan) {
+            Err(e) => e,
+            Ok(_) => panic!("a dead shard must fail the plan"),
+        };
+        assert_eq!(
+            err,
+            CoreError::ShardUnavailable {
+                shard: 1,
+                reason: "connection refused",
+            },
+            "the coordinator rebinds the error to its own shard index"
+        );
+        // Fail-closed: the whole plan charge stays on the ledger even
+        // though no answer was released.
+        assert!((session.spent().eps - 2.0).abs() < 1e-12);
+        assert!((session.spent().delta - 1e-3).abs() < 1e-12);
+        // The live shard's begun fragment was aborted on drop, so its
+        // workers are unparked and the pool shuts down cleanly.
+        live.shutdown();
+    }
+
+    #[test]
+    fn sharded_session_charges_like_a_concurrent_session() {
+        let coordinator =
+            ShardedFederation::in_process(config(0xFEDA), schema(), partitions(), 2).unwrap();
+        let session =
+            ShardedSession::open(coordinator.clone(), 100.0, 0.5, SessionPlan::PayAsYouGo).unwrap();
+        let answer = session.query(&count(100, 900), 0.3).unwrap();
+        assert_eq!(answer.cost, session.per_query_cost());
+        assert_eq!(session.spent(), session.per_query_cost());
+        assert_eq!(session.queries_answered(), 1);
+        // A rejected submission (bad rate) touches no data and costs
+        // nothing; neither does EXPLAIN.
+        assert!(session.submit(&count(100, 900), 1.5).is_err());
+        session
+            .explain_plan(&QueryPlan::Scalar {
+                query: count(100, 900),
+                sampling_rate: 0.3,
+                epsilon: 2.0,
+                delta: 1e-3,
+            })
+            .unwrap();
+        assert_eq!(session.spent(), session.per_query_cost());
+        coordinator.shutdown();
+    }
+
+    #[test]
+    fn sharded_explain_matches_the_engine() {
+        // EXPLAIN reads only the concatenated metadata snapshot, so the
+        // coordinator must reach exactly the 1-engine decisions —
+        // including pruning three providers on the low band.
+        let explained: Vec<PlanExplanation> = plans()
+            .iter()
+            .map(|p| {
+                Federation::build(config(0xFEDA), schema(), partitions())
+                    .unwrap()
+                    .with_engine(|e| e.explain_plan(p))
+                    .unwrap()
+            })
+            .collect();
+        let coordinator =
+            ShardedFederation::in_process(config(0xFEDA), schema(), partitions(), 4).unwrap();
+        for (plan, expected) in plans().iter().zip(&explained) {
+            assert_eq!(
+                &coordinator.explain_plan(plan).unwrap(),
+                expected,
+                "{plan:?}"
+            );
+        }
+        coordinator.shutdown();
+    }
+}

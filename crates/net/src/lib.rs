@@ -17,6 +17,13 @@
 //! * [`RemoteFederation`] — a blocking client mirroring the engine's
 //!   submit/wait API, so analyst code is indifferent to whether the
 //!   federation is in-process or across the network.
+//! * [`RemoteShard`] — a [`fedaqp_core::ShardBackend`] over TCP, letting
+//!   a [`fedaqp_core::ShardedFederation`] coordinator federate engines
+//!   behind [`FederationServer::bind_shard`] servers (and itself serve
+//!   analysts through [`FederationServer::bind_coordinator`], unchanged
+//!   upstream).
+//! * [`LoopbackServer`] — the ephemeral-port bind/teardown guard every
+//!   test and experiment shares.
 //!
 //! Threat model: the wire carries only DP-released values (never raw
 //! estimates or sensitivities), but transport security — encryption,
@@ -25,12 +32,16 @@
 
 pub mod client;
 pub mod error;
+pub mod loopback;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use client::{PendingRemote, PendingRemotePlan, RemoteAnswer, RemoteFederation};
 pub use error::NetError;
+pub use loopback::LoopbackServer;
 pub use server::{FederationServer, ServeOptions};
+pub use shard::RemoteShard;
 pub use wire::{BudgetStatus, ErrorCode, Frame};
 
 /// Crate-wide result alias.

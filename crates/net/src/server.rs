@@ -1,13 +1,29 @@
-//! The TCP federation server: the coordinator's network face.
+//! The TCP federation server: the engine's network face, in one of three
+//! roles.
 //!
-//! [`FederationServer`] wraps an [`EngineHandle`] — the analyst-facing
-//! handle of the concurrent worker pool — and serves it over real sockets,
-//! thread-per-connection: the accept loop runs on one background thread
-//! and every connection gets its own, so N remote analysts drive the
-//! engine exactly like N in-process analyst threads do. All protocol
-//! state (budget ledgers, in-flight jobs) lives in thread-safe structures
-//! the engine already provides; the server adds no locking of its own
-//! beyond the listener.
+//! **Analyst server over an engine** ([`FederationServer::bind`]) wraps
+//! an [`EngineHandle`] — the analyst-facing handle of the concurrent
+//! worker pool — and serves it over real sockets, thread-per-connection:
+//! the accept loop runs on one background thread and every connection
+//! gets its own, so N remote analysts drive the engine exactly like N
+//! in-process analyst threads do. All protocol state (budget ledgers,
+//! in-flight jobs) lives in thread-safe structures the engine already
+//! provides; the server adds no locking of its own beyond the listener.
+//!
+//! **Analyst server over a coordinator**
+//! ([`FederationServer::bind_coordinator`]) serves the identical analyst
+//! protocol from a [`ShardedFederation`] that scatters each sub-query to
+//! downstream shard servers. Analysts cannot tell the difference — same
+//! frames, same typed errors, and (by the coordinator's determinism
+//! contract) byte-identical answers to the 1-shard deployment.
+//!
+//! **Shard server** ([`FederationServer::bind_shard`]) serves only the
+//! v4 fragment frames to an upstream coordinator, one fragment lifecycle
+//! per connection, with *no* budget directory: fragments arrive already
+//! charged at the coordinator, the single ξ authority (see
+//! `docs/privacy-model.md`). The two analyst modes symmetrically refuse
+//! fragment frames — serving a fragment to an arbitrary analyst would
+//! bypass the budget ledger and hand out occurrence-differencing oracles.
 //!
 //! Budget enforcement: with [`ServeOptions::with_budget`], every
 //! connection is wrapped in a [`ConcurrentSession`] whose ledger comes
@@ -31,15 +47,19 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use fedaqp_core::{
-    ConcurrentSession, CoreError, EngineAnswer, EngineHandle, PendingAnswer, PendingPlan,
-    PlanAnswer, PlanResult, QueryPlan, SessionPlan,
+    ConcurrentSession, CoreError, EngineAnswer, EngineHandle, FederationConfig, PendingAnswer,
+    PendingFragment, PendingPlan, PlanAnswer, PlanExplanation, PlanResult, QueryPlan, SessionPlan,
+    ShardedAnswer, ShardedFederation, ShardedPendingAnswer, ShardedSession,
 };
-use fedaqp_dp::{BudgetDirectory, DpError};
+use fedaqp_dp::{BudgetDirectory, DpError, QueryBudget};
+use fedaqp_model::Schema;
 
 use crate::wire::{
     calibration_code, read_frame_versioned, write_frame_at, Answer, BudgetStatus, ErrorCode,
-    ErrorFrame, ExplainAnswerFrame, Frame, HelloAck, PlanAnswerFrame, QueryRequest, WireDimension,
-    WireGroup, WirePlanResult, VERSION,
+    ErrorFrame, ExplainAnswerFrame, ExtremePartialFrame, FragmentPartialFrame,
+    FragmentSummariesFrame, Frame, HelloAck, PlanAnswerFrame, QueryRequest, ShardBoundsFrame,
+    WireDimension, WireGroup, WirePartialRow, WirePlanResult, WireProviderBounds, WireSummary,
+    VERSION,
 };
 use crate::{NetError, Result};
 
@@ -69,6 +89,86 @@ impl ServeOptions {
     }
 }
 
+/// The analyst-facing engine behind a server: one in-process worker
+/// pool, or a sharded coordinator scattering to downstream shards. The
+/// analyst protocol is identical either way — that is the point.
+#[derive(Clone)]
+enum AnalystBackend {
+    Engine(EngineHandle),
+    Coordinator(ShardedFederation),
+}
+
+impl AnalystBackend {
+    fn config(&self) -> &FederationConfig {
+        match self {
+            AnalystBackend::Engine(h) => h.config(),
+            AnalystBackend::Coordinator(f) => f.config(),
+        }
+    }
+
+    fn schema(&self) -> &Schema {
+        match self {
+            AnalystBackend::Engine(h) => h.schema(),
+            AnalystBackend::Coordinator(f) => f.schema(),
+        }
+    }
+
+    fn explain_plan(&self, plan: &QueryPlan) -> fedaqp_core::Result<PlanExplanation> {
+        match self {
+            AnalystBackend::Engine(h) => h.explain_plan(plan),
+            AnalystBackend::Coordinator(f) => f.explain_plan(plan),
+        }
+    }
+}
+
+/// One analyst's budget session, matching its backend's flavor.
+enum AnalystSession {
+    Engine(ConcurrentSession),
+    Sharded(ShardedSession),
+}
+
+/// An in-flight scalar query on either backend.
+enum PendingQuery {
+    Engine(PendingAnswer),
+    Sharded(ShardedPendingAnswer),
+}
+
+impl PendingQuery {
+    /// Blocks for the answer and projects it onto the wire at `index`.
+    fn wait(self, index: u32) -> fedaqp_core::Result<Frame> {
+        match self {
+            PendingQuery::Engine(p) => p.wait().map(|a| answer_frame(index, &a)),
+            PendingQuery::Sharded(p) => p.wait().map(|a| sharded_answer_frame(index, &a)),
+        }
+    }
+}
+
+/// An in-flight plan on either backend (both wait to a [`PlanAnswer`]).
+enum PendingPlanEither {
+    Engine(PendingPlan),
+    Sharded(PendingPlan<ShardedFederation>),
+}
+
+impl PendingPlanEither {
+    fn wait(self) -> fedaqp_core::Result<PlanAnswer> {
+        match self {
+            PendingPlanEither::Engine(p) => p.wait(),
+            PendingPlanEither::Sharded(p) => p.wait(),
+        }
+    }
+}
+
+/// What a bound server serves: analysts (over either backend) or an
+/// upstream coordinator (fragment frames only).
+#[derive(Clone)]
+enum ServerMode {
+    Analyst {
+        backend: AnalystBackend,
+        directory: Option<Arc<BudgetDirectory>>,
+    },
+    Shard(EngineHandle),
+}
+
 /// A running federation server.
 ///
 /// Dropping the value does *not* stop the accept loop — call
@@ -86,11 +186,31 @@ impl FederationServer {
     /// ephemeral port) and starts accepting analyst connections against
     /// `handle`'s engine.
     pub fn bind(addr: &str, handle: EngineHandle, options: ServeOptions) -> Result<Self> {
-        let listener = TcpListener::bind(addr).map_err(|e| NetError::Bind {
-            addr: addr.to_owned(),
-            message: e.to_string(),
-        })?;
-        let local_addr = listener.local_addr()?;
+        Self::bind_analyst(addr, AnalystBackend::Engine(handle), options)
+    }
+
+    /// Binds `addr` and serves the analyst protocol from a sharded
+    /// coordinator. Upstream this is indistinguishable from
+    /// [`Self::bind`]; downstream every sub-query scatters to the
+    /// coordinator's shards.
+    pub fn bind_coordinator(
+        addr: &str,
+        federation: ShardedFederation,
+        options: ServeOptions,
+    ) -> Result<Self> {
+        Self::bind_analyst(addr, AnalystBackend::Coordinator(federation), options)
+    }
+
+    /// Binds `addr` in shard mode: the server answers only v4 fragment
+    /// frames (plus the handshake), one fragment lifecycle per
+    /// connection, and never opens a budget session — the upstream
+    /// coordinator is the single ξ authority and charges before it
+    /// scatters.
+    pub fn bind_shard(addr: &str, handle: EngineHandle) -> Result<Self> {
+        Self::bind_mode(addr, ServerMode::Shard(handle))
+    }
+
+    fn bind_analyst(addr: &str, backend: AnalystBackend, options: ServeOptions) -> Result<Self> {
         let directory = match options.per_analyst {
             Some((xi, psi)) => Some(Arc::new(
                 BudgetDirectory::new(xi, psi)
@@ -98,10 +218,19 @@ impl FederationServer {
             )),
             None => None,
         };
+        Self::bind_mode(addr, ServerMode::Analyst { backend, directory })
+    }
+
+    fn bind_mode(addr: &str, mode: ServerMode) -> Result<Self> {
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::Bind {
+            addr: addr.to_owned(),
+            message: e.to_string(),
+        })?;
+        let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(listener, handle, directory, stop))
+            std::thread::spawn(move || accept_loop(listener, mode, stop))
         };
         Ok(Self {
             local_addr,
@@ -133,23 +262,22 @@ impl FederationServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    handle: EngineHandle,
-    directory: Option<Arc<BudgetDirectory>>,
-    stop: Arc<AtomicBool>,
-) {
+fn accept_loop(listener: TcpListener, mode: ServerMode, stop: Arc<AtomicBool>) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let handle = handle.clone();
-        let directory = directory.clone();
+        let mode = mode.clone();
         std::thread::spawn(move || {
-            // Connection failures are the analyst's problem to observe;
-            // the server just moves on to other connections.
-            let _ = serve_connection(stream, handle, directory);
+            // Connection failures are the peer's problem to observe; the
+            // server just moves on to other connections.
+            let _ = match mode {
+                ServerMode::Analyst { backend, directory } => {
+                    serve_connection(stream, backend, directory)
+                }
+                ServerMode::Shard(handle) => serve_shard_connection(stream, handle),
+            };
         });
     }
 }
@@ -180,7 +308,7 @@ fn unsupported_version_reply(requested: u16) -> Frame {
 /// plan explanations.
 fn serve_connection(
     mut stream: TcpStream,
-    handle: EngineHandle,
+    backend: AnalystBackend,
     directory: Option<Arc<BudgetDirectory>>,
 ) -> Result<()> {
     // Frames are small and latency-sensitive; never batch them.
@@ -213,26 +341,36 @@ fn serve_connection(
         }
     };
     let session = match &directory {
-        Some(dir) => Some(
-            ConcurrentSession::open_with_accountant(
-                handle.clone(),
-                dir.accountant(&hello.analyst),
-                SessionPlan::PayAsYouGo,
-            )
-            .map_err(|e| {
+        Some(dir) => {
+            let accountant = dir.accountant(&hello.analyst);
+            let opened = match &backend {
+                AnalystBackend::Engine(h) => ConcurrentSession::open_with_accountant(
+                    h.clone(),
+                    accountant,
+                    SessionPlan::PayAsYouGo,
+                )
+                .map(AnalystSession::Engine),
+                AnalystBackend::Coordinator(f) => ShardedSession::open_with_accountant(
+                    f.clone(),
+                    accountant,
+                    SessionPlan::PayAsYouGo,
+                )
+                .map(AnalystSession::Sharded),
+            };
+            Some(opened.map_err(|e| {
                 let _ = write_frame_at(
                     &mut stream,
                     &error_reply(0, ErrorCode::Internal, &e.to_string()),
                     version,
                 );
                 NetError::Handshake("session open failed")
-            })?,
-        ),
+            })?)
+        }
         None => None,
     };
     write_frame_at(
         &mut stream,
-        &Frame::HelloAck(hello_ack(&handle, &directory)),
+        &Frame::HelloAck(hello_ack(&backend, &directory)),
         version,
     )?;
 
@@ -241,14 +379,14 @@ fn serve_connection(
     loop {
         match read_frame_versioned(&mut stream).map(|(frame, _)| frame) {
             Ok(Frame::Query(spec)) => {
-                let reply =
-                    match submit(&handle, session.as_ref(), &spec).and_then(PendingAnswer::wait) {
-                        Ok(answer) => {
-                            answered += 1;
-                            answer_frame(0, &answer)
-                        }
-                        Err(e) => core_error_reply(0, &e),
-                    };
+                let reply = match submit(&backend, session.as_ref(), &spec).and_then(|p| p.wait(0))
+                {
+                    Ok(frame) => {
+                        answered += 1;
+                        frame
+                    }
+                    Err(e) => core_error_reply(0, &e),
+                };
                 write_frame_at(&mut stream, &reply, version)?;
             }
             Ok(Frame::Batch(batch)) => {
@@ -258,13 +396,13 @@ fn serve_connection(
                 let pending: Vec<_> = batch
                     .specs
                     .iter()
-                    .map(|spec| submit(&handle, session.as_ref(), spec))
+                    .map(|spec| submit(&backend, session.as_ref(), spec))
                     .collect();
                 for (i, p) in pending.into_iter().enumerate() {
-                    let reply = match p.and_then(PendingAnswer::wait) {
-                        Ok(answer) => {
+                    let reply = match p.and_then(|p| p.wait(i as u32)) {
+                        Ok(frame) => {
                             answered += 1;
-                            answer_frame(i as u32, &answer)
+                            frame
                         }
                         Err(e) => core_error_reply(i as u32, &e),
                     };
@@ -293,8 +431,8 @@ fn serve_connection(
                 // Every sub-query is submitted (and the whole plan charged)
                 // before the wait — the per-group fan-out pipelines on the
                 // worker pool exactly as in-process plans do.
-                let reply = match submit_plan(&handle, session.as_ref(), &request.plan)
-                    .and_then(PendingPlan::wait)
+                let reply = match submit_plan(&backend, session.as_ref(), &request.plan)
+                    .and_then(PendingPlanEither::wait)
                 {
                     Ok(answer) => {
                         answered += 1;
@@ -324,7 +462,7 @@ fn serve_connection(
                 // explanation is a pure function of the plan and the
                 // public offline metadata, so it bypasses the session
                 // ledger entirely (and `answered` stays put).
-                let reply = match handle.explain_plan(&request.plan) {
+                let reply = match backend.explain_plan(&request.plan) {
                     Ok(explanation) => Frame::ExplainAnswer(ExplainAnswerFrame {
                         index: 0,
                         explanation,
@@ -337,6 +475,30 @@ fn serve_connection(
                 write_frame_at(
                     &mut stream,
                     &Frame::BudgetStatus(budget_status(session.as_ref(), answered)),
+                    version,
+                )?;
+            }
+            Ok(
+                Frame::Fragment(_)
+                | Frame::FragmentSummariesRequest
+                | Frame::FragmentAllocation(_)
+                | Frame::FragmentPartialRequest
+                | Frame::FragmentAbort
+                | Frame::ExtremeFragment(_)
+                | Frame::ShardBoundsRequest,
+            ) => {
+                // Fragment frames bypass the analyst budget ledger (they
+                // arrive pre-charged from a coordinator) and let a caller
+                // pick occurrence indices — an occurrence-differencing
+                // oracle. An analyst server therefore refuses them flat;
+                // only a shard-mode server serves fragments.
+                write_frame_at(
+                    &mut stream,
+                    &error_reply(
+                        0,
+                        ErrorCode::BadRequest,
+                        "fragment frames are served only by a shard-mode server",
+                    ),
                     version,
                 )?;
             }
@@ -366,10 +528,209 @@ fn serve_connection(
     }
 }
 
-fn hello_ack(handle: &EngineHandle, directory: &Option<Arc<BudgetDirectory>>) -> HelloAck {
-    let config = handle.config();
+/// One coordinator connection in shard mode, served to completion.
+///
+/// The connection carries at most one fragment lifecycle at a time:
+/// `Fragment` (summaries ⇒ allocation ⇒ partial) or the single-round
+/// `ExtremeFragment` / `ShardBoundsRequest`. Dropping the connection
+/// mid-fragment aborts it ([`PendingFragment`]'s drop unparks the
+/// workers), so a vanished coordinator never wedges the shard. No budget
+/// directory exists in this mode by construction: the upstream
+/// coordinator charged the whole plan before scattering.
+fn serve_shard_connection(mut stream: TcpStream, handle: EngineHandle) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    let version = match read_frame_versioned(&mut stream) {
+        Ok((Frame::Hello(_), v)) => v.min(VERSION),
+        Ok(_) => {
+            let _ = write_frame_at(
+                &mut stream,
+                &error_reply(0, ErrorCode::BadRequest, "expected a Hello frame"),
+                VERSION,
+            );
+            return Err(NetError::Handshake("expected Hello"));
+        }
+        Err(NetError::Disconnected) => return Ok(()),
+        Err(e) => {
+            let reply = match &e {
+                NetError::UnsupportedVersion { requested, .. } => {
+                    unsupported_version_reply(*requested)
+                }
+                _ => error_reply(0, ErrorCode::BadRequest, &e.to_string()),
+            };
+            let _ = write_frame_at(&mut stream, &reply, crate::wire::MIN_VERSION);
+            return Err(e);
+        }
+    };
+    // Every frame this mode serves exists only from v4; an older client
+    // could never speak to it, so refuse the handshake with a typed
+    // error instead of failing every later frame.
+    if version < 4 {
+        let _ = write_frame_at(
+            &mut stream,
+            &error_reply(
+                0,
+                ErrorCode::BadRequest,
+                "shard-mode connections need a v4 Hello",
+            ),
+            version,
+        );
+        return Err(NetError::Handshake("shard mode needs v4"));
+    }
+    write_frame_at(
+        &mut stream,
+        &Frame::HelloAck(hello_ack(&AnalystBackend::Engine(handle.clone()), &None)),
+        version,
+    )?;
+
+    let mut fragment: Option<PendingFragment> = None;
+    loop {
+        let reply = match read_frame_versioned(&mut stream).map(|(frame, _)| frame) {
+            Ok(Frame::Fragment(req)) => {
+                if fragment.is_some() {
+                    error_reply(
+                        0,
+                        ErrorCode::BadRequest,
+                        "one shard connection carries one fragment at a time",
+                    )
+                } else {
+                    let budget = QueryBudget {
+                        eps_o: req.eps_o,
+                        eps_s: req.eps_s,
+                        eps_e: req.eps_e,
+                        delta: req.delta,
+                    };
+                    match handle.submit_fragment(
+                        &req.query,
+                        req.sampling_rate,
+                        &budget,
+                        req.occurrence,
+                    ) {
+                        Ok(pending) => {
+                            fragment = Some(pending);
+                            Frame::FragmentQueued
+                        }
+                        Err(e) => core_error_reply(0, &e),
+                    }
+                }
+            }
+            Ok(Frame::FragmentSummariesRequest) => match &fragment {
+                Some(pending) => match pending.summaries() {
+                    Ok((summaries, summary_time)) => {
+                        Frame::FragmentSummaries(FragmentSummariesFrame {
+                            summaries: summaries
+                                .iter()
+                                .map(|s| WireSummary {
+                                    noisy_n_q: s.noisy_n_q,
+                                    noisy_avg_r: s.noisy_avg_r,
+                                })
+                                .collect(),
+                            summary_us: summary_time.as_micros() as u64,
+                        })
+                    }
+                    Err(e) => core_error_reply(0, &e),
+                },
+                None => no_fragment_reply(),
+            },
+            Ok(Frame::FragmentAllocation(frame)) => match &fragment {
+                Some(pending) => match pending.provide_allocation(frame.allocations) {
+                    Ok(()) => Frame::FragmentAllocated,
+                    Err(e) => core_error_reply(0, &e),
+                },
+                None => no_fragment_reply(),
+            },
+            Ok(Frame::FragmentPartialRequest) => match &fragment {
+                Some(pending) => match pending.partial() {
+                    Ok(partial) => {
+                        let frame = Frame::FragmentPartial(FragmentPartialFrame {
+                            rows: partial
+                                .rows
+                                .iter()
+                                .map(|r| WirePartialRow {
+                                    released: r.released,
+                                    variance: r.variance,
+                                    approximated: r.approximated,
+                                    clusters_scanned: r.clusters_scanned,
+                                    n_covering: r.n_covering,
+                                })
+                                .collect(),
+                            execution_us: partial.execution.as_micros() as u64,
+                        });
+                        // The partial completes the lifecycle; the
+                        // connection is free for the next fragment.
+                        fragment = None;
+                        frame
+                    }
+                    Err(e) => core_error_reply(0, &e),
+                },
+                None => no_fragment_reply(),
+            },
+            Ok(Frame::FragmentAbort) => {
+                // Dropping the pending fragment unparks its workers.
+                fragment = None;
+                Frame::FragmentAborted
+            }
+            Ok(Frame::ExtremeFragment(req)) => {
+                match handle
+                    .submit_extreme_fragment(
+                        req.dim as usize,
+                        req.extreme,
+                        req.epsilon,
+                        req.occurrence,
+                    )
+                    .and_then(fedaqp_core::PendingExtreme::wait)
+                {
+                    Ok(answer) => Frame::ExtremePartial(ExtremePartialFrame {
+                        value: answer.value,
+                        execution_us: answer.execution.as_micros() as u64,
+                    }),
+                    Err(e) => core_error_reply(0, &e),
+                }
+            }
+            Ok(Frame::ShardBoundsRequest) => Frame::ShardBounds(ShardBoundsFrame {
+                providers: handle
+                    .meta_snapshot()
+                    .providers()
+                    .iter()
+                    .map(|b| WireProviderBounds {
+                        dims: b.dims().to_vec(),
+                        n_clusters: b.n_clusters() as u64,
+                    })
+                    .collect(),
+            }),
+            Ok(_) => error_reply(
+                0,
+                ErrorCode::BadRequest,
+                "analyst frames are not served in shard mode (connect to the coordinator)",
+            ),
+            Err(NetError::Disconnected) => return Ok(()),
+            Err(e) => {
+                let reply = match &e {
+                    NetError::UnsupportedVersion { requested, .. } => {
+                        unsupported_version_reply(*requested)
+                    }
+                    _ => error_reply(0, ErrorCode::BadRequest, &e.to_string()),
+                };
+                let _ = write_frame_at(&mut stream, &reply, version);
+                return Err(e);
+            }
+        };
+        write_frame_at(&mut stream, &reply, version)?;
+    }
+}
+
+/// The typed reply to a lifecycle frame with no fragment in flight.
+fn no_fragment_reply() -> Frame {
+    error_reply(
+        0,
+        ErrorCode::BadRequest,
+        "no fragment in flight on this connection",
+    )
+}
+
+fn hello_ack(backend: &AnalystBackend, directory: &Option<Arc<BudgetDirectory>>) -> HelloAck {
+    let config = backend.config();
     HelloAck {
-        dimensions: handle
+        dimensions: backend
             .schema()
             .dimensions()
             .iter()
@@ -392,13 +753,25 @@ fn hello_ack(handle: &EngineHandle, directory: &Option<Arc<BudgetDirectory>>) ->
 }
 
 fn submit(
-    handle: &EngineHandle,
-    session: Option<&ConcurrentSession>,
+    backend: &AnalystBackend,
+    session: Option<&AnalystSession>,
     spec: &QueryRequest,
-) -> fedaqp_core::Result<PendingAnswer> {
-    match session {
-        Some(s) => s.submit(&spec.query, spec.sampling_rate),
-        None => handle.submit(&spec.query, spec.sampling_rate),
+) -> fedaqp_core::Result<PendingQuery> {
+    match (backend, session) {
+        (_, Some(AnalystSession::Engine(s))) => s
+            .submit(&spec.query, spec.sampling_rate)
+            .map(PendingQuery::Engine),
+        (_, Some(AnalystSession::Sharded(s))) => s
+            .submit(&spec.query, spec.sampling_rate)
+            .map(PendingQuery::Sharded),
+        (AnalystBackend::Engine(h), None) => h
+            .submit(&spec.query, spec.sampling_rate)
+            .map(PendingQuery::Engine),
+        (AnalystBackend::Coordinator(f), None) => {
+            let budget = f.default_budget()?;
+            f.submit_with_budget(&spec.query, spec.sampling_rate, &budget)
+                .map(PendingQuery::Sharded)
+        }
     }
 }
 
@@ -406,13 +779,19 @@ fn submit(
 /// `(ε, δ)` is validated and charged atomically before any sub-query is
 /// dispatched (validate-before-charge, whole-plan ξ accounting).
 fn submit_plan(
-    handle: &EngineHandle,
-    session: Option<&ConcurrentSession>,
+    backend: &AnalystBackend,
+    session: Option<&AnalystSession>,
     plan: &QueryPlan,
-) -> fedaqp_core::Result<PendingPlan> {
-    match session {
-        Some(s) => s.submit_plan(plan),
-        None => handle.submit_plan(plan),
+) -> fedaqp_core::Result<PendingPlanEither> {
+    match (backend, session) {
+        (_, Some(AnalystSession::Engine(s))) => s.submit_plan(plan).map(PendingPlanEither::Engine),
+        (_, Some(AnalystSession::Sharded(s))) => {
+            s.submit_plan(plan).map(PendingPlanEither::Sharded)
+        }
+        (AnalystBackend::Engine(h), None) => h.submit_plan(plan).map(PendingPlanEither::Engine),
+        (AnalystBackend::Coordinator(f), None) => {
+            f.submit_plan(plan).map(PendingPlanEither::Sharded)
+        }
     }
 }
 
@@ -420,6 +799,30 @@ fn submit_plan(
 /// simulation-boundary diagnostics (`raw_estimate`, `smooth_ls`) that
 /// must never reach an analyst.
 fn answer_frame(index: u32, answer: &EngineAnswer) -> Frame {
+    Frame::Answer(Answer {
+        index,
+        value: answer.value,
+        eps: answer.cost.eps,
+        delta: answer.cost.delta,
+        ci_halfwidth: answer.ci_halfwidth,
+        clusters_scanned: answer.clusters_scanned as u64,
+        covering_total: answer.covering_total as u64,
+        approximated_providers: answer.approximated_providers as u32,
+        allocations: answer.allocations.clone(),
+        summary_us: answer.timings.summary.as_micros() as u64,
+        allocation_us: answer.timings.allocation.as_micros() as u64,
+        execution_us: answer.timings.execution.as_micros() as u64,
+        release_us: answer.timings.release.as_micros() as u64,
+        network_us: answer.timings.network.as_micros() as u64,
+    })
+}
+
+/// Projects a [`ShardedAnswer`] onto the wire. The coordinator's answer
+/// already contains only analyst-visible fields (the simulation-boundary
+/// diagnostics never left the shards), so this is a straight copy — the
+/// frame is field-for-field the one [`answer_frame`] builds, keeping the
+/// analyst protocol identical across deployments.
+fn sharded_answer_frame(index: u32, answer: &ShardedAnswer) -> Frame {
     Frame::Answer(Answer {
         index,
         value: answer.value,
@@ -500,25 +903,31 @@ fn core_error_reply(index: u32, error: &CoreError) -> Frame {
         CoreError::Model(_) | CoreError::GroupDomainTooLarge { .. } => ErrorCode::InvalidQuery,
         CoreError::InvalidSamplingRate(_) => ErrorCode::InvalidSamplingRate,
         CoreError::BadConfig(_) => ErrorCode::BadRequest,
+        CoreError::ShardUnavailable { .. } => ErrorCode::ShardUnavailable,
         _ => ErrorCode::Internal,
     };
     error_reply(index, code, &error.to_string())
 }
 
-fn budget_status(session: Option<&ConcurrentSession>, answered: u64) -> BudgetStatus {
-    match session {
-        Some(s) => {
-            let total = s.accountant().total();
-            let spent = s.spent();
-            BudgetStatus {
-                limited: true,
-                total_eps: total.eps,
-                total_delta: total.delta,
-                spent_eps: spent.eps,
-                spent_delta: spent.delta,
-                queries_answered: s.queries_answered(),
-            }
+fn budget_status(session: Option<&AnalystSession>, answered: u64) -> BudgetStatus {
+    let charged = match session {
+        Some(AnalystSession::Engine(s)) => {
+            Some((s.accountant().total(), s.spent(), s.queries_answered()))
         }
+        Some(AnalystSession::Sharded(s)) => {
+            Some((s.accountant().total(), s.spent(), s.queries_answered()))
+        }
+        None => None,
+    };
+    match charged {
+        Some((total, spent, queries_answered)) => BudgetStatus {
+            limited: true,
+            total_eps: total.eps,
+            total_delta: total.delta,
+            spent_eps: spent.eps,
+            spent_delta: spent.delta,
+            queries_answered,
+        },
         None => BudgetStatus {
             limited: false,
             total_eps: f64::INFINITY,
@@ -562,6 +971,13 @@ mod tests {
                     cap: 4096,
                 },
                 ErrorCode::InvalidQuery,
+            ),
+            (
+                CoreError::ShardUnavailable {
+                    shard: 1,
+                    reason: "connection refused",
+                },
+                ErrorCode::ShardUnavailable,
             ),
             (CoreError::NoProviders, ErrorCode::Internal),
         ];

@@ -1,0 +1,339 @@
+//! The remote-shard client: a [`ShardBackend`] over TCP.
+//!
+//! [`RemoteShard`] lets a [`fedaqp_core::ShardedFederation`] coordinator
+//! federate engines running behind [`crate::FederationServer::bind_shard`]
+//! servers. Construction fetches the shard's provider count and public
+//! pruning bounds once (they are offline metadata — immutable for the
+//! server's lifetime); after that, every fragment opens its own
+//! connection, so one slow or dying fragment can never desynchronize a
+//! sibling's stream and a dropped connection maps exactly onto the
+//! fragment-abort semantics the engine already has (the server's
+//! [`fedaqp_core::PendingFragment`] aborts on drop).
+//!
+//! Every failure inside the fragment lifecycle surfaces as
+//! [`CoreError::ShardUnavailable`] — the typed fault the coordinator's
+//! fail-closed contract is built on (`shard: 0` here; the coordinator
+//! rewrites it to the failing shard's index). Setup failures in
+//! [`RemoteShard::connect`] stay in the richer [`NetError`] vocabulary,
+//! because at construction time there is a human reading the message.
+//!
+//! Determinism note: nothing in this client touches randomness, and no
+//! seed ever crosses the wire — the shard derives its noise from its own
+//! configured seed plus the coordinator-assigned occurrence index in the
+//! fragment frames.
+
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use fedaqp_core::{
+    CoreError, ExtremeFragmentSpec, FragmentHandle, FragmentPartial, FragmentSpec, PartialRow,
+    ProviderBounds, ProviderSummary, ShardBackend,
+};
+use fedaqp_model::Value;
+use fedaqp_smc::CostModel;
+
+use crate::wire::{
+    encode_frame, read_frame, write_frame_at, ErrorCode, FragmentAllocationFrame, FragmentRequest,
+    Frame, Hello, VERSION,
+};
+use crate::{NetError, Result};
+
+/// Simulated shard→coordinator uplink contention, for experiments: all
+/// shards sharing one ingress serialize their data-bearing replies
+/// through `lock` and sleep the [`CostModel`]'s transfer time for the
+/// reply's encoded size. Real deployments leave this off — the real
+/// socket *is* the uplink.
+#[derive(Debug, Clone)]
+struct Uplink {
+    cost_model: CostModel,
+    lock: Arc<Mutex<()>>,
+}
+
+impl Uplink {
+    /// Charges the simulated uplink for one reply frame.
+    fn charge(&self, frame: &Frame) {
+        let bytes = encode_frame(frame).map(|b| b.len() as u64).unwrap_or(0);
+        let _ingress = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
+        std::thread::sleep(self.cost_model.round_time(bytes));
+    }
+}
+
+/// A downstream engine shard reached over TCP — the wire implementation
+/// of [`ShardBackend`], for [`fedaqp_core::ShardedFederation::from_backends`].
+#[derive(Debug, Clone)]
+pub struct RemoteShard {
+    addr: String,
+    bounds: Vec<ProviderBounds>,
+    uplink: Option<Uplink>,
+}
+
+impl RemoteShard {
+    /// Connects to a shard-mode server at `addr` and fetches its provider
+    /// bounds. The connection used for the fetch is dropped; fragments
+    /// open their own.
+    pub fn connect(addr: &str) -> Result<Self> {
+        let mut conn = ShardConn::open(addr)?;
+        conn.send(&Frame::ShardBoundsRequest)?;
+        let providers = match conn.recv()? {
+            Frame::ShardBounds(frame) => frame.providers,
+            _ => return Err(NetError::Malformed("expected ShardBounds")),
+        };
+        let bounds = providers
+            .into_iter()
+            .map(|b| ProviderBounds::new(b.dims, b.n_clusters as usize))
+            .collect();
+        Ok(Self {
+            addr: addr.to_owned(),
+            bounds,
+            uplink: None,
+        })
+    }
+
+    /// Enables simulated uplink contention: experiments
+    /// give each shard its own `ingress` lock to model per-shard WAN
+    /// uplinks (sharding then multiplies the grid's aggregate reply
+    /// bandwidth — the scaling the shard benchmark gates), or share one
+    /// lock across the grid to model a single coordinator NIC.
+    pub fn with_uplink(mut self, cost_model: CostModel, ingress: Arc<Mutex<()>>) -> Self {
+        self.uplink = Some(Uplink {
+            cost_model,
+            lock: ingress,
+        });
+        self
+    }
+
+    /// The shard server's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn n_providers(&self) -> usize {
+        self.bounds.len()
+    }
+
+    fn bounds(&self) -> Vec<ProviderBounds> {
+        self.bounds.clone()
+    }
+
+    fn begin(&self, spec: &FragmentSpec) -> fedaqp_core::Result<Box<dyn FragmentHandle>> {
+        let mut conn = ShardConn::open(&self.addr).map_err(|e| unavailable(&e))?;
+        conn.send(&Frame::Fragment(FragmentRequest {
+            query: spec.query.clone(),
+            sampling_rate: spec.sampling_rate,
+            eps_o: spec.budget.eps_o,
+            eps_s: spec.budget.eps_s,
+            eps_e: spec.budget.eps_e,
+            delta: spec.budget.delta,
+            occurrence: spec.occurrence,
+        }))
+        .map_err(|e| unavailable(&e))?;
+        match conn.recv().map_err(|e| unavailable(&e))? {
+            Frame::FragmentQueued => {}
+            _ => {
+                return Err(CoreError::ShardUnavailable {
+                    shard: 0,
+                    reason: "shard answered the fragment with an unexpected frame",
+                })
+            }
+        }
+        Ok(Box::new(RemoteFragment {
+            conn,
+            uplink: self.uplink.clone(),
+            complete: false,
+        }))
+    }
+
+    fn extreme(&self, spec: &ExtremeFragmentSpec) -> fedaqp_core::Result<(Value, Duration)> {
+        let mut conn = ShardConn::open(&self.addr).map_err(|e| unavailable(&e))?;
+        conn.send(&Frame::ExtremeFragment(
+            crate::wire::ExtremeFragmentRequest {
+                dim: spec.dim as u32,
+                extreme: spec.extreme,
+                epsilon: spec.epsilon,
+                occurrence: spec.occurrence,
+            },
+        ))
+        .map_err(|e| unavailable(&e))?;
+        match conn.recv().map_err(|e| unavailable(&e))? {
+            Frame::ExtremePartial(partial) => {
+                if let Some(uplink) = &self.uplink {
+                    uplink.charge(&Frame::ExtremePartial(partial));
+                }
+                Ok((partial.value, Duration::from_micros(partial.execution_us)))
+            }
+            _ => Err(CoreError::ShardUnavailable {
+                shard: 0,
+                reason: "shard answered the extreme fragment with an unexpected frame",
+            }),
+        }
+    }
+}
+
+/// One fragment lifecycle on its own connection.
+struct RemoteFragment {
+    conn: ShardConn,
+    uplink: Option<Uplink>,
+    complete: bool,
+}
+
+impl RemoteFragment {
+    fn request(&mut self, frame: &Frame) -> fedaqp_core::Result<Frame> {
+        self.conn.send(frame).map_err(|e| unavailable(&e))?;
+        self.conn.recv().map_err(|e| unavailable(&e))
+    }
+}
+
+impl FragmentHandle for RemoteFragment {
+    fn summaries(&mut self) -> fedaqp_core::Result<(Vec<ProviderSummary>, Duration)> {
+        match self.request(&Frame::FragmentSummariesRequest)? {
+            Frame::FragmentSummaries(frame) => {
+                if let Some(uplink) = &self.uplink {
+                    uplink.charge(&Frame::FragmentSummaries(frame.clone()));
+                }
+                let summaries = frame
+                    .summaries
+                    .iter()
+                    .enumerate()
+                    // Local provider ids; the coordinator remaps them to
+                    // the shard's global offset.
+                    .map(|(i, s)| ProviderSummary {
+                        provider: i,
+                        noisy_n_q: s.noisy_n_q,
+                        noisy_avg_r: s.noisy_avg_r,
+                    })
+                    .collect();
+                Ok((summaries, Duration::from_micros(frame.summary_us)))
+            }
+            _ => Err(CoreError::ShardUnavailable {
+                shard: 0,
+                reason: "shard answered the summaries request with an unexpected frame",
+            }),
+        }
+    }
+
+    fn allocate(&mut self, allocations: &[u64]) -> fedaqp_core::Result<()> {
+        match self.request(&Frame::FragmentAllocation(FragmentAllocationFrame {
+            allocations: allocations.to_vec(),
+        }))? {
+            Frame::FragmentAllocated => Ok(()),
+            _ => Err(CoreError::ShardUnavailable {
+                shard: 0,
+                reason: "shard answered the allocation with an unexpected frame",
+            }),
+        }
+    }
+
+    fn partial(&mut self) -> fedaqp_core::Result<FragmentPartial> {
+        match self.request(&Frame::FragmentPartialRequest)? {
+            Frame::FragmentPartial(frame) => {
+                if let Some(uplink) = &self.uplink {
+                    uplink.charge(&Frame::FragmentPartial(frame.clone()));
+                }
+                self.complete = true;
+                Ok(FragmentPartial {
+                    rows: frame
+                        .rows
+                        .iter()
+                        .map(|r| PartialRow {
+                            released: r.released,
+                            variance: r.variance,
+                            approximated: r.approximated,
+                            clusters_scanned: r.clusters_scanned,
+                            n_covering: r.n_covering,
+                        })
+                        .collect(),
+                    execution: Duration::from_micros(frame.execution_us),
+                })
+            }
+            _ => Err(CoreError::ShardUnavailable {
+                shard: 0,
+                reason: "shard answered the partial request with an unexpected frame",
+            }),
+        }
+    }
+}
+
+impl Drop for RemoteFragment {
+    fn drop(&mut self) {
+        // Best-effort graceful abort for an incomplete fragment; if the
+        // frame never arrives, the closing socket aborts it anyway (the
+        // server's `PendingFragment` unparks its workers on drop).
+        if !self.complete {
+            let _ = self.conn.send(&Frame::FragmentAbort);
+        }
+    }
+}
+
+/// Maps a connection-level failure onto the coordinator's typed fault.
+/// The reasons are static by [`CoreError`]'s design; the full story is in
+/// the shard server's log, not in what a failing shard tells an analyst.
+fn unavailable(error: &NetError) -> CoreError {
+    let reason = match error {
+        NetError::Connect { .. } => "connection refused",
+        NetError::Disconnected => "shard dropped the connection",
+        NetError::Io(_) => "shard connection failed",
+        NetError::Remote { .. } => "shard rejected the request",
+        NetError::UnsupportedVersion { .. } => "shard speaks an incompatible protocol version",
+        _ => "shard protocol error",
+    };
+    CoreError::ShardUnavailable { shard: 0, reason }
+}
+
+/// A blocking request/reply connection to a shard-mode server.
+struct ShardConn {
+    stream: TcpStream,
+}
+
+impl ShardConn {
+    fn open(addr: &str) -> Result<Self> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| NetError::Connect {
+            addr: addr.to_owned(),
+            message: e.to_string(),
+        })?;
+        stream.set_nodelay(true).ok();
+        write_frame_at(
+            &mut stream,
+            &Frame::Hello(Hello {
+                analyst: "coordinator".to_owned(),
+            }),
+            VERSION,
+        )?;
+        match read_frame(&mut stream)? {
+            Frame::HelloAck(ack) if ack.max_version >= 4 => Ok(Self { stream }),
+            Frame::HelloAck(ack) => Err(NetError::UnsupportedVersion {
+                requested: VERSION,
+                supported: ack.max_version,
+            }),
+            Frame::Error(e) if e.code == ErrorCode::UnsupportedVersion => {
+                Err(NetError::UnsupportedVersion {
+                    requested: VERSION,
+                    supported: e.index as u16,
+                })
+            }
+            Frame::Error(e) => Err(NetError::Remote {
+                code: e.code,
+                message: e.message,
+            }),
+            _ => Err(NetError::Handshake("expected HelloAck")),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        write_frame_at(&mut self.stream, frame, VERSION)
+    }
+
+    /// Reads the next reply, turning a typed error frame into
+    /// [`NetError::Remote`].
+    fn recv(&mut self) -> Result<Frame> {
+        match read_frame(&mut self.stream)? {
+            Frame::Error(e) => Err(NetError::Remote {
+                code: e.code,
+                message: e.message,
+            }),
+            frame => Ok(frame),
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic   u32  = 0x4651_4E50  ("FQNP")
-//! version u16  (1, 2 or 3; see below)
+//! version u16  (1, 2, 3 or 4; see below)
 //! kind    u8
 //! len     u32  (payload bytes; hard-capped at MAX_PAYLOAD)
 //! payload [len bytes]
@@ -25,9 +25,10 @@
 //! v2 — a v1 `HelloAck` payload is byte-identical to what a v1 server
 //! sent). v2 adds the plan frames ([`Frame::Plan`] / [`Frame::PlanAnswer`]);
 //! v3 adds the explain frames ([`Frame::Explain`] /
-//! [`Frame::ExplainAnswer`]). Each version leaves every earlier frame
-//! kind byte-identical, so v1 and v2 clients work against a v3 server
-//! verbatim. A header with a version outside the supported range
+//! [`Frame::ExplainAnswer`]); v4 adds the *shard fragment* frames a
+//! scatter–gather coordinator speaks to a downstream shard server (see
+//! below). Each version leaves every earlier frame kind byte-identical,
+//! so v1, v2 and v3 clients work against a v4 server verbatim. A header with a version outside the supported range
 //! fails with [`NetError::UnsupportedVersion`] *before* any payload is
 //! read — servers answer it with a typed
 //! [`ErrorCode::UnsupportedVersion`] frame (whose `index` field carries
@@ -54,6 +55,28 @@
 //! * [`Frame::BudgetRequest`] asks for the session ledger; the server
 //!   replies with [`Frame::BudgetStatus`].
 //!
+//! **Shard fragment frames (v4, coordinator ⇒ shard).** A server started
+//! in *shard mode* serves a scatter–gather coordinator instead of
+//! analysts: one connection carries one fragment through its lifecycle —
+//! [`Frame::Fragment`] ⇒ [`Frame::FragmentQueued`];
+//! [`Frame::FragmentSummariesRequest`] ⇒ [`Frame::FragmentSummaries`]
+//! (per-provider DP summaries, local provider order);
+//! [`Frame::FragmentAllocation`] (the coordinator's globally solved
+//! slice) ⇒ [`Frame::FragmentAllocated`];
+//! [`Frame::FragmentPartialRequest`] ⇒ [`Frame::FragmentPartial`] (the
+//! mergeable per-provider releases). [`Frame::FragmentAbort`] ⇒
+//! [`Frame::FragmentAborted`] tears a begun fragment down.
+//! [`Frame::ExtremeFragment`] ⇒ [`Frame::ExtremePartial`] runs a MIN/MAX
+//! fragment in one round trip, and [`Frame::ShardBoundsRequest`] ⇒
+//! [`Frame::ShardBounds`] publishes the shard's offline pruning metadata
+//! at coordinator construction. A shard-mode server accepts *only*
+//! fragment frames (analyst frames are refused — a party that can mix
+//! both against one shard could difference the occurrence ledger), and
+//! an analyst-mode server refuses fragment frames (they carry an
+//! explicit, pre-charged budget, so accepting them from analysts would
+//! bypass the session ledger). Seeds never cross the wire: operators
+//! configure every shard with the deployment seed out of band.
+//!
 //! What is *not* on the wire is as deliberate as what is: a provider's raw
 //! (pre-noise) estimate and smooth sensitivities are simulation-boundary
 //! diagnostics and never leave the server (see the README threat-model
@@ -73,7 +96,7 @@ use crate::{NetError, Result};
 pub const MAGIC: u32 = 0x4651_4E50;
 /// Highest wire-protocol version this build speaks (and the version the
 /// client stamps its frames with).
-pub const VERSION: u16 = 3;
+pub const VERSION: u16 = 4;
 /// Lowest wire-protocol version this build still accepts.
 pub const MIN_VERSION: u16 = 1;
 /// Hard cap on a frame payload. Nothing legitimate comes close (the
@@ -110,6 +133,20 @@ const KIND_PLAN: u8 = 9;
 const KIND_PLAN_ANSWER: u8 = 10;
 const KIND_EXPLAIN: u8 = 11;
 const KIND_EXPLAIN_ANSWER: u8 = 12;
+const KIND_FRAGMENT: u8 = 13;
+const KIND_FRAGMENT_QUEUED: u8 = 14;
+const KIND_FRAGMENT_SUMMARIES_REQUEST: u8 = 15;
+const KIND_FRAGMENT_SUMMARIES: u8 = 16;
+const KIND_FRAGMENT_ALLOCATION: u8 = 17;
+const KIND_FRAGMENT_ALLOCATED: u8 = 18;
+const KIND_FRAGMENT_PARTIAL_REQUEST: u8 = 19;
+const KIND_FRAGMENT_PARTIAL: u8 = 20;
+const KIND_FRAGMENT_ABORT: u8 = 21;
+const KIND_FRAGMENT_ABORTED: u8 = 22;
+const KIND_EXTREME_FRAGMENT: u8 = 23;
+const KIND_EXTREME_PARTIAL: u8 = 24;
+const KIND_SHARD_BOUNDS_REQUEST: u8 = 25;
+const KIND_SHARD_BOUNDS: u8 = 26;
 
 /// A connection-opening frame: the analyst declares an identity the
 /// server keys budget ledgers by.
@@ -221,6 +258,10 @@ pub enum ErrorCode {
     /// server's maximum supported version so the client can surface both
     /// sides of the failed negotiation.
     UnsupportedVersion,
+    /// A downstream engine shard refused a connection or dropped
+    /// mid-plan (v4; reported by a coordinator to its analysts). The
+    /// plan's already-charged budget stays charged — fail-closed.
+    ShardUnavailable,
 }
 
 impl ErrorCode {
@@ -232,6 +273,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => 4,
             ErrorCode::Internal => 5,
             ErrorCode::UnsupportedVersion => 6,
+            ErrorCode::ShardUnavailable => 7,
         }
     }
 
@@ -243,6 +285,7 @@ impl ErrorCode {
             4 => Ok(ErrorCode::BadRequest),
             5 => Ok(ErrorCode::Internal),
             6 => Ok(ErrorCode::UnsupportedVersion),
+            7 => Ok(ErrorCode::ShardUnavailable),
             _ => Err(NetError::Malformed("unknown error code")),
         }
     }
@@ -257,6 +300,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::Internal => "internal",
             ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::ShardUnavailable => "shard-unavailable",
         };
         f.write_str(name)
     }
@@ -356,6 +400,125 @@ pub struct PlanAnswerFrame {
     pub network_us: u64,
 }
 
+/// One fragment submission (coordinator → shard, v4): everything a shard
+/// needs to run its slice of one private sub-query. The budget arrives
+/// pre-split (the coordinator already validated and charged it), and the
+/// occurrence index comes from the coordinator's ledger — the shard's own
+/// ledger is never consulted for fragments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentRequest {
+    /// The range query.
+    pub query: RangeQuery,
+    /// Sampling rate `sr ∈ (0, 1)`.
+    pub sampling_rate: f64,
+    /// Allocation-phase budget `ε_O`.
+    pub eps_o: f64,
+    /// Sampling-phase budget `ε_S`.
+    pub eps_s: f64,
+    /// Estimation-phase budget `ε_E`.
+    pub eps_e: f64,
+    /// Failure probability `δ`.
+    pub delta: f64,
+    /// Coordinator-assigned occurrence index for the noise derivation.
+    pub occurrence: u64,
+}
+
+/// One provider's DP summary inside a [`FragmentSummariesFrame`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSummary {
+    /// Noisy covering-set size `Ñ^Q` (Eq. 5).
+    pub noisy_n_q: f64,
+    /// Noisy average cluster proportion `Avg(R̂)~`.
+    pub noisy_avg_r: f64,
+}
+
+/// The shard's step-2 summaries (shard → coordinator, v4), in local
+/// provider order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentSummariesFrame {
+    /// One summary per local provider.
+    pub summaries: Vec<WireSummary>,
+    /// Wall time of the shard's slowest provider's summary, microseconds.
+    pub summary_us: u64,
+}
+
+/// The coordinator's globally solved allocation slice for this shard
+/// (coordinator → shard, v4), in local provider order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentAllocationFrame {
+    /// Per-provider sample sizes `s_i`.
+    pub allocations: Vec<u64>,
+}
+
+/// One provider's row of a fragment partial — the wire projection of
+/// `fedaqp_core::PartialRow`. Only the *released* value crosses the
+/// wire; raw estimates and smooth sensitivities stay on the shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePartialRow {
+    /// The provider's locally noised release.
+    pub released: f64,
+    /// Hansen–Hurwitz variance, when estimable (public CI accounting).
+    pub variance: Option<f64>,
+    /// Whether the provider approximated.
+    pub approximated: bool,
+    /// Clusters scanned.
+    pub clusters_scanned: u64,
+    /// Covering-set size `N^Q`.
+    pub n_covering: u64,
+}
+
+/// The shard's mergeable partial (shard → coordinator, v4), in local
+/// provider order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentPartialFrame {
+    /// One row per local provider.
+    pub rows: Vec<WirePartialRow>,
+    /// Wall time of the shard's slowest provider, microseconds.
+    pub execution_us: u64,
+}
+
+/// One MIN/MAX fragment (coordinator → shard, v4); the shard answers
+/// with an [`ExtremePartialFrame`] in the same round trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtremeFragmentRequest {
+    /// The selected dimension.
+    pub dim: u32,
+    /// MIN or MAX.
+    pub extreme: Extreme,
+    /// Per-provider EM budget.
+    pub epsilon: f64,
+    /// Coordinator-assigned occurrence index.
+    pub occurrence: u64,
+}
+
+/// The shard-local MIN/MAX selection (shard → coordinator, v4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtremePartialFrame {
+    /// The shard's combined selection over its providers.
+    pub value: i64,
+    /// Wall time of the shard's slowest provider, microseconds.
+    pub execution_us: u64,
+}
+
+/// One provider's public pruning bounds inside a [`ShardBoundsFrame`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireProviderBounds {
+    /// Per-dimension `(min, max)` over the provider's data; `None` for a
+    /// dimension without metadata (never prunable on it).
+    pub dims: Vec<Option<(i64, i64)>>,
+    /// The provider's cluster count (the optimizer's cost unit).
+    pub n_clusters: u64,
+}
+
+/// The shard's offline pruning metadata (shard → coordinator, v4), in
+/// local provider order — what the coordinator concatenates into the
+/// global snapshot at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBoundsFrame {
+    /// One bounds entry per local provider.
+    pub providers: Vec<WireProviderBounds>,
+}
+
 /// One explain request (client → server, v3): what would the optimizer
 /// decide about this plan? Nothing runs and no budget is charged.
 #[derive(Debug, Clone, PartialEq)]
@@ -400,6 +563,34 @@ pub enum Frame {
     Explain(ExplainRequest),
     /// One explain answer (server → client; v3).
     ExplainAnswer(ExplainAnswerFrame),
+    /// One fragment submission (coordinator → shard; v4).
+    Fragment(FragmentRequest),
+    /// Fragment accepted and queued (shard → coordinator; v4).
+    FragmentQueued,
+    /// Ask for the fragment's summaries (coordinator → shard; v4).
+    FragmentSummariesRequest,
+    /// The fragment's per-provider summaries (shard → coordinator; v4).
+    FragmentSummaries(FragmentSummariesFrame),
+    /// The globally solved allocation slice (coordinator → shard; v4).
+    FragmentAllocation(FragmentAllocationFrame),
+    /// Allocation delivered to the workers (shard → coordinator; v4).
+    FragmentAllocated,
+    /// Ask for the fragment's partial (coordinator → shard; v4).
+    FragmentPartialRequest,
+    /// The fragment's mergeable partial (shard → coordinator; v4).
+    FragmentPartial(FragmentPartialFrame),
+    /// Abort a begun fragment (coordinator → shard; v4).
+    FragmentAbort,
+    /// Fragment torn down (shard → coordinator; v4).
+    FragmentAborted,
+    /// One MIN/MAX fragment (coordinator → shard; v4).
+    ExtremeFragment(ExtremeFragmentRequest),
+    /// The shard-local MIN/MAX selection (shard → coordinator; v4).
+    ExtremePartial(ExtremePartialFrame),
+    /// Ask for the shard's pruning metadata (coordinator → shard; v4).
+    ShardBoundsRequest,
+    /// The shard's pruning metadata (shard → coordinator; v4).
+    ShardBounds(ShardBoundsFrame),
 }
 
 /// Wire code of an [`EstimatorCalibration`] (`0` = EM, `1` = PPS).
@@ -622,6 +813,13 @@ fn put_explanation(buf: &mut BytesMut, expl: &PlanExplanation) -> Result<()> {
     Ok(())
 }
 
+fn check_v4(version: u16) -> Result<()> {
+    if version < 4 {
+        return Err(NetError::Malformed("fragment frames need protocol v4"));
+    }
+    Ok(())
+}
+
 fn encode_payload(frame: &Frame, version: u16) -> Result<(u8, BytesMut)> {
     let mut buf = BytesMut::with_capacity(64);
     let kind = match frame {
@@ -739,6 +937,127 @@ fn encode_payload(frame: &Frame, version: u16) -> Result<(u8, BytesMut)> {
             buf.put_u32_le(a.index);
             put_explanation(&mut buf, &a.explanation)?;
             KIND_EXPLAIN_ANSWER
+        }
+        Frame::Fragment(r) => {
+            check_v4(version)?;
+            buf.put_f64_le(r.sampling_rate);
+            buf.put_f64_le(r.eps_o);
+            buf.put_f64_le(r.eps_s);
+            buf.put_f64_le(r.eps_e);
+            buf.put_f64_le(r.delta);
+            buf.put_u64_le(r.occurrence);
+            put_range_query(&mut buf, &r.query)?;
+            KIND_FRAGMENT
+        }
+        Frame::FragmentQueued => {
+            check_v4(version)?;
+            KIND_FRAGMENT_QUEUED
+        }
+        Frame::FragmentSummariesRequest => {
+            check_v4(version)?;
+            KIND_FRAGMENT_SUMMARIES_REQUEST
+        }
+        Frame::FragmentSummaries(s) => {
+            check_v4(version)?;
+            if s.summaries.len() > MAX_ALLOCATIONS {
+                return Err(NetError::Malformed("too many fragment summaries"));
+            }
+            buf.put_u32_le(s.summaries.len() as u32);
+            for summary in &s.summaries {
+                buf.put_f64_le(summary.noisy_n_q);
+                buf.put_f64_le(summary.noisy_avg_r);
+            }
+            buf.put_u64_le(s.summary_us);
+            KIND_FRAGMENT_SUMMARIES
+        }
+        Frame::FragmentAllocation(a) => {
+            check_v4(version)?;
+            if a.allocations.len() > MAX_ALLOCATIONS {
+                return Err(NetError::Malformed("too many allocations"));
+            }
+            buf.put_u32_le(a.allocations.len() as u32);
+            for &s in &a.allocations {
+                buf.put_u64_le(s);
+            }
+            KIND_FRAGMENT_ALLOCATION
+        }
+        Frame::FragmentAllocated => {
+            check_v4(version)?;
+            KIND_FRAGMENT_ALLOCATED
+        }
+        Frame::FragmentPartialRequest => {
+            check_v4(version)?;
+            KIND_FRAGMENT_PARTIAL_REQUEST
+        }
+        Frame::FragmentPartial(p) => {
+            check_v4(version)?;
+            if p.rows.len() > MAX_ALLOCATIONS {
+                return Err(NetError::Malformed("too many partial rows"));
+            }
+            buf.put_u32_le(p.rows.len() as u32);
+            for row in &p.rows {
+                buf.put_f64_le(row.released);
+                put_opt_f64(&mut buf, row.variance);
+                buf.put_u8(u8::from(row.approximated));
+                buf.put_u64_le(row.clusters_scanned);
+                buf.put_u64_le(row.n_covering);
+            }
+            buf.put_u64_le(p.execution_us);
+            KIND_FRAGMENT_PARTIAL
+        }
+        Frame::FragmentAbort => {
+            check_v4(version)?;
+            KIND_FRAGMENT_ABORT
+        }
+        Frame::FragmentAborted => {
+            check_v4(version)?;
+            KIND_FRAGMENT_ABORTED
+        }
+        Frame::ExtremeFragment(r) => {
+            check_v4(version)?;
+            buf.put_u32_le(r.dim);
+            buf.put_u8(match r.extreme {
+                Extreme::Min => 0,
+                Extreme::Max => 1,
+            });
+            buf.put_f64_le(r.epsilon);
+            buf.put_u64_le(r.occurrence);
+            KIND_EXTREME_FRAGMENT
+        }
+        Frame::ExtremePartial(p) => {
+            check_v4(version)?;
+            buf.put_i64_le(p.value);
+            buf.put_u64_le(p.execution_us);
+            KIND_EXTREME_PARTIAL
+        }
+        Frame::ShardBoundsRequest => {
+            check_v4(version)?;
+            KIND_SHARD_BOUNDS_REQUEST
+        }
+        Frame::ShardBounds(b) => {
+            check_v4(version)?;
+            if b.providers.len() > MAX_ALLOCATIONS {
+                return Err(NetError::Malformed("too many provider bounds"));
+            }
+            buf.put_u32_le(b.providers.len() as u32);
+            for provider in &b.providers {
+                if provider.dims.len() > MAX_DIMS {
+                    return Err(NetError::Malformed("too many bound dimensions"));
+                }
+                buf.put_u16_le(provider.dims.len() as u16);
+                for dim in &provider.dims {
+                    match dim {
+                        Some((lo, hi)) => {
+                            buf.put_u8(1);
+                            buf.put_i64_le(*lo);
+                            buf.put_i64_le(*hi);
+                        }
+                        None => buf.put_u8(0),
+                    }
+                }
+                buf.put_u64_le(provider.n_clusters);
+            }
+            KIND_SHARD_BOUNDS
         }
     };
     if buf.len() > MAX_PAYLOAD as usize {
@@ -1169,6 +1488,152 @@ fn decode_payload(kind: u8, mut data: &[u8], version: u16) -> Result<Frame> {
         KIND_EXPLAIN | KIND_EXPLAIN_ANSWER => {
             return Err(NetError::Malformed("explain frames need protocol v3"))
         }
+        KIND_FRAGMENT if version >= 4 => {
+            need(data, 5 * 8 + 8, "fragment header truncated")?;
+            let sampling_rate = data.get_f64_le();
+            let eps_o = data.get_f64_le();
+            let eps_s = data.get_f64_le();
+            let eps_e = data.get_f64_le();
+            let delta = data.get_f64_le();
+            let occurrence = data.get_u64_le();
+            Frame::Fragment(FragmentRequest {
+                query: get_range_query(&mut data)?,
+                sampling_rate,
+                eps_o,
+                eps_s,
+                eps_e,
+                delta,
+                occurrence,
+            })
+        }
+        KIND_FRAGMENT_QUEUED if version >= 4 => Frame::FragmentQueued,
+        KIND_FRAGMENT_SUMMARIES_REQUEST if version >= 4 => Frame::FragmentSummariesRequest,
+        KIND_FRAGMENT_SUMMARIES if version >= 4 => {
+            need(data, 4, "summary count truncated")?;
+            let n = data.get_u32_le() as usize;
+            if n > MAX_ALLOCATIONS || !declared_len_fits(n, 8 + 8, data.remaining()) {
+                return Err(NetError::Malformed("declared summary count too large"));
+            }
+            let mut summaries = Vec::with_capacity(n);
+            for _ in 0..n {
+                summaries.push(WireSummary {
+                    noisy_n_q: data.get_f64_le(),
+                    noisy_avg_r: data.get_f64_le(),
+                });
+            }
+            need(data, 8, "summary timing truncated")?;
+            Frame::FragmentSummaries(FragmentSummariesFrame {
+                summaries,
+                summary_us: data.get_u64_le(),
+            })
+        }
+        KIND_FRAGMENT_ALLOCATION if version >= 4 => {
+            need(data, 4, "allocation count truncated")?;
+            let n = data.get_u32_le() as usize;
+            if n > MAX_ALLOCATIONS || !declared_len_fits(n, 8, data.remaining()) {
+                return Err(NetError::Malformed("declared allocation count too large"));
+            }
+            let mut allocations = Vec::with_capacity(n);
+            for _ in 0..n {
+                allocations.push(data.get_u64_le());
+            }
+            Frame::FragmentAllocation(FragmentAllocationFrame { allocations })
+        }
+        KIND_FRAGMENT_ALLOCATED if version >= 4 => Frame::FragmentAllocated,
+        KIND_FRAGMENT_PARTIAL_REQUEST if version >= 4 => Frame::FragmentPartialRequest,
+        KIND_FRAGMENT_PARTIAL if version >= 4 => {
+            need(data, 4, "partial row count truncated")?;
+            let n = data.get_u32_le() as usize;
+            // Each row costs at least released + option tag + flag +
+            // two counters.
+            if n > MAX_ALLOCATIONS || !declared_len_fits(n, 8 + 1 + 1 + 8 + 8, data.remaining()) {
+                return Err(NetError::Malformed("declared partial row count too large"));
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(data, 8, "partial row truncated")?;
+                let released = data.get_f64_le();
+                let variance = get_opt_f64(&mut data)?;
+                let approximated = get_bool(&mut data, "partial row flag truncated")?;
+                need(data, 8 + 8, "partial row counters truncated")?;
+                rows.push(WirePartialRow {
+                    released,
+                    variance,
+                    approximated,
+                    clusters_scanned: data.get_u64_le(),
+                    n_covering: data.get_u64_le(),
+                });
+            }
+            need(data, 8, "partial timing truncated")?;
+            Frame::FragmentPartial(FragmentPartialFrame {
+                rows,
+                execution_us: data.get_u64_le(),
+            })
+        }
+        KIND_FRAGMENT_ABORT if version >= 4 => Frame::FragmentAbort,
+        KIND_FRAGMENT_ABORTED if version >= 4 => Frame::FragmentAborted,
+        KIND_EXTREME_FRAGMENT if version >= 4 => {
+            need(data, 4 + 1 + 8 + 8, "extreme fragment truncated")?;
+            let dim = data.get_u32_le();
+            let extreme = match data.get_u8() {
+                0 => Extreme::Min,
+                1 => Extreme::Max,
+                _ => return Err(NetError::Malformed("unknown extreme code")),
+            };
+            Frame::ExtremeFragment(ExtremeFragmentRequest {
+                dim,
+                extreme,
+                epsilon: data.get_f64_le(),
+                occurrence: data.get_u64_le(),
+            })
+        }
+        KIND_EXTREME_PARTIAL if version >= 4 => {
+            need(data, 8 + 8, "extreme partial truncated")?;
+            Frame::ExtremePartial(ExtremePartialFrame {
+                value: data.get_i64_le(),
+                execution_us: data.get_u64_le(),
+            })
+        }
+        KIND_SHARD_BOUNDS_REQUEST if version >= 4 => Frame::ShardBoundsRequest,
+        KIND_SHARD_BOUNDS if version >= 4 => {
+            need(data, 4, "bounds count truncated")?;
+            let n = data.get_u32_le() as usize;
+            // Each provider costs at least a dim count + cluster count.
+            if n > MAX_ALLOCATIONS || !declared_len_fits(n, 2 + 8, data.remaining()) {
+                return Err(NetError::Malformed("declared bounds count too large"));
+            }
+            let mut providers = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(data, 2, "bound dimension count truncated")?;
+                let n_dims = data.get_u16_le() as usize;
+                if n_dims > MAX_DIMS || !declared_len_fits(n_dims, 1, data.remaining()) {
+                    return Err(NetError::Malformed(
+                        "declared bound dimension count too large",
+                    ));
+                }
+                let mut dims = Vec::with_capacity(n_dims);
+                for _ in 0..n_dims {
+                    need(data, 1, "bound tag truncated")?;
+                    dims.push(match data.get_u8() {
+                        0 => None,
+                        1 => {
+                            need(data, 16, "bound range truncated")?;
+                            Some((data.get_i64_le(), data.get_i64_le()))
+                        }
+                        _ => return Err(NetError::Malformed("bad bound tag")),
+                    });
+                }
+                need(data, 8, "cluster count truncated")?;
+                providers.push(WireProviderBounds {
+                    dims,
+                    n_clusters: data.get_u64_le(),
+                });
+            }
+            Frame::ShardBounds(ShardBoundsFrame { providers })
+        }
+        KIND_FRAGMENT..=KIND_SHARD_BOUNDS => {
+            return Err(NetError::Malformed("fragment frames need protocol v4"))
+        }
         KIND_BUDGET_REQUEST => Frame::BudgetRequest,
         KIND_BUDGET_STATUS => {
             need(data, 1 + 4 * 8 + 8, "budget status truncated")?;
@@ -1396,7 +1861,100 @@ mod tests {
                 index: 4,
                 explanation: sample_explanation(),
             }),
+            Frame::Fragment(FragmentRequest {
+                query: query(10, 60),
+                sampling_rate: 0.2,
+                eps_o: 0.3,
+                eps_s: 0.3,
+                eps_e: 0.4,
+                delta: 1e-3,
+                occurrence: 7,
+            }),
+            Frame::FragmentQueued,
+            Frame::FragmentSummariesRequest,
+            Frame::FragmentSummaries(FragmentSummariesFrame {
+                summaries: vec![
+                    WireSummary {
+                        noisy_n_q: 812.5,
+                        noisy_avg_r: 0.41,
+                    },
+                    WireSummary {
+                        noisy_n_q: 17.25,
+                        noisy_avg_r: 0.03,
+                    },
+                ],
+                summary_us: 130,
+            }),
+            Frame::FragmentAllocation(FragmentAllocationFrame {
+                allocations: vec![3, 9],
+            }),
+            Frame::FragmentAllocated,
+            Frame::FragmentPartialRequest,
+            Frame::FragmentPartial(FragmentPartialFrame {
+                rows: vec![
+                    WirePartialRow {
+                        released: 812.5,
+                        variance: Some(14.5),
+                        approximated: true,
+                        clusters_scanned: 9,
+                        n_covering: 40,
+                    },
+                    WirePartialRow {
+                        released: -3.25,
+                        variance: None,
+                        approximated: false,
+                        clusters_scanned: 2,
+                        n_covering: 2,
+                    },
+                ],
+                execution_us: 1400,
+            }),
+            Frame::FragmentAbort,
+            Frame::FragmentAborted,
+            Frame::ExtremeFragment(ExtremeFragmentRequest {
+                dim: 1,
+                extreme: Extreme::Max,
+                epsilon: 0.5,
+                occurrence: 2,
+            }),
+            Frame::ExtremePartial(ExtremePartialFrame {
+                value: 97,
+                execution_us: 300,
+            }),
+            Frame::ShardBoundsRequest,
+            Frame::ShardBounds(ShardBoundsFrame {
+                providers: vec![
+                    WireProviderBounds {
+                        dims: vec![Some((0, 249)), None],
+                        n_clusters: 12,
+                    },
+                    WireProviderBounds {
+                        dims: vec![Some((250, 499)), Some((0, 4))],
+                        n_clusters: 12,
+                    },
+                ],
+            }),
         ]
+    }
+
+    fn is_v4_frame(frame: &Frame) -> bool {
+        matches!(
+            frame,
+            Frame::Fragment(_)
+                | Frame::FragmentQueued
+                | Frame::FragmentSummariesRequest
+                | Frame::FragmentSummaries(_)
+                | Frame::FragmentAllocation(_)
+                | Frame::FragmentAllocated
+                | Frame::FragmentPartialRequest
+                | Frame::FragmentPartial(_)
+                | Frame::FragmentAbort
+                | Frame::FragmentAborted
+                | Frame::ExtremeFragment(_)
+                | Frame::ExtremePartial(_)
+                | Frame::ShardBoundsRequest
+                | Frame::ShardBounds(_)
+        )
     }
 
     fn sample_explanation() -> PlanExplanation {
@@ -1633,7 +2191,8 @@ mod tests {
             if matches!(
                 frame,
                 Frame::Plan(_) | Frame::PlanAnswer(_) | Frame::Explain(_) | Frame::ExplainAnswer(_)
-            ) {
+            ) || is_v4_frame(&frame)
+            {
                 continue;
             }
             let expected = match &frame {
@@ -1689,9 +2248,9 @@ mod tests {
     fn v2_frames_round_trip_at_v2_unchanged() {
         // Every v2 frame kind must encode/decode at version 2 exactly as
         // a v2 build did — this is what keeps v2 clients working against
-        // the v3 server.
+        // newer servers.
         for frame in all_frames() {
-            if matches!(frame, Frame::Explain(_) | Frame::ExplainAnswer(_)) {
+            if matches!(frame, Frame::Explain(_) | Frame::ExplainAnswer(_)) || is_v4_frame(&frame) {
                 continue;
             }
             let bytes = encode_frame_at(&frame, 2).unwrap();
@@ -1732,6 +2291,77 @@ mod tests {
                 Err(NetError::Malformed("explain frames need protocol v3"))
             ));
         }
+    }
+
+    #[test]
+    fn v3_frames_round_trip_at_v3_unchanged() {
+        // Every v3 frame kind must encode/decode at version 3 exactly as
+        // a v3 build did — this is what keeps v3 analysts working against
+        // the v4 server.
+        for frame in all_frames() {
+            if is_v4_frame(&frame) {
+                continue;
+            }
+            let bytes = encode_frame_at(&frame, 3).unwrap();
+            assert_eq!(bytes[4], 3, "header version");
+            let mut slice: &[u8] = &bytes;
+            let (decoded, version) = read_frame_versioned(&mut slice).unwrap();
+            assert!(!slice.has_remaining());
+            assert_eq!(version, 3);
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn fragment_frames_are_v4_only() {
+        for frame in all_frames().iter().filter(|f| is_v4_frame(f)) {
+            for version in [1, 2, 3] {
+                assert!(
+                    matches!(
+                        encode_frame_at(frame, version),
+                        Err(NetError::Malformed("fragment frames need protocol v4"))
+                    ),
+                    "{frame:?} encoded at v{version}"
+                );
+                // A pre-v4 header smuggling a fragment kind is rejected
+                // at decode.
+                let mut bytes = encode_frame(frame).unwrap();
+                bytes[4..6].copy_from_slice(&version.to_le_bytes());
+                assert!(matches!(
+                    read_frame(&mut &bytes[..]),
+                    Err(NetError::Malformed("fragment frames need protocol v4"))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_fragment_counts_are_rejected() {
+        // A partial claiming u32::MAX rows over a tiny body.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u16_le(VERSION);
+        bytes.put_u8(KIND_FRAGMENT_PARTIAL);
+        bytes.put_u32_le(4 + 8);
+        bytes.put_u32_le(u32::MAX);
+        bytes.put_u64_le(0);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("declared partial row count too large"))
+        ));
+
+        // Shard bounds claiming u32::MAX providers.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u16_le(VERSION);
+        bytes.put_u8(KIND_SHARD_BOUNDS);
+        bytes.put_u32_le(4 + 8);
+        bytes.put_u32_le(u32::MAX);
+        bytes.put_u64_le(0);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("declared bounds count too large"))
+        ));
     }
 
     #[test]
@@ -2121,6 +2751,133 @@ mod proptests {
                 },
             )
             .boxed();
+        let fragment = (
+            arb_query(),
+            (0.001f64..10.0, 0.001f64..10.0, 0.001f64..10.0, 0.0f64..0.1),
+            any::<u64>(),
+        )
+            .prop_map(|(spec, (eps_o, eps_s, eps_e, delta), occurrence)| {
+                Frame::Fragment(FragmentRequest {
+                    query: spec.query,
+                    sampling_rate: spec.sampling_rate,
+                    eps_o,
+                    eps_s,
+                    eps_e,
+                    delta,
+                    occurrence,
+                })
+            })
+            .boxed();
+        let fragment_summaries = (
+            proptest::collection::vec((any::<f64>(), any::<f64>()), 0..8),
+            any::<u64>(),
+        )
+            .prop_map(|(raw, summary_us)| {
+                Frame::FragmentSummaries(FragmentSummariesFrame {
+                    summaries: raw
+                        .into_iter()
+                        .map(|(noisy_n_q, noisy_avg_r)| WireSummary {
+                            noisy_n_q,
+                            noisy_avg_r,
+                        })
+                        .collect(),
+                    summary_us,
+                })
+            })
+            .boxed();
+        let fragment_allocation = proptest::collection::vec(any::<u64>(), 0..8)
+            .prop_map(|allocations| {
+                Frame::FragmentAllocation(FragmentAllocationFrame { allocations })
+            })
+            .boxed();
+        let fragment_partial = (
+            proptest::collection::vec(
+                (
+                    any::<f64>(),
+                    arb_opt_f64(),
+                    any::<bool>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                ),
+                0..8,
+            ),
+            any::<u64>(),
+        )
+            .prop_map(|(raw, execution_us)| {
+                Frame::FragmentPartial(FragmentPartialFrame {
+                    rows: raw
+                        .into_iter()
+                        .map(
+                            |(released, variance, approximated, clusters_scanned, n_covering)| {
+                                WirePartialRow {
+                                    released,
+                                    variance,
+                                    approximated,
+                                    clusters_scanned,
+                                    n_covering,
+                                }
+                            },
+                        )
+                        .collect(),
+                    execution_us,
+                })
+            })
+            .boxed();
+        let extreme_fragment = (
+            0u32..256,
+            prop_oneof![Just(Extreme::Min), Just(Extreme::Max)],
+            0.001f64..100.0,
+            any::<u64>(),
+        )
+            .prop_map(|(dim, extreme, epsilon, occurrence)| {
+                Frame::ExtremeFragment(ExtremeFragmentRequest {
+                    dim,
+                    extreme,
+                    epsilon,
+                    occurrence,
+                })
+            })
+            .boxed();
+        let extreme_partial = (any::<i64>(), any::<u64>())
+            .prop_map(|(value, execution_us)| {
+                Frame::ExtremePartial(ExtremePartialFrame {
+                    value,
+                    execution_us,
+                })
+            })
+            .boxed();
+        let shard_bounds = proptest::collection::vec(
+            (
+                proptest::collection::vec((any::<bool>(), -5000i64..5000, 0i64..5000), 0..4),
+                any::<u64>(),
+            ),
+            0..6,
+        )
+        .prop_map(|raw| {
+            Frame::ShardBounds(ShardBoundsFrame {
+                providers: raw
+                    .into_iter()
+                    .map(|(dims, n_clusters)| WireProviderBounds {
+                        dims: dims
+                            .into_iter()
+                            .map(|(some, lo, width)| some.then_some((lo, lo + width)))
+                            .collect(),
+                        n_clusters,
+                    })
+                    .collect(),
+            })
+        })
+        .boxed();
+        let fragment_signals = prop_oneof![
+            Just(Frame::FragmentQueued),
+            Just(Frame::FragmentSummariesRequest),
+            Just(Frame::FragmentAllocated),
+            Just(Frame::FragmentPartialRequest),
+            Just(Frame::FragmentAbort),
+            Just(Frame::FragmentAborted),
+            Just(Frame::ShardBoundsRequest),
+        ]
+        .boxed();
         prop_oneof![
             hello,
             ack,
@@ -2133,7 +2890,15 @@ mod proptests {
             plan,
             plan_answer,
             explain,
-            explain_answer
+            explain_answer,
+            fragment,
+            fragment_summaries,
+            fragment_allocation,
+            fragment_partial,
+            extreme_fragment,
+            extreme_partial,
+            shard_bounds,
+            fragment_signals
         ]
         .boxed()
     }

@@ -13,7 +13,10 @@ use fedaqp_model::{
     Aggregate, DerivedStatistic, Dimension, Domain, Extreme, QueryPlan, Range, RangeQuery, Row,
     Schema,
 };
-use fedaqp_net::{ErrorCode, FederationServer, NetError, RemoteFederation, ServeOptions};
+use fedaqp_net::{
+    ErrorCode, FederationServer, LoopbackServer, NetError, RemoteFederation, RemoteShard,
+    ServeOptions,
+};
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -63,9 +66,8 @@ fn batch() -> QueryBatch {
 #[test]
 fn remote_batch_is_byte_identical_to_in_process_serial() {
     let engine = FederationEngine::start(federation(1.0));
-    let server =
-        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
-    let addr = server.local_addr().to_string();
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let addr = server.addr().to_string();
 
     let mut client = RemoteFederation::connect(&addr).unwrap();
     assert_eq!(client.schema(), &schema());
@@ -109,9 +111,8 @@ fn remote_batch_is_byte_identical_to_in_process_serial() {
 #[test]
 fn pipelined_submits_answer_in_order() {
     let engine = FederationEngine::start(federation(1.0));
-    let server =
-        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
-    let addr = server.local_addr().to_string();
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let addr = server.addr().to_string();
 
     let mut client = RemoteFederation::connect(&addr).unwrap();
     // The borrow rules make interleaved pending handles impossible on one
@@ -139,9 +140,8 @@ fn dropped_pending_does_not_desync_the_connection() {
     // High ε keeps the DP noise small so "big answer" vs "small answer"
     // is unambiguous.
     let engine = FederationEngine::start(federation(50.0));
-    let server =
-        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
-    let addr = server.local_addr().to_string();
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let addr = server.addr().to_string();
 
     let mut client = RemoteFederation::connect(&addr).unwrap();
     // A query matching (almost) everything vs. one matching (almost)
@@ -175,9 +175,8 @@ fn dropped_pending_does_not_desync_the_connection() {
 #[test]
 fn four_concurrent_clients_are_all_served() {
     let engine = FederationEngine::start(federation(1.0));
-    let server =
-        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
-    let addr = server.local_addr().to_string();
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let addr = server.addr().to_string();
 
     let per_client = 8usize;
     let answers: Vec<Vec<f64>> = std::thread::scope(|scope| {
@@ -216,13 +215,9 @@ fn four_concurrent_clients_are_all_served() {
 fn budget_exhaustion_is_typed_and_sticky_across_reconnects() {
     let engine = FederationEngine::start(federation(1.0));
     // ξ = 2 at ε = 1 per query: exactly two queries fit.
-    let server = FederationServer::bind(
-        "127.0.0.1:0",
-        engine.handle(),
-        ServeOptions::with_budget(2.0, 1e-2),
-    )
-    .unwrap();
-    let addr = server.local_addr().to_string();
+    let server =
+        LoopbackServer::analyst(engine.handle(), ServeOptions::with_budget(2.0, 1e-2)).unwrap();
+    let addr = server.addr().to_string();
 
     let mut alice = RemoteFederation::connect_as(&addr, "alice").unwrap();
     assert_eq!(alice.session_budget(), Some((2.0, 1e-2)));
@@ -262,13 +257,9 @@ fn budget_exhaustion_is_typed_and_sticky_across_reconnects() {
 #[test]
 fn batch_straddling_the_budget_gets_partial_answers() {
     let engine = FederationEngine::start(federation(1.0));
-    let server = FederationServer::bind(
-        "127.0.0.1:0",
-        engine.handle(),
-        ServeOptions::with_budget(3.0, 1e-2),
-    )
-    .unwrap();
-    let addr = server.local_addr().to_string();
+    let server =
+        LoopbackServer::analyst(engine.handle(), ServeOptions::with_budget(3.0, 1e-2)).unwrap();
+    let addr = server.addr().to_string();
 
     let mut client = RemoteFederation::connect_as(&addr, "carol").unwrap();
     let results = client.run_batch(&batch()).unwrap(); // 6 queries, 3 afford
@@ -294,9 +285,8 @@ fn malformed_bytes_get_a_typed_error_then_close() {
     use std::io::Write as _;
 
     let engine = FederationEngine::start(federation(1.0));
-    let server =
-        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
-    let addr = server.local_addr();
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let addr = server.addr();
 
     // Handshake properly first, then send garbage.
     let mut stream = std::net::TcpStream::connect(addr).unwrap();
@@ -328,14 +318,18 @@ fn malformed_bytes_get_a_typed_error_then_close() {
     engine.shutdown();
 }
 
-/// A federation with a small categorical dimension for plan tests.
-fn plan_federation(epsilon: f64) -> Federation {
-    let schema = Schema::new(vec![
+/// Schema with a small categorical dimension for plan tests.
+fn plan_schema() -> Schema {
+    Schema::new(vec![
         Dimension::new("x", Domain::new(0, 999).unwrap()),
         Dimension::new("cat", Domain::new(0, 4).unwrap()),
     ])
-    .unwrap();
-    let partitions: Vec<Vec<Row>> = (0..4)
+    .unwrap()
+}
+
+/// The seeded per-provider data the plan tests run over.
+fn plan_partitions() -> Vec<Vec<Row>> {
+    (0..4)
         .map(|p| {
             (0..2000)
                 .map(|i| {
@@ -344,12 +338,20 @@ fn plan_federation(epsilon: f64) -> Federation {
                 })
                 .collect()
         })
-        .collect();
+        .collect()
+}
+
+fn plan_config(epsilon: f64) -> FederationConfig {
     let mut cfg = FederationConfig::paper_default(50);
     cfg.cost_model = fedaqp_smc::CostModel::zero();
     cfg.n_min = 3;
     cfg.epsilon = epsilon;
-    Federation::build(cfg, schema, partitions).unwrap()
+    cfg
+}
+
+/// A federation with a small categorical dimension for plan tests.
+fn plan_federation(epsilon: f64) -> Federation {
+    Federation::build(plan_config(epsilon), plan_schema(), plan_partitions()).unwrap()
 }
 
 /// The seeded mixed workload: one plan of every kind.
@@ -392,12 +394,11 @@ fn mixed_plans() -> Vec<QueryPlan> {
 #[test]
 fn remote_plans_are_byte_identical_to_in_process() {
     let engine = FederationEngine::start(plan_federation(1.0));
-    let server =
-        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
-    let addr = server.local_addr().to_string();
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let addr = server.addr().to_string();
 
     let mut client = RemoteFederation::connect(&addr).unwrap();
-    assert_eq!(client.protocol_version(), 3);
+    assert_eq!(client.protocol_version(), 4);
     let remote: Vec<_> = mixed_plans()
         .iter()
         .map(|plan| client.run_plan(plan).unwrap())
@@ -438,13 +439,9 @@ fn remote_plans_are_byte_identical_to_in_process() {
 #[test]
 fn remote_explain_matches_in_process_and_charges_nothing() {
     let engine = FederationEngine::start(plan_federation(1.0));
-    let server = FederationServer::bind(
-        "127.0.0.1:0",
-        engine.handle(),
-        ServeOptions::with_budget(5.0, 1e-2),
-    )
-    .unwrap();
-    let addr = server.local_addr().to_string();
+    let server =
+        LoopbackServer::analyst(engine.handle(), ServeOptions::with_budget(5.0, 1e-2)).unwrap();
+    let addr = server.addr().to_string();
 
     let mut client = RemoteFederation::connect_as(&addr, "erin").unwrap();
     for plan in mixed_plans() {
@@ -478,13 +475,9 @@ fn remote_explain_matches_in_process_and_charges_nothing() {
 #[test]
 fn plan_budgets_are_charged_whole_and_typed() {
     let engine = FederationEngine::start(plan_federation(1.0));
-    let server = FederationServer::bind(
-        "127.0.0.1:0",
-        engine.handle(),
-        ServeOptions::with_budget(3.0, 1e-2),
-    )
-    .unwrap();
-    let addr = server.local_addr().to_string();
+    let server =
+        LoopbackServer::analyst(engine.handle(), ServeOptions::with_budget(3.0, 1e-2)).unwrap();
+    let addr = server.addr().to_string();
 
     let mut dana = RemoteFederation::connect_as(&addr, "dana").unwrap();
     let group_by = QueryPlan::GroupBy {
@@ -541,9 +534,8 @@ fn v1_clients_still_work_against_the_v2_server() {
     use fedaqp_net::wire::{read_frame_versioned, write_frame_at, Frame, Hello, QueryRequest};
 
     let engine = FederationEngine::start(federation(1.0));
-    let server =
-        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
-    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
 
     write_frame_at(
         &mut stream,
@@ -593,13 +585,9 @@ fn plans_on_a_v1_connection_are_rejected_without_charging() {
     };
 
     let engine = FederationEngine::start(federation(1.0));
-    let server = FederationServer::bind(
-        "127.0.0.1:0",
-        engine.handle(),
-        ServeOptions::with_budget(5.0, 1e-2),
-    )
-    .unwrap();
-    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let server =
+        LoopbackServer::analyst(engine.handle(), ServeOptions::with_budget(5.0, 1e-2)).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
 
     // Handshake at v1: the connection negotiates version 1.
     write_frame_at(
@@ -660,9 +648,8 @@ fn explains_on_a_v2_connection_are_rejected_cleanly() {
     };
 
     let engine = FederationEngine::start(federation(1.0));
-    let server =
-        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
-    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
 
     // Handshake at v2: the connection negotiates version 2.
     write_frame_at(
@@ -719,9 +706,8 @@ fn unknown_versions_get_a_typed_error_not_a_hangup() {
     use std::io::Write as _;
 
     let engine = FederationEngine::start(federation(1.0));
-    let server =
-        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
-    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
 
     // A well-formed Hello whose header claims version 99.
     let mut bytes = encode_frame(&Frame::Hello(Hello {
@@ -780,5 +766,292 @@ fn connect_and_bind_failures_are_clean() {
         Err(NetError::BadServeConfig(_)) => {}
         other => panic!("expected a config error, got {other:?}"),
     }
+    engine.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded deployment: coordinator federating shard-mode servers.
+// ---------------------------------------------------------------------------
+
+/// Builds the plan-test federation as `n_shards` contiguous engine
+/// shards, each behind its own shard-mode loopback server. Returns the
+/// engines (kept alive for shutdown) alongside their servers.
+fn spawn_shard_grid(n_shards: usize) -> (Vec<FederationEngine>, Vec<LoopbackServer>) {
+    let cfg = plan_config(1.0);
+    let mut partitions = plan_partitions().into_iter();
+    let (base, extra) = (cfg.n_providers / n_shards, cfg.n_providers % n_shards);
+    let mut offset = 0usize;
+    let mut engines = Vec::with_capacity(n_shards);
+    let mut servers = Vec::with_capacity(n_shards);
+    for s in 0..n_shards {
+        let k = base + usize::from(s < extra);
+        let mut shard_cfg = cfg.clone();
+        shard_cfg.n_providers = k;
+        shard_cfg.provider_lane_base = cfg.provider_lane_base + offset as u64;
+        let shard_partitions: Vec<Vec<Row>> = partitions.by_ref().take(k).collect();
+        let engine = FederationEngine::start(
+            Federation::build(shard_cfg, plan_schema(), shard_partitions).unwrap(),
+        );
+        servers.push(LoopbackServer::shard(engine.handle()).unwrap());
+        engines.push(engine);
+        offset += k;
+    }
+    (engines, servers)
+}
+
+/// Connects a coordinator to the given shard servers and serves it to
+/// analysts on its own loopback port.
+fn spawn_coordinator(servers: &[LoopbackServer], options: ServeOptions) -> LoopbackServer {
+    let shards: Vec<Box<dyn fedaqp_core::ShardBackend>> = servers
+        .iter()
+        .map(|s| {
+            Box::new(RemoteShard::connect(s.addr()).unwrap()) as Box<dyn fedaqp_core::ShardBackend>
+        })
+        .collect();
+    let federation =
+        fedaqp_core::ShardedFederation::from_backends(plan_config(1.0), plan_schema(), shards)
+            .unwrap();
+    LoopbackServer::coordinator(federation, options).unwrap()
+}
+
+/// The tentpole's acceptance bar, over real sockets: a coordinator
+/// federating TWO engine shards answers the seeded mixed plans — and a
+/// plain scalar query — byte-identically to one in-process engine
+/// holding the same four providers. Sharding moves execution, never
+/// arithmetic, and the analyst protocol is exactly the one engine-backed
+/// servers speak.
+#[test]
+fn two_remote_shards_serve_plans_byte_identical_to_one_engine() {
+    let (engines, shard_servers) = spawn_shard_grid(2);
+    let coordinator = spawn_coordinator(&shard_servers, ServeOptions::unlimited());
+
+    let mut client = RemoteFederation::connect(coordinator.addr()).unwrap();
+    assert_eq!(client.protocol_version(), 4);
+    assert_eq!(client.schema(), &plan_schema());
+    assert_eq!(client.n_providers(), 4);
+    let remote_plans: Vec<_> = mixed_plans()
+        .iter()
+        .map(|plan| client.run_plan(plan).unwrap())
+        .collect();
+    let remote_scalar = client.query(&count_query(100, 800), 0.2).unwrap();
+
+    let (local_plans, local_scalar) = plan_federation(1.0).with_engine(|engine| {
+        let plans: Vec<_> = mixed_plans()
+            .iter()
+            .map(|plan| engine.run_plan(plan).unwrap())
+            .collect();
+        let mut batch = QueryBatch::new();
+        batch.push(count_query(100, 800), 0.2);
+        let scalar = engine
+            .run_batch_serial(&batch)
+            .into_iter()
+            .next()
+            .unwrap()
+            .unwrap();
+        (plans, scalar)
+    });
+
+    for (r, l) in remote_plans.iter().zip(&local_plans) {
+        assert_eq!(r.result, l.result, "released result");
+        assert_eq!(r.cost, l.cost, "charged cost");
+    }
+    assert_eq!(
+        remote_scalar.value.to_bits(),
+        local_scalar.value.to_bits(),
+        "released scalar"
+    );
+    assert_eq!(remote_scalar.allocations, local_scalar.allocations);
+    assert_eq!(
+        remote_scalar.ci_halfwidth.map(f64::to_bits),
+        local_scalar.ci_halfwidth.map(f64::to_bits)
+    );
+    assert_eq!(
+        remote_scalar.clusters_scanned,
+        local_scalar.clusters_scanned
+    );
+    assert_eq!(remote_scalar.covering_total, local_scalar.covering_total);
+    assert_eq!(
+        remote_scalar.approximated_providers,
+        local_scalar.approximated_providers
+    );
+    assert_eq!(remote_scalar.cost.eps, local_scalar.cost.eps);
+
+    drop(client);
+    coordinator.shutdown();
+    for server in shard_servers {
+        server.shutdown();
+    }
+    for engine in engines {
+        engine.shutdown();
+    }
+}
+
+/// A shard dying between coordinator start-up and a plan surfaces as the
+/// typed `shard-unavailable` error frame — never a hangup — and the
+/// fail-closed contract holds over the wire: the whole plan budget was
+/// charged before the scatter, and the charge is kept.
+#[test]
+fn a_dead_shard_is_typed_shard_unavailable_and_the_charge_is_kept() {
+    let (engines, mut shard_servers) = spawn_shard_grid(2);
+    let coordinator = spawn_coordinator(&shard_servers, ServeOptions::with_budget(20.0, 1e-1));
+    // Kill shard 1 after the coordinator cached its bounds: every
+    // fragment sent its way now hits a refused connection.
+    shard_servers.pop().unwrap().shutdown();
+
+    let plan = mixed_plans().swap_remove(0);
+    // What the plan charges when it succeeds (costs are data-independent).
+    let expected = plan_federation(1.0).with_engine(|engine| engine.run_plan(&plan).unwrap().cost);
+
+    let mut client = RemoteFederation::connect(coordinator.addr()).unwrap();
+    match client.run_plan(&plan) {
+        Err(NetError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::ShardUnavailable);
+            assert!(message.contains("shard-unavailable"), "{message}");
+        }
+        other => panic!("expected a typed shard fault, got {other:?}"),
+    }
+    // Fail-closed: the whole charge stays on the analyst's ledger, and
+    // the connection survives to report it.
+    let status = client.budget_status().unwrap();
+    assert_eq!(status.spent_eps, expected.eps, "whole plan cost kept");
+    // The ledger counts charges, and the failed plan WAS charged — the
+    // status frame agrees with the fail-closed story.
+    assert_eq!(status.queries_answered, 1);
+
+    drop(client);
+    coordinator.shutdown();
+    for server in shard_servers {
+        server.shutdown();
+    }
+    for engine in engines {
+        engine.shutdown();
+    }
+}
+
+/// Analyst-facing servers refuse every coordinator→shard fragment frame
+/// with a pointed typed error: serving fragments to arbitrary analysts
+/// would hand out budget-unchecked partials and per-fragment occurrence
+/// control (a differencing lever). The refusal is per-frame — the
+/// connection keeps serving analyst frames.
+#[test]
+fn analyst_servers_refuse_fragment_frames() {
+    use fedaqp_net::wire::{read_frame, write_frame, Frame, Hello};
+
+    let engine = FederationEngine::start(federation(1.0));
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+
+    write_frame(
+        &mut stream,
+        &Frame::Hello(Hello {
+            analyst: "rogue-coordinator".into(),
+        }),
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame(&mut stream).unwrap(),
+        Frame::HelloAck(_)
+    ));
+
+    for frame in [Frame::ShardBoundsRequest, Frame::FragmentSummariesRequest] {
+        write_frame(&mut stream, &frame).unwrap();
+        match read_frame(&mut stream).unwrap() {
+            Frame::Error(e) => {
+                assert_eq!(e.code, ErrorCode::BadRequest);
+                assert!(e.message.contains("shard-mode"), "{}", e.message);
+            }
+            other => panic!("expected a typed refusal, got {other:?}"),
+        }
+    }
+    write_frame(&mut stream, &Frame::BudgetRequest).unwrap();
+    assert!(matches!(
+        read_frame(&mut stream).unwrap(),
+        Frame::BudgetStatus(_)
+    ));
+
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// Shard-mode servers are the mirror image: a pre-v4 Hello is refused at
+/// the handshake (every frame they serve is v4+), and after a v4
+/// handshake, analyst frames get a typed redirect to the coordinator —
+/// querying a shard directly would bypass the coordinator's single
+/// budget ledger.
+#[test]
+fn shard_servers_refuse_old_hellos_and_analyst_frames() {
+    use fedaqp_net::wire::{
+        read_frame_versioned, write_frame, write_frame_at, Frame, Hello, QueryRequest,
+    };
+
+    let engine = FederationEngine::start(federation(1.0));
+    let server = LoopbackServer::shard(engine.handle()).unwrap();
+
+    // (a) A v3 Hello is refused with a typed error naming the floor.
+    let mut old = std::net::TcpStream::connect(server.addr()).unwrap();
+    write_frame_at(
+        &mut old,
+        &Frame::Hello(Hello {
+            analyst: "old-coordinator".into(),
+        }),
+        3,
+    )
+    .unwrap();
+    match read_frame_versioned(&mut old).unwrap() {
+        (Frame::Error(e), _) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("v4"), "{}", e.message);
+        }
+        other => panic!("expected a typed handshake refusal, got {other:?}"),
+    }
+
+    // (b) A v4 connection speaking analyst frames is redirected.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    write_frame(
+        &mut stream,
+        &Frame::Hello(Hello {
+            analyst: "direct-analyst".into(),
+        }),
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame_versioned(&mut stream).unwrap(),
+        (Frame::HelloAck(_), _)
+    ));
+    write_frame(
+        &mut stream,
+        &Frame::Query(QueryRequest {
+            query: count_query(100, 800),
+            sampling_rate: 0.2,
+        }),
+    )
+    .unwrap();
+    match read_frame_versioned(&mut stream).unwrap() {
+        (Frame::Error(e), _) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("coordinator"), "{}", e.message);
+        }
+        other => panic!("expected a typed redirect, got {other:?}"),
+    }
+    // (c) Fragment-lifecycle frames with no fragment in flight are typed
+    // too, and the connection survives all three refusals.
+    write_frame(&mut stream, &Frame::FragmentPartialRequest).unwrap();
+    match read_frame_versioned(&mut stream).unwrap() {
+        (Frame::Error(e), _) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("no fragment"), "{}", e.message);
+        }
+        other => panic!("expected a typed lifecycle error, got {other:?}"),
+    }
+    write_frame(&mut stream, &Frame::ShardBoundsRequest).unwrap();
+    assert!(matches!(
+        read_frame_versioned(&mut stream).unwrap(),
+        (Frame::ShardBounds(_), _)
+    ));
+
+    drop(old);
+    drop(stream);
+    server.shutdown();
     engine.shutdown();
 }
