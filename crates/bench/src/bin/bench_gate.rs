@@ -8,7 +8,7 @@
 //! ```text
 //! bench_gate <current.json> <baseline.json> [--max-regression 0.25]
 //!            [--min-speedup 2.0] [--min-pruned-speedup 1.15]
-//!            [--min-pruned-fraction 0.5]
+//!            [--min-pruned-fraction 0.5] [--max-telemetry-overhead-pct 2.0]
 //! ```
 //!
 //! Fails (exit 1) when any of
@@ -17,11 +17,16 @@
 //! * the engine no longer beats the serial runtime by at least
 //!   `--min-speedup` (default 2×) at the headline grid point,
 //! * metadata pruning no longer beats the exhaustive plan by at least
-//!   `--min-pruned-speedup` (default 1.15×) on the skewed band layout, or
+//!   `--min-pruned-speedup` (default 1.15×) on the skewed band layout,
 //! * the optimizer pruned less than `--min-pruned-fraction` (default 0.5)
 //!   of the provider slots on that layout — the speed-up gate would be
 //!   vacuous if nothing were actually pruned (the committed layout prunes
-//!   exactly 3 of 4 providers per query, fraction 0.75).
+//!   exactly 3 of 4 providers per query, fraction 0.75), or
+//! * the obs instrumentation costs more than
+//!   `--max-telemetry-overhead-pct` (default 2%) of the uninstrumented
+//!   throughput on the compute-bound skewed layout (`telemetry-on` vs
+//!   `telemetry-off`, best of interleaved trials — telemetry must stay
+//!   cheap enough to leave on in production).
 //!
 //! The comparison deliberately leans on the *speed-up ratios* (machine
 //! independent) and treats absolute qps with a generous regression band,
@@ -380,6 +385,8 @@ throughput flags:
   --min-speedup S          engine-vs-serial speedup floor       [2.0]
   --min-pruned-speedup P   pruned-vs-exhaustive speedup floor   [1.15]
   --min-pruned-fraction F  pruned provider-slot fraction floor  [0.5]
+  --max-telemetry-overhead-pct T
+                           telemetry-on throughput cost ceiling (%) [2.0]
 
 accuracy flags:
   --max-regression R       allowed calibrated-RMS rise          [0.25]
@@ -407,6 +414,7 @@ fn run(args: &[String]) -> Result<String, String> {
     let mut min_speedup = 2.0_f64;
     let mut min_pruned_speedup = 1.15_f64;
     let mut min_pruned_fraction = 0.5_f64;
+    let mut max_telemetry_overhead_pct = 2.0_f64;
     let mut min_scaling: Option<f64> = None;
     let mut pairwise_slack = 1.15_f64;
     let mut attack_band = 0.10_f64;
@@ -489,6 +497,14 @@ fn run(args: &[String]) -> Result<String, String> {
                     .parse()
                     .map_err(|e| format!("--min-pruned-fraction: {e}"))?;
             }
+            "--max-telemetry-overhead-pct" => {
+                i += 1;
+                max_telemetry_overhead_pct = args
+                    .get(i)
+                    .ok_or("--max-telemetry-overhead-pct needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-telemetry-overhead-pct: {e}"))?;
+            }
             "--pairwise-slack" => {
                 i += 1;
                 pairwise_slack = args
@@ -541,12 +557,14 @@ fn run(args: &[String]) -> Result<String, String> {
     let (baseline_qps, baseline_speedup) = load(baseline_path)?;
     let pruned_speedup = json_number(&current_text, "pruned_speedup")?;
     let pruned_fraction = json_number(&current_text, "pruned_fraction")?;
+    let telemetry_overhead_pct = json_number(&current_text, "telemetry_overhead_pct")?;
     let qps_floor = (1.0 - max_regression) * baseline_qps;
     let mut report = format!(
         "bench gate: engine_qps {current_qps:.1} (baseline {baseline_qps:.1}, floor {qps_floor:.1}), \
          speedup {current_speedup:.2}x (baseline {baseline_speedup:.2}x, floor {min_speedup:.2}x), \
          pruned speedup {pruned_speedup:.2}x (floor {min_pruned_speedup:.2}x) at pruned fraction \
-         {pruned_fraction:.2} (floor {min_pruned_fraction:.2})\n"
+         {pruned_fraction:.2} (floor {min_pruned_fraction:.2}), telemetry overhead \
+         {telemetry_overhead_pct:.2}% (ceiling {max_telemetry_overhead_pct:.2}%)\n"
     );
     let mut failed = false;
     if current_qps < qps_floor {
@@ -576,6 +594,14 @@ fn run(args: &[String]) -> Result<String, String> {
         report.push_str(&format!(
             "FAIL: metadata pruning no longer ≥{min_pruned_speedup:.2}x the exhaustive plan \
              on the skewed band layout\n"
+        ));
+    }
+    if telemetry_overhead_pct > max_telemetry_overhead_pct {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: telemetry costs {telemetry_overhead_pct:.2}% of the uninstrumented \
+             throughput (ceiling {max_telemetry_overhead_pct:.2}%) — instrumentation must \
+             stay cheap enough to leave on\n"
         ));
     }
     if failed {
@@ -615,6 +641,9 @@ mod tests {
   "pruned_exhaustive_qps": 22000.0,
   "pruned_qps": 30000.0,
   "pruned_speedup": 1.364,
+  "telemetry_on_qps": 29700.0,
+  "telemetry_off_qps": 30000.0,
+  "telemetry_overhead_pct": 1.000,
   "grid": [
     {"providers": 4, "mode": "engine", "analysts": 8, "qps": 402.25, "p50_ms": 1.2, "p95_ms": 3.4}
   ]
@@ -695,6 +724,48 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_gate_passes_and_fails() {
+        let dir = std::env::temp_dir().join("fedaqp_telemetry_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&baseline, DOC).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [current.to_str().unwrap(), baseline.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .chain(extra.iter().map(|s| s.to_string()))
+                .collect()
+        };
+        // Instrumentation getting expensive fails...
+        let costly = DOC.replace(
+            "\"telemetry_overhead_pct\": 1.000",
+            "\"telemetry_overhead_pct\": 5.000",
+        );
+        std::fs::write(&current, costly).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("cheap enough to leave on"), "{err}");
+        // ... unless the ceiling is raised above the measurement.
+        assert!(run(&args(&["--max-telemetry-overhead-pct", "10.0"])).is_ok());
+        // Negative overhead ("on" won the race — noise) passes.
+        let lucky = DOC.replace(
+            "\"telemetry_overhead_pct\": 1.000",
+            "\"telemetry_overhead_pct\": -0.400",
+        );
+        std::fs::write(&current, lucky).unwrap();
+        assert!(run(&args(&[])).is_ok());
+        // A summary predating the telemetry keys is a hard error.
+        std::fs::write(
+            &current,
+            DOC.replace("\"telemetry_overhead_pct\": 1.000,\n", ""),
+        )
+        .unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("telemetry_overhead_pct"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn bad_usage_is_reported() {
         assert!(run(&["one".into()]).unwrap_err().contains("usage"));
     }
@@ -709,6 +780,7 @@ mod tests {
             "--attack",
             "--min-pruned-speedup",
             "--min-pruned-fraction",
+            "--max-telemetry-overhead-pct",
             "--min-speedup",
             "--min-scaling",
             "--pairwise-slack",

@@ -13,6 +13,9 @@
 //!   --queries <m>       queries per workload        (default: 100)
 //!   --adult-rows <n>    Adult generator rows        (default: 300000)
 //!   --amazon-rows <n>   Amazon generator rows       (default: 800000)
+//!   --trace-json <path> after the run, dump the telemetry span ring
+//!                       (engine/optimizer/shard/server spans recorded
+//!                       while the experiments executed) as JSON
 //! ```
 
 use std::path::PathBuf;
@@ -24,7 +27,7 @@ use fedaqp_bench::setup::ExperimentContext;
 fn usage() -> String {
     let mut s = String::from(
         "usage: repro <experiment> [--quick] [--out DIR] [--seed N] [--queries M]\n\
-         \x20            [--adult-rows N] [--amazon-rows N]\n\nexperiments:\n  all\n",
+         \x20            [--adult-rows N] [--amazon-rows N] [--trace-json PATH]\n\nexperiments:\n  all\n",
     );
     for (name, desc, _) in registry() {
         s.push_str(&format!("  {name:<12} {desc}\n"));
@@ -32,7 +35,7 @@ fn usage() -> String {
     s
 }
 
-fn parse_args(args: &[String]) -> Result<(String, ExperimentContext), String> {
+fn parse_args(args: &[String]) -> Result<(String, ExperimentContext, Option<PathBuf>), String> {
     if args.is_empty() {
         return Err(usage());
     }
@@ -41,6 +44,7 @@ fn parse_args(args: &[String]) -> Result<(String, ExperimentContext), String> {
     let mut i = 1;
     let mut explicit: Vec<(&str, u64)> = Vec::new();
     let mut quick = false;
+    let mut trace_json: Option<PathBuf> = None;
     while i < args.len() {
         let flag = args[i].as_str();
         let take_value = |i: &mut usize| -> Result<String, String> {
@@ -52,6 +56,7 @@ fn parse_args(args: &[String]) -> Result<(String, ExperimentContext), String> {
         match flag {
             "--quick" => quick = true,
             "--out" => ctx.out_dir = PathBuf::from(take_value(&mut i)?),
+            "--trace-json" => trace_json = Some(PathBuf::from(take_value(&mut i)?)),
             "--seed" => {
                 let v = take_value(&mut i)?
                     .parse()
@@ -94,12 +99,12 @@ fn parse_args(args: &[String]) -> Result<(String, ExperimentContext), String> {
             _ => unreachable!(),
         }
     }
-    Ok((target, ctx))
+    Ok((target, ctx, trace_json))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (target, ctx) = match parse_args(&args) {
+    let (target, ctx, trace_json) = match parse_args(&args) {
         Ok(x) => x,
         Err(msg) => {
             eprintln!("{msg}");
@@ -137,6 +142,19 @@ fn main() -> ExitCode {
             "== {name} done in {:.1}s ==\n",
             started.elapsed().as_secs_f64()
         );
+    }
+    // The experiments above exercised real engines/optimizers/servers in
+    // this process, so the global span ring now holds their most recent
+    // traces — phase names, durations, and public counts only (the same
+    // privacy boundary as every other obs surface).
+    if let Some(path) = trace_json {
+        match std::fs::write(&path, fedaqp_obs::spans_json()) {
+            Ok(()) => eprintln!("[repro] wrote trace spans to {}", path.display()),
+            Err(e) => {
+                eprintln!("[repro] trace-json write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

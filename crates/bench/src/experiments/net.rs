@@ -16,14 +16,14 @@
 //! `scaling`) next to the CSV, compared in CI against the committed
 //! `BENCH_net_baseline.json`.
 
-use std::sync::Mutex;
 use std::time::Instant;
 
 use fedaqp_model::Aggregate;
 use fedaqp_net::{LoopbackServer, RemoteFederation, ServeOptions};
+use fedaqp_obs::Histogram;
 use fedaqp_smc::CostModel;
 
-use crate::report::{fmt_f, percentile, Table};
+use crate::report::{fmt_f, Table};
 use crate::setup::{build_testbed, filtered_workload, DatasetKind, ExperimentContext};
 
 /// Concurrent remote-analyst counts swept.
@@ -36,10 +36,6 @@ struct Trial {
     qps: f64,
     p50_ms: f64,
     p95_ms: f64,
-}
-
-fn ms(d: std::time::Duration) -> f64 {
-    d.as_secs_f64() * 1e3
 }
 
 /// Runs the loopback sweep and writes `BENCH_net.json`.
@@ -73,7 +69,9 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
             .expect("bind loopback server");
 
         for &analysts in &ANALYSTS {
-            let latencies = Mutex::new(Vec::with_capacity(queries.len()));
+            // Analysts record into a shared lock-free obs histogram — the
+            // same implementation that backs the engine's live telemetry.
+            let latencies = Histogram::new();
             let t0 = Instant::now();
             std::thread::scope(|scope| {
                 for analyst in 0..analysts {
@@ -91,20 +89,16 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
                             // transit; other analysts' queries keep the
                             // server busy meanwhile.
                             std::thread::sleep(ans.timings.network);
-                            latencies
-                                .lock()
-                                .expect("latency lock")
-                                .push(ms(t.elapsed()));
+                            latencies.record_duration(t.elapsed());
                         }
                     });
                 }
             });
             let wall = t0.elapsed().as_secs_f64();
-            let lat = latencies.into_inner().expect("latency lock");
             let trial = Trial {
-                qps: lat.len() as f64 / wall.max(1e-9),
-                p50_ms: percentile(&lat, 50.0),
-                p95_ms: percentile(&lat, 95.0),
+                qps: latencies.count() as f64 / wall.max(1e-9),
+                p50_ms: latencies.percentile(50.0) * 1e3,
+                p95_ms: latencies.percentile(95.0) * 1e3,
             };
             if analysts == 1 {
                 single = Some(trial);
@@ -115,7 +109,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
             let scaling = trial.qps / single.expect("analysts=1 runs first").qps.max(1e-9);
             table.push_row(vec![
                 analysts.to_string(),
-                lat.len().to_string(),
+                latencies.count().to_string(),
                 fmt_f(wall * 1e3, 1),
                 fmt_f(trial.qps, 1),
                 fmt_f(trial.p50_ms, 3),

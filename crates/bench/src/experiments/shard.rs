@@ -30,11 +30,12 @@ use fedaqp_core::{
 use fedaqp_data::{partition_rows, PartitionMode};
 use fedaqp_model::Aggregate;
 use fedaqp_net::{LoopbackServer, RemoteFederation, RemoteShard, ServeOptions};
+use fedaqp_obs::Histogram;
 use fedaqp_smc::CostModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::report::{fmt_f, percentile, Table};
+use crate::report::{fmt_f, Table};
 use crate::setup::{filtered_workload, generate_dataset, DatasetKind, ExperimentContext, Testbed};
 
 /// Total providers, held constant across grids.
@@ -67,10 +68,6 @@ struct Trial {
     qps: f64,
     p50_ms: f64,
     p95_ms: f64,
-}
-
-fn ms(d: Duration) -> f64 {
-    d.as_secs_f64() * 1e3
 }
 
 /// Runs the grid comparison and writes `BENCH_shard.json`.
@@ -170,7 +167,9 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
         let front = LoopbackServer::coordinator(coordinator, ServeOptions::unlimited())
             .expect("bind coordinator");
 
-        let latencies = Mutex::new(Vec::with_capacity(queries.len()));
+        // Analysts record into a shared lock-free obs histogram — the same
+        // implementation that backs the coordinator's live telemetry.
+        let latencies = Histogram::new();
         let t0 = Instant::now();
         std::thread::scope(|scope| {
             for analyst in 0..ANALYSTS {
@@ -183,10 +182,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
                     for q in queries.iter().skip(analyst).step_by(ANALYSTS) {
                         let t = Instant::now();
                         conn.query(q, sampling_rate).expect("remote query");
-                        latencies
-                            .lock()
-                            .expect("latency lock")
-                            .push(ms(t.elapsed()));
+                        latencies.record_duration(t.elapsed());
                     }
                 });
             }
@@ -201,11 +197,10 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
             let _ = engine.shutdown();
         }
 
-        let lat = latencies.into_inner().expect("latency lock");
         let trial = Trial {
-            qps: lat.len() as f64 / wall.max(1e-9),
-            p50_ms: percentile(&lat, 50.0),
-            p95_ms: percentile(&lat, 95.0),
+            qps: latencies.count() as f64 / wall.max(1e-9),
+            p50_ms: latencies.percentile(50.0) * 1e3,
+            p95_ms: latencies.percentile(95.0) * 1e3,
         };
         if n_shards == 1 {
             one_shard = Some(trial);
@@ -220,7 +215,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
         table.push_row(vec![
             n_shards.to_string(),
             format!("{n_shards}x{}", PROVIDERS / n_shards),
-            lat.len().to_string(),
+            latencies.count().to_string(),
             fmt_f(wall * 1e3, 1),
             fmt_f(trial.qps, 1),
             fmt_f(trial.p50_ms, 3),

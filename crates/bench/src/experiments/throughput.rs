@@ -18,15 +18,15 @@
 //! documented in the README) which the `bench_gate` binary compares
 //! against the committed `BENCH_baseline.json`.
 
-use std::sync::Mutex;
 use std::time::Instant;
 
 use fedaqp_core::{Federation, FederationConfig, OptimizerConfig};
 use fedaqp_dp::QueryBudget;
 use fedaqp_model::{Aggregate, QueryPlan, Range, RangeQuery, Row};
+use fedaqp_obs::{self as obs, Histogram};
 use fedaqp_smc::CostModel;
 
-use crate::report::{fmt_f, percentile, Table};
+use crate::report::{fmt_f, Table};
 use crate::setup::{
     build_testbed, filtered_workload, generate_dataset, DatasetKind, ExperimentContext,
 };
@@ -47,17 +47,17 @@ struct Trial {
     p95_ms: f64,
 }
 
-fn summarize(wall_s: f64, latencies_ms: &[f64]) -> Trial {
+/// Latencies live in an [`obs::Histogram`] — the same lock-free
+/// implementation the engine's own phase timings use — so the repro
+/// percentiles and the live telemetry come from one code path. Records
+/// are seconds ([`Histogram::record_duration`]); the report is ms.
+fn summarize(wall_s: f64, latencies: &Histogram) -> Trial {
     Trial {
         wall_ms: wall_s * 1e3,
-        qps: latencies_ms.len() as f64 / wall_s.max(1e-9),
-        p50_ms: percentile(latencies_ms, 50.0),
-        p95_ms: percentile(latencies_ms, 95.0),
+        qps: latencies.count() as f64 / wall_s.max(1e-9),
+        p50_ms: latencies.percentile(50.0) * 1e3,
+        p95_ms: latencies.percentile(95.0) * 1e3,
     }
-}
-
-fn ms(d: std::time::Duration) -> f64 {
-    d.as_secs_f64() * 1e3
 }
 
 fn grid_entry(providers: usize, mode: &str, analysts: usize, t: &Trial) -> String {
@@ -403,6 +403,57 @@ fn run_pruned(ctx: &ExperimentContext, sampling_rate: f64) -> PrunedTrial {
     }
 }
 
+/// Result of the telemetry-overhead comparison (CI gates on the
+/// percentage: instrumentation must stay within a small single-digit
+/// cost of the uninstrumented engine).
+#[derive(Debug, Clone, Copy)]
+struct TelemetryTrial {
+    on_qps: f64,
+    off_qps: f64,
+    /// `100 * (1 - on/off)`; negative when "on" happened to win (noise).
+    overhead_pct: f64,
+}
+
+/// Measures what the obs instrumentation costs: the same compute-bound
+/// skewed band workload as the pruning comparison (zero cost model — on
+/// the slept-WAN grids any recording cost would vanish into simulated
+/// transit time), run with telemetry globally enabled vs disabled.
+/// Released bytes are identical either way (the obs crate's byte-identity
+/// property test), so this isolates pure recording cost: atomic bumps in
+/// the engine's queue/phase/optimizer counters on every query.
+fn run_telemetry(ctx: &ExperimentContext, sampling_rate: f64) -> TelemetryTrial {
+    let dataset = generate_dataset(DatasetKind::Adult, ctx);
+    let dim = 0;
+    let partitions = zipf_band_partitions(dataset.cells, dim, 4);
+    let queries = band_queries(&partitions, dim, ctx.queries.max(PRUNE_ANALYSTS));
+    let mut federation = skewed_federation(
+        ctx,
+        &dataset.schema,
+        &partitions,
+        OptimizerConfig::enabled(),
+    );
+
+    // Interleave modes per trial and keep each mode's best, exactly like
+    // the pruning comparison (scheduler interference is one-sided).
+    let mut on_qps = 0.0f64;
+    let mut off_qps = 0.0f64;
+    for _ in 0..PRUNE_TRIALS {
+        obs::set_enabled(true);
+        on_qps = on_qps.max(skewed_qps(&mut federation, &queries, sampling_rate));
+        obs::set_enabled(false);
+        off_qps = off_qps.max(skewed_qps(&mut federation, &queries, sampling_rate));
+    }
+    // Leave the process in the default (instrumented) state for whatever
+    // runs after this experiment.
+    obs::set_enabled(true);
+
+    TelemetryTrial {
+        on_qps,
+        off_qps,
+        overhead_pct: 100.0 * (1.0 - on_qps / off_qps.max(1e-9)),
+    }
+}
+
 /// Runs the sweep and writes `BENCH_engine.json` next to the CSVs.
 pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
     let mut table = Table::new(
@@ -444,7 +495,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
         // protocol-only path keeps the comparison fair: the engine never
         // computes the exact-answer oracle, so the baseline must not be
         // charged that scan either.
-        let mut latencies = Vec::with_capacity(queries.len());
+        let latencies = Histogram::new();
         let t0 = Instant::now();
         for q in &queries {
             let t = Instant::now();
@@ -455,7 +506,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
             // The serial runtime answers one query at a time: it stalls on
             // the query's whole simulated WAN transit before the next one.
             std::thread::sleep(ans.timings.network);
-            latencies.push(ms(t.elapsed()));
+            latencies.record_duration(t.elapsed());
         }
         let serial = summarize(t0.elapsed().as_secs_f64(), &latencies);
         table.push_row(vec![
@@ -474,7 +525,9 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
         // Engine trials: one persistent pool for the whole analyst sweep.
         testbed.federation.with_engine(|engine| {
             for &analysts in &ANALYSTS {
-                let latencies = Mutex::new(Vec::with_capacity(queries.len()));
+                // Analyst threads record straight into a shared histogram —
+                // no Mutex, the histogram is atomics all the way down.
+                let latencies = Histogram::new();
                 let t0 = Instant::now();
                 std::thread::scope(|scope| {
                     for analyst in 0..analysts {
@@ -493,16 +546,12 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
                                 // pool busy meanwhile — the engine hides
                                 // WAN latency, the serial loop cannot.
                                 std::thread::sleep(ans.timings.network);
-                                latencies
-                                    .lock()
-                                    .expect("latency lock")
-                                    .push(ms(t.elapsed()));
+                                latencies.record_duration(t.elapsed());
                             }
                         });
                     }
                 });
-                let lat = latencies.into_inner().expect("latency lock");
-                let trial = summarize(t0.elapsed().as_secs_f64(), &lat);
+                let trial = summarize(t0.elapsed().as_secs_f64(), &latencies);
                 table.push_row(vec![
                     n_providers.to_string(),
                     "engine".into(),
@@ -596,6 +645,35 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
         ),
     ]);
 
+    // Telemetry on vs off on the same compute-bound layout: how much the
+    // obs instrumentation costs when nothing hides it.
+    let telemetry_trial = run_telemetry(ctx, sampling_rate);
+    table.push_row(vec![
+        "4".into(),
+        "telemetry-off".into(),
+        PRUNE_ANALYSTS.to_string(),
+        pruned_trial.jobs.to_string(),
+        String::new(),
+        fmt_f(telemetry_trial.off_qps, 1),
+        String::new(),
+        String::new(),
+        "1.00".into(),
+    ]);
+    table.push_row(vec![
+        "4".into(),
+        "telemetry-on".into(),
+        PRUNE_ANALYSTS.to_string(),
+        pruned_trial.jobs.to_string(),
+        String::new(),
+        fmt_f(telemetry_trial.on_qps, 1),
+        String::new(),
+        String::new(),
+        fmt_f(
+            telemetry_trial.on_qps / telemetry_trial.off_qps.max(1e-9),
+            2,
+        ),
+    ]);
+
     // Machine-readable summary for CI (`bench_gate` reads the headline_*
     // and *_qps keys; the grid is for trend dashboards). The mixed_* keys
     // are additions for the plan workload — the pre-existing keys (and the
@@ -623,11 +701,16 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
             pruned_trial.pruned_qps,
             pruned_trial.pruned_qps / pruned_trial.exhaustive_qps.max(1e-9),
         );
+        let telemetry_json = format!(
+            "  \"telemetry_on_qps\": {:.3},\n  \"telemetry_off_qps\": {:.3},\n  \
+             \"telemetry_overhead_pct\": {:.3},\n",
+            telemetry_trial.on_qps, telemetry_trial.off_qps, telemetry_trial.overhead_pct,
+        );
         let json = format!(
             "{{\n  \"schema\": \"fedaqp-bench-engine/v1\",\n  \"dataset\": \"{}\",\n  \
              \"queries\": {},\n  \"headline_providers\": {},\n  \"headline_analysts\": {},\n  \
              \"serial_qps\": {:.3},\n  \"engine_qps\": {:.3},\n  \"speedup\": {:.3},\n  \
-             \"engine_p50_ms\": {:.4},\n  \"engine_p95_ms\": {:.4},\n{}{}  \"grid\": [\n{}\n  ]\n}}\n",
+             \"engine_p50_ms\": {:.4},\n  \"engine_p95_ms\": {:.4},\n{}{}{}  \"grid\": [\n{}\n  ]\n}}\n",
             DatasetKind::Adult.name(),
             n_queries,
             HEADLINE.0,
@@ -639,6 +722,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Table> {
             engine.p95_ms,
             mixed_json,
             pruned_json,
+            telemetry_json,
             grid_json.join(",\n"),
         );
         if let Err(e) = std::fs::create_dir_all(&ctx.out_dir) {

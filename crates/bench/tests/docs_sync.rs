@@ -9,6 +9,7 @@ use std::path::{Path, PathBuf};
 
 use fedaqp_bench::experiments::registry;
 use fedaqp_net::wire;
+use fedaqp_obs::{METRIC_NAMES, METRIC_PREFIXES};
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -149,6 +150,33 @@ fn committed_baselines_are_gated_and_documented() {
             ".github/workflows/ci.yml references {token}, which is not committed at the repo root"
         );
     }
+}
+
+/// The metric catalog in docs/observability.md must name every static
+/// metric and every dynamic family the obs crate exports — a new
+/// counter cannot ship undocumented, and the doc cannot advertise a
+/// metric that no longer exists (names live in one `names` module, so
+/// a rename breaks the doc's copy here).
+#[test]
+fn observability_doc_catalogs_every_metric() {
+    let doc = read("docs/observability.md");
+    for name in METRIC_NAMES {
+        assert!(
+            doc.contains(&format!("`{name}`")),
+            "docs/observability.md never catalogs the `{name}` metric"
+        );
+    }
+    for prefix in METRIC_PREFIXES {
+        assert!(
+            doc.contains(&format!("`{prefix}`")),
+            "docs/observability.md never catalogs the `{prefix}` dynamic family"
+        );
+    }
+    // The README points at the catalog rather than duplicating it.
+    assert!(
+        read("README.md").contains("docs/observability.md"),
+        "README.md never links docs/observability.md"
+    );
 }
 
 /// Every JSON key `bench_gate` reads as a string literal must exist in

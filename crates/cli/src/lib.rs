@@ -9,6 +9,6 @@ pub mod ops;
 pub use manifest::Manifest;
 pub use ops::{
     batch, coordinate, generate, inspect, parse_calibration, parse_extreme, parse_shard_slice,
-    parse_stat, query, serve, BatchArgs, CoordinateArgs, GenerateArgs, QueryArgs,
-    RunningCoordinator, RunningServer, ServeArgs,
+    parse_stat, query, serve, shutdown_summary, stats, BatchArgs, CoordinateArgs, GenerateArgs,
+    QueryArgs, RunningCoordinator, RunningServer, ServeArgs, StatsArgs,
 };

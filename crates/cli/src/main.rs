@@ -12,7 +12,8 @@ use std::process::ExitCode;
 
 use fedaqp_cli::{
     batch, coordinate, generate, inspect, parse_calibration, parse_extreme, parse_shard_slice,
-    parse_stat, query, serve, BatchArgs, CoordinateArgs, GenerateArgs, QueryArgs, ServeArgs,
+    parse_stat, query, serve, shutdown_summary, stats, BatchArgs, CoordinateArgs, GenerateArgs,
+    QueryArgs, ServeArgs, StatsArgs,
 };
 use fedaqp_core::EstimatorCalibration;
 
@@ -59,6 +60,12 @@ usage:
                    across the shards, and merged byte-identically to an
                    unsharded server; DIR supplies the manifest and schema
                    only — the rows stay with the shards)
+  fedaqp stats    [--connect HOST:PORT]
+                  (text exposition of the telemetry registry, one
+                   `name value` line per sample; --connect fetches the
+                   snapshot from a running serve/coordinate process over
+                   the wire v5 Metrics frame — only public operational
+                   counters and timings cross, never raw estimates)
 
 calibration: `em` (default) divides each Hansen-Hurwitz draw by its exact
 exponential-mechanism probability (unbiased under the actual sampler);
@@ -318,6 +325,19 @@ fn cmd_coordinate(args: &[String]) -> Result<fedaqp_cli::RunningCoordinator, Str
     coordinate(&c)
 }
 
+fn cmd_stats(args: &[String]) -> Result<String, String> {
+    let mut s = StatsArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => s.connect = Some(take_value(args, &mut i, "--connect")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    stats(&s)
+}
+
 fn cmd_batch(args: &[String]) -> Result<String, String> {
     let mut b = BatchArgs {
         data: PathBuf::new(),
@@ -417,6 +437,9 @@ fn main() -> ExitCode {
                     use std::io::Write as _;
                     std::io::stdout().flush().ok();
                     running.server.join();
+                    // Clean shutdown: leave an operational record of what
+                    // this process served before the registry vanishes.
+                    print!("{}", shutdown_summary());
                     ExitCode::SUCCESS
                 }
                 Err(msg) => {
@@ -433,6 +456,7 @@ fn main() -> ExitCode {
                     use std::io::Write as _;
                     std::io::stdout().flush().ok();
                     running.server.join();
+                    print!("{}", shutdown_summary());
                     ExitCode::SUCCESS
                 }
                 Err(msg) => {
@@ -441,6 +465,7 @@ fn main() -> ExitCode {
                 }
             };
         }
+        Some("stats") => cmd_stats(&args[1..]),
         Some("inspect") => match args.get(1) {
             Some(path) => inspect(std::path::Path::new(path)),
             None => Err("inspect needs a store path".into()),

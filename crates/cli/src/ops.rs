@@ -16,6 +16,7 @@ use fedaqp_model::{
     Schema,
 };
 use fedaqp_net::{FederationServer, RemoteFederation, RemoteShard, ServeOptions};
+use fedaqp_obs as obs;
 use fedaqp_storage::{decode_store, encode_store, ClusterStore, PartitionStrategy, ProviderMeta};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -955,11 +956,12 @@ fn serve_shard(args: &ServeArgs, index: usize, count: usize) -> Result<RunningSe
     let banner = format!(
         "shard       : {index} of {count} — {n_providers} providers (global lanes {lane_base}..{}) \
          from {} on {}\n\
-         mode        : coordinator fragment frames only (wire v4); analysts connect to \
+         mode        : coordinator fragment frames only (wire v{}); analysts connect to \
          `fedaqp coordinate`\n",
         lane_base + n_providers as u64,
         args.data.display(),
         server.local_addr(),
+        fedaqp_net::wire::VERSION,
     );
     Ok(RunningServer {
         server,
@@ -1011,6 +1013,72 @@ pub fn serve(args: &ServeArgs) -> Result<RunningServer, String> {
         engine,
         banner,
     })
+}
+
+/// Arguments of `fedaqp stats`.
+#[derive(Debug, Clone, Default)]
+pub struct StatsArgs {
+    /// Fetch the snapshot from a served federation over the v5 `Metrics`
+    /// frame instead of rendering this process's own registry.
+    pub connect: Option<String>,
+}
+
+/// `fedaqp stats`: text exposition of the telemetry registry — one
+/// `name value` line per sample, sorted by name. With `--connect`, the
+/// samples come from the server's process over the wire (needs a v5
+/// server); without, from this process (useful mainly under test or when
+/// embedding the CLI as a library).
+pub fn stats(args: &StatsArgs) -> Result<String, String> {
+    let Some(addr) = args.connect.as_deref() else {
+        let text = obs::global().render_text();
+        return Ok(if text.is_empty() {
+            "# no telemetry samples in this process\n".into()
+        } else {
+            text
+        });
+    };
+    let mut remote = RemoteFederation::connect_as(addr, "cli").map_err(|e| e.to_string())?;
+    let metrics = remote.metrics().map_err(|e| e.to_string())?;
+    if metrics.is_empty() {
+        return Ok(format!("# no telemetry samples yet on {addr}\n"));
+    }
+    let mut out = String::new();
+    for m in &metrics {
+        out.push_str(&format!("{} {}\n", m.name, obs::fmt_value(m.value)));
+    }
+    Ok(out)
+}
+
+/// The final snapshot `fedaqp serve` / `fedaqp coordinate` print on clean
+/// shutdown: queries served, error counts, and the per-identity ξ spend —
+/// read from the same process-global registry the wire `Metrics` frame
+/// serves, so the summary matches what analysts could already observe.
+pub fn shutdown_summary() -> String {
+    let samples = obs::global().snapshot();
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0.0, |s| s.value)
+    };
+    let mut out = format!(
+        "shutdown    : {:.0} queries served over {:.0} connections ({:.0} frames), \
+         {:.0} error replies\n",
+        value(obs::names::SERVER_QUERIES),
+        value(obs::names::SERVER_CONNECTIONS),
+        value(obs::names::SERVER_FRAMES),
+        value(obs::names::SERVER_ERRORS),
+    );
+    let prefix = format!("{}.", obs::names::SERVER_XI_SPENT);
+    for s in &samples {
+        if let Some(identity) = s.name.strip_prefix(&prefix) {
+            out.push_str(&format!(
+                "            : analyst `{identity}` spent ξ = {:.3}\n",
+                s.value
+            ));
+        }
+    }
+    out
 }
 
 /// Arguments of `fedaqp coordinate`.
@@ -1513,7 +1581,10 @@ mod tests {
         plan_args.epsilon = 1.0; // ignored: set above by the server
         plan_args.remote = Some(addr.clone());
         let out = query(&plan_args).unwrap();
-        assert!(out.contains("wire v4"), "{out}");
+        assert!(
+            out.contains(&format!("wire v{}", fedaqp_net::wire::VERSION)),
+            "{out}"
+        );
         assert!(out.contains("groups      :"), "{out}");
         assert!(out.contains("for the whole plan"), "{out}");
 
@@ -1522,7 +1593,10 @@ mod tests {
         explain_args.explain = true;
         let out = query(&explain_args).unwrap();
         assert!(out.contains("optimizer   :"), "{out}");
-        assert!(out.contains("wire v4"), "{out}");
+        assert!(
+            out.contains(&format!("wire v{}", fedaqp_net::wire::VERSION)),
+            "{out}"
+        );
         assert!(
             !out.contains("groups      :"),
             "explain must not run: {out}"
@@ -1543,6 +1617,50 @@ mod tests {
         let out = batch(&args).unwrap();
         assert!(out.contains(&format!("over {addr}")), "{out}");
         assert!(out.contains("3/3 answered"), "{out}");
+
+        running.server.shutdown();
+        running.engine.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `fedaqp stats` three ways after a served query: the local
+    /// exposition (this test shares the server's process, so its registry
+    /// holds the served counters), the remote exposition over the wire v5
+    /// `Metrics` frame, and the shutdown summary — all showing the same
+    /// live counters.
+    #[test]
+    fn stats_renders_local_and_remote_snapshots() {
+        let dir = tmp_dir("stats");
+        generate(&generate_args(dir.clone())).unwrap();
+        let mut serve_args = serve_args(dir.clone());
+        serve_args.xi = Some(50.0);
+        let running = serve(&serve_args).unwrap();
+        let addr = running.server.local_addr().to_string();
+
+        // Serve one query so the counters are live.
+        let mut args = plan_query_args(
+            PathBuf::new(),
+            "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60",
+        );
+        args.remote = Some(addr.clone());
+        query(&args).unwrap();
+
+        let local = stats(&StatsArgs { connect: None }).unwrap();
+        assert!(local.contains("fedaqp_server_queries_total"), "{local}");
+
+        let remote = stats(&StatsArgs {
+            connect: Some(addr),
+        })
+        .unwrap();
+        assert!(remote.contains("fedaqp_server_queries_total"), "{remote}");
+        assert!(
+            remote.contains("fedaqp_engine_phase_summary_seconds_count"),
+            "{remote}"
+        );
+
+        let summary = shutdown_summary();
+        assert!(summary.contains("queries served"), "{summary}");
+        assert!(summary.contains("analyst `cli`"), "{summary}");
 
         running.server.shutdown();
         running.engine.shutdown();
@@ -1712,7 +1830,13 @@ mod tests {
             "{}",
             shard0.banner
         );
-        assert!(shard0.banner.contains("wire v4"), "{}", shard0.banner);
+        assert!(
+            shard0
+                .banner
+                .contains(&format!("wire v{}", fedaqp_net::wire::VERSION)),
+            "{}",
+            shard0.banner
+        );
         let mut shard1_args = serve_args(dir.clone());
         shard1_args.shard = Some((1, 2));
         let shard1 = serve(&shard1_args).unwrap();

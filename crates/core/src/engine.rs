@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 
 use fedaqp_dp::{PrivacyCost, QueryBudget};
 use fedaqp_model::{Extreme, RangeQuery, Schema};
+use fedaqp_obs as obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -538,6 +539,9 @@ fn deliver_outcome(job: &JobState, id: usize, outcome: Result<LocalOutcome>, ela
 /// forever, and the worker moves on to its next job.
 pub(crate) fn worker_loop(provider: &DataProvider, jobs: Receiver<Arc<JobState>>) {
     while let Ok(job) = jobs.recv() {
+        obs::gauge_dec(obs::names::ENGINE_QUEUE_DEPTH);
+        obs::gauge_inc(obs::names::ENGINE_WORKERS_BUSY);
+        let _busy = ObsGaugeDecOnDrop(obs::names::ENGINE_WORKERS_BUSY);
         // `run_provider_job` mutates only the mutex-guarded JobProgress
         // (consistent at every unlock) and reads the provider immutably,
         // so resuming after an unwind observes no broken invariants.
@@ -551,6 +555,16 @@ pub(crate) fn worker_loop(provider: &DataProvider, jobs: Receiver<Arc<JobState>>
                 CoreError::ProtocolViolation("provider worker panicked mid-query"),
             );
         }
+    }
+}
+
+/// Decrements the named gauge when dropped — keeps the worker-occupancy
+/// gauge honest even when a provider job unwinds.
+struct ObsGaugeDecOnDrop(&'static str);
+
+impl Drop for ObsGaugeDecOnDrop {
+    fn drop(&mut self) {
+        obs::gauge_dec(self.0);
     }
 }
 
@@ -685,6 +699,7 @@ impl EngineHandle {
                 );
                 return Err(CoreError::ProtocolViolation("engine worker terminated"));
             }
+            obs::gauge_inc(obs::names::ENGINE_QUEUE_DEPTH);
         }
         Ok(())
     }
@@ -749,6 +764,10 @@ impl EngineHandle {
         } else {
             Vec::new()
         };
+        obs::counter_add(
+            obs::names::OPTIMIZER_PRUNED,
+            pruned.iter().filter(|&&p| p).count() as u64,
+        );
         let kind = JobKind::Private {
             query: query.clone(),
             sampling_rate,
@@ -758,6 +777,8 @@ impl EngineHandle {
         let mut job = JobState::new(kind, index, &self.inner.config);
         job.pruned = pruned;
         let job = Arc::new(job);
+        obs::counter_add(obs::names::ENGINE_QUERIES, 1);
+        let _span = obs::span("submit", "engine", obs::SpanId::NONE);
         self.dispatch(&job)?;
         self.answer_for_pruned(&job);
         Ok(PendingAnswer { job })
@@ -782,6 +803,10 @@ impl EngineHandle {
         if !job.pruned.iter().any(|&p| p) {
             return;
         }
+        obs::counter_add(
+            obs::names::ENGINE_PRUNED_INLINE,
+            job.pruned.iter().filter(|&&p| p).count() as u64,
+        );
         let JobKind::Private {
             query,
             sampling_rate,
@@ -857,6 +882,10 @@ impl EngineHandle {
         } else {
             Vec::new()
         };
+        obs::counter_add(
+            obs::names::OPTIMIZER_PRUNED,
+            pruned.iter().filter(|&&p| p).count() as u64,
+        );
         let kind = JobKind::Private {
             query: query.clone(),
             sampling_rate,
@@ -866,6 +895,8 @@ impl EngineHandle {
         job.pruned = pruned;
         job.external_allocation = true;
         let job = Arc::new(job);
+        obs::counter_add(obs::names::ENGINE_QUERIES, 1);
+        let _span = obs::span("submit_fragment", "engine", obs::SpanId::NONE);
         self.dispatch(&job)?;
         self.answer_for_pruned(&job);
         Ok(PendingFragment { job })
@@ -888,6 +919,7 @@ impl EngineHandle {
             epsilon,
         };
         let job = Arc::new(JobState::new(kind, occurrence, &self.inner.config));
+        obs::counter_add(obs::names::ENGINE_EXTREMES, 1);
         self.dispatch(&job)?;
         Ok(PendingExtreme { job })
     }
@@ -921,6 +953,7 @@ impl EngineHandle {
         };
         let index = self.next_occurrence(&kind);
         let job = Arc::new(JobState::new(kind, index, &self.inner.config));
+        obs::counter_add(obs::names::ENGINE_EXTREMES, 1);
         self.dispatch(&job)?;
         Ok(PendingExtreme { job })
     }
@@ -936,6 +969,7 @@ impl EngineHandle {
         };
         let index = self.next_occurrence(&kind);
         let job = Arc::new(JobState::new(kind, index, &self.inner.config));
+        obs::counter_add(obs::names::ENGINE_PLAIN, 1);
         self.dispatch(&job)?;
         Ok(PendingPlain { job })
     }
@@ -1036,16 +1070,26 @@ impl PendingAnswer {
             ReleaseMode::Smc => smc_network,
         };
 
+        let timings = PhaseTimings {
+            summary: progress.summary_time,
+            allocation: progress.allocation_time,
+            execution: progress.execution_time,
+            release: release_time,
+            network,
+        };
+        // Telemetry reads *only* phase wall-times — public by the threat
+        // model (the analyst observes them anyway). Never estimates or
+        // sensitivities.
+        obs::observe_duration(obs::names::PHASE_SUMMARY, timings.summary);
+        obs::observe_duration(obs::names::PHASE_ALLOCATION, timings.allocation);
+        obs::observe_duration(obs::names::PHASE_EXECUTION, timings.execution);
+        obs::observe_duration(obs::names::PHASE_RELEASE, timings.release);
+        obs::observe_duration(obs::names::PHASE_NETWORK, timings.network);
+
         Ok(EngineAnswer {
             value,
             cost: budget.cost(),
-            timings: PhaseTimings {
-                summary: progress.summary_time,
-                allocation: progress.allocation_time,
-                execution: progress.execution_time,
-                release: release_time,
-                network,
-            },
+            timings,
             clusters_scanned: outcomes.iter().map(|o| o.clusters_scanned).sum(),
             covering_total: outcomes.iter().map(|o| o.n_covering).sum(),
             approximated_providers: outcomes.iter().filter(|o| o.approximated).count(),

@@ -58,6 +58,7 @@ use std::time::Duration;
 use fedaqp_dp::{HyperParams, PrivacyCost, QueryBudget};
 pub use fedaqp_model::QueryPlan;
 use fedaqp_model::{Aggregate, Extreme, Range, RangeQuery, Schema, Value};
+use fedaqp_obs as obs;
 
 use crate::config::FederationConfig;
 use crate::derived::DerivedStatistic;
@@ -591,6 +592,7 @@ fn submit_derived_cell<B: PlanBackend>(
             // plan still declares (and sessions still charge) the full
             // three-way split.
             if backend.config().optimizer.dedup_subqueries {
+                obs::counter_add(obs::names::OPTIMIZER_REUSED, 1);
                 Some(backend.share_sub(&count))
             } else {
                 Some(backend.submit_sub(&second_q, sampling_rate, budget)?)
@@ -614,6 +616,8 @@ pub(crate) fn submit_plan_with<B: PlanBackend>(
     backend: &B,
     plan: &QueryPlan,
 ) -> Result<PendingPlan<B>> {
+    obs::counter_add(obs::names::OPTIMIZER_PLANS, 1);
+    let _span = obs::span("submit_plan", "optimizer", obs::SpanId::NONE);
     let hyperparams = backend.config().hyperparams;
     let (eps, delta) = plan.total_cost();
     let cost = PrivacyCost { eps, delta };
@@ -671,6 +675,9 @@ pub(crate) fn submit_plan_with<B: PlanBackend>(
                 .map(|q| backend.snapshot().estimated_cost(q))
                 .collect();
             let order = submission_order(&costs, backend.config().optimizer.reorder_subqueries);
+            if order.iter().enumerate().any(|(pos, &cell)| pos != cell) {
+                obs::counter_add(obs::names::OPTIMIZER_REORDERED, 1);
+            }
             let mut slots: Vec<Option<CellPending<B>>> = queries.iter().map(|_| None).collect();
             match statistic {
                 None => {
@@ -960,6 +967,54 @@ mod tests {
             epsilon,
             delta: 1e-3,
         }
+    }
+
+    fn timings(us: [u64; 5]) -> PhaseTimings {
+        PhaseTimings {
+            summary: Duration::from_micros(us[0]),
+            allocation: Duration::from_micros(us[1]),
+            execution: Duration::from_micros(us[2]),
+            release: Duration::from_micros(us[3]),
+            network: Duration::from_micros(us[4]),
+        }
+    }
+
+    #[test]
+    fn merge_timings_takes_element_wise_max() {
+        // The overlap model: concurrent sub-queries cost the *slowest*
+        // phase across cells, per phase independently — not the sum.
+        let mut into = timings([10, 200, 3, 40, 500]);
+        merge_timings(&mut into, &timings([100, 2, 30, 4, 5000]));
+        assert_eq!(into, timings([100, 200, 30, 40, 5000]));
+    }
+
+    #[test]
+    fn merge_timings_empty_is_identity() {
+        // Merging all-zero timings leaves the accumulator unchanged, and
+        // merging into a zero accumulator copies the other side — the
+        // identity element of the element-wise-max monoid.
+        let mut into = timings([10, 20, 30, 40, 50]);
+        merge_timings(&mut into, &timings([0, 0, 0, 0, 0]));
+        assert_eq!(into, timings([10, 20, 30, 40, 50]));
+
+        let mut zero = timings([0, 0, 0, 0, 0]);
+        merge_timings(&mut zero, &timings([10, 20, 30, 40, 50]));
+        assert_eq!(zero, timings([10, 20, 30, 40, 50]));
+    }
+
+    #[test]
+    fn merge_timings_is_commutative_and_idempotent() {
+        let a = timings([7, 300, 11, 0, 90]);
+        let b = timings([70, 3, 11, 80, 9]);
+        let mut ab = a;
+        merge_timings(&mut ab, &b);
+        let mut ba = b;
+        merge_timings(&mut ba, &a);
+        assert_eq!(ab, ba);
+
+        let mut aa = a;
+        merge_timings(&mut aa, &a);
+        assert_eq!(aa, a);
     }
 
     #[test]

@@ -77,6 +77,7 @@ use std::time::{Duration, Instant};
 
 use fedaqp_dp::{advanced_per_query, PrivacyCost, QueryBudget, SharedAccountant};
 use fedaqp_model::{Extreme, QueryPlan, RangeQuery, Row, Schema, Value};
+use fedaqp_obs as obs;
 
 use crate::aggregator::Aggregator;
 use crate::config::{AllocationPolicy, FederationConfig, ReleaseMode};
@@ -489,6 +490,7 @@ impl ShardedFederation {
     fn shard_error(&self, shard: usize, error: CoreError) -> CoreError {
         match error {
             CoreError::ShardUnavailable { reason, .. } => {
+                obs::counter_add(obs::names::SHARD_UNAVAILABLE, 1);
                 CoreError::ShardUnavailable { shard, reason }
             }
             other => other,
@@ -507,6 +509,9 @@ impl ShardedFederation {
         budget: &QueryBudget,
     ) -> Result<ShardedSub> {
         self.validate_sub(query, sampling_rate, budget)?;
+        obs::counter_add(obs::names::SHARD_QUERIES, 1);
+        let _span = obs::span("scatter", "shard", obs::SpanId::NONE);
+        let scatter_start = Instant::now();
         let inner = &*self.inner;
         let occurrence = self.next_occurrence(private_content_hash(query, sampling_rate, budget));
         let spec = FragmentSpec {
@@ -522,7 +527,19 @@ impl ShardedFederation {
         {
             let _order = inner.scatter.lock().unwrap_or_else(PoisonError::into_inner);
             for (s, shard) in inner.shards.iter().enumerate() {
-                match shard.begin(&spec) {
+                // One immediate retry absorbs a transient fault (a dropped
+                // connection, a mid-restart shard). The spec — and with it
+                // the occurrence index — is reused verbatim, so a retried
+                // fragment draws byte-identical noise.
+                let begun = shard.begin(&spec).or_else(|e| {
+                    if matches!(e, CoreError::ShardUnavailable { .. }) {
+                        obs::counter_add(obs::names::SHARD_RETRIES, 1);
+                        shard.begin(&spec)
+                    } else {
+                        Err(e)
+                    }
+                });
+                match begun {
                     Ok(fragment) => fragments.push(fragment),
                     // Dropping the already-begun fragments aborts them,
                     // so healthy shards' parked workers unblock.
@@ -535,9 +552,17 @@ impl ShardedFederation {
         // global provider order.
         let mut summaries = Vec::with_capacity(inner.config.n_providers);
         let mut summary_time = Duration::ZERO;
-        let gathered = for_each_fragment(&mut fragments, |fragment| fragment.summaries());
+        let gathered = for_each_fragment(&mut fragments, |fragment| {
+            let t = Instant::now();
+            fragment.summaries().map(|r| (r, t.elapsed()))
+        });
         for (s, result) in gathered.into_iter().enumerate() {
-            let (mut shard_summaries, t) = result.map_err(|e| self.shard_error(s, e))?;
+            let (result, wall) = match result.map_err(|e| self.shard_error(s, e)) {
+                Ok((r, wall)) => (r, wall),
+                Err(e) => return Err(e),
+            };
+            observe_per_shard(obs::names::SHARD_SCATTER, s, wall);
+            let (mut shard_summaries, t) = result;
             if shard_summaries.len() != inner.shards[s].n_providers() {
                 return Err(CoreError::ProtocolViolation(
                     "fragment summaries do not match the shard's provider count",
@@ -568,6 +593,7 @@ impl ShardedFederation {
                 .allocate(&allocations[o..o + k])
                 .map_err(|e| self.shard_error(s, e))?;
         }
+        obs::observe_duration(obs::names::SHARD_SCATTER, scatter_start.elapsed());
         Ok(ShardedSub {
             shared: Arc::new(SubShared {
                 state: Mutex::new(SubState::Scattered {
@@ -591,12 +617,18 @@ impl ShardedFederation {
         query_bytes: u64,
         allocations: Vec<u64>,
     ) -> Result<SubResolved> {
+        let _span = obs::span("gather", "shard", obs::SpanId::NONE);
+        let gather_start = Instant::now();
         let inner = &*self.inner;
         let mut outcomes = Vec::with_capacity(inner.config.n_providers);
         let mut execution = Duration::ZERO;
-        let gathered = for_each_fragment(&mut fragments, |fragment| fragment.partial());
+        let gathered = for_each_fragment(&mut fragments, |fragment| {
+            let t = Instant::now();
+            fragment.partial().map(|r| (r, t.elapsed()))
+        });
         for (s, result) in gathered.into_iter().enumerate() {
-            let partial = result.map_err(|e| self.shard_error(s, e))?;
+            let (partial, wall) = result.map_err(|e| self.shard_error(s, e))?;
+            observe_per_shard(obs::names::SHARD_GATHER, s, wall);
             if partial.rows.len() != inner.shards[s].n_providers() {
                 return Err(CoreError::ProtocolViolation(
                     "fragment partial does not match the shard's provider count",
@@ -628,6 +660,7 @@ impl ShardedFederation {
         let cm = inner.config.cost_model;
         let network =
             cm.round_time(query_bytes) + cm.round_time(16) + cm.round_time(8) + cm.round_time(16);
+        obs::observe_duration(obs::names::SHARD_GATHER, gather_start.elapsed());
         Ok(SubResolved {
             outcome: SubOutcome {
                 value,
@@ -694,6 +727,15 @@ impl ShardedFederation {
 /// them serially would leave every other shard's uplink idle for the
 /// duration of each reply; results are still merged in shard order, so
 /// the release fold is unaffected.
+/// Records one shard's scatter/gather wall time under the labeled family
+/// `{base}.shard{s}` — public wall-clock only, like every obs sample. The
+/// allocation is skipped entirely while telemetry is off.
+fn observe_per_shard(base: &str, shard: usize, wall: Duration) {
+    if obs::enabled() {
+        obs::observe_duration(&format!("{base}.shard{shard}"), wall);
+    }
+}
+
 fn for_each_fragment<T, F>(fragments: &mut [Box<dyn FragmentHandle>], op: F) -> Vec<Result<T>>
 where
     T: Send,
@@ -804,6 +846,7 @@ impl PlanBackend for ShardedFederation {
         // shard-local MIN/MAX folds are combined exactly (integer
         // domain), reproducing the 1-shard post-processing bit-for-bit.
         self.validate_ext(dim, epsilon)?;
+        obs::counter_add(obs::names::SHARD_QUERIES, 1);
         let spec = ExtremeFragmentSpec {
             dim,
             extreme,
@@ -1144,6 +1187,47 @@ mod tests {
                 coordinator.shutdown();
             }
         }
+    }
+
+    /// The tentpole privacy property of the obs crate: telemetry is
+    /// observation-only. With the same seeds, every plan kind, and 1/2/4
+    /// shards, the released answers with telemetry enabled are
+    /// bit-identical to the answers with telemetry disabled — recording
+    /// counters, gauges, histograms, and spans touches no RNG lane, no
+    /// occurrence ledger, and no release arithmetic.
+    ///
+    /// This is the only core test that toggles the global telemetry
+    /// flag; every other test is flag-agnostic, so the toggle cannot
+    /// race a sibling's assertions.
+    #[test]
+    fn released_bytes_identical_with_telemetry_on_and_off() {
+        let run = |enabled: bool, seed: u64, n_shards: usize| -> Vec<PlanAnswer> {
+            obs::set_enabled(enabled);
+            let coordinator =
+                ShardedFederation::in_process(config(seed), schema(), partitions(), n_shards)
+                    .unwrap();
+            let answers = plans()
+                .iter()
+                .map(|p| coordinator.run_plan(p))
+                .collect::<Result<Vec<_>>>()
+                .unwrap();
+            coordinator.shutdown();
+            answers
+        };
+        for seed in [0xFEDA_u64, 7] {
+            for n_shards in [1usize, 2, 4] {
+                let with_telemetry = run(true, seed, n_shards);
+                let without = run(false, seed, n_shards);
+                for ((on, off), plan) in with_telemetry.iter().zip(&without).zip(plans()) {
+                    assert_eq!(
+                        on.result, off.result,
+                        "seed {seed:#x}, {n_shards} shards, plan {plan:?}"
+                    );
+                    assert_eq!(on.cost, off.cost);
+                }
+            }
+        }
+        obs::set_enabled(true);
     }
 
     #[test]

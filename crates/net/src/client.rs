@@ -24,7 +24,7 @@ use fedaqp_model::{Dimension, Domain, RangeQuery, Schema};
 use crate::wire::{
     calibration_from_code, read_frame, write_frame_at, Answer, BatchRequest, BudgetStatus,
     ErrorCode, ExplainRequest, Frame, Hello, PlanAnswerFrame, PlanRequest, QueryRequest,
-    WirePlanResult, VERSION,
+    WireMetric, WirePlanResult, VERSION,
 };
 use crate::{NetError, Result};
 
@@ -392,6 +392,32 @@ impl RemoteFederation {
                 message: e.message,
             }),
             _ => Err(NetError::Malformed("expected BudgetStatus")),
+        }
+    }
+
+    /// Fetches the server's telemetry snapshot: flat `(name, value)`
+    /// samples from its metrics registry — counters, gauges, and expanded
+    /// histogram aggregates, all public-data-only by the `fedaqp-obs`
+    /// provenance boundary.
+    ///
+    /// Needs a v5 connection; against an older server this fails with
+    /// [`NetError::UnsupportedVersion`] carrying both versions.
+    pub fn metrics(&mut self) -> Result<Vec<WireMetric>> {
+        if self.version < 5 {
+            return Err(NetError::UnsupportedVersion {
+                requested: 5,
+                supported: self.version,
+            });
+        }
+        self.drain_outstanding()?;
+        write_frame_at(&mut self.stream, &Frame::Metrics, self.version)?;
+        match read_frame(&mut self.stream)? {
+            Frame::MetricsAnswer(answer) => Ok(answer.metrics),
+            Frame::Error(e) => Err(NetError::Remote {
+                code: e.code,
+                message: e.message,
+            }),
+            _ => Err(NetError::Malformed("expected MetricsAnswer")),
         }
     }
 

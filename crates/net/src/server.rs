@@ -53,13 +53,14 @@ use fedaqp_core::{
 };
 use fedaqp_dp::{BudgetDirectory, DpError, QueryBudget};
 use fedaqp_model::Schema;
+use fedaqp_obs as obs;
 
 use crate::wire::{
     calibration_code, read_frame_versioned, write_frame_at, Answer, BudgetStatus, ErrorCode,
     ErrorFrame, ExplainAnswerFrame, ExtremePartialFrame, FragmentPartialFrame,
-    FragmentSummariesFrame, Frame, HelloAck, PlanAnswerFrame, QueryRequest, ShardBoundsFrame,
-    WireDimension, WireGroup, WirePartialRow, WirePlanResult, WireProviderBounds, WireSummary,
-    VERSION,
+    FragmentSummariesFrame, Frame, HelloAck, MetricsAnswerFrame, PlanAnswerFrame, QueryRequest,
+    ShardBoundsFrame, WireDimension, WireGroup, WireMetric, WirePartialRow, WirePlanResult,
+    WireProviderBounds, WireSummary, VERSION,
 };
 use crate::{NetError, Result};
 
@@ -311,6 +312,7 @@ fn serve_connection(
     backend: AnalystBackend,
     directory: Option<Arc<BudgetDirectory>>,
 ) -> Result<()> {
+    obs::counter_add(obs::names::SERVER_CONNECTIONS, 1);
     // Frames are small and latency-sensitive; never batch them.
     stream.set_nodelay(true).ok();
 
@@ -379,17 +381,21 @@ fn serve_connection(
     loop {
         match read_frame_versioned(&mut stream).map(|(frame, _)| frame) {
             Ok(Frame::Query(spec)) => {
+                count_frame("query");
                 let reply = match submit(&backend, session.as_ref(), &spec).and_then(|p| p.wait(0))
                 {
                     Ok(frame) => {
                         answered += 1;
+                        obs::counter_add(obs::names::SERVER_QUERIES, 1);
                         frame
                     }
                     Err(e) => core_error_reply(0, &e),
                 };
+                record_xi_spent(&hello.analyst, session.as_ref());
                 write_frame_at(&mut stream, &reply, version)?;
             }
             Ok(Frame::Batch(batch)) => {
+                count_frame("batch");
                 // Submit everything before waiting on anything: the worker
                 // pool pipelines the whole batch exactly as it does for an
                 // in-process `run_batch`.
@@ -402,14 +408,17 @@ fn serve_connection(
                     let reply = match p.and_then(|p| p.wait(i as u32)) {
                         Ok(frame) => {
                             answered += 1;
+                            obs::counter_add(obs::names::SERVER_QUERIES, 1);
                             frame
                         }
                         Err(e) => core_error_reply(i as u32, &e),
                     };
                     write_frame_at(&mut stream, &reply, version)?;
                 }
+                record_xi_spent(&hello.analyst, session.as_ref());
             }
             Ok(Frame::Plan(request)) => {
+                count_frame("plan");
                 // Plan frames decode only from a v2 *frame header*, but the
                 // reply must be encodable at the version negotiated at the
                 // handshake — a v1-negotiated connection smuggling a v2
@@ -436,13 +445,16 @@ fn serve_connection(
                 {
                     Ok(answer) => {
                         answered += 1;
+                        obs::counter_add(obs::names::SERVER_QUERIES, 1);
                         plan_answer_frame(0, &answer)
                     }
                     Err(e) => core_error_reply(0, &e),
                 };
+                record_xi_spent(&hello.analyst, session.as_ref());
                 write_frame_at(&mut stream, &reply, version)?;
             }
             Ok(Frame::Explain(request)) => {
+                count_frame("explain");
                 // Same guard as plans: the reply frame exists only from
                 // v3, so a connection negotiated below that gets a typed
                 // rejection instead of an encode failure.
@@ -472,11 +484,34 @@ fn serve_connection(
                 write_frame_at(&mut stream, &reply, version)?;
             }
             Ok(Frame::BudgetRequest) => {
+                count_frame("budget");
                 write_frame_at(
                     &mut stream,
                     &Frame::BudgetStatus(budget_status(session.as_ref(), answered)),
                     version,
                 )?;
+            }
+            Ok(Frame::Metrics) => {
+                count_frame("metrics");
+                // Same guard as plans/explains: the reply frame exists
+                // only from v5, so a connection negotiated below that
+                // gets a typed rejection instead of an encode failure.
+                if version < 5 {
+                    write_frame_at(
+                        &mut stream,
+                        &error_reply(
+                            0,
+                            ErrorCode::BadRequest,
+                            "metrics frames need a v5-negotiated connection (reconnect with a v5 Hello)",
+                        ),
+                        version,
+                    )?;
+                    continue;
+                }
+                // The snapshot is public by construction: every sample in
+                // the registry passed the `ObsValue` provenance boundary
+                // (durations, counts, public metadata, released spend).
+                write_frame_at(&mut stream, &metrics_answer_frame(), version)?;
             }
             Ok(
                 Frame::Fragment(_)
@@ -487,6 +522,7 @@ fn serve_connection(
                 | Frame::ExtremeFragment(_)
                 | Frame::ShardBoundsRequest,
             ) => {
+                count_frame("other");
                 // Fragment frames bypass the analyst budget ledger (they
                 // arrive pre-charged from a coordinator) and let a caller
                 // pick occurrence indices — an occurrence-differencing
@@ -503,6 +539,7 @@ fn serve_connection(
                 )?;
             }
             Ok(_) => {
+                count_frame("other");
                 // Hello again, or a server-to-client frame: protocol
                 // misuse, answered but not fatal.
                 write_frame_at(
@@ -538,6 +575,7 @@ fn serve_connection(
 /// directory exists in this mode by construction: the upstream
 /// coordinator charged the whole plan before scattering.
 fn serve_shard_connection(mut stream: TcpStream, handle: EngineHandle) -> Result<()> {
+    obs::counter_add(obs::names::SERVER_CONNECTIONS, 1);
     stream.set_nodelay(true).ok();
     let version = match read_frame_versioned(&mut stream) {
         Ok((Frame::Hello(_), v)) => v.min(VERSION),
@@ -879,7 +917,53 @@ fn plan_answer_frame(index: u32, answer: &PlanAnswer) -> Frame {
     })
 }
 
+/// Counts one request frame, both in the total and under its per-kind
+/// labeled family (`fedaqp_server_frames_total.{kind}`). The label is a
+/// static protocol kind, never request content.
+fn count_frame(kind: &'static str) {
+    if obs::enabled() {
+        obs::counter_add(obs::names::SERVER_FRAMES, 1);
+        obs::counter_add(&format!("{}.{kind}", obs::names::SERVER_FRAMES), 1);
+    }
+}
+
+/// Publishes the analyst's cumulative ξ spend under
+/// `fedaqp_server_xi_spent.{identity}`. The spend is *released* budget
+/// accounting — the analyst already observes it through `BudgetStatus`
+/// frames — so exposing it in telemetry leaks nothing new.
+fn record_xi_spent(analyst: &str, session: Option<&AnalystSession>) {
+    if !obs::enabled() {
+        return;
+    }
+    let spent = match session {
+        Some(AnalystSession::Engine(s)) => s.spent(),
+        Some(AnalystSession::Sharded(s)) => s.spent(),
+        None => return,
+    };
+    obs::gauge_set(
+        &format!("{}.{analyst}", obs::names::SERVER_XI_SPENT),
+        obs::ObsValue::from_released(spent.eps),
+    );
+}
+
+/// The server's telemetry snapshot as a wire frame. Flat `(name, value)`
+/// samples straight from the global registry — every one of which passed
+/// the [`fedaqp_obs::ObsValue`] provenance boundary.
+fn metrics_answer_frame() -> Frame {
+    Frame::MetricsAnswer(MetricsAnswerFrame {
+        metrics: obs::global()
+            .snapshot()
+            .into_iter()
+            .map(|s| WireMetric {
+                name: s.name,
+                value: s.value,
+            })
+            .collect(),
+    })
+}
+
 fn error_reply(index: u32, code: ErrorCode, message: &str) -> Frame {
+    obs::counter_add(obs::names::SERVER_ERRORS, 1);
     let mut message = message.to_owned();
     if message.len() > MAX_ERROR_MESSAGE {
         // Truncate on a char boundary to stay valid UTF-8.

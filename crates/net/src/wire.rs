@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic   u32  = 0x4651_4E50  ("FQNP")
-//! version u16  (1, 2, 3 or 4; see below)
+//! version u16  (1, 2, 3, 4 or 5; see below)
 //! kind    u8
 //! len     u32  (payload bytes; hard-capped at MAX_PAYLOAD)
 //! payload [len bytes]
@@ -27,8 +27,11 @@
 //! v3 adds the explain frames ([`Frame::Explain`] /
 //! [`Frame::ExplainAnswer`]); v4 adds the *shard fragment* frames a
 //! scatter–gather coordinator speaks to a downstream shard server (see
-//! below). Each version leaves every earlier frame kind byte-identical,
-//! so v1, v2 and v3 clients work against a v4 server verbatim. A header with a version outside the supported range
+//! below); v5 adds the metrics admin frames ([`Frame::Metrics`] /
+//! [`Frame::MetricsAnswer`]) — a public-data-only telemetry snapshot
+//! served by both analyst and coordinator listeners. Each version leaves
+//! every earlier frame kind byte-identical, so v1, v2, v3 and v4 clients
+//! work against a v5 server verbatim. A header with a version outside the supported range
 //! fails with [`NetError::UnsupportedVersion`] *before* any payload is
 //! read — servers answer it with a typed
 //! [`ErrorCode::UnsupportedVersion`] frame (whose `index` field carries
@@ -54,6 +57,13 @@
 //!   computed from the plan and public offline metadata only.
 //! * [`Frame::BudgetRequest`] asks for the session ledger; the server
 //!   replies with [`Frame::BudgetStatus`].
+//! * [`Frame::Metrics`] (v5) asks for the server's telemetry snapshot;
+//!   the server replies with one [`Frame::MetricsAnswer`] carrying flat
+//!   `(name, value)` samples. Every sample passed the `fedaqp-obs`
+//!   `ObsValue` provenance boundary — durations,
+//!   counts, public metadata, and already-released budget spend only;
+//!   raw estimates and sensitivities are unrepresentable (pinned by the
+//!   adversarial frame-hygiene scan).
 //!
 //! **Shard fragment frames (v4, coordinator ⇒ shard).** A server started
 //! in *shard mode* serves a scatter–gather coordinator instead of
@@ -96,7 +106,7 @@ use crate::{NetError, Result};
 pub const MAGIC: u32 = 0x4651_4E50;
 /// Highest wire-protocol version this build speaks (and the version the
 /// client stamps its frames with).
-pub const VERSION: u16 = 4;
+pub const VERSION: u16 = 5;
 /// Lowest wire-protocol version this build still accepts.
 pub const MIN_VERSION: u16 = 1;
 /// Hard cap on a frame payload. Nothing legitimate comes close (the
@@ -120,6 +130,9 @@ const MAX_GROUPS: usize = 4096;
 /// derived statistic fans out to three sub-queries per key plus the
 /// shared base probe.
 const MAX_SUBQUERIES: usize = 3 * MAX_GROUPS + 1;
+/// Cap on samples in a metrics answer (static catalog + labeled families
+/// stay far below this).
+const MAX_METRICS: usize = 4096;
 
 const KIND_HELLO: u8 = 1;
 const KIND_HELLO_ACK: u8 = 2;
@@ -147,6 +160,8 @@ const KIND_EXTREME_FRAGMENT: u8 = 23;
 const KIND_EXTREME_PARTIAL: u8 = 24;
 const KIND_SHARD_BOUNDS_REQUEST: u8 = 25;
 const KIND_SHARD_BOUNDS: u8 = 26;
+const KIND_METRICS: u8 = 27;
+const KIND_METRICS_ANSWER: u8 = 28;
 
 /// A connection-opening frame: the analyst declares an identity the
 /// server keys budget ledgers by.
@@ -519,6 +534,25 @@ pub struct ShardBoundsFrame {
     pub providers: Vec<WireProviderBounds>,
 }
 
+/// One metric sample inside a [`MetricsAnswerFrame`]: a flat name/value
+/// pair from the server's `fedaqp-obs` registry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMetric {
+    /// Metric name (static catalog entry or a labeled family member).
+    pub name: String,
+    /// The sample value. On the serving side every value entered the
+    /// registry through the `ObsValue` provenance boundary: durations,
+    /// counts, public metadata, and already-released budget spend only.
+    pub value: f64,
+}
+
+/// The server's telemetry snapshot (server → client, v5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsAnswerFrame {
+    /// Flat samples, sorted by name.
+    pub metrics: Vec<WireMetric>,
+}
+
 /// One explain request (client → server, v3): what would the optimizer
 /// decide about this plan? Nothing runs and no budget is charged.
 #[derive(Debug, Clone, PartialEq)]
@@ -591,6 +625,10 @@ pub enum Frame {
     ShardBoundsRequest,
     /// The shard's pruning metadata (shard → coordinator; v4).
     ShardBounds(ShardBoundsFrame),
+    /// Telemetry snapshot inquiry (client → server; v5; empty payload).
+    Metrics,
+    /// The server's telemetry snapshot (server → client; v5).
+    MetricsAnswer(MetricsAnswerFrame),
 }
 
 /// Wire code of an [`EstimatorCalibration`] (`0` = EM, `1` = PPS).
@@ -816,6 +854,13 @@ fn put_explanation(buf: &mut BytesMut, expl: &PlanExplanation) -> Result<()> {
 fn check_v4(version: u16) -> Result<()> {
     if version < 4 {
         return Err(NetError::Malformed("fragment frames need protocol v4"));
+    }
+    Ok(())
+}
+
+fn check_v5(version: u16) -> Result<()> {
+    if version < 5 {
+        return Err(NetError::Malformed("metrics frames need protocol v5"));
     }
     Ok(())
 }
@@ -1058,6 +1103,22 @@ fn encode_payload(frame: &Frame, version: u16) -> Result<(u8, BytesMut)> {
                 buf.put_u64_le(provider.n_clusters);
             }
             KIND_SHARD_BOUNDS
+        }
+        Frame::Metrics => {
+            check_v5(version)?;
+            KIND_METRICS
+        }
+        Frame::MetricsAnswer(m) => {
+            check_v5(version)?;
+            if m.metrics.len() > MAX_METRICS {
+                return Err(NetError::Malformed("too many metric samples"));
+            }
+            buf.put_u32_le(m.metrics.len() as u32);
+            for sample in &m.metrics {
+                put_string(&mut buf, &sample.name)?;
+                buf.put_f64_le(sample.value);
+            }
+            KIND_METRICS_ANSWER
         }
     };
     if buf.len() > MAX_PAYLOAD as usize {
@@ -1634,6 +1695,28 @@ fn decode_payload(kind: u8, mut data: &[u8], version: u16) -> Result<Frame> {
         KIND_FRAGMENT..=KIND_SHARD_BOUNDS => {
             return Err(NetError::Malformed("fragment frames need protocol v4"))
         }
+        KIND_METRICS if version >= 5 => Frame::Metrics,
+        KIND_METRICS_ANSWER if version >= 5 => {
+            need(data, 4, "metric count truncated")?;
+            let n = data.get_u32_le() as usize;
+            // Each sample costs at least a name length + value.
+            if n > MAX_METRICS || !declared_len_fits(n, 2 + 8, data.remaining()) {
+                return Err(NetError::Malformed("declared metric count too large"));
+            }
+            let mut metrics = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = get_string(&mut data)?;
+                need(data, 8, "metric value truncated")?;
+                metrics.push(WireMetric {
+                    name,
+                    value: data.get_f64_le(),
+                });
+            }
+            Frame::MetricsAnswer(MetricsAnswerFrame { metrics })
+        }
+        KIND_METRICS | KIND_METRICS_ANSWER => {
+            return Err(NetError::Malformed("metrics frames need protocol v5"))
+        }
         KIND_BUDGET_REQUEST => Frame::BudgetRequest,
         KIND_BUDGET_STATUS => {
             need(data, 1 + 4 * 8 + 8, "budget status truncated")?;
@@ -1934,6 +2017,19 @@ mod tests {
                     },
                 ],
             }),
+            Frame::Metrics,
+            Frame::MetricsAnswer(MetricsAnswerFrame {
+                metrics: vec![
+                    WireMetric {
+                        name: "fedaqp_server_connections_total".into(),
+                        value: 3.0,
+                    },
+                    WireMetric {
+                        name: "fedaqp_server_xi_spent.alice".into(),
+                        value: 1.25,
+                    },
+                ],
+            }),
         ]
     }
 
@@ -1955,6 +2051,10 @@ mod tests {
                 | Frame::ShardBoundsRequest
                 | Frame::ShardBounds(_)
         )
+    }
+
+    fn is_v5_frame(frame: &Frame) -> bool {
+        matches!(frame, Frame::Metrics | Frame::MetricsAnswer(_))
     }
 
     fn sample_explanation() -> PlanExplanation {
@@ -2192,6 +2292,7 @@ mod tests {
                 frame,
                 Frame::Plan(_) | Frame::PlanAnswer(_) | Frame::Explain(_) | Frame::ExplainAnswer(_)
             ) || is_v4_frame(&frame)
+                || is_v5_frame(&frame)
             {
                 continue;
             }
@@ -2250,7 +2351,10 @@ mod tests {
         // a v2 build did — this is what keeps v2 clients working against
         // newer servers.
         for frame in all_frames() {
-            if matches!(frame, Frame::Explain(_) | Frame::ExplainAnswer(_)) || is_v4_frame(&frame) {
+            if matches!(frame, Frame::Explain(_) | Frame::ExplainAnswer(_))
+                || is_v4_frame(&frame)
+                || is_v5_frame(&frame)
+            {
                 continue;
             }
             let bytes = encode_frame_at(&frame, 2).unwrap();
@@ -2297,9 +2401,9 @@ mod tests {
     fn v3_frames_round_trip_at_v3_unchanged() {
         // Every v3 frame kind must encode/decode at version 3 exactly as
         // a v3 build did — this is what keeps v3 analysts working against
-        // the v4 server.
+        // newer servers.
         for frame in all_frames() {
-            if is_v4_frame(&frame) {
+            if is_v4_frame(&frame) || is_v5_frame(&frame) {
                 continue;
             }
             let bytes = encode_frame_at(&frame, 3).unwrap();
@@ -2310,6 +2414,64 @@ mod tests {
             assert_eq!(version, 3);
             assert_eq!(decoded, frame);
         }
+    }
+
+    #[test]
+    fn v4_frames_round_trip_at_v4_unchanged() {
+        // Every v4 frame kind must encode/decode at version 4 exactly as
+        // a v4 build did — this is what keeps v4 coordinators and shard
+        // servers working against the v5 binaries.
+        for frame in all_frames() {
+            if is_v5_frame(&frame) {
+                continue;
+            }
+            let bytes = encode_frame_at(&frame, 4).unwrap();
+            assert_eq!(bytes[4], 4, "header version");
+            let mut slice: &[u8] = &bytes;
+            let (decoded, version) = read_frame_versioned(&mut slice).unwrap();
+            assert!(!slice.has_remaining());
+            assert_eq!(version, 4);
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn metrics_frames_are_v5_only() {
+        for frame in all_frames().iter().filter(|f| is_v5_frame(f)) {
+            for version in [1, 2, 3, 4] {
+                assert!(
+                    matches!(
+                        encode_frame_at(frame, version),
+                        Err(NetError::Malformed("metrics frames need protocol v5"))
+                    ),
+                    "{frame:?} encoded at v{version}"
+                );
+                // A pre-v5 header smuggling a metrics kind is rejected
+                // at decode.
+                let mut bytes = encode_frame(frame).unwrap();
+                bytes[4..6].copy_from_slice(&version.to_le_bytes());
+                assert!(matches!(
+                    read_frame(&mut &bytes[..]),
+                    Err(NetError::Malformed("metrics frames need protocol v5"))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_metric_counts_are_rejected() {
+        // A metrics answer claiming u32::MAX samples over a tiny body.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u16_le(VERSION);
+        bytes.put_u8(KIND_METRICS_ANSWER);
+        bytes.put_u32_le(4 + 8);
+        bytes.put_u32_le(u32::MAX);
+        bytes.put_u64_le(0);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("declared metric count too large"))
+        ));
     }
 
     #[test]
@@ -2878,6 +3040,17 @@ mod proptests {
             Just(Frame::ShardBoundsRequest),
         ]
         .boxed();
+        let metrics = Just(Frame::Metrics).boxed();
+        let metrics_answer = proptest::collection::vec((arb_name(), -1e9f64..1e9), 0..8)
+            .prop_map(|raw| {
+                Frame::MetricsAnswer(MetricsAnswerFrame {
+                    metrics: raw
+                        .into_iter()
+                        .map(|(name, value)| WireMetric { name, value })
+                        .collect(),
+                })
+            })
+            .boxed();
         prop_oneof![
             hello,
             ack,
@@ -2898,7 +3071,9 @@ mod proptests {
             extreme_fragment,
             extreme_partial,
             shard_bounds,
-            fragment_signals
+            fragment_signals,
+            metrics,
+            metrics_answer
         ]
         .boxed()
     }

@@ -10,18 +10,22 @@
 //!   in the engine's [`EngineAnswer`] as simulation-boundary diagnostics;
 //!   their exact byte patterns must be absent from every captured answer
 //!   frame, while the released value's bytes are present (the positive
-//!   control that the scan works). The struct literals in
+//!   control that the scan works). The same scan covers the v5 telemetry
+//!   exposition: a `MetricsAnswer` frame is assembled inside the process
+//!   that holds those diagnostics in memory, so it gets the identical
+//!   byte-level audit. The struct literals in
 //!   `answer_frames_carry_no_diagnostic_fields` are the compile-time half:
-//!   adding any field to `Answer`/`PlanAnswerFrame` breaks them, forcing a
-//!   conscious review of what new bytes reach an analyst.
+//!   adding any field to `Answer`/`PlanAnswerFrame`/`MetricsAnswerFrame`
+//!   breaks them, forcing a conscious review of what new bytes reach an
+//!   analyst.
 
 use std::io::Read as _;
 
 use fedaqp_core::{Federation, FederationConfig, FederationEngine, QueryBatch};
 use fedaqp_model::{Aggregate, Dimension, Domain, QueryPlan, Range, RangeQuery, Row, Schema};
 use fedaqp_net::wire::{
-    read_frame, write_frame, Answer, Frame, Hello, PlanAnswerFrame, PlanRequest, QueryRequest,
-    WirePlanResult, HEADER_BYTES,
+    read_frame, write_frame, Answer, Frame, Hello, MetricsAnswerFrame, PlanAnswerFrame,
+    PlanRequest, QueryRequest, WireMetric, WirePlanResult, HEADER_BYTES,
 };
 use fedaqp_net::{ErrorCode, FederationServer, NetError, RemoteFederation, ServeOptions};
 
@@ -300,8 +304,119 @@ fn answer_frames_never_carry_raw_estimates_or_sensitivities() {
     engine.shutdown();
 }
 
+/// The v5 telemetry exposition audited at the byte level: after a served
+/// workload, the captured `MetricsAnswer` frame must carry none of the
+/// diagnostics the engine held in memory while producing it — no raw
+/// pre-noise estimates, no smooth sensitivities, no noise draws. The
+/// in-process oracle is bit-identical to the served run (noise derives
+/// from `(seed, content, occurrence)`), so its diagnostic values are
+/// exactly the ones the served engine computed.
+#[test]
+fn metrics_frames_never_carry_raw_estimates_or_sensitivities() {
+    let engine = FederationEngine::start(federation());
+    let server =
+        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+
+    let queries = [
+        count_query(100, 800),
+        count_query(0, 400),
+        count_query(250, 999),
+    ];
+
+    write_frame(
+        &mut stream,
+        &Frame::Hello(Hello {
+            analyst: "auditor".into(),
+        }),
+    )
+    .unwrap();
+    match read_raw_frame(&mut stream).1 {
+        Frame::HelloAck(_) => {}
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+
+    // The bit-identical in-process oracle exposing the diagnostics the
+    // metrics frame must not carry.
+    let mut batch = QueryBatch::new();
+    for q in &queries {
+        batch.push(q.clone(), 0.2);
+    }
+    let in_process: Vec<_> = federation()
+        .with_engine(|engine| engine.run_batch_serial(&batch))
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    // Serve the workload, checking bit-identity so the oracle's
+    // diagnostics are provably the served engine's own.
+    for (q, oracle) in queries.iter().zip(&in_process) {
+        write_frame(
+            &mut stream,
+            &Frame::Query(QueryRequest {
+                query: q.clone(),
+                sampling_rate: 0.2,
+            }),
+        )
+        .unwrap();
+        match read_raw_frame(&mut stream).1 {
+            Frame::Answer(a) => assert_eq!(
+                a.value.to_bits(),
+                oracle.value.to_bits(),
+                "served and in-process runs diverged; the hygiene scan is void"
+            ),
+            other => panic!("expected an Answer, got {other:?}"),
+        }
+    }
+
+    // Capture the metrics exposition exactly as it crossed the socket.
+    write_frame(&mut stream, &Frame::Metrics).unwrap();
+    let (bytes, frame) = read_raw_frame(&mut stream);
+    let samples = match frame {
+        Frame::MetricsAnswer(a) => a.metrics,
+        other => panic!("expected a MetricsAnswer, got {other:?}"),
+    };
+
+    // Positive control: a sample value that IS in the frame is found by
+    // the scan. (The registry is process-global, so the counter may also
+    // reflect queries served by sibling tests — hence ≥.)
+    let served = samples
+        .iter()
+        .find(|m| m.name == "fedaqp_server_queries_total")
+        .expect("served-queries counter missing from the metrics frame");
+    assert!(served.value >= queries.len() as f64);
+    assert!(
+        contains_f64(&bytes, served.value),
+        "positive control: a carried sample's bytes must be present"
+    );
+
+    for oracle in &in_process {
+        assert!(
+            !contains_f64(&bytes, oracle.raw_estimate),
+            "raw pre-noise estimate leaked into a MetricsAnswer frame"
+        );
+        // The total noise draw is `value − raw_estimate`; a telemetry
+        // cell holding it would let an analyst denoise the release.
+        assert!(
+            !contains_f64(&bytes, oracle.value - oracle.raw_estimate),
+            "noise draw leaked into a MetricsAnswer frame"
+        );
+        for &ls in &oracle.smooth_ls {
+            assert!(
+                !contains_f64(&bytes, ls),
+                "smooth sensitivity leaked into a MetricsAnswer frame"
+            );
+        }
+    }
+
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+}
+
 /// Compile-time hygiene: exhaustive struct literals over both answer
-/// frames. Adding ANY field to [`Answer`] or [`PlanAnswerFrame`] — say a
+/// frames and the telemetry exposition. Adding ANY field to [`Answer`],
+/// [`PlanAnswerFrame`], [`MetricsAnswerFrame`], or [`WireMetric`] — say a
 /// `raw_estimate` diagnostic — fails this build with "missing field",
 /// forcing review of what new bytes would reach an analyst. (No
 /// functional-update `..` shorthand here, deliberately.)
@@ -340,4 +455,12 @@ fn answer_frames_carry_no_diagnostic_fields() {
         network_us: 5,
     };
     assert!(matches!(plan_answer.result, WirePlanResult::Value { .. }));
+
+    let metrics_answer = MetricsAnswerFrame {
+        metrics: vec![WireMetric {
+            name: "fedaqp_server_queries_total".into(),
+            value: 1.0,
+        }],
+    };
+    assert_eq!(metrics_answer.metrics.len(), 1);
 }

@@ -14,7 +14,7 @@ use fedaqp_model::{
     Schema,
 };
 use fedaqp_net::{
-    ErrorCode, FederationServer, LoopbackServer, NetError, RemoteFederation, RemoteShard,
+    wire, ErrorCode, FederationServer, LoopbackServer, NetError, RemoteFederation, RemoteShard,
     ServeOptions,
 };
 
@@ -398,7 +398,7 @@ fn remote_plans_are_byte_identical_to_in_process() {
     let addr = server.addr().to_string();
 
     let mut client = RemoteFederation::connect(&addr).unwrap();
-    assert_eq!(client.protocol_version(), 4);
+    assert_eq!(client.protocol_version(), wire::VERSION);
     let remote: Vec<_> = mixed_plans()
         .iter()
         .map(|plan| client.run_plan(plan).unwrap())
@@ -826,7 +826,7 @@ fn two_remote_shards_serve_plans_byte_identical_to_one_engine() {
     let coordinator = spawn_coordinator(&shard_servers, ServeOptions::unlimited());
 
     let mut client = RemoteFederation::connect(coordinator.addr()).unwrap();
-    assert_eq!(client.protocol_version(), 4);
+    assert_eq!(client.protocol_version(), wire::VERSION);
     assert_eq!(client.schema(), &plan_schema());
     assert_eq!(client.n_providers(), 4);
     let remote_plans: Vec<_> = mixed_plans()
@@ -1054,4 +1054,73 @@ fn shard_servers_refuse_old_hellos_and_analyst_frames() {
     drop(stream);
     server.shutdown();
     engine.shutdown();
+}
+
+/// The v5 metrics admin frame, end to end against both analyst-facing
+/// listeners: after a served workload, `RemoteFederation::metrics()`
+/// returns *live* counters — queries answered, frames received,
+/// connections accepted — from the engine-backed server and the
+/// coordinator alike. The snapshot is one shared process-global registry,
+/// so both roles expose the same catalog.
+#[test]
+fn metrics_frame_returns_live_counters_from_serve_and_coordinate() {
+    use fedaqp_net::wire::WireMetric;
+
+    let get = |metrics: &[WireMetric], name: &str| -> Option<f64> {
+        metrics.iter().find(|m| m.name == name).map(|m| m.value)
+    };
+    // Cells are interned on first use, so a name may legitimately be
+    // absent before the instrumented path ran — treat that as zero.
+    let find = |metrics: &[WireMetric], name: &str| -> f64 {
+        get(metrics, name).unwrap_or_else(|| panic!("{name} missing from snapshot"))
+    };
+
+    // ---- Engine-backed analyst server. ----
+    let engine = FederationEngine::start(federation(1.0));
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut client = RemoteFederation::connect(server.addr()).unwrap();
+    let before = get(&client.metrics().unwrap(), "fedaqp_server_queries_total").unwrap_or(0.0);
+    client.query(&count_query(100, 800), 0.2).unwrap();
+    let after = client.metrics().unwrap();
+    assert!(
+        find(&after, "fedaqp_server_queries_total") >= before + 1.0,
+        "query counter must advance across a served query"
+    );
+    assert!(find(&after, "fedaqp_server_connections_total") >= 1.0);
+    assert!(find(&after, "fedaqp_server_frames_total") >= 1.0);
+    assert!(find(&after, "fedaqp_engine_queries_total") >= 1.0);
+    assert!(
+        find(&after, "fedaqp_engine_phase_summary_seconds_count") >= 1.0,
+        "phase histograms must be fed by served queries"
+    );
+    // The per-kind frame family is live too.
+    assert!(find(&after, "fedaqp_server_frames_total.query") >= 1.0);
+    drop(client);
+    server.shutdown();
+    engine.shutdown();
+
+    // ---- Coordinator over two remote shards. ----
+    let (engines, shard_servers) = spawn_shard_grid(2);
+    let coordinator = spawn_coordinator(&shard_servers, ServeOptions::with_budget(50.0, 0.5));
+    let mut client = RemoteFederation::connect_as(coordinator.addr(), "alice").unwrap();
+    let before_shard = get(&client.metrics().unwrap(), "fedaqp_shard_queries_total").unwrap_or(0.0);
+    client.query(&count_query(100, 800), 0.2).unwrap();
+    let after = client.metrics().unwrap();
+    assert!(
+        find(&after, "fedaqp_shard_queries_total") >= before_shard + 1.0,
+        "the coordinator's scatter counter must advance"
+    );
+    assert!(find(&after, "fedaqp_shard_scatter_seconds_count") >= 1.0);
+    assert!(find(&after, "fedaqp_shard_gather_seconds_count") >= 1.0);
+    // The budget directory feeds the per-analyst ξ gauge family.
+    let xi = find(&after, "fedaqp_server_xi_spent.alice");
+    assert!(xi > 0.0, "ξ spend gauge must reflect the charged query");
+    drop(client);
+    coordinator.shutdown();
+    for server in shard_servers {
+        server.shutdown();
+    }
+    for engine in engines {
+        engine.shutdown();
+    }
 }
