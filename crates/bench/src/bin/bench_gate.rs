@@ -87,6 +87,31 @@
 //!   ratio is machine-independent, or
 //! * the 1-shard qps is not positive (the comparison would be vacuous).
 //!
+//! Stream mode (`BENCH_stream.json`):
+//!
+//! ```text
+//! bench_gate --stream <current.json> <baseline.json>
+//!            [--max-regression 0.25] [--max-first-fraction 0.6]
+//! ```
+//!
+//! The live-federation gate over `repro stream` (streaming ingest +
+//! server-push online answers on a loopback live server). Fails (exit 1)
+//! when any of
+//! * ingested rows/sec dropped more than `--max-regression` below the
+//!   committed baseline,
+//! * the run never triggered a staleness-policy metadata refresh
+//!   (`refreshes` = 0) — the incremental-metadata path went unexercised,
+//!   so the ingest number would be vacuous,
+//! * post-ingest queries/sec dropped more than `--max-regression` below
+//!   the baseline (queries against a grown, refreshed federation),
+//! * the server failed to push every online round (`online_rounds_ok`
+//!   ≠ 1), or
+//! * the first pushed snapshot no longer lands early: its mean arrival
+//!   exceeds `--max-first-fraction` (default 0.6) of the full online
+//!   answer's latency. Round 1 scans at `1/rounds` of the terminal rate,
+//!   so this ratio is machine-independent; it is the time-to-first-result
+//!   property progressive answers exist for.
+//!
 //! Attack mode (`BENCH_attack.json`):
 //!
 //! ```text
@@ -303,6 +328,76 @@ fn run_shard(
     }
 }
 
+/// The stream-mode gate (see the module docs).
+fn run_stream(
+    current_path: &str,
+    baseline_path: &str,
+    max_regression: f64,
+    max_first_fraction: f64,
+) -> Result<String, String> {
+    let current =
+        std::fs::read_to_string(current_path).map_err(|e| format!("{current_path}: {e}"))?;
+    let baseline =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let ingest = json_number(&current, "ingest_rows_per_sec")?;
+    let refreshes = json_number(&current, "refreshes")?;
+    let live_qps = json_number(&current, "live_qps")?;
+    let rounds_ok = json_number(&current, "online_rounds_ok")?;
+    let fraction = json_number(&current, "first_snapshot_fraction")?;
+    let baseline_ingest = json_number(&baseline, "ingest_rows_per_sec")?;
+    let baseline_qps = json_number(&baseline, "live_qps")?;
+    let ingest_floor = (1.0 - max_regression) * baseline_ingest;
+    let qps_floor = (1.0 - max_regression) * baseline_qps;
+    let mut report = format!(
+        "stream gate: ingest {ingest:.1} rows/s (baseline {baseline_ingest:.1}, floor \
+         {ingest_floor:.1}), live_qps {live_qps:.1} (baseline {baseline_qps:.1}, floor \
+         {qps_floor:.1}), refreshes {refreshes:.0}, first snapshot at {fraction:.2} of the \
+         full answer (ceiling {max_first_fraction:.2})\n"
+    );
+    let mut failed = false;
+    if ingest < ingest_floor {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: ingested rows/sec regressed more than {:.0}% below the baseline\n",
+            100.0 * max_regression
+        ));
+    }
+    if refreshes < 1.0 {
+        failed = true;
+        report.push_str(
+            "FAIL: the run never triggered a staleness-policy metadata refresh — the \
+             incremental-metadata path went unexercised, so the ingest number is vacuous\n",
+        );
+    }
+    if live_qps < qps_floor {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: post-ingest queries/sec regressed more than {:.0}% below the baseline\n",
+            100.0 * max_regression
+        ));
+    }
+    if rounds_ok != 1.0 {
+        failed = true;
+        report.push_str(
+            "FAIL: the server did not push every online round — progressive answers \
+             arrived truncated\n",
+        );
+    }
+    if fraction > max_first_fraction {
+        failed = true;
+        report.push_str(&format!(
+            "FAIL: the first pushed snapshot no longer lands early (mean arrival \
+             {fraction:.2} of the full answer, ceiling {max_first_fraction:.2})\n"
+        ));
+    }
+    if failed {
+        Err(report)
+    } else {
+        report.push_str("PASS\n");
+        Ok(report)
+    }
+}
+
 /// The attack-mode gate (see the module docs).
 fn run_attack(
     current_path: &str,
@@ -378,6 +473,7 @@ modes (default: throughput over BENCH_engine.json):
   --accuracy   estimator-quality gate over BENCH_accuracy.json
   --net        remote-serving gate over BENCH_net.json
   --shard      sharded-coordinator gate over BENCH_shard.json
+  --stream     live-federation gate over BENCH_stream.json
   --attack     empirical-privacy gate over BENCH_attack.json
 
 throughput flags:
@@ -400,6 +496,11 @@ shard flags:
   --max-regression R       allowed two_shard_qps drop vs baseline [0.25]
   --min-scaling X          2-shard vs 1-shard grid scaling floor  [1.3]
 
+stream flags:
+  --max-regression R       allowed ingest/live_qps drop vs baseline [0.25]
+  --max-first-fraction F   first-snapshot arrival ceiling, as a
+                           fraction of the full online answer       [0.6]
+
 attack flags:
   --attack-band B          allowed |metric - chance|            [0.10]
   --attack-drift D         allowed |metric - baseline|          [0.05]
@@ -420,9 +521,11 @@ fn run(args: &[String]) -> Result<String, String> {
     let mut attack_band = 0.10_f64;
     let mut attack_drift = 0.05_f64;
     let mut min_ceiling = 0.65_f64;
+    let mut max_first_fraction = 0.6_f64;
     let mut accuracy = false;
     let mut net = false;
     let mut shard = false;
+    let mut stream = false;
     let mut attack = false;
     let mut i = 0;
     while i < args.len() {
@@ -431,7 +534,16 @@ fn run(args: &[String]) -> Result<String, String> {
             "--accuracy" => accuracy = true,
             "--net" => net = true,
             "--shard" => shard = true,
+            "--stream" => stream = true,
             "--attack" => attack = true,
+            "--max-first-fraction" => {
+                i += 1;
+                max_first_fraction = args
+                    .get(i)
+                    .ok_or("--max-first-fraction needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-first-fraction: {e}"))?;
+            }
             "--attack-band" => {
                 i += 1;
                 attack_band = args
@@ -519,8 +631,8 @@ fn run(args: &[String]) -> Result<String, String> {
     }
     let [current_path, baseline_path] = positional.as_slice() else {
         return Err(format!(
-            "usage: bench_gate [--accuracy | --net | --shard | --attack] <current.json> \
-             <baseline.json> [flags]\n\n{HELP}"
+            "usage: bench_gate [--accuracy | --net | --shard | --stream | --attack] \
+             <current.json> <baseline.json> [flags]\n\n{HELP}"
         ));
     };
     if accuracy {
@@ -540,6 +652,14 @@ fn run(args: &[String]) -> Result<String, String> {
             baseline_path,
             max_regression,
             min_scaling.unwrap_or(1.3),
+        );
+    }
+    if stream {
+        return run_stream(
+            current_path,
+            baseline_path,
+            max_regression,
+            max_first_fraction,
         );
     }
     if attack {
@@ -777,7 +897,9 @@ mod tests {
             "--accuracy",
             "--net",
             "--shard",
+            "--stream",
             "--attack",
+            "--max-first-fraction",
             "--min-pruned-speedup",
             "--min-pruned-fraction",
             "--max-telemetry-overhead-pct",
@@ -895,6 +1017,89 @@ mod tests {
         std::fs::write(&current, dead).unwrap();
         let err = run(&args(&[])).unwrap_err();
         assert!(err.contains("vacuous"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    const STREAM_DOC: &str = r#"{
+  "schema": "fedaqp-bench-stream/v1",
+  "dataset": "adult_synth",
+  "queries": 24,
+  "batches": 8,
+  "stream_rows": 7500,
+  "ingest_rows_per_sec": 52000.0,
+  "epochs": 8,
+  "refreshes": 4,
+  "pre_qps": 310.0,
+  "live_qps": 285.5,
+  "live_p50_ms": 3.1,
+  "live_p95_ms": 4.8,
+  "online_rounds": 4,
+  "online_rounds_ok": 1,
+  "first_snapshot_ms": 2.4,
+  "online_total_ms": 10.6,
+  "first_snapshot_fraction": 0.2264
+}"#;
+
+    #[test]
+    fn stream_gate_passes_and_fails() {
+        let dir = std::env::temp_dir().join("fedaqp_stream_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&current, STREAM_DOC).unwrap();
+        std::fs::write(&baseline, STREAM_DOC).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [
+                "--stream",
+                current.to_str().unwrap(),
+                baseline.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .chain(extra.iter().map(|s| s.to_string()))
+            .collect()
+        };
+        // Identical current/baseline passes.
+        assert!(run(&args(&[])).is_ok());
+        // A baseline 10x above the current ingest rate fails the band.
+        let fast = STREAM_DOC.replace(
+            "\"ingest_rows_per_sec\": 52000.0",
+            "\"ingest_rows_per_sec\": 520000.0",
+        );
+        std::fs::write(&baseline, fast).unwrap();
+        assert!(run(&args(&[])).unwrap_err().contains("ingested rows/sec"));
+        assert!(run(&args(&["--max-regression", "0.95"])).is_ok());
+        // A live-qps regression fails too.
+        let fast = STREAM_DOC.replace("\"live_qps\": 285.5", "\"live_qps\": 2855.0");
+        std::fs::write(&baseline, fast).unwrap();
+        assert!(run(&args(&[]))
+            .unwrap_err()
+            .contains("post-ingest queries/sec"));
+        std::fs::write(&baseline, STREAM_DOC).unwrap();
+        // A run that never refreshed metadata is vacuous: fail loudly.
+        let frozen = STREAM_DOC.replace("\"refreshes\": 4", "\"refreshes\": 0");
+        std::fs::write(&current, frozen).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("vacuous"), "{err}");
+        // A truncated online stream fails regardless of throughput.
+        let truncated = STREAM_DOC.replace("\"online_rounds_ok\": 1", "\"online_rounds_ok\": 0");
+        std::fs::write(&current, truncated).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        // A late first snapshot fails...
+        let late = STREAM_DOC.replace(
+            "\"first_snapshot_fraction\": 0.2264",
+            "\"first_snapshot_fraction\": 0.9100",
+        );
+        std::fs::write(&current, late).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("no longer lands early"), "{err}");
+        // ... unless the ceiling is raised above the measurement.
+        assert!(run(&args(&["--max-first-fraction", "0.95"])).is_ok());
+        // A summary predating the stream keys is a hard error.
+        std::fs::write(&current, STREAM_DOC.replace("\"refreshes\": 4,\n", "")).unwrap();
+        let err = run(&args(&[])).unwrap_err();
+        assert!(err.contains("refreshes"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

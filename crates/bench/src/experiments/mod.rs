@@ -13,6 +13,7 @@ pub mod metadata;
 pub mod net;
 pub mod plotting;
 pub mod shard;
+pub mod stream;
 pub mod table1;
 pub mod throughput;
 
@@ -95,6 +96,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "shard",
             "sharded coordinator — 2-shard vs 1-shard grid throughput at equal providers (CI gate)",
             shard::run as ExperimentFn,
+        ),
+        (
+            "stream",
+            "live federation — streaming ingest + server-push online answers over loopback TCP (CI gate)",
+            stream::run as ExperimentFn,
         ),
         (
             "attack",

@@ -8,7 +8,8 @@ pub mod ops;
 
 pub use manifest::Manifest;
 pub use ops::{
-    batch, coordinate, generate, inspect, parse_calibration, parse_extreme, parse_shard_slice,
-    parse_stat, query, serve, shutdown_summary, stats, BatchArgs, CoordinateArgs, GenerateArgs,
-    QueryArgs, RunningCoordinator, RunningServer, ServeArgs, StatsArgs,
+    batch, coordinate, generate, ingest, inspect, parse_calibration, parse_extreme,
+    parse_shard_slice, parse_stat, query, serve, shutdown_summary, stats, BatchArgs,
+    CoordinateArgs, GenerateArgs, IngestArgs, QueryArgs, RunningCoordinator, RunningServer,
+    ServeArgs, StatsArgs,
 };

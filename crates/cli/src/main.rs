@@ -11,9 +11,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fedaqp_cli::{
-    batch, coordinate, generate, inspect, parse_calibration, parse_extreme, parse_shard_slice,
-    parse_stat, query, serve, shutdown_summary, stats, BatchArgs, CoordinateArgs, GenerateArgs,
-    QueryArgs, ServeArgs, StatsArgs,
+    batch, coordinate, generate, ingest, inspect, parse_calibration, parse_extreme,
+    parse_shard_slice, parse_stat, query, serve, shutdown_summary, stats, BatchArgs,
+    CoordinateArgs, GenerateArgs, IngestArgs, QueryArgs, ServeArgs, StatsArgs,
 };
 use fedaqp_core::EstimatorCalibration;
 
@@ -28,7 +28,7 @@ usage:
                   [--epsilon E] [--delta D] [--calibration em|pps]
                   [--smc] [--baseline] [--explain] [--group-by DIM]
                   [--stat avg|var|std] [--extreme min:DIM|max:DIM]
-                  [--threshold T]
+                  [--threshold T] [--online K]
                   \"[EXPLAIN] SELECT ... FROM T WHERE ... [GROUP BY DIM]\"
                   (SQL may also say AVG/VAR/STD(Measure), MIN(dim)/MAX(dim),
                    and GROUP BY; --extreme replaces the SQL argument.
@@ -36,7 +36,10 @@ usage:
                    the server; --rate and the plan shape still apply.
                    --explain, or an EXPLAIN prefix on the SQL, prints the
                    optimizer's decisions without running the plan or
-                   spending any budget)
+                   spending any budget. --online K answers a scalar query
+                   progressively in K rounds under the same total (ε, δ);
+                   with --remote the server pushes each round's snapshot
+                   as it resolves — wire v6)
   fedaqp batch    (--data DIR | --remote HOST:PORT) --queries FILE
                   [--rate R] [--epsilon E] [--delta D] [--analysts N]
                   [--xi X] [--psi P] [--calibration em|pps] [--smc]
@@ -44,14 +47,23 @@ usage:
                    engine, one line per query)
   fedaqp serve    --data DIR [--listen HOST:PORT] [--epsilon E]
                   [--delta D] [--xi X] [--psi P] [--calibration em|pps]
-                  [--smc] [--shard I/N]
+                  [--smc] [--shard I/N] [--live [--max-stale-rows N]]
                   (expose the federation to remote analysts over TCP;
                    --xi caps each analyst identity at a session budget.
                    --shard I/N serves only provider slice I of N and
                    speaks the coordinator fragment protocol instead —
                    analysts then connect to `fedaqp coordinate`, which
                    holds the single budget ledger, so --xi and --smc do
-                   not combine with --shard)
+                   not combine with --shard. --live accepts `fedaqp
+                   ingest` batches while serving: every query pins one
+                   data epoch, incremental metadata maintains the cluster
+                   tails, and --max-stale-rows bounds how stale they may
+                   grow before a full recompute)
+  fedaqp ingest   --remote HOST:PORT --provider I --dataset adult|amazon
+                  [--rows N] [--seed X]
+                  (synthesize a batch of rows and append it atomically to
+                   provider I of a live server — wire v6; the ack reports
+                   the new data epoch)
   fedaqp coordinate --data DIR --shards ADDR,ADDR,... 
                   [--listen HOST:PORT] [--epsilon E] [--delta D]
                   [--xi X] [--psi P] [--calibration em|pps]
@@ -142,6 +154,7 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
         extreme: None,
         threshold: 0.0,
         explain: false,
+        online: None,
     };
     let mut i = 0;
     let mut server_side: Vec<&'static str> = Vec::new();
@@ -186,6 +199,13 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
                     .parse()
                     .map_err(|e| format!("--threshold: {e}"))?
             }
+            "--online" => {
+                q.online = Some(
+                    take_value(args, &mut i, "--online")?
+                        .parse()
+                        .map_err(|e| format!("--online: {e}"))?,
+                )
+            }
             sql if !sql.starts_with("--") => q.sql = sql.to_owned(),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -221,6 +241,8 @@ fn cmd_serve(args: &[String]) -> Result<fedaqp_cli::RunningServer, String> {
         smc: false,
         calibration: EstimatorCalibration::EmCalibrated,
         shard: None,
+        live: false,
+        max_stale_rows: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -254,6 +276,14 @@ fn cmd_serve(args: &[String]) -> Result<fedaqp_cli::RunningServer, String> {
             }
             "--smc" => s.smc = true,
             "--shard" => s.shard = Some(parse_shard_slice(&take_value(args, &mut i, "--shard")?)?),
+            "--live" => s.live = true,
+            "--max-stale-rows" => {
+                s.max_stale_rows = Some(
+                    take_value(args, &mut i, "--max-stale-rows")?
+                        .parse()
+                        .map_err(|e| format!("--max-stale-rows: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -323,6 +353,47 @@ fn cmd_coordinate(args: &[String]) -> Result<fedaqp_cli::RunningCoordinator, Str
         return Err("--shards is required".into());
     }
     coordinate(&c)
+}
+
+fn cmd_ingest(args: &[String]) -> Result<String, String> {
+    let mut g = IngestArgs {
+        remote: String::new(),
+        provider: 0,
+        dataset: String::new(),
+        rows: 1_000,
+        seed: 1,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--remote" => g.remote = take_value(args, &mut i, "--remote")?,
+            "--provider" => {
+                g.provider = take_value(args, &mut i, "--provider")?
+                    .parse()
+                    .map_err(|e| format!("--provider: {e}"))?
+            }
+            "--dataset" => g.dataset = take_value(args, &mut i, "--dataset")?,
+            "--rows" => {
+                g.rows = take_value(args, &mut i, "--rows")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--seed" => {
+                g.seed = take_value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if g.remote.is_empty() {
+        return Err("--remote is required".into());
+    }
+    if g.dataset.is_empty() {
+        return Err("--dataset is required".into());
+    }
+    ingest(&g)
 }
 
 fn cmd_stats(args: &[String]) -> Result<String, String> {
@@ -466,6 +537,7 @@ fn main() -> ExitCode {
             };
         }
         Some("stats") => cmd_stats(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("inspect") => match args.get(1) {
             Some(path) => inspect(std::path::Path::new(path)),
             None => Err("inspect needs a store path".into()),

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use fedaqp_core::{
     ConcurrentSession, EstimatorCalibration, Federation, FederationConfig, FederationEngine,
-    PlanAnswer, PlanResult, ReleaseMode, SessionPlan,
+    LiveFederation, PlanAnswer, PlanResult, RefreshPolicy, ReleaseMode, SessionPlan,
 };
 use fedaqp_data::{
     partition_rows, AdultConfig, AdultSynth, AmazonConfig, AmazonSynth, PartitionMode,
@@ -176,6 +176,10 @@ pub struct QueryArgs {
     /// Print the optimizer's decisions instead of running the plan
     /// (`EXPLAIN` as a SQL prefix works too). Charges no budget.
     pub explain: bool,
+    /// Answer progressively in this many rounds (online aggregation):
+    /// each round releases a refined estimate under `1/rounds` of the
+    /// query's `(ε, δ)`. Applies to scalar COUNT/SUM queries.
+    pub online: Option<usize>,
 }
 
 /// Parses a `--calibration` value: `em` (EM-calibrated, the default) or
@@ -330,6 +334,26 @@ fn build_plan(
             }
         };
     }
+    if let Some(rounds) = args.online {
+        if rounds == 0 {
+            return Err("--online needs at least one round".into());
+        }
+        plan = match plan {
+            QueryPlan::Scalar {
+                query,
+                sampling_rate,
+                epsilon,
+                delta,
+            } => QueryPlan::Online {
+                query,
+                sampling_rate,
+                epsilon,
+                delta,
+                rounds,
+            },
+            _ => return Err("--online applies to a scalar COUNT/SUM query".into()),
+        };
+    }
     Ok((plan, sql_explain))
 }
 
@@ -365,6 +389,21 @@ fn render_plan_answer(schema: &Schema, plan: &QueryPlan, answer: &PlanAnswer) ->
         }
         PlanResult::Extreme { value } => {
             out.push_str(&format!("private     : {value}\n"));
+        }
+        PlanResult::Snapshots { snapshots } => {
+            for s in snapshots {
+                out.push_str(&format!(
+                    "round {:>2}/{} : {:.3} ({:.0}% sample, {} clusters)\n",
+                    s.round,
+                    s.rounds,
+                    s.value,
+                    100.0 * s.sample_fraction,
+                    s.clusters_scanned
+                ));
+            }
+            if let Some(last) = snapshots.last() {
+                out.push_str(&format!("private     : {:.3} (final round)\n", last.value));
+            }
         }
     }
     out.push_str(&format!(
@@ -471,6 +510,81 @@ fn query_remote_plan(
     Ok(out)
 }
 
+/// `fedaqp query --remote --online K`: the query travels as one v6
+/// `OnlinePlan` frame; the server pushes one refined snapshot per round
+/// (printed as it arrives) and the whole plan's `(ε, δ)` is charged
+/// atomically up front.
+fn query_remote_online(
+    args: &QueryArgs,
+    addr: &str,
+    remote: &mut RemoteFederation,
+    plan: &QueryPlan,
+) -> Result<String, String> {
+    let QueryPlan::Online {
+        query,
+        sampling_rate,
+        epsilon,
+        delta,
+        rounds,
+    } = plan
+    else {
+        return Err("query_remote_online wants an online plan".into());
+    };
+    let started = Instant::now();
+    // Each snapshot prints the moment its frame arrives: the analyst
+    // watches the estimate refine while later rounds still run.
+    let answer = remote
+        .run_online_plan(
+            query,
+            *sampling_rate,
+            *epsilon,
+            *delta,
+            *rounds as u32,
+            |s| {
+                println!(
+                    "round {:>2}/{} : {:.3} ({:.0}% sample, {} clusters)",
+                    s.round,
+                    s.rounds,
+                    s.value,
+                    100.0 * s.sample_fraction,
+                    s.clusters_scanned
+                );
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let round_trip = started.elapsed();
+    let mut out = String::new();
+    if !args.sql.is_empty() {
+        out.push_str(&format!("query       : {}\n", args.sql));
+    }
+    out.push_str(&format!(
+        "remote      : {addr} ({} providers, wire v{})\n",
+        remote.n_providers(),
+        remote.protocol_version()
+    ));
+    out.push_str(&format!(
+        "online      : {rounds} rounds pushed, final {:.3}\n",
+        answer.value().unwrap_or(f64::NAN)
+    ));
+    out.push_str(&format!(
+        "privacy     : (ε = {}, δ = {:e}) for the whole plan\n",
+        answer.cost.eps, answer.cost.delta
+    ));
+    out.push_str(&format!(
+        "latency     : {:.2} ms round trip ({:.2} ms server protocol)\n",
+        round_trip.as_secs_f64() * 1e3,
+        answer.timings.total().as_secs_f64() * 1e3,
+    ));
+    if remote.session_budget().is_some() {
+        let status = remote.budget_status().map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "budget      : spent (ε = {:.3}, δ = {:.1e})\n",
+            status.spent_eps, status.spent_delta
+        ));
+    }
+    Ok(out)
+}
+
 /// `fedaqp query --remote`: parse the request against the served schema
 /// and answer it over the wire.
 fn query_remote(args: &QueryArgs, addr: &str) -> Result<String, String> {
@@ -498,6 +612,9 @@ fn query_remote(args: &QueryArgs, addr: &str) -> Result<String, String> {
     }
     let parsed = match plan {
         QueryPlan::Scalar { ref query, .. } => query.clone(),
+        ref plan @ QueryPlan::Online { .. } => {
+            return query_remote_online(args, addr, &mut remote, plan)
+        }
         ref plan => return query_remote_plan(args, addr, &mut remote, plan),
     };
     let started = Instant::now();
@@ -596,6 +713,48 @@ pub fn query(args: &QueryArgs) -> Result<String, String> {
             out.push_str(&format!("query       : {}\n", args.sql));
         }
         out.push_str(&explanation.render());
+        return Ok(out);
+    }
+    if let QueryPlan::Online {
+        ref query,
+        sampling_rate,
+        epsilon,
+        delta,
+        rounds,
+    } = plan
+    {
+        // The serial wrapper also computes the exact oracle and the
+        // sample-fraction-weighted combination — neither crosses a wire.
+        let sql = query.display_sql(federation.schema());
+        let answer = fedaqp_core::run_online(
+            &mut federation,
+            query,
+            sampling_rate,
+            epsilon,
+            delta,
+            rounds,
+        )
+        .map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        out.push_str(&format!("query       : {sql}\n"));
+        for s in &answer.snapshots {
+            out.push_str(&format!(
+                "round {:>2}/{rounds} : {:.3} ({:.0}% sample, {} clusters)\n",
+                s.round,
+                s.value,
+                100.0 * s.sample_fraction,
+                s.clusters_scanned
+            ));
+        }
+        out.push_str(&format!(
+            "combined    : {:.3} (sample-fraction weighted)\n",
+            fedaqp_core::combine_snapshots(&answer)
+        ));
+        out.push_str(&format!("exact       : {}\n", answer.exact));
+        out.push_str(&format!(
+            "privacy     : (ε = {}, δ = {:e}) for the whole plan\n",
+            answer.cost.eps, answer.cost.delta
+        ));
         return Ok(out);
     }
     let parsed = match plan {
@@ -892,6 +1051,13 @@ pub struct ServeArgs {
     /// provider slice and speak the coordinator's fragment protocol
     /// instead of the analyst protocol.
     pub shard: Option<(usize, usize)>,
+    /// Serve a live federation: accept v6 `Ingest` frames that append
+    /// rows to a provider while analysts keep querying. Each query pins
+    /// one data epoch; ingest applies between queries.
+    pub live: bool,
+    /// Live mode: trigger a full metadata recompute after this many
+    /// stale rows (`None` = the default policy).
+    pub max_stale_rows: Option<usize>,
 }
 
 /// A running `fedaqp serve` instance. Keep both fields alive for the
@@ -902,10 +1068,22 @@ pub struct ServeArgs {
 pub struct RunningServer {
     /// The TCP server (accept loop).
     pub server: FederationServer,
-    /// The engine whose worker pool answers the queries.
-    pub engine: FederationEngine,
+    /// The engine whose worker pool answers the queries. `None` in live
+    /// mode, where the server scopes a pool per request so ingest can
+    /// take the federation between queries.
+    pub engine: Option<FederationEngine>,
     /// Human-readable startup report.
     pub banner: String,
+}
+
+impl RunningServer {
+    /// Stops the accept loop and (when present) the worker pool.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+        if let Some(engine) = self.engine {
+            engine.shutdown();
+        }
+    }
 }
 
 /// Parses a `--shard` value: `I/N` — this server holds contiguous
@@ -965,7 +1143,58 @@ fn serve_shard(args: &ServeArgs, index: usize, count: usize) -> Result<RunningSe
     );
     Ok(RunningServer {
         server,
-        engine,
+        engine: Some(engine),
+        banner,
+    })
+}
+
+/// `fedaqp serve --live`: rebuild the federation, wrap it in a
+/// [`LiveFederation`], and expose it with the v6 ingest path enabled.
+/// Queries pin one data epoch each; `fedaqp ingest` appends rows between
+/// them, and the staleness policy decides when metadata is recomputed
+/// from scratch.
+fn serve_live(args: &ServeArgs) -> Result<RunningServer, String> {
+    let federation = load_federation(
+        &args.data,
+        args.epsilon,
+        args.delta,
+        args.smc,
+        args.calibration,
+        None,
+    )?;
+    let n_providers = federation.config().n_providers;
+    let mut policy = RefreshPolicy::default();
+    if let Some(rows) = args.max_stale_rows {
+        policy.max_stale_rows = rows;
+    }
+    let max_stale_rows = policy.max_stale_rows;
+    let live = LiveFederation::new(federation, policy);
+    let options = match args.xi {
+        Some(xi) => ServeOptions::with_budget(xi, args.psi),
+        None => ServeOptions::unlimited(),
+    };
+    let server =
+        FederationServer::bind_live(&args.listen, live, options).map_err(|e| e.to_string())?;
+    let banner = format!(
+        "serving     : {n_providers} providers (live) from {} on {}\n\
+         privacy     : per-query ε = {}, δ = {:e}, {} release\n\
+         budget      : {}\n\
+         ingest      : wire v{} `fedaqp ingest` enabled; metadata refresh after {} stale rows\n",
+        args.data.display(),
+        server.local_addr(),
+        args.epsilon,
+        args.delta,
+        if args.smc { "SMC" } else { "local-DP" },
+        match args.xi {
+            Some(xi) => format!("per-analyst (ξ = {xi}, ψ = {:e})", args.psi),
+            None => "uncapped sessions".into(),
+        },
+        fedaqp_net::wire::VERSION,
+        max_stale_rows,
+    );
+    Ok(RunningServer {
+        server,
+        engine: None,
         banner,
     })
 }
@@ -973,8 +1202,14 @@ fn serve_shard(args: &ServeArgs, index: usize, count: usize) -> Result<RunningSe
 /// `fedaqp serve`: rebuild the federation from a data directory, start
 /// the concurrent engine, and expose it on a TCP listener.
 pub fn serve(args: &ServeArgs) -> Result<RunningServer, String> {
+    if args.live && args.shard.is_some() {
+        return Err("--live does not combine with --shard: shards are frozen slices".into());
+    }
     if let Some((index, count)) = args.shard {
         return serve_shard(args, index, count);
+    }
+    if args.live {
+        return serve_live(args);
     }
     let federation = load_federation(
         &args.data,
@@ -1010,9 +1245,83 @@ pub fn serve(args: &ServeArgs) -> Result<RunningServer, String> {
     );
     Ok(RunningServer {
         server,
-        engine,
+        engine: Some(engine),
         banner,
     })
+}
+
+/// Arguments of `fedaqp ingest`.
+#[derive(Debug, Clone)]
+pub struct IngestArgs {
+    /// The live server at `host:port` (started with `fedaqp serve
+    /// --live`).
+    pub remote: String,
+    /// The provider (federation-local id) the rows are appended to.
+    pub provider: u32,
+    /// `adult` or `amazon` — must match the served dataset's schema.
+    pub dataset: String,
+    /// Raw rows to synthesize and push.
+    pub rows: u64,
+    /// Generator seed (use a different one per batch for fresh rows).
+    pub seed: u64,
+}
+
+/// `fedaqp ingest`: synthesize a batch of rows and append it to one
+/// provider of a live federation over the wire v6 `Ingest` frame,
+/// chunked at the frame's row cap ([`fedaqp_net::wire::MAX_INGEST_ROWS`])
+/// so any `--rows` count round-trips. Each chunk is atomic server-side;
+/// the final ack reports the new data epoch, and the summary notes
+/// whether any chunk's staleness crossing triggered a full metadata
+/// recompute.
+pub fn ingest(args: &IngestArgs) -> Result<String, String> {
+    let dataset = match args.dataset.as_str() {
+        "adult" => AdultSynth::generate(AdultConfig {
+            n_rows: args.rows,
+            seed: args.seed,
+        })
+        .map_err(|e| e.to_string())?,
+        "amazon" => AmazonSynth::generate(AmazonConfig {
+            n_rows: args.rows,
+            seed: args.seed,
+        })
+        .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown dataset `{other}` (use adult|amazon)")),
+    };
+    let mut remote =
+        RemoteFederation::connect_as(&args.remote, "cli").map_err(|e| e.to_string())?;
+    if remote.schema() != &dataset.schema {
+        return Err(format!(
+            "the served schema does not match dataset `{}` — ingest rows must share the \
+             federation's dimensions",
+            args.dataset
+        ));
+    }
+    let started = Instant::now();
+    let mut accepted = 0u64;
+    let mut epoch = 0u64;
+    let mut refreshed = false;
+    for chunk in dataset.cells.chunks(fedaqp_net::wire::MAX_INGEST_ROWS) {
+        let ack = remote
+            .ingest(args.provider, chunk)
+            .map_err(|e| e.to_string())?;
+        accepted += ack.accepted;
+        epoch = ack.epoch;
+        refreshed |= ack.refreshed;
+    }
+    Ok(format!(
+        "ingested    : {} cells ({} raw rows) into provider {} in {:.2} ms\n\
+         epoch       : {}{}\n",
+        accepted,
+        dataset.raw_rows,
+        args.provider,
+        started.elapsed().as_secs_f64() * 1e3,
+        epoch,
+        if refreshed {
+            " (staleness policy triggered a full metadata recompute)"
+        } else {
+            " (incremental tail maintenance only)"
+        },
+    ))
 }
 
 /// Arguments of `fedaqp stats`.
@@ -1225,6 +1534,7 @@ mod tests {
             extreme: None,
             threshold: 0.0,
             explain: false,
+            online: None,
         })
         .unwrap();
         assert!(out.contains("private"));
@@ -1249,6 +1559,7 @@ mod tests {
             extreme: None,
             threshold: 0.0,
             explain: false,
+            online: None,
         }
     }
 
@@ -1390,6 +1701,7 @@ mod tests {
             extreme: None,
             threshold: 0.0,
             explain: false,
+            online: None,
         })
         .unwrap();
         assert!(out.contains("PPS (Eq. 3) calibration"), "{out}");
@@ -1420,6 +1732,7 @@ mod tests {
             extreme: None,
             threshold: 0.0,
             explain: false,
+            online: None,
         })
         .unwrap_err();
         assert!(err.contains("manifest"));
@@ -1448,6 +1761,7 @@ mod tests {
             extreme: None,
             threshold: 0.0,
             explain: false,
+            online: None,
         })
         .unwrap_err();
         assert!(err.contains("bogus"));
@@ -1539,6 +1853,8 @@ mod tests {
             smc: false,
             calibration: EstimatorCalibration::EmCalibrated,
             shard: None,
+            live: false,
+            max_stale_rows: None,
         }
     }
 
@@ -1566,6 +1882,7 @@ mod tests {
             extreme: None,
             threshold: 0.0,
             explain: false,
+            online: None,
         })
         .unwrap();
         assert!(out.contains("remote"), "{out}");
@@ -1618,8 +1935,7 @@ mod tests {
         assert!(out.contains(&format!("over {addr}")), "{out}");
         assert!(out.contains("3/3 answered"), "{out}");
 
-        running.server.shutdown();
-        running.engine.shutdown();
+        running.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1662,8 +1978,7 @@ mod tests {
         assert!(summary.contains("queries served"), "{summary}");
         assert!(summary.contains("analyst `cli`"), "{summary}");
 
-        running.server.shutdown();
-        running.engine.shutdown();
+        running.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1690,6 +2005,7 @@ mod tests {
             extreme: None,
             threshold: 0.0,
             explain: false,
+            online: None,
         })
         .unwrap_err();
         assert!(err.contains("cannot connect"), "{err}");
@@ -1711,6 +2027,7 @@ mod tests {
             extreme: None,
             threshold: 0.0,
             explain: false,
+            online: None,
         })
         .unwrap_err();
         assert!(err.contains("--baseline"), "{err}");
@@ -1763,10 +2080,133 @@ mod tests {
             extreme: None,
             threshold: 0.0,
             explain: false,
+            online: None,
         })
         .unwrap();
         assert!(out.contains("SMC release"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `--online K` on local data: the serial wrapper prints every
+    /// round, the sample-fraction-weighted combination, and the exact
+    /// oracle — all in one process, nothing over a wire.
+    #[test]
+    fn online_queries_run_locally() {
+        let dir = tmp_dir("online_local");
+        generate(&generate_args(dir.clone())).unwrap();
+        let mut args = plan_query_args(dir.clone(), "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60");
+        args.online = Some(3);
+        let out = query(&args).unwrap();
+        assert!(out.contains("round  1/3"), "{out}");
+        assert!(out.contains("round  3/3"), "{out}");
+        assert!(out.contains("combined    :"), "{out}");
+        assert!(out.contains("exact       :"), "{out}");
+        assert!(out.contains("for the whole plan"), "{out}");
+
+        // EXPLAIN of an online plan runs nothing.
+        args.explain = true;
+        let out = query(&args).unwrap();
+        assert!(out.contains("optimizer   :"), "{out}");
+        assert!(!out.contains("combined"), "explain must not run: {out}");
+
+        // --online shapes scalar queries only.
+        let mut args = plan_query_args(
+            dir.clone(),
+            "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60 GROUP BY workclass",
+        );
+        args.online = Some(3);
+        assert!(query(&args).unwrap_err().contains("--online"), "group-by");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The live walkthrough, end to end through the CLI ops: `serve
+    /// --live`, an online query pushed over the wire, an `ingest` batch
+    /// that bumps the data epoch, and a plain query over the grown
+    /// federation.
+    #[test]
+    fn live_serve_answers_online_queries_and_ingest() {
+        let dir = tmp_dir("live_serve");
+        generate(&generate_args(dir.clone())).unwrap();
+        let mut args = serve_args(dir.clone());
+        args.live = true;
+        args.epsilon = 5.0;
+        let running = serve(&args).unwrap();
+        assert!(running.banner.contains("(live)"), "{}", running.banner);
+        assert!(
+            running.banner.contains("`fedaqp ingest` enabled"),
+            "{}",
+            running.banner
+        );
+        let addr = running.server.local_addr().to_string();
+
+        // An online query over the wire: snapshots are pushed by the
+        // server and the whole plan's cost is charged up front.
+        let mut qargs = plan_query_args(
+            PathBuf::new(),
+            "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60",
+        );
+        qargs.remote = Some(addr.clone());
+        qargs.online = Some(3);
+        let out = query(&qargs).unwrap();
+        assert!(out.contains("online      : 3 rounds pushed"), "{out}");
+        assert!(out.contains("for the whole plan"), "{out}");
+
+        // Ingest a batch; the epoch bumps and the ack says whether the
+        // staleness policy refreshed.
+        let out = ingest(&IngestArgs {
+            remote: addr.clone(),
+            provider: 0,
+            dataset: "adult".into(),
+            rows: 500,
+            seed: 9,
+        })
+        .unwrap();
+        assert!(out.contains("ingested    :"), "{out}");
+        assert!(out.contains("epoch       : 1"), "{out}");
+
+        // The grown federation still answers plain queries.
+        let mut qargs = plan_query_args(
+            PathBuf::new(),
+            "SELECT COUNT(*) FROM T WHERE 25 <= age <= 60",
+        );
+        qargs.remote = Some(addr.clone());
+        let out = query(&qargs).unwrap();
+        assert!(out.contains("private"), "{out}");
+
+        // Ingest into a frozen (non-live) server is a one-line refusal.
+        let frozen = serve(&serve_args(dir.clone())).unwrap();
+        let err = ingest(&IngestArgs {
+            remote: frozen.server.local_addr().to_string(),
+            provider: 0,
+            dataset: "adult".into(),
+            rows: 100,
+            seed: 9,
+        })
+        .unwrap_err();
+        assert!(err.contains("live-mode"), "{err}");
+
+        // A mismatched dataset is caught client-side before any frame.
+        let err = ingest(&IngestArgs {
+            remote: addr,
+            provider: 0,
+            dataset: "amazon".into(),
+            rows: 100,
+            seed: 9,
+        })
+        .unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+
+        frozen.shutdown();
+        running.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn live_mode_rejects_shard() {
+        let mut args = serve_args(PathBuf::from("/nonexistent"));
+        args.live = true;
+        args.shard = Some((0, 2));
+        assert!(serve(&args).unwrap_err().contains("--live"), "live+shard");
     }
 
     #[test]
@@ -1885,12 +2325,9 @@ mod tests {
         assert_eq!(private(&sharded), private(&unsharded), "byte-identical");
 
         running.server.shutdown();
-        single.server.shutdown();
-        single.engine.shutdown();
-        shard0.server.shutdown();
-        shard0.engine.shutdown();
-        shard1.server.shutdown();
-        shard1.engine.shutdown();
+        single.shutdown();
+        shard0.shutdown();
+        shard1.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -137,6 +137,21 @@ impl Federation {
         self.config.query_budget()
     }
 
+    /// Mutable provider access for the streaming-ingest layer
+    /// ([`crate::stream::LiveFederation`]).
+    pub(crate) fn providers_mut(&mut self) -> &mut [DataProvider] {
+        &mut self.providers
+    }
+
+    /// Re-salts the noise seed (and the aggregator derived from it) — the
+    /// streaming layer calls this once per accepted ingest batch so no RNG
+    /// lane is ever replayed against two different data versions (a
+    /// differencing attack would otherwise subtract identical noise).
+    pub(crate) fn set_seed(&mut self, seed: u64) {
+        self.config.seed = seed;
+        self.aggregator = Aggregator::new(seed, self.config.cost_model);
+    }
+
     /// Decomposes the federation so the engine can move each provider onto
     /// its own worker thread.
     pub(crate) fn into_parts(self) -> (FederationConfig, Schema, Vec<DataProvider>) {

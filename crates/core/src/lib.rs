@@ -44,6 +44,7 @@ pub mod provider;
 pub mod sensitivity;
 pub mod session;
 pub mod shard;
+pub mod stream;
 
 pub use aggregator::Aggregator;
 pub use agreement::{agree_on_s, announce_size, SizeDisclosure};
@@ -64,8 +65,8 @@ pub use groupby::{run_group_by, Group, GroupByAnswer};
 pub use online::{combine_snapshots, run_online, OnlineAnswer, OnlineSnapshot};
 pub use optimizer::{MetaSnapshot, PlanExplanation, ProviderBounds, SubQueryExplanation};
 pub use plan::{
-    ExtremeOutcome, PendingPlan, PlanAnswer, PlanBackend, PlanGroup, PlanResult, QueryPlan,
-    SubOutcome,
+    ExtremeOutcome, PendingPlan, PlanAnswer, PlanBackend, PlanGroup, PlanResult, PlanSnapshot,
+    QueryPlan, SubOutcome,
 };
 pub use protocol::{LocalOutcome, PhaseTimings, ProviderSummary};
 pub use provider::DataProvider;
@@ -74,6 +75,7 @@ pub use shard::{
     ExtremeFragmentSpec, FragmentHandle, FragmentPartial, FragmentSpec, PartialRow, ShardBackend,
     ShardedAnswer, ShardedFederation, ShardedPendingAnswer, ShardedSession, ShardedSub,
 };
+pub use stream::{IngestReport, LiveFederation, RefreshPolicy};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

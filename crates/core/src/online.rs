@@ -13,11 +13,12 @@
 //! from the released sample structure, not from raw data beyond what the
 //! release already reveals, and is reported for interpretability).
 
-use fedaqp_dp::{PrivacyCost, QueryBudget};
-use fedaqp_model::RangeQuery;
+use fedaqp_dp::PrivacyCost;
+use fedaqp_model::{QueryPlan, RangeQuery};
 
 use crate::federation::Federation;
-use crate::{CoreError, Result};
+use crate::plan::PlanResult;
+use crate::Result;
 
 /// One progressive snapshot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +47,13 @@ pub struct OnlineAnswer {
 /// Runs `query` progressively: `rounds` releases under a total
 /// `(epsilon, delta)`, with the sampling rate growing linearly from
 /// `sampling_rate/rounds` to `sampling_rate`.
+///
+/// A thin wrapper over [`QueryPlan::Online`] compilation on a scoped
+/// engine ([`Federation::with_engine`]) — the same compiler every other
+/// layer (sessions, the TCP server, the sharded coordinator) runs, so
+/// "serial" online aggregation is byte-identical to the concurrent and
+/// remote paths on a frozen federation. The exact answer is the usual
+/// experiment oracle, computed outside the private path.
 pub fn run_online(
     federation: &mut Federation,
     query: &RangeQuery,
@@ -54,35 +62,30 @@ pub fn run_online(
     delta: f64,
     rounds: usize,
 ) -> Result<OnlineAnswer> {
-    if rounds == 0 {
-        return Err(CoreError::BadConfig("online aggregation needs >= 1 round"));
-    }
-    if !(epsilon.is_finite() && epsilon > 0.0) {
-        return Err(CoreError::BadConfig("online epsilon must be positive"));
-    }
-    let hp = federation.config().hyperparams;
-    let per = QueryBudget::split(epsilon / rounds as f64, delta / rounds as f64, hp)?;
-    let mut snapshots = Vec::with_capacity(rounds);
-    let mut exact = 0u64;
-    for round in 1..=rounds {
-        let fraction = round as f64 / rounds as f64;
-        let sr = (sampling_rate * fraction).clamp(f64::MIN_POSITIVE, 0.999);
-        let ans = federation.run_with_budget(query, sr, &per)?;
-        exact = ans.exact;
-        snapshots.push(OnlineSnapshot {
-            round,
-            sample_fraction: fraction,
-            value: ans.value,
-            clusters_scanned: ans.clusters_scanned,
-        });
-    }
+    let plan = QueryPlan::Online {
+        query: query.clone(),
+        sampling_rate,
+        epsilon,
+        delta,
+        rounds,
+    };
+    let answer = federation.with_engine(|engine| engine.run_plan(&plan))?;
+    let snapshots = match &answer.result {
+        PlanResult::Snapshots { snapshots } => snapshots
+            .iter()
+            .map(|s| OnlineSnapshot {
+                round: s.round as usize,
+                sample_fraction: s.sample_fraction,
+                value: s.value,
+                clusters_scanned: s.clusters_scanned as usize,
+            })
+            .collect(),
+        other => unreachable!("online plans release snapshots, got {other:?}"),
+    };
     Ok(OnlineAnswer {
         snapshots,
-        exact,
-        cost: PrivacyCost {
-            eps: epsilon,
-            delta,
-        },
+        exact: federation.exact(query),
+        cost: answer.cost,
     })
 }
 

@@ -20,6 +20,11 @@
 //!   Group queries are *not* disjoint under this pipeline (a cluster's
 //!   metadata depends on all rows in the cluster), so sequential — not
 //!   parallel — composition applies.
+//! * [`QueryPlan::Online`] → `rounds` sub-queries over the same ranges at
+//!   progressively larger sampling rates (`sr · r/rounds`), each under a
+//!   `1/rounds` share of the plan's `(ε, δ)` (sequential composition —
+//!   progressive samples of the same data are not disjoint); snapshots
+//!   stream out through [`PendingPlan::wait_streaming`] as rounds resolve.
 //! * [`QueryPlan::Extreme`] → one metadata-only engine job
 //!   ([`EngineHandle::submit_extreme`]).
 //!
@@ -80,6 +85,26 @@ pub struct PlanGroup {
     pub ci_halfwidth: Option<f64>,
 }
 
+/// One progressive release of a [`QueryPlan::Online`] plan: round `round`
+/// of `rounds`, sampled at `sample_fraction` of the plan's terminal rate,
+/// released under a `1/rounds` share of the plan's budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanSnapshot {
+    /// 1-based round index.
+    pub round: u64,
+    /// Total rounds of the plan.
+    pub rounds: u64,
+    /// `round / rounds` — the fraction of the terminal sampling rate this
+    /// snapshot sampled at.
+    pub sample_fraction: f64,
+    /// The DP-released snapshot value.
+    pub value: f64,
+    /// 95% sampling confidence half-width, when estimable.
+    pub ci_halfwidth: Option<f64>,
+    /// Clusters scanned for this snapshot (public work proxy).
+    pub clusters_scanned: u64,
+}
+
 /// The shape-specific part of a [`PlanAnswer`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanResult {
@@ -89,6 +114,12 @@ pub enum PlanResult {
         value: f64,
         /// 95% sampling confidence half-width, when estimable.
         ci_halfwidth: Option<f64>,
+    },
+    /// An online-aggregation release: every progressive snapshot, in round
+    /// order (the last one is the plan's terminal answer).
+    Snapshots {
+        /// The released snapshots, ascending by round.
+        snapshots: Vec<PlanSnapshot>,
     },
     /// A GROUP-BY release: surviving groups ascending by key.
     Groups {
@@ -124,8 +155,17 @@ impl PlanAnswer {
     pub fn value(&self) -> Option<f64> {
         match &self.result {
             PlanResult::Value { value, .. } => Some(*value),
+            PlanResult::Snapshots { snapshots } => snapshots.last().map(|s| s.value),
             PlanResult::Extreme { value } => Some(*value as f64),
             PlanResult::Groups { .. } => None,
+        }
+    }
+
+    /// The progressive snapshots, when the plan ran online aggregation.
+    pub fn snapshots(&self) -> Option<&[PlanSnapshot]> {
+        match &self.result {
+            PlanResult::Snapshots { snapshots } => Some(snapshots),
+            _ => None,
         }
     }
 
@@ -149,6 +189,9 @@ pub struct SubOutcome {
     pub ci_halfwidth: Option<f64>,
     /// Per-phase latency of this sub-query.
     pub timings: PhaseTimings,
+    /// Total clusters scanned across providers (public work proxy; what
+    /// online snapshots report as their progress measure).
+    pub clusters_scanned: u64,
 }
 
 /// What one resolved extreme selection hands back to the plan compiler.
@@ -280,6 +323,7 @@ impl PlanBackend for EngineHandle {
             value: answer.value,
             ci_halfwidth: answer.ci_halfwidth,
             timings: answer.timings,
+            clusters_scanned: answer.clusters_scanned as u64,
         })
     }
 
@@ -388,6 +432,11 @@ enum PendingKind<B: PlanBackend> {
         cells: Vec<CellPending<B>>,
         threshold: f64,
     },
+    /// The in-flight rounds of an online plan, ascending by round (every
+    /// round is already submitted and pipelining on the pool).
+    Online {
+        subs: Vec<B::Sub>,
+    },
     Extreme(B::Ext),
 }
 
@@ -395,9 +444,52 @@ impl<B: PlanBackend> PendingPlan<B> {
     /// Blocks until every sub-query resolved, then assembles the plan's
     /// uniform answer.
     pub fn wait(self) -> Result<PlanAnswer> {
+        self.wait_streaming(|_| {})
+    }
+
+    /// [`PendingPlan::wait`], invoking `on_snapshot` with each progressive
+    /// release of an online plan *as it resolves* — the hook the server's
+    /// push loop hangs its per-snapshot frames on. Non-online plans never
+    /// call the hook. The returned answer is identical to [`wait`]'s
+    /// (the snapshots handed to the hook, in order, are exactly
+    /// [`PlanResult::Snapshots`]).
+    ///
+    /// [`wait`]: PendingPlan::wait
+    pub fn wait_streaming(self, mut on_snapshot: impl FnMut(&PlanSnapshot)) -> Result<PlanAnswer> {
         let cost = self.cost;
         let backend = &self.backend;
         match self.kind {
+            PendingKind::Online { subs } => {
+                let rounds = subs.len() as u64;
+                let mut snapshots = Vec::with_capacity(subs.len());
+                let mut timings = PhaseTimings {
+                    summary: Duration::ZERO,
+                    allocation: Duration::ZERO,
+                    execution: Duration::ZERO,
+                    release: Duration::ZERO,
+                    network: Duration::ZERO,
+                };
+                for (i, sub) in subs.into_iter().enumerate() {
+                    let round = i as u64 + 1;
+                    let outcome = backend.wait_sub(sub)?;
+                    merge_timings(&mut timings, &outcome.timings);
+                    let snapshot = PlanSnapshot {
+                        round,
+                        rounds,
+                        sample_fraction: round as f64 / rounds as f64,
+                        value: outcome.value,
+                        ci_halfwidth: outcome.ci_halfwidth,
+                        clusters_scanned: outcome.clusters_scanned,
+                    };
+                    on_snapshot(&snapshot);
+                    snapshots.push(snapshot);
+                }
+                Ok(PlanAnswer {
+                    result: PlanResult::Snapshots { snapshots },
+                    cost,
+                    timings,
+                })
+            }
             PendingKind::Cell(cell) => {
                 let (value, ci_halfwidth, timings) = cell.wait(backend)?;
                 Ok(PlanAnswer {
@@ -460,6 +552,35 @@ impl<B: PlanBackend> PendingPlan<B> {
             }
         }
     }
+}
+
+/// Fan-out cap on online rounds: a wire client chooses `rounds`, and each
+/// round is a full sub-query, so an uncapped plan would be a resource
+/// grief even when the budget ledger is unlimited (mirrors the
+/// group-domain cap).
+const MAX_ONLINE_ROUNDS: usize = 1024;
+
+/// The per-round budget of an online plan: the plan's `(ε, δ)` split
+/// evenly over its rounds (sequential composition — progressive samples
+/// of the same data are *not* disjoint), then phase-split.
+fn online_budget(
+    hyperparams: HyperParams,
+    epsilon: f64,
+    delta: f64,
+    rounds: usize,
+) -> Result<QueryBudget> {
+    let k = rounds as f64;
+    Ok(QueryBudget::split(epsilon / k, delta / k, hyperparams)?)
+}
+
+/// The sampling rate of round `round` (1-based) of `rounds`: the terminal
+/// rate scaled by `round/rounds`, clamped into the engine's valid open
+/// interval. Every layer — serial wrapper, engine compilation, wire
+/// server — derives round rates from this one function, which is what
+/// keeps the paths byte-identical.
+fn online_round_rate(sampling_rate: f64, round: usize, rounds: usize) -> f64 {
+    let fraction = round as f64 / rounds as f64;
+    (sampling_rate * fraction).clamp(f64::MIN_POSITIVE, 0.999)
 }
 
 /// The sub-query budget of one derived cell: the cell's `(ε, δ)` split
@@ -564,6 +685,27 @@ pub(crate) fn validate_plan_with<B: PlanBackend>(backend: &B, plan: &QueryPlan) 
                 None => QueryBudget::split(epsilon / k, delta / k, hyperparams)?,
             };
             backend.validate_sub(base, *sampling_rate, &budget)
+        }
+        QueryPlan::Online {
+            query,
+            sampling_rate,
+            epsilon,
+            delta,
+            rounds,
+        } => {
+            if *rounds == 0 {
+                return Err(CoreError::BadConfig("online aggregation needs >= 1 round"));
+            }
+            if *rounds > MAX_ONLINE_ROUNDS {
+                return Err(CoreError::BadConfig(
+                    "online aggregation is capped at 1024 rounds",
+                ));
+            }
+            if !(epsilon.is_finite() && *epsilon > 0.0) {
+                return Err(CoreError::BadConfig("online epsilon must be positive"));
+            }
+            let budget = online_budget(hyperparams, *epsilon, *delta, *rounds)?;
+            backend.validate_sub(query, *sampling_rate, &budget)
         }
         QueryPlan::Extreme { dim, epsilon, .. } => backend.validate_ext(*dim, *epsilon),
     }
@@ -713,6 +855,33 @@ pub(crate) fn submit_plan_with<B: PlanBackend>(
                 threshold: *threshold,
             }
         }
+        QueryPlan::Online {
+            query,
+            sampling_rate,
+            epsilon,
+            delta,
+            rounds,
+        } => {
+            let budget = online_budget(hyperparams, *epsilon, *delta, *rounds)?;
+            // Every round is submitted before anything is awaited, so the
+            // progressive samples pipeline across the provider pool. Each
+            // round's distinct sampling rate gives it a distinct content
+            // hash (an independent noise lane); rounds whose clamped rates
+            // collide are disambiguated by the backend's occurrence
+            // counter — exactly the scalar-query derivation, so the final
+            // round is byte-identical to a standalone `Scalar` plan under
+            // the same per-round budget.
+            let subs = (1..=*rounds)
+                .map(|r| {
+                    backend.submit_sub(
+                        query,
+                        online_round_rate(*sampling_rate, r, *rounds),
+                        &budget,
+                    )
+                })
+                .collect::<Result<Vec<_>>>()?;
+            PendingKind::Online { subs }
+        }
         QueryPlan::Extreme {
             dim,
             extreme,
@@ -816,6 +985,12 @@ pub(crate) fn explain_plan_with<B: PlanBackend>(
             }
             ("group-by", subs)
         }
+        QueryPlan::Online { query, rounds, .. } => (
+            "online",
+            (1..=*rounds)
+                .map(|r| sub(format!("round {r}/{rounds}"), query, None, r as u64 - 1))
+                .collect(),
+        ),
         // Extremes are answered from metadata by *every* provider's
         // Exponential-mechanism selection — pruning a provider would
         // change the released value, so the optimizer never does.

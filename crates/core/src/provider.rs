@@ -236,6 +236,32 @@ impl DataProvider {
         meta_space_report(&self.meta)
     }
 
+    /// Streaming ingest: appends `row` to the live store and maintains the
+    /// Algorithm 1 metadata incrementally (tail counters bumped in place; a
+    /// freshly opened cluster gets empty per-dimension metadata first). On
+    /// uncoarsened metadata this is exactly equivalent to a from-scratch
+    /// rebuild; on bucketed metadata the min/max stay exact while interior
+    /// tails drift, which is why [`crate::stream::LiveFederation`] bounds
+    /// staleness with a full-recompute policy.
+    pub(crate) fn append_row(&mut self, row: Row) -> Result<()> {
+        let arity = self.store.schema().arity();
+        let outcome = self.store.append_row(row.clone())?;
+        self.meta
+            .append_row(outcome.cluster, outcome.new_cluster, &row, arity);
+        Ok(())
+    }
+
+    /// Full Algorithm 1 metadata recompute (plus the configured coarsening),
+    /// exactly as [`DataProvider::build`] does — the staleness-triggered
+    /// refresh path of [`crate::stream::LiveFederation`].
+    pub(crate) fn rebuild_meta(&mut self, config: &FederationConfig) {
+        let full = ProviderMeta::build(&self.store, config.agreed_s);
+        self.meta = match config.metadata_buckets {
+            Some(buckets) => full.coarsened(buckets),
+            None => full,
+        };
+    }
+
     /// Temporarily moves the provider's own RNG out so `&self` methods can
     /// draw from it (the `_with_rng` variants take the RNG by parameter).
     fn take_rng(&mut self) -> StdRng {

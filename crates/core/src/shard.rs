@@ -661,6 +661,7 @@ impl ShardedFederation {
         let network =
             cm.round_time(query_bytes) + cm.round_time(16) + cm.round_time(8) + cm.round_time(16);
         obs::observe_duration(obs::names::SHARD_GATHER, gather_start.elapsed());
+        let clusters_scanned: usize = outcomes.iter().map(|o| o.clusters_scanned).sum();
         Ok(SubResolved {
             outcome: SubOutcome {
                 value,
@@ -672,8 +673,9 @@ impl ShardedFederation {
                     release,
                     network,
                 },
+                clusters_scanned: clusters_scanned as u64,
             },
-            clusters_scanned: outcomes.iter().map(|o| o.clusters_scanned).sum(),
+            clusters_scanned,
             covering_total: outcomes.iter().map(|o| o.n_covering).sum(),
             approximated_providers: outcomes.iter().filter(|o| o.approximated).count(),
             allocations,

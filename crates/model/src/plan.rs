@@ -165,6 +165,23 @@ pub enum QueryPlan {
         /// Total δ spent by the plan (split across groups).
         delta: f64,
     },
+    /// Hellerstein-style online aggregation: `rounds` progressively larger
+    /// samples of the same range-aggregate, each released under a
+    /// `1/rounds` share of the plan's budget by sequential composition.
+    /// Round `r` samples at `sampling_rate · r/rounds`, so the final
+    /// snapshot is the plan's own `Scalar` answer at full rate.
+    Online {
+        /// The range query every snapshot refines.
+        query: RangeQuery,
+        /// Terminal sampling rate `sr ∈ (0, 1)` reached at the last round.
+        sampling_rate: f64,
+        /// Total ε spent by the plan (split across rounds).
+        epsilon: f64,
+        /// Total δ spent by the plan (split across rounds).
+        delta: f64,
+        /// Number of progressive snapshots (≥ 1).
+        rounds: usize,
+    },
     /// A private MIN/MAX of dimension `dim` via Exponential-mechanism
     /// selection over the domain (metadata only — no sampling, no δ).
     Extreme {
@@ -184,7 +201,8 @@ impl QueryPlan {
         match self {
             QueryPlan::Scalar { epsilon, delta, .. }
             | QueryPlan::Derived { epsilon, delta, .. }
-            | QueryPlan::GroupBy { epsilon, delta, .. } => (*epsilon, *delta),
+            | QueryPlan::GroupBy { epsilon, delta, .. }
+            | QueryPlan::Online { epsilon, delta, .. } => (*epsilon, *delta),
             QueryPlan::Extreme { epsilon, .. } => (*epsilon, 0.0),
         }
     }
@@ -195,7 +213,8 @@ impl QueryPlan {
         match self {
             QueryPlan::Scalar { sampling_rate, .. }
             | QueryPlan::Derived { sampling_rate, .. }
-            | QueryPlan::GroupBy { sampling_rate, .. } => Some(*sampling_rate),
+            | QueryPlan::GroupBy { sampling_rate, .. }
+            | QueryPlan::Online { sampling_rate, .. } => Some(*sampling_rate),
             QueryPlan::Extreme { .. } => None,
         }
     }
@@ -215,6 +234,7 @@ impl QueryPlan {
                 let k = schema.dimension(*group_dim)?.domain().size();
                 k * statistic.map_or(1, |s| s.sub_queries() as u64)
             }
+            QueryPlan::Online { rounds, .. } => *rounds as u64,
             QueryPlan::Extreme { .. } => 0,
         })
     }
@@ -222,9 +242,9 @@ impl QueryPlan {
     /// Checks every dimension the plan references against `schema`.
     pub fn check_schema(&self, schema: &Schema) -> Result<(), ModelError> {
         match self {
-            QueryPlan::Scalar { query, .. } | QueryPlan::Derived { query, .. } => {
-                query.check_schema(schema)
-            }
+            QueryPlan::Scalar { query, .. }
+            | QueryPlan::Derived { query, .. }
+            | QueryPlan::Online { query, .. } => query.check_schema(schema),
             QueryPlan::GroupBy {
                 base, group_dim, ..
             } => {
@@ -305,6 +325,30 @@ mod tests {
             delta: 1e-3,
         };
         assert_eq!(derived.sub_query_count(&s).unwrap(), 3);
+    }
+
+    #[test]
+    fn online_plans_charge_whole_budget_and_count_rounds() {
+        let online = QueryPlan::Online {
+            query: base(),
+            sampling_rate: 0.4,
+            epsilon: 2.0,
+            delta: 1e-3,
+            rounds: 5,
+        };
+        // One (ε, δ) for the whole stream — never charged per snapshot.
+        assert_eq!(online.total_cost(), (2.0, 1e-3));
+        assert_eq!(online.sampling_rate(), Some(0.4));
+        assert_eq!(online.sub_query_count(&schema()).unwrap(), 5);
+        online.check_schema(&schema()).unwrap();
+        let bad = QueryPlan::Online {
+            query: RangeQuery::new(Aggregate::Count, vec![Range::new(7, 0, 1).unwrap()]).unwrap(),
+            sampling_rate: 0.4,
+            epsilon: 2.0,
+            delta: 1e-3,
+            rounds: 5,
+        };
+        assert!(bad.check_schema(&schema()).is_err());
     }
 
     #[test]

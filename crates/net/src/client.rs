@@ -16,15 +16,15 @@ use std::time::Duration;
 
 use fedaqp_core::{
     EstimatorCalibration, PhaseTimings, PlanAnswer, PlanExplanation, PlanGroup, PlanResult,
-    QueryBatch, QueryPlan,
+    PlanSnapshot, QueryBatch, QueryPlan,
 };
 use fedaqp_dp::PrivacyCost;
-use fedaqp_model::{Dimension, Domain, RangeQuery, Schema};
+use fedaqp_model::{Dimension, Domain, RangeQuery, Row, Schema};
 
 use crate::wire::{
     calibration_from_code, read_frame, write_frame_at, Answer, BatchRequest, BudgetStatus,
-    ErrorCode, ExplainRequest, Frame, Hello, PlanAnswerFrame, PlanRequest, QueryRequest,
-    WireMetric, WirePlanResult, VERSION,
+    ErrorCode, ExplainRequest, Frame, Hello, IngestAckFrame, IngestRequest, OnlinePlanRequest,
+    PlanAnswerFrame, PlanRequest, QueryRequest, WireMetric, WirePlanResult, WireRow, VERSION,
 };
 use crate::{NetError, Result};
 
@@ -418,6 +418,131 @@ impl RemoteFederation {
                 message: e.message,
             }),
             _ => Err(NetError::Malformed("expected MetricsAnswer")),
+        }
+    }
+
+    /// Runs one online-aggregation plan, invoking `on_snapshot` with every
+    /// server-pushed progressive release *as it arrives* — the remote
+    /// mirror of `PendingPlan::wait_streaming` over an engine. The server
+    /// validates and atomically charges the plan's whole `(ε, δ)` before
+    /// the first round dispatches, then pushes one snapshot frame per
+    /// round and closes the conversation with an `OnlineDone`.
+    ///
+    /// The returned [`PlanAnswer`] carries [`PlanResult::Snapshots`] —
+    /// the snapshots handed to the hook, in round order — so on a frozen
+    /// federation it compares byte-identical against the same plan run
+    /// through a local engine.
+    ///
+    /// Needs a v6 connection; against an older server this fails with
+    /// [`NetError::UnsupportedVersion`] carrying both versions.
+    pub fn run_online_plan(
+        &mut self,
+        query: &RangeQuery,
+        sampling_rate: f64,
+        epsilon: f64,
+        delta: f64,
+        rounds: u32,
+        mut on_snapshot: impl FnMut(&PlanSnapshot),
+    ) -> Result<PlanAnswer> {
+        if self.version < 6 {
+            return Err(NetError::UnsupportedVersion {
+                requested: 6,
+                supported: self.version,
+            });
+        }
+        self.drain_outstanding()?;
+        write_frame_at(
+            &mut self.stream,
+            &Frame::OnlinePlan(OnlinePlanRequest {
+                query: query.clone(),
+                sampling_rate,
+                epsilon,
+                delta,
+                rounds,
+            }),
+            self.version,
+        )?;
+        let mut snapshots = Vec::new();
+        loop {
+            match read_frame(&mut self.stream)? {
+                Frame::OnlineSnapshot(frame) => {
+                    let snapshot = PlanSnapshot {
+                        round: frame.round as u64,
+                        rounds: frame.rounds as u64,
+                        sample_fraction: frame.sample_fraction,
+                        value: frame.value,
+                        ci_halfwidth: frame.ci_halfwidth,
+                        clusters_scanned: frame.clusters_scanned,
+                    };
+                    on_snapshot(&snapshot);
+                    snapshots.push(snapshot);
+                }
+                Frame::OnlineDone(done) => {
+                    return Ok(PlanAnswer {
+                        result: PlanResult::Snapshots { snapshots },
+                        cost: PrivacyCost {
+                            eps: done.eps,
+                            delta: done.delta,
+                        },
+                        timings: PhaseTimings {
+                            summary: Duration::from_micros(done.summary_us),
+                            allocation: Duration::from_micros(done.allocation_us),
+                            execution: Duration::from_micros(done.execution_us),
+                            release: Duration::from_micros(done.release_us),
+                            network: Duration::from_micros(done.network_us),
+                        },
+                    });
+                }
+                // A typed error closes the conversation — mid-stream it
+                // means an engine failure after the (kept, fail-closed)
+                // charge; before any snapshot it is an ordinary rejection.
+                Frame::Error(e) => {
+                    return Err(NetError::Remote {
+                        code: e.code,
+                        message: e.message,
+                    })
+                }
+                _ => return Err(NetError::Malformed("expected OnlineSnapshot or OnlineDone")),
+            }
+        }
+    }
+
+    /// Feeds a batch of rows to a live server's provider `provider` —
+    /// accepted atomically (all rows or none), acknowledged with the
+    /// federation's new epoch and whether the batch triggered a full
+    /// metadata recompute. Non-live servers refuse with a typed error.
+    ///
+    /// Needs a v6 connection; against an older server this fails with
+    /// [`NetError::UnsupportedVersion`] carrying both versions.
+    pub fn ingest(&mut self, provider: u32, rows: &[Row]) -> Result<IngestAckFrame> {
+        if self.version < 6 {
+            return Err(NetError::UnsupportedVersion {
+                requested: 6,
+                supported: self.version,
+            });
+        }
+        self.drain_outstanding()?;
+        write_frame_at(
+            &mut self.stream,
+            &Frame::Ingest(IngestRequest {
+                provider,
+                rows: rows
+                    .iter()
+                    .map(|r| WireRow {
+                        values: r.values().to_vec(),
+                        measure: r.measure(),
+                    })
+                    .collect(),
+            }),
+            self.version,
+        )?;
+        match read_frame(&mut self.stream)? {
+            Frame::IngestAck(ack) => Ok(ack),
+            Frame::Error(e) => Err(NetError::Remote {
+                code: e.code,
+                message: e.message,
+            }),
+            _ => Err(NetError::Malformed("expected IngestAck")),
         }
     }
 

@@ -9,7 +9,7 @@
 //! `shard`), the e2e socket tests, and the README walkthrough all spawn
 //! their servers through it instead of hand-rolling bind/teardown.
 
-use fedaqp_core::{EngineHandle, ShardedFederation};
+use fedaqp_core::{EngineHandle, LiveFederation, ShardedFederation};
 
 use crate::server::{FederationServer, ServeOptions};
 use crate::Result;
@@ -34,6 +34,12 @@ impl LoopbackServer {
             federation,
             options,
         )?)
+    }
+
+    /// Serves analysts (and the v6 streaming-ingest path) from a live
+    /// federation.
+    pub fn live(live: LiveFederation, options: ServeOptions) -> Result<Self> {
+        Self::guard(FederationServer::bind_live("127.0.0.1:0", live, options)?)
     }
 
     /// Serves fragment frames to an upstream coordinator (shard mode).

@@ -1,4 +1,4 @@
-//! The TCP federation server: the engine's network face, in one of three
+//! The TCP federation server: the engine's network face, in one of four
 //! roles.
 //!
 //! **Analyst server over an engine** ([`FederationServer::bind`]) wraps
@@ -16,6 +16,18 @@
 //! downstream shard servers. Analysts cannot tell the difference — same
 //! frames, same typed errors, and (by the coordinator's determinism
 //! contract) byte-identical answers to the 1-shard deployment.
+//!
+//! **Live server** ([`FederationServer::bind_live`]) serves the same
+//! analyst protocol from a [`LiveFederation`] behind one reader–writer
+//! lock, plus the wire-v6 live surface: `Ingest` frames append rows to a
+//! provider under the write lock (answered with an `IngestAck` carrying
+//! the accepted count, the new epoch, and whether the staleness policy
+//! triggered a metadata refresh), and `OnlinePlan` frames stream each
+//! round's [`PlanSnapshot`] back as a server-push `OnlineSnapshot` frame
+//! the moment it resolves, closed by `OnlineDone`. Queries hold the read
+//! lock for their whole lifetime, so every answer conditions on exactly
+//! one epoch. The frozen modes refuse `Ingest` with a typed error, and
+//! pre-v6 clients get a typed bad-request before any charge.
 //!
 //! **Shard server** ([`FederationServer::bind_shard`]) serves only the
 //! v4 fragment frames to an upstream coordinator, one fragment lifecycle
@@ -43,24 +55,26 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 
 use fedaqp_core::{
-    ConcurrentSession, CoreError, EngineAnswer, EngineHandle, FederationConfig, PendingAnswer,
-    PendingFragment, PendingPlan, PlanAnswer, PlanExplanation, PlanResult, QueryPlan, SessionPlan,
-    ShardedAnswer, ShardedFederation, ShardedPendingAnswer, ShardedSession,
+    ConcurrentSession, CoreError, EngineAnswer, EngineHandle, FederationConfig, LiveFederation,
+    PendingAnswer, PendingFragment, PendingPlan, PlanAnswer, PlanExplanation, PlanResult,
+    PlanSnapshot, QueryPlan, SessionPlan, ShardedAnswer, ShardedFederation, ShardedPendingAnswer,
+    ShardedSession,
 };
-use fedaqp_dp::{BudgetDirectory, DpError, QueryBudget};
-use fedaqp_model::Schema;
+use fedaqp_dp::{BudgetDirectory, DpError, PrivacyCost, QueryBudget, SharedAccountant};
+use fedaqp_model::{Row, Schema};
 use fedaqp_obs as obs;
 
 use crate::wire::{
     calibration_code, read_frame_versioned, write_frame_at, Answer, BudgetStatus, ErrorCode,
     ErrorFrame, ExplainAnswerFrame, ExtremePartialFrame, FragmentPartialFrame,
-    FragmentSummariesFrame, Frame, HelloAck, MetricsAnswerFrame, PlanAnswerFrame, QueryRequest,
-    ShardBoundsFrame, WireDimension, WireGroup, WireMetric, WirePartialRow, WirePlanResult,
-    WireProviderBounds, WireSummary, VERSION,
+    FragmentSummariesFrame, Frame, HelloAck, IngestAckFrame, MetricsAnswerFrame, OnlineDoneFrame,
+    OnlinePlanRequest, OnlineSnapshotFrame, PlanAnswerFrame, QueryRequest, ShardBoundsFrame,
+    WireDimension, WireGroup, WireMetric, WirePartialRow, WirePlanResult, WireProviderBounds,
+    WireSummary, VERSION,
 };
 use crate::{NetError, Result};
 
@@ -157,6 +171,18 @@ impl PendingPlanEither {
             PendingPlanEither::Sharded(p) => p.wait(),
         }
     }
+
+    /// [`Self::wait`] with the per-snapshot hook of an online plan — the
+    /// server's push loop writes one frame per invocation.
+    fn wait_streaming(
+        self,
+        on_snapshot: impl FnMut(&PlanSnapshot),
+    ) -> fedaqp_core::Result<PlanAnswer> {
+        match self {
+            PendingPlanEither::Engine(p) => p.wait_streaming(on_snapshot),
+            PendingPlanEither::Sharded(p) => p.wait_streaming(on_snapshot),
+        }
+    }
 }
 
 /// What a bound server serves: analysts (over either backend) or an
@@ -165,6 +191,16 @@ impl PendingPlanEither {
 enum ServerMode {
     Analyst {
         backend: AnalystBackend,
+        directory: Option<Arc<BudgetDirectory>>,
+    },
+    /// Live federation: the analyst protocol plus the v6 streaming-ingest
+    /// path, over a [`LiveFederation`] behind a reader–writer lock.
+    /// Queries hold the read side for their whole lifetime — pinning one
+    /// epoch, data version, and seed — while an accepted `Ingest` batch
+    /// takes the write side between queries, so no query ever observes a
+    /// half-applied batch.
+    Live {
+        live: Arc<RwLock<LiveFederation>>,
         directory: Option<Arc<BudgetDirectory>>,
     },
     Shard(EngineHandle),
@@ -200,6 +236,30 @@ impl FederationServer {
         options: ServeOptions,
     ) -> Result<Self> {
         Self::bind_analyst(addr, AnalystBackend::Coordinator(federation), options)
+    }
+
+    /// Binds `addr` in live mode: the analyst protocol of [`Self::bind`]
+    /// plus the v6 streaming-ingest path. Each query runs on a scoped
+    /// engine under the lock's read side (one consistent epoch per query);
+    /// an accepted [`Frame::Ingest`] batch takes the write side, appends
+    /// rows with incremental metadata maintenance, and re-salts the noise
+    /// seed (see [`LiveFederation`]). Non-live servers refuse `Ingest`
+    /// frames with a typed error.
+    pub fn bind_live(addr: &str, live: LiveFederation, options: ServeOptions) -> Result<Self> {
+        let directory = match options.per_analyst {
+            Some((xi, psi)) => Some(Arc::new(
+                BudgetDirectory::new(xi, psi)
+                    .map_err(|e| NetError::BadServeConfig(e.to_string()))?,
+            )),
+            None => None,
+        };
+        Self::bind_mode(
+            addr,
+            ServerMode::Live {
+                live: Arc::new(RwLock::new(live)),
+                directory,
+            },
+        )
     }
 
     /// Binds `addr` in shard mode: the server answers only v4 fragment
@@ -276,6 +336,9 @@ fn accept_loop(listener: TcpListener, mode: ServerMode, stop: Arc<AtomicBool>) {
             let _ = match mode {
                 ServerMode::Analyst { backend, directory } => {
                     serve_connection(stream, backend, directory)
+                }
+                ServerMode::Live { live, directory } => {
+                    serve_live_connection(stream, live, directory)
                 }
                 ServerMode::Shard(handle) => serve_shard_connection(stream, handle),
             };
@@ -372,7 +435,7 @@ fn serve_connection(
     };
     write_frame_at(
         &mut stream,
-        &Frame::HelloAck(hello_ack(&backend, &directory)),
+        &Frame::HelloAck(hello_ack(backend.config(), backend.schema(), &directory)),
         version,
     )?;
 
@@ -487,7 +550,10 @@ fn serve_connection(
                 count_frame("budget");
                 write_frame_at(
                     &mut stream,
-                    &Frame::BudgetStatus(budget_status(session.as_ref(), answered)),
+                    &Frame::BudgetStatus(budget_status(
+                        session_charges(session.as_ref()),
+                        answered,
+                    )),
                     version,
                 )?;
             }
@@ -512,6 +578,52 @@ fn serve_connection(
                 // the registry passed the `ObsValue` provenance boundary
                 // (durations, counts, public metadata, released spend).
                 write_frame_at(&mut stream, &metrics_answer_frame(), version)?;
+            }
+            Ok(Frame::OnlinePlan(request)) => {
+                count_frame("online");
+                // Same guard as plans/explains/metrics: every push frame
+                // of the online conversation exists only from v6, so the
+                // typed rejection lands BEFORE any budget is charged.
+                if version < 6 {
+                    write_frame_at(
+                        &mut stream,
+                        &error_reply(
+                            0,
+                            ErrorCode::BadRequest,
+                            "online-plan frames need a v6-negotiated connection (reconnect with a v6 Hello)",
+                        ),
+                        version,
+                    )?;
+                    continue;
+                }
+                // The whole plan's (ε, δ) is validated and charged
+                // atomically before the first round dispatches
+                // (fail-closed); snapshots then push as rounds resolve.
+                match submit_plan(&backend, session.as_ref(), &online_plan(&request)) {
+                    Ok(pending) => {
+                        if stream_online_answer(&mut stream, version, pending)? {
+                            answered += 1;
+                            obs::counter_add(obs::names::SERVER_QUERIES, 1);
+                        }
+                    }
+                    Err(e) => write_frame_at(&mut stream, &core_error_reply(0, &e), version)?,
+                }
+                record_xi_spent(&hello.analyst, session.as_ref());
+            }
+            Ok(Frame::Ingest(_)) => {
+                count_frame("ingest");
+                // This server's federation is frozen — its metadata,
+                // epochs, and seed never move. Accepting rows here would
+                // silently drop them from every answer; refuse typed.
+                write_frame_at(
+                    &mut stream,
+                    &error_reply(
+                        0,
+                        ErrorCode::BadRequest,
+                        "ingest frames are served only by a live-mode server",
+                    ),
+                    version,
+                )?;
             }
             Ok(
                 Frame::Fragment(_)
@@ -616,7 +728,7 @@ fn serve_shard_connection(mut stream: TcpStream, handle: EngineHandle) -> Result
     }
     write_frame_at(
         &mut stream,
-        &Frame::HelloAck(hello_ack(&AnalystBackend::Engine(handle.clone()), &None)),
+        &Frame::HelloAck(hello_ack(handle.config(), handle.schema(), &None)),
         version,
     )?;
 
@@ -765,11 +877,466 @@ fn no_fragment_reply() -> Frame {
     )
 }
 
-fn hello_ack(backend: &AnalystBackend, directory: &Option<Arc<BudgetDirectory>>) -> HelloAck {
-    let config = backend.config();
+/// The [`QueryPlan`] an [`OnlinePlanRequest`] compiles to — the same
+/// variant the in-process `run_online` wrapper builds, which is what keeps
+/// remote snapshots byte-identical to serial ones on a frozen federation.
+fn online_plan(request: &OnlinePlanRequest) -> QueryPlan {
+    QueryPlan::Online {
+        query: request.query.clone(),
+        sampling_rate: request.sampling_rate,
+        epsilon: request.epsilon,
+        delta: request.delta,
+        rounds: request.rounds as usize,
+    }
+}
+
+/// Drives an in-flight online plan to completion, pushing one
+/// [`Frame::OnlineSnapshot`] per resolved round and closing the
+/// conversation with a [`Frame::OnlineDone`] (success, returns `true`) or
+/// a typed error frame (an engine failure mid-stream, returns `false` —
+/// the budget stays spent either way, fail-closed). Transport failures
+/// propagate as [`NetError`] and tear the connection down.
+fn stream_online_answer(
+    stream: &mut TcpStream,
+    version: u16,
+    pending: PendingPlanEither,
+) -> Result<bool> {
+    let mut write_err: Option<NetError> = None;
+    let outcome = pending.wait_streaming(|snapshot| {
+        if write_err.is_some() {
+            return;
+        }
+        let frame = Frame::OnlineSnapshot(OnlineSnapshotFrame {
+            index: 0,
+            round: snapshot.round as u32,
+            rounds: snapshot.rounds as u32,
+            sample_fraction: snapshot.sample_fraction,
+            value: snapshot.value,
+            ci_halfwidth: snapshot.ci_halfwidth,
+            clusters_scanned: snapshot.clusters_scanned,
+        });
+        if let Err(e) = write_frame_at(stream, &frame, version) {
+            write_err = Some(e);
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+    match outcome {
+        Ok(answer) => {
+            write_frame_at(
+                stream,
+                &Frame::OnlineDone(OnlineDoneFrame {
+                    index: 0,
+                    eps: answer.cost.eps,
+                    delta: answer.cost.delta,
+                    value: answer.value().unwrap_or(f64::NAN),
+                    summary_us: answer.timings.summary.as_micros() as u64,
+                    allocation_us: answer.timings.allocation.as_micros() as u64,
+                    execution_us: answer.timings.execution.as_micros() as u64,
+                    release_us: answer.timings.release.as_micros() as u64,
+                    network_us: answer.timings.network.as_micros() as u64,
+                }),
+                version,
+            )?;
+            Ok(true)
+        }
+        Err(e) => {
+            write_frame_at(stream, &core_error_reply(0, &e), version)?;
+            Ok(false)
+        }
+    }
+}
+
+/// Read access to the live federation. Lock poisoning is survivable here:
+/// the lock guards no invariant a panicked query could have broken (a
+/// query only *reads*; ingest applies its batch atomically before any
+/// unlock), so a poisoned lock is served rather than cascading the panic
+/// across every connection thread.
+fn read_live(live: &RwLock<LiveFederation>) -> RwLockReadGuard<'_, LiveFederation> {
+    live.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write access to the live federation (see [`read_live`] on poisoning).
+fn write_live(live: &RwLock<LiveFederation>) -> RwLockWriteGuard<'_, LiveFederation> {
+    live.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Submits one scalar query on a live connection's scoped engine. With a
+/// budget ledger, a transient [`ConcurrentSession`] over the analyst's
+/// durable [`SharedAccountant`] enforces exactly the charge-then-submit
+/// discipline of the frozen path — the session object is per-request, the
+/// ledger it charges is not.
+fn live_submit(
+    engine: &EngineHandle,
+    accountant: Option<&SharedAccountant>,
+    spec: &QueryRequest,
+) -> fedaqp_core::Result<PendingAnswer> {
+    match accountant {
+        Some(acc) => ConcurrentSession::open_with_accountant(
+            engine.clone(),
+            acc.clone(),
+            SessionPlan::PayAsYouGo,
+        )?
+        .submit(&spec.query, spec.sampling_rate),
+        None => engine.submit(&spec.query, spec.sampling_rate),
+    }
+}
+
+/// Submits one plan on a live connection's scoped engine (see
+/// [`live_submit`] on the transient-session pattern): validate, charge the
+/// whole declared cost atomically, then dispatch.
+fn live_submit_plan(
+    engine: &EngineHandle,
+    accountant: Option<&SharedAccountant>,
+    plan: &QueryPlan,
+) -> fedaqp_core::Result<PendingPlan> {
+    match accountant {
+        Some(acc) => ConcurrentSession::open_with_accountant(
+            engine.clone(),
+            acc.clone(),
+            SessionPlan::PayAsYouGo,
+        )?
+        .submit_plan(plan),
+        None => engine.submit_plan(plan),
+    }
+}
+
+/// [`record_xi_spent`] for live connections, whose ledger is the analyst's
+/// [`SharedAccountant`] directly (sessions there are per-request).
+fn record_xi_ledger(analyst: &str, accountant: Option<&SharedAccountant>) {
+    if !obs::enabled() {
+        return;
+    }
+    let Some(acc) = accountant else { return };
+    obs::gauge_set(
+        &format!("{}.{analyst}", obs::names::SERVER_XI_SPENT),
+        obs::ObsValue::from_released(acc.spent().eps),
+    );
+}
+
+/// One analyst connection against a live federation, served to completion.
+///
+/// The analyst protocol is [`serve_connection`]'s, with two differences:
+/// every query runs on a scoped engine under the federation lock's read
+/// side (pinning one epoch — a concurrently accepted ingest batch is
+/// observed by the *next* query, never mid-flight), and the v6
+/// [`Frame::Ingest`] path is served instead of refused. On a federation
+/// that never ingests, answers are byte-identical to [`serve_connection`]
+/// over the same providers and seed — the scoped engine runs the same
+/// worker-pool code.
+fn serve_live_connection(
+    mut stream: TcpStream,
+    live: Arc<RwLock<LiveFederation>>,
+    directory: Option<Arc<BudgetDirectory>>,
+) -> Result<()> {
+    obs::counter_add(obs::names::SERVER_CONNECTIONS, 1);
+    stream.set_nodelay(true).ok();
+
+    // ---- Handshake: exactly one Hello, answered with HelloAck. ----
+    let (hello, version) = match read_frame_versioned(&mut stream) {
+        Ok((Frame::Hello(h), v)) => (h, v.min(VERSION)),
+        Ok(_) => {
+            let _ = write_frame_at(
+                &mut stream,
+                &error_reply(0, ErrorCode::BadRequest, "expected a Hello frame"),
+                VERSION,
+            );
+            return Err(NetError::Handshake("expected Hello"));
+        }
+        Err(NetError::Disconnected) => return Ok(()),
+        Err(e) => {
+            let reply = match &e {
+                NetError::UnsupportedVersion { requested, .. } => {
+                    unsupported_version_reply(*requested)
+                }
+                _ => error_reply(0, ErrorCode::BadRequest, &e.to_string()),
+            };
+            let _ = write_frame_at(&mut stream, &reply, crate::wire::MIN_VERSION);
+            return Err(e);
+        }
+    };
+    // One durable ledger per analyst identity; the per-request sessions
+    // opened over it all charge this same atomic accountant.
+    let accountant = directory.as_ref().map(|dir| dir.accountant(&hello.analyst));
+    {
+        let fed = read_live(&live);
+        write_frame_at(
+            &mut stream,
+            &Frame::HelloAck(hello_ack(
+                fed.federation().config(),
+                fed.federation().schema(),
+                &directory,
+            )),
+            version,
+        )?;
+    }
+
+    // ---- Request loop. ----
+    let mut answered: u64 = 0;
+    loop {
+        match read_frame_versioned(&mut stream).map(|(frame, _)| frame) {
+            Ok(Frame::Query(spec)) => {
+                count_frame("query");
+                let fed = read_live(&live);
+                let reply = match fed.federation().with_engine(|e| {
+                    live_submit(e, accountant.as_ref(), &spec).and_then(|p| p.wait())
+                }) {
+                    Ok(answer) => {
+                        answered += 1;
+                        obs::counter_add(obs::names::SERVER_QUERIES, 1);
+                        answer_frame(0, &answer)
+                    }
+                    Err(e) => core_error_reply(0, &e),
+                };
+                drop(fed);
+                record_xi_ledger(&hello.analyst, accountant.as_ref());
+                write_frame_at(&mut stream, &reply, version)?;
+            }
+            Ok(Frame::Batch(batch)) => {
+                count_frame("batch");
+                // The whole batch runs under one read guard — one epoch,
+                // one seed — and submits everything before waiting on
+                // anything, pipelining across the pool as the frozen
+                // server's batches do.
+                let fed = read_live(&live);
+                let replies: Vec<Frame> = fed.federation().with_engine(|engine| {
+                    let pending: Vec<_> = batch
+                        .specs
+                        .iter()
+                        .map(|spec| live_submit(engine, accountant.as_ref(), spec))
+                        .collect();
+                    pending
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, p)| match p.and_then(|p| p.wait()) {
+                            Ok(answer) => {
+                                answered += 1;
+                                obs::counter_add(obs::names::SERVER_QUERIES, 1);
+                                answer_frame(i as u32, &answer)
+                            }
+                            Err(e) => core_error_reply(i as u32, &e),
+                        })
+                        .collect()
+                });
+                drop(fed);
+                record_xi_ledger(&hello.analyst, accountant.as_ref());
+                for reply in &replies {
+                    write_frame_at(&mut stream, reply, version)?;
+                }
+            }
+            Ok(Frame::Plan(request)) => {
+                count_frame("plan");
+                if version < 2 {
+                    write_frame_at(
+                        &mut stream,
+                        &error_reply(
+                            0,
+                            ErrorCode::BadRequest,
+                            "plan frames need a v2-negotiated connection (reconnect with a v2 Hello)",
+                        ),
+                        version,
+                    )?;
+                    continue;
+                }
+                let fed = read_live(&live);
+                let reply = match fed.federation().with_engine(|e| {
+                    live_submit_plan(e, accountant.as_ref(), &request.plan)
+                        .and_then(PendingPlan::wait)
+                }) {
+                    Ok(answer) => {
+                        answered += 1;
+                        obs::counter_add(obs::names::SERVER_QUERIES, 1);
+                        plan_answer_frame(0, &answer)
+                    }
+                    Err(e) => core_error_reply(0, &e),
+                };
+                drop(fed);
+                record_xi_ledger(&hello.analyst, accountant.as_ref());
+                write_frame_at(&mut stream, &reply, version)?;
+            }
+            Ok(Frame::Explain(request)) => {
+                count_frame("explain");
+                if version < 3 {
+                    write_frame_at(
+                        &mut stream,
+                        &error_reply(
+                            0,
+                            ErrorCode::BadRequest,
+                            "explain frames need a v3-negotiated connection (reconnect with a v3 Hello)",
+                        ),
+                        version,
+                    )?;
+                    continue;
+                }
+                // Free as on the frozen path — but computed against the
+                // *current* epoch's public metadata.
+                let fed = read_live(&live);
+                let reply = match fed
+                    .federation()
+                    .with_engine(|e| e.explain_plan(&request.plan))
+                {
+                    Ok(explanation) => Frame::ExplainAnswer(ExplainAnswerFrame {
+                        index: 0,
+                        explanation,
+                    }),
+                    Err(e) => core_error_reply(0, &e),
+                };
+                drop(fed);
+                write_frame_at(&mut stream, &reply, version)?;
+            }
+            Ok(Frame::BudgetRequest) => {
+                count_frame("budget");
+                let charged = accountant
+                    .as_ref()
+                    .map(|a| (a.total(), a.spent(), a.queries_answered()));
+                write_frame_at(
+                    &mut stream,
+                    &Frame::BudgetStatus(budget_status(charged, answered)),
+                    version,
+                )?;
+            }
+            Ok(Frame::Metrics) => {
+                count_frame("metrics");
+                if version < 5 {
+                    write_frame_at(
+                        &mut stream,
+                        &error_reply(
+                            0,
+                            ErrorCode::BadRequest,
+                            "metrics frames need a v5-negotiated connection (reconnect with a v5 Hello)",
+                        ),
+                        version,
+                    )?;
+                    continue;
+                }
+                write_frame_at(&mut stream, &metrics_answer_frame(), version)?;
+            }
+            Ok(Frame::OnlinePlan(request)) => {
+                count_frame("online");
+                if version < 6 {
+                    write_frame_at(
+                        &mut stream,
+                        &error_reply(
+                            0,
+                            ErrorCode::BadRequest,
+                            "online-plan frames need a v6-negotiated connection (reconnect with a v6 Hello)",
+                        ),
+                        version,
+                    )?;
+                    continue;
+                }
+                // The read guard spans the whole push loop: every snapshot
+                // of one online plan is computed against one epoch. An
+                // ingest racing this plan lands after the OnlineDone.
+                let fed = read_live(&live);
+                let pushed = fed.federation().with_engine(|engine| {
+                    match live_submit_plan(engine, accountant.as_ref(), &online_plan(&request)) {
+                        Ok(pending) => stream_online_answer(
+                            &mut stream,
+                            version,
+                            PendingPlanEither::Engine(pending),
+                        ),
+                        Err(e) => {
+                            write_frame_at(&mut stream, &core_error_reply(0, &e), version)?;
+                            Ok(false)
+                        }
+                    }
+                });
+                drop(fed);
+                record_xi_ledger(&hello.analyst, accountant.as_ref());
+                if pushed? {
+                    answered += 1;
+                    obs::counter_add(obs::names::SERVER_QUERIES, 1);
+                }
+            }
+            Ok(Frame::Ingest(request)) => {
+                count_frame("ingest");
+                if version < 6 {
+                    write_frame_at(
+                        &mut stream,
+                        &error_reply(
+                            0,
+                            ErrorCode::BadRequest,
+                            "ingest frames need a v6-negotiated connection (reconnect with a v6 Hello)",
+                        ),
+                        version,
+                    )?;
+                    continue;
+                }
+                let rows: Vec<Row> = request
+                    .rows
+                    .iter()
+                    .map(|r| Row::cell(r.values.clone(), r.measure))
+                    .collect();
+                // Write side of the lock: waits out in-flight queries,
+                // applies the batch atomically (append + incremental
+                // metadata + epoch bump + seed re-salt), and releases
+                // before the ack is written.
+                let reply = match write_live(&live).ingest(request.provider as usize, rows) {
+                    Ok(report) => Frame::IngestAck(IngestAckFrame {
+                        accepted: report.accepted,
+                        epoch: report.epoch,
+                        refreshed: report.refreshed,
+                    }),
+                    Err(e) => core_error_reply(0, &e),
+                };
+                write_frame_at(&mut stream, &reply, version)?;
+            }
+            Ok(
+                Frame::Fragment(_)
+                | Frame::FragmentSummariesRequest
+                | Frame::FragmentAllocation(_)
+                | Frame::FragmentPartialRequest
+                | Frame::FragmentAbort
+                | Frame::ExtremeFragment(_)
+                | Frame::ShardBoundsRequest,
+            ) => {
+                count_frame("other");
+                // Same refusal (and rationale) as the frozen analyst
+                // server: fragments bypass the budget ledger.
+                write_frame_at(
+                    &mut stream,
+                    &error_reply(
+                        0,
+                        ErrorCode::BadRequest,
+                        "fragment frames are served only by a shard-mode server",
+                    ),
+                    version,
+                )?;
+            }
+            Ok(_) => {
+                count_frame("other");
+                write_frame_at(
+                    &mut stream,
+                    &error_reply(0, ErrorCode::BadRequest, "unexpected frame kind"),
+                    version,
+                )?;
+            }
+            Err(NetError::Disconnected) => return Ok(()),
+            Err(e) => {
+                let reply = match &e {
+                    NetError::UnsupportedVersion { requested, .. } => {
+                        unsupported_version_reply(*requested)
+                    }
+                    _ => error_reply(0, ErrorCode::BadRequest, &e.to_string()),
+                };
+                let _ = write_frame_at(&mut stream, &reply, version);
+                return Err(e);
+            }
+        }
+    }
+}
+
+fn hello_ack(
+    config: &FederationConfig,
+    schema: &Schema,
+    directory: &Option<Arc<BudgetDirectory>>,
+) -> HelloAck {
     HelloAck {
-        dimensions: backend
-            .schema()
+        dimensions: schema
             .dimensions()
             .iter()
             .map(|d| WireDimension {
@@ -903,6 +1470,17 @@ fn plan_answer_frame(index: u32, answer: &PlanAnswer) -> Frame {
             suppressed: *suppressed,
         },
         PlanResult::Extreme { value } => WirePlanResult::Extreme { value: *value },
+        // Online plans answer through the dedicated v6 push conversation
+        // (snapshot frames closed by an `OnlineDone`), never through a
+        // `PlanAnswer` — and the `Plan` frame cannot even carry a
+        // `QueryPlan::Online`, so no wire request reaches this arm.
+        PlanResult::Snapshots { .. } => {
+            return error_reply(
+                index,
+                ErrorCode::Internal,
+                "online plans answer with snapshot frames",
+            )
+        }
     };
     Frame::PlanAnswer(PlanAnswerFrame {
         index,
@@ -993,8 +1571,10 @@ fn core_error_reply(index: u32, error: &CoreError) -> Frame {
     error_reply(index, code, &error.to_string())
 }
 
-fn budget_status(session: Option<&AnalystSession>, answered: u64) -> BudgetStatus {
-    let charged = match session {
+/// The `(total, spent, queries answered)` of a session's ledger, when the
+/// connection has one.
+fn session_charges(session: Option<&AnalystSession>) -> Option<(PrivacyCost, PrivacyCost, u64)> {
+    match session {
         Some(AnalystSession::Engine(s)) => {
             Some((s.accountant().total(), s.spent(), s.queries_answered()))
         }
@@ -1002,7 +1582,10 @@ fn budget_status(session: Option<&AnalystSession>, answered: u64) -> BudgetStatu
             Some((s.accountant().total(), s.spent(), s.queries_answered()))
         }
         None => None,
-    };
+    }
+}
+
+fn budget_status(charged: Option<(PrivacyCost, PrivacyCost, u64)>, answered: u64) -> BudgetStatus {
     match charged {
         Some((total, spent, queries_answered)) => BudgetStatus {
             limited: true,

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic   u32  = 0x4651_4E50  ("FQNP")
-//! version u16  (1, 2, 3, 4 or 5; see below)
+//! version u16  (1, 2, 3, 4, 5 or 6; see below)
 //! kind    u8
 //! len     u32  (payload bytes; hard-capped at MAX_PAYLOAD)
 //! payload [len bytes]
@@ -29,9 +29,13 @@
 //! scatter–gather coordinator speaks to a downstream shard server (see
 //! below); v5 adds the metrics admin frames ([`Frame::Metrics`] /
 //! [`Frame::MetricsAnswer`]) — a public-data-only telemetry snapshot
-//! served by both analyst and coordinator listeners. Each version leaves
-//! every earlier frame kind byte-identical, so v1, v2, v3 and v4 clients
-//! work against a v5 server verbatim. A header with a version outside the supported range
+//! served by both analyst and coordinator listeners; v6 adds the live
+//! federation frames: the server-push progressive answers
+//! ([`Frame::OnlinePlan`] ⇒ a stream of [`Frame::OnlineSnapshot`] closed
+//! by one [`Frame::OnlineDone`]) and the streaming-ingest path
+//! ([`Frame::Ingest`] ⇒ [`Frame::IngestAck`]). Each version leaves
+//! every earlier frame kind byte-identical, so v1 through v5 clients
+//! work against a v6 server verbatim. A header with a version outside the supported range
 //! fails with [`NetError::UnsupportedVersion`] *before* any payload is
 //! read — servers answer it with a typed
 //! [`ErrorCode::UnsupportedVersion`] frame (whose `index` field carries
@@ -64,6 +68,18 @@
 //!   counts, public metadata, and already-released budget spend only;
 //!   raw estimates and sensitivities are unrepresentable (pinned by the
 //!   adversarial frame-hygiene scan).
+//! * [`Frame::OnlinePlan`] (v6) submits one progressive (online
+//!   aggregation) plan; the server validates, charges the *whole*
+//!   `(ε, δ)` atomically up front (fail-closed), then pushes one
+//!   [`Frame::OnlineSnapshot`] per round **as each round completes** and
+//!   closes the stream with one [`Frame::OnlineDone`] (or a
+//!   [`Frame::Error`]). Every snapshot value is a DP release under the
+//!   plan's per-round `(ε/k, δ/k)` — nothing pre-noise is pushed.
+//! * [`Frame::Ingest`] (v6) appends a batch of rows to one provider of a
+//!   server started in *live mode*; the server replies with
+//!   [`Frame::IngestAck`] (rows accepted, new data epoch, whether the
+//!   staleness policy triggered a full metadata recompute). Non-live
+//!   servers refuse ingest with a typed error.
 //!
 //! **Shard fragment frames (v4, coordinator ⇒ shard).** A server started
 //! in *shard mode* serves a scatter–gather coordinator instead of
@@ -106,7 +122,7 @@ use crate::{NetError, Result};
 pub const MAGIC: u32 = 0x4651_4E50;
 /// Highest wire-protocol version this build speaks (and the version the
 /// client stamps its frames with).
-pub const VERSION: u16 = 5;
+pub const VERSION: u16 = 6;
 /// Lowest wire-protocol version this build still accepts.
 pub const MIN_VERSION: u16 = 1;
 /// Hard cap on a frame payload. Nothing legitimate comes close (the
@@ -120,6 +136,9 @@ pub const HEADER_BYTES: usize = 4 + 2 + 1 + 4;
 /// for real deployments while keeping worst-case decode work tiny.
 const MAX_STRING: usize = 1024;
 const MAX_BATCH: usize = 4096;
+/// Rows one `Ingest` frame may carry (the `MAX_BATCH` collection cap,
+/// exported so clients can chunk larger batches themselves).
+pub const MAX_INGEST_ROWS: usize = MAX_BATCH;
 const MAX_DIMS: usize = 1024;
 const MAX_RANGES: usize = 1024;
 const MAX_ALLOCATIONS: usize = 4096;
@@ -162,6 +181,11 @@ const KIND_SHARD_BOUNDS_REQUEST: u8 = 25;
 const KIND_SHARD_BOUNDS: u8 = 26;
 const KIND_METRICS: u8 = 27;
 const KIND_METRICS_ANSWER: u8 = 28;
+const KIND_ONLINE_PLAN: u8 = 29;
+const KIND_ONLINE_SNAPSHOT: u8 = 30;
+const KIND_ONLINE_DONE: u8 = 31;
+const KIND_INGEST: u8 = 32;
+const KIND_INGEST_ACK: u8 = 33;
 
 /// A connection-opening frame: the analyst declares an identity the
 /// server keys budget ledgers by.
@@ -553,6 +577,97 @@ pub struct MetricsAnswerFrame {
     pub metrics: Vec<WireMetric>,
 }
 
+/// One progressive (online aggregation) plan submission (client → server,
+/// v6). The server answers with `rounds` [`OnlineSnapshotFrame`]s pushed
+/// as each round completes, closed by one [`OnlineDoneFrame`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlinePlanRequest {
+    /// The range query to refine progressively.
+    pub query: RangeQuery,
+    /// Final-round sampling rate `sr ∈ (0, 1)`.
+    pub sampling_rate: f64,
+    /// Total ε across all rounds (each round spends `ε/rounds`).
+    pub epsilon: f64,
+    /// Total δ across all rounds.
+    pub delta: f64,
+    /// Number of progressive releases.
+    pub rounds: u32,
+}
+
+/// One server-pushed progressive release (server → client, v6). Only the
+/// DP-released running estimate and public work counters cross the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineSnapshotFrame {
+    /// Position within the submitted stream (0 for a lone plan).
+    pub index: u32,
+    /// Round number (1-based).
+    pub round: u32,
+    /// Total rounds in the plan.
+    pub rounds: u32,
+    /// Fraction of the final sample this round used (`round/rounds`).
+    pub sample_fraction: f64,
+    /// The DP-released running estimate.
+    pub value: f64,
+    /// 95% sampling confidence half-width, when estimable.
+    pub ci_halfwidth: Option<f64>,
+    /// Clusters scanned across providers up to this snapshot.
+    pub clusters_scanned: u64,
+}
+
+/// The close of an online-plan stream (server → client, v6): the total
+/// charge and the final released value, plus the plan's phase timings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineDoneFrame {
+    /// Position within the submitted stream (0 for a lone plan).
+    pub index: u32,
+    /// ε charged for the whole plan (all rounds).
+    pub eps: f64,
+    /// δ charged for the whole plan.
+    pub delta: f64,
+    /// The final snapshot's released value, repeated for convenience.
+    pub value: f64,
+    /// Summary-phase time (max over rounds), microseconds.
+    pub summary_us: u64,
+    /// Allocation-phase time, microseconds.
+    pub allocation_us: u64,
+    /// Execution-phase time, microseconds.
+    pub execution_us: u64,
+    /// Release-phase time, microseconds.
+    pub release_us: u64,
+    /// Simulated network time, microseconds.
+    pub network_us: u64,
+}
+
+/// One row of an ingest batch: dimension values plus the cell measure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRow {
+    /// Per-dimension values, schema order.
+    pub values: Vec<i64>,
+    /// The cell measure (1 for a raw tabular row).
+    pub measure: u64,
+}
+
+/// One streaming-ingest batch (client → server, v6): rows to append to
+/// one provider of a live federation. The batch is atomic server-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestRequest {
+    /// The target provider (federation-local id).
+    pub provider: u32,
+    /// The rows to append.
+    pub rows: Vec<WireRow>,
+}
+
+/// The server's ingest receipt (server → client, v6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAckFrame {
+    /// Rows appended (the whole batch, or zero).
+    pub accepted: u64,
+    /// The federation's data epoch after the ingest.
+    pub epoch: u64,
+    /// Whether the staleness policy triggered a full metadata recompute.
+    pub refreshed: bool,
+}
+
 /// One explain request (client → server, v3): what would the optimizer
 /// decide about this plan? Nothing runs and no budget is charged.
 #[derive(Debug, Clone, PartialEq)]
@@ -629,6 +744,16 @@ pub enum Frame {
     Metrics,
     /// The server's telemetry snapshot (server → client; v5).
     MetricsAnswer(MetricsAnswerFrame),
+    /// One progressive-plan submission (client → server; v6).
+    OnlinePlan(OnlinePlanRequest),
+    /// One server-pushed progressive release (server → client; v6).
+    OnlineSnapshot(OnlineSnapshotFrame),
+    /// The close of an online-plan stream (server → client; v6).
+    OnlineDone(OnlineDoneFrame),
+    /// One streaming-ingest batch (client → server; v6).
+    Ingest(IngestRequest),
+    /// The server's ingest receipt (server → client; v6).
+    IngestAck(IngestAckFrame),
 }
 
 /// Wire code of an [`EstimatorCalibration`] (`0` = EM, `1` = PPS).
@@ -774,6 +899,12 @@ fn put_plan(buf: &mut BytesMut, plan: &QueryPlan) -> Result<()> {
             });
             buf.put_f64_le(*epsilon);
         }
+        // Online plans are never smuggled through the request/response
+        // Plan frames: their streaming answer shape needs the dedicated
+        // v6 conversation (OnlinePlan ⇒ OnlineSnapshot* ⇒ OnlineDone).
+        QueryPlan::Online { .. } => {
+            return Err(NetError::Malformed("online plans use the OnlinePlan frame"))
+        }
     }
     Ok(())
 }
@@ -861,6 +992,15 @@ fn check_v4(version: u16) -> Result<()> {
 fn check_v5(version: u16) -> Result<()> {
     if version < 5 {
         return Err(NetError::Malformed("metrics frames need protocol v5"));
+    }
+    Ok(())
+}
+
+fn check_v6(version: u16) -> Result<()> {
+    if version < 6 {
+        return Err(NetError::Malformed(
+            "live-federation frames need protocol v6",
+        ));
     }
     Ok(())
 }
@@ -1119,6 +1259,65 @@ fn encode_payload(frame: &Frame, version: u16) -> Result<(u8, BytesMut)> {
                 buf.put_f64_le(sample.value);
             }
             KIND_METRICS_ANSWER
+        }
+        Frame::OnlinePlan(p) => {
+            check_v6(version)?;
+            buf.put_f64_le(p.sampling_rate);
+            buf.put_f64_le(p.epsilon);
+            buf.put_f64_le(p.delta);
+            buf.put_u32_le(p.rounds);
+            put_range_query(&mut buf, &p.query)?;
+            KIND_ONLINE_PLAN
+        }
+        Frame::OnlineSnapshot(s) => {
+            check_v6(version)?;
+            buf.put_u32_le(s.index);
+            buf.put_u32_le(s.round);
+            buf.put_u32_le(s.rounds);
+            buf.put_f64_le(s.sample_fraction);
+            buf.put_f64_le(s.value);
+            put_opt_f64(&mut buf, s.ci_halfwidth);
+            buf.put_u64_le(s.clusters_scanned);
+            KIND_ONLINE_SNAPSHOT
+        }
+        Frame::OnlineDone(d) => {
+            check_v6(version)?;
+            buf.put_u32_le(d.index);
+            buf.put_f64_le(d.eps);
+            buf.put_f64_le(d.delta);
+            buf.put_f64_le(d.value);
+            buf.put_u64_le(d.summary_us);
+            buf.put_u64_le(d.allocation_us);
+            buf.put_u64_le(d.execution_us);
+            buf.put_u64_le(d.release_us);
+            buf.put_u64_le(d.network_us);
+            KIND_ONLINE_DONE
+        }
+        Frame::Ingest(r) => {
+            check_v6(version)?;
+            if r.rows.len() > MAX_BATCH {
+                return Err(NetError::Malformed("ingest batch exceeds wire cap"));
+            }
+            buf.put_u32_le(r.provider);
+            buf.put_u32_le(r.rows.len() as u32);
+            for row in &r.rows {
+                if row.values.len() > MAX_DIMS {
+                    return Err(NetError::Malformed("too many ingest row values"));
+                }
+                buf.put_u16_le(row.values.len() as u16);
+                for &v in &row.values {
+                    buf.put_i64_le(v);
+                }
+                buf.put_u64_le(row.measure);
+            }
+            KIND_INGEST
+        }
+        Frame::IngestAck(a) => {
+            check_v6(version)?;
+            buf.put_u64_le(a.accepted);
+            buf.put_u64_le(a.epoch);
+            buf.put_u8(u8::from(a.refreshed));
+            KIND_INGEST_ACK
         }
     };
     if buf.len() > MAX_PAYLOAD as usize {
@@ -1717,6 +1916,95 @@ fn decode_payload(kind: u8, mut data: &[u8], version: u16) -> Result<Frame> {
         KIND_METRICS | KIND_METRICS_ANSWER => {
             return Err(NetError::Malformed("metrics frames need protocol v5"))
         }
+        KIND_ONLINE_PLAN if version >= 6 => {
+            need(data, 3 * 8 + 4, "online plan header truncated")?;
+            let sampling_rate = data.get_f64_le();
+            let epsilon = data.get_f64_le();
+            let delta = data.get_f64_le();
+            let rounds = data.get_u32_le();
+            Frame::OnlinePlan(OnlinePlanRequest {
+                query: get_range_query(&mut data)?,
+                sampling_rate,
+                epsilon,
+                delta,
+                rounds,
+            })
+        }
+        KIND_ONLINE_SNAPSHOT if version >= 6 => {
+            need(data, 3 * 4 + 2 * 8, "online snapshot truncated")?;
+            let index = data.get_u32_le();
+            let round = data.get_u32_le();
+            let rounds = data.get_u32_le();
+            let sample_fraction = data.get_f64_le();
+            let value = data.get_f64_le();
+            let ci_halfwidth = get_opt_f64(&mut data)?;
+            need(data, 8, "online snapshot counters truncated")?;
+            Frame::OnlineSnapshot(OnlineSnapshotFrame {
+                index,
+                round,
+                rounds,
+                sample_fraction,
+                value,
+                ci_halfwidth,
+                clusters_scanned: data.get_u64_le(),
+            })
+        }
+        KIND_ONLINE_DONE if version >= 6 => {
+            need(data, 4 + 3 * 8 + 5 * 8, "online done truncated")?;
+            Frame::OnlineDone(OnlineDoneFrame {
+                index: data.get_u32_le(),
+                eps: data.get_f64_le(),
+                delta: data.get_f64_le(),
+                value: data.get_f64_le(),
+                summary_us: data.get_u64_le(),
+                allocation_us: data.get_u64_le(),
+                execution_us: data.get_u64_le(),
+                release_us: data.get_u64_le(),
+                network_us: data.get_u64_le(),
+            })
+        }
+        KIND_INGEST if version >= 6 => {
+            need(data, 4 + 4, "ingest header truncated")?;
+            let provider = data.get_u32_le();
+            let n = data.get_u32_le() as usize;
+            // Each row costs at least a value count + measure.
+            if n > MAX_BATCH || !declared_len_fits(n, 2 + 8, data.remaining()) {
+                return Err(NetError::Malformed("declared ingest batch too large"));
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(data, 2, "ingest row header truncated")?;
+                let n_values = data.get_u16_le() as usize;
+                if n_values > MAX_DIMS || !declared_len_fits(n_values, 8, data.remaining()) {
+                    return Err(NetError::Malformed("declared ingest row too large"));
+                }
+                let mut values = Vec::with_capacity(n_values);
+                for _ in 0..n_values {
+                    values.push(data.get_i64_le());
+                }
+                need(data, 8, "ingest row measure truncated")?;
+                rows.push(WireRow {
+                    values,
+                    measure: data.get_u64_le(),
+                });
+            }
+            Frame::Ingest(IngestRequest { provider, rows })
+        }
+        KIND_INGEST_ACK if version >= 6 => {
+            need(data, 8 + 8, "ingest ack truncated")?;
+            let accepted = data.get_u64_le();
+            let epoch = data.get_u64_le();
+            Frame::IngestAck(IngestAckFrame {
+                accepted,
+                epoch,
+                refreshed: get_bool(&mut data, "ingest ack flag truncated")?,
+            })
+        }
+        KIND_ONLINE_PLAN..=KIND_INGEST_ACK => {
+            return Err(NetError::Malformed(
+                "live-federation frames need protocol v6",
+            ))
+        }
         KIND_BUDGET_REQUEST => Frame::BudgetRequest,
         KIND_BUDGET_STATUS => {
             need(data, 1 + 4 * 8 + 8, "budget status truncated")?;
@@ -2030,6 +2318,60 @@ mod tests {
                     },
                 ],
             }),
+            Frame::OnlinePlan(OnlinePlanRequest {
+                query: query(10, 60),
+                sampling_rate: 0.3,
+                epsilon: 4.0,
+                delta: 1e-3,
+                rounds: 5,
+            }),
+            Frame::OnlineSnapshot(OnlineSnapshotFrame {
+                index: 1,
+                round: 2,
+                rounds: 5,
+                sample_fraction: 0.4,
+                value: 812.5,
+                ci_halfwidth: Some(3.25),
+                clusters_scanned: 17,
+            }),
+            Frame::OnlineSnapshot(OnlineSnapshotFrame {
+                index: 0,
+                round: 5,
+                rounds: 5,
+                sample_fraction: 1.0,
+                value: -41.0,
+                ci_halfwidth: None,
+                clusters_scanned: 90,
+            }),
+            Frame::OnlineDone(OnlineDoneFrame {
+                index: 1,
+                eps: 4.0,
+                delta: 1e-3,
+                value: 812.5,
+                summary_us: 120,
+                allocation_us: 30,
+                execution_us: 1100,
+                release_us: 9,
+                network_us: 100_500,
+            }),
+            Frame::Ingest(IngestRequest {
+                provider: 2,
+                rows: vec![
+                    WireRow {
+                        values: vec![17, -4],
+                        measure: 1,
+                    },
+                    WireRow {
+                        values: vec![90, 3],
+                        measure: 12,
+                    },
+                ],
+            }),
+            Frame::IngestAck(IngestAckFrame {
+                accepted: 2,
+                epoch: 7,
+                refreshed: true,
+            }),
         ]
     }
 
@@ -2055,6 +2397,17 @@ mod tests {
 
     fn is_v5_frame(frame: &Frame) -> bool {
         matches!(frame, Frame::Metrics | Frame::MetricsAnswer(_))
+    }
+
+    fn is_v6_frame(frame: &Frame) -> bool {
+        matches!(
+            frame,
+            Frame::OnlinePlan(_)
+                | Frame::OnlineSnapshot(_)
+                | Frame::OnlineDone(_)
+                | Frame::Ingest(_)
+                | Frame::IngestAck(_)
+        )
     }
 
     fn sample_explanation() -> PlanExplanation {
@@ -2293,6 +2646,7 @@ mod tests {
                 Frame::Plan(_) | Frame::PlanAnswer(_) | Frame::Explain(_) | Frame::ExplainAnswer(_)
             ) || is_v4_frame(&frame)
                 || is_v5_frame(&frame)
+                || is_v6_frame(&frame)
             {
                 continue;
             }
@@ -2354,6 +2708,7 @@ mod tests {
             if matches!(frame, Frame::Explain(_) | Frame::ExplainAnswer(_))
                 || is_v4_frame(&frame)
                 || is_v5_frame(&frame)
+                || is_v6_frame(&frame)
             {
                 continue;
             }
@@ -2403,7 +2758,7 @@ mod tests {
         // a v3 build did — this is what keeps v3 analysts working against
         // newer servers.
         for frame in all_frames() {
-            if is_v4_frame(&frame) || is_v5_frame(&frame) {
+            if is_v4_frame(&frame) || is_v5_frame(&frame) || is_v6_frame(&frame) {
                 continue;
             }
             let bytes = encode_frame_at(&frame, 3).unwrap();
@@ -2422,7 +2777,7 @@ mod tests {
         // a v4 build did — this is what keeps v4 coordinators and shard
         // servers working against the v5 binaries.
         for frame in all_frames() {
-            if is_v5_frame(&frame) {
+            if is_v5_frame(&frame) || is_v6_frame(&frame) {
                 continue;
             }
             let bytes = encode_frame_at(&frame, 4).unwrap();
@@ -2433,6 +2788,106 @@ mod tests {
             assert_eq!(version, 4);
             assert_eq!(decoded, frame);
         }
+    }
+
+    #[test]
+    fn v5_frames_round_trip_at_v5_unchanged() {
+        // Every v5 frame kind must encode/decode at version 5 exactly as
+        // a v5 build did — this is what keeps v5 analysts working against
+        // the v6 binaries.
+        for frame in all_frames() {
+            if is_v6_frame(&frame) {
+                continue;
+            }
+            let bytes = encode_frame_at(&frame, 5).unwrap();
+            assert_eq!(bytes[4], 5, "header version");
+            let mut slice: &[u8] = &bytes;
+            let (decoded, version) = read_frame_versioned(&mut slice).unwrap();
+            assert!(!slice.has_remaining());
+            assert_eq!(version, 5);
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn online_frames_are_v6_only() {
+        for frame in all_frames().iter().filter(|f| is_v6_frame(f)) {
+            for version in [1, 2, 3, 4, 5] {
+                assert!(
+                    matches!(
+                        encode_frame_at(frame, version),
+                        Err(NetError::Malformed(
+                            "live-federation frames need protocol v6"
+                        ))
+                    ),
+                    "{frame:?} encoded at v{version}"
+                );
+                // A pre-v6 header smuggling a live-federation kind is
+                // rejected at decode.
+                let mut bytes = encode_frame(frame).unwrap();
+                bytes[4..6].copy_from_slice(&version.to_le_bytes());
+                assert!(matches!(
+                    read_frame(&mut &bytes[..]),
+                    Err(NetError::Malformed(
+                        "live-federation frames need protocol v6"
+                    ))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn online_plans_never_ride_the_plan_frame() {
+        // The generic Plan/Explain frames refuse QueryPlan::Online — its
+        // streaming answer needs the dedicated v6 conversation.
+        let plan = QueryPlan::Online {
+            query: query(10, 60),
+            sampling_rate: 0.3,
+            epsilon: 4.0,
+            delta: 1e-3,
+            rounds: 5,
+        };
+        for frame in [
+            Frame::Plan(PlanRequest { plan: plan.clone() }),
+            Frame::Explain(ExplainRequest { plan }),
+        ] {
+            assert!(matches!(
+                encode_frame(&frame),
+                Err(NetError::Malformed("online plans use the OnlinePlan frame"))
+            ));
+        }
+    }
+
+    #[test]
+    fn absurd_ingest_counts_are_rejected() {
+        // An ingest claiming u32::MAX rows over a tiny body.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u16_le(VERSION);
+        bytes.put_u8(KIND_INGEST);
+        bytes.put_u32_le(4 + 4 + 8);
+        bytes.put_u32_le(0); // provider
+        bytes.put_u32_le(u32::MAX);
+        bytes.put_u64_le(0);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("declared ingest batch too large"))
+        ));
+
+        // One row claiming u16::MAX values over a tiny body.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u16_le(VERSION);
+        bytes.put_u8(KIND_INGEST);
+        bytes.put_u32_le(4 + 4 + 2 + 8);
+        bytes.put_u32_le(0); // provider
+        bytes.put_u32_le(1);
+        bytes.put_u16_le(u16::MAX);
+        bytes.put_u64_le(0);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(NetError::Malformed("declared ingest row too large"))
+        ));
     }
 
     #[test]
@@ -3040,6 +3495,95 @@ mod proptests {
             Just(Frame::ShardBoundsRequest),
         ]
         .boxed();
+        let online_plan = (arb_query(), (0.001f64..100.0, 0.0f64..0.1), 1u32..64)
+            .prop_map(|(spec, (epsilon, delta), rounds)| {
+                Frame::OnlinePlan(OnlinePlanRequest {
+                    query: spec.query,
+                    sampling_rate: spec.sampling_rate,
+                    epsilon,
+                    delta,
+                    rounds,
+                })
+            })
+            .boxed();
+        let online_snapshot = (
+            (any::<u32>(), 1u32..64, 1u32..64),
+            (0.0f64..1.0, any::<f64>()),
+            arb_opt_f64(),
+            any::<u64>(),
+        )
+            .prop_map(
+                |((index, round, rounds), (sample_fraction, value), ci_halfwidth, scanned)| {
+                    Frame::OnlineSnapshot(OnlineSnapshotFrame {
+                        index,
+                        round,
+                        rounds,
+                        sample_fraction,
+                        value,
+                        ci_halfwidth,
+                        clusters_scanned: scanned,
+                    })
+                },
+            )
+            .boxed();
+        let online_done = (
+            (any::<u32>(), 0.0f64..100.0, 0.0f64..0.1, any::<f64>()),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+            ),
+        )
+            .prop_map(
+                |(
+                    (index, eps, delta, value),
+                    (summary_us, allocation_us, execution_us, release_us, network_us),
+                )| {
+                    Frame::OnlineDone(OnlineDoneFrame {
+                        index,
+                        eps,
+                        delta,
+                        value,
+                        summary_us,
+                        allocation_us,
+                        execution_us,
+                        release_us,
+                        network_us,
+                    })
+                },
+            )
+            .boxed();
+        let ingest = (
+            any::<u32>(),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(any::<i64>(), 0..4),
+                    1u64..1_000_000,
+                ),
+                0..8,
+            ),
+        )
+            .prop_map(|(provider, raw)| {
+                Frame::Ingest(IngestRequest {
+                    provider,
+                    rows: raw
+                        .into_iter()
+                        .map(|(values, measure)| WireRow { values, measure })
+                        .collect(),
+                })
+            })
+            .boxed();
+        let ingest_ack = (any::<u64>(), any::<u64>(), any::<bool>())
+            .prop_map(|(accepted, epoch, refreshed)| {
+                Frame::IngestAck(IngestAckFrame {
+                    accepted,
+                    epoch,
+                    refreshed,
+                })
+            })
+            .boxed();
         let metrics = Just(Frame::Metrics).boxed();
         let metrics_answer = proptest::collection::vec((arb_name(), -1e9f64..1e9), 0..8)
             .prop_map(|raw| {
@@ -3073,7 +3617,12 @@ mod proptests {
             shard_bounds,
             fragment_signals,
             metrics,
-            metrics_answer
+            metrics_answer,
+            online_plan,
+            online_snapshot,
+            online_done,
+            ingest,
+            ingest_ack
         ]
         .boxed()
     }

@@ -13,19 +13,22 @@
 //!   control that the scan works). The same scan covers the v5 telemetry
 //!   exposition: a `MetricsAnswer` frame is assembled inside the process
 //!   that holds those diagnostics in memory, so it gets the identical
-//!   byte-level audit. The struct literals in
+//!   byte-level audit — and the v6 server-push path (`OnlineSnapshot` /
+//!   `OnlineDone`), which releases *several* values per plan, gets a
+//!   per-round scan. The struct literals in
 //!   `answer_frames_carry_no_diagnostic_fields` are the compile-time half:
-//!   adding any field to `Answer`/`PlanAnswerFrame`/`MetricsAnswerFrame`
-//!   breaks them, forcing a conscious review of what new bytes reach an
-//!   analyst.
+//!   adding any field to `Answer`/`PlanAnswerFrame`/`MetricsAnswerFrame`/
+//!   `OnlineSnapshotFrame`/`OnlineDoneFrame`/`IngestAckFrame` breaks them,
+//!   forcing a conscious review of what new bytes reach an analyst.
 
 use std::io::Read as _;
 
 use fedaqp_core::{Federation, FederationConfig, FederationEngine, QueryBatch};
 use fedaqp_model::{Aggregate, Dimension, Domain, QueryPlan, Range, RangeQuery, Row, Schema};
 use fedaqp_net::wire::{
-    read_frame, write_frame, Answer, Frame, Hello, MetricsAnswerFrame, PlanAnswerFrame,
-    PlanRequest, QueryRequest, WireMetric, WirePlanResult, HEADER_BYTES,
+    read_frame, write_frame, Answer, Frame, Hello, IngestAckFrame, MetricsAnswerFrame,
+    OnlineDoneFrame, OnlinePlanRequest, OnlineSnapshotFrame, PlanAnswerFrame, PlanRequest,
+    QueryRequest, WireMetric, WirePlanResult, HEADER_BYTES,
 };
 use fedaqp_net::{ErrorCode, FederationServer, NetError, RemoteFederation, ServeOptions};
 
@@ -414,12 +417,125 @@ fn metrics_frames_never_carry_raw_estimates_or_sensitivities() {
     engine.shutdown();
 }
 
+/// The v6 server-push path audited at the byte level: an online plan
+/// releases one value per round, so *every* captured `OnlineSnapshot`
+/// frame (and the trailing `OnlineDone`) is scanned for the raw
+/// pre-noise estimates and smooth sensitivities of its round's
+/// sub-query — recovered from an in-process run of the same content on
+/// an identical federation. Released snapshot values appear (positive
+/// control); diagnostics never do.
+#[test]
+fn online_push_frames_never_carry_raw_estimates_or_sensitivities() {
+    let rounds = 4u32;
+    let query = count_query(100, 800);
+    let engine = FederationEngine::start(federation());
+    let server =
+        FederationServer::bind("127.0.0.1:0", engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+
+    write_frame(
+        &mut stream,
+        &Frame::Hello(Hello {
+            analyst: "auditor".into(),
+        }),
+    )
+    .unwrap();
+    match read_raw_frame(&mut stream).1 {
+        Frame::HelloAck(_) => {}
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+
+    // In-process oracle: each online round samples the same query at
+    // rate `sr·round/rounds`, and the raw pre-noise estimate and smooth
+    // sensitivities are deterministic in (query, rate) — independent of
+    // the noise occurrence counter — so a plain serial batch at the
+    // per-round rates exposes exactly the diagnostics the push frames
+    // must not carry.
+    let mut batch = QueryBatch::new();
+    for round in 1..=rounds {
+        batch.push(query.clone(), 0.2 * round as f64 / rounds as f64);
+    }
+    let oracle: Vec<_> = federation()
+        .with_engine(|engine| engine.run_batch_serial(&batch))
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    write_frame(
+        &mut stream,
+        &Frame::OnlinePlan(OnlinePlanRequest {
+            query: query.clone(),
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+            rounds,
+        }),
+    )
+    .unwrap();
+
+    for round in 1..=rounds {
+        let (bytes, frame) = read_raw_frame(&mut stream);
+        let snapshot = match frame {
+            Frame::OnlineSnapshot(s) => s,
+            other => panic!("expected round {round} snapshot, got {other:?}"),
+        };
+        assert_eq!(snapshot.round, round);
+        let diag = &oracle[(round - 1) as usize];
+        assert_ne!(
+            diag.raw_estimate.to_bits(),
+            snapshot.value.to_bits(),
+            "noise-free release would make the scan vacuous"
+        );
+        assert!(
+            contains_f64(&bytes, snapshot.value),
+            "positive control: the released snapshot's bytes must be present"
+        );
+        assert!(
+            !contains_f64(&bytes, diag.raw_estimate),
+            "round {round}: raw pre-noise estimate leaked into an OnlineSnapshot frame"
+        );
+        for &ls in &diag.smooth_ls {
+            assert!(
+                !contains_f64(&bytes, ls),
+                "round {round}: smooth sensitivity leaked into an OnlineSnapshot frame"
+            );
+        }
+    }
+
+    // The trailing OnlineDone frame repeats only the final released
+    // value; scan it against every round's diagnostics.
+    let (bytes, frame) = read_raw_frame(&mut stream);
+    let done = match frame {
+        Frame::OnlineDone(d) => d,
+        other => panic!("expected OnlineDone, got {other:?}"),
+    };
+    assert!(contains_f64(&bytes, done.value), "positive control");
+    for diag in &oracle {
+        assert!(
+            !contains_f64(&bytes, diag.raw_estimate),
+            "raw pre-noise estimate leaked into an OnlineDone frame"
+        );
+        for &ls in &diag.smooth_ls {
+            assert!(
+                !contains_f64(&bytes, ls),
+                "smooth sensitivity leaked into an OnlineDone frame"
+            );
+        }
+    }
+
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+}
+
 /// Compile-time hygiene: exhaustive struct literals over both answer
-/// frames and the telemetry exposition. Adding ANY field to [`Answer`],
-/// [`PlanAnswerFrame`], [`MetricsAnswerFrame`], or [`WireMetric`] — say a
-/// `raw_estimate` diagnostic — fails this build with "missing field",
-/// forcing review of what new bytes would reach an analyst. (No
-/// functional-update `..` shorthand here, deliberately.)
+/// frames, the telemetry exposition, and the v6 push/ingest frames.
+/// Adding ANY field to [`Answer`], [`PlanAnswerFrame`],
+/// [`MetricsAnswerFrame`], [`WireMetric`], [`OnlineSnapshotFrame`],
+/// [`OnlineDoneFrame`], or [`IngestAckFrame`] — say a `raw_estimate`
+/// diagnostic — fails this build with "missing field", forcing review of
+/// what new bytes would reach an analyst. (No functional-update `..`
+/// shorthand here, deliberately.)
 #[test]
 fn answer_frames_carry_no_diagnostic_fields() {
     let answer = Answer {
@@ -463,4 +579,35 @@ fn answer_frames_carry_no_diagnostic_fields() {
         }],
     };
     assert_eq!(metrics_answer.metrics.len(), 1);
+
+    let snapshot = OnlineSnapshotFrame {
+        index: 0,
+        round: 1,
+        rounds: 4,
+        sample_fraction: 0.25,
+        value: 1.0,
+        ci_halfwidth: Some(0.5),
+        clusters_scanned: 2,
+    };
+    assert_eq!(snapshot.round, 1);
+
+    let done = OnlineDoneFrame {
+        index: 0,
+        eps: 1.0,
+        delta: 1e-3,
+        value: 1.0,
+        summary_us: 1,
+        allocation_us: 2,
+        execution_us: 3,
+        release_us: 4,
+        network_us: 5,
+    };
+    assert_eq!(done.index, 0);
+
+    let ack = IngestAckFrame {
+        accepted: 50,
+        epoch: 1,
+        refreshed: false,
+    };
+    assert_eq!(ack.epoch, 1);
 }

@@ -1124,3 +1124,284 @@ fn metrics_frame_returns_live_counters_from_serve_and_coordinate() {
         engine.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------------
+// v6: online plans (server push) and live federations (streaming ingest).
+// ---------------------------------------------------------------------------
+
+fn online_plan(rounds: usize) -> QueryPlan {
+    QueryPlan::Online {
+        query: count_query(100, 800),
+        sampling_rate: 0.2,
+        epsilon: 1.0,
+        delta: 1e-3,
+        rounds,
+    }
+}
+
+/// The acceptance bar of the live-federation work, wire edition: an
+/// online plan pushed over a real socket is byte-identical — every
+/// snapshot, the cost, and the final value — to the same plan compiled
+/// in-process, and to the serial `run_online` wrapper. The wire carries
+/// snapshots, never arithmetic.
+#[test]
+fn remote_online_plans_are_byte_identical_to_in_process() {
+    let engine = FederationEngine::start(plan_federation(1.0));
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut client = RemoteFederation::connect(&addr).unwrap();
+    let mut pushed = Vec::new();
+    let remote = client
+        .run_online_plan(&count_query(100, 800), 0.2, 1.0, 1e-3, 4, |s| {
+            pushed.push(*s);
+        })
+        .unwrap();
+
+    // The push hook saw every round, in order, as it resolved.
+    assert_eq!(pushed.len(), 4);
+    for (i, s) in pushed.iter().enumerate() {
+        assert_eq!(s.round, i as u64 + 1);
+        assert_eq!(s.rounds, 4);
+    }
+
+    let in_process = plan_federation(1.0)
+        .with_engine(|engine| engine.run_plan(&online_plan(4)))
+        .unwrap();
+    assert_eq!(remote.result, in_process.result, "released snapshots");
+    assert_eq!(remote.cost, in_process.cost, "charged cost");
+
+    // The serial wrapper over a third identical federation agrees bit
+    // for bit, round for round.
+    let serial = fedaqp_core::run_online(
+        &mut plan_federation(1.0),
+        &count_query(100, 800),
+        0.2,
+        1.0,
+        1e-3,
+        4,
+    )
+    .unwrap();
+    assert_eq!(serial.snapshots.len(), pushed.len());
+    for (w, s) in pushed.iter().zip(&serial.snapshots) {
+        assert_eq!(w.round as usize, s.round);
+        assert_eq!(
+            w.value.to_bits(),
+            s.value.to_bits(),
+            "round {} value",
+            s.round
+        );
+        assert_eq!(w.sample_fraction.to_bits(), s.sample_fraction.to_bits());
+        assert_eq!(w.clusters_scanned as usize, s.clusters_scanned);
+    }
+    assert_eq!(remote.cost, serial.cost);
+
+    // A single-round online plan degenerates to the one-shot scalar: the
+    // lone snapshot is byte-identical to the `Scalar` plan's answer.
+    let one_round = client
+        .run_online_plan(&count_query(100, 800), 0.2, 1.0, 1e-3, 1, |_| {})
+        .unwrap();
+    let scalar = plan_federation(1.0)
+        .with_engine(|engine| {
+            engine.run_plan(&QueryPlan::Scalar {
+                query: count_query(100, 800),
+                sampling_rate: 0.2,
+                epsilon: 1.0,
+                delta: 1e-3,
+            })
+        })
+        .unwrap();
+    assert_eq!(
+        one_round.value().unwrap().to_bits(),
+        scalar.value().unwrap().to_bits(),
+        "rounds=1 must equal the one-shot scalar answer"
+    );
+    assert_eq!(one_round.cost, scalar.cost);
+
+    drop(client);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// A live server answers queries, accepts ingest batches (bumping the
+/// data epoch), and keeps answering — including online plans — after the
+/// federation has grown. Before any ingest (epoch 0) its answers are
+/// byte-identical to a frozen federation built from the same inputs.
+#[test]
+fn live_servers_serve_ingest_and_queries_across_epochs() {
+    use fedaqp_core::{LiveFederation, RefreshPolicy};
+
+    let live = LiveFederation::new(federation(1.0), RefreshPolicy::default());
+    let server = LoopbackServer::live(live, ServeOptions::with_budget(50.0, 0.5)).unwrap();
+    let mut client = RemoteFederation::connect_as(server.addr(), "alice").unwrap();
+    assert_eq!(client.schema(), &schema());
+    assert_eq!(client.session_budget(), Some((50.0, 0.5)));
+
+    // Epoch 0: the live server is byte-identical to a frozen federation.
+    let remote = client.query(&count_query(100, 800), 0.2).unwrap();
+    let frozen = federation(1.0)
+        .with_engine(|engine| {
+            engine
+                .submit(&count_query(100, 800), 0.2)
+                .and_then(|p| p.wait())
+        })
+        .unwrap();
+    assert_eq!(
+        remote.value.to_bits(),
+        frozen.value.to_bits(),
+        "epoch 0 must answer exactly like a frozen federation"
+    );
+
+    // Ingest a batch into provider 0: acknowledged atomically, epoch bumps.
+    let rows: Vec<Row> = (0..50)
+        .map(|i| Row::cell(vec![(i * 11) % 1000, i % 100], 2))
+        .collect();
+    let ack = client.ingest(0, &rows).unwrap();
+    assert_eq!(ack.accepted, 50);
+    assert_eq!(ack.epoch, 1);
+    assert!(!ack.refreshed, "50 rows stay under the staleness floor");
+
+    // Out-of-range provider ids are refused with a typed error; the
+    // connection (and the ledger) survive.
+    match client.ingest(99, &rows) {
+        Err(NetError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("provider"), "{message}");
+        }
+        other => panic!("expected a typed refusal, got {other:?}"),
+    }
+
+    // Epoch 1: queries, plans, and online pushes all still answer.
+    let grown = client.query(&count_query(100, 800), 0.2).unwrap();
+    assert!(grown.value.is_finite());
+    let mut rounds_seen = 0;
+    let online = client
+        .run_online_plan(&count_query(100, 800), 0.2, 1.0, 1e-3, 3, |_| {
+            rounds_seen += 1
+        })
+        .unwrap();
+    assert_eq!(rounds_seen, 3);
+    assert!(online.value().unwrap().is_finite());
+
+    // The per-analyst ledger is durable across the whole live session:
+    // three charged requests so far, each ε = 1.
+    let status = client.budget_status().unwrap();
+    assert!(
+        status.spent_eps > 2.9,
+        "three ε=1 releases charged, got {}",
+        status.spent_eps
+    );
+    assert!(status.queries_answered >= 3);
+
+    drop(client);
+    server.shutdown();
+}
+
+/// Ingest frames sent to a frozen analyst server get a typed refusal,
+/// not a hangup — only live-mode servers mutate their federation.
+#[test]
+fn frozen_servers_refuse_ingest_with_a_typed_error() {
+    let engine = FederationEngine::start(federation(1.0));
+    let server = LoopbackServer::analyst(engine.handle(), ServeOptions::unlimited()).unwrap();
+    let mut client = RemoteFederation::connect(server.addr()).unwrap();
+
+    match client.ingest(0, &[Row::cell(vec![1, 2], 1)]) {
+        Err(NetError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("live-mode"), "{message}");
+        }
+        other => panic!("expected a typed refusal, got {other:?}"),
+    }
+    // The connection still answers queries.
+    assert!(client.query(&count_query(100, 800), 0.2).is_ok());
+
+    drop(client);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// v6 frames smuggled onto a v5-negotiated connection are rejected with
+/// a typed error naming the needed version, before any budget charge —
+/// the same guarantee plan/explain/metrics frames give older connections.
+#[test]
+fn online_frames_on_a_v5_connection_are_rejected_without_charging() {
+    use fedaqp_net::wire::{
+        read_frame_versioned, write_frame, write_frame_at, Frame, Hello, IngestRequest,
+        OnlinePlanRequest, WireRow,
+    };
+
+    let engine = FederationEngine::start(federation(1.0));
+    let server =
+        LoopbackServer::analyst(engine.handle(), ServeOptions::with_budget(50.0, 0.5)).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+
+    // Handshake at v5.
+    write_frame_at(
+        &mut stream,
+        &Frame::Hello(Hello {
+            analyst: "sneaky".into(),
+        }),
+        5,
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame_versioned(&mut stream).unwrap(),
+        (Frame::HelloAck(_), 5)
+    ));
+
+    // Smuggle a v6 online plan, then a v6 ingest batch.
+    write_frame(
+        &mut stream,
+        &Frame::OnlinePlan(OnlinePlanRequest {
+            query: count_query(100, 800),
+            sampling_rate: 0.2,
+            epsilon: 1.0,
+            delta: 1e-3,
+            rounds: 4,
+        }),
+    )
+    .unwrap();
+    match read_frame_versioned(&mut stream).unwrap() {
+        (Frame::Error(e), 5) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("v6"), "{}", e.message);
+        }
+        other => panic!("expected a typed v5 error, got {other:?}"),
+    }
+    write_frame(
+        &mut stream,
+        &Frame::Ingest(IngestRequest {
+            provider: 0,
+            rows: vec![WireRow {
+                values: vec![1, 2],
+                measure: 1,
+            }],
+        }),
+    )
+    .unwrap();
+    match read_frame_versioned(&mut stream).unwrap() {
+        (Frame::Error(e), 5) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(
+                e.message.contains("v6") || e.message.contains("live-mode"),
+                "{}",
+                e.message
+            );
+        }
+        other => panic!("expected a typed v5 error, got {other:?}"),
+    }
+
+    // Nothing was charged, and the connection still answers.
+    write_frame_at(&mut stream, &Frame::BudgetRequest, 5).unwrap();
+    match read_frame_versioned(&mut stream).unwrap() {
+        (Frame::BudgetStatus(status), 5) => {
+            assert_eq!(status.spent_eps, 0.0, "refused frames must not charge");
+            assert_eq!(status.queries_answered, 0);
+        }
+        other => panic!("expected budget status, got {other:?}"),
+    }
+
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+}

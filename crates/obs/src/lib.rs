@@ -99,6 +99,10 @@ pub mod names {
     /// (`fedaqp_server_xi_spent.{identity}`). A family base, not a
     /// static name — see [`crate::METRIC_PREFIXES`].
     pub const SERVER_XI_SPENT: &str = "fedaqp_server_xi_spent";
+    /// Rows appended to live federations by streaming ingest.
+    pub const STREAM_INGESTED_ROWS: &str = "fedaqp_stream_ingested_rows_total";
+    /// Full metadata recomputes triggered by the staleness policy.
+    pub const STREAM_REFRESHES: &str = "fedaqp_stream_refreshes_total";
 }
 
 /// Every static metric name, in exposition order (see [`names`]).
@@ -127,6 +131,8 @@ pub const METRIC_NAMES: &[&str] = &[
     names::SERVER_FRAMES,
     names::SERVER_QUERIES,
     names::SERVER_ERRORS,
+    names::STREAM_INGESTED_ROWS,
+    names::STREAM_REFRESHES,
 ];
 
 /// Prefixes of dynamically labeled metric families: a dynamic name is

@@ -147,6 +147,18 @@ impl Cluster {
         (0..self.len).map(move |i| self.row(i))
     }
 
+    /// Appends one row in place (columnar push). The capacity bound is the
+    /// caller's responsibility — see [`crate::store::ClusterStore::append_row`],
+    /// which opens a fresh cluster when the tail is full.
+    pub fn append_row(&mut self, row: &Row) {
+        debug_assert_eq!(row.values().len(), self.arity());
+        for (d, &v) in row.values().iter().enumerate() {
+            self.cols[d].push(v);
+        }
+        self.measures.push(row.measure());
+        self.len += 1;
+    }
+
     /// Approximate in-memory footprint in bytes (columnar payload only).
     pub fn payload_bytes(&self) -> usize {
         self.len * (self.arity() * std::mem::size_of::<i64>() + std::mem::size_of::<u64>())
@@ -159,7 +171,7 @@ mod tests {
     use fedaqp_model::{Aggregate, Range, RangeQuery, Row};
 
     fn cluster() -> Cluster {
-        let rows = vec![
+        let rows = [
             Row::cell(vec![10, 100], 2),
             Row::cell(vec![20, 200], 3),
             Row::cell(vec![30, 300], 5),
@@ -239,5 +251,18 @@ mod tests {
     fn payload_bytes_scale_with_rows() {
         let c = cluster();
         assert_eq!(c.payload_bytes(), 3 * (2 * 8 + 8));
+    }
+
+    #[test]
+    fn append_row_matches_from_rows() {
+        let rows = [
+            Row::cell(vec![10, 100], 2),
+            Row::cell(vec![20, 200], 3),
+            Row::cell(vec![30, 300], 5),
+        ];
+        let mut incremental = Cluster::from_rows(7, 2, &rows[..1], 10).unwrap();
+        incremental.append_row(&rows[1]);
+        incremental.append_row(&rows[2]);
+        assert_eq!(incremental, cluster());
     }
 }

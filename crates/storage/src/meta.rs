@@ -19,7 +19,7 @@
 //! rest of the paper (and plain SQL) uses. DESIGN.md records the delta.
 
 use fedaqp_model::value::succ;
-use fedaqp_model::{Range, RangeQuery, Value};
+use fedaqp_model::{Range, RangeQuery, Row, Value};
 
 use crate::cluster::{Cluster, ClusterId};
 use crate::store::ClusterStore;
@@ -57,6 +57,27 @@ impl DimMeta {
             *t = acc;
         }
         Self { values, tails }
+    }
+
+    /// Folds one freshly appended value into the tail structure in
+    /// `O(n_values)` — the incremental counterpart of rebuilding with
+    /// [`DimMeta::from_column`] (which this is exactly equivalent to when
+    /// the metadata is uncoarsened; on a coarsened copy the inserted value
+    /// becomes a retained boundary, so tails stay sound but drift from what
+    /// a coarsen-after-rebuild would keep).
+    pub fn insert(&mut self, v: Value) {
+        let idx = self.values.partition_point(|&x| x < v);
+        if self.values.get(idx) != Some(&v) {
+            // New distinct value: its tail starts at the successor's tail
+            // (rows strictly greater than `v`), +1 below for `v` itself.
+            let tail_after = self.tails.get(idx).copied().unwrap_or(0);
+            self.values.insert(idx, v);
+            self.tails.insert(idx, tail_after);
+        }
+        // Every value ≤ v now has one more row at or above it.
+        for t in &mut self.tails[..=idx] {
+            *t += 1;
+        }
     }
 
     /// Number of rows with value ≥ `x` — the exact `|rows_d ≥ x|` of §5.2
@@ -192,6 +213,17 @@ impl ClusterMeta {
         &self.dims
     }
 
+    /// Folds one appended row into this cluster's metadata (incremental
+    /// Algorithm 1): bumps the row count and inserts each dimension value
+    /// into the corresponding tail structure.
+    pub fn append_row(&mut self, row: &Row) {
+        debug_assert_eq!(row.values().len(), self.dims.len());
+        self.len += 1;
+        for (d, &v) in row.values().iter().enumerate() {
+            self.dims[d].insert(v);
+        }
+    }
+
     /// `R_{d≥}(x)` relative to the agreed cluster size `s`.
     pub fn r_geq(&self, d: usize, x: Value, s: usize) -> f64 {
         self.dims[d].tail_count(x) as f64 / s as f64
@@ -303,6 +335,29 @@ impl ProviderMeta {
             .collect()
     }
 
+    /// Folds one appended row into the provider metadata — the incremental
+    /// maintenance path of streaming ingest. `cluster` and `new_cluster`
+    /// come from the matching [`crate::store::ClusterStore::append_row`]
+    /// outcome; when the append opened a fresh cluster, an empty
+    /// [`ClusterMeta`] with `arity` dimensions is created for it first.
+    ///
+    /// On uncoarsened metadata this is exactly equivalent to re-running
+    /// Algorithm 1 ([`ProviderMeta::build`]) over the grown store
+    /// (property-tested below). On coarsened metadata it stays *sound*
+    /// (min/max exact, so covering never misses) but tail resolution drifts
+    /// from a fresh coarsen — the refresh policy's job is to bound that.
+    pub fn append_row(&mut self, cluster: ClusterId, new_cluster: bool, row: &Row, arity: usize) {
+        if new_cluster {
+            debug_assert_eq!(cluster as usize, self.clusters.len());
+            self.clusters.push(ClusterMeta {
+                id: cluster,
+                len: 0,
+                dims: vec![DimMeta::from_column(&[]); arity],
+            });
+        }
+        self.clusters[cluster as usize].append_row(row);
+    }
+
     /// A histogram-resolution copy of the whole provider metadata: every
     /// dimension of every cluster keeps at most `buckets` tail entries.
     pub fn coarsened(&self, buckets: usize) -> ProviderMeta {
@@ -354,6 +409,18 @@ mod tests {
         assert_eq!(m.range_count(5, 5), 1);
         assert_eq!(m.range_count(6, 9), 0);
         assert_eq!(m.range_count(4, 2), 0);
+    }
+
+    #[test]
+    fn insert_matches_rebuild() {
+        let mut m = dim_meta(&[5, 1, 3]);
+        m.insert(3); // duplicate of a stored value
+        m.insert(9); // new maximum
+        m.insert(0); // new minimum
+        assert_eq!(m, dim_meta(&[5, 1, 3, 3, 9, 0]));
+        let mut empty = dim_meta(&[]);
+        empty.insert(4);
+        assert_eq!(empty, dim_meta(&[4]));
     }
 
     #[test]
@@ -583,6 +650,58 @@ mod proptests {
                 prop_assert!(t <= prev);
                 prev = t;
             }
+        }
+
+        /// Folding values in one at a time equals rebuilding from scratch.
+        #[test]
+        fn dim_insert_matches_from_column(
+            base in proptest::collection::vec(-50i64..50, 0..150),
+            extra in proptest::collection::vec(-50i64..50, 1..150),
+        ) {
+            let mut m = DimMeta::from_column(&base);
+            for &v in &extra {
+                m.insert(v);
+            }
+            let mut all = base;
+            all.extend_from_slice(&extra);
+            prop_assert_eq!(m, DimMeta::from_column(&all));
+        }
+
+        /// N appended rows via incremental `ProviderMeta` maintenance ≡ a
+        /// from-scratch Algorithm 1 recompute over the grown store: same
+        /// cluster count, same per-cluster lengths, same tails, same
+        /// min/max bounds (full structural equality).
+        #[test]
+        fn incremental_append_matches_full_recompute(
+            seed in proptest::collection::vec((0i64..50, 0i64..50, 1u64..4), 0..60),
+            appended in proptest::collection::vec((0i64..50, 0i64..50, 1u64..4), 1..60),
+            capacity in 1usize..9,
+        ) {
+            use crate::store::{ClusterStore, PartitionStrategy};
+            use fedaqp_model::{Dimension, Domain, Schema};
+            let schema = Schema::new(vec![
+                Dimension::new("a", Domain::new(0, 49).unwrap()),
+                Dimension::new("b", Domain::new(0, 49).unwrap()),
+            ])
+            .unwrap();
+            let rows: Vec<Row> = seed
+                .iter()
+                .map(|&(a, b, m)| Row::cell(vec![a, b], m))
+                .collect();
+            let mut store = ClusterStore::build(
+                schema,
+                rows,
+                capacity,
+                PartitionStrategy::SortedBy(0),
+            )
+            .unwrap();
+            let mut meta = ProviderMeta::build(&store, capacity);
+            for &(a, b, m) in &appended {
+                let row = Row::cell(vec![a, b], m);
+                let out = store.append_row(row.clone()).unwrap();
+                meta.append_row(out.cluster, out.new_cluster, &row, 2);
+            }
+            prop_assert_eq!(&meta, &ProviderMeta::build(&store, capacity));
         }
     }
 }

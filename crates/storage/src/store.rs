@@ -28,6 +28,15 @@ pub enum PartitionStrategy {
     RoundRobin,
 }
 
+/// Where [`ClusterStore::append_row`] put a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// The cluster the row landed in.
+    pub cluster: ClusterId,
+    /// Whether that cluster was freshly opened by this append.
+    pub new_cluster: bool,
+}
+
 /// The cluster-resident table of one data provider.
 #[derive(Debug, Clone)]
 pub struct ClusterStore {
@@ -145,6 +154,40 @@ impl ClusterStore {
         self.clusters.iter().map(|c| c.total_measure()).sum()
     }
 
+    /// Appends one row to the tail cluster, opening a new cluster when the
+    /// tail is at capacity — the streaming-ingest counterpart of
+    /// [`ClusterStore::build`].
+    ///
+    /// Appended rows keep arrival order (the [`PartitionStrategy::Sequential`]
+    /// layout): a store built with a sorted strategy keeps the locality of
+    /// its existing clusters and grows a sequential tail, which is exactly
+    /// the drift a staleness-bounded rebuild policy exists to cap.
+    pub fn append_row(&mut self, row: Row) -> Result<AppendOutcome> {
+        self.schema.check_row(&row)?;
+        match self.clusters.last_mut() {
+            Some(tail) if tail.len() < self.capacity => {
+                tail.append_row(&row);
+                Ok(AppendOutcome {
+                    cluster: tail.id(),
+                    new_cluster: false,
+                })
+            }
+            _ => {
+                let id = self.clusters.len() as ClusterId;
+                self.clusters.push(Cluster::from_rows(
+                    id,
+                    self.schema.arity(),
+                    std::slice::from_ref(&row),
+                    self.capacity,
+                )?);
+                Ok(AppendOutcome {
+                    cluster: id,
+                    new_cluster: true,
+                })
+            }
+        }
+    }
+
     /// Exact full-scan evaluation — the provider's "normal computation"
     /// baseline of the speed-up metric (§6.1).
     pub fn evaluate_full(&self, query: &RangeQuery) -> u64 {
@@ -258,6 +301,59 @@ mod tests {
             s.evaluate_clusters(&q, &[0]).unwrap() + s.evaluate_clusters(&q, &[1, 2]).unwrap();
         assert_eq!(all, parts);
         assert!(s.evaluate_clusters(&q, &[99]).is_err());
+    }
+
+    #[test]
+    fn append_fills_tail_then_opens_new_cluster() {
+        let mut s =
+            ClusterStore::build(schema(), rows(25), 10, PartitionStrategy::Sequential).unwrap();
+        // Tail cluster holds 5 of 10: the next five appends fill it.
+        for i in 0..5 {
+            let out = s.append_row(Row::cell(vec![1, 2], 1)).unwrap();
+            assert_eq!(
+                out,
+                AppendOutcome {
+                    cluster: 2,
+                    new_cluster: false
+                },
+                "append {i}"
+            );
+        }
+        let out = s.append_row(Row::cell(vec![3, 4], 1)).unwrap();
+        assert_eq!(
+            out,
+            AppendOutcome {
+                cluster: 3,
+                new_cluster: true
+            }
+        );
+        assert_eq!(s.n_clusters(), 4);
+        assert_eq!(s.total_rows(), 31);
+        // An appended store answers queries exactly like a rebuilt one.
+        let all: Vec<Row> = s.clusters().iter().flat_map(|c| c.rows()).collect();
+        let rebuilt =
+            ClusterStore::build(schema(), all, 10, PartitionStrategy::Sequential).unwrap();
+        let q = RangeQuery::new(Aggregate::Count, vec![Range::new(0, 0, 99).unwrap()]).unwrap();
+        assert_eq!(s.evaluate_full(&q), rebuilt.evaluate_full(&q));
+    }
+
+    #[test]
+    fn append_into_empty_store_opens_cluster_zero() {
+        let mut s =
+            ClusterStore::build(schema(), Vec::new(), 4, PartitionStrategy::Sequential).unwrap();
+        assert_eq!(s.n_clusters(), 0);
+        let out = s.append_row(Row::cell(vec![7, 8], 2)).unwrap();
+        assert_eq!(
+            out,
+            AppendOutcome {
+                cluster: 0,
+                new_cluster: true
+            }
+        );
+        assert_eq!(s.total_measure(), 2);
+        // Schema violations are rejected without mutating the store.
+        assert!(s.append_row(Row::raw(vec![500, 0])).is_err());
+        assert_eq!(s.total_rows(), 1);
     }
 
     #[test]

@@ -6,13 +6,14 @@
 use std::time::{Duration, Instant};
 
 use fedaqp::core::{
-    run_group_by, ConcurrentSession, Federation, FederationConfig, FederationEngine, PlanResult,
-    QueryPlan, SessionPlan,
+    run_group_by, run_online, ConcurrentSession, Federation, FederationConfig, FederationEngine,
+    PlanResult, QueryPlan, SessionPlan,
 };
 use fedaqp::model::{
     Aggregate, DerivedStatistic, Dimension, Domain, Extreme, Range, RangeQuery, Row, Schema,
 };
 use fedaqp::net::{FederationServer, RemoteFederation, ServeOptions};
+use proptest::prelude::*;
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -137,6 +138,102 @@ fn concurrent_group_by_beats_serial_on_the_slept_wan_model() {
     );
     // Sanity: the WAN stall dominates both sides (≈100 ms per round trip).
     assert!(serial_wall >= Duration::from_millis(250), "{serial_wall:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The serial `run_online` wrapper and the concurrent engine compile
+    /// the same [`QueryPlan::Online`] through the same compiler, so on a
+    /// frozen federation every snapshot — value, sample fraction, scan
+    /// count — and the plan's total cost are bit-identical across any
+    /// swept `(rounds, rate, range)`.
+    #[test]
+    fn serial_run_online_matches_the_concurrent_plan_bit_for_bit(
+        rounds in 1usize..=5,
+        rate_idx in 0usize..3,
+        lo in 0i64..40,
+        width in 20i64..60,
+    ) {
+        let rate = [0.15, 0.25, 0.4][rate_idx];
+        let hi = (lo + width).min(99);
+        let query =
+            RangeQuery::new(Aggregate::Count, vec![Range::new(0, lo, hi).unwrap()]).unwrap();
+        let plan = QueryPlan::Online {
+            query: query.clone(),
+            sampling_rate: rate,
+            epsilon: 1.5,
+            delta: 1e-3,
+            rounds,
+        };
+
+        let concurrent = federation(fedaqp::smc::CostModel::zero())
+            .with_engine(|engine| engine.run_plan(&plan))
+            .unwrap();
+        let snapshots = concurrent.snapshots().expect("online plan releases snapshots");
+
+        let mut serial_fed = federation(fedaqp::smc::CostModel::zero());
+        let serial = run_online(&mut serial_fed, &query, rate, 1.5, 1e-3, rounds).unwrap();
+
+        prop_assert_eq!(snapshots.len(), rounds);
+        prop_assert_eq!(serial.snapshots.len(), rounds);
+        for (c, s) in snapshots.iter().zip(&serial.snapshots) {
+            prop_assert_eq!(c.round as usize, s.round);
+            prop_assert_eq!(c.value.to_bits(), s.value.to_bits());
+            prop_assert_eq!(c.sample_fraction.to_bits(), s.sample_fraction.to_bits());
+            prop_assert_eq!(c.clusters_scanned as usize, s.clusters_scanned);
+        }
+        prop_assert_eq!(concurrent.cost.eps.to_bits(), serial.cost.eps.to_bits());
+        prop_assert_eq!(concurrent.cost.delta.to_bits(), serial.cost.delta.to_bits());
+    }
+
+    /// `rounds = 1` online aggregation degenerates exactly to the scalar
+    /// plan: one snapshot at the full sampling rate whose released value
+    /// and cost are bit-identical to [`QueryPlan::Scalar`] with the same
+    /// parameters — the progressive path adds no noise of its own.
+    #[test]
+    fn one_round_online_degenerates_to_the_scalar_plan(
+        rate_idx in 0usize..3,
+        lo in 0i64..40,
+        width in 20i64..60,
+    ) {
+        let rate = [0.15, 0.25, 0.4][rate_idx];
+        let hi = (lo + width).min(99);
+        let query =
+            RangeQuery::new(Aggregate::Count, vec![Range::new(0, lo, hi).unwrap()]).unwrap();
+
+        let online = federation(fedaqp::smc::CostModel::zero())
+            .with_engine(|engine| {
+                engine.run_plan(&QueryPlan::Online {
+                    query: query.clone(),
+                    sampling_rate: rate,
+                    epsilon: 1.5,
+                    delta: 1e-3,
+                    rounds: 1,
+                })
+            })
+            .unwrap();
+        let scalar = federation(fedaqp::smc::CostModel::zero())
+            .with_engine(|engine| {
+                engine.run_plan(&QueryPlan::Scalar {
+                    query: query.clone(),
+                    sampling_rate: rate,
+                    epsilon: 1.5,
+                    delta: 1e-3,
+                })
+            })
+            .unwrap();
+
+        let snapshots = online.snapshots().expect("online plan releases snapshots");
+        prop_assert_eq!(snapshots.len(), 1);
+        prop_assert_eq!(snapshots[0].sample_fraction.to_bits(), 1.0f64.to_bits());
+        prop_assert_eq!(
+            snapshots[0].value.to_bits(),
+            scalar.value().expect("scalar value").to_bits()
+        );
+        prop_assert_eq!(online.cost.eps.to_bits(), scalar.cost.eps.to_bits());
+        prop_assert_eq!(online.cost.delta.to_bits(), scalar.cost.delta.to_bits());
+    }
 }
 
 /// Every plan kind runs through a budget session, which charges the whole

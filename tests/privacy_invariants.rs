@@ -1,7 +1,8 @@
 //! Statistical privacy/mechanism invariants across the whole stack.
 
 use fedaqp::core::{
-    ConcurrentSession, Federation, FederationConfig, FederationEngine, QueryBatch, SessionPlan,
+    ConcurrentSession, Federation, FederationConfig, FederationEngine, QueryBatch, QueryPlan,
+    SessionPlan,
 };
 use fedaqp::data::{partition_rows, AmazonConfig, AmazonSynth, PartitionMode};
 use fedaqp::dp::QueryBudget;
@@ -184,6 +185,47 @@ fn concurrent_session_never_overspends_budget() {
     assert!(session.spent().eps <= 5.0 + 1e-9, "ε overspent");
     assert!(session.spent().delta <= 1e-2 + 1e-9, "δ overspent");
     assert!(!session.can_query());
+    engine.shutdown();
+}
+
+/// Online plans are fail-closed on the budget ledger: the whole k-round
+/// sequential-composition cost is validated and charged atomically before
+/// round 1 samples anything. A session that cannot afford the full plan
+/// answers *no* round — a partial progressive release would leak rounds
+/// the ledger never covered — and the rejection costs nothing.
+#[test]
+fn online_plans_charge_their_whole_cost_up_front_or_not_at_all() {
+    let (fed, _) = federation(10, 1.0);
+    let engine = FederationEngine::start(fed);
+    let session =
+        ConcurrentSession::open(engine.handle(), 2.0, 1e-2, SessionPlan::PayAsYouGo).unwrap();
+    let q = demo_query_for(session.handle().schema());
+    let plan = |epsilon: f64| QueryPlan::Online {
+        query: q.clone(),
+        sampling_rate: 0.2,
+        epsilon,
+        delta: 1e-3,
+        rounds: 4,
+    };
+
+    // Affordable: the whole 1.5ε is on the ledger before round 1 resolves.
+    let pending = session.submit_plan(&plan(1.5)).unwrap();
+    assert!((session.spent().eps - 1.5).abs() < 1e-9);
+    let answer = pending.wait().unwrap();
+    assert_eq!(answer.snapshots().map(<[_]>::len), Some(4));
+    assert!((session.spent().eps - 1.5).abs() < 1e-9, "cost drifted");
+
+    // Unaffordable (0.5ε left, the plan declares 1.0ε): rejected before
+    // any round touches data, ledger untouched.
+    assert!(session.submit_plan(&plan(1.0)).is_err());
+    assert!((session.spent().eps - 1.5).abs() < 1e-9);
+
+    // The remaining 0.5ε still buys an exactly-affordable plan — the
+    // rejection above closed nothing it shouldn't have.
+    let answer = session.run_plan(&plan(0.5)).unwrap();
+    assert_eq!(answer.snapshots().map(<[_]>::len), Some(4));
+    assert!((session.spent().eps - 2.0).abs() < 1e-9);
+    assert!(session.submit_plan(&plan(0.1)).is_err(), "ξ is exhausted");
     engine.shutdown();
 }
 
